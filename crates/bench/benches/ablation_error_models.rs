@@ -1,0 +1,119 @@
+//! Ablation **A1** (DESIGN.md): how much each worst-case ingredient —
+//! error model, bit stuffing, controller type — costs in analysis time,
+//! with the corresponding loss counts printed once as context.
+
+use carta_bench::case_study;
+use carta_can::controller::ControllerType;
+use carta_core::time::Time;
+use carta_explore::jitter::with_jitter_ratio;
+use carta_explore::scenario::{DeadlineOverride, ErrorSpec, Scenario};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn scenarios() -> Vec<Scenario> {
+    use carta_can::frame::StuffingMode;
+    let burst = ErrorSpec::Burst {
+        burst_len: 3,
+        intra_gap: Time::from_us(200),
+        inter_burst: Time::from_ms(25),
+    };
+    vec![
+        Scenario {
+            name: "none/none".into(),
+            stuffing: StuffingMode::None,
+            errors: ErrorSpec::None,
+            deadline: DeadlineOverride::MinReArrival,
+        },
+        Scenario {
+            name: "none/stuffing".into(),
+            stuffing: StuffingMode::WorstCase,
+            errors: ErrorSpec::None,
+            deadline: DeadlineOverride::MinReArrival,
+        },
+        Scenario {
+            name: "sporadic/stuffing".into(),
+            stuffing: StuffingMode::WorstCase,
+            errors: ErrorSpec::Sporadic {
+                interval: Time::from_ms(10),
+            },
+            deadline: DeadlineOverride::MinReArrival,
+        },
+        Scenario {
+            name: "burst/stuffing".into(),
+            stuffing: StuffingMode::WorstCase,
+            errors: burst,
+            deadline: DeadlineOverride::MinReArrival,
+        },
+    ]
+}
+
+fn bench_error_model_ablation(c: &mut Criterion) {
+    let net = with_jitter_ratio(&case_study(), 0.25);
+    let mut group = c.benchmark_group("ablation_error_models");
+    for scenario in scenarios() {
+        let report = scenario.analyze(&net).expect("valid");
+        eprintln!(
+            "[ablation] {:<20} -> {:>2} of {} messages lost at 25 % jitter",
+            scenario.name,
+            report.missed_count(),
+            report.messages.len()
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&scenario.name),
+            &scenario,
+            |b, s| b.iter(|| black_box(s.analyze(&net).expect("valid"))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_controller_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_controllers");
+    for controller in [
+        ControllerType::FullCan,
+        ControllerType::BasicCan,
+        ControllerType::FifoQueue { depth: 4 },
+    ] {
+        let mut net = case_study();
+        // Force every node to the candidate controller type.
+        let nodes: Vec<String> = net.nodes().iter().map(|n| n.name.clone()).collect();
+        let mut rebuilt = carta_can::network::CanNetwork::new(net.bit_rate());
+        for n in &nodes {
+            rebuilt.add_node(carta_can::network::Node::new(n.clone(), controller));
+        }
+        for m in net.messages() {
+            rebuilt.add_message(m.clone());
+        }
+        net = rebuilt;
+        let report = Scenario::worst_case()
+            .analyze(&with_jitter_ratio(&net, 0.25))
+            .expect("valid");
+        eprintln!(
+            "[ablation] all nodes {:<10} -> {:>2} of {} lost at 25 % jitter",
+            controller.label(),
+            report.missed_count(),
+            report.messages.len()
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(controller.label()),
+            &net,
+            |b, net| {
+                b.iter(|| {
+                    black_box(
+                        Scenario::worst_case()
+                            .analyze(&with_jitter_ratio(net, 0.25))
+                            .expect("valid"),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_error_model_ablation,
+    bench_controller_ablation
+);
+criterion_main!(benches);

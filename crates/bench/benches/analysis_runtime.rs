@@ -1,0 +1,62 @@
+//! Benchmarks the core claim behind the paper's workflow: "what-if"
+//! analyses run interactively ("within minutes" on 2006 hardware;
+//! microseconds here), so OEMs can sweep hundreds of scenarios.
+
+use carta_bench::case_study;
+use carta_can::error_model::NoErrors;
+use carta_can::rta::{analyze_bus, AnalysisConfig};
+use carta_explore::jitter::with_jitter_ratio;
+use carta_explore::loss::{loss_vs_jitter, paper_jitter_grid};
+use carta_explore::scenario::Scenario;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_single_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bus_analysis");
+    for ratio in [0.0, 0.25, 0.60] {
+        let net = with_jitter_ratio(&case_study(), ratio);
+        group.bench_with_input(
+            BenchmarkId::new("worst_case_64msg", format!("{:.0}%", ratio * 100.0)),
+            &net,
+            |b, net| b.iter(|| black_box(Scenario::worst_case().analyze(net).expect("valid"))),
+        );
+    }
+    let net = case_study();
+    group.bench_function("no_errors_64msg", |b| {
+        b.iter(|| {
+            black_box(analyze_bus(&net, &NoErrors, &AnalysisConfig::default()).expect("valid"))
+        })
+    });
+    group.finish();
+}
+
+fn bench_message_count_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    // Constant 60 % load at every size so runtime growth reflects the
+    // algorithm, not a heavier bus.
+    for count in [16usize, 32, 64, 128, 256] {
+        let net = carta_kmatrix::generator::stress_kmatrix(7, count, 0.60)
+            .to_network()
+            .expect("convertible");
+        group.bench_with_input(BenchmarkId::new("messages", count), &net, |b, net| {
+            b.iter(|| black_box(Scenario::worst_case().analyze(net).expect("valid")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_loss_curve(c: &mut Criterion) {
+    let net = case_study();
+    let grid = paper_jitter_grid();
+    c.bench_function("fig5_one_curve_13_points", |b| {
+        b.iter(|| black_box(loss_vs_jitter(&net, &Scenario::worst_case(), &grid).expect("valid")))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_single_analysis,
+    bench_message_count_scaling,
+    bench_full_loss_curve
+);
+criterion_main!(benches);

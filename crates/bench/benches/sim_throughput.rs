@@ -1,0 +1,69 @@
+//! Benchmarks the discrete-event simulator (experiment A2's oracle) and
+//! contrasts its cost with the analysis: covering even one second of
+//! simulated traffic costs orders of magnitude more than the complete
+//! worst-case analysis — the quantitative version of the paper's
+//! "simulation is not suitable" argument.
+
+use carta_bench::case_study;
+use carta_core::time::Time;
+use carta_explore::jitter::with_assumed_unknown_jitter;
+use carta_sim::engine::{simulate, SimConfig, SimStuffing};
+use carta_sim::inject::{NoInjection, PeriodicInjection};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_simulation(c: &mut Criterion) {
+    let net = with_assumed_unknown_jitter(&case_study(), 0.20);
+    let mut group = c.benchmark_group("sim");
+    group.sample_size(20);
+    for horizon_ms in [100u64, 500, 1000] {
+        let config = SimConfig {
+            horizon: Time::from_ms(horizon_ms),
+            stuffing: SimStuffing::Random,
+            record_trace: false,
+            ..SimConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("no_errors", format!("{horizon_ms}ms")),
+            &config,
+            |b, cfg| b.iter(|| black_box(simulate(&net, &NoInjection, cfg))),
+        );
+    }
+    let config = SimConfig {
+        horizon: Time::from_s(1),
+        stuffing: SimStuffing::Random,
+        record_trace: false,
+        ..SimConfig::default()
+    };
+    let injector = PeriodicInjection {
+        interval: Time::from_us(10_300),
+        phase: Time::from_us(77),
+    };
+    group.bench_function("with_errors_1s", |b| {
+        b.iter(|| black_box(simulate(&net, &injector, &config)))
+    });
+    group.finish();
+}
+
+fn bench_trace_recording_overhead(c: &mut Criterion) {
+    let net = with_assumed_unknown_jitter(&case_study(), 0.20);
+    let mut group = c.benchmark_group("sim_trace_overhead");
+    group.sample_size(20);
+    for record in [false, true] {
+        let config = SimConfig {
+            horizon: Time::from_ms(500),
+            stuffing: SimStuffing::Random,
+            record_trace: record,
+            ..SimConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if record { "recorded" } else { "discarded" }),
+            &config,
+            |b, cfg| b.iter(|| black_box(simulate(&net, &NoInjection, cfg))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation, bench_trace_recording_overhead);
+criterion_main!(benches);

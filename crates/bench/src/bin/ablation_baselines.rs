@@ -1,0 +1,77 @@
+//! **A3 — baseline comparison** for the Sec. 4.3 optimization: the
+//! original (legacy) identifier assignment vs. three repair strategies:
+//!
+//! * **rate-monotonic** — the textbook static rule,
+//! * **Audsley OPA** — optimal *feasibility* at the 25 % design point,
+//! * **SPEA2** — the paper's multi-objective search, which also trades
+//!   off high-jitter loss and robustness.
+
+use carta_bench::{case_study, print_jitter_header, print_loss_curve};
+use carta_can::opa::audsley_assignment;
+use carta_explore::jitter::with_jitter_ratio;
+use carta_explore::loss::{loss_vs_jitter, paper_jitter_grid};
+use carta_explore::scenario::Scenario;
+use carta_optim::canid::{optimize_can_ids, CanIdProblem, OptimizeIdsConfig};
+use carta_optim::spea2::Spea2Config;
+
+fn main() {
+    println!("=== A3: identifier-assignment baselines (worst-case scenario) ===\n");
+    let net = case_study();
+    let grid = paper_jitter_grid();
+    let scenario = Scenario::worst_case();
+
+    // Rate monotonic.
+    let problem = CanIdProblem::new(&net, scenario.clone(), vec![0.25]);
+    let rm = problem.apply(&problem.rate_monotonic());
+
+    // Audsley at the 25 % design point.
+    let prepared = scenario.apply(&with_jitter_ratio(&net, 0.25));
+    let opa = audsley_assignment(
+        &prepared,
+        scenario.errors.model().as_ref(),
+        &scenario.analysis_config(),
+    )
+    .expect("valid network");
+    let opa_net = opa.as_ref().map(|order| order.apply(&net));
+    println!(
+        "Audsley OPA at 25 % jitter: {}",
+        if opa.is_some() {
+            "feasible order found"
+        } else {
+            "infeasible"
+        }
+    );
+
+    // SPEA2 with the experiment budget.
+    let result = optimize_can_ids(
+        &net,
+        &OptimizeIdsConfig {
+            spea2: Spea2Config {
+                population: 60,
+                archive: 30,
+                generations: 40,
+                ..Spea2Config::default()
+            },
+            ..OptimizeIdsConfig::default()
+        },
+    );
+
+    println!();
+    print_jitter_header(&grid);
+    let orig = loss_vs_jitter(&net, &scenario, &grid).expect("valid");
+    print_loss_curve("original (legacy IDs)", &orig);
+    let rm_curve = loss_vs_jitter(&rm, &scenario, &grid).expect("valid");
+    print_loss_curve("rate-monotonic", &rm_curve);
+    if let Some(opa_net) = &opa_net {
+        let c = loss_vs_jitter(opa_net, &scenario, &grid).expect("valid");
+        print_loss_curve("Audsley OPA @25%", &c);
+    }
+    let ga = loss_vs_jitter(&result.optimized, &scenario, &grid).expect("valid");
+    print_loss_curve("SPEA2 (paper Sec. 4.3)", &ga);
+
+    println!(
+        "\nreading: OPA proves *feasibility* at the design point (zero loss at 25 %),\n\
+         but only the multi-objective search also keeps the high-jitter tail and the\n\
+         robustness margins under control — the reason the paper uses a GA."
+    );
+}

@@ -1,0 +1,47 @@
+//! **E2 — Sec. 4 experiment 2**: realistic jitters for the unknown
+//! messages (known ones keep their 10–30 % datasheet values) under the
+//! two practically useful error models the paper cites: sporadic
+//! (MTBF-style, ref. \[7\]) and burst (ref. \[8\]).
+
+use carta_bench::case_study;
+use carta_core::time::Time;
+use carta_explore::jitter::with_assumed_unknown_jitter;
+use carta_explore::scenario::Scenario;
+
+fn main() {
+    println!("=== Experiment 2: realistic jitters + error models ===\n");
+    let net = case_study();
+
+    println!(
+        "{:<34} {:>22} {:>8} {:>12}",
+        "scenario", "assumed jitter (unknown)", "lost", "max WCRT"
+    );
+    for assumed in [0.10, 0.20, 0.30] {
+        let variant = with_assumed_unknown_jitter(&net, assumed);
+        for scenario in [
+            Scenario::best_case(),
+            Scenario::sporadic_errors(Time::from_ms(10)),
+            Scenario::sporadic_errors(Time::from_ms(2)),
+            Scenario::worst_case(),
+        ] {
+            let report = scenario.analyze(&variant).expect("valid");
+            println!(
+                "{:<34} {:>21.0}% {:>5} /{:>2} {:>12}",
+                scenario.name,
+                assumed * 100.0,
+                report.missed_count(),
+                report.messages.len(),
+                report
+                    .max_wcrt()
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "unbounded".into())
+            );
+        }
+        println!();
+    }
+    println!(
+        "observation (paper Sec. 4): error models and bit stuffing dominate the loss\n\
+         figures once jitters are realistic; the zero-jitter simplification has\n\
+         limited practical relevance."
+    );
+}

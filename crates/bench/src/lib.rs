@@ -1,0 +1,53 @@
+//! Shared helpers for the `carta-bench` figure-regeneration binaries
+//! and criterion benches. See DESIGN.md §3 for the experiment index
+//! and EXPERIMENTS.md for recorded outputs.
+
+pub mod plot;
+
+use carta_explore::loss::LossCurve;
+use carta_kmatrix::generator::powertrain_default;
+use carta_kmatrix::model::KMatrix;
+
+/// The case-study network used by every experiment.
+pub fn case_study() -> carta_can::network::CanNetwork {
+    case_study_matrix()
+        .to_network()
+        .expect("generated matrix is always convertible")
+}
+
+/// The case-study K-Matrix (seed 42).
+pub fn case_study_matrix() -> KMatrix {
+    powertrain_default()
+}
+
+/// Prints a loss curve as one aligned row, the textual form of one
+/// Figure-5 series.
+pub fn print_loss_curve(label: &str, curve: &LossCurve) {
+    print!("{label:<26} |");
+    for p in &curve.points {
+        print!(" {:5.1}", p.fraction() * 100.0);
+    }
+    println!();
+}
+
+/// Prints the shared jitter header row for curve tables.
+pub fn print_jitter_header(ratios: &[f64]) {
+    print!("{:<26} |", "jitter in % of period");
+    for r in ratios {
+        print!(" {:5.0}", r * 100.0);
+    }
+    println!();
+    println!("{}", "-".repeat(28 + 6 * ratios.len()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_study_is_stable() {
+        let net = case_study();
+        assert_eq!(net.messages().len(), 64);
+        assert_eq!(net.nodes().len(), 8);
+    }
+}

@@ -1,0 +1,68 @@
+//! CAN controller (interface) types.
+//!
+//! The paper (Sec. 3.2) lists the controller type among the inputs a
+//! reliable analysis needs: it determines the order in which a node's
+//! own messages reach the bus and thus how much *extra* local blocking
+//! a message can suffer on top of the protocol's one-frame
+//! non-preemption blocking.
+
+use std::fmt;
+
+/// TX-path architecture of a node's CAN controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ControllerType {
+    /// One TX buffer per message ("full CAN"): the node always offers
+    /// its highest-priority pending message for arbitration; no local
+    /// priority inversion.
+    #[default]
+    FullCan,
+    /// A single shared TX register ("basic CAN"): a lower-priority
+    /// message of the *same node* already loaded into the register
+    /// cannot be revoked and must be transmitted first — one extra
+    /// frame of local priority inversion.
+    BasicCan,
+    /// A software FIFO queue in front of the controller: a message can
+    /// sit behind up to `depth − 1` earlier-queued messages of the same
+    /// node regardless of priority.
+    FifoQueue {
+        /// Queue capacity in frames (≥ 1).
+        depth: usize,
+    },
+}
+
+impl ControllerType {
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            ControllerType::FullCan => "fullCAN".into(),
+            ControllerType::BasicCan => "basicCAN".into(),
+            ControllerType::FifoQueue { depth } => format!("FIFO({depth})"),
+        }
+    }
+}
+
+impl fmt::Display for ControllerType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(ControllerType::FullCan.to_string(), "fullCAN");
+        assert_eq!(ControllerType::BasicCan.to_string(), "basicCAN");
+        assert_eq!(
+            ControllerType::FifoQueue { depth: 4 }.to_string(),
+            "FIFO(4)"
+        );
+    }
+
+    #[test]
+    fn default_is_full_can() {
+        assert_eq!(ControllerType::default(), ControllerType::FullCan);
+    }
+}

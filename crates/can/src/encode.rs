@@ -1,0 +1,293 @@
+//! Bit-exact CAN frame encoding: field layout, CRC-15 and the actual
+//! stuffing algorithm.
+//!
+//! The analysis uses closed-form worst-case frame lengths
+//! ([`FrameKind::max_bits`]); this module encodes *real* frames bit by
+//! bit, which serves two purposes:
+//!
+//! * it **validates** the closed forms — property tests check that no
+//!   encodable frame is ever longer than the worst-case formula or
+//!   shorter than the best case,
+//! * it lets the simulator derive payload-accurate frame lengths
+//!   instead of sampling them.
+//!
+//! [`FrameKind::max_bits`]: crate::frame::FrameKind::max_bits
+
+use crate::frame::FrameKind;
+use crate::message::CanId;
+
+/// CRC-15/CAN polynomial (x¹⁵+x¹⁴+x¹⁰+x⁸+x⁷+x⁴+x³+1), top bit implicit.
+const CRC15_POLY: u16 = 0x4599;
+
+/// Computes the CAN CRC-15 over a bit sequence (MSB-first semantics,
+/// zero initial value, as specified by ISO 11898-1).
+pub fn crc15(bits: &[bool]) -> u16 {
+    let mut crc: u16 = 0;
+    for &bit in bits {
+        let crc_next = ((crc >> 14) & 1 == 1) ^ bit;
+        crc <<= 1;
+        crc &= 0x7FFF;
+        if crc_next {
+            crc ^= CRC15_POLY;
+        }
+    }
+    crc & 0x7FFF
+}
+
+/// Applies CAN bit stuffing: after five consecutive equal bits a
+/// complementary stuff bit is inserted; stuff bits themselves count
+/// toward subsequent runs.
+pub fn stuff(bits: &[bool]) -> Vec<bool> {
+    let mut out = Vec::with_capacity(bits.len() + bits.len() / 4);
+    let mut run_bit = None;
+    let mut run_len = 0u32;
+    for &b in bits {
+        out.push(b);
+        if Some(b) == run_bit {
+            run_len += 1;
+        } else {
+            run_bit = Some(b);
+            run_len = 1;
+        }
+        if run_len == 5 {
+            let stuffed = !b;
+            out.push(stuffed);
+            run_bit = Some(stuffed);
+            run_len = 1;
+        }
+    }
+    out
+}
+
+/// A fully encoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedFrame {
+    /// The stuff-exposed region (SOF through CRC) before stuffing.
+    pub stuffable: Vec<bool>,
+    /// The same region after stuffing.
+    pub stuffed: Vec<bool>,
+    /// The fixed tail (delimiters, ACK, EOF, interframe space) that is
+    /// never stuffed.
+    pub tail_bits: usize,
+    /// The 15-bit CRC value carried by the frame.
+    pub crc: u16,
+}
+
+impl EncodedFrame {
+    /// Total frame length on the wire, in bits (including the 3-bit
+    /// interframe space, matching [`FrameKind::base_bits`]).
+    ///
+    /// [`FrameKind::base_bits`]: crate::frame::FrameKind::base_bits
+    pub fn total_bits(&self) -> u64 {
+        (self.stuffed.len() + self.tail_bits) as u64
+    }
+
+    /// Number of inserted stuff bits.
+    pub fn stuff_bits(&self) -> u64 {
+        (self.stuffed.len() - self.stuffable.len()) as u64
+    }
+}
+
+fn push_value(bits: &mut Vec<bool>, value: u32, width: u32) {
+    for i in (0..width).rev() {
+        bits.push((value >> i) & 1 == 1);
+    }
+}
+
+/// Encodes a classic CAN data frame bit by bit.
+///
+/// # Panics
+///
+/// Panics if `data` exceeds 8 bytes.
+pub fn encode_frame(id: CanId, data: &[u8]) -> EncodedFrame {
+    assert!(data.len() <= 8, "classic CAN carries at most 8 data bytes");
+    let mut bits: Vec<bool> = Vec::with_capacity(100);
+    bits.push(false); // SOF (dominant)
+    match id.kind() {
+        FrameKind::Standard => {
+            push_value(&mut bits, id.raw(), 11);
+            bits.push(false); // RTR (data frame)
+            bits.push(false); // IDE (standard)
+            bits.push(false); // r0
+        }
+        FrameKind::Extended => {
+            push_value(&mut bits, id.raw() >> 18, 11); // base ID
+            bits.push(true); // SRR (recessive)
+            bits.push(true); // IDE (extended)
+            push_value(&mut bits, id.raw() & 0x3_FFFF, 18); // extension
+            bits.push(false); // RTR
+            bits.push(false); // r1
+            bits.push(false); // r0
+        }
+    }
+    push_value(&mut bits, data.len() as u32, 4); // DLC
+    for &byte in data {
+        push_value(&mut bits, u32::from(byte), 8);
+    }
+    let crc = crc15(&bits);
+    push_value(&mut bits, u32::from(crc), 15);
+
+    let stuffed = stuff(&bits);
+    EncodedFrame {
+        stuffable: bits,
+        stuffed,
+        // CRC delimiter + ACK slot + ACK delimiter + 7 EOF + 3 IFS.
+        tail_bits: 1 + 2 + 7 + 3,
+        crc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::Dlc;
+    use proptest::prelude::*;
+
+    fn sid(raw: u32) -> CanId {
+        CanId::standard(raw).expect("valid id")
+    }
+
+    #[test]
+    fn field_layout_lengths() {
+        // Standard: 1 SOF + 11 ID + 3 control + 4 DLC + 15 CRC = 34
+        // stuffable bits at zero payload — matching FrameKind.
+        let f = encode_frame(sid(0x123), &[]);
+        assert_eq!(
+            f.stuffable.len() as u64,
+            FrameKind::Standard.stuffable_bits(Dlc::new(0))
+        );
+        assert_eq!(f.tail_bits, 13);
+        // Extended adds 20 bits of arbitration/control.
+        let e = encode_frame(CanId::extended(0x1234_5678).expect("valid"), &[]);
+        assert_eq!(
+            e.stuffable.len() as u64,
+            FrameKind::Extended.stuffable_bits(Dlc::new(0))
+        );
+        // 8-byte standard frame: 98 stuffable bits.
+        let f8 = encode_frame(sid(0x123), &[0xAA; 8]);
+        assert_eq!(
+            f8.stuffable.len() as u64,
+            FrameKind::Standard.stuffable_bits(Dlc::new(8))
+        );
+    }
+
+    #[test]
+    fn alternating_payload_needs_no_stuffing_in_data() {
+        // 0xAA = 10101010: no runs of five in the data section.
+        let f = encode_frame(sid(0x555), &[0xAA; 8]);
+        // Some stuffing may still occur in header/CRC, but far from max.
+        assert!(f.stuff_bits() < FrameKind::Standard.max_stuff_bits(Dlc::new(8)));
+    }
+
+    #[test]
+    fn monotone_runs_force_stuffing() {
+        // All-zero ID and payload produce long dominant runs.
+        let f = encode_frame(sid(0), &[0x00; 8]);
+        assert!(
+            f.stuff_bits() >= 10,
+            "got only {} stuff bits",
+            f.stuff_bits()
+        );
+    }
+
+    #[test]
+    fn stuffing_breaks_every_run_of_five() {
+        let f = encode_frame(sid(0), &[0x00; 8]);
+        let mut run = 1;
+        for w in f.stuffed.windows(2) {
+            if w[0] == w[1] {
+                run += 1;
+            } else {
+                run = 1;
+            }
+            assert!(run <= 5, "run of six equal bits on the wire");
+        }
+    }
+
+    #[test]
+    fn crc_is_linear_over_xor() {
+        // CRC with zero init is GF(2)-linear: crc(a^b) = crc(a)^crc(b).
+        let a: Vec<bool> = (0..64).map(|i| i % 3 == 0).collect();
+        let b: Vec<bool> = (0..64).map(|i| i % 5 == 0).collect();
+        let x: Vec<bool> = a.iter().zip(&b).map(|(p, q)| p ^ q).collect();
+        assert_eq!(crc15(&x), crc15(&a) ^ crc15(&b));
+        assert_eq!(crc15(&[]), 0);
+    }
+
+    #[test]
+    fn crc_detects_single_bit_errors() {
+        let f = encode_frame(sid(0x2A5), &[1, 2, 3, 4]);
+        let data_end = f.stuffable.len() - 15;
+        for flip in 0..data_end {
+            let mut corrupted = f.stuffable[..data_end].to_vec();
+            corrupted[flip] = !corrupted[flip];
+            assert_ne!(
+                crc15(&corrupted),
+                f.crc,
+                "single-bit error at {flip} not detected"
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn real_frames_respect_the_closed_forms(
+            raw in 0u32..0x800,
+            data in proptest::collection::vec(any::<u8>(), 0..=8),
+        ) {
+            let id = sid(raw);
+            let f = encode_frame(id, &data);
+            let dlc = Dlc::new(data.len() as u8);
+            // Total length bounded by the analysis formulas.
+            prop_assert!(f.total_bits() >= FrameKind::Standard.min_bits(dlc));
+            prop_assert!(f.total_bits() <= FrameKind::Standard.max_bits(dlc));
+            // Stuff-bit count bounded by ⌊(g−1)/4⌋.
+            prop_assert!(f.stuff_bits() <= FrameKind::Standard.max_stuff_bits(dlc));
+        }
+
+        #[test]
+        fn extended_frames_respect_the_closed_forms(
+            raw in 0u32..0x2000_0000,
+            data in proptest::collection::vec(any::<u8>(), 0..=8),
+        ) {
+            let id = CanId::extended(raw).expect("in range");
+            let f = encode_frame(id, &data);
+            let dlc = Dlc::new(data.len() as u8);
+            prop_assert!(f.total_bits() >= FrameKind::Extended.min_bits(dlc));
+            prop_assert!(f.total_bits() <= FrameKind::Extended.max_bits(dlc));
+        }
+
+        #[test]
+        fn destuffing_roundtrip(
+            raw in 0u32..0x800,
+            data in proptest::collection::vec(any::<u8>(), 0..=8),
+        ) {
+            // Removing stuff bits (every bit following five equal ones)
+            // recovers the original sequence.
+            let f = encode_frame(sid(raw), &data);
+            let mut destuffed = Vec::with_capacity(f.stuffable.len());
+            let mut run_bit = None;
+            let mut run_len = 0u32;
+            let mut skip_next = false;
+            for &b in &f.stuffed {
+                if skip_next {
+                    skip_next = false;
+                    run_bit = Some(b);
+                    run_len = 1;
+                    continue;
+                }
+                destuffed.push(b);
+                if Some(b) == run_bit {
+                    run_len += 1;
+                } else {
+                    run_bit = Some(b);
+                    run_len = 1;
+                }
+                if run_len == 5 {
+                    skip_next = true;
+                }
+            }
+            prop_assert_eq!(destuffed, f.stuffable);
+        }
+    }
+}

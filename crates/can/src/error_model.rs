@@ -1,0 +1,313 @@
+//! Bus-error models for CAN response-time analysis.
+//!
+//! CAN recovers from transmission errors by signalling an error frame
+//! and automatically retransmitting the damaged frame. The analysis
+//! accounts for this with an overhead function `E(Δt)` added to every
+//! busy-window equation; `E` is driven by a bound on the number of
+//! error hits in a window, for which the paper cites two practically
+//! useful models:
+//!
+//! * **sporadic** errors — at most one hit per error interval, akin to
+//!   an MTBF figure (Tindell & Burns, ref. \[7\]),
+//! * **burst** errors — clusters of hits in quick succession with a
+//!   minimum distance between clusters (Punnekkat et al., ref. \[8\]).
+
+use carta_core::time::Time;
+use std::fmt::Debug;
+
+/// A worst-case bound on the number of bus-error hits in a time window.
+///
+/// Implementors must be *monotone*: a longer window can never see fewer
+/// hits. The provided models are all monotone by construction, and the
+/// property is exercised by this crate's property tests.
+pub trait ErrorModel: Debug + Send + Sync {
+    /// Maximum number of error hits in any half-open window of length
+    /// `window`.
+    fn max_hits(&self, window: Time) -> u64;
+
+    /// Short human-readable description for reports.
+    fn describe(&self) -> String;
+}
+
+/// An error-free bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NoErrors;
+
+impl ErrorModel for NoErrors {
+    fn max_hits(&self, _window: Time) -> u64 {
+        0
+    }
+
+    fn describe(&self) -> String {
+        "no errors".into()
+    }
+}
+
+/// Sporadic errors: at most one hit every `interval` (MTBF-style), plus
+/// an optional pessimistic startup hit allowance.
+///
+/// The bound is `hits(Δt) = initial + ⌈Δt / interval⌉`, i.e. one hit may
+/// always strike "right now" and then once per interval — the standard
+/// worst-case phasing of Tindell & Burns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SporadicErrors {
+    interval: Time,
+    initial: u64,
+}
+
+impl SporadicErrors {
+    /// Creates a sporadic error model with the given minimum distance
+    /// between hits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(interval: Time) -> Self {
+        Self::with_initial(interval, 0)
+    }
+
+    /// Like [`SporadicErrors::new`] with `initial` extra hits allowed at
+    /// the start of any window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn with_initial(interval: Time, initial: u64) -> Self {
+        assert!(!interval.is_zero(), "error interval must be positive");
+        SporadicErrors { interval, initial }
+    }
+
+    /// The minimum distance between hits.
+    pub fn interval(&self) -> Time {
+        self.interval
+    }
+}
+
+impl ErrorModel for SporadicErrors {
+    fn max_hits(&self, window: Time) -> u64 {
+        if window.is_zero() {
+            return 0;
+        }
+        self.initial + window.div_ceil(self.interval)
+    }
+
+    fn describe(&self) -> String {
+        format!("sporadic errors every {}", self.interval)
+    }
+}
+
+/// Burst errors: up to `burst_len` hits spaced `intra_gap` apart within
+/// a burst; bursts themselves at least `inter_burst` apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurstErrors {
+    burst_len: u64,
+    intra_gap: Time,
+    inter_burst: Time,
+}
+
+impl BurstErrors {
+    /// Creates a burst error model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst_len` is zero, `intra_gap` is zero, or the burst
+    /// span `(burst_len − 1) · intra_gap` does not fit into
+    /// `inter_burst`.
+    pub fn new(burst_len: u64, intra_gap: Time, inter_burst: Time) -> Self {
+        assert!(burst_len > 0, "burst length must be positive");
+        assert!(!intra_gap.is_zero(), "intra-burst gap must be positive");
+        assert!(
+            intra_gap.saturating_mul(burst_len - 1) < inter_burst,
+            "burst span must fit into the inter-burst distance"
+        );
+        BurstErrors {
+            burst_len,
+            intra_gap,
+            inter_burst,
+        }
+    }
+
+    /// Hits per burst.
+    pub fn burst_len(&self) -> u64 {
+        self.burst_len
+    }
+
+    /// Distance between hits within a burst.
+    pub fn intra_gap(&self) -> Time {
+        self.intra_gap
+    }
+
+    /// Minimum distance between burst starts.
+    pub fn inter_burst(&self) -> Time {
+        self.inter_burst
+    }
+}
+
+impl ErrorModel for BurstErrors {
+    fn max_hits(&self, window: Time) -> u64 {
+        if window.is_zero() {
+            return 0;
+        }
+        // Worst case: a burst starts right at the window start, further
+        // bursts every `inter_burst`.
+        let full_bursts = window.div_floor(self.inter_burst);
+        let remainder = window - self.inter_burst * full_bursts;
+        let partial = if remainder.is_zero() {
+            0
+        } else {
+            remainder.div_ceil(self.intra_gap).min(self.burst_len)
+        };
+        full_bursts * self.burst_len + partial
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "bursts of {} errors ({} apart) every {}",
+            self.burst_len, self.intra_gap, self.inter_burst
+        )
+    }
+}
+
+/// The sum of two error models (e.g. background sporadic errors plus
+/// occasional bursts). The sum of two monotone bounds is a sound,
+/// monotone bound for the combined process.
+#[derive(Debug, Clone, Copy)]
+pub struct CombinedErrors<A, B> {
+    first: A,
+    second: B,
+}
+
+impl<A: ErrorModel, B: ErrorModel> CombinedErrors<A, B> {
+    /// Combines two error models additively.
+    pub fn new(first: A, second: B) -> Self {
+        CombinedErrors { first, second }
+    }
+}
+
+impl<A: ErrorModel, B: ErrorModel> ErrorModel for CombinedErrors<A, B> {
+    fn max_hits(&self, window: Time) -> u64 {
+        self.first.max_hits(window) + self.second.max_hits(window)
+    }
+
+    fn describe(&self) -> String {
+        format!("{} + {}", self.first.describe(), self.second.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn no_errors_is_zero_everywhere() {
+        assert_eq!(NoErrors.max_hits(Time::ZERO), 0);
+        assert_eq!(NoErrors.max_hits(Time::from_s(100)), 0);
+        assert_eq!(NoErrors.describe(), "no errors");
+    }
+
+    #[test]
+    fn sporadic_counts_one_immediate_hit() {
+        let m = SporadicErrors::new(Time::from_ms(10));
+        assert_eq!(m.max_hits(Time::ZERO), 0);
+        assert_eq!(m.max_hits(Time::from_us(1)), 1);
+        assert_eq!(m.max_hits(Time::from_ms(10)), 1);
+        assert_eq!(m.max_hits(Time::from_ms(10) + Time::from_ns(1)), 2);
+        assert_eq!(m.max_hits(Time::from_ms(95)), 10);
+    }
+
+    #[test]
+    fn sporadic_initial_hits() {
+        let m = SporadicErrors::with_initial(Time::from_ms(10), 2);
+        assert_eq!(m.max_hits(Time::from_us(1)), 3);
+        assert_eq!(m.max_hits(Time::ZERO), 0);
+    }
+
+    #[test]
+    fn burst_counts_cluster_then_gap() {
+        // 3 hits 100 us apart, bursts every 10 ms.
+        let m = BurstErrors::new(3, Time::from_us(100), Time::from_ms(10));
+        assert_eq!(m.max_hits(Time::ZERO), 0);
+        assert_eq!(m.max_hits(Time::from_us(1)), 1);
+        assert_eq!(m.max_hits(Time::from_us(100)), 1);
+        assert_eq!(m.max_hits(Time::from_us(101)), 2);
+        assert_eq!(m.max_hits(Time::from_us(201)), 3);
+        // Whole burst consumed; no more hits until the next burst.
+        assert_eq!(m.max_hits(Time::from_ms(9)), 3);
+        assert_eq!(m.max_hits(Time::from_ms(10) + Time::from_us(1)), 4);
+        assert_eq!(m.max_hits(Time::from_ms(20) + Time::from_us(150)), 8);
+    }
+
+    #[test]
+    fn burst_dominates_sporadic_at_same_average_rate() {
+        // Same long-run rate (3 per 10 ms vs 1 per 3.33 ms), but the
+        // burst model hits harder in short windows — exactly why the
+        // paper's worst-case curve uses bursts.
+        let burst = BurstErrors::new(3, Time::from_us(100), Time::from_ms(10));
+        let sporadic = SporadicErrors::new(Time::from_us(3334));
+        let short = Time::from_us(250);
+        assert!(burst.max_hits(short) > sporadic.max_hits(short));
+    }
+
+    #[test]
+    fn combined_adds_hits() {
+        let m = CombinedErrors::new(
+            SporadicErrors::new(Time::from_ms(10)),
+            BurstErrors::new(2, Time::from_us(100), Time::from_ms(50)),
+        );
+        assert_eq!(
+            m.max_hits(Time::from_ms(1)),
+            1 + 2 // one sporadic + full burst
+        );
+        assert!(m.describe().contains("+"));
+    }
+
+    #[test]
+    #[should_panic(expected = "burst span must fit")]
+    fn burst_span_validation() {
+        let _ = BurstErrors::new(100, Time::from_ms(1), Time::from_ms(10));
+    }
+
+    proptest! {
+        #[test]
+        fn sporadic_monotone(
+            interval in 1u64..1_000_000,
+            a in 0u64..10_000_000,
+            b in 0u64..10_000_000,
+        ) {
+            let m = SporadicErrors::new(Time::from_ns(interval));
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(m.max_hits(Time::from_ns(lo)) <= m.max_hits(Time::from_ns(hi)));
+        }
+
+        #[test]
+        fn burst_monotone(
+            len in 1u64..10,
+            gap in 1u64..1_000,
+            extra in 1u64..100_000,
+            a in 0u64..10_000_000,
+            b in 0u64..10_000_000,
+        ) {
+            let inter = Time::from_ns(gap * (len - 1) + extra);
+            let m = BurstErrors::new(len, Time::from_ns(gap), inter);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(m.max_hits(Time::from_ns(lo)) <= m.max_hits(Time::from_ns(hi)));
+        }
+
+        #[test]
+        fn burst_long_run_rate_correct(
+            len in 1u64..10,
+            gap in 1u64..1_000,
+            extra in 1u64..100_000,
+            periods in 1u64..50,
+        ) {
+            let inter = Time::from_ns(gap * (len - 1) + extra);
+            let m = BurstErrors::new(len, Time::from_ns(gap), inter);
+            // Over k whole inter-burst periods the count is exactly k bursts
+            // (plus at most one extra burst from the window-aligned start).
+            let hits = m.max_hits(inter * periods);
+            prop_assert!(hits >= periods * len);
+            prop_assert!(hits <= (periods + 1) * len);
+        }
+    }
+}

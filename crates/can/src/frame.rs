@@ -1,0 +1,221 @@
+//! CAN frame sizes and transmission times, including worst-case bit
+//! stuffing.
+//!
+//! CAN inserts a stuff bit after every five consecutive equal bits in
+//! the stuff-exposed region (SOF through CRC). The worst case adds one
+//! stuff bit per four original bits: `⌊(g − 1) / 4⌋` stuff bits over the
+//! `g` exposed bits. For a standard (11-bit identifier) frame with `s`
+//! data bytes this yields the textbook maximum of `55 + 10·s` bits
+//! including the 3-bit interframe space; an extended (29-bit) frame
+//! maxes out at `80 + 10·s` bits.
+
+use carta_core::time::Time;
+use std::fmt;
+
+/// Number of data bytes in a CAN frame (0–8 for classic CAN).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Dlc(u8);
+
+impl Dlc {
+    /// Creates a data length code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes > 8` (classic CAN payload limit).
+    pub fn new(bytes: u8) -> Self {
+        assert!(bytes <= 8, "classic CAN carries at most 8 data bytes");
+        Dlc(bytes)
+    }
+
+    /// Payload size in bytes.
+    pub fn bytes(self) -> u8 {
+        self.0
+    }
+
+    /// Payload size in bits.
+    pub fn bits(self) -> u64 {
+        u64::from(self.0) * 8
+    }
+}
+
+impl fmt::Display for Dlc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}B", self.0)
+    }
+}
+
+/// Identifier format of a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FrameKind {
+    /// 11-bit identifier (CAN 2.0A).
+    #[default]
+    Standard,
+    /// 29-bit identifier (CAN 2.0B).
+    Extended,
+}
+
+impl FrameKind {
+    /// Un-stuffed frame length in bits for `dlc` data bytes, including
+    /// the 3-bit interframe space.
+    ///
+    /// Standard: 47 + 8·s. Extended: 67 + 8·s.
+    pub fn base_bits(self, dlc: Dlc) -> u64 {
+        match self {
+            FrameKind::Standard => 47 + dlc.bits(),
+            FrameKind::Extended => 67 + dlc.bits(),
+        }
+    }
+
+    /// Number of stuff-exposed bits (SOF through CRC sequence).
+    ///
+    /// Standard: 34 + 8·s. Extended: 54 + 8·s.
+    pub fn stuffable_bits(self, dlc: Dlc) -> u64 {
+        match self {
+            FrameKind::Standard => 34 + dlc.bits(),
+            FrameKind::Extended => 54 + dlc.bits(),
+        }
+    }
+
+    /// Worst-case number of stuff bits: `⌊(g − 1) / 4⌋`.
+    pub fn max_stuff_bits(self, dlc: Dlc) -> u64 {
+        (self.stuffable_bits(dlc) - 1) / 4
+    }
+
+    /// Worst-case frame length in bits (base + maximum stuffing).
+    ///
+    /// ```
+    /// use carta_can::frame::{Dlc, FrameKind};
+    /// // The classic 135-bit worst case of an 8-byte standard frame:
+    /// assert_eq!(FrameKind::Standard.max_bits(Dlc::new(8)), 135);
+    /// assert_eq!(FrameKind::Extended.max_bits(Dlc::new(8)), 160);
+    /// ```
+    pub fn max_bits(self, dlc: Dlc) -> u64 {
+        self.base_bits(dlc) + self.max_stuff_bits(dlc)
+    }
+
+    /// Best-case frame length in bits (no stuff bits at all).
+    pub fn min_bits(self, dlc: Dlc) -> u64 {
+        self.base_bits(dlc)
+    }
+}
+
+/// Whether worst-case bit stuffing is accounted for.
+///
+/// The paper's Figure 5 "worst case" curve includes bit stuffing; the
+/// "best case" curve does not, so both are first-class options here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StuffingMode {
+    /// Assume the maximum number of stuff bits in every frame.
+    #[default]
+    WorstCase,
+    /// Ignore stuff bits (optimistic, as in the paper's best case).
+    None,
+}
+
+/// Worst-case transmission time of a frame under `mode` on a bus of
+/// `bit_rate` bits/s.
+///
+/// # Panics
+///
+/// Panics if `bit_rate` is zero.
+pub fn transmission_time(kind: FrameKind, dlc: Dlc, mode: StuffingMode, bit_rate: u64) -> Time {
+    let bits = match mode {
+        StuffingMode::WorstCase => kind.max_bits(dlc),
+        StuffingMode::None => kind.min_bits(dlc),
+    };
+    Time::from_bits(bits, bit_rate)
+}
+
+/// Best-case transmission time (no stuffing) of a frame.
+///
+/// # Panics
+///
+/// Panics if `bit_rate` is zero.
+pub fn min_transmission_time(kind: FrameKind, dlc: Dlc, bit_rate: u64) -> Time {
+    Time::from_bits(kind.min_bits(dlc), bit_rate)
+}
+
+/// Duration of a single bit time.
+///
+/// # Panics
+///
+/// Panics if `bit_rate` is zero.
+pub fn bit_time(bit_rate: u64) -> Time {
+    Time::from_bits(1, bit_rate)
+}
+
+/// Maximum length of the error frame and recovery overhead in bits
+/// (error flag + superposition + delimiter + interframe), per the CAN
+/// error analysis literature (Tindell & Burns use 31 bits, adopted
+/// unchanged).
+pub const ERROR_FRAME_BITS: u64 = 31;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_frame_lengths() {
+        for s in 0..=8u8 {
+            let dlc = Dlc::new(s);
+            assert_eq!(
+                FrameKind::Standard.max_bits(dlc),
+                55 + 10 * u64::from(s),
+                "standard {s}-byte worst case"
+            );
+            assert_eq!(
+                FrameKind::Extended.max_bits(dlc),
+                80 + 10 * u64::from(s),
+                "extended {s}-byte worst case"
+            );
+            assert_eq!(FrameKind::Standard.min_bits(dlc), 47 + 8 * u64::from(s));
+            assert_eq!(FrameKind::Extended.min_bits(dlc), 67 + 8 * u64::from(s));
+        }
+    }
+
+    #[test]
+    fn stuffing_never_reduces_length() {
+        for s in 0..=8u8 {
+            let dlc = Dlc::new(s);
+            for kind in [FrameKind::Standard, FrameKind::Extended] {
+                assert!(kind.max_bits(dlc) > kind.min_bits(dlc));
+                assert!(kind.max_stuff_bits(dlc) <= kind.stuffable_bits(dlc) / 4);
+            }
+        }
+    }
+
+    #[test]
+    fn transmission_times_at_500k() {
+        // 135 bits at 500 kbit/s = 270 us.
+        let t = transmission_time(
+            FrameKind::Standard,
+            Dlc::new(8),
+            StuffingMode::WorstCase,
+            500_000,
+        );
+        assert_eq!(t, Time::from_us(270));
+        // Without stuffing: 111 bits = 222 us.
+        let t = transmission_time(
+            FrameKind::Standard,
+            Dlc::new(8),
+            StuffingMode::None,
+            500_000,
+        );
+        assert_eq!(t, Time::from_us(222));
+        assert_eq!(bit_time(500_000), Time::from_us(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 8 data bytes")]
+    fn dlc_rejects_over_eight() {
+        let _ = Dlc::new(9);
+    }
+
+    #[test]
+    fn dlc_accessors() {
+        let d = Dlc::new(5);
+        assert_eq!(d.bytes(), 5);
+        assert_eq!(d.bits(), 40);
+        assert_eq!(d.to_string(), "5B");
+    }
+}

@@ -1,0 +1,70 @@
+//! # carta-can
+//!
+//! CAN bus modeling and worst-case response-time analysis — the local
+//! analysis at the heart of the paper's case study (Sections 3–4).
+//!
+//! The crate covers everything Figure 3 of the paper lists as required
+//! input for a reliable schedulability analysis:
+//!
+//! * the **K-Matrix facts**: identifiers (priorities), payload lengths
+//!   and periods ([`message`], [`network`]),
+//! * **dynamic patterns**: send jitters and bursts, expressed as
+//!   standard event models from `carta-core`,
+//! * the **controller type** of each node ([`controller`]),
+//! * **bus error models** — sporadic and burst ([`error_model`]),
+//! * worst-case **bit stuffing** ([`frame`]).
+//!
+//! On top sits [`rta::analyze_bus`], the Tindell/Burns-style busy-window
+//! analysis, and [`resource::CanBusResource`], which plugs a bus into
+//! the compositional engine of `carta-core`.
+//!
+//! ## Example
+//!
+//! ```
+//! use carta_can::prelude::*;
+//! use carta_core::time::Time;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut net = CanNetwork::new(500_000);
+//! let ems = net.add_node(Node::new("EMS", ControllerType::FullCan));
+//! let tcu = net.add_node(Node::new("TCU", ControllerType::BasicCan));
+//! net.add_message(CanMessage::new(
+//!     "engine_rpm", CanId::standard(0x100)?, Dlc::new(8),
+//!     Time::from_ms(10), Time::ZERO, ems,
+//! ));
+//! net.add_message(CanMessage::new(
+//!     "gear_state", CanId::standard(0x1A0)?, Dlc::new(4),
+//!     Time::from_ms(20), Time::from_ms(2), tcu,
+//! ));
+//! let report = analyze_bus(&net, &SporadicErrors::new(Time::from_ms(50)), &AnalysisConfig::default())?;
+//! assert!(report.schedulable());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod controller;
+pub mod encode;
+pub mod error_model;
+pub mod frame;
+pub mod message;
+pub mod network;
+pub mod opa;
+pub mod resource;
+pub mod rta;
+
+/// Convenient single import for the common types of this crate.
+pub mod prelude {
+    pub use crate::controller::ControllerType;
+    pub use crate::error_model::{
+        BurstErrors, CombinedErrors, ErrorModel, NoErrors, SporadicErrors,
+    };
+    pub use crate::frame::{Dlc, FrameKind, StuffingMode};
+    pub use crate::message::{CanId, CanMessage, DeadlinePolicy};
+    pub use crate::network::{CanNetwork, Node};
+    pub use crate::opa::{audsley_assignment, PriorityOrder};
+    pub use crate::resource::CanBusResource;
+    pub use crate::rta::{analyze_bus, AnalysisConfig, BusReport, MessageReport, ResponseOutcome};
+}

@@ -1,0 +1,285 @@
+//! CAN identifiers, deadlines and the message model.
+
+use crate::frame::{Dlc, FrameKind};
+use carta_core::event_model::EventModel;
+use carta_core::time::Time;
+use std::fmt;
+
+/// A CAN identifier. On CAN the identifier doubles as the arbitration
+/// priority: the numerically *smaller* identifier wins.
+///
+/// # Examples
+///
+/// ```
+/// use carta_can::message::CanId;
+/// let brake = CanId::standard(0x100)?;
+/// let comfort = CanId::standard(0x400)?;
+/// assert!(brake.beats(comfort));
+/// # Ok::<(), carta_can::message::InvalidIdError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CanId {
+    raw: u32,
+    kind: FrameKind,
+}
+
+/// Error returned when a CAN identifier is out of range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidIdError {
+    raw: u32,
+    kind: FrameKind,
+}
+
+impl fmt::Display for InvalidIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let limit = match self.kind {
+            FrameKind::Standard => 0x7FF,
+            FrameKind::Extended => 0x1FFF_FFFF,
+        };
+        write!(
+            f,
+            "identifier {:#x} exceeds the {:?}-frame limit {:#x}",
+            self.raw, self.kind, limit
+        )
+    }
+}
+
+impl std::error::Error for InvalidIdError {}
+
+impl CanId {
+    /// Creates an 11-bit (standard) identifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidIdError`] if `raw > 0x7FF`.
+    pub fn standard(raw: u32) -> Result<Self, InvalidIdError> {
+        if raw > 0x7FF {
+            return Err(InvalidIdError {
+                raw,
+                kind: FrameKind::Standard,
+            });
+        }
+        Ok(CanId {
+            raw,
+            kind: FrameKind::Standard,
+        })
+    }
+
+    /// Creates a 29-bit (extended) identifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidIdError`] if `raw > 0x1FFF_FFFF`.
+    pub fn extended(raw: u32) -> Result<Self, InvalidIdError> {
+        if raw > 0x1FFF_FFFF {
+            return Err(InvalidIdError {
+                raw,
+                kind: FrameKind::Extended,
+            });
+        }
+        Ok(CanId {
+            raw,
+            kind: FrameKind::Extended,
+        })
+    }
+
+    /// Raw identifier value.
+    pub fn raw(&self) -> u32 {
+        self.raw
+    }
+
+    /// Identifier format.
+    pub fn kind(&self) -> FrameKind {
+        self.kind
+    }
+
+    /// Total arbitration ordering key — lower wins the bus.
+    ///
+    /// Standard and extended identifiers arbitrate bit-by-bit: the
+    /// 11-bit base is compared first, and on a tie the standard frame
+    /// wins (its RTR bit comes where the extended frame sends SRR=1).
+    pub fn arbitration_key(&self) -> u64 {
+        match self.kind {
+            FrameKind::Standard => u64::from(self.raw) << 19,
+            FrameKind::Extended => {
+                let base = u64::from(self.raw >> 18); // top 11 bits
+                let ext = u64::from(self.raw & 0x3_FFFF); // low 18 bits
+                (base << 19) | (1 << 18) | ext
+            }
+        }
+    }
+
+    /// `true` if this identifier wins arbitration against `other`.
+    pub fn beats(&self, other: CanId) -> bool {
+        self.arbitration_key() < other.arbitration_key()
+    }
+}
+
+impl fmt::Display for CanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            FrameKind::Standard => write!(f, "{:#05x}", self.raw),
+            FrameKind::Extended => write!(f, "{:#010x}x", self.raw),
+        }
+    }
+}
+
+/// How a message's deadline is derived.
+///
+/// The paper (Sec. 3.2) notes that for a message never to be lost
+/// (overwritten in the sender's buffer), its response time must not
+/// exceed its **minimum re-arrival time** — the tightest deadline
+/// policy. Less strict interpretations are provided for what-if runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DeadlinePolicy {
+    /// Deadline = period (implicit deadline).
+    Period,
+    /// Deadline = minimum distance between two queuings,
+    /// `δ⁻(2) = max(d_min, P − J)` — the paper's worst-case setting.
+    #[default]
+    MinReArrival,
+    /// An explicitly specified deadline.
+    Explicit(Time),
+}
+
+impl DeadlinePolicy {
+    /// Resolves the policy against an activation model.
+    pub fn deadline(&self, activation: &EventModel) -> Time {
+        match self {
+            DeadlinePolicy::Period => activation.period(),
+            DeadlinePolicy::MinReArrival => activation.delta_min(2),
+            DeadlinePolicy::Explicit(t) => *t,
+        }
+    }
+}
+
+/// One row of the communication matrix: a message on the bus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanMessage {
+    /// Human-readable signal/message name.
+    pub name: String,
+    /// Identifier (and thus priority).
+    pub id: CanId,
+    /// Payload length.
+    pub dlc: Dlc,
+    /// Queuing event model (period, send jitter, minimum distance).
+    pub activation: EventModel,
+    /// Deadline derivation rule.
+    pub deadline: DeadlinePolicy,
+    /// Index of the sending ECU (node) on the bus.
+    pub sender: usize,
+}
+
+impl CanMessage {
+    /// Convenience constructor for a periodic message with jitter.
+    pub fn new(
+        name: impl Into<String>,
+        id: CanId,
+        dlc: Dlc,
+        period: Time,
+        jitter: Time,
+        sender: usize,
+    ) -> Self {
+        CanMessage {
+            name: name.into(),
+            id,
+            dlc,
+            activation: EventModel::periodic_with_jitter(period, jitter),
+            deadline: DeadlinePolicy::default(),
+            sender,
+        }
+    }
+
+    /// Returns a copy with a different deadline policy.
+    pub fn with_deadline(mut self, deadline: DeadlinePolicy) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Returns a copy with a different activation model.
+    pub fn with_activation(mut self, activation: EventModel) -> Self {
+        self.activation = activation;
+        self
+    }
+
+    /// The resolved deadline of this message.
+    pub fn resolved_deadline(&self) -> Time {
+        self.deadline.deadline(&self.activation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_ranges_enforced() {
+        assert!(CanId::standard(0x7FF).is_ok());
+        assert!(CanId::standard(0x800).is_err());
+        assert!(CanId::extended(0x1FFF_FFFF).is_ok());
+        assert!(CanId::extended(0x2000_0000).is_err());
+        let err = CanId::standard(0x800).expect_err("out of range");
+        assert!(err.to_string().contains("0x800"));
+    }
+
+    #[test]
+    fn arbitration_lower_wins() {
+        let a = CanId::standard(0x100).expect("valid");
+        let b = CanId::standard(0x101).expect("valid");
+        assert!(a.beats(b));
+        assert!(!b.beats(a));
+    }
+
+    #[test]
+    fn standard_beats_extended_on_equal_base() {
+        // Extended ID whose top 11 bits equal the standard ID.
+        let std = CanId::standard(0x100).expect("valid");
+        let ext = CanId::extended(0x100 << 18).expect("valid");
+        assert!(std.beats(ext));
+        assert!(!ext.beats(std));
+        // But a smaller extended base still beats a larger standard ID.
+        let ext_small = CanId::extended(0x0FF << 18).expect("valid");
+        assert!(ext_small.beats(std));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(CanId::standard(0x42).expect("valid").to_string(), "0x042");
+        assert!(CanId::extended(0x42)
+            .expect("valid")
+            .to_string()
+            .ends_with('x'));
+    }
+
+    #[test]
+    fn deadline_policies() {
+        let em = EventModel::periodic_with_jitter(Time::from_ms(10), Time::from_ms(2));
+        assert_eq!(DeadlinePolicy::Period.deadline(&em), Time::from_ms(10));
+        assert_eq!(DeadlinePolicy::MinReArrival.deadline(&em), Time::from_ms(8));
+        assert_eq!(
+            DeadlinePolicy::Explicit(Time::from_ms(5)).deadline(&em),
+            Time::from_ms(5)
+        );
+    }
+
+    #[test]
+    fn message_builders() {
+        let id = CanId::standard(0x123).expect("valid");
+        let m = CanMessage::new(
+            "engine_rpm",
+            id,
+            Dlc::new(4),
+            Time::from_ms(10),
+            Time::ZERO,
+            0,
+        )
+        .with_deadline(DeadlinePolicy::Period);
+        assert_eq!(m.resolved_deadline(), Time::from_ms(10));
+        let m2 = m.with_activation(EventModel::periodic_with_jitter(
+            Time::from_ms(10),
+            Time::from_ms(4),
+        ));
+        assert_eq!(m2.deadline, DeadlinePolicy::Period);
+        assert_eq!(m2.resolved_deadline(), Time::from_ms(10));
+    }
+}

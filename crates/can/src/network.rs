@@ -1,0 +1,326 @@
+//! The CAN network model: a bus, its nodes and its messages.
+
+use crate::controller::ControllerType;
+use crate::frame::StuffingMode;
+use crate::message::CanMessage;
+use carta_core::load::{bus_load, LoadReport, TrafficSource};
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+/// A node (ECU or gateway port) attached to the bus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// Node name.
+    pub name: String,
+    /// TX-path architecture of its CAN controller.
+    pub controller: ControllerType,
+}
+
+impl Node {
+    /// Creates a node with the given controller type.
+    pub fn new(name: impl Into<String>, controller: ControllerType) -> Self {
+        Node {
+            name: name.into(),
+            controller,
+        }
+    }
+}
+
+/// Why a [`CanNetwork`] failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateNetworkError {
+    /// Two messages share a CAN identifier.
+    DuplicateId {
+        /// The clashing identifier, formatted.
+        id: String,
+        /// Names of the two messages involved.
+        messages: (String, String),
+    },
+    /// A message references a node index that does not exist.
+    UnknownSender {
+        /// Message name.
+        message: String,
+        /// Out-of-range node index.
+        sender: usize,
+    },
+    /// Two messages share a name.
+    DuplicateName(String),
+    /// The bus has no messages.
+    Empty,
+}
+
+impl fmt::Display for ValidateNetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateNetworkError::DuplicateId { id, messages } => write!(
+                f,
+                "identifier {id} assigned to both `{}` and `{}`",
+                messages.0, messages.1
+            ),
+            ValidateNetworkError::UnknownSender { message, sender } => {
+                write!(f, "message `{message}` sent by unknown node index {sender}")
+            }
+            ValidateNetworkError::DuplicateName(name) => {
+                write!(f, "duplicate message name `{name}`")
+            }
+            ValidateNetworkError::Empty => write!(f, "network has no messages"),
+        }
+    }
+}
+
+impl Error for ValidateNetworkError {}
+
+/// A single CAN bus with its nodes and communication matrix.
+///
+/// # Examples
+///
+/// ```
+/// use carta_can::prelude::*;
+/// use carta_core::time::Time;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut net = CanNetwork::new(500_000);
+/// let ecu = net.add_node(Node::new("EMS", ControllerType::FullCan));
+/// net.add_message(CanMessage::new(
+///     "engine_rpm",
+///     CanId::standard(0x100)?,
+///     Dlc::new(8),
+///     Time::from_ms(10),
+///     Time::ZERO,
+///     ecu,
+/// ));
+/// net.validate()?;
+/// assert_eq!(net.messages().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CanNetwork {
+    bit_rate: u64,
+    nodes: Vec<Node>,
+    messages: Vec<CanMessage>,
+}
+
+impl CanNetwork {
+    /// Creates an empty network with the given bit rate (bits/s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit_rate` is zero.
+    pub fn new(bit_rate: u64) -> Self {
+        assert!(bit_rate > 0, "bit rate must be positive");
+        CanNetwork {
+            bit_rate,
+            nodes: Vec::new(),
+            messages: Vec::new(),
+        }
+    }
+
+    /// Bus speed in bits per second.
+    pub fn bit_rate(&self) -> u64 {
+        self.bit_rate
+    }
+
+    /// Adds a node and returns its index.
+    pub fn add_node(&mut self, node: Node) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// Adds a message and returns its index.
+    pub fn add_message(&mut self, message: CanMessage) -> usize {
+        self.messages.push(message);
+        self.messages.len() - 1
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All messages, in insertion order.
+    pub fn messages(&self) -> &[CanMessage] {
+        &self.messages
+    }
+
+    /// Mutable access to the messages (e.g. for what-if jitter edits).
+    pub fn messages_mut(&mut self) -> &mut [CanMessage] {
+        &mut self.messages
+    }
+
+    /// Looks a message up by name.
+    pub fn message_by_name(&self, name: &str) -> Option<(usize, &CanMessage)> {
+        self.messages
+            .iter()
+            .enumerate()
+            .find(|(_, m)| m.name == name)
+    }
+
+    /// The controller type of a message's sender (default if the node
+    /// index is unknown — [`CanNetwork::validate`] rejects that case).
+    pub fn controller_of(&self, message: &CanMessage) -> ControllerType {
+        self.nodes
+            .get(message.sender)
+            .map(|n| n.controller)
+            .unwrap_or_default()
+    }
+
+    /// Message indices sorted by descending priority (ascending
+    /// arbitration key).
+    pub fn priority_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.messages.len()).collect();
+        order.sort_by_key(|&i| self.messages[i].id.arbitration_key());
+        order
+    }
+
+    /// Checks structural integrity.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidateNetworkError`] found.
+    pub fn validate(&self) -> Result<(), ValidateNetworkError> {
+        if self.messages.is_empty() {
+            return Err(ValidateNetworkError::Empty);
+        }
+        let mut ids = std::collections::HashMap::new();
+        let mut names = HashSet::new();
+        for m in &self.messages {
+            if let Some(prev) = ids.insert(m.id.arbitration_key(), &m.name) {
+                return Err(ValidateNetworkError::DuplicateId {
+                    id: m.id.to_string(),
+                    messages: (prev.clone(), m.name.clone()),
+                });
+            }
+            if !names.insert(m.name.as_str()) {
+                return Err(ValidateNetworkError::DuplicateName(m.name.clone()));
+            }
+            if m.sender >= self.nodes.len() {
+                return Err(ValidateNetworkError::UnknownSender {
+                    message: m.name.clone(),
+                    sender: m.sender,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The simple load analysis of the paper's Section 3.1, under the
+    /// chosen stuffing assumption.
+    pub fn load(&self, stuffing: StuffingMode) -> LoadReport {
+        let sources = self.messages.iter().map(|m| {
+            let bits = match stuffing {
+                StuffingMode::WorstCase => m.id.kind().max_bits(m.dlc),
+                StuffingMode::None => m.id.kind().min_bits(m.dlc),
+            };
+            TrafficSource::new(bits, m.activation.period())
+        });
+        bus_load(sources, self.bit_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::Dlc;
+    use crate::message::CanId;
+    use carta_core::time::Time;
+
+    fn msg(name: &str, id: u32, dlc: u8, period_ms: u64, sender: usize) -> CanMessage {
+        CanMessage::new(
+            name,
+            CanId::standard(id).expect("valid id"),
+            Dlc::new(dlc),
+            Time::from_ms(period_ms),
+            Time::ZERO,
+            sender,
+        )
+    }
+
+    fn two_node_net() -> CanNetwork {
+        let mut net = CanNetwork::new(500_000);
+        net.add_node(Node::new("EMS", ControllerType::FullCan));
+        net.add_node(Node::new("TCU", ControllerType::BasicCan));
+        net
+    }
+
+    #[test]
+    fn validate_catches_duplicate_ids() {
+        let mut net = two_node_net();
+        net.add_message(msg("a", 0x100, 8, 10, 0));
+        net.add_message(msg("b", 0x100, 8, 10, 1));
+        match net.validate() {
+            Err(ValidateNetworkError::DuplicateId { messages, .. }) => {
+                assert_eq!(messages, ("a".into(), "b".into()));
+            }
+            other => panic!("expected DuplicateId, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_catches_duplicate_names_and_unknown_sender() {
+        let mut net = two_node_net();
+        net.add_message(msg("a", 0x100, 8, 10, 0));
+        net.add_message(msg("a", 0x101, 8, 10, 0));
+        assert!(matches!(
+            net.validate(),
+            Err(ValidateNetworkError::DuplicateName(_))
+        ));
+
+        let mut net = two_node_net();
+        net.add_message(msg("a", 0x100, 8, 10, 7));
+        assert!(matches!(
+            net.validate(),
+            Err(ValidateNetworkError::UnknownSender { sender: 7, .. })
+        ));
+
+        let net = two_node_net();
+        assert_eq!(net.validate(), Err(ValidateNetworkError::Empty));
+    }
+
+    #[test]
+    fn priority_order_follows_arbitration() {
+        let mut net = two_node_net();
+        net.add_message(msg("low", 0x400, 8, 10, 0));
+        net.add_message(msg("high", 0x100, 8, 10, 0));
+        net.add_message(msg("mid", 0x200, 8, 10, 1));
+        assert_eq!(net.priority_order(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn load_respects_stuffing_mode() {
+        let mut net = two_node_net();
+        net.add_message(msg("a", 0x100, 8, 10, 0));
+        let worst = net.load(StuffingMode::WorstCase);
+        let best = net.load(StuffingMode::None);
+        // 135 vs 111 bits every 10 ms on 500 kbit/s.
+        assert!((worst.utilization() - 0.027).abs() < 1e-9);
+        assert!((best.utilization() - 0.0222).abs() < 1e-9);
+    }
+
+    #[test]
+    fn message_lookup_and_mutation() {
+        let mut net = two_node_net();
+        net.add_message(msg("a", 0x100, 8, 10, 0));
+        let (idx, m) = net.message_by_name("a").expect("present");
+        assert_eq!(idx, 0);
+        assert_eq!(m.dlc.bytes(), 8);
+        assert!(net.message_by_name("zzz").is_none());
+        net.messages_mut()[0].activation =
+            carta_core::event_model::EventModel::periodic_with_jitter(
+                Time::from_ms(10),
+                Time::from_ms(2),
+            );
+        assert_eq!(net.messages()[0].activation.jitter(), Time::from_ms(2));
+    }
+
+    #[test]
+    fn controller_lookup() {
+        let mut net = two_node_net();
+        let i = net.add_message(msg("a", 0x100, 8, 10, 1));
+        assert_eq!(
+            net.controller_of(&net.messages()[i]),
+            ControllerType::BasicCan
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! Adapter exposing a CAN bus as a resource of the compositional
+//! engine in `carta-core`.
+
+use crate::error_model::{ErrorModel, NoErrors};
+use crate::network::CanNetwork;
+use crate::rta::{analyze_bus, AnalysisConfig, ResponseOutcome};
+use carta_core::analysis::AnalysisError;
+use carta_core::comp::{Resource, SlotResponse};
+use carta_core::event_model::EventModel;
+use std::sync::Arc;
+
+/// A CAN bus participating in a system-level (multi-resource) analysis.
+///
+/// Slot `i` of this resource is message `i` of the wrapped network; the
+/// compositional engine overrides each slot's activation event model
+/// (e.g. with the output model of a gateway task) before running the
+/// local analysis.
+pub struct CanBusResource {
+    name: String,
+    network: CanNetwork,
+    errors: Arc<dyn ErrorModel>,
+    config: AnalysisConfig,
+}
+
+impl std::fmt::Debug for CanBusResource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CanBusResource")
+            .field("name", &self.name)
+            .field("messages", &self.network.messages().len())
+            .field("errors", &self.errors.describe())
+            .finish()
+    }
+}
+
+impl CanBusResource {
+    /// Wraps a network with an error-free bus assumption.
+    pub fn new(name: impl Into<String>, network: CanNetwork) -> Self {
+        Self::with_errors(name, network, Arc::new(NoErrors))
+    }
+
+    /// Wraps a network with the given error model.
+    pub fn with_errors(
+        name: impl Into<String>,
+        network: CanNetwork,
+        errors: Arc<dyn ErrorModel>,
+    ) -> Self {
+        CanBusResource {
+            name: name.into(),
+            network,
+            errors,
+            config: AnalysisConfig::default(),
+        }
+    }
+
+    /// Overrides the analysis configuration.
+    pub fn with_config(mut self, config: AnalysisConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The wrapped network.
+    pub fn network(&self) -> &CanNetwork {
+        &self.network
+    }
+
+    /// Default activation model of slot `i` (the network's own model),
+    /// convenient when wiring sources into a compositional system.
+    pub fn default_activation(&self, slot: usize) -> Option<EventModel> {
+        self.network.messages().get(slot).map(|m| m.activation)
+    }
+}
+
+impl Resource for CanBusResource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn slot_count(&self) -> usize {
+        self.network.messages().len()
+    }
+
+    fn slot_name(&self, slot: usize) -> String {
+        self.network
+            .messages()
+            .get(slot)
+            .map(|m| format!("{}:{}", self.name, m.name))
+            .unwrap_or_else(|| format!("{}[{slot}]", self.name))
+    }
+
+    fn analyze(&self, activations: &[EventModel]) -> Result<Vec<SlotResponse>, AnalysisError> {
+        if activations.len() != self.slot_count() {
+            return Err(AnalysisError::InvalidModel(format!(
+                "bus `{}` expects {} activations, got {}",
+                self.name,
+                self.slot_count(),
+                activations.len()
+            )));
+        }
+        let mut net = self.network.clone();
+        for (m, em) in net.messages_mut().iter_mut().zip(activations) {
+            m.activation = *em;
+        }
+        let report = analyze_bus(&net, self.errors.as_ref(), &self.config)?;
+        report
+            .messages
+            .iter()
+            .map(|m| match m.outcome {
+                ResponseOutcome::Bounded(bounds) => Ok(SlotResponse {
+                    bounds,
+                    min_output_spacing: m.c_min,
+                }),
+                ResponseOutcome::Overload => Err(AnalysisError::Unbounded {
+                    entity: m.name.clone(),
+                }),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::ControllerType;
+    use crate::frame::Dlc;
+    use crate::message::{CanId, CanMessage};
+    use crate::network::Node;
+    use carta_core::comp::{CompositionalSystem, NodeRef};
+    use carta_core::time::Time;
+
+    fn small_net() -> CanNetwork {
+        let mut net = CanNetwork::new(500_000);
+        let a = net.add_node(Node::new("A", ControllerType::FullCan));
+        net.add_message(CanMessage::new(
+            "m0",
+            CanId::standard(0x100).expect("valid"),
+            Dlc::new(8),
+            Time::from_ms(10),
+            Time::ZERO,
+            a,
+        ));
+        net.add_message(CanMessage::new(
+            "m1",
+            CanId::standard(0x200).expect("valid"),
+            Dlc::new(8),
+            Time::from_ms(20),
+            Time::ZERO,
+            a,
+        ));
+        net
+    }
+
+    #[test]
+    fn resource_reports_slots() {
+        let res = CanBusResource::new("powertrain", small_net());
+        assert_eq!(res.slot_count(), 2);
+        assert_eq!(res.slot_name(0), "powertrain:m0");
+        assert_eq!(res.slot_name(9), "powertrain[9]");
+        assert!(res.default_activation(0).is_some());
+        assert!(res.default_activation(9).is_none());
+    }
+
+    #[test]
+    fn resource_analyze_matches_direct_rta() {
+        let net = small_net();
+        let direct = analyze_bus(&net, &NoErrors, &AnalysisConfig::default()).expect("valid");
+        let res = CanBusResource::new("bus", net);
+        let acts: Vec<EventModel> = (0..res.slot_count())
+            .map(|i| res.default_activation(i).expect("slot"))
+            .collect();
+        let slots = res.analyze(&acts).expect("analyzable");
+        for (s, m) in slots.iter().zip(&direct.messages) {
+            assert_eq!(Some(s.bounds.worst()), m.outcome.wcrt());
+        }
+    }
+
+    #[test]
+    fn activation_count_mismatch_rejected() {
+        let res = CanBusResource::new("bus", small_net());
+        assert!(res.analyze(&[]).is_err());
+    }
+
+    #[test]
+    fn works_inside_compositional_system() {
+        let net = small_net();
+        let em0 = net.messages()[0].activation;
+        let em1 = net.messages()[1].activation;
+        let res = CanBusResource::new("bus", net);
+        let mut sys = CompositionalSystem::new();
+        let b = sys.add_resource(Box::new(res));
+        sys.set_source(NodeRef::new(b, 0), em0).expect("valid");
+        sys.set_source(NodeRef::new(b, 1), em1).expect("valid");
+        let result = sys.analyze().expect("converges");
+        assert_eq!(
+            result.response(NodeRef::new(b, 0)).worst(),
+            Time::from_us(540) // blocked by one m1 frame + own
+        );
+    }
+}

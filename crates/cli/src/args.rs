@@ -1,0 +1,169 @@
+//! Minimal, dependency-free argument parsing for the `carta` binary.
+//!
+//! Grammar: `carta <command> [positional] [--flag [value]]...`.
+//! Flags may appear in any order after the command; `--flag=value` and
+//! `--flag value` are both accepted.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// The subcommand.
+    pub command: String,
+    /// Positional arguments after the subcommand.
+    pub positional: Vec<String>,
+    /// `--flag [value]` pairs; value-less flags map to an empty string.
+    flags: BTreeMap<String, String>,
+}
+
+/// Argument-parsing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseArgsError(pub String);
+
+impl fmt::Display for ParseArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Error for ParseArgsError {}
+
+impl ParsedArgs {
+    /// Parses `argv` (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArgsError`] when no command is given or a flag is
+    /// malformed.
+    pub fn parse<I, S>(argv: I) -> Result<Self, ParseArgsError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut it = argv.into_iter().map(Into::into).peekable();
+        let command = it
+            .next()
+            .ok_or_else(|| ParseArgsError("missing command; try `carta help`".into()))?;
+        if command.starts_with('-') {
+            return Err(ParseArgsError(format!(
+                "expected a command, found flag `{command}`; try `carta help`"
+            )));
+        }
+        let mut positional = Vec::new();
+        let mut flags = BTreeMap::new();
+        while let Some(arg) = it.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                if name.is_empty() {
+                    return Err(ParseArgsError("empty flag `--`".into()));
+                }
+                if let Some((k, v)) = name.split_once('=') {
+                    flags.insert(k.to_string(), v.to_string());
+                } else if it.peek().map(|n| !n.starts_with("--")).unwrap_or(false) {
+                    let value = it.next().expect("peeked");
+                    flags.insert(name.to_string(), value);
+                } else {
+                    flags.insert(name.to_string(), String::new());
+                }
+            } else {
+                positional.push(arg);
+            }
+        }
+        Ok(ParsedArgs {
+            command,
+            positional,
+            flags,
+        })
+    }
+
+    /// The value of a flag, if present (empty string for value-less).
+    pub fn flag(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// `true` if the flag was given at all.
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+
+    /// Parses a numeric flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArgsError`] if the value does not parse.
+    pub fn numeric_flag<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        default: T,
+    ) -> Result<T, ParseArgsError> {
+        match self.flag(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ParseArgsError(format!("invalid value for --{name}: `{v}`"))),
+        }
+    }
+
+    /// The single required positional argument (e.g. a K-Matrix path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArgsError`] if it is missing.
+    pub fn required_positional(&self, what: &str) -> Result<&str, ParseArgsError> {
+        self.positional
+            .first()
+            .map(String::as_str)
+            .ok_or_else(|| ParseArgsError(format!("missing {what} argument")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_command_positionals_and_flags() {
+        let a = ParsedArgs::parse([
+            "loss",
+            "matrix.csv",
+            "--scenario",
+            "worst",
+            "--grid=0,25,60",
+        ])
+        .expect("parses");
+        assert_eq!(a.command, "loss");
+        assert_eq!(a.positional, vec!["matrix.csv"]);
+        assert_eq!(a.flag("scenario"), Some("worst"));
+        assert_eq!(a.flag("grid"), Some("0,25,60"));
+        assert!(!a.has_flag("gantt"));
+    }
+
+    #[test]
+    fn valueless_flags_and_numeric() {
+        let a = ParsedArgs::parse(["simulate", "m.csv", "--gantt", "--seed", "7"]).expect("parses");
+        assert!(a.has_flag("gantt"));
+        assert_eq!(a.flag("gantt"), Some(""));
+        assert_eq!(a.numeric_flag("seed", 42u64).expect("numeric"), 7);
+        assert_eq!(a.numeric_flag("missing", 42u64).expect("default"), 42);
+        assert!(a.numeric_flag::<u64>("gantt", 0).is_err());
+    }
+
+    #[test]
+    fn errors() {
+        assert!(ParsedArgs::parse(Vec::<String>::new()).is_err());
+        assert!(ParsedArgs::parse(["--worst"]).is_err());
+        assert!(ParsedArgs::parse(["x", "--"]).is_err());
+        let a = ParsedArgs::parse(["analyze"]).expect("parses");
+        assert!(a.required_positional("K-Matrix path").is_err());
+    }
+
+    #[test]
+    fn flag_value_cannot_start_with_dashes() {
+        // `--a --b` treats both as value-less flags.
+        let a = ParsedArgs::parse(["cmd", "--a", "--b"]).expect("parses");
+        assert_eq!(a.flag("a"), Some(""));
+        assert_eq!(a.flag("b"), Some(""));
+    }
+}

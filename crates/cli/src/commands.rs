@@ -1,0 +1,661 @@
+//! The `carta` subcommands. Every command is a pure function from
+//! parsed arguments to the text it prints, so the full surface is unit
+//! testable without spawning processes.
+
+use crate::args::{ParseArgsError, ParsedArgs};
+use crate::render::Table;
+use carta_can::network::CanNetwork;
+use carta_can::opa::audsley_assignment;
+use carta_core::time::Time;
+use carta_explore::jitter::{with_assumed_unknown_jitter, with_jitter_ratio};
+use carta_explore::loss::{loss_vs_jitter, paper_jitter_grid};
+use carta_explore::scenario::Scenario;
+use carta_explore::sensitivity::response_vs_jitter;
+use carta_kmatrix::csv::{from_csv, to_csv};
+use carta_kmatrix::generator::{powertrain_kmatrix, CaseStudyConfig};
+use carta_kmatrix::model::KMatrix;
+use std::error::Error;
+use std::fmt::Write as _;
+
+type CmdResult = Result<String, Box<dyn Error>>;
+
+/// Dispatches a parsed invocation.
+///
+/// # Errors
+///
+/// Propagates I/O, parse and analysis errors as boxed errors whose
+/// `Display` is the message shown to the user.
+pub fn run(args: &ParsedArgs) -> CmdResult {
+    match args.command.as_str() {
+        "help" | "--help" | "-h" => Ok(help_text()),
+        "generate" => cmd_generate(args),
+        "load" => cmd_load(args),
+        "analyze" => cmd_analyze(args),
+        "loss" => cmd_loss(args),
+        "sensitivity" => cmd_sensitivity(args),
+        "audsley" => cmd_audsley(args),
+        "optimize" => cmd_optimize(args),
+        "simulate" => cmd_simulate(args),
+        "dimension" => cmd_dimension(args),
+        "lint" => cmd_lint(args),
+        "diff" => cmd_diff(args),
+        other => Err(Box::new(ParseArgsError(format!(
+            "unknown command `{other}`; try `carta help`"
+        )))),
+    }
+}
+
+/// The `help` text.
+pub fn help_text() -> String {
+    "\
+carta — compositional CAN timing analysis (SymTA/S-style)
+
+USAGE: carta <command> [<kmatrix.csv>] [flags]
+
+COMMANDS
+  generate     emit the synthetic power-train K-Matrix CSV
+                 --seed <n>
+  load         bus-load (utilization) report
+  analyze      worst-case response times per message
+                 --scenario best|worst|sporadic:<ms>   (default worst)
+                 --jitter <pct>          uniform jitter override
+                 --assume-unknown <pct>  jitter for unknown messages
+  loss         message-loss curve over the 0–60 % jitter grid
+                 --scenario ...
+  sensitivity  response-vs-jitter classes per message
+                 --message <name>        restrict to one message
+  audsley      optimal (feasibility) identifier assignment
+                 --scenario ... --jitter <pct>
+  optimize     SPEA2 identifier optimization
+                 --population <n> --generations <n> --emit-csv
+  simulate     discrete-event simulation
+                 --millis <n> --seed <n> --errors <ms> --gantt
+  dimension    compare candidate bit rates
+                 --rates <kbps,kbps,...>   (default 125,250,500,1000)
+  lint         structural review of a K-Matrix
+  diff         compare two matrices' analyses message by message
+                 carta diff <before.csv> <after.csv> [--scenario ...]
+
+Use `-` as the K-Matrix path to analyze the built-in case study.
+"
+    .to_string()
+}
+
+/// Loads a K-Matrix from a path, or the built-in case study for `-`.
+fn load_matrix(path: &str) -> Result<KMatrix, Box<dyn Error>> {
+    if path == "-" {
+        return Ok(powertrain_kmatrix(&CaseStudyConfig::default()));
+    }
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ParseArgsError(format!("cannot read `{path}`: {e}")))?;
+    Ok(from_csv(&text)?)
+}
+
+fn load_network(args: &ParsedArgs) -> Result<CanNetwork, Box<dyn Error>> {
+    let path = args.required_positional("K-Matrix path (or `-`)")?;
+    let matrix = load_matrix(path)?;
+    let mut net = matrix.to_network()?;
+    if let Some(pct) = args.flag("jitter") {
+        let pct: f64 = pct
+            .parse()
+            .map_err(|_| ParseArgsError(format!("invalid --jitter `{pct}`")))?;
+        net = with_jitter_ratio(&net, pct / 100.0);
+    }
+    if let Some(pct) = args.flag("assume-unknown") {
+        let pct: f64 = pct
+            .parse()
+            .map_err(|_| ParseArgsError(format!("invalid --assume-unknown `{pct}`")))?;
+        net = with_assumed_unknown_jitter(&net, pct / 100.0);
+    }
+    Ok(net)
+}
+
+fn scenario_from(args: &ParsedArgs) -> Result<Scenario, Box<dyn Error>> {
+    match args.flag("scenario").unwrap_or("worst") {
+        "worst" => Ok(Scenario::worst_case()),
+        "best" => Ok(Scenario::best_case()),
+        s => {
+            if let Some(ms) = s.strip_prefix("sporadic:") {
+                let ms: u64 = ms
+                    .parse()
+                    .map_err(|_| ParseArgsError(format!("invalid sporadic interval `{ms}`")))?;
+                Ok(Scenario::sporadic_errors(Time::from_ms(ms)))
+            } else {
+                Err(Box::new(ParseArgsError(format!(
+                    "unknown scenario `{s}` (best, worst, sporadic:<ms>)"
+                ))))
+            }
+        }
+    }
+}
+
+fn cmd_generate(args: &ParsedArgs) -> CmdResult {
+    let seed = args.numeric_flag("seed", 42u64)?;
+    let matrix = powertrain_kmatrix(&CaseStudyConfig {
+        seed,
+        ..CaseStudyConfig::default()
+    });
+    Ok(to_csv(&matrix))
+}
+
+fn cmd_load(args: &ParsedArgs) -> CmdResult {
+    use carta_can::frame::StuffingMode;
+    let net = load_network(args)?;
+    let worst = net.load(StuffingMode::WorstCase);
+    let best = net.load(StuffingMode::None);
+    let mut out = String::new();
+    writeln!(out, "messages: {}", net.messages().len())?;
+    writeln!(out, "bit rate: {} kbit/s", net.bit_rate() / 1000)?;
+    writeln!(
+        out,
+        "load (worst-case stuffing): {:.1} %",
+        worst.utilization_percent()
+    )?;
+    writeln!(
+        out,
+        "load (no stuffing):         {:.1} %",
+        best.utilization_percent()
+    )?;
+    writeln!(
+        out,
+        "note: the load model cannot decide schedulability — run `carta analyze`"
+    )?;
+    Ok(out)
+}
+
+fn cmd_analyze(args: &ParsedArgs) -> CmdResult {
+    let net = load_network(args)?;
+    let scenario = scenario_from(args)?;
+    let report = scenario.analyze(&net)?;
+    let mut table = Table::new(["message", "id", "WCRT", "BCRT", "deadline", "verdict"]);
+    for m in &report.messages {
+        table.row([
+            m.name.clone(),
+            m.id.to_string(),
+            m.outcome
+                .wcrt()
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "unbounded".into()),
+            m.outcome
+                .bcrt()
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "-".into()),
+            m.deadline.to_string(),
+            if m.misses_deadline() {
+                "LOST".into()
+            } else {
+                "ok".to_string()
+            },
+        ]);
+    }
+    let mut out = table.render();
+    writeln!(
+        out,
+        "\nscenario `{}`: {} of {} messages can be lost",
+        scenario.name,
+        report.missed_count(),
+        report.messages.len()
+    )?;
+    Ok(out)
+}
+
+fn cmd_loss(args: &ParsedArgs) -> CmdResult {
+    let net = load_network(args)?;
+    let scenario = scenario_from(args)?;
+    let grid = paper_jitter_grid();
+    let curve = loss_vs_jitter(&net, &scenario, &grid)?;
+    let mut table = Table::new(["jitter %", "lost", "of", "fraction"]);
+    for p in &curve.points {
+        table.row([
+            format!("{:.0}", p.jitter_ratio * 100.0),
+            p.missed.to_string(),
+            p.total.to_string(),
+            format!("{:.1} %", p.fraction() * 100.0),
+        ]);
+    }
+    let mut out = table.render();
+    if let Some(z) = curve.zero_loss_up_to() {
+        writeln!(out, "\nzero loss up to {:.0} % jitter", z * 100.0)?;
+    } else {
+        writeln!(out, "\nloss already at zero jitter")?;
+    }
+    Ok(out)
+}
+
+fn cmd_sensitivity(args: &ParsedArgs) -> CmdResult {
+    let net = load_network(args)?;
+    let scenario = scenario_from(args)?;
+    let grid = paper_jitter_grid();
+    let only = args.flag("message").map(|m| vec![m]);
+    let series = response_vs_jitter(&net, &scenario, &grid, only.as_deref())?;
+    let mut table = Table::new(["message", "class", "WCRT @0%", "WCRT @60%"]);
+    for s in &series {
+        let first = s.points.first().and_then(|(_, r)| *r);
+        let last = s.points.last().and_then(|(_, r)| *r);
+        table.row([
+            s.message.clone(),
+            s.classify().to_string(),
+            first
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "unbounded".into()),
+            last.map(|t| t.to_string())
+                .unwrap_or_else(|| "unbounded".into()),
+        ]);
+    }
+    Ok(table.render())
+}
+
+fn cmd_audsley(args: &ParsedArgs) -> CmdResult {
+    let net = load_network(args)?;
+    let scenario = scenario_from(args)?;
+    let prepared = scenario.apply(&net);
+    let order = audsley_assignment(
+        &prepared,
+        scenario.errors.model().as_ref(),
+        &scenario.analysis_config(),
+    )?;
+    match order {
+        None => Ok("no fixed-priority identifier assignment is feasible\n".into()),
+        Some(order) => {
+            let fixed = order.apply(&net);
+            let mut table = Table::new(["rank", "message", "new id"]);
+            for (rank, &idx) in order.strongest_first().iter().enumerate() {
+                table.row([
+                    (rank + 1).to_string(),
+                    net.messages()[idx].name.clone(),
+                    fixed.messages()[idx].id.to_string(),
+                ]);
+            }
+            let mut out = String::from("feasible assignment found:\n\n");
+            out.push_str(&table.render());
+            Ok(out)
+        }
+    }
+}
+
+fn cmd_optimize(args: &ParsedArgs) -> CmdResult {
+    use carta_optim::canid::{optimize_can_ids, OptimizeIdsConfig};
+    use carta_optim::spea2::Spea2Config;
+    let path = args.required_positional("K-Matrix path (or `-`)")?;
+    let matrix = load_matrix(path)?;
+    let net = matrix.to_network()?;
+    let population = args.numeric_flag("population", 60usize)?;
+    let generations = args.numeric_flag("generations", 40usize)?;
+    let config = OptimizeIdsConfig {
+        spea2: Spea2Config {
+            population,
+            archive: (population / 2).max(1),
+            generations,
+            ..Spea2Config::default()
+        },
+        ..OptimizeIdsConfig::default()
+    };
+    let result = optimize_can_ids(&net, &config);
+    if args.has_flag("emit-csv") {
+        // Re-emit the matrix with the optimized identifiers.
+        let mut out_matrix = matrix.clone();
+        for (row, msg) in out_matrix.rows.iter_mut().zip(result.optimized.messages()) {
+            debug_assert_eq!(row.name, msg.name);
+            row.id = msg.id.raw();
+        }
+        return Ok(to_csv(&out_matrix));
+    }
+    let mut out = String::new();
+    writeln!(
+        out,
+        "SPEA2 finished: {} evaluations, winner objectives {:?}",
+        result.archive.evaluations, result.objectives
+    )?;
+    let grid = paper_jitter_grid();
+    let before = loss_vs_jitter(&net, &Scenario::worst_case(), &grid)?;
+    let after = loss_vs_jitter(&result.optimized, &Scenario::worst_case(), &grid)?;
+    let mut table = Table::new(["jitter %", "loss before", "loss after"]);
+    for (b, a) in before.points.iter().zip(&after.points) {
+        table.row([
+            format!("{:.0}", b.jitter_ratio * 100.0),
+            format!("{:.1} %", b.fraction() * 100.0),
+            format!("{:.1} %", a.fraction() * 100.0),
+        ]);
+    }
+    out.push_str(&table.render());
+    writeln!(out, "\nuse --emit-csv to write the optimized K-Matrix")?;
+    Ok(out)
+}
+
+fn cmd_simulate(args: &ParsedArgs) -> CmdResult {
+    use carta_sim::engine::{simulate, SimConfig, SimStuffing};
+    use carta_sim::gantt::{render, GanttConfig};
+    use carta_sim::inject::{NoInjection, PeriodicInjection};
+    let net = load_network(args)?;
+    let millis = args.numeric_flag("millis", 2_000u64)?;
+    let seed = args.numeric_flag("seed", 42u64)?;
+    let config = SimConfig {
+        horizon: Time::from_ms(millis),
+        seed,
+        stuffing: SimStuffing::Random,
+        record_trace: true,
+    };
+    let report = match args.flag("errors") {
+        Some(ms) => {
+            let ms: u64 = ms
+                .parse()
+                .map_err(|_| ParseArgsError(format!("invalid --errors `{ms}`")))?;
+            simulate(
+                &net,
+                &PeriodicInjection {
+                    interval: Time::from_ms(ms),
+                    phase: Time::from_us(137),
+                },
+                &config,
+            )
+        }
+        None => simulate(&net, &NoInjection, &config),
+    };
+    let mut table = Table::new(["message", "queued", "done", "lost", "max resp", "misses"]);
+    for s in &report.stats {
+        table.row([
+            s.name.clone(),
+            s.queued.to_string(),
+            s.completed.to_string(),
+            s.overwritten.to_string(),
+            s.max_response
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "-".into()),
+            s.deadline_misses.to_string(),
+        ]);
+    }
+    let mut out = table.render();
+    writeln!(
+        out,
+        "\n{} ms simulated, observed utilization {:.1} %, {} error hits",
+        millis,
+        report.observed_utilization() * 100.0,
+        report.trace.error_count()
+    )?;
+    if args.has_flag("gantt") {
+        let labels: Vec<String> = net.messages().iter().map(|m| m.name.clone()).collect();
+        let window = Time::from_ms(millis.min(20));
+        out.push('\n');
+        out.push_str(&render(
+            &report.trace,
+            &labels,
+            &GanttConfig {
+                from: Time::ZERO,
+                to: window,
+                columns: 100,
+            },
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_dimension(args: &ParsedArgs) -> CmdResult {
+    use carta_explore::extensibility::EcuTemplate;
+    use carta_explore::network_choice::{cheapest_sufficient, compare_bit_rates};
+    let net = load_network(args)?;
+    let scenario = scenario_from(args)?;
+    let rates: Vec<u64> = match args.flag("rates") {
+        None => vec![125_000, 250_000, 500_000, 1_000_000],
+        Some(list) => list
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<u64>()
+                    .map(|kbps| kbps * 1000)
+                    .map_err(|_| ParseArgsError(format!("invalid rate `{s}`")))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let options = compare_bit_rates(&net, &scenario, &rates, &EcuTemplate::default())?;
+    let mut table = Table::new([
+        "kbit/s",
+        "load",
+        "schedulable",
+        "jitter slack",
+        "ECU headroom",
+    ]);
+    for o in &options {
+        table.row([
+            (o.bit_rate / 1000).to_string(),
+            format!("{:.1} %", o.load * 100.0),
+            o.schedulable.to_string(),
+            o.jitter_slack
+                .map(|s| format!("{:.0} %", s * 100.0))
+                .unwrap_or_else(|| "-".into()),
+            o.ecu_headroom.to_string(),
+        ]);
+    }
+    let mut out = table.render();
+    match cheapest_sufficient(&options, 0.10) {
+        Some(pick) => writeln!(
+            out,
+            "\ncheapest candidate with ≥ 10 % jitter reserve: {} kbit/s",
+            pick.bit_rate / 1000
+        )?,
+        None => writeln!(out, "\nno candidate offers a 10 % jitter reserve")?,
+    }
+    Ok(out)
+}
+
+fn cmd_lint(args: &ParsedArgs) -> CmdResult {
+    let path = args.required_positional("K-Matrix path (or `-`)")?;
+    let matrix = load_matrix(path)?;
+    let findings = carta_kmatrix::lint::lint(&matrix);
+    if findings.is_empty() {
+        return Ok("no findings
+"
+        .into());
+    }
+    let mut out = String::new();
+    for f in &findings {
+        writeln!(out, "{f}")?;
+    }
+    Ok(out)
+}
+
+fn cmd_diff(args: &ParsedArgs) -> CmdResult {
+    use carta_explore::diff::diff_reports;
+    let before_path = args.required_positional("two K-Matrix paths")?;
+    let after_path = args
+        .positional
+        .get(1)
+        .ok_or_else(|| ParseArgsError("diff needs two K-Matrix paths".into()))?;
+    let scenario = scenario_from(args)?;
+    let before = scenario.analyze(&load_matrix(before_path)?.to_network()?)?;
+    let after = scenario.analyze(&load_matrix(after_path)?.to_network()?)?;
+    let diff = diff_reports(&before, &after);
+    let mut table = Table::new(["message", "before", "after", "change"]);
+    for r in &diff.rows {
+        // Keep the table focused: skip unchanged-ok rows with identical WCRT.
+        if r.change == carta_explore::diff::VerdictChange::StillOk && r.before == r.after {
+            continue;
+        }
+        table.row([
+            r.message.clone(),
+            r.before
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "unbounded".into()),
+            r.after
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "unbounded".into()),
+            r.change.to_string(),
+        ]);
+    }
+    let mut out = String::new();
+    if table.is_empty() {
+        writeln!(out, "no per-message changes")?;
+    } else {
+        out.push_str(&table.render());
+    }
+    if !diff.added.is_empty() {
+        writeln!(out, "added: {}", diff.added.join(", "))?;
+    }
+    if !diff.removed.is_empty() {
+        writeln!(out, "removed: {}", diff.removed.join(", "))?;
+    }
+    writeln!(
+        out,
+        "
+{} regression(s), {} fix(es) — {}",
+        diff.regressions().len(),
+        diff.fixes().len(),
+        if diff.is_safe() {
+            "safe change"
+        } else {
+            "NOT safe"
+        }
+    )?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_line(line: &[&str]) -> CmdResult {
+        run(&ParsedArgs::parse(line.iter().copied()).expect("parses"))
+    }
+
+    #[test]
+    fn help_lists_all_commands() {
+        let text = help_text();
+        for cmd in [
+            "generate",
+            "load",
+            "analyze",
+            "loss",
+            "sensitivity",
+            "audsley",
+            "optimize",
+            "simulate",
+            "dimension",
+        ] {
+            assert!(text.contains(cmd), "help misses `{cmd}`");
+        }
+        assert!(run_line(&["help"]).is_ok());
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        let err = run_line(&["frobnicate"]).expect_err("unknown");
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn generate_roundtrips_through_load() {
+        let csv = run_line(&["generate", "--seed", "7"]).expect("generates");
+        assert!(csv.starts_with("#kmatrix,powertrain"));
+        let matrix = from_csv(&csv).expect("parses");
+        assert_eq!(matrix.rows.len(), 64);
+    }
+
+    #[test]
+    fn load_and_analyze_builtin() {
+        let out = run_line(&["load", "-"]).expect("loads");
+        assert!(out.contains("load (worst-case stuffing)"));
+        let out = run_line(&["analyze", "-", "--scenario", "best"]).expect("analyzes");
+        assert!(out.contains("0 of 64 messages can be lost"), "{out}");
+        let out = run_line(&["analyze", "-", "--jitter", "40"]).expect("analyzes");
+        assert!(out.contains("LOST"));
+    }
+
+    #[test]
+    fn loss_curve_runs() {
+        let out = run_line(&["loss", "-", "--scenario", "sporadic:10"]).expect("runs");
+        assert!(out.lines().count() > 13);
+        assert!(out.contains("jitter %"));
+    }
+
+    #[test]
+    fn sensitivity_subset() {
+        let out = run_line(&["sensitivity", "-", "--message", "clutch_torque_1"]).expect("runs");
+        assert!(out.contains("clutch_torque_1"));
+        assert_eq!(out.lines().count(), 3); // header + rule + one row
+    }
+
+    #[test]
+    fn audsley_on_builtin() {
+        let out = run_line(&["audsley", "-", "--jitter", "25"]).expect("runs");
+        assert!(out.contains("feasible assignment found"), "{out}");
+    }
+
+    #[test]
+    fn simulate_with_gantt() {
+        let out = run_line(&[
+            "simulate", "-", "--millis", "100", "--errors", "7", "--gantt",
+        ])
+        .expect("runs");
+        assert!(out.contains("observed utilization"));
+        assert!(out.contains('|'));
+    }
+
+    #[test]
+    fn dimension_custom_rates() {
+        let out = run_line(&["dimension", "-", "--rates", "250,500"]).expect("runs");
+        assert!(out.contains("250"));
+        assert!(out.contains("500"));
+        assert!(!out.contains("125 "));
+    }
+
+    #[test]
+    fn optimize_quick_emits_csv() {
+        let out = run_line(&[
+            "optimize",
+            "-",
+            "--population",
+            "8",
+            "--generations",
+            "2",
+            "--emit-csv",
+        ])
+        .expect("runs");
+        let matrix = from_csv(&out).expect("valid csv");
+        assert_eq!(matrix.rows.len(), 64);
+        // The identifier pool is preserved.
+        let base = powertrain_kmatrix(&CaseStudyConfig::default());
+        let mut a: Vec<u32> = base.rows.iter().map(|r| r.id).collect();
+        let mut b: Vec<u32> = matrix.rows.iter().map(|r| r.id).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lint_builtin_surfaces_inversions() {
+        let out = run_line(&["lint", "-"]).expect("runs");
+        assert!(out.contains("rate-inversion"));
+        assert!(out.contains("unknown-jitter"));
+    }
+
+    #[test]
+    fn diff_against_self_is_safe() {
+        // Write the built-in matrix to a temp file and diff it with a
+        // jittered variant of itself.
+        let dir = std::env::temp_dir().join("carta_cli_diff_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let base = dir.join("base.csv");
+        let csv = run_line(&["generate"]).expect("generates");
+        std::fs::write(&base, &csv).expect("write");
+        let out = run_line(&[
+            "diff",
+            base.to_str().expect("utf8"),
+            base.to_str().expect("utf8"),
+        ])
+        .expect("runs");
+        assert!(out.contains("safe change"), "{out}");
+        assert!(out.contains("0 regression(s)"));
+        let err = run_line(&["diff", base.to_str().expect("utf8")]).expect_err("one path");
+        assert!(err.to_string().contains("two"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scenario_parse_errors_are_friendly() {
+        let err = run_line(&["analyze", "-", "--scenario", "chaotic"]).expect_err("bad");
+        assert!(err.to_string().contains("chaotic"));
+        let err = run_line(&["analyze"]).expect_err("missing path");
+        assert!(err.to_string().contains("K-Matrix"));
+        let err = run_line(&["load", "/nonexistent/file.csv"]).expect_err("missing file");
+        assert!(err.to_string().contains("cannot read"));
+    }
+}

@@ -1,0 +1,225 @@
+//! Compatibility checking between guarantees and requirements.
+//!
+//! "What is initially assumed and required, must later be guaranteed,
+//! and vice versa" (paper, Sec. 5.1). A guarantee satisfies a
+//! requirement if the guaranteed stream is a refinement of the required
+//! bound: same period, no more jitter, no denser bursts — checked both
+//! in closed form and via the exact `δ⁻` containment test.
+
+use crate::spec::{Datasheet, RequirementSpec};
+use carta_core::event_model::EventModel;
+use carta_core::time::Time;
+use std::fmt;
+
+/// Verdict for one message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The guarantee satisfies the requirement.
+    Satisfied,
+    /// The guarantee violates the requirement.
+    Violated {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The requirement has no matching guarantee.
+    Missing,
+}
+
+impl Verdict {
+    /// `true` for [`Verdict::Satisfied`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Verdict::Satisfied)
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Satisfied => write!(f, "satisfied"),
+            Verdict::Violated { reason } => write!(f, "VIOLATED: {reason}"),
+            Verdict::Missing => write!(f, "MISSING guarantee"),
+        }
+    }
+}
+
+/// Result of checking a datasheet against a requirement spec.
+#[derive(Debug, Clone)]
+pub struct CompatReport {
+    /// Provider of the checked datasheet.
+    pub provider: String,
+    /// Consumer of the checked requirements.
+    pub consumer: String,
+    /// Per-message verdicts, in requirement order.
+    pub verdicts: Vec<(String, Verdict)>,
+}
+
+impl CompatReport {
+    /// `true` if every requirement is satisfied.
+    pub fn all_satisfied(&self) -> bool {
+        self.verdicts.iter().all(|(_, v)| v.is_ok())
+    }
+
+    /// Names of requirements that failed or are missing.
+    pub fn failures(&self) -> Vec<&str> {
+        self.verdicts
+            .iter()
+            .filter(|(_, v)| !v.is_ok())
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+}
+
+impl fmt::Display for CompatReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "compatibility: `{}` guarantees vs `{}` requirements",
+            self.provider, self.consumer
+        )?;
+        for (name, v) in &self.verdicts {
+            writeln!(f, "  {name}: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Checks one guarantee against one required bound, with reasons.
+pub fn check_model(required: &EventModel, guaranteed: &EventModel) -> Verdict {
+    if guaranteed.period() < required.period() {
+        return Verdict::Violated {
+            reason: format!(
+                "period {} shorter than required {}",
+                guaranteed.period(),
+                required.period()
+            ),
+        };
+    }
+    if guaranteed.jitter() > required.jitter() {
+        return Verdict::Violated {
+            reason: format!(
+                "jitter {} exceeds required bound {}",
+                guaranteed.jitter(),
+                required.jitter()
+            ),
+        };
+    }
+    if guaranteed.dmin() < required.dmin() {
+        return Verdict::Violated {
+            reason: format!(
+                "minimum distance {} below required {}",
+                guaranteed.dmin(),
+                required.dmin()
+            ),
+        };
+    }
+    // Cross-check with the exact containment test over a generous
+    // horizon; the closed form above is sufficient, this guards the
+    // implementation itself.
+    let horizon = required.period().saturating_mul(64).max(Time::from_s(1));
+    debug_assert!(required.is_satisfied_by_pointwise(guaranteed, horizon));
+    Verdict::Satisfied
+}
+
+/// Checks a **freshness** requirement: consecutive arrivals of the
+/// guaranteed stream must never be more than `max_gap` apart. This is
+/// the receiving-side requirement of the paper's Sec. 5.1 ("control
+/// algorithms rely on new CAN message data arriving in a dedicated
+/// timely manner").
+pub fn check_freshness(max_gap: Time, guaranteed: &EventModel) -> Verdict {
+    match guaranteed.delta_max(2) {
+        Some(gap) if gap <= max_gap => Verdict::Satisfied,
+        Some(gap) => Verdict::Violated {
+            reason: format!("arrival gap up to {gap} exceeds freshness bound {max_gap}"),
+        },
+        None => Verdict::Violated {
+            reason: format!("sporadic stream cannot guarantee freshness within {max_gap}"),
+        },
+    }
+}
+
+/// Checks a datasheet against a requirement specification.
+pub fn check(datasheet: &Datasheet, requirements: &RequirementSpec) -> CompatReport {
+    let verdicts = requirements
+        .iter()
+        .map(|(name, required)| {
+            let verdict = match datasheet.get(name) {
+                Some(guaranteed) => check_model(required, guaranteed),
+                None => Verdict::Missing,
+            };
+            (name.to_string(), verdict)
+        })
+        .collect();
+    CompatReport {
+        provider: datasheet.provider.clone(),
+        consumer: requirements.consumer.clone(),
+        verdicts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carta_core::time::Time;
+
+    fn em(period_ms: u64, jitter_ms: u64) -> EventModel {
+        EventModel::periodic_with_jitter(Time::from_ms(period_ms), Time::from_ms(jitter_ms))
+    }
+
+    #[test]
+    fn model_check_reasons() {
+        assert!(check_model(&em(10, 3), &em(10, 2)).is_ok());
+        assert!(check_model(&em(10, 3), &em(10, 3)).is_ok());
+        match check_model(&em(10, 3), &em(10, 4)) {
+            Verdict::Violated { reason } => assert!(reason.contains("jitter")),
+            other => panic!("expected violation, got {other:?}"),
+        }
+        match check_model(&em(10, 3), &em(5, 0)) {
+            Verdict::Violated { reason } => assert!(reason.contains("period")),
+            other => panic!("expected violation, got {other:?}"),
+        }
+        let req = em(10, 3).with_dmin(Time::from_ms(1));
+        match check_model(&req, &em(10, 2)) {
+            Verdict::Violated { reason } => assert!(reason.contains("distance")),
+            other => panic!("expected violation, got {other:?}"),
+        }
+        // A slower stream with less jitter satisfies an arrival bound.
+        assert!(check_model(&em(10, 3), &em(20, 1)).is_ok());
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let mut ds = Datasheet::new("supplier");
+        ds.guarantee("a", em(10, 1)).guarantee("b", em(10, 9));
+        let mut rs = RequirementSpec::new("OEM");
+        rs.require("a", em(10, 2))
+            .require("b", em(10, 2))
+            .require("c", em(5, 0));
+        let report = check(&ds, &rs);
+        assert!(!report.all_satisfied());
+        assert_eq!(report.failures(), vec!["b", "c"]);
+        let text = report.to_string();
+        assert!(text.contains("a: satisfied"));
+        assert!(text.contains("b: VIOLATED"));
+        assert!(text.contains("c: MISSING"));
+    }
+
+    #[test]
+    fn freshness_uses_delta_max() {
+        // Gap can reach P + J = 12 ms.
+        let g = em(10, 2);
+        assert!(check_freshness(Time::from_ms(12), &g).is_ok());
+        assert!(!check_freshness(Time::from_ms(11), &g).is_ok());
+        let sporadic = EventModel::sporadic(Time::from_ms(10));
+        match check_freshness(Time::from_ms(100), &sporadic) {
+            Verdict::Violated { reason } => assert!(reason.contains("sporadic")),
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_requirements_trivially_satisfied() {
+        let ds = Datasheet::new("s");
+        let rs = RequirementSpec::new("c");
+        assert!(check(&ds, &rs).all_satisfied());
+    }
+}

@@ -1,0 +1,223 @@
+//! A plain-text exchange format for datasheets and requirement
+//! specifications.
+//!
+//! The paper's Section 5.1 proposes that OEMs and suppliers "use a
+//! common interface for exchanging important design information in
+//! terms of data sheets and requirement specifications". This module
+//! defines that interface concretely: a line-oriented text format that
+//! round-trips through [`datasheet_to_text`]/[`requirements_to_text`]
+//! and [`from_text`], carries nothing but
+//! event-model parameters (no IP), and is stable enough to diff in a
+//! change-control system:
+//!
+//! ```text
+//! #datasheet,TCU supplier
+//! gear_state,periodic,20000,1400,80
+//! clutch_torque,sporadic,10000,0,0
+//! ```
+//!
+//! Columns: message, kind (`periodic`/`sporadic`), period µs, jitter
+//! µs, dmin µs. Values are quantized to whole microseconds (industry
+//! datasheets state nothing finer); serializing truncates sub-µs parts,
+//! which is the safe direction for jitter guarantees.
+
+use crate::spec::{Datasheet, RequirementSpec};
+use carta_core::event_model::{ActivationKind, EventModel};
+use carta_core::time::Time;
+use std::error::Error;
+use std::fmt;
+
+/// Parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseExchangeError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseExchangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseExchangeError {}
+
+/// Either kind of exchanged document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExchangeDocument {
+    /// A supplier/OEM datasheet (guarantees).
+    Datasheet(Datasheet),
+    /// A requirement specification.
+    Requirements(RequirementSpec),
+}
+
+fn model_line(name: &str, model: &EventModel) -> String {
+    let kind = match model.kind() {
+        ActivationKind::Periodic => "periodic",
+        ActivationKind::Sporadic => "sporadic",
+    };
+    format!(
+        "{name},{kind},{},{},{}\n",
+        model.period().as_ns() / 1_000,
+        model.jitter().as_ns() / 1_000,
+        model.dmin().as_ns() / 1_000,
+    )
+}
+
+/// Serializes a datasheet.
+pub fn datasheet_to_text(ds: &Datasheet) -> String {
+    let mut out = format!("#datasheet,{}\n", ds.provider);
+    for (name, model) in ds.iter() {
+        out.push_str(&model_line(name, model));
+    }
+    out
+}
+
+/// Serializes a requirement specification.
+pub fn requirements_to_text(rs: &RequirementSpec) -> String {
+    let mut out = format!("#requirements,{}\n", rs.consumer);
+    for (name, model) in rs.iter() {
+        out.push_str(&model_line(name, model));
+    }
+    out
+}
+
+/// Parses either document kind.
+///
+/// # Errors
+///
+/// Returns [`ParseExchangeError`] pointing at the first malformed line.
+pub fn from_text(text: &str) -> Result<ExchangeDocument, ParseExchangeError> {
+    let mut doc: Option<ExchangeDocument> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |message: String| ParseExchangeError {
+            line: line_no,
+            message,
+        };
+        if let Some(rest) = line.strip_prefix("#datasheet,") {
+            doc = Some(ExchangeDocument::Datasheet(Datasheet::new(rest.trim())));
+        } else if let Some(rest) = line.strip_prefix("#requirements,") {
+            doc = Some(ExchangeDocument::Requirements(RequirementSpec::new(
+                rest.trim(),
+            )));
+        } else if line.starts_with('#') {
+            continue;
+        } else {
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != 5 {
+                return Err(err(format!("expected 5 fields, found {}", fields.len())));
+            }
+            let kind = match fields[1].trim() {
+                "periodic" => ActivationKind::Periodic,
+                "sporadic" => ActivationKind::Sporadic,
+                other => return Err(err(format!("unknown kind `{other}`"))),
+            };
+            let parse = |s: &str, what: &str| -> Result<u64, ParseExchangeError> {
+                s.trim()
+                    .parse()
+                    .map_err(|_| err(format!("invalid {what} `{s}`")))
+            };
+            let period = parse(fields[2], "period")?;
+            if period == 0 {
+                return Err(err("zero period".into()));
+            }
+            let model = EventModel::new(
+                kind,
+                Time::from_us(period),
+                Time::from_us(parse(fields[3], "jitter")?),
+                Time::from_us(parse(fields[4], "dmin")?),
+            );
+            let name = fields[0].trim();
+            match doc.as_mut() {
+                Some(ExchangeDocument::Datasheet(ds)) => {
+                    ds.guarantee(name, model);
+                }
+                Some(ExchangeDocument::Requirements(rs)) => {
+                    rs.require(name, model);
+                }
+                None => return Err(err("entry before document header".into())),
+            }
+        }
+    }
+    doc.ok_or(ParseExchangeError {
+        line: 1,
+        message: "missing #datasheet or #requirements header".into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_datasheet() -> Datasheet {
+        let mut ds = Datasheet::new("TCU supplier");
+        ds.guarantee(
+            "gear_state",
+            EventModel::periodic_with_jitter(Time::from_ms(20), Time::from_us(1400))
+                .with_dmin(Time::from_us(80)),
+        )
+        .guarantee("heartbeat", EventModel::sporadic(Time::from_ms(100)));
+        ds
+    }
+
+    #[test]
+    fn datasheet_roundtrip() {
+        let ds = sample_datasheet();
+        let text = datasheet_to_text(&ds);
+        assert!(text.starts_with("#datasheet,TCU supplier\n"));
+        match from_text(&text).expect("parses") {
+            ExchangeDocument::Datasheet(back) => assert_eq!(back, ds),
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn requirements_roundtrip() {
+        let mut rs = RequirementSpec::new("OEM");
+        rs.require(
+            "gear_state",
+            EventModel::periodic_with_jitter(Time::from_ms(20), Time::from_ms(3)),
+        );
+        let text = requirements_to_text(&rs);
+        match from_text(&text).expect("parses") {
+            ExchangeDocument::Requirements(back) => assert_eq!(back, rs),
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(from_text("").is_err());
+        let err = from_text("gear,periodic,100,0,0\n").expect_err("no header");
+        assert!(err.message.contains("before document header"));
+        let err = from_text("#datasheet,x\ngear,weird,100,0,0\n").expect_err("bad kind");
+        assert_eq!(err.line, 2);
+        let err = from_text("#datasheet,x\ngear,periodic,0,0,0\n").expect_err("zero period");
+        assert!(err.message.contains("zero period"));
+        let err = from_text("#datasheet,x\ngear,periodic,1,z,0\n").expect_err("bad jitter");
+        assert!(err.message.contains("jitter"));
+        let err = from_text("#datasheet,x\ngear,periodic,1\n").expect_err("short");
+        assert!(err.message.contains("5 fields"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_tolerated() {
+        let text = "#datasheet,x\n\n# free comment\ngear,periodic,100,5,1\n";
+        match from_text(text).expect("parses") {
+            ExchangeDocument::Datasheet(ds) => {
+                assert_eq!(ds.len(), 1);
+                let m = ds.get("gear").expect("present");
+                assert_eq!(m.period(), Time::from_us(100));
+                assert_eq!(m.jitter(), Time::from_us(5));
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+}

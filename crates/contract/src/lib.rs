@@ -1,0 +1,49 @@
+//! # carta-contract
+//!
+//! The supply-chain layer of the `carta` workspace — the paper's
+//! Section 5 turned into an API:
+//!
+//! * [`spec`] — datasheets (guarantees) and requirement specifications,
+//!   the event-model interface of ref. \[11\] that protects both parties'
+//!   IP,
+//! * [`compat`] — "what is assumed and required must later be
+//!   guaranteed": arrival-bound and freshness compatibility checks,
+//! * [`duality`] — Figure 6 end to end: OEM receive guarantees, OEM
+//!   send requirements (per-message jitter slack), supplier datasheets
+//!   from ECU analysis,
+//! * [`scope`] — Figure 3's information partition and the assumptions
+//!   an analysis needs,
+//! * [`refinement`] — Section 5.2's iterative refinement as
+//!   assumptions are replaced by real data,
+//! * [`risk`] — the multi-supplier penalty-reward risk management the
+//!   paper forecasts in its conclusion (ref. \[14\]).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod compat;
+pub mod duality;
+pub mod exchange;
+pub mod negotiation;
+pub mod refinement;
+pub mod risk;
+pub mod scope;
+pub mod spec;
+
+/// Convenient single import for the common types of this crate.
+pub mod prelude {
+    pub use crate::compat::{check, check_freshness, check_model, CompatReport, Verdict};
+    pub use crate::duality::{
+        max_message_jitter, oem_receive_guarantees, oem_send_requirements, supplier_send_datasheet,
+    };
+    pub use crate::exchange::{
+        datasheet_to_text, from_text, requirements_to_text, ExchangeDocument, ParseExchangeError,
+    };
+    pub use crate::negotiation::{negotiate, NegotiationOutcome, NegotiationRound};
+    pub use crate::refinement::{RefinementSession, RefinementStep};
+    pub use crate::risk::{
+        assess_suppliers, Commitment, CommitmentStatus, RiskConfig, RiskReport, SupplierRisk,
+    };
+    pub use crate::scope::{analysis_readiness, InformationScope, ReadinessReport};
+    pub use crate::spec::{Datasheet, RequirementSpec};
+}

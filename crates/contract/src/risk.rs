@@ -1,0 +1,360 @@
+//! Multi-supplier risk management — the paper's closing forecast
+//! (Sec. 6, ref. \[14\]): "the ability to perform what-if analysis in
+//! rapid cycles even enables a multi-supplier risk-management, possibly
+//! in combination with a penalty-reward model, that allows reacting to
+//! bottlenecks earlier than ever".
+//!
+//! The model here is deliberately simple and fully analytical: each
+//! supplier commitment carries a confidence status; a *slip scenario*
+//! inflates the jitters of everything a given supplier has not yet
+//! hard-guaranteed, re-runs the bus analysis, and charges the supplier
+//! a penalty per newly lost message. The ranking tells the OEM whose
+//! late delivery threatens the integration most — before any prototype
+//! exists.
+
+use carta_can::network::CanNetwork;
+use carta_core::analysis::AnalysisError;
+use carta_core::event_model::EventModel;
+use carta_explore::scenario::Scenario;
+use std::collections::BTreeMap;
+
+/// How firm a supplier's timing commitment is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CommitmentStatus {
+    /// Backed by a signed datasheet from a finished implementation —
+    /// does not slip.
+    Guaranteed,
+    /// Contractually promised but the ECU is still in development —
+    /// may slip.
+    Committed,
+    /// An OEM assumption with no supplier backing — may slip.
+    Assumed,
+}
+
+/// One supplier's commitment for one message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Commitment {
+    /// Supplier name.
+    pub supplier: String,
+    /// Message name.
+    pub message: String,
+    /// Confidence status.
+    pub status: CommitmentStatus,
+}
+
+/// Parameters of the penalty-reward assessment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RiskConfig {
+    /// Factor applied to non-guaranteed jitters in a slip scenario
+    /// (e.g. `1.5` = "this supplier delivers 50 % more jitter than
+    /// promised").
+    pub slip_factor: f64,
+    /// Penalty units charged per message newly missing its deadline
+    /// when the supplier slips.
+    pub penalty_per_loss: f64,
+    /// Reward units granted if the supplier can slip without breaking
+    /// anything (headroom the OEM can trade elsewhere).
+    pub reward_for_headroom: f64,
+}
+
+impl Default for RiskConfig {
+    fn default() -> Self {
+        RiskConfig {
+            slip_factor: 1.5,
+            penalty_per_loss: 10.0,
+            reward_for_headroom: 1.0,
+        }
+    }
+}
+
+/// Assessment of one supplier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupplierRisk {
+    /// Supplier name.
+    pub supplier: String,
+    /// Messages attributed to the supplier.
+    pub messages: usize,
+    /// Of those, how many are still slippable (not guaranteed).
+    pub slippable: usize,
+    /// Deadline misses added when only this supplier slips.
+    pub added_losses: usize,
+    /// Penalty-reward score: positive = risk, negative = headroom.
+    pub score: f64,
+}
+
+/// The ranked risk report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RiskReport {
+    /// Deadline misses with every commitment at its nominal value.
+    pub baseline_missed: usize,
+    /// Per-supplier assessment, most critical first.
+    pub suppliers: Vec<SupplierRisk>,
+}
+
+impl RiskReport {
+    /// The supplier whose slip hurts most, if any slip hurts at all.
+    pub fn most_critical(&self) -> Option<&SupplierRisk> {
+        self.suppliers.iter().find(|s| s.added_losses > 0)
+    }
+}
+
+/// Runs the slip-scenario assessment.
+///
+/// Messages without a commitment entry are treated as OEM-owned and
+/// never slip.
+///
+/// # Errors
+///
+/// Propagates [`AnalysisError`] from the bus analyses, or reports
+/// commitments referencing unknown messages as
+/// [`AnalysisError::InvalidModel`].
+///
+/// # Panics
+///
+/// Panics if `config.slip_factor < 1.0` (a slip cannot improve timing).
+pub fn assess_suppliers(
+    net: &CanNetwork,
+    scenario: &Scenario,
+    commitments: &[Commitment],
+    config: &RiskConfig,
+) -> Result<RiskReport, AnalysisError> {
+    assert!(config.slip_factor >= 1.0, "slip factor must be at least 1");
+    // Group commitments by supplier; validate message names.
+    let mut by_supplier: BTreeMap<&str, Vec<&Commitment>> = BTreeMap::new();
+    for c in commitments {
+        if net.message_by_name(&c.message).is_none() {
+            return Err(AnalysisError::InvalidModel(format!(
+                "commitment for unknown message `{}`",
+                c.message
+            )));
+        }
+        by_supplier.entry(c.supplier.as_str()).or_default().push(c);
+    }
+
+    let baseline_missed = scenario.analyze(net)?.missed_count();
+
+    let mut suppliers = Vec::new();
+    for (supplier, cs) in &by_supplier {
+        let slippable: Vec<&&Commitment> = cs
+            .iter()
+            .filter(|c| c.status != CommitmentStatus::Guaranteed)
+            .collect();
+        let mut slipped = net.clone();
+        for c in &slippable {
+            let (idx, _) = slipped
+                .message_by_name(&c.message)
+                .expect("validated above");
+            let m = &mut slipped.messages_mut()[idx];
+            m.activation = EventModel::new(
+                m.activation.kind(),
+                m.activation.period(),
+                m.activation.jitter().scale(config.slip_factor),
+                m.activation.dmin(),
+            );
+        }
+        let slipped_missed = scenario.analyze(&slipped)?.missed_count();
+        let added = slipped_missed.saturating_sub(baseline_missed);
+        let score = if added > 0 {
+            added as f64 * config.penalty_per_loss
+        } else {
+            -config.reward_for_headroom * slippable.len() as f64
+        };
+        suppliers.push(SupplierRisk {
+            supplier: (*supplier).to_string(),
+            messages: cs.len(),
+            slippable: slippable.len(),
+            added_losses: added,
+            score,
+        });
+    }
+    suppliers.sort_by(|a, b| {
+        b.score
+            .total_cmp(&a.score)
+            .then(a.supplier.cmp(&b.supplier))
+    });
+    Ok(RiskReport {
+        baseline_missed,
+        suppliers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carta_can::controller::ControllerType;
+    use carta_can::frame::Dlc;
+    use carta_can::message::{CanId, CanMessage};
+    use carta_can::network::Node;
+    use carta_core::time::Time;
+
+    /// A tight 250 kbit/s bus where deadlines depend on the senders
+    /// keeping their jitter word.
+    fn net() -> CanNetwork {
+        let mut net = CanNetwork::new(250_000);
+        let a = net.add_node(Node::new("A", ControllerType::FullCan));
+        for (k, (period, jitter)) in [
+            (5u64, 1u64), // m0: supplier X, jittery and fast
+            (10, 2),      // m1: supplier X
+            (10, 1),      // m2: supplier Y, firm datasheet
+            (20, 2),      // m3: supplier Y
+            (50, 0),      // m4: OEM-owned
+        ]
+        .iter()
+        .enumerate()
+        {
+            net.add_message(CanMessage::new(
+                format!("m{k}"),
+                CanId::standard(0x100 + 16 * k as u32).expect("valid"),
+                Dlc::new(8),
+                Time::from_ms(*period),
+                Time::from_ms(*jitter),
+                a,
+            ));
+        }
+        net
+    }
+
+    fn commitments() -> Vec<Commitment> {
+        vec![
+            Commitment {
+                supplier: "X".into(),
+                message: "m0".into(),
+                status: CommitmentStatus::Committed,
+            },
+            Commitment {
+                supplier: "X".into(),
+                message: "m1".into(),
+                status: CommitmentStatus::Assumed,
+            },
+            Commitment {
+                supplier: "Y".into(),
+                message: "m2".into(),
+                status: CommitmentStatus::Guaranteed,
+            },
+            Commitment {
+                supplier: "Y".into(),
+                message: "m3".into(),
+                status: CommitmentStatus::Guaranteed,
+            },
+        ]
+    }
+
+    #[test]
+    fn ranks_the_slipping_supplier_first() {
+        let report = assess_suppliers(
+            &net(),
+            &Scenario::worst_case(),
+            &commitments(),
+            &RiskConfig {
+                slip_factor: 3.0,
+                ..RiskConfig::default()
+            },
+        )
+        .expect("valid");
+        assert_eq!(report.suppliers.len(), 2);
+        // Y is fully guaranteed: zero slippable, negative (reward) or
+        // zero-risk score, never "most critical".
+        let y = report
+            .suppliers
+            .iter()
+            .find(|s| s.supplier == "Y")
+            .expect("present");
+        assert_eq!(y.slippable, 0);
+        assert_eq!(y.added_losses, 0);
+        let x = report
+            .suppliers
+            .iter()
+            .find(|s| s.supplier == "X")
+            .expect("present");
+        assert_eq!(x.slippable, 2);
+        assert_eq!(x.messages, 2);
+        // X slipping 3x on a tight bus must hurt someone.
+        assert!(x.added_losses > 0, "X's slip should cause losses");
+        assert_eq!(report.most_critical().expect("X is critical").supplier, "X");
+        assert!(x.score > y.score);
+    }
+
+    #[test]
+    fn guaranteed_commitments_never_slip() {
+        // Even an absurd slip factor cannot move supplier Y.
+        let report = assess_suppliers(
+            &net(),
+            &Scenario::worst_case(),
+            &commitments(),
+            &RiskConfig {
+                slip_factor: 10.0,
+                ..RiskConfig::default()
+            },
+        )
+        .expect("valid");
+        let y = report
+            .suppliers
+            .iter()
+            .find(|s| s.supplier == "Y")
+            .expect("present");
+        assert_eq!(y.added_losses, 0);
+        assert!(y.score <= 0.0, "fully guaranteed suppliers earn reward");
+    }
+
+    #[test]
+    fn harmless_slips_earn_reward() {
+        // On a fast bus the same slip hurts nobody.
+        let mut fast = net();
+        let rebuilt = {
+            let mut n = CanNetwork::new(500_000);
+            n.add_node(Node::new("A", ControllerType::FullCan));
+            for m in fast.messages() {
+                n.add_message(m.clone());
+            }
+            n
+        };
+        fast = rebuilt;
+        let report = assess_suppliers(
+            &fast,
+            &Scenario::worst_case(),
+            &commitments(),
+            &RiskConfig::default(),
+        )
+        .expect("valid");
+        let x = report
+            .suppliers
+            .iter()
+            .find(|s| s.supplier == "X")
+            .expect("present");
+        assert_eq!(x.added_losses, 0);
+        assert!(x.score < 0.0, "headroom is rewarded");
+        assert!(report.most_critical().is_none());
+    }
+
+    #[test]
+    fn unknown_message_rejected() {
+        let bad = vec![Commitment {
+            supplier: "X".into(),
+            message: "ghost".into(),
+            status: CommitmentStatus::Assumed,
+        }];
+        assert!(matches!(
+            assess_suppliers(
+                &net(),
+                &Scenario::worst_case(),
+                &bad,
+                &RiskConfig::default()
+            ),
+            Err(AnalysisError::InvalidModel(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "slip factor must be at least 1")]
+    fn slip_below_one_rejected() {
+        let _ = assess_suppliers(
+            &net(),
+            &Scenario::worst_case(),
+            &[],
+            &RiskConfig {
+                slip_factor: 0.5,
+                ..RiskConfig::default()
+            },
+        );
+    }
+}

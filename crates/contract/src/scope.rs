@@ -1,0 +1,186 @@
+//! Information scopes — Figure 3 of the paper.
+//!
+//! Figure 3 structures the inputs a reliable schedulability analysis
+//! needs (K-Matrix statics, send jitters, controller types, error and
+//! flashing models) and shades the subset the OEM actually possesses.
+//! An [`InformationScope`] makes that partition explicit, and
+//! [`analysis_readiness`] reports exactly which facts must be covered
+//! by *assumptions* — the paper's answer to the "data (un)availability
+//! problem" (Sec. 3.3).
+
+use carta_can::network::CanNetwork;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The facts a party has first-hand knowledge of.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InformationScope {
+    /// Scope owner (e.g. `"OEM"`).
+    pub owner: String,
+    /// The static K-Matrix: identifiers, lengths, periods.
+    pub kmatrix_statics: bool,
+    /// Messages whose send jitter is known first-hand.
+    pub known_jitters: BTreeSet<String>,
+    /// CAN controller types of the nodes.
+    pub controller_types: bool,
+    /// A validated bus error model.
+    pub error_model: bool,
+    /// Flashing/diagnosis traffic profile.
+    pub flashing_profile: bool,
+}
+
+impl InformationScope {
+    /// The typical OEM scope of Figure 3: the K-Matrix and the
+    /// controller types are known, everything dynamic is not — except
+    /// the jitters the suppliers already published.
+    pub fn oem<I, S>(known_jitters: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        InformationScope {
+            owner: "OEM".into(),
+            kmatrix_statics: true,
+            known_jitters: known_jitters.into_iter().map(Into::into).collect(),
+            controller_types: true,
+            error_model: false,
+            flashing_profile: false,
+        }
+    }
+
+    /// Marks a message's jitter as known (e.g. after a datasheet
+    /// arrived).
+    pub fn learn_jitter(&mut self, message: impl Into<String>) {
+        self.known_jitters.insert(message.into());
+    }
+}
+
+/// What must be assumed before the analysis can run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadinessReport {
+    /// Facts that block the analysis entirely.
+    pub blocking: Vec<String>,
+    /// Facts that must be covered by explicit assumptions (the
+    /// what-if axis).
+    pub assumptions_needed: Vec<String>,
+}
+
+impl ReadinessReport {
+    /// `true` if the analysis can run (possibly on assumptions).
+    pub fn can_run(&self) -> bool {
+        self.blocking.is_empty()
+    }
+
+    /// `true` if it can run without any assumption.
+    pub fn is_complete(&self) -> bool {
+        self.blocking.is_empty() && self.assumptions_needed.is_empty()
+    }
+}
+
+impl fmt::Display for ReadinessReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_complete() {
+            return writeln!(f, "analysis ready: all inputs known first-hand");
+        }
+        if !self.blocking.is_empty() {
+            writeln!(f, "analysis BLOCKED, missing:")?;
+            for b in &self.blocking {
+                writeln!(f, "  - {b}")?;
+            }
+        }
+        if !self.assumptions_needed.is_empty() {
+            writeln!(f, "analysis possible under assumptions for:")?;
+            for a in &self.assumptions_needed {
+                writeln!(f, "  - {a}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Evaluates whether `scope` suffices to analyze `net`, and which
+/// assumptions are required.
+pub fn analysis_readiness(scope: &InformationScope, net: &CanNetwork) -> ReadinessReport {
+    let mut blocking = Vec::new();
+    let mut assumptions = Vec::new();
+    if !scope.kmatrix_statics {
+        blocking.push("K-Matrix (identifiers, lengths, periods)".to_string());
+    }
+    if !scope.controller_types {
+        assumptions.push("controller types of all nodes".to_string());
+    }
+    for m in net.messages() {
+        if !scope.known_jitters.contains(&m.name) {
+            assumptions.push(format!("send jitter of `{}`", m.name));
+        }
+    }
+    if !scope.error_model {
+        assumptions.push("bus error model (sporadic/burst parameters)".to_string());
+    }
+    if !scope.flashing_profile {
+        assumptions.push("flashing & diagnosis traffic profile".to_string());
+    }
+    ReadinessReport {
+        blocking,
+        assumptions_needed: assumptions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carta_can::controller::ControllerType;
+    use carta_can::frame::Dlc;
+    use carta_can::message::{CanId, CanMessage};
+    use carta_can::network::Node;
+    use carta_core::time::Time;
+
+    fn net() -> CanNetwork {
+        let mut net = CanNetwork::new(500_000);
+        let a = net.add_node(Node::new("A", ControllerType::FullCan));
+        for (k, name) in ["rpm", "gear"].iter().enumerate() {
+            net.add_message(CanMessage::new(
+                *name,
+                CanId::standard(0x100 + k as u32).expect("valid"),
+                Dlc::new(8),
+                Time::from_ms(10),
+                Time::ZERO,
+                a,
+            ));
+        }
+        net
+    }
+
+    #[test]
+    fn oem_scope_needs_assumptions_not_blocked() {
+        let scope = InformationScope::oem(["rpm"]);
+        let report = analysis_readiness(&scope, &net());
+        assert!(report.can_run());
+        assert!(!report.is_complete());
+        let text = report.to_string();
+        assert!(text.contains("gear"));
+        assert!(!text.contains("`rpm`"));
+        assert!(text.contains("error model"));
+        assert!(text.contains("flashing"));
+    }
+
+    #[test]
+    fn missing_statics_blocks() {
+        let mut scope = InformationScope::oem(Vec::<String>::new());
+        scope.kmatrix_statics = false;
+        let report = analysis_readiness(&scope, &net());
+        assert!(!report.can_run());
+        assert!(report.to_string().contains("BLOCKED"));
+    }
+
+    #[test]
+    fn learning_facts_completes_the_scope() {
+        let mut scope = InformationScope::oem(["rpm"]);
+        scope.learn_jitter("gear");
+        scope.error_model = true;
+        scope.flashing_profile = true;
+        let report = analysis_readiness(&scope, &net());
+        assert!(report.is_complete());
+        assert!(report.to_string().contains("ready"));
+    }
+}

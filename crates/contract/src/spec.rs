@@ -1,0 +1,141 @@
+//! Datasheets and requirement specifications.
+//!
+//! The paper's Section 5 proposes that OEMs and suppliers exchange
+//! timing information through a common event-model interface
+//! (ref. \[11\]): a **datasheet** states what a party *guarantees* about
+//! the streams it produces, a **requirement specification** states what
+//! it *requires* of the streams it consumes. Both are maps from message
+//! names to standard event models — deliberately free of internal
+//! implementation detail, so "the intellectual property of either party
+//! \[is\] protected".
+
+use carta_core::event_model::EventModel;
+use std::collections::BTreeMap;
+
+/// What a party guarantees about the streams it emits.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Datasheet {
+    /// Issuing party (e.g. `"TCU supplier"`).
+    pub provider: String,
+    entries: BTreeMap<String, EventModel>,
+}
+
+impl Datasheet {
+    /// Creates an empty datasheet for a provider.
+    pub fn new(provider: impl Into<String>) -> Self {
+        Datasheet {
+            provider: provider.into(),
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Adds (or replaces) a guarantee for a message.
+    pub fn guarantee(&mut self, message: impl Into<String>, model: EventModel) -> &mut Self {
+        self.entries.insert(message.into(), model);
+        self
+    }
+
+    /// The guaranteed model for a message, if stated.
+    pub fn get(&self, message: &str) -> Option<&EventModel> {
+        self.entries.get(message)
+    }
+
+    /// Iterates over `(message, model)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &EventModel)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of guaranteed messages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no guarantees are stated.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// What a party requires of the streams it consumes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RequirementSpec {
+    /// Issuing party (e.g. `"OEM"`).
+    pub consumer: String,
+    entries: BTreeMap<String, EventModel>,
+}
+
+impl RequirementSpec {
+    /// Creates an empty specification for a consumer.
+    pub fn new(consumer: impl Into<String>) -> Self {
+        RequirementSpec {
+            consumer: consumer.into(),
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Adds (or replaces) a requirement: the stream must stay within
+    /// the given bound (same period, at most its jitter, at least its
+    /// minimum distance).
+    pub fn require(&mut self, message: impl Into<String>, bound: EventModel) -> &mut Self {
+        self.entries.insert(message.into(), bound);
+        self
+    }
+
+    /// The required bound for a message, if stated.
+    pub fn get(&self, message: &str) -> Option<&EventModel> {
+        self.entries.get(message)
+    }
+
+    /// Iterates over `(message, bound)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &EventModel)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of required messages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no requirements are stated.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carta_core::time::Time;
+
+    #[test]
+    fn datasheet_roundtrip() {
+        let mut ds = Datasheet::new("TCU supplier");
+        assert!(ds.is_empty());
+        ds.guarantee(
+            "gear_state",
+            EventModel::periodic_with_jitter(Time::from_ms(20), Time::from_ms(2)),
+        )
+        .guarantee("clutch_torque", EventModel::periodic(Time::from_ms(10)));
+        assert_eq!(ds.len(), 2);
+        assert!(ds.get("gear_state").is_some());
+        assert!(ds.get("nope").is_none());
+        let names: Vec<&str> = ds.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["clutch_torque", "gear_state"]); // sorted
+    }
+
+    #[test]
+    fn requirement_roundtrip() {
+        let mut rs = RequirementSpec::new("OEM");
+        rs.require(
+            "gear_state",
+            EventModel::periodic_with_jitter(Time::from_ms(20), Time::from_ms(4)),
+        );
+        assert_eq!(rs.len(), 1);
+        assert!(!rs.is_empty());
+        assert_eq!(rs.consumer, "OEM");
+        assert_eq!(
+            rs.get("gear_state").expect("present").jitter(),
+            Time::from_ms(4)
+        );
+    }
+}

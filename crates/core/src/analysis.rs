@@ -1,0 +1,131 @@
+//! Common analysis result and error types shared by every local
+//! analysis (CAN bus, ECU) and the compositional engine.
+
+use crate::time::Time;
+use std::error::Error;
+use std::fmt;
+
+/// Best-/worst-case response time of one schedulable entity.
+///
+/// # Examples
+///
+/// ```
+/// use carta_core::{analysis::ResponseBounds, time::Time};
+/// let b = ResponseBounds::new(Time::from_us(200), Time::from_ms(3));
+/// assert_eq!(b.jitter_contribution(), Time::from_us(2800));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ResponseBounds {
+    best: Time,
+    worst: Time,
+}
+
+impl ResponseBounds {
+    /// Creates response bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `best > worst`.
+    pub fn new(best: Time, worst: Time) -> Self {
+        assert!(best <= worst, "best-case response exceeds worst case");
+        ResponseBounds { best, worst }
+    }
+
+    /// Best-case response time.
+    pub fn best(&self) -> Time {
+        self.best
+    }
+
+    /// Worst-case response time.
+    pub fn worst(&self) -> Time {
+        self.worst
+    }
+
+    /// The response-time interval width `R⁺ − R⁻`, i.e. the jitter this
+    /// resource adds to the stream passing through it.
+    pub fn jitter_contribution(&self) -> Time {
+        self.worst - self.best
+    }
+
+    /// `true` if the worst case stays within `deadline`.
+    pub fn meets(&self, deadline: Time) -> bool {
+        self.worst <= deadline
+    }
+}
+
+impl fmt::Display for ResponseBounds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.best, self.worst)
+    }
+}
+
+/// Why an analysis could not produce bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// A busy-window iteration exceeded the horizon: the entity has no
+    /// bounded response time (overload at its priority level).
+    Unbounded {
+        /// Human-readable name of the entity without a bound.
+        entity: String,
+    },
+    /// The global fixpoint iteration did not converge (typically a
+    /// cyclic dependency whose jitter grows without bound).
+    NotConverged {
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The system description is malformed.
+    InvalidModel(String),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Unbounded { entity } => {
+                write!(f, "no bounded response time for `{entity}` (overload)")
+            }
+            AnalysisError::NotConverged { iterations } => {
+                write!(
+                    f,
+                    "global analysis did not converge after {iterations} iterations"
+                )
+            }
+            AnalysisError::InvalidModel(msg) => write!(f, "invalid system model: {msg}"),
+        }
+    }
+}
+
+impl Error for AnalysisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_accessors_and_jitter() {
+        let b = ResponseBounds::new(Time::from_ms(1), Time::from_ms(4));
+        assert_eq!(b.best(), Time::from_ms(1));
+        assert_eq!(b.worst(), Time::from_ms(4));
+        assert_eq!(b.jitter_contribution(), Time::from_ms(3));
+        assert!(b.meets(Time::from_ms(4)));
+        assert!(!b.meets(Time::from_ms(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "best-case response exceeds worst case")]
+    fn inverted_bounds_rejected() {
+        let _ = ResponseBounds::new(Time::from_ms(2), Time::from_ms(1));
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = AnalysisError::Unbounded {
+            entity: "msg_17".into(),
+        };
+        assert!(e.to_string().contains("msg_17"));
+        let e = AnalysisError::NotConverged { iterations: 64 };
+        assert!(e.to_string().contains("64"));
+        let e = AnalysisError::InvalidModel("dangling edge".into());
+        assert!(e.to_string().contains("dangling edge"));
+    }
+}

@@ -1,0 +1,685 @@
+//! The compositional (global) analysis engine.
+//!
+//! SymTA/S composes *local* schedulability analyses — one per shared
+//! resource (a CAN bus, an ECU scheduler) — into a system-level analysis
+//! by exchanging **event models** at the resource boundaries
+//! (refs. \[12,13\] of the paper):
+//!
+//! 1. every resource is analyzed locally against the current activation
+//!    event models of its slots,
+//! 2. each slot's response-time interval turns its input model into an
+//!    output model (`J_out = J_in + (R⁺ − R⁻)`, see
+//!    [`EventModel::propagate`]),
+//! 3. output models are propagated along dependency edges (e.g. a CAN
+//!    message activating a gateway task which queues a message on a
+//!    second bus), and
+//! 4. the loop repeats until all event models are stable (a fixpoint)
+//!    or an iteration budget is exhausted (non-convergence, typically a
+//!    cyclic dependency with unbounded jitter growth).
+//!
+//! [`EventModel::propagate`]: crate::event_model::EventModel::propagate
+
+use crate::analysis::{AnalysisError, ResponseBounds};
+use crate::event_model::EventModel;
+use crate::time::Time;
+use std::collections::HashMap;
+
+/// Identifies one schedulable slot on one resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeRef {
+    /// Index of the resource within the [`CompositionalSystem`].
+    pub resource: usize,
+    /// Slot index within the resource (resource-local).
+    pub slot: usize,
+}
+
+impl NodeRef {
+    /// Creates a node reference.
+    pub fn new(resource: usize, slot: usize) -> Self {
+        NodeRef { resource, slot }
+    }
+}
+
+/// What a local analysis reports per slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotResponse {
+    /// Best/worst-case response time of the slot.
+    pub bounds: ResponseBounds,
+    /// Minimum spacing of consecutive outputs (usually the minimum
+    /// execution/transmission time); becomes `dmin` of the output model.
+    pub min_output_spacing: Time,
+}
+
+/// A shared resource with a local schedulability analysis.
+///
+/// Implementors receive one activation [`EventModel`] per slot and must
+/// return one [`SlotResponse`] per slot (same order).
+pub trait Resource {
+    /// Resource name used in diagnostics.
+    fn name(&self) -> &str;
+
+    /// Number of schedulable slots (tasks / messages) on this resource.
+    fn slot_count(&self) -> usize;
+
+    /// Human-readable name of one slot, used in diagnostics.
+    fn slot_name(&self, slot: usize) -> String {
+        format!("{}[{slot}]", self.name())
+    }
+
+    /// Runs the local analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::Unbounded`] if any slot has no bounded
+    /// response under the given activations, or
+    /// [`AnalysisError::InvalidModel`] for malformed inputs.
+    fn analyze(&self, activations: &[EventModel]) -> Result<Vec<SlotResponse>, AnalysisError>;
+}
+
+/// Result of a converged global analysis.
+#[derive(Debug, Clone)]
+pub struct GlobalAnalysis {
+    activations: Vec<Vec<EventModel>>,
+    responses: Vec<Vec<SlotResponse>>,
+    iterations: usize,
+}
+
+impl GlobalAnalysis {
+    /// Response bounds of a slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn response(&self, node: NodeRef) -> ResponseBounds {
+        self.responses[node.resource][node.slot].bounds
+    }
+
+    /// The converged activation event model of a slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn activation(&self, node: NodeRef) -> EventModel {
+        self.activations[node.resource][node.slot]
+    }
+
+    /// The output event model a slot emits downstream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn output(&self, node: NodeRef) -> EventModel {
+        let resp = &self.responses[node.resource][node.slot];
+        self.activations[node.resource][node.slot].propagate(
+            resp.bounds.best(),
+            resp.bounds.worst(),
+            resp.min_output_spacing,
+        )
+    }
+
+    /// Number of global iterations until the fixpoint.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Sums the response bounds along a hop sequence — a sound (though
+    /// conservative) end-to-end latency bound for an event-driven
+    /// chain such as sensor → bus → gateway task → bus → actuator.
+    /// Use [`CompositionalSystem::path_latency`] to also verify the
+    /// hops are actually connected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any hop is out of range.
+    pub fn sum_latency(&self, hops: &[NodeRef]) -> ResponseBounds {
+        let mut best = Time::ZERO;
+        let mut worst = Time::ZERO;
+        for &hop in hops {
+            let r = self.response(hop);
+            best += r.best();
+            worst += r.worst();
+        }
+        ResponseBounds::new(best, worst)
+    }
+}
+
+/// A system of resources coupled by event-model propagation.
+///
+/// # Examples
+///
+/// ```
+/// use carta_core::comp::{CompositionalSystem, NodeRef, Resource, SlotResponse};
+/// use carta_core::analysis::{AnalysisError, ResponseBounds};
+/// use carta_core::event_model::EventModel;
+/// use carta_core::time::Time;
+///
+/// struct Wire; // a trivial one-slot resource with constant latency
+/// impl Resource for Wire {
+///     fn name(&self) -> &str { "wire" }
+///     fn slot_count(&self) -> usize { 1 }
+///     fn analyze(&self, a: &[EventModel]) -> Result<Vec<SlotResponse>, AnalysisError> {
+///         Ok(a.iter().map(|_| SlotResponse {
+///             bounds: ResponseBounds::new(Time::from_us(100), Time::from_us(300)),
+///             min_output_spacing: Time::from_us(100),
+///         }).collect())
+///     }
+/// }
+///
+/// # fn main() -> Result<(), AnalysisError> {
+/// let mut sys = CompositionalSystem::new();
+/// let a = sys.add_resource(Box::new(Wire));
+/// let b = sys.add_resource(Box::new(Wire));
+/// sys.set_source(NodeRef::new(a, 0), EventModel::periodic(Time::from_ms(10)))?;
+/// sys.connect(NodeRef::new(a, 0), NodeRef::new(b, 0))?;
+/// let result = sys.analyze()?;
+/// // The second hop sees the first hop's response jitter (200 us).
+/// assert_eq!(result.activation(NodeRef::new(b, 0)).jitter(), Time::from_us(200));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Default)]
+pub struct CompositionalSystem {
+    resources: Vec<Box<dyn Resource>>,
+    sources: HashMap<NodeRef, EventModel>,
+    edges: HashMap<NodeRef, NodeRef>, // target -> upstream source
+    max_iterations: usize,
+}
+
+impl CompositionalSystem {
+    /// Creates an empty system with the default iteration budget (64).
+    pub fn new() -> Self {
+        CompositionalSystem {
+            resources: Vec::new(),
+            sources: HashMap::new(),
+            edges: HashMap::new(),
+            max_iterations: 64,
+        }
+    }
+
+    /// Overrides the global iteration budget.
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations.max(1);
+        self
+    }
+
+    /// Adds a resource, returning its index.
+    pub fn add_resource(&mut self, resource: Box<dyn Resource>) -> usize {
+        self.resources.push(resource);
+        self.resources.len() - 1
+    }
+
+    /// Number of resources.
+    pub fn resource_count(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Declares `node` to be activated by an external event source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::InvalidModel`] if the node is out of
+    /// range or already activated by an edge.
+    pub fn set_source(&mut self, node: NodeRef, model: EventModel) -> Result<(), AnalysisError> {
+        self.check_node(node)?;
+        if self.edges.contains_key(&node) {
+            return Err(AnalysisError::InvalidModel(format!(
+                "node {node:?} already activated by an edge"
+            )));
+        }
+        self.sources.insert(node, model);
+        Ok(())
+    }
+
+    /// Declares that the output stream of `from` activates `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::InvalidModel`] if either node is out of
+    /// range, `to` already has an activation, or `from == to`.
+    pub fn connect(&mut self, from: NodeRef, to: NodeRef) -> Result<(), AnalysisError> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        if from == to {
+            return Err(AnalysisError::InvalidModel(format!(
+                "self-activation of {to:?}"
+            )));
+        }
+        if self.sources.contains_key(&to) || self.edges.contains_key(&to) {
+            return Err(AnalysisError::InvalidModel(format!(
+                "node {to:?} already has an activation"
+            )));
+        }
+        self.edges.insert(to, from);
+        Ok(())
+    }
+
+    fn check_node(&self, node: NodeRef) -> Result<(), AnalysisError> {
+        let ok = node.resource < self.resources.len()
+            && node.slot < self.resources[node.resource].slot_count();
+        if ok {
+            Ok(())
+        } else {
+            Err(AnalysisError::InvalidModel(format!(
+                "node {node:?} out of range"
+            )))
+        }
+    }
+
+    /// End-to-end latency of a connected hop chain: verifies that each
+    /// consecutive pair is linked by a propagation edge, then sums the
+    /// per-hop response bounds from `analysis`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::InvalidModel`] if the chain is empty or
+    /// a pair of consecutive hops is not connected.
+    pub fn path_latency(
+        &self,
+        analysis: &GlobalAnalysis,
+        hops: &[NodeRef],
+    ) -> Result<ResponseBounds, AnalysisError> {
+        if hops.is_empty() {
+            return Err(AnalysisError::InvalidModel("empty path".into()));
+        }
+        for pair in hops.windows(2) {
+            if self.edges.get(&pair[1]) != Some(&pair[0]) {
+                return Err(AnalysisError::InvalidModel(format!(
+                    "path hop {:?} is not activated by {:?}",
+                    pair[1], pair[0]
+                )));
+            }
+        }
+        Ok(analysis.sum_latency(hops))
+    }
+
+    /// Runs the global fixpoint iteration.
+    ///
+    /// # Errors
+    ///
+    /// * [`AnalysisError::InvalidModel`] if any slot has no activation
+    ///   (neither a source nor an incoming edge, possibly transitively).
+    /// * [`AnalysisError::Unbounded`] propagated from a local analysis.
+    /// * [`AnalysisError::NotConverged`] if event models keep changing
+    ///   after the iteration budget.
+    pub fn analyze(&self) -> Result<GlobalAnalysis, AnalysisError> {
+        let mut activations = self.initial_activations()?;
+        let mut responses: Vec<Vec<SlotResponse>> = Vec::new();
+
+        for iteration in 1..=self.max_iterations {
+            responses.clear();
+            for (i, r) in self.resources.iter().enumerate() {
+                responses.push(r.analyze(&activations[i])?);
+            }
+
+            let mut changed = false;
+            for (&to, &from) in &self.edges {
+                let resp = &responses[from.resource][from.slot];
+                let out = activations[from.resource][from.slot].propagate(
+                    resp.bounds.best(),
+                    resp.bounds.worst(),
+                    resp.min_output_spacing,
+                );
+                if activations[to.resource][to.slot] != out {
+                    activations[to.resource][to.slot] = out;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return Ok(GlobalAnalysis {
+                    activations,
+                    responses,
+                    iterations: iteration,
+                });
+            }
+        }
+        let _ = responses;
+        Err(AnalysisError::NotConverged {
+            iterations: self.max_iterations,
+        })
+    }
+
+    /// Builds the initial activation vector: external sources as given;
+    /// edge-activated slots start from their (transitive) source model
+    /// with unchanged jitter, which the iteration then inflates.
+    fn initial_activations(&self) -> Result<Vec<Vec<EventModel>>, AnalysisError> {
+        let mut activations: Vec<Vec<Option<EventModel>>> = self
+            .resources
+            .iter()
+            .map(|r| vec![None; r.slot_count()])
+            .collect();
+        for (&node, &model) in &self.sources {
+            activations[node.resource][node.slot] = Some(model);
+        }
+        // Resolve edge-activated nodes by walking upstream (with a hop
+        // limit to catch cycles that never reach a source).
+        let total: usize = self.resources.iter().map(|r| r.slot_count()).sum();
+        for (r, res) in self.resources.iter().enumerate() {
+            for s in 0..res.slot_count() {
+                let node = NodeRef::new(r, s);
+                if activations[node.resource][node.slot].is_some() {
+                    continue;
+                }
+                let mut cur = node;
+                let mut hops = 0;
+                let model = loop {
+                    match self.edges.get(&cur) {
+                        Some(&up) => {
+                            if let Some(m) = self.sources.get(&up) {
+                                break *m;
+                            }
+                            cur = up;
+                            hops += 1;
+                            if hops > total {
+                                return Err(AnalysisError::InvalidModel(format!(
+                                    "activation cycle without external source at {node:?}"
+                                )));
+                            }
+                        }
+                        None => {
+                            return Err(AnalysisError::InvalidModel(format!(
+                                "slot `{}` has no activation",
+                                self.resources[node.resource].slot_name(node.slot)
+                            )));
+                        }
+                    }
+                };
+                activations[node.resource][node.slot] = Some(model);
+            }
+        }
+        Ok(activations
+            .into_iter()
+            .map(|row| row.into_iter().map(|m| m.expect("all resolved")).collect())
+            .collect())
+    }
+}
+
+impl std::fmt::Debug for CompositionalSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompositionalSystem")
+            .field("resources", &self.resources.len())
+            .field("sources", &self.sources.len())
+            .field("edges", &self.edges.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A one-slot resource with fixed response bounds.
+    struct FixedDelay {
+        name: String,
+        best: Time,
+        worst: Time,
+    }
+
+    impl FixedDelay {
+        fn new(name: &str, best_us: u64, worst_us: u64) -> Self {
+            FixedDelay {
+                name: name.into(),
+                best: Time::from_us(best_us),
+                worst: Time::from_us(worst_us),
+            }
+        }
+    }
+
+    impl Resource for FixedDelay {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn slot_count(&self) -> usize {
+            1
+        }
+        fn analyze(&self, a: &[EventModel]) -> Result<Vec<SlotResponse>, AnalysisError> {
+            Ok(a.iter()
+                .map(|_| SlotResponse {
+                    bounds: ResponseBounds::new(self.best, self.worst),
+                    min_output_spacing: self.best,
+                })
+                .collect())
+        }
+    }
+
+    /// A resource whose response jitter grows with its input jitter —
+    /// used to build a diverging cycle.
+    struct Amplifier;
+
+    impl Resource for Amplifier {
+        fn name(&self) -> &str {
+            "amp"
+        }
+        fn slot_count(&self) -> usize {
+            1
+        }
+        fn analyze(&self, a: &[EventModel]) -> Result<Vec<SlotResponse>, AnalysisError> {
+            Ok(a.iter()
+                .map(|em| SlotResponse {
+                    bounds: ResponseBounds::new(Time::ZERO, em.jitter() + Time::from_us(10)),
+                    min_output_spacing: Time::ZERO,
+                })
+                .collect())
+        }
+    }
+
+    #[test]
+    fn chain_propagates_jitter() {
+        let mut sys = CompositionalSystem::new();
+        let a = sys.add_resource(Box::new(FixedDelay::new("bus1", 100, 400)));
+        let b = sys.add_resource(Box::new(FixedDelay::new("gw", 50, 150)));
+        let c = sys.add_resource(Box::new(FixedDelay::new("bus2", 100, 200)));
+        sys.set_source(NodeRef::new(a, 0), EventModel::periodic(Time::from_ms(10)))
+            .expect("valid");
+        sys.connect(NodeRef::new(a, 0), NodeRef::new(b, 0))
+            .expect("valid");
+        sys.connect(NodeRef::new(b, 0), NodeRef::new(c, 0))
+            .expect("valid");
+        let result = sys.analyze().expect("converges");
+        // bus1 adds 300 us jitter, gw adds 100 more.
+        assert_eq!(
+            result.activation(NodeRef::new(b, 0)).jitter(),
+            Time::from_us(300)
+        );
+        assert_eq!(
+            result.activation(NodeRef::new(c, 0)).jitter(),
+            Time::from_us(400)
+        );
+        // Output of the last hop adds its own 100 us.
+        assert_eq!(
+            result.output(NodeRef::new(c, 0)).jitter(),
+            Time::from_us(500)
+        );
+        assert!(result.iterations() <= 4);
+        // Periods are preserved end to end.
+        assert_eq!(
+            result.activation(NodeRef::new(c, 0)).period(),
+            Time::from_ms(10)
+        );
+    }
+
+    #[test]
+    fn path_latency_sums_connected_hops() {
+        let mut sys = CompositionalSystem::new();
+        let a = sys.add_resource(Box::new(FixedDelay::new("bus1", 100, 400)));
+        let b = sys.add_resource(Box::new(FixedDelay::new("gw", 50, 150)));
+        sys.set_source(NodeRef::new(a, 0), EventModel::periodic(Time::from_ms(10)))
+            .expect("valid");
+        sys.connect(NodeRef::new(a, 0), NodeRef::new(b, 0))
+            .expect("valid");
+        let result = sys.analyze().expect("converges");
+        let path = [NodeRef::new(a, 0), NodeRef::new(b, 0)];
+        let latency = sys.path_latency(&result, &path).expect("connected");
+        assert_eq!(latency.best(), Time::from_us(150));
+        assert_eq!(latency.worst(), Time::from_us(550));
+        // Disconnected or empty paths are rejected.
+        assert!(sys.path_latency(&result, &[]).is_err());
+        assert!(sys
+            .path_latency(&result, &[NodeRef::new(b, 0), NodeRef::new(a, 0)])
+            .is_err());
+        // sum_latency alone does not verify connectivity.
+        assert_eq!(
+            result.sum_latency(&[NodeRef::new(b, 0), NodeRef::new(a, 0)]),
+            latency
+        );
+    }
+
+    #[test]
+    fn converged_cycle_with_constant_delays() {
+        // a -> b and b's output drives a second slotless path: build a
+        // 2-resource cycle a0 -> b0 -> (back to) a? A node cannot have
+        // two activations, so model the cycle with an external source on
+        // `a` and edge b<-a only; constant-delay resources converge in
+        // one extra iteration regardless.
+        let mut sys = CompositionalSystem::new();
+        let a = sys.add_resource(Box::new(FixedDelay::new("a", 10, 20)));
+        let b = sys.add_resource(Box::new(FixedDelay::new("b", 10, 20)));
+        sys.set_source(NodeRef::new(a, 0), EventModel::periodic(Time::from_ms(1)))
+            .expect("valid");
+        sys.connect(NodeRef::new(a, 0), NodeRef::new(b, 0))
+            .expect("valid");
+        let result = sys.analyze().expect("converges");
+        assert_eq!(
+            result.response(NodeRef::new(b, 0)).worst(),
+            Time::from_us(20)
+        );
+    }
+
+    #[test]
+    fn diverging_cycle_reports_not_converged() {
+        let mut sys = CompositionalSystem::new().with_max_iterations(16);
+        let a = sys.add_resource(Box::new(Amplifier));
+        let b = sys.add_resource(Box::new(Amplifier));
+        // Cycle: a0 activates b0, b0 activates... a0 already has a
+        // source, so emulate feedback by chaining amplifiers a->b and
+        // b->a is illegal; instead verify divergence detection with a
+        // self-feeding pair where b -> a is the only activation of a.
+        sys.set_source(NodeRef::new(a, 0), EventModel::periodic(Time::from_ms(1)))
+            .expect("valid");
+        sys.connect(NodeRef::new(a, 0), NodeRef::new(b, 0))
+            .expect("valid");
+        // a's jitter is fixed, but b's keeps growing only if fed back;
+        // without feedback this converges:
+        assert!(sys.analyze().is_ok());
+    }
+
+    #[test]
+    fn true_feedback_cycle_diverges() {
+        // A resource whose slot-0 response grows with slot-1's input
+        // jitter, while slot 1 is activated by slot 0's output: the
+        // classic coupled loop whose jitter grows every iteration.
+        struct SelfAmp;
+        impl Resource for SelfAmp {
+            fn name(&self) -> &str {
+                "selfamp"
+            }
+            fn slot_count(&self) -> usize {
+                2
+            }
+            fn analyze(&self, a: &[EventModel]) -> Result<Vec<SlotResponse>, AnalysisError> {
+                // slot 1's response grows with slot 1's input jitter,
+                // and slot 1's input comes from slot 0, whose response
+                // grows with slot 1's input jitter too: a coupled loop.
+                let coupling = a[1].jitter() + Time::from_us(10);
+                Ok(vec![
+                    SlotResponse {
+                        bounds: ResponseBounds::new(Time::ZERO, coupling),
+                        min_output_spacing: Time::ZERO,
+                    },
+                    SlotResponse {
+                        bounds: ResponseBounds::new(Time::ZERO, coupling),
+                        min_output_spacing: Time::ZERO,
+                    },
+                ])
+            }
+        }
+        let mut sys2 = CompositionalSystem::new().with_max_iterations(8);
+        let r2 = sys2.add_resource(Box::new(SelfAmp));
+        sys2.set_source(NodeRef::new(r2, 0), EventModel::periodic(Time::from_ms(1)))
+            .expect("valid");
+        sys2.connect(NodeRef::new(r2, 0), NodeRef::new(r2, 1))
+            .expect("valid");
+        match sys2.analyze() {
+            Err(AnalysisError::NotConverged { iterations }) => assert_eq!(iterations, 8),
+            other => panic!("expected NotConverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_activation_is_reported() {
+        let mut sys = CompositionalSystem::new();
+        let _ = sys.add_resource(Box::new(FixedDelay::new("a", 1, 2)));
+        match sys.analyze() {
+            Err(AnalysisError::InvalidModel(msg)) => assert!(msg.contains("no activation")),
+            other => panic!("expected InvalidModel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_activation_rejected() {
+        let mut sys = CompositionalSystem::new();
+        let a = sys.add_resource(Box::new(FixedDelay::new("a", 1, 2)));
+        let b = sys.add_resource(Box::new(FixedDelay::new("b", 1, 2)));
+        sys.set_source(NodeRef::new(a, 0), EventModel::periodic(Time::from_ms(1)))
+            .expect("valid");
+        sys.set_source(NodeRef::new(b, 0), EventModel::periodic(Time::from_ms(1)))
+            .expect("valid");
+        assert!(sys.connect(NodeRef::new(a, 0), NodeRef::new(b, 0)).is_err());
+        // And a source on an edge-activated node:
+        let mut sys2 = CompositionalSystem::new();
+        let a2 = sys2.add_resource(Box::new(FixedDelay::new("a", 1, 2)));
+        let b2 = sys2.add_resource(Box::new(FixedDelay::new("b", 1, 2)));
+        sys2.set_source(NodeRef::new(a2, 0), EventModel::periodic(Time::from_ms(1)))
+            .expect("valid");
+        sys2.connect(NodeRef::new(a2, 0), NodeRef::new(b2, 0))
+            .expect("valid");
+        assert!(sys2
+            .set_source(NodeRef::new(b2, 0), EventModel::periodic(Time::from_ms(1)))
+            .is_err());
+    }
+
+    #[test]
+    fn out_of_range_nodes_rejected() {
+        let mut sys = CompositionalSystem::new();
+        let a = sys.add_resource(Box::new(FixedDelay::new("a", 1, 2)));
+        assert!(sys
+            .set_source(NodeRef::new(a, 5), EventModel::periodic(Time::from_ms(1)))
+            .is_err());
+        assert!(sys
+            .set_source(NodeRef::new(7, 0), EventModel::periodic(Time::from_ms(1)))
+            .is_err());
+        assert!(sys.connect(NodeRef::new(a, 0), NodeRef::new(a, 0)).is_err());
+    }
+
+    #[test]
+    fn cycle_without_source_detected() {
+        struct Two;
+        impl Resource for Two {
+            fn name(&self) -> &str {
+                "two"
+            }
+            fn slot_count(&self) -> usize {
+                2
+            }
+            fn analyze(&self, a: &[EventModel]) -> Result<Vec<SlotResponse>, AnalysisError> {
+                Ok(a.iter()
+                    .map(|_| SlotResponse {
+                        bounds: ResponseBounds::new(Time::ZERO, Time::ZERO),
+                        min_output_spacing: Time::ZERO,
+                    })
+                    .collect())
+            }
+        }
+        let mut sys = CompositionalSystem::new();
+        let r = sys.add_resource(Box::new(Two));
+        sys.connect(NodeRef::new(r, 0), NodeRef::new(r, 1))
+            .expect("valid");
+        sys.connect(NodeRef::new(r, 1), NodeRef::new(r, 0))
+            .expect("valid");
+        match sys.analyze() {
+            Err(AnalysisError::InvalidModel(msg)) => {
+                assert!(msg.contains("cycle"), "got: {msg}")
+            }
+            other => panic!("expected InvalidModel, got {other:?}"),
+        }
+    }
+}

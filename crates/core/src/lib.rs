@@ -1,0 +1,46 @@
+//! # carta-core
+//!
+//! Foundations of the `carta` compositional real-time analysis
+//! workspace — a from-scratch reproduction of the SymTA/S technology
+//! surveyed in *"How OEMs and Suppliers can face the Network Integration
+//! Challenges"* (Richter, Jersak, Ernst, 2006).
+//!
+//! This crate provides:
+//!
+//! * [`time`] — the integer-nanosecond [`time::Time`] value every
+//!   analysis computes on,
+//! * [`event_model`] — standard `(period, jitter, dmin)` event models
+//!   with their arrival curves `η⁺/η⁻` and distance functions `δ⁻/δ⁺`,
+//! * [`load`] — the simple bus-load model of Section 3.1 (Figure 1),
+//!   kept as the baseline the paper argues is *not enough*,
+//! * [`analysis`] — response-time bounds and analysis error types,
+//! * [`comp`] — the compositional fixpoint engine that couples local
+//!   analyses (CAN buses, ECUs) by propagating event models.
+//!
+//! Protocol-specific local analyses live in the sibling crates
+//! `carta-can` and `carta-ecu`; exploration, optimization and
+//! supply-chain contracts build on top.
+//!
+//! ## Example
+//!
+//! ```
+//! use carta_core::{event_model::EventModel, time::Time};
+//!
+//! // A 20 ms message with 25 % queuing jitter:
+//! let em = EventModel::periodic_with_jitter(Time::from_ms(20), Time::from_ms(5));
+//! // Worst-case number of queuings within 100 ms:
+//! assert_eq!(em.eta_plus(Time::from_ms(100)), 6);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+pub mod comp;
+pub mod event_model;
+pub mod load;
+pub mod time;
+
+pub use analysis::{AnalysisError, ResponseBounds};
+pub use event_model::{ActivationKind, EventModel};
+pub use time::Time;

@@ -1,0 +1,162 @@
+//! Simple bus-load (utilization) analysis — Section 3.1 / Figure 1 of
+//! the paper.
+//!
+//! For each message, multiply its frequency (`1/period`) by its length
+//! including protocol overhead, sum over all messages, and divide by the
+//! bandwidth. The paper stresses that this popular model says *nothing*
+//! about deadlines or buffer overflows; it is nevertheless the baseline
+//! every other analysis in this workspace is compared against.
+
+use crate::time::Time;
+
+/// One traffic contributor: `bits` of payload-plus-overhead every
+/// `period`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficSource {
+    /// Frame length in bits, including all protocol overhead.
+    pub bits: u64,
+    /// Message period (or minimum inter-arrival time).
+    pub period: Time,
+}
+
+impl TrafficSource {
+    /// Creates a traffic source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(bits: u64, period: Time) -> Self {
+        assert!(!period.is_zero(), "traffic source period must be positive");
+        TrafficSource { bits, period }
+    }
+
+    /// Average bandwidth demand in bits per second.
+    pub fn bits_per_second(&self) -> f64 {
+        self.bits as f64 / self.period.as_s_f64()
+    }
+}
+
+/// The result of a load analysis over a set of traffic sources.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadReport {
+    /// Total demanded bandwidth in bits per second.
+    pub demand_bps: f64,
+    /// Bus bandwidth in bits per second.
+    pub capacity_bps: f64,
+}
+
+impl LoadReport {
+    /// Relative load (utilization) as a fraction; `0.36` means 36 %.
+    pub fn utilization(&self) -> f64 {
+        self.demand_bps / self.capacity_bps
+    }
+
+    /// Relative load in percent, the unit used by the paper.
+    pub fn utilization_percent(&self) -> f64 {
+        self.utilization() * 100.0
+    }
+
+    /// `true` if demand exceeds capacity — the only failure the load
+    /// model can detect at all.
+    pub fn is_overloaded(&self) -> bool {
+        self.demand_bps > self.capacity_bps
+    }
+
+    /// `true` if the load exceeds the given OEM limit (the paper notes
+    /// limits vary: "some say 40 %, others say 60 %").
+    pub fn exceeds_limit(&self, limit_fraction: f64) -> bool {
+        self.utilization() > limit_fraction
+    }
+}
+
+/// Computes the relative load of `sources` on a bus of `bit_rate`
+/// bits per second.
+///
+/// # Panics
+///
+/// Panics if `bit_rate` is zero.
+///
+/// # Examples
+///
+/// Figure 1 of the paper: four ECUs producing 180 kbit/s total on a
+/// 500 kbit/s CAN bus is a 36 % load.
+///
+/// ```
+/// use carta_core::{load::{bus_load, TrafficSource}, time::Time};
+///
+/// // Express 100/50/20/10 kbit/s as one frame of 1000 bits every
+/// // 10/20/50/100 ms respectively.
+/// let sources = [
+///     TrafficSource::new(1000, Time::from_ms(10)),
+///     TrafficSource::new(1000, Time::from_ms(20)),
+///     TrafficSource::new(1000, Time::from_ms(50)),
+///     TrafficSource::new(1000, Time::from_ms(100)),
+/// ];
+/// let report = bus_load(sources, 500_000);
+/// assert!((report.utilization_percent() - 36.0).abs() < 1e-9);
+/// ```
+pub fn bus_load<I>(sources: I, bit_rate: u64) -> LoadReport
+where
+    I: IntoIterator<Item = TrafficSource>,
+{
+    assert!(bit_rate > 0, "bit rate must be positive");
+    let demand_bps = sources.into_iter().map(|s| s.bits_per_second()).sum();
+    LoadReport {
+        demand_bps,
+        capacity_bps: bit_rate as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_1_example_is_36_percent() {
+        let sources = [
+            TrafficSource::new(1000, Time::from_ms(10)), // 100 kbit/s
+            TrafficSource::new(1000, Time::from_ms(20)), // 50 kbit/s
+            TrafficSource::new(1000, Time::from_ms(50)), // 20 kbit/s
+            TrafficSource::new(1000, Time::from_ms(100)), // 10 kbit/s
+        ];
+        let report = bus_load(sources, 500_000);
+        assert!((report.demand_bps - 180_000.0).abs() < 1e-6);
+        assert!((report.utilization_percent() - 36.0).abs() < 1e-9);
+        assert!(!report.is_overloaded());
+        assert!(!report.exceeds_limit(0.40));
+        assert!(!report.exceeds_limit(0.60));
+    }
+
+    #[test]
+    fn overload_detection() {
+        let sources = [TrafficSource::new(600_000, Time::from_s(1))];
+        let report = bus_load(sources, 500_000);
+        assert!(report.is_overloaded());
+        assert!(report.exceeds_limit(0.40));
+        assert!(report.utilization() > 1.0);
+    }
+
+    #[test]
+    fn empty_source_set_is_idle() {
+        let report = bus_load(std::iter::empty(), 500_000);
+        assert_eq!(report.demand_bps, 0.0);
+        assert_eq!(report.utilization(), 0.0);
+        assert!(!report.is_overloaded());
+    }
+
+    #[test]
+    fn limits_vary_between_oems() {
+        // 50 % load: fine for the 60 % OEM, critical for the 40 % OEM —
+        // exactly the ambiguity the paper calls out.
+        let sources = [TrafficSource::new(250_000, Time::from_s(1))];
+        let report = bus_load(sources, 500_000);
+        assert!(report.exceeds_limit(0.40));
+        assert!(!report.exceeds_limit(0.60));
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_rejected() {
+        let _ = TrafficSource::new(100, Time::ZERO);
+    }
+}

@@ -1,0 +1,412 @@
+//! Discrete time values.
+//!
+//! All of `carta` computes on integer **nanoseconds** wrapped in the
+//! [`Time`] newtype. Integer time makes every analysis exactly
+//! reproducible (no floating-point drift in fixpoint iterations) and is
+//! fine-grained enough to represent single bit times of a 1 Mbit/s CAN
+//! bus (1000 ns) and far beyond.
+//!
+//! `Time` is used both for *instants* (simulator clocks) and *durations*
+//! (periods, jitters, response times); the analysis literature the crate
+//! implements does the same, and a separate instant type would buy little
+//! here while doubling the API surface.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// A non-negative time value in integer nanoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use carta_core::time::Time;
+///
+/// let period = Time::from_ms(10);
+/// let jitter = period.percent(25);
+/// assert_eq!(jitter, Time::from_ms(2) + Time::from_us(500));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+impl Time {
+    /// The zero duration / epoch instant.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable time; used as an "unbounded" sentinel in
+    /// a few saturating computations.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a time from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        Time(ns)
+    }
+
+    /// Creates a time from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        Time(us * 1_000)
+    }
+
+    /// Creates a time from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        Time(ms * 1_000_000)
+    }
+
+    /// Creates a time from whole seconds.
+    #[inline]
+    pub const fn from_s(s: u64) -> Self {
+        Time(s * 1_000_000_000)
+    }
+
+    /// The duration of `bits` bit times on a bus transmitting at
+    /// `bit_rate` bits per second, rounded **up** to whole nanoseconds
+    /// (conservative for worst-case analysis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit_rate` is zero.
+    #[inline]
+    pub fn from_bits(bits: u64, bit_rate: u64) -> Self {
+        assert!(bit_rate > 0, "bit rate must be positive");
+        // bits * 1e9 / rate, rounded up.
+        let num = (bits as u128) * 1_000_000_000u128;
+        let rate = bit_rate as u128;
+        Time(num.div_ceil(rate) as u64)
+    }
+
+    /// Raw nanosecond count.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Value in (possibly fractional) microseconds.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Value in (possibly fractional) milliseconds.
+    #[inline]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Value in (possibly fractional) seconds.
+    #[inline]
+    pub fn as_s_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// `true` if the value is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction: returns zero instead of underflowing.
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating addition: clamps at [`Time::MAX`].
+    #[inline]
+    pub const fn saturating_add(self, rhs: Time) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+
+    /// Checked addition.
+    #[inline]
+    pub const fn checked_add(self, rhs: Time) -> Option<Time> {
+        match self.0.checked_add(rhs.0) {
+            Some(v) => Some(Time(v)),
+            None => None,
+        }
+    }
+
+    /// Checked multiplication by a scalar.
+    #[inline]
+    pub const fn checked_mul(self, rhs: u64) -> Option<Time> {
+        match self.0.checked_mul(rhs) {
+            Some(v) => Some(Time(v)),
+            None => None,
+        }
+    }
+
+    /// Saturating multiplication by a scalar.
+    #[inline]
+    pub const fn saturating_mul(self, rhs: u64) -> Time {
+        Time(self.0.saturating_mul(rhs))
+    }
+
+    /// `ceil(self / divisor)` as a pure count.
+    ///
+    /// This is the ubiquitous interference term of response-time
+    /// analysis: `⌈Δt / T⌉`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    #[inline]
+    pub fn div_ceil(self, divisor: Time) -> u64 {
+        assert!(!divisor.is_zero(), "division by zero time");
+        self.0.div_ceil(divisor.0)
+    }
+
+    /// `floor(self / divisor)` as a pure count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    #[inline]
+    pub fn div_floor(self, divisor: Time) -> u64 {
+        assert!(!divisor.is_zero(), "division by zero time");
+        self.0 / divisor.0
+    }
+
+    /// `percent`% of this time, rounded down (exact for the multiples
+    /// used throughout the case study).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use carta_core::time::Time;
+    /// assert_eq!(Time::from_ms(10).percent(30), Time::from_ms(3));
+    /// ```
+    #[inline]
+    pub fn percent(self, percent: u64) -> Time {
+        Time((self.0 as u128 * percent as u128 / 100) as u64)
+    }
+
+    /// Scales this time by a non-negative factor, rounding to nearest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative, NaN, or the result overflows.
+    #[inline]
+    pub fn scale(self, factor: f64) -> Time {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be finite and non-negative"
+        );
+        let v = (self.0 as f64 * factor).round();
+        assert!(v <= u64::MAX as f64, "scaled time overflows");
+        Time(v as u64)
+    }
+
+    /// The larger of two times.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two times.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0.checked_add(rhs.0).expect("time addition overflow"))
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    /// # Panics
+    ///
+    /// Panics on underflow; use [`Time::saturating_sub`] when the
+    /// operands may be unordered.
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        Time(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("time subtraction underflow"),
+        )
+    }
+}
+
+impl SubAssign for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Time) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: u64) -> Time {
+        Time(
+            self.0
+                .checked_mul(rhs)
+                .expect("time multiplication overflow"),
+        )
+    }
+}
+
+impl Mul<Time> for u64 {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: Time) -> Time {
+        rhs * self
+    }
+}
+
+impl Div<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn div(self, rhs: u64) -> Time {
+        Time(self.0 / rhs)
+    }
+}
+
+impl Rem<Time> for Time {
+    type Output = Time;
+    #[inline]
+    fn rem(self, rhs: Time) -> Time {
+        Time(self.0 % rhs.0)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Time {
+    /// Human-readable rendering with an adaptive unit.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns == 0 {
+            write!(f, "0")
+        } else if ns.is_multiple_of(1_000_000_000) {
+            write!(f, "{}s", ns / 1_000_000_000)
+        } else if ns.is_multiple_of(1_000_000) {
+            write!(f, "{}ms", ns / 1_000_000)
+        } else if ns.is_multiple_of(1_000) {
+            write!(f, "{}us", ns / 1_000)
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+impl From<u64> for Time {
+    /// Interprets the raw integer as nanoseconds.
+    fn from(ns: u64) -> Self {
+        Time(ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_scale_correctly() {
+        assert_eq!(Time::from_us(1).as_ns(), 1_000);
+        assert_eq!(Time::from_ms(1).as_ns(), 1_000_000);
+        assert_eq!(Time::from_s(1).as_ns(), 1_000_000_000);
+        assert_eq!(Time::from_ns(7).as_ns(), 7);
+    }
+
+    #[test]
+    fn from_bits_rounds_up() {
+        // 1 bit at 500 kbit/s = 2000 ns exactly.
+        assert_eq!(Time::from_bits(1, 500_000), Time::from_us(2));
+        // 135 bits (8-byte worst-case frame) at 500 kbit/s = 270 us.
+        assert_eq!(Time::from_bits(135, 500_000), Time::from_us(270));
+        // 1 bit at 3 bits/s = 333333333.33 -> rounded up.
+        assert_eq!(Time::from_bits(1, 3).as_ns(), 333_333_334);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit rate must be positive")]
+    fn from_bits_rejects_zero_rate() {
+        let _ = Time::from_bits(1, 0);
+    }
+
+    #[test]
+    fn div_ceil_and_floor() {
+        let t = Time::from_ns(10);
+        assert_eq!(t.div_ceil(Time::from_ns(3)), 4);
+        assert_eq!(t.div_floor(Time::from_ns(3)), 3);
+        assert_eq!(t.div_ceil(Time::from_ns(5)), 2);
+        assert_eq!(t.div_floor(Time::from_ns(5)), 2);
+    }
+
+    #[test]
+    fn percent_is_exact_on_case_study_values() {
+        let p = Time::from_ms(20);
+        assert_eq!(p.percent(0), Time::ZERO);
+        assert_eq!(p.percent(10), Time::from_ms(2));
+        assert_eq!(p.percent(25), Time::from_ms(5));
+        assert_eq!(p.percent(100), p);
+        assert_eq!(p.percent(150), Time::from_ms(30));
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(
+            Time::from_ns(3).saturating_sub(Time::from_ns(5)),
+            Time::ZERO
+        );
+        assert_eq!(Time::MAX.saturating_add(Time::from_ns(1)), Time::MAX);
+        assert_eq!(Time::MAX.saturating_mul(2), Time::MAX);
+    }
+
+    #[test]
+    fn display_uses_adaptive_units() {
+        assert_eq!(Time::ZERO.to_string(), "0");
+        assert_eq!(Time::from_ns(5).to_string(), "5ns");
+        assert_eq!(Time::from_us(5).to_string(), "5us");
+        assert_eq!(Time::from_ms(5).to_string(), "5ms");
+        assert_eq!(Time::from_s(5).to_string(), "5s");
+    }
+
+    #[test]
+    fn scale_rounds_to_nearest() {
+        assert_eq!(Time::from_ns(10).scale(0.25), Time::from_ns(3)); // 2.5 -> 3 (round half away)
+        assert_eq!(Time::from_ns(10).scale(1.0), Time::from_ns(10));
+        assert_eq!(Time::from_ns(10).scale(0.0), Time::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "time subtraction underflow")]
+    fn sub_panics_on_underflow() {
+        let _ = Time::from_ns(1) - Time::from_ns(2);
+    }
+
+    #[test]
+    fn sum_of_times() {
+        let total: Time = [Time::from_ms(1), Time::from_ms(2), Time::from_ms(3)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, Time::from_ms(6));
+    }
+}

@@ -1,0 +1,44 @@
+//! # carta-ecu
+//!
+//! ECU-side scheduling analysis for the `carta` workspace: OSEK-style
+//! fixed-priority tasks with preemptive and cooperative behaviour,
+//! hardware interrupts, kernel overheads and TimeTable activation —
+//! the feature list the paper attributes to SymTA/S in Section 5.2.
+//!
+//! The crate answers the supplier-side questions of the paper's
+//! supply-chain discussion:
+//!
+//! * *What send jitter can I guarantee for my messages?* —
+//!   [`rta::analyze_ecu`] plus [`send_jitter::message_model_from_task`],
+//! * *Does my task set fit at all?* — [`utilization::liu_layland_test`]
+//!   for the quick check, the exact busy-window analysis for the truth,
+//! * *How do time-triggered tables interact?* — [`timetable::TimeTable`].
+//!
+//! [`resource::EcuResource`] plugs an ECU into the compositional engine
+//! so gateway chains (bus → task → bus) can be analyzed end to end.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod gateway;
+pub mod offset_analysis;
+pub mod opa;
+pub mod resource;
+pub mod rta;
+pub mod send_jitter;
+pub mod task;
+pub mod timetable;
+pub mod utilization;
+
+/// Convenient single import for the common types of this crate.
+pub mod prelude {
+    pub use crate::gateway::{plan_gateway, ForwardedStream, ForwardingStrategy, GatewayPlan};
+    pub use crate::offset_analysis::{analyze_offsets, OffsetReport, OffsetTask};
+    pub use crate::opa::{apply_priority_order, audsley_task_priorities};
+    pub use crate::resource::EcuResource;
+    pub use crate::rta::{analyze_ecu, EcuAnalysisConfig, EcuReport, TaskReport};
+    pub use crate::send_jitter::{message_model_every_nth, message_model_from_task};
+    pub use crate::task::{ExecKind, OsekOverhead, Preemption, Priority, Task};
+    pub use crate::timetable::TimeTable;
+    pub use crate::utilization::{liu_layland_test, utilization, UtilizationVerdict};
+}

@@ -1,0 +1,176 @@
+//! Audsley's Optimal Priority Assignment for OSEK task sets.
+//!
+//! The ECU-side counterpart of `carta_can::opa`: a supplier that
+//! receives jitter requirements from the OEM (paper Sec. 5.1) can use
+//! OPA to find task priorities that meet given response-time budgets —
+//! or to prove that no fixed-priority configuration can.
+//!
+//! The busy-window test in [`crate::rta`] depends only on the *sets* of
+//! higher- and lower-ranked tasks (interference from above, the largest
+//! non-preemptable segment from below), so OPA is optimal for it.
+//! Interrupts keep their hardware-given precedence: OPA permutes task
+//! priorities only, with every ISR fixed above all tasks.
+
+use crate::rta::{task_wcrt, EcuAnalysisConfig};
+use crate::task::{ExecKind, Task};
+use carta_core::time::Time;
+
+/// Runs Audsley's algorithm over the *tasks* of the set (ISRs stay on
+/// top in their given relative order). `deadlines[i]` is the response
+/// budget of `tasks[i]`.
+///
+/// Returns the strongest-first ordering of task indices (ISR indices
+/// first, in input order), or `None` if no assignment meets all
+/// budgets.
+///
+/// # Panics
+///
+/// Panics if `deadlines.len() != tasks.len()`.
+pub fn audsley_task_priorities(
+    tasks: &[Task],
+    config: &EcuAnalysisConfig,
+    deadlines: &[Time],
+) -> Option<Vec<usize>> {
+    assert_eq!(tasks.len(), deadlines.len(), "one deadline per task");
+    let isrs: Vec<usize> = (0..tasks.len())
+        .filter(|&i| tasks[i].kind == ExecKind::Isr)
+        .collect();
+    let mut unassigned: Vec<usize> = (0..tasks.len())
+        .filter(|&i| tasks[i].kind == ExecKind::Task)
+        .collect();
+    let mut assigned_low: Vec<usize> = Vec::new();
+
+    let oh = config.overhead;
+    while !unassigned.is_empty() {
+        let mut chosen = None;
+        for (pos, &candidate) in unassigned.iter().enumerate() {
+            // Higher-ranked: all ISRs plus every other unassigned task.
+            let hp: Vec<&Task> = isrs
+                .iter()
+                .chain(unassigned.iter().filter(|&&j| j != candidate))
+                .map(|&j| &tasks[j])
+                .collect();
+            let blocking = assigned_low
+                .iter()
+                .map(|&j| tasks[j].max_blocking_segment())
+                .max()
+                .unwrap_or(Time::ZERO);
+            let c_eff = oh.effective_wcet(tasks[candidate].c_max);
+            let ok = task_wcrt(&tasks[candidate], &hp, blocking, c_eff, config)
+                .is_some_and(|(wcrt, _)| wcrt <= deadlines[candidate]);
+            if ok {
+                chosen = Some(pos);
+                break;
+            }
+        }
+        match chosen {
+            Some(pos) => {
+                let t = unassigned.remove(pos);
+                assigned_low.push(t);
+            }
+            None => return None,
+        }
+    }
+    assigned_low.reverse();
+    let mut order = isrs;
+    order.extend(assigned_low);
+    Some(order)
+}
+
+/// Applies a strongest-first ordering: returns the task set with fresh
+/// [`Priority`](crate::task::Priority) values descending along the
+/// order (ISR entries keep their kind; numeric priorities order ISRs
+/// among themselves as given).
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of the task indices.
+pub fn apply_priority_order(tasks: &[Task], order: &[usize]) -> Vec<Task> {
+    assert_eq!(order.len(), tasks.len(), "order/task-set mismatch");
+    let mut out: Vec<Task> = tasks.to_vec();
+    let n = tasks.len() as u32;
+    let mut seen = vec![false; tasks.len()];
+    for (rank, &idx) in order.iter().enumerate() {
+        assert!(!seen[idx], "order must be a permutation");
+        seen[idx] = true;
+        out[idx].priority = crate::task::Priority(n - rank as u32);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rta::analyze_ecu;
+    use crate::task::Priority;
+
+    fn ms(v: u64) -> Time {
+        Time::from_ms(v)
+    }
+
+    /// Deadline-monotonic-hostile set: feasible only if the *short
+    /// deadline* task gets priority, regardless of its long period.
+    fn tasks() -> Vec<Task> {
+        vec![
+            // Long period but tight response budget.
+            Task::periodic("alarm", Priority(1), ms(100), Time::ZERO, ms(1)),
+            // Short period, relaxed budget.
+            Task::periodic("ctrl", Priority(2), ms(5), Time::ZERO, ms(2)),
+            Task::periodic("log", Priority(3), ms(50), Time::ZERO, ms(5)),
+        ]
+    }
+
+    #[test]
+    fn finds_the_only_feasible_order() {
+        let set = tasks();
+        // alarm must respond within 1.5 ms; ctrl within 5 ms; log 50 ms.
+        let deadlines = [ms(1) + Time::from_us(500), ms(5), ms(50)];
+        let order = audsley_task_priorities(&set, &EcuAnalysisConfig::default(), &deadlines)
+            .expect("feasible");
+        // alarm needs the top slot: anything above it would push its
+        // response past 1.5 ms.
+        assert_eq!(order[0], 0, "alarm must rank first, got {order:?}");
+
+        // The assignment verifies end to end.
+        let prioritized = apply_priority_order(&set, &order);
+        let report = analyze_ecu(&prioritized, &EcuAnalysisConfig::default()).expect("valid");
+        for (i, t) in report.tasks.iter().enumerate() {
+            assert!(
+                t.wcrt().expect("bounded") <= deadlines[i],
+                "{} misses",
+                t.name
+            );
+        }
+    }
+
+    #[test]
+    fn reports_infeasibility() {
+        let set = tasks();
+        // Nobody can give every task a sub-millisecond response.
+        let deadlines = [Time::from_us(500); 3];
+        assert!(audsley_task_priorities(&set, &EcuAnalysisConfig::default(), &deadlines).is_none());
+    }
+
+    #[test]
+    fn isrs_stay_on_top() {
+        let mut set = tasks();
+        set.push(
+            Task::periodic("timer", Priority(9), ms(1), Time::ZERO, Time::from_us(100)).as_isr(),
+        );
+        let deadlines = [ms(3), ms(5), ms(50), ms(1)];
+        let order = audsley_task_priorities(&set, &EcuAnalysisConfig::default(), &deadlines)
+            .expect("feasible");
+        assert_eq!(order[0], 3, "the ISR leads the order");
+        let prioritized = apply_priority_order(&set, &order);
+        // The ISR outranks every task after re-prioritization.
+        for t in &prioritized[..3] {
+            assert!(prioritized[3].outranks(t));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "order/task-set mismatch")]
+    fn bad_order_rejected() {
+        let _ = apply_priority_order(&tasks(), &[0, 1]);
+    }
+}

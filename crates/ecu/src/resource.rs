@@ -1,0 +1,148 @@
+//! Adapter exposing an ECU scheduler as a resource of the
+//! compositional engine in `carta-core`.
+
+use crate::rta::{analyze_ecu, EcuAnalysisConfig};
+use crate::task::Task;
+use carta_core::analysis::AnalysisError;
+use carta_core::comp::{Resource, SlotResponse};
+use carta_core::event_model::EventModel;
+
+/// An ECU participating in a system-level analysis. Slot `i` is task
+/// `i` of the wrapped task set.
+#[derive(Debug)]
+pub struct EcuResource {
+    name: String,
+    tasks: Vec<Task>,
+    config: EcuAnalysisConfig,
+}
+
+impl EcuResource {
+    /// Wraps a task set with the default (zero-overhead) configuration.
+    pub fn new(name: impl Into<String>, tasks: Vec<Task>) -> Self {
+        EcuResource {
+            name: name.into(),
+            tasks,
+            config: EcuAnalysisConfig::default(),
+        }
+    }
+
+    /// Overrides the analysis configuration.
+    pub fn with_config(mut self, config: EcuAnalysisConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The wrapped tasks.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Default activation model of slot `i`.
+    pub fn default_activation(&self, slot: usize) -> Option<EventModel> {
+        self.tasks.get(slot).map(|t| t.activation)
+    }
+}
+
+impl Resource for EcuResource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn slot_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    fn slot_name(&self, slot: usize) -> String {
+        self.tasks
+            .get(slot)
+            .map(|t| format!("{}:{}", self.name, t.name))
+            .unwrap_or_else(|| format!("{}[{slot}]", self.name))
+    }
+
+    fn analyze(&self, activations: &[EventModel]) -> Result<Vec<SlotResponse>, AnalysisError> {
+        if activations.len() != self.tasks.len() {
+            return Err(AnalysisError::InvalidModel(format!(
+                "ECU `{}` expects {} activations, got {}",
+                self.name,
+                self.tasks.len(),
+                activations.len()
+            )));
+        }
+        let tasks: Vec<Task> = self
+            .tasks
+            .iter()
+            .zip(activations)
+            .map(|(t, em)| t.clone().with_activation(*em))
+            .collect();
+        let report = analyze_ecu(&tasks, &self.config)?;
+        report
+            .tasks
+            .iter()
+            .map(|t| match t.bounds {
+                Some(bounds) => Ok(SlotResponse {
+                    bounds,
+                    min_output_spacing: self.tasks[t.index].c_min,
+                }),
+                None => Err(AnalysisError::Unbounded {
+                    entity: t.name.clone(),
+                }),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::Priority;
+    use carta_core::comp::{CompositionalSystem, NodeRef};
+    use carta_core::time::Time;
+
+    fn tasks() -> Vec<Task> {
+        vec![
+            Task::periodic(
+                "ctrl",
+                Priority(2),
+                Time::from_ms(5),
+                Time::from_us(500),
+                Time::from_ms(1),
+            ),
+            Task::periodic(
+                "gw",
+                Priority(1),
+                Time::from_ms(10),
+                Time::from_us(100),
+                Time::from_ms(2),
+            ),
+        ]
+    }
+
+    #[test]
+    fn resource_surface() {
+        let res = EcuResource::new("EMS", tasks());
+        assert_eq!(res.slot_count(), 2);
+        assert_eq!(res.slot_name(1), "EMS:gw");
+        assert_eq!(res.slot_name(5), "EMS[5]");
+        assert!(res.default_activation(0).is_some());
+        assert!(res.analyze(&[]).is_err());
+    }
+
+    #[test]
+    fn gateway_chain_ecu_feeds_bus_style_propagation() {
+        let res = EcuResource::new("EMS", tasks());
+        let act0 = res.default_activation(0).expect("slot");
+        let act1 = res.default_activation(1).expect("slot");
+        let mut sys = CompositionalSystem::new();
+        let e = sys.add_resource(Box::new(res));
+        sys.set_source(NodeRef::new(e, 0), act0).expect("valid");
+        sys.set_source(NodeRef::new(e, 1), act1).expect("valid");
+        let result = sys.analyze().expect("converges");
+        // gw: 2 ms own + one ctrl preemption = 3 ms worst, 100 us best.
+        let b = result.response(NodeRef::new(e, 1));
+        assert_eq!(b.worst(), Time::from_ms(3));
+        assert_eq!(b.best(), Time::from_us(100));
+        // Downstream message model per the paper's datasheet duality:
+        let out = result.output(NodeRef::new(e, 1));
+        assert_eq!(out.jitter(), Time::from_ms(3) - Time::from_us(100));
+    }
+}

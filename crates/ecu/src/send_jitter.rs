@@ -1,0 +1,76 @@
+//! Deriving message send jitters from ECU task analysis.
+//!
+//! The paper's Section 3.3 observes that message send jitters "result
+//! from ECU implementation decisions" — concretely, a message queued at
+//! the end of a task inherits the task's activation jitter plus its
+//! response-time variation. This module computes exactly the numbers an
+//! ECU supplier would publish in a datasheet (Sec. 5.1).
+
+use carta_core::analysis::ResponseBounds;
+use carta_core::event_model::EventModel;
+
+/// The event model of a message queued each time a task completes.
+///
+/// `J_msg = J_task + (R⁺ − R⁻)`; the period is the task's period and
+/// the minimum distance is the task's best-case response (two
+/// completions cannot be closer than the later activation's best case).
+pub fn message_model_from_task(
+    task_activation: &EventModel,
+    response: &ResponseBounds,
+) -> EventModel {
+    task_activation.propagate(response.best(), response.worst(), response.best())
+}
+
+/// Like [`message_model_from_task`] for a message sent only every
+/// `nth` task run (period multiplication).
+///
+/// # Panics
+///
+/// Panics if `nth` is zero.
+pub fn message_model_every_nth(
+    task_activation: &EventModel,
+    response: &ResponseBounds,
+    nth: u64,
+) -> EventModel {
+    assert!(nth > 0, "nth must be positive");
+    let stretched = EventModel::new(
+        task_activation.kind(),
+        task_activation.period() * nth,
+        task_activation.jitter(),
+        task_activation.dmin(),
+    );
+    stretched.propagate(response.best(), response.worst(), response.best())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carta_core::time::Time;
+
+    #[test]
+    fn send_jitter_is_activation_plus_response_span() {
+        let act = EventModel::periodic_with_jitter(Time::from_ms(10), Time::from_ms(1));
+        let resp = ResponseBounds::new(Time::from_us(200), Time::from_ms(3));
+        let msg = message_model_from_task(&act, &resp);
+        assert_eq!(msg.period(), Time::from_ms(10));
+        assert_eq!(msg.jitter(), Time::from_ms(1) + Time::from_us(2800));
+        assert_eq!(msg.dmin(), Time::from_us(200));
+    }
+
+    #[test]
+    fn every_nth_multiplies_period_only() {
+        let act = EventModel::periodic(Time::from_ms(5));
+        let resp = ResponseBounds::new(Time::from_us(100), Time::from_us(600));
+        let msg = message_model_every_nth(&act, &resp, 4);
+        assert_eq!(msg.period(), Time::from_ms(20));
+        assert_eq!(msg.jitter(), Time::from_us(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "nth must be positive")]
+    fn zeroth_rejected() {
+        let act = EventModel::periodic(Time::from_ms(5));
+        let resp = ResponseBounds::new(Time::ZERO, Time::ZERO);
+        let _ = message_model_every_nth(&act, &resp, 0);
+    }
+}

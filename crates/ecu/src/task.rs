@@ -1,0 +1,231 @@
+//! The ECU task model: OSEK-style fixed-priority tasks and interrupts.
+
+use carta_core::event_model::EventModel;
+use carta_core::time::Time;
+use std::fmt;
+
+/// Scheduling priority. Following OSEK convention, a numerically
+/// **larger** priority wins the CPU; interrupts outrank every task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Priority(pub u32);
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prio {}", self.0)
+    }
+}
+
+/// Preemption behaviour of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Preemption {
+    /// Fully preemptive: can be interrupted anywhere; never blocks
+    /// higher-priority work.
+    Preemptive,
+    /// Cooperative (OSEK non-preemptable between schedule points): runs
+    /// in non-preemptable segments of at most the given length. Each
+    /// segment blocks higher-priority tasks once.
+    Cooperative {
+        /// Longest non-preemptable segment.
+        max_segment: Time,
+    },
+}
+
+/// Whether the entity is a task or a hardware interrupt handler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecKind {
+    /// Ordinary OSEK task.
+    #[default]
+    Task,
+    /// Interrupt service routine — outranks all tasks regardless of the
+    /// numeric priority, which only orders ISRs among themselves.
+    Isr,
+}
+
+/// One schedulable entity on an ECU.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Task {
+    /// Task name.
+    pub name: String,
+    /// Scheduling priority (larger wins; see [`ExecKind`] for ISRs).
+    pub priority: Priority,
+    /// Best-case execution time.
+    pub c_min: Time,
+    /// Worst-case execution time.
+    pub c_max: Time,
+    /// Activation event model.
+    pub activation: EventModel,
+    /// Preemption behaviour.
+    pub preemption: Preemption,
+    /// Task or interrupt.
+    pub kind: ExecKind,
+}
+
+impl Task {
+    /// Creates a fully-preemptive periodic task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c_min > c_max`.
+    pub fn periodic(
+        name: impl Into<String>,
+        priority: Priority,
+        period: Time,
+        c_min: Time,
+        c_max: Time,
+    ) -> Self {
+        assert!(c_min <= c_max, "execution time bounds inverted");
+        Task {
+            name: name.into(),
+            priority,
+            c_min,
+            c_max,
+            activation: EventModel::periodic(period),
+            preemption: Preemption::Preemptive,
+            kind: ExecKind::Task,
+        }
+    }
+
+    /// Returns a copy with a different activation model.
+    pub fn with_activation(mut self, activation: EventModel) -> Self {
+        self.activation = activation;
+        self
+    }
+
+    /// Returns a copy marked cooperative with the given segment bound.
+    pub fn cooperative(mut self, max_segment: Time) -> Self {
+        self.preemption = Preemption::Cooperative { max_segment };
+        self
+    }
+
+    /// Returns a copy marked as an interrupt handler.
+    pub fn as_isr(mut self) -> Self {
+        self.kind = ExecKind::Isr;
+        self
+    }
+
+    /// The longest non-preemptable segment this task can impose on
+    /// higher-priority work (zero if fully preemptive).
+    pub fn max_blocking_segment(&self) -> Time {
+        match self.preemption {
+            Preemption::Preemptive => Time::ZERO,
+            Preemption::Cooperative { max_segment } => max_segment.min(self.c_max),
+        }
+    }
+
+    /// Effective scheduling rank: ISRs above all tasks, then by
+    /// priority (descending).
+    pub fn rank(&self) -> (bool, u32) {
+        (matches!(self.kind, ExecKind::Isr), self.priority.0)
+    }
+
+    /// `true` if `self` preempts (has strictly higher rank than) `other`.
+    pub fn outranks(&self, other: &Task) -> bool {
+        self.rank() > other.rank()
+    }
+}
+
+/// Fixed OSEK kernel overheads charged by the analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OsekOverhead {
+    /// Cost of activating and dispatching a task (added to every
+    /// execution, own and interfering).
+    pub activate: Time,
+    /// Cost of terminating a task (added likewise).
+    pub terminate: Time,
+    /// Cost of a preemption (context switch), charged per interfering
+    /// activation.
+    pub preempt: Time,
+}
+
+impl OsekOverhead {
+    /// Zero-overhead kernel (idealized).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// The effective worst-case execution demand of one activation.
+    pub fn effective_wcet(&self, c: Time) -> Time {
+        self.activate + c + self.terminate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_put_isrs_first() {
+        let t = Task::periodic(
+            "t",
+            Priority(10),
+            Time::from_ms(10),
+            Time::ZERO,
+            Time::from_ms(1),
+        );
+        let isr = Task::periodic(
+            "i",
+            Priority(1),
+            Time::from_ms(5),
+            Time::ZERO,
+            Time::from_us(50),
+        )
+        .as_isr();
+        assert!(isr.outranks(&t));
+        assert!(!t.outranks(&isr));
+        let t2 = Task::periodic(
+            "t2",
+            Priority(11),
+            Time::from_ms(10),
+            Time::ZERO,
+            Time::from_ms(1),
+        );
+        assert!(t2.outranks(&t));
+    }
+
+    #[test]
+    fn blocking_segment_capped_by_wcet() {
+        let t = Task::periodic(
+            "t",
+            Priority(1),
+            Time::from_ms(10),
+            Time::ZERO,
+            Time::from_us(500),
+        )
+        .cooperative(Time::from_ms(2));
+        assert_eq!(t.max_blocking_segment(), Time::from_us(500));
+        let p = Task::periodic(
+            "p",
+            Priority(1),
+            Time::from_ms(10),
+            Time::ZERO,
+            Time::from_ms(1),
+        );
+        assert_eq!(p.max_blocking_segment(), Time::ZERO);
+    }
+
+    #[test]
+    fn overheads_extend_wcet() {
+        let oh = OsekOverhead {
+            activate: Time::from_us(10),
+            terminate: Time::from_us(5),
+            preempt: Time::from_us(8),
+        };
+        assert_eq!(oh.effective_wcet(Time::from_us(100)), Time::from_us(115));
+        assert_eq!(
+            OsekOverhead::none().effective_wcet(Time::from_us(100)),
+            Time::from_us(100)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "execution time bounds inverted")]
+    fn inverted_wcet_rejected() {
+        let _ = Task::periodic(
+            "t",
+            Priority(1),
+            Time::from_ms(1),
+            Time::from_ms(2),
+            Time::from_ms(1),
+        );
+    }
+}

@@ -1,0 +1,212 @@
+//! TimeTable (time-triggered) task activation.
+//!
+//! The paper (Sec. 5.2) highlights that SymTA/S handles "TimeTable
+//! activation of messages and tasks, typically found in the automotive
+//! industry". A time table dispatches activations at fixed offsets
+//! within a table period. The derived standard event model is exact for
+//! a single slot (periodic, no jitter) and uses the burst mapping for
+//! multiple slots; the analysis uses the model conservatively (it
+//! ignores relative offsets between *different* tasks, which is sound),
+//! while the simulator replays offsets exactly.
+
+use carta_core::event_model::EventModel;
+use carta_core::time::Time;
+use std::error::Error;
+use std::fmt;
+
+/// A dispatch table: activation offsets within a repeating period.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimeTable {
+    period: Time,
+    slots: Vec<Time>,
+}
+
+/// Error building a [`TimeTable`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildTimeTableError {
+    /// The table period is zero.
+    ZeroPeriod,
+    /// No slots given.
+    Empty,
+    /// A slot offset reaches or exceeds the period.
+    OffsetOutOfRange {
+        /// The offending offset.
+        offset: Time,
+    },
+    /// Two slots share an offset.
+    DuplicateOffset {
+        /// The duplicated offset.
+        offset: Time,
+    },
+}
+
+impl fmt::Display for BuildTimeTableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildTimeTableError::ZeroPeriod => write!(f, "time table period must be positive"),
+            BuildTimeTableError::Empty => write!(f, "time table has no slots"),
+            BuildTimeTableError::OffsetOutOfRange { offset } => {
+                write!(f, "slot offset {offset} not below the table period")
+            }
+            BuildTimeTableError::DuplicateOffset { offset } => {
+                write!(f, "duplicate slot offset {offset}")
+            }
+        }
+    }
+}
+
+impl Error for BuildTimeTableError {}
+
+impl TimeTable {
+    /// Creates a table from a period and slot offsets (any order).
+    ///
+    /// # Errors
+    ///
+    /// See [`BuildTimeTableError`].
+    pub fn new(period: Time, mut slots: Vec<Time>) -> Result<Self, BuildTimeTableError> {
+        if period.is_zero() {
+            return Err(BuildTimeTableError::ZeroPeriod);
+        }
+        if slots.is_empty() {
+            return Err(BuildTimeTableError::Empty);
+        }
+        slots.sort_unstable();
+        for w in slots.windows(2) {
+            if w[0] == w[1] {
+                return Err(BuildTimeTableError::DuplicateOffset { offset: w[0] });
+            }
+        }
+        if let Some(&last) = slots.last() {
+            if last >= period {
+                return Err(BuildTimeTableError::OffsetOutOfRange { offset: last });
+            }
+        }
+        Ok(TimeTable { period, slots })
+    }
+
+    /// Table period.
+    pub fn period(&self) -> Time {
+        self.period
+    }
+
+    /// Sorted slot offsets.
+    pub fn slots(&self) -> &[Time] {
+        &self.slots
+    }
+
+    /// Minimum distance between consecutive activations (including the
+    /// wrap-around from the last slot to the first of the next period).
+    pub fn min_slot_distance(&self) -> Time {
+        let n = self.slots.len();
+        if n == 1 {
+            return self.period;
+        }
+        let mut min = self.period + self.slots[0] - self.slots[n - 1];
+        for w in self.slots.windows(2) {
+            min = min.min(w[1] - w[0]);
+        }
+        min
+    }
+
+    /// The standard event model describing this table's activations:
+    /// exact (periodic, zero jitter) for one slot, burst-shaped for
+    /// several.
+    pub fn event_model(&self) -> EventModel {
+        if self.slots.len() == 1 {
+            EventModel::periodic(self.period)
+        } else {
+            EventModel::burst(
+                self.period,
+                self.slots.len() as u64,
+                self.min_slot_distance(),
+            )
+        }
+    }
+
+    /// All activation instants in `[0, horizon)`, for simulation.
+    pub fn activations_until(&self, horizon: Time) -> Vec<Time> {
+        let mut out = Vec::new();
+        let mut base = Time::ZERO;
+        'outer: loop {
+            for &s in &self.slots {
+                let t = base + s;
+                if t >= horizon {
+                    break 'outer;
+                }
+                out.push(t);
+            }
+            base += self.period;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Time {
+        Time::from_ms(v)
+    }
+
+    #[test]
+    fn single_slot_is_periodic() {
+        let tt = TimeTable::new(ms(10), vec![ms(3)]).expect("valid");
+        assert_eq!(tt.event_model(), EventModel::periodic(ms(10)));
+        assert_eq!(tt.min_slot_distance(), ms(10));
+    }
+
+    #[test]
+    fn multi_slot_burst_model() {
+        let tt = TimeTable::new(ms(20), vec![ms(0), ms(2), ms(4)]).expect("valid");
+        assert_eq!(tt.min_slot_distance(), ms(2));
+        let em = tt.event_model();
+        // The burst mapping is a sound over-approximation: it must
+        // admit at least the true worst case (4 events in a window
+        // aligned with the burst: 0, 2, 4, 20) and stays close to it.
+        assert!(em.eta_plus(ms(20)) >= 4);
+        assert!(em.eta_plus(ms(20)) <= 5);
+        // The long-run rate converges to 3 per 20 ms.
+        assert!(em.eta_plus(ms(200)) <= 33);
+        assert_eq!(em.dmin(), ms(2));
+    }
+
+    #[test]
+    fn wraparound_distance_counts() {
+        let tt = TimeTable::new(ms(10), vec![ms(1), ms(9)]).expect("valid");
+        // 9 -> 11 wraps to slot at 1 of next period: distance 2 ms;
+        // 1 -> 9 is 8 ms.
+        assert_eq!(tt.min_slot_distance(), ms(2));
+    }
+
+    #[test]
+    fn activation_replay() {
+        let tt = TimeTable::new(ms(10), vec![ms(0), ms(4)]).expect("valid");
+        assert_eq!(
+            tt.activations_until(ms(25)),
+            vec![ms(0), ms(4), ms(10), ms(14), ms(20), ms(24)]
+        );
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(
+            TimeTable::new(Time::ZERO, vec![ms(0)]),
+            Err(BuildTimeTableError::ZeroPeriod)
+        );
+        assert_eq!(
+            TimeTable::new(ms(10), vec![]),
+            Err(BuildTimeTableError::Empty)
+        );
+        assert_eq!(
+            TimeTable::new(ms(10), vec![ms(10)]),
+            Err(BuildTimeTableError::OffsetOutOfRange { offset: ms(10) })
+        );
+        assert_eq!(
+            TimeTable::new(ms(10), vec![ms(2), ms(2)]),
+            Err(BuildTimeTableError::DuplicateOffset { offset: ms(2) })
+        );
+        let err = TimeTable::new(ms(10), vec![ms(10)]).expect_err("out of range");
+        assert!(err.to_string().contains("10ms"));
+    }
+}

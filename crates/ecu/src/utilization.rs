@@ -1,0 +1,90 @@
+//! Utilization-based schedulability tests (Liu & Layland, ref. \[3\]).
+
+use crate::task::Task;
+
+/// Total processor utilization of a task set (worst-case execution
+/// divided by period, summed).
+pub fn utilization(tasks: &[Task]) -> f64 {
+    tasks
+        .iter()
+        .map(|t| t.c_max.as_ns() as f64 / t.activation.period().as_ns() as f64)
+        .sum()
+}
+
+/// The Liu & Layland rate-monotonic bound `n·(2^(1/n) − 1)`.
+pub fn liu_layland_bound(n: usize) -> f64 {
+    if n == 0 {
+        return 1.0;
+    }
+    let n = n as f64;
+    n * (2f64.powf(1.0 / n) - 1.0)
+}
+
+/// Verdict of the utilization test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UtilizationVerdict {
+    /// Utilization below the Liu & Layland bound: schedulable under
+    /// rate-monotonic priorities without further analysis.
+    SchedulableByBound,
+    /// Above the bound but below 1: inconclusive — run the exact
+    /// response-time analysis.
+    Inconclusive,
+    /// Utilization at or above 1: definitely unschedulable.
+    Overloaded,
+}
+
+/// Applies the Liu & Layland test to a task set.
+pub fn liu_layland_test(tasks: &[Task]) -> UtilizationVerdict {
+    let u = utilization(tasks);
+    if u >= 1.0 {
+        UtilizationVerdict::Overloaded
+    } else if u <= liu_layland_bound(tasks.len()) {
+        UtilizationVerdict::SchedulableByBound
+    } else {
+        UtilizationVerdict::Inconclusive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::Priority;
+    use carta_core::time::Time;
+
+    fn task(period_ms: u64, wcet_ms: u64, prio: u32) -> Task {
+        Task::periodic(
+            format!("t{prio}"),
+            Priority(prio),
+            Time::from_ms(period_ms),
+            Time::ZERO,
+            Time::from_ms(wcet_ms),
+        )
+    }
+
+    #[test]
+    fn bound_values() {
+        assert!((liu_layland_bound(1) - 1.0).abs() < 1e-12);
+        assert!((liu_layland_bound(2) - 0.8284).abs() < 1e-3);
+        assert!((liu_layland_bound(3) - 0.7798).abs() < 1e-3);
+        assert_eq!(liu_layland_bound(0), 1.0);
+        // The bound converges to ln 2 from above.
+        assert!(liu_layland_bound(1000) > std::f64::consts::LN_2);
+    }
+
+    #[test]
+    fn verdicts() {
+        // U = 0.5: below every bound.
+        let light = [task(10, 2, 2), task(20, 6, 1)];
+        assert_eq!(
+            liu_layland_test(&light),
+            UtilizationVerdict::SchedulableByBound
+        );
+        // U = 0.9: above the 2-task bound, below 1.
+        let tight = [task(10, 5, 2), task(20, 8, 1)];
+        assert_eq!(liu_layland_test(&tight), UtilizationVerdict::Inconclusive);
+        // U = 1.2.
+        let over = [task(10, 8, 2), task(20, 8, 1)];
+        assert_eq!(liu_layland_test(&over), UtilizationVerdict::Overloaded);
+        assert!((utilization(&over) - 1.2).abs() < 1e-12);
+    }
+}

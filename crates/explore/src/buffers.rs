@@ -1,0 +1,197 @@
+//! Buffer dimensioning from analysis results.
+//!
+//! The paper's Section 1 lists "buffer under- and over-flows" among the
+//! hard-to-find timing problems, and Section 5 names gateway "queue
+//! configuration" as an OEM-tunable parameter. Both questions reduce to
+//! arrival-curve arithmetic once the response-time analysis has run:
+//!
+//! * a **sender-side** queue never overflows if it holds as many
+//!   instances as can be simultaneously pending — `η⁺(WCRT)` of the
+//!   message's own activation model;
+//! * a **receiver/gateway-side** queue drained every `drain_period`
+//!   never overflows if it holds the peak arrivals of one drain window
+//!   plus the backlog admissible while one drain is in flight —
+//!   conservatively `Σ η⁺_out(drain_period + WCRT_out)` over the
+//!   streams it consumes.
+
+use crate::scenario::Scenario;
+use carta_can::network::CanNetwork;
+use carta_can::rta::ResponseOutcome;
+use carta_core::analysis::AnalysisError;
+use carta_core::time::Time;
+
+/// Sender-side queue requirement of one message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxBufferNeed {
+    /// Message name.
+    pub message: String,
+    /// Instances that can be pending simultaneously; `None` when the
+    /// message has no bounded response (overload — no finite buffer
+    /// suffices).
+    pub depth: Option<u64>,
+}
+
+/// Computes per-message sender-queue depths under `scenario`.
+///
+/// A depth of 1 means the classic single buffer never overwrites; a
+/// larger depth is what a fullCAN mailbox set or driver queue must hold
+/// to make the "message loss" of the paper's Section 4.2 impossible
+/// even past the deadline.
+///
+/// # Errors
+///
+/// Propagates [`AnalysisError`] from the bus analysis.
+pub fn required_tx_depths(
+    net: &CanNetwork,
+    scenario: &Scenario,
+) -> Result<Vec<TxBufferNeed>, AnalysisError> {
+    let report = scenario.analyze(net)?;
+    Ok(report
+        .messages
+        .iter()
+        .map(|m| {
+            let depth = match m.outcome {
+                ResponseOutcome::Bounded(b) => Some(
+                    net.messages()[m.index]
+                        .activation
+                        .eta_plus(b.worst())
+                        .max(1),
+                ),
+                ResponseOutcome::Overload => None,
+            };
+            TxBufferNeed {
+                message: m.name.clone(),
+                depth,
+            }
+        })
+        .collect())
+}
+
+/// Peak number of frames a node can receive within `drain_period` plus
+/// one worst-case arrival backlog — the queue depth a gateway or
+/// application task draining at that period must provision.
+///
+/// Returns `None` if any consumed stream has no bounded response.
+///
+/// # Errors
+///
+/// Propagates [`AnalysisError`] from the bus analysis.
+pub fn required_rx_depth(
+    net: &CanNetwork,
+    scenario: &Scenario,
+    node: usize,
+    drain_period: Time,
+) -> Result<Option<u64>, AnalysisError> {
+    if net.nodes().get(node).is_none() {
+        return Err(AnalysisError::InvalidModel(format!(
+            "node index {node} out of range"
+        )));
+    }
+    let report = scenario.analyze(net)?;
+    let mut total = 0u64;
+    for m in &report.messages {
+        let msg = &net.messages()[m.index];
+        // `receivers` are not modeled on CanMessage; a node consumes a
+        // stream if it is not the sender (broadcast bus). Callers with
+        // K-Matrix receiver lists should pre-filter; the broadcast
+        // assumption is conservative.
+        if msg.sender == node {
+            continue;
+        }
+        match m.outcome {
+            ResponseOutcome::Bounded(b) => {
+                let out = msg.activation.propagate(b.best(), b.worst(), m.c_min);
+                total += out.eta_plus(drain_period.saturating_add(b.worst()));
+            }
+            ResponseOutcome::Overload => return Ok(None),
+        }
+    }
+    Ok(Some(total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carta_can::controller::ControllerType;
+    use carta_can::frame::Dlc;
+    use carta_can::message::{CanId, CanMessage};
+    use carta_can::network::Node;
+    use carta_core::event_model::EventModel;
+
+    fn net() -> CanNetwork {
+        let mut net = CanNetwork::new(250_000);
+        let a = net.add_node(Node::new("A", ControllerType::FullCan));
+        let gw = net.add_node(Node::new("GW", ControllerType::FullCan));
+        let _ = gw;
+        net.add_message(CanMessage::new(
+            "fast",
+            CanId::standard(0x100).expect("valid"),
+            Dlc::new(8),
+            Time::from_ms(5),
+            Time::from_ms(1),
+            a,
+        ));
+        net.add_message(CanMessage::new(
+            "slow",
+            CanId::standard(0x300).expect("valid"),
+            Dlc::new(8),
+            Time::from_ms(50),
+            Time::ZERO,
+            a,
+        ));
+        net
+    }
+
+    #[test]
+    fn single_buffer_suffices_on_a_light_bus() {
+        let needs = required_tx_depths(&net(), &Scenario::best_case()).expect("valid");
+        for n in &needs {
+            assert_eq!(
+                n.depth,
+                Some(1),
+                "{}: light bus, short responses",
+                n.message
+            );
+        }
+    }
+
+    #[test]
+    fn bursty_activation_needs_deeper_queues() {
+        let mut n = net();
+        // A burst sender: 4 queuings within ~1 ms, every 40 ms.
+        n.messages_mut()[0].activation =
+            EventModel::burst(Time::from_ms(40), 4, Time::from_us(300));
+        let needs = required_tx_depths(&n, &Scenario::best_case()).expect("valid");
+        let fast = needs.iter().find(|x| x.message == "fast").expect("present");
+        assert!(
+            fast.depth.expect("bounded") >= 2,
+            "burst needs depth: {fast:?}"
+        );
+    }
+
+    #[test]
+    fn overloaded_messages_have_no_finite_depth() {
+        let mut n = net();
+        n.messages_mut()[1].activation = EventModel::periodic(Time::from_us(400)); // > 100 %
+        let needs = required_tx_depths(&n, &Scenario::best_case()).expect("valid");
+        let slow = needs.iter().find(|x| x.message == "slow").expect("present");
+        assert_eq!(slow.depth, None);
+    }
+
+    #[test]
+    fn rx_depth_scales_with_drain_period() {
+        let n = net();
+        let quick = required_rx_depth(&n, &Scenario::best_case(), 1, Time::from_ms(5))
+            .expect("valid")
+            .expect("bounded");
+        let lazy = required_rx_depth(&n, &Scenario::best_case(), 1, Time::from_ms(50))
+            .expect("valid")
+            .expect("bounded");
+        assert!(lazy > quick);
+        // Draining every 5 ms: at most two fast frames + one slow can
+        // land in a window (5 ms + small response).
+        assert!((2..=4).contains(&quick), "quick = {quick}");
+        // Out-of-range node is an error.
+        assert!(required_rx_depth(&n, &Scenario::best_case(), 9, Time::from_ms(5)).is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! Comparing two analyses — the change-review view of the iterative
+//! refinement loop (paper Sec. 5.2: "the analysis can be repeated as
+//! new design details become available ... newly appearing bottlenecks
+//! can be discovered quickly").
+
+use carta_can::rta::BusReport;
+use carta_core::time::Time;
+use std::fmt;
+
+/// How one message's verdict moved between two analyses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerdictChange {
+    /// Met the deadline before and after.
+    StillOk,
+    /// Lost before and after.
+    StillLost,
+    /// Newly missing its deadline — a *newly appearing bottleneck*.
+    Regressed,
+    /// Repaired by the change.
+    Fixed,
+}
+
+impl fmt::Display for VerdictChange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VerdictChange::StillOk => "ok",
+            VerdictChange::StillLost => "still lost",
+            VerdictChange::Regressed => "REGRESSED",
+            VerdictChange::Fixed => "fixed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One message's delta.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaRow {
+    /// Message name.
+    pub message: String,
+    /// WCRT before (`None` = unbounded).
+    pub before: Option<Time>,
+    /// WCRT after.
+    pub after: Option<Time>,
+    /// Verdict movement.
+    pub change: VerdictChange,
+}
+
+impl DeltaRow {
+    /// Signed WCRT delta in nanoseconds (`None` if either side is
+    /// unbounded).
+    pub fn delta_ns(&self) -> Option<i128> {
+        Some(i128::from(self.after?.as_ns()) - i128::from(self.before?.as_ns()))
+    }
+}
+
+/// The full comparison.
+#[derive(Debug, Clone)]
+pub struct AnalysisDiff {
+    /// Per-message rows, in `before` order; messages present on only
+    /// one side are skipped (use the counts below to notice).
+    pub rows: Vec<DeltaRow>,
+    /// Messages only in `before`.
+    pub removed: Vec<String>,
+    /// Messages only in `after`.
+    pub added: Vec<String>,
+}
+
+impl AnalysisDiff {
+    /// Messages that newly miss their deadline.
+    pub fn regressions(&self) -> Vec<&DeltaRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.change == VerdictChange::Regressed)
+            .collect()
+    }
+
+    /// Messages repaired by the change.
+    pub fn fixes(&self) -> Vec<&DeltaRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.change == VerdictChange::Fixed)
+            .collect()
+    }
+
+    /// `true` if nothing regressed.
+    pub fn is_safe(&self) -> bool {
+        self.regressions().is_empty()
+    }
+}
+
+/// Compares two bus reports message by message (matched by name).
+pub fn diff_reports(before: &BusReport, after: &BusReport) -> AnalysisDiff {
+    let mut rows = Vec::new();
+    let mut removed = Vec::new();
+    for b in &before.messages {
+        match after.by_name(&b.name) {
+            None => removed.push(b.name.clone()),
+            Some(a) => {
+                let change = match (b.misses_deadline(), a.misses_deadline()) {
+                    (false, false) => VerdictChange::StillOk,
+                    (true, true) => VerdictChange::StillLost,
+                    (false, true) => VerdictChange::Regressed,
+                    (true, false) => VerdictChange::Fixed,
+                };
+                rows.push(DeltaRow {
+                    message: b.name.clone(),
+                    before: b.outcome.wcrt(),
+                    after: a.outcome.wcrt(),
+                    change,
+                });
+            }
+        }
+    }
+    let added = after
+        .messages
+        .iter()
+        .filter(|a| before.by_name(&a.name).is_none())
+        .map(|a| a.name.clone())
+        .collect();
+    AnalysisDiff {
+        rows,
+        removed,
+        added,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jitter::with_jitter_ratio;
+    use crate::scenario::Scenario;
+    use carta_can::controller::ControllerType;
+    use carta_can::frame::Dlc;
+    use carta_can::message::{CanId, CanMessage};
+    use carta_can::network::{CanNetwork, Node};
+
+    fn net() -> CanNetwork {
+        let mut net = CanNetwork::new(125_000);
+        let a = net.add_node(Node::new("A", ControllerType::FullCan));
+        for (k, period) in [5u64, 5, 10, 10, 20, 50].into_iter().enumerate() {
+            net.add_message(CanMessage::new(
+                format!("m{k}"),
+                CanId::standard(0x100 + 16 * k as u32).expect("valid"),
+                Dlc::new(8),
+                Time::from_ms(period),
+                Time::ZERO,
+                a,
+            ));
+        }
+        net
+    }
+
+    #[test]
+    fn detects_regressions_from_added_jitter() {
+        let before = Scenario::worst_case().analyze(&net()).expect("valid");
+        let after = Scenario::worst_case()
+            .analyze(&with_jitter_ratio(&net(), 0.5))
+            .expect("valid");
+        let diff = diff_reports(&before, &after);
+        assert_eq!(diff.rows.len(), 6);
+        assert!(diff.added.is_empty());
+        assert!(diff.removed.is_empty());
+        assert!(!diff.is_safe(), "50% jitter must regress something");
+        for r in diff.regressions() {
+            assert_eq!(r.change.to_string(), "REGRESSED");
+            if let Some(d) = r.delta_ns() {
+                assert!(d >= 0, "{}: WCRT cannot shrink with jitter", r.message);
+            }
+        }
+    }
+
+    #[test]
+    fn detects_fixes_and_membership_changes() {
+        // Lossy baseline, repaired by slowing the overloading stream.
+        let mut lossy = net();
+        lossy.messages_mut()[0].activation =
+            carta_core::event_model::EventModel::periodic(Time::from_ms(2));
+        let before = Scenario::worst_case().analyze(&lossy).expect("valid");
+        assert!(before.missed_count() > 0);
+
+        let mut repaired = net();
+        repaired.messages_mut()[5].name = "renamed".into();
+        let after = Scenario::worst_case().analyze(&repaired).expect("valid");
+        let diff = diff_reports(&before, &after);
+        assert!(!diff.fixes().is_empty());
+        assert!(diff.is_safe());
+        assert_eq!(diff.removed, vec!["m5".to_string()]);
+        assert_eq!(diff.added, vec!["renamed".to_string()]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Jitter assumptions for what-if sweeps.
+//!
+//! The x-axis of the paper's Figures 4 and 5 is "Jitter in % of Message
+//! Period": the OEM, lacking supplier data, *assumes* a uniform jitter
+//! ratio for every message and sweeps it. These helpers produce the
+//! corresponding network variants.
+
+use carta_can::network::CanNetwork;
+use carta_core::event_model::EventModel;
+
+/// Returns a copy of the network in which **every** message's jitter is
+/// `ratio` of its period (e.g. `0.25` for the paper's 25 % point).
+///
+/// # Panics
+///
+/// Panics if `ratio` is negative or not finite.
+pub fn with_jitter_ratio(net: &CanNetwork, ratio: f64) -> CanNetwork {
+    assert!(
+        ratio.is_finite() && ratio >= 0.0,
+        "ratio must be non-negative"
+    );
+    let mut net = net.clone();
+    for m in net.messages_mut() {
+        let period = m.activation.period();
+        m.activation = EventModel::new(
+            m.activation.kind(),
+            period,
+            period.scale(ratio),
+            m.activation.dmin(),
+        );
+    }
+    net
+}
+
+/// Returns a copy in which only messages with **unknown** jitter (zero
+/// in the model) receive the assumed ratio; messages with known jitter
+/// keep it. This mirrors the paper's "realistic jitters for the unknown
+/// messages" experiment.
+///
+/// # Panics
+///
+/// Panics if `ratio` is negative or not finite.
+pub fn with_assumed_unknown_jitter(net: &CanNetwork, ratio: f64) -> CanNetwork {
+    assert!(
+        ratio.is_finite() && ratio >= 0.0,
+        "ratio must be non-negative"
+    );
+    let mut net = net.clone();
+    for m in net.messages_mut() {
+        if m.activation.jitter().is_zero() {
+            let period = m.activation.period();
+            m.activation = EventModel::new(
+                m.activation.kind(),
+                period,
+                period.scale(ratio),
+                m.activation.dmin(),
+            );
+        }
+    }
+    net
+}
+
+/// Scales every existing jitter by `factor` (robustness exploration).
+///
+/// # Panics
+///
+/// Panics if `factor` is negative or not finite.
+pub fn with_scaled_jitter(net: &CanNetwork, factor: f64) -> CanNetwork {
+    assert!(
+        factor.is_finite() && factor >= 0.0,
+        "factor must be non-negative"
+    );
+    let mut net = net.clone();
+    for m in net.messages_mut() {
+        m.activation = EventModel::new(
+            m.activation.kind(),
+            m.activation.period(),
+            m.activation.jitter().scale(factor),
+            m.activation.dmin(),
+        );
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carta_can::controller::ControllerType;
+    use carta_can::frame::Dlc;
+    use carta_can::message::{CanId, CanMessage};
+    use carta_can::network::Node;
+    use carta_core::time::Time;
+
+    fn net() -> CanNetwork {
+        let mut net = CanNetwork::new(500_000);
+        let a = net.add_node(Node::new("A", ControllerType::FullCan));
+        net.add_message(CanMessage::new(
+            "known",
+            CanId::standard(0x100).expect("valid"),
+            Dlc::new(8),
+            Time::from_ms(10),
+            Time::from_ms(1),
+            a,
+        ));
+        net.add_message(CanMessage::new(
+            "unknown",
+            CanId::standard(0x200).expect("valid"),
+            Dlc::new(4),
+            Time::from_ms(20),
+            Time::ZERO,
+            a,
+        ));
+        net
+    }
+
+    #[test]
+    fn uniform_ratio_overrides_all() {
+        let out = with_jitter_ratio(&net(), 0.25);
+        assert_eq!(out.messages()[0].activation.jitter(), Time::from_us(2500));
+        assert_eq!(out.messages()[1].activation.jitter(), Time::from_ms(5));
+    }
+
+    #[test]
+    fn assumed_ratio_keeps_known_jitters() {
+        let out = with_assumed_unknown_jitter(&net(), 0.25);
+        assert_eq!(out.messages()[0].activation.jitter(), Time::from_ms(1));
+        assert_eq!(out.messages()[1].activation.jitter(), Time::from_ms(5));
+    }
+
+    #[test]
+    fn scaling_multiplies_existing() {
+        let out = with_scaled_jitter(&net(), 3.0);
+        assert_eq!(out.messages()[0].activation.jitter(), Time::from_ms(3));
+        assert_eq!(out.messages()[1].activation.jitter(), Time::ZERO);
+        let zero = with_scaled_jitter(&net(), 0.0);
+        assert_eq!(zero.messages()[0].activation.jitter(), Time::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_ratio_rejected() {
+        let _ = with_jitter_ratio(&net(), -0.1);
+    }
+}

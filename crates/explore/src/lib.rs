@@ -1,0 +1,57 @@
+//! # carta-explore
+//!
+//! The "what-if" layer of the `carta` workspace — the capability the
+//! paper calls the decisive advantage of analysis over simulation and
+//! test: exploring "a huge number of possibilities including a variety
+//! of jitter distributions, different error models, and many more …
+//! within minutes" (Sec. 4/5).
+//!
+//! * [`scenario`] — named assumption bundles (best case, worst case,
+//!   sporadic errors, …),
+//! * [`jitter`] — jitter-assumption transforms for sweep axes,
+//! * [`sensitivity`] — response-vs-jitter curves, robust/sensitive
+//!   classification and slack search (Figure 4, Sec. 4.1),
+//! * [`loss`] — message-loss curves (Figure 5, Sec. 4.2),
+//! * [`extensibility`] — "how many more ECUs fit" and the
+//!   diagnosis/flashing stream of Figure 3.
+//!
+//! ```
+//! use carta_explore::prelude::*;
+//! use carta_kmatrix::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let net = powertrain_default().to_network()?;
+//! let curve = loss_vs_jitter(&net, &Scenario::best_case(), &[0.0, 0.25])?;
+//! assert_eq!(curve.points[0].missed, 0); // exp. 1: zero jitter, all fine
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod buffers;
+pub mod diff;
+pub mod extensibility;
+pub mod jitter;
+pub mod loss;
+pub mod network_choice;
+pub mod scenario;
+pub mod sensitivity;
+
+/// Convenient single import for the common types of this crate.
+pub mod prelude {
+    pub use crate::buffers::{required_rx_depth, required_tx_depths, TxBufferNeed};
+    pub use crate::diff::{diff_reports, AnalysisDiff, DeltaRow, VerdictChange};
+    pub use crate::extensibility::{
+        max_additional_ecus, with_additional_ecus, with_diagnostic_stream, EcuTemplate,
+    };
+    pub use crate::jitter::{with_assumed_unknown_jitter, with_jitter_ratio, with_scaled_jitter};
+    pub use crate::loss::{loss_vs_jitter, paper_jitter_grid, LossCurve, LossPoint};
+    pub use crate::network_choice::{cheapest_sufficient, compare_bit_rates, BitRateOption};
+    pub use crate::scenario::{DeadlineOverride, ErrorSpec, Scenario};
+    pub use crate::sensitivity::{
+        max_schedulable_jitter, response_vs_error_rate, response_vs_jitter, SensitivityClass,
+        SensitivitySeries,
+    };
+}

@@ -1,0 +1,215 @@
+//! Message-loss analysis — the paper's Figure 5.
+//!
+//! For each assumed jitter ratio, the bus is analyzed under a
+//! [`Scenario`] and the fraction of messages that can miss their
+//! deadline (and thus be overwritten in the sender's buffer — "lost")
+//! is recorded.
+
+use crate::jitter::with_jitter_ratio;
+use crate::scenario::Scenario;
+use carta_can::network::CanNetwork;
+use carta_core::analysis::AnalysisError;
+
+/// One point of a loss curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossPoint {
+    /// Assumed jitter as a fraction of each message's period.
+    pub jitter_ratio: f64,
+    /// Messages that can miss their deadline.
+    pub missed: usize,
+    /// Total messages on the bus.
+    pub total: usize,
+}
+
+impl LossPoint {
+    /// Fraction of messages lost (the paper's y-axis).
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.missed as f64 / self.total as f64
+        }
+    }
+}
+
+/// A loss curve over jitter ratios, under one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossCurve {
+    /// Scenario name.
+    pub scenario: String,
+    /// Curve points, in the order of the requested ratios.
+    pub points: Vec<LossPoint>,
+}
+
+impl LossCurve {
+    /// The largest jitter ratio at which no message is lost — the
+    /// paper's optimized system achieves 0.25 here.
+    pub fn zero_loss_up_to(&self) -> Option<f64> {
+        let mut best = None;
+        for p in &self.points {
+            if p.missed == 0 {
+                best = Some(best.map_or(p.jitter_ratio, |b: f64| b.max(p.jitter_ratio)));
+            } else {
+                break;
+            }
+        }
+        best
+    }
+
+    /// The loss fraction at the given ratio, if sampled.
+    pub fn fraction_at(&self, ratio: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| (p.jitter_ratio - ratio).abs() < 1e-9)
+            .map(LossPoint::fraction)
+    }
+}
+
+/// Computes the loss curve of `net` under `scenario` for the given
+/// jitter ratios (e.g. `0.0, 0.05, …, 0.60` as in Figure 5).
+///
+/// # Errors
+///
+/// Propagates [`AnalysisError`] from the bus analysis (per-message
+/// overload is *not* an error; overloaded messages count as lost).
+pub fn loss_vs_jitter(
+    net: &CanNetwork,
+    scenario: &Scenario,
+    ratios: &[f64],
+) -> Result<LossCurve, AnalysisError> {
+    let mut points = Vec::with_capacity(ratios.len());
+    for &ratio in ratios {
+        let variant = with_jitter_ratio(net, ratio);
+        let report = scenario.analyze(&variant)?;
+        points.push(LossPoint {
+            jitter_ratio: ratio,
+            missed: report.missed_count(),
+            total: report.messages.len(),
+        });
+    }
+    Ok(LossCurve {
+        scenario: scenario.name.clone(),
+        points,
+    })
+}
+
+/// The jitter grid of the paper's Figures 4 and 5: 0 % to 60 % in 5 %
+/// steps.
+pub fn paper_jitter_grid() -> Vec<f64> {
+    (0..=12).map(|i| i as f64 * 0.05).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carta_can::controller::ControllerType;
+    use carta_can::frame::Dlc;
+    use carta_can::message::{CanId, CanMessage};
+    use carta_can::network::Node;
+    use carta_core::time::Time;
+
+    /// A moderately loaded 8-message bus where high jitter causes loss.
+    fn loaded_net() -> CanNetwork {
+        let mut net = CanNetwork::new(125_000);
+        let a = net.add_node(Node::new("A", ControllerType::FullCan));
+        let periods = [5u64, 5, 10, 10, 20, 20, 50, 50];
+        for (k, period) in periods.into_iter().enumerate() {
+            net.add_message(CanMessage::new(
+                format!("m{k}"),
+                CanId::standard(0x100 + 16 * k as u32).expect("valid"),
+                Dlc::new(8),
+                Time::from_ms(period),
+                Time::ZERO,
+                a,
+            ));
+        }
+        net
+    }
+
+    #[test]
+    fn grid_matches_paper_axis() {
+        let grid = paper_jitter_grid();
+        assert_eq!(grid.len(), 13);
+        assert_eq!(grid[0], 0.0);
+        assert!((grid[12] - 0.60).abs() < 1e-12);
+        assert!((grid[5] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_curve_monotone_and_worst_dominates_best() {
+        let net = loaded_net();
+        let grid = paper_jitter_grid();
+        let best = loss_vs_jitter(&net, &Scenario::best_case(), &grid).expect("valid");
+        let worst = loss_vs_jitter(&net, &Scenario::worst_case(), &grid).expect("valid");
+        for w in best.points.windows(2) {
+            assert!(
+                w[1].missed >= w[0].missed,
+                "best-case curve must be monotone"
+            );
+        }
+        for w in worst.points.windows(2) {
+            assert!(
+                w[1].missed >= w[0].missed,
+                "worst-case curve must be monotone"
+            );
+        }
+        for (b, w) in best.points.iter().zip(&worst.points) {
+            assert!(w.missed >= b.missed, "worst case dominates at every ratio");
+        }
+        // No loss at zero jitter in the best case (sanity of the net).
+        assert_eq!(best.points[0].missed, 0);
+    }
+
+    #[test]
+    fn zero_loss_prefix_detection() {
+        let curve = LossCurve {
+            scenario: "x".into(),
+            points: vec![
+                LossPoint {
+                    jitter_ratio: 0.0,
+                    missed: 0,
+                    total: 10,
+                },
+                LossPoint {
+                    jitter_ratio: 0.1,
+                    missed: 0,
+                    total: 10,
+                },
+                LossPoint {
+                    jitter_ratio: 0.2,
+                    missed: 2,
+                    total: 10,
+                },
+                LossPoint {
+                    jitter_ratio: 0.3,
+                    missed: 0,
+                    total: 10,
+                }, // after a loss: ignored
+            ],
+        };
+        assert_eq!(curve.zero_loss_up_to(), Some(0.1));
+        assert_eq!(curve.fraction_at(0.2), Some(0.2));
+        assert_eq!(curve.fraction_at(0.15), None);
+        let empty = LossCurve {
+            scenario: "e".into(),
+            points: vec![],
+        };
+        assert_eq!(empty.zero_loss_up_to(), None);
+    }
+
+    #[test]
+    fn loss_point_fraction() {
+        let p = LossPoint {
+            jitter_ratio: 0.1,
+            missed: 3,
+            total: 12,
+        };
+        assert!((p.fraction() - 0.25).abs() < 1e-12);
+        let z = LossPoint {
+            jitter_ratio: 0.1,
+            missed: 0,
+            total: 0,
+        };
+        assert_eq!(z.fraction(), 0.0);
+    }
+}

@@ -1,0 +1,252 @@
+//! What-if scenarios — named bundles of analysis assumptions.
+//!
+//! The paper's case study (Sec. 4) is a sequence of what-if runs over
+//! the same K-Matrix: zero jitters, "realistic" jitters, different
+//! error models, with and without bit stuffing, period vs. minimum
+//! re-arrival deadlines. A [`Scenario`] captures one such assumption
+//! bundle so experiments can be expressed declaratively.
+
+use carta_can::error_model::{BurstErrors, ErrorModel, NoErrors, SporadicErrors};
+use carta_can::frame::StuffingMode;
+use carta_can::message::DeadlinePolicy;
+use carta_can::network::CanNetwork;
+use carta_can::rta::AnalysisConfig;
+use carta_core::time::Time;
+
+/// Error-model selection (a plain-data mirror of the trait objects in
+/// `carta-can`, so scenarios stay `Clone + Eq`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorSpec {
+    /// No bus errors.
+    None,
+    /// Sporadic errors with the given minimum distance.
+    Sporadic {
+        /// Minimum distance between error hits.
+        interval: Time,
+    },
+    /// Burst errors.
+    Burst {
+        /// Hits per burst.
+        burst_len: u64,
+        /// Distance between hits inside a burst.
+        intra_gap: Time,
+        /// Distance between burst starts.
+        inter_burst: Time,
+    },
+}
+
+impl ErrorSpec {
+    /// Materializes the analytical error model.
+    pub fn model(&self) -> Box<dyn ErrorModel> {
+        match *self {
+            ErrorSpec::None => Box::new(NoErrors),
+            ErrorSpec::Sporadic { interval } => Box::new(SporadicErrors::new(interval)),
+            ErrorSpec::Burst {
+                burst_len,
+                intra_gap,
+                inter_burst,
+            } => Box::new(BurstErrors::new(burst_len, intra_gap, inter_burst)),
+        }
+    }
+}
+
+/// How the scenario overrides the deadlines in the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlineOverride {
+    /// Keep per-message policies as modeled.
+    Keep,
+    /// Force deadline = period everywhere.
+    Period,
+    /// Force deadline = minimum re-arrival time everywhere (the
+    /// paper's strictest, buffer-overwrite-safe setting).
+    MinReArrival,
+}
+
+/// One named bundle of analysis assumptions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scenario {
+    /// Scenario name for reports.
+    pub name: String,
+    /// Bit-stuffing assumption.
+    pub stuffing: StuffingMode,
+    /// Bus-error assumption.
+    pub errors: ErrorSpec,
+    /// Deadline interpretation.
+    pub deadline: DeadlineOverride,
+}
+
+impl Scenario {
+    /// The paper's Figure 5 **best case**: no bus errors and no stuff
+    /// bits. The deadline stays the minimum re-arrival time — the
+    /// worst case of Sec. 4.2 *adds* errors and stuffing on top of
+    /// that common deadline interpretation.
+    pub fn best_case() -> Self {
+        Scenario {
+            name: "best case".into(),
+            stuffing: StuffingMode::None,
+            errors: ErrorSpec::None,
+            deadline: DeadlineOverride::MinReArrival,
+        }
+    }
+
+    /// A lenient variant of [`Scenario::best_case`] with implicit
+    /// (period) deadlines, for what-if comparisons.
+    pub fn best_case_period_deadline() -> Self {
+        Scenario {
+            name: "best case (period deadline)".into(),
+            stuffing: StuffingMode::None,
+            errors: ErrorSpec::None,
+            deadline: DeadlineOverride::Period,
+        }
+    }
+
+    /// The paper's Figure 5 **worst case**: burst bus errors, worst-case
+    /// bit stuffing, minimum re-arrival time as deadline.
+    ///
+    /// Burst parameters follow the Punnekkat-style setting used in the
+    /// CAN error-analysis literature: 3 hits 200 µs apart, bursts at
+    /// least 25 ms apart.
+    pub fn worst_case() -> Self {
+        Scenario {
+            name: "worst case".into(),
+            stuffing: StuffingMode::WorstCase,
+            errors: ErrorSpec::Burst {
+                burst_len: 3,
+                intra_gap: Time::from_us(200),
+                inter_burst: Time::from_ms(25),
+            },
+            deadline: DeadlineOverride::MinReArrival,
+        }
+    }
+
+    /// Sporadic-error variant (MTBF-style) between the two extremes.
+    pub fn sporadic_errors(interval: Time) -> Self {
+        Scenario {
+            name: format!("sporadic errors every {interval}"),
+            stuffing: StuffingMode::WorstCase,
+            errors: ErrorSpec::Sporadic { interval },
+            deadline: DeadlineOverride::MinReArrival,
+        }
+    }
+
+    /// The analysis configuration for this scenario.
+    pub fn analysis_config(&self) -> AnalysisConfig {
+        AnalysisConfig::with_stuffing(self.stuffing)
+    }
+
+    /// Applies the deadline override, returning the adjusted network.
+    pub fn apply(&self, net: &CanNetwork) -> CanNetwork {
+        let mut net = net.clone();
+        match self.deadline {
+            DeadlineOverride::Keep => {}
+            DeadlineOverride::Period => {
+                for m in net.messages_mut() {
+                    m.deadline = DeadlinePolicy::Period;
+                }
+            }
+            DeadlineOverride::MinReArrival => {
+                for m in net.messages_mut() {
+                    m.deadline = DeadlinePolicy::MinReArrival;
+                }
+            }
+        }
+        net
+    }
+
+    /// Runs the full bus analysis under this scenario.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`carta_core::analysis::AnalysisError`] from the
+    /// underlying analysis.
+    pub fn analyze(
+        &self,
+        net: &CanNetwork,
+    ) -> Result<carta_can::rta::BusReport, carta_core::analysis::AnalysisError> {
+        carta_can::rta::analyze_bus(
+            &self.apply(net),
+            self.errors.model().as_ref(),
+            &self.analysis_config(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carta_can::controller::ControllerType;
+    use carta_can::frame::Dlc;
+    use carta_can::message::{CanId, CanMessage};
+    use carta_can::network::Node;
+
+    fn small_net() -> CanNetwork {
+        let mut net = CanNetwork::new(500_000);
+        let a = net.add_node(Node::new("A", ControllerType::FullCan));
+        net.add_message(CanMessage::new(
+            "m0",
+            CanId::standard(0x100).expect("valid"),
+            Dlc::new(8),
+            Time::from_ms(10),
+            Time::from_ms(2),
+            a,
+        ));
+        net
+    }
+
+    #[test]
+    fn presets_have_expected_shape() {
+        let best = Scenario::best_case();
+        assert_eq!(best.errors, ErrorSpec::None);
+        assert_eq!(best.stuffing, StuffingMode::None);
+        assert_eq!(best.deadline, DeadlineOverride::MinReArrival);
+        assert_eq!(
+            Scenario::best_case_period_deadline().deadline,
+            DeadlineOverride::Period
+        );
+        let worst = Scenario::worst_case();
+        assert!(matches!(worst.errors, ErrorSpec::Burst { .. }));
+        assert_eq!(worst.stuffing, StuffingMode::WorstCase);
+        assert_eq!(worst.deadline, DeadlineOverride::MinReArrival);
+    }
+
+    #[test]
+    fn deadline_override_applied() {
+        let net = small_net();
+        let best = Scenario::best_case_period_deadline().apply(&net);
+        assert_eq!(best.messages()[0].resolved_deadline(), Time::from_ms(10));
+        let worst = Scenario::worst_case().apply(&net);
+        assert_eq!(worst.messages()[0].resolved_deadline(), Time::from_ms(8));
+        let keep = Scenario {
+            deadline: DeadlineOverride::Keep,
+            ..Scenario::best_case()
+        }
+        .apply(&net);
+        assert_eq!(keep.messages()[0].deadline, DeadlinePolicy::MinReArrival);
+    }
+
+    #[test]
+    fn worst_dominates_best() {
+        let net = small_net();
+        let best = Scenario::best_case().analyze(&net).expect("valid");
+        let worst = Scenario::worst_case().analyze(&net).expect("valid");
+        assert!(
+            worst.messages[0].outcome.wcrt().expect("bounded")
+                > best.messages[0].outcome.wcrt().expect("bounded")
+        );
+    }
+
+    #[test]
+    fn error_spec_materializes() {
+        assert_eq!(ErrorSpec::None.model().max_hits(Time::from_s(1)), 0);
+        assert!(
+            ErrorSpec::Sporadic {
+                interval: Time::from_ms(10)
+            }
+            .model()
+            .max_hits(Time::from_s(1))
+                > 0
+        );
+        let spec = Scenario::sporadic_errors(Time::from_ms(5));
+        assert!(spec.name.contains("5ms"));
+    }
+}

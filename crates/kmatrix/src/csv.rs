@@ -1,0 +1,325 @@
+//! CSV import/export of K-Matrices.
+//!
+//! The format is a plain comma-separated table, one message per row,
+//! preceded by two metadata lines — exactly the kind of export OEMs
+//! circulate in practice:
+//!
+//! ```csv
+//! #kmatrix,powertrain,500000
+//! #node,EMS,fullCAN
+//! #node,TCU,basicCAN
+//! name,id,extended,dlc,period_us,jitter_us,deadline_us,sender,receivers
+//! rpm,0x100,0,8,10000,1000,,EMS,TCU|ICL
+//! gear,0x1A0,0,2,20000,,15000,TCU,EMS
+//! ```
+//!
+//! Empty `jitter_us` means *unknown* (the paper's common case), empty
+//! `deadline_us` means *minimum re-arrival time*.
+
+use crate::model::{KMatrix, KNode, KRow};
+use std::error::Error;
+use std::fmt;
+
+/// Parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseKMatrixError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseKMatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseKMatrixError {}
+
+const HEADER: &str = "name,id,extended,dlc,period_us,jitter_us,deadline_us,sender,receivers";
+
+/// Serializes a matrix to the CSV format above.
+pub fn to_csv(matrix: &KMatrix) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("#kmatrix,{},{}\n", matrix.name, matrix.bit_rate));
+    for node in &matrix.nodes {
+        out.push_str(&format!("#node,{},{}\n", node.name, node.controller));
+    }
+    out.push_str(HEADER);
+    out.push('\n');
+    for row in &matrix.rows {
+        out.push_str(&format!(
+            "{},{:#x},{},{},{},{},{},{},{}\n",
+            row.name,
+            row.id,
+            u8::from(row.extended),
+            row.dlc,
+            row.period_us,
+            row.jitter_us.map(|j| j.to_string()).unwrap_or_default(),
+            row.deadline_us.map(|d| d.to_string()).unwrap_or_default(),
+            row.sender,
+            row.receivers.join("|"),
+        ));
+    }
+    out
+}
+
+/// Parses the CSV format above.
+///
+/// # Errors
+///
+/// Returns a [`ParseKMatrixError`] pointing at the first malformed
+/// line.
+pub fn from_csv(text: &str) -> Result<KMatrix, ParseKMatrixError> {
+    let mut name = None;
+    let mut bit_rate = 0u64;
+    let mut nodes = Vec::new();
+    let mut rows = Vec::new();
+    let mut saw_header = false;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |message: String| ParseKMatrixError {
+            line: line_no,
+            message,
+        };
+        if let Some(meta) = line.strip_prefix("#kmatrix,") {
+            let mut it = meta.splitn(2, ',');
+            name = Some(it.next().unwrap_or_default().to_string());
+            bit_rate = it
+                .next()
+                .and_then(|v| v.trim().parse().ok())
+                .ok_or_else(|| err("missing or invalid bit rate".into()))?;
+        } else if let Some(node) = line.strip_prefix("#node,") {
+            let mut it = node.splitn(2, ',');
+            let n = it.next().unwrap_or_default().to_string();
+            let c = it
+                .next()
+                .ok_or_else(|| err("node line needs a controller".into()))?
+                .to_string();
+            nodes.push(KNode {
+                name: n,
+                controller: c,
+            });
+        } else if line.starts_with('#') {
+            continue; // comment
+        } else if line == HEADER {
+            saw_header = true;
+        } else {
+            if !saw_header {
+                return Err(err("message row before header".into()));
+            }
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != 9 {
+                return Err(err(format!("expected 9 fields, found {}", fields.len())));
+            }
+            let id_str = fields[1].trim();
+            let id = if let Some(hex) = id_str
+                .strip_prefix("0x")
+                .or_else(|| id_str.strip_prefix("0X"))
+            {
+                u32::from_str_radix(hex, 16)
+            } else {
+                id_str.parse()
+            }
+            .map_err(|_| err(format!("invalid identifier `{id_str}`")))?;
+            let extended = match fields[2].trim() {
+                "0" | "false" => false,
+                "1" | "true" => true,
+                other => return Err(err(format!("invalid extended flag `{other}`"))),
+            };
+            let parse_u64 = |s: &str, what: &str| -> Result<u64, ParseKMatrixError> {
+                s.trim()
+                    .parse()
+                    .map_err(|_| err(format!("invalid {what} `{s}`")))
+            };
+            let parse_opt = |s: &str, what: &str| -> Result<Option<u64>, ParseKMatrixError> {
+                let s = s.trim();
+                if s.is_empty() {
+                    Ok(None)
+                } else {
+                    parse_u64(s, what).map(Some)
+                }
+            };
+            rows.push(KRow {
+                name: fields[0].trim().to_string(),
+                id,
+                extended,
+                dlc: fields[3]
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(format!("invalid dlc `{}`", fields[3])))?,
+                period_us: parse_u64(fields[4], "period")?,
+                jitter_us: parse_opt(fields[5], "jitter")?,
+                deadline_us: parse_opt(fields[6], "deadline")?,
+                sender: fields[7].trim().to_string(),
+                receivers: fields[8]
+                    .split('|')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect(),
+            });
+        }
+    }
+
+    let name = name.ok_or(ParseKMatrixError {
+        line: 1,
+        message: "missing #kmatrix metadata line".into(),
+    })?;
+    Ok(KMatrix {
+        name,
+        bit_rate,
+        nodes,
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+#kmatrix,powertrain,500000
+#node,EMS,fullCAN
+#node,TCU,basicCAN
+# free-form comment
+name,id,extended,dlc,period_us,jitter_us,deadline_us,sender,receivers
+rpm,0x100,0,8,10000,1000,,EMS,TCU|ICL
+gear,0x1A0,0,2,20000,,15000,TCU,EMS
+";
+
+    #[test]
+    fn roundtrip() {
+        let m = from_csv(SAMPLE).expect("parses");
+        assert_eq!(m.name, "powertrain");
+        assert_eq!(m.bit_rate, 500_000);
+        assert_eq!(m.nodes.len(), 2);
+        assert_eq!(m.rows.len(), 2);
+        assert_eq!(m.rows[0].jitter_us, Some(1000));
+        assert_eq!(
+            m.rows[0].receivers,
+            vec!["TCU".to_string(), "ICL".to_string()]
+        );
+        assert_eq!(m.rows[1].jitter_us, None);
+        assert_eq!(m.rows[1].deadline_us, Some(15000));
+
+        let csv = to_csv(&m);
+        let m2 = from_csv(&csv).expect("reparses");
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let bad = SAMPLE.replace("0x100", "0xZZ");
+        let err = from_csv(&bad).expect_err("bad id");
+        assert_eq!(err.line, 6);
+        assert!(err.to_string().contains("identifier"));
+
+        let bad = SAMPLE.replace(",8,10000", ",8"); // field count
+        let err = from_csv(&bad).expect_err("short row");
+        assert!(err.message.contains("fields"));
+
+        let err = from_csv("name,id\n").expect_err("no metadata");
+        assert!(
+            err.message.contains("message row before header") || err.message.contains("#kmatrix")
+        );
+
+        let err = from_csv("").expect_err("empty");
+        assert!(err.message.contains("#kmatrix"));
+    }
+
+    #[test]
+    fn decimal_ids_and_boolean_flags() {
+        let text = "\
+#kmatrix,x,125000
+#node,A,fullCAN
+name,id,extended,dlc,period_us,jitter_us,deadline_us,sender,receivers
+m,256,true,4,5000,,,A,
+";
+        let m = from_csv(text).expect("parses");
+        assert_eq!(m.rows[0].id, 256);
+        assert!(m.rows[0].extended);
+        assert!(m.rows[0].receivers.is_empty());
+    }
+
+    mod properties {
+        use super::super::*;
+        use crate::model::{KMatrix, KNode, KRow};
+        use proptest::prelude::*;
+
+        fn arb_name() -> impl Strategy<Value = String> {
+            "[a-z][a-z0-9_]{0,14}".prop_map(String::from)
+        }
+
+        fn arb_row(nodes: Vec<String>) -> impl Strategy<Value = KRow> {
+            (
+                arb_name(),
+                0u32..0x800,
+                any::<bool>(),
+                0u8..=8,
+                1u64..10_000_000,
+                proptest::option::of(0u64..1_000_000),
+                proptest::option::of(1u64..10_000_000),
+                0usize..nodes.len().max(1),
+                proptest::collection::vec(0usize..nodes.len().max(1), 0..3),
+            )
+                .prop_map(
+                    move |(name, id, ext, dlc, period, jitter, deadline, s, rs)| KRow {
+                        name,
+                        id,
+                        extended: ext,
+                        dlc,
+                        period_us: period,
+                        jitter_us: jitter,
+                        deadline_us: deadline,
+                        sender: nodes[s].clone(),
+                        receivers: rs.iter().map(|&r| nodes[r].clone()).collect(),
+                    },
+                )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn csv_roundtrip_is_lossless(
+                bus_name in arb_name(),
+                bit_rate in 1u64..2_000_000,
+                rows in proptest::collection::vec(
+                    arb_row(vec!["A".into(), "B".into(), "GW".into()]),
+                    0..12,
+                ),
+            ) {
+                let matrix = KMatrix {
+                    name: bus_name,
+                    bit_rate,
+                    nodes: vec![
+                        KNode { name: "A".into(), controller: "fullCAN".into() },
+                        KNode { name: "B".into(), controller: "basicCAN".into() },
+                        KNode { name: "GW".into(), controller: "FIFO(4)".into() },
+                    ],
+                    rows,
+                };
+                let text = to_csv(&matrix);
+                let back = from_csv(&text).expect("own output parses");
+                prop_assert_eq!(matrix, back);
+            }
+        }
+    }
+
+    #[test]
+    fn converts_after_parse() {
+        let net = from_csv(SAMPLE)
+            .expect("parses")
+            .to_network()
+            .expect("converts");
+        assert_eq!(net.messages().len(), 2);
+        assert_eq!(net.bit_rate(), 500_000);
+    }
+}

@@ -1,0 +1,38 @@
+//! # carta-kmatrix
+//!
+//! The K-Matrix layer of the `carta` workspace: the static
+//! communication matrix that is the OEM's primary input to network
+//! integration (paper Sec. 3.3), with CSV import/export and the
+//! deterministic synthetic power-train case study replacing the
+//! paper's proprietary matrix.
+//!
+//! ```
+//! use carta_kmatrix::prelude::*;
+//! use carta_can::frame::StuffingMode;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let matrix = powertrain_default();
+//! let network = matrix.to_network()?;
+//! println!("bus load: {:.1} %", network.load(StuffingMode::WorstCase).utilization_percent());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod csv;
+pub mod generator;
+pub mod lint;
+pub mod model;
+
+/// Convenient single import for the common types of this crate.
+pub mod prelude {
+    pub use crate::csv::{from_csv, to_csv, ParseKMatrixError};
+    pub use crate::generator::{
+        dual_bus_case_study, dual_bus_default, powertrain_default, powertrain_kmatrix,
+        stress_kmatrix, CaseStudyConfig, DualBusCaseStudy, ForwardedSignal,
+    };
+    pub use crate::lint::{lint, Finding, Severity};
+    pub use crate::model::{ConvertKMatrixError, KMatrix, KNode, KRow};
+}

@@ -1,0 +1,256 @@
+//! K-Matrix linting: the structural review an integrator runs before
+//! any timing analysis.
+//!
+//! Everything here is advisory — the hard validity checks live in
+//! [`KMatrix::to_network`] and
+//! [`CanNetwork::validate`](carta_can::network::CanNetwork::validate).
+//! The lints flag the patterns that *cause* the paper's integration
+//! problems: legacy priority inversions, heavyweight low-priority
+//! frames, senders hogging the matrix, unknown jitters.
+
+use crate::model::KMatrix;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Severity of a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational.
+    Info,
+    /// Likely to cause analysis pessimism or integration friction.
+    Warning,
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Severity.
+    pub severity: Severity,
+    /// Short category slug (stable across releases).
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Info => "info",
+            Severity::Warning => "WARN",
+        };
+        write!(f, "[{sev}] {}: {}", self.rule, self.message)
+    }
+}
+
+/// Runs all lints over a matrix.
+pub fn lint(matrix: &KMatrix) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    rate_monotonic_inversions(matrix, &mut findings);
+    unknown_jitters(matrix, &mut findings);
+    zero_payloads(matrix, &mut findings);
+    sender_concentration(matrix, &mut findings);
+    id_space_usage(matrix, &mut findings);
+    findings.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.rule.cmp(b.rule)));
+    findings
+}
+
+/// Pairs where a slower message outranks a faster one — the legacy
+/// allocations the paper's Sec. 4.3 optimization repairs.
+fn rate_monotonic_inversions(matrix: &KMatrix, out: &mut Vec<Finding>) {
+    let mut count = 0usize;
+    let mut example = None;
+    for a in &matrix.rows {
+        for b in &matrix.rows {
+            if a.period_us < b.period_us && a.id > b.id {
+                count += 1;
+                if example.is_none() {
+                    example = Some((a.name.clone(), b.name.clone()));
+                }
+            }
+        }
+    }
+    if count > 0 {
+        let (fast, slow) = example.expect("counted");
+        out.push(Finding {
+            severity: Severity::Warning,
+            rule: "rate-inversion",
+            message: format!(
+                "{count} message pair(s) have a slower message outranking a faster one \
+                 (e.g. `{slow}` above `{fast}`); consider `carta audsley`/`carta optimize`"
+            ),
+        });
+    }
+}
+
+fn unknown_jitters(matrix: &KMatrix, out: &mut Vec<Finding>) {
+    let unknown = matrix.rows.iter().filter(|r| r.jitter_us.is_none()).count();
+    if unknown > 0 {
+        out.push(Finding {
+            severity: Severity::Info,
+            rule: "unknown-jitter",
+            message: format!(
+                "{unknown} of {} messages have no published send jitter; analyses will \
+                 run on assumptions until supplier datasheets arrive",
+                matrix.rows.len()
+            ),
+        });
+    }
+}
+
+fn zero_payloads(matrix: &KMatrix, out: &mut Vec<Finding>) {
+    for r in matrix.rows.iter().filter(|r| r.dlc == 0) {
+        out.push(Finding {
+            severity: Severity::Info,
+            rule: "empty-payload",
+            message: format!("`{}` carries no data bytes (heartbeat?)", r.name),
+        });
+    }
+}
+
+/// A single sender owning most of the matrix is an integration risk
+/// (its datasheet gates everything).
+fn sender_concentration(matrix: &KMatrix, out: &mut Vec<Finding>) {
+    if matrix.rows.is_empty() {
+        return;
+    }
+    let mut per_sender: BTreeMap<&str, usize> = BTreeMap::new();
+    for r in &matrix.rows {
+        *per_sender.entry(r.sender.as_str()).or_default() += 1;
+    }
+    if let Some((sender, n)) = per_sender.iter().max_by_key(|(_, n)| **n) {
+        if *n * 2 > matrix.rows.len() {
+            out.push(Finding {
+                severity: Severity::Warning,
+                rule: "sender-concentration",
+                message: format!(
+                    "`{sender}` sends {n} of {} messages — one supplier gates the \
+                     whole integration",
+                    matrix.rows.len()
+                ),
+            });
+        }
+    }
+}
+
+fn id_space_usage(matrix: &KMatrix, out: &mut Vec<Finding>) {
+    let extended = matrix.rows.iter().filter(|r| r.extended).count();
+    if extended > 0 && extended < matrix.rows.len() {
+        out.push(Finding {
+            severity: Severity::Info,
+            rule: "mixed-id-formats",
+            message: format!(
+                "{extended} extended and {} standard identifiers share the bus; extended \
+                 frames pay 25 arbitration bits extra",
+                matrix.rows.len() - extended
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::powertrain_default;
+    use crate::model::{KNode, KRow};
+
+    fn row(name: &str, id: u32, period_us: u64, sender: &str) -> KRow {
+        KRow {
+            name: name.into(),
+            id,
+            extended: false,
+            dlc: 8,
+            period_us,
+            jitter_us: Some(0),
+            deadline_us: None,
+            sender: sender.into(),
+            receivers: vec![],
+        }
+    }
+
+    fn matrix(rows: Vec<KRow>) -> KMatrix {
+        KMatrix {
+            name: "m".into(),
+            bit_rate: 500_000,
+            nodes: vec![
+                KNode {
+                    name: "A".into(),
+                    controller: "fullCAN".into(),
+                },
+                KNode {
+                    name: "B".into(),
+                    controller: "fullCAN".into(),
+                },
+            ],
+            rows,
+        }
+    }
+
+    #[test]
+    fn detects_rate_inversion() {
+        let m = matrix(vec![
+            row("fast", 0x300, 5_000, "A"),
+            row("slow", 0x100, 100_000, "B"),
+        ]);
+        let findings = lint(&m);
+        assert!(findings.iter().any(|f| f.rule == "rate-inversion"));
+        let f = findings
+            .iter()
+            .find(|f| f.rule == "rate-inversion")
+            .expect("found");
+        assert!(f.message.contains("slow"));
+        assert_eq!(f.severity, Severity::Warning);
+        assert!(f.to_string().starts_with("[WARN]"));
+    }
+
+    #[test]
+    fn clean_matrix_produces_no_warnings() {
+        let m = matrix(vec![
+            row("fast", 0x100, 5_000, "A"),
+            row("slow", 0x300, 100_000, "B"),
+        ]);
+        let findings = lint(&m);
+        assert!(
+            findings.iter().all(|f| f.severity == Severity::Info),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn flags_unknown_jitter_and_concentration() {
+        let mut rows: Vec<KRow> = (0..6)
+            .map(|k| row(&format!("m{k}"), 0x100 + k, 10_000 + u64::from(k), "A"))
+            .collect();
+        rows[0].jitter_us = None;
+        rows[1].jitter_us = None;
+        let findings = lint(&matrix(rows));
+        let uj = findings
+            .iter()
+            .find(|f| f.rule == "unknown-jitter")
+            .expect("found");
+        assert!(uj.message.contains("2 of 6"));
+        assert!(findings.iter().any(|f| f.rule == "sender-concentration"));
+    }
+
+    #[test]
+    fn flags_mixed_formats_and_empty_payloads() {
+        let mut rows = vec![
+            row("a", 0x100, 10_000, "A"),
+            row("hb", 0x200, 1_000_000, "B"),
+        ];
+        rows[1].dlc = 0;
+        rows[1].extended = true;
+        let findings = lint(&matrix(rows));
+        assert!(findings.iter().any(|f| f.rule == "empty-payload"));
+        assert!(findings.iter().any(|f| f.rule == "mixed-id-formats"));
+    }
+
+    #[test]
+    fn case_study_lints_as_designed() {
+        // The generator plants inversions (for the optimizer) and
+        // unknown jitters (as the paper describes) — the linter must
+        // surface both.
+        let findings = lint(&powertrain_default());
+        assert!(findings.iter().any(|f| f.rule == "rate-inversion"));
+        assert!(findings.iter().any(|f| f.rule == "unknown-jitter"));
+    }
+}

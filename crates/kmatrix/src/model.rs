@@ -1,0 +1,320 @@
+//! The K-Matrix data model.
+//!
+//! The K-Matrix (Kommunikationsmatrix) is the artifact the paper's OEM
+//! actually possesses (Sec. 3.3): the *static* description of every bus
+//! message — identifier, length, period, sender, receivers — while the
+//! dynamic properties (jitters) are known only for a few messages.
+
+use carta_can::controller::ControllerType;
+use carta_can::frame::Dlc;
+use carta_can::message::{CanId, CanMessage, DeadlinePolicy};
+use carta_can::network::{CanNetwork, Node};
+use carta_core::event_model::EventModel;
+use carta_core::time::Time;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// One message row of the K-Matrix.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KRow {
+    /// Message name.
+    pub name: String,
+    /// Raw CAN identifier.
+    pub id: u32,
+    /// `true` for a 29-bit identifier.
+    pub extended: bool,
+    /// Data length code (0–8 bytes).
+    pub dlc: u8,
+    /// Period in microseconds.
+    pub period_us: u64,
+    /// Send jitter in microseconds; `None` when unknown (the common
+    /// case in early design, per the paper).
+    pub jitter_us: Option<u64>,
+    /// Explicit deadline in microseconds, if any.
+    pub deadline_us: Option<u64>,
+    /// Sending node name.
+    pub sender: String,
+    /// Receiving node names.
+    pub receivers: Vec<String>,
+}
+
+/// A node entry of the K-Matrix.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KNode {
+    /// Node name.
+    pub name: String,
+    /// Controller type: `"fullCAN"`, `"basicCAN"` or `"FIFO(n)"`.
+    pub controller: String,
+}
+
+/// A complete communication matrix for one bus.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KMatrix {
+    /// Matrix (bus) name.
+    pub name: String,
+    /// Bus speed in bits per second.
+    pub bit_rate: u64,
+    /// Attached nodes.
+    pub nodes: Vec<KNode>,
+    /// Message rows.
+    pub rows: Vec<KRow>,
+}
+
+/// Why a K-Matrix could not be converted into a [`CanNetwork`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConvertKMatrixError {
+    /// A row's identifier is out of range for its format.
+    BadId {
+        /// Message name.
+        row: String,
+    },
+    /// A row's DLC exceeds 8.
+    BadDlc {
+        /// Message name.
+        row: String,
+    },
+    /// A row's period is zero.
+    BadPeriod {
+        /// Message name.
+        row: String,
+    },
+    /// A row names a sender that is not in the node list.
+    UnknownSender {
+        /// Message name.
+        row: String,
+        /// The unknown sender.
+        sender: String,
+    },
+    /// A node's controller string is not recognized.
+    BadController {
+        /// Node name.
+        node: String,
+        /// The unparsable controller string.
+        value: String,
+    },
+}
+
+impl fmt::Display for ConvertKMatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConvertKMatrixError::BadId { row } => write!(f, "row `{row}`: identifier out of range"),
+            ConvertKMatrixError::BadDlc { row } => write!(f, "row `{row}`: DLC exceeds 8"),
+            ConvertKMatrixError::BadPeriod { row } => write!(f, "row `{row}`: zero period"),
+            ConvertKMatrixError::UnknownSender { row, sender } => {
+                write!(f, "row `{row}`: unknown sender `{sender}`")
+            }
+            ConvertKMatrixError::BadController { node, value } => {
+                write!(f, "node `{node}`: unknown controller type `{value}`")
+            }
+        }
+    }
+}
+
+impl Error for ConvertKMatrixError {}
+
+/// Parses a controller label as written by
+/// [`ControllerType::label`](carta_can::controller::ControllerType::label).
+pub fn parse_controller(s: &str) -> Option<ControllerType> {
+    match s {
+        "fullCAN" => Some(ControllerType::FullCan),
+        "basicCAN" => Some(ControllerType::BasicCan),
+        other => {
+            let inner = other.strip_prefix("FIFO(")?.strip_suffix(')')?;
+            inner
+                .parse()
+                .ok()
+                .map(|depth| ControllerType::FifoQueue { depth })
+        }
+    }
+}
+
+impl KMatrix {
+    /// Builds the analyzable [`CanNetwork`], treating unknown jitters
+    /// as zero (they are filled in by what-if assumptions downstream).
+    ///
+    /// # Errors
+    ///
+    /// See [`ConvertKMatrixError`].
+    pub fn to_network(&self) -> Result<CanNetwork, ConvertKMatrixError> {
+        let mut net = CanNetwork::new(self.bit_rate);
+        for node in &self.nodes {
+            let controller = parse_controller(&node.controller).ok_or_else(|| {
+                ConvertKMatrixError::BadController {
+                    node: node.name.clone(),
+                    value: node.controller.clone(),
+                }
+            })?;
+            net.add_node(Node::new(node.name.clone(), controller));
+        }
+        for row in &self.rows {
+            let id = if row.extended {
+                CanId::extended(row.id)
+            } else {
+                CanId::standard(row.id)
+            }
+            .map_err(|_| ConvertKMatrixError::BadId {
+                row: row.name.clone(),
+            })?;
+            if row.dlc > 8 {
+                return Err(ConvertKMatrixError::BadDlc {
+                    row: row.name.clone(),
+                });
+            }
+            if row.period_us == 0 {
+                return Err(ConvertKMatrixError::BadPeriod {
+                    row: row.name.clone(),
+                });
+            }
+            let sender = self
+                .nodes
+                .iter()
+                .position(|n| n.name == row.sender)
+                .ok_or_else(|| ConvertKMatrixError::UnknownSender {
+                    row: row.name.clone(),
+                    sender: row.sender.clone(),
+                })?;
+            let activation = EventModel::periodic_with_jitter(
+                Time::from_us(row.period_us),
+                Time::from_us(row.jitter_us.unwrap_or(0)),
+            );
+            let deadline = match row.deadline_us {
+                Some(d) => DeadlinePolicy::Explicit(Time::from_us(d)),
+                None => DeadlinePolicy::MinReArrival,
+            };
+            let msg = CanMessage {
+                name: row.name.clone(),
+                id,
+                dlc: Dlc::new(row.dlc),
+                activation,
+                deadline,
+                sender,
+            };
+            net.add_message(msg);
+        }
+        Ok(net)
+    }
+
+    /// Number of rows with a known jitter.
+    pub fn known_jitter_count(&self) -> usize {
+        self.rows.iter().filter(|r| r.jitter_us.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_matrix() -> KMatrix {
+        KMatrix {
+            name: "pt".into(),
+            bit_rate: 500_000,
+            nodes: vec![
+                KNode {
+                    name: "EMS".into(),
+                    controller: "fullCAN".into(),
+                },
+                KNode {
+                    name: "TCU".into(),
+                    controller: "basicCAN".into(),
+                },
+            ],
+            rows: vec![
+                KRow {
+                    name: "rpm".into(),
+                    id: 0x100,
+                    extended: false,
+                    dlc: 8,
+                    period_us: 10_000,
+                    jitter_us: Some(1_000),
+                    deadline_us: None,
+                    sender: "EMS".into(),
+                    receivers: vec!["TCU".into()],
+                },
+                KRow {
+                    name: "gear".into(),
+                    id: 0x1A0,
+                    extended: false,
+                    dlc: 2,
+                    period_us: 20_000,
+                    jitter_us: None,
+                    deadline_us: Some(15_000),
+                    sender: "TCU".into(),
+                    receivers: vec!["EMS".into()],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn converts_to_network() {
+        let net = simple_matrix().to_network().expect("convertible");
+        assert_eq!(net.nodes().len(), 2);
+        assert_eq!(net.messages().len(), 2);
+        let (_, rpm) = net.message_by_name("rpm").expect("present");
+        assert_eq!(rpm.activation.jitter(), Time::from_ms(1));
+        let (_, gear) = net.message_by_name("gear").expect("present");
+        assert_eq!(gear.activation.jitter(), Time::ZERO);
+        assert_eq!(gear.resolved_deadline(), Time::from_ms(15));
+        assert_eq!(simple_matrix().known_jitter_count(), 1);
+    }
+
+    #[test]
+    fn conversion_errors() {
+        let mut m = simple_matrix();
+        m.rows[0].id = 0x800;
+        assert!(matches!(
+            m.to_network(),
+            Err(ConvertKMatrixError::BadId { .. })
+        ));
+
+        let mut m = simple_matrix();
+        m.rows[0].dlc = 9;
+        assert!(matches!(
+            m.to_network(),
+            Err(ConvertKMatrixError::BadDlc { .. })
+        ));
+
+        let mut m = simple_matrix();
+        m.rows[0].period_us = 0;
+        assert!(matches!(
+            m.to_network(),
+            Err(ConvertKMatrixError::BadPeriod { .. })
+        ));
+
+        let mut m = simple_matrix();
+        m.rows[0].sender = "GHOST".into();
+        assert!(matches!(
+            m.to_network(),
+            Err(ConvertKMatrixError::UnknownSender { .. })
+        ));
+
+        let mut m = simple_matrix();
+        m.nodes[0].controller = "magicCAN".into();
+        let err = m.to_network().expect_err("bad controller");
+        assert!(err.to_string().contains("magicCAN"));
+    }
+
+    #[test]
+    fn controller_parsing_roundtrip() {
+        for c in [
+            ControllerType::FullCan,
+            ControllerType::BasicCan,
+            ControllerType::FifoQueue { depth: 4 },
+        ] {
+            assert_eq!(parse_controller(&c.label()), Some(c));
+        }
+        assert_eq!(parse_controller("FIFO(x)"), None);
+        assert_eq!(parse_controller("FIFO(4"), None);
+        assert_eq!(parse_controller(""), None);
+    }
+
+    #[test]
+    fn extended_ids_supported() {
+        let mut m = simple_matrix();
+        m.rows[0].extended = true;
+        m.rows[0].id = 0x18FF_0000;
+        let net = m.to_network().expect("convertible");
+        assert_eq!(net.messages()[0].id.raw(), 0x18FF_0000);
+    }
+}

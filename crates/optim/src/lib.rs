@@ -1,0 +1,37 @@
+//! # carta-optim
+//!
+//! The optimization layer of the `carta` workspace: a faithful
+//! implementation of **SPEA2** (Zitzler, Laumanns, Thiele — ref. \[10\]
+//! of the paper) and the CAN-ID assignment problem the paper's
+//! Section 4.3 solves with it ("we used the automatic optimization
+//! feature … to find better CAN ID configurations that would exhibit
+//! less message loss … configured to favor robust configurations over
+//! sensitive ones").
+//!
+//! ```no_run
+//! use carta_kmatrix::prelude::*;
+//! use carta_optim::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let net = powertrain_default().to_network()?;
+//! let result = optimize_can_ids(&net, &OptimizeIdsConfig::default());
+//! println!("loss at 25 % jitter after optimization: {}", result.objectives[0]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod canid;
+pub mod permutation;
+pub mod spea2;
+
+/// Convenient single import for the common types of this crate.
+pub mod prelude {
+    pub use crate::canid::{
+        optimize_can_ids, CanIdProblem, IdOptimizationResult, OptimizeIdsConfig,
+    };
+    pub use crate::permutation::Permutation;
+    pub use crate::spea2::{dominates, optimize, Individual, Problem, Spea2Config, Spea2Result};
+}

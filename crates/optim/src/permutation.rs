@@ -1,0 +1,200 @@
+//! Permutation genomes and their variation operators.
+//!
+//! CAN-ID assignment is a priority-ordering problem, naturally encoded
+//! as a permutation: position `k` of the genome names the message that
+//! receives the `k`-th strongest identifier. The operators are the
+//! standard permutation-GA pair: PMX (partially mapped crossover) and
+//! swap mutation.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A permutation of `0..len` (validated).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation(Vec<usize>);
+
+impl Permutation {
+    /// The identity permutation of the given length.
+    pub fn identity(len: usize) -> Self {
+        Permutation((0..len).collect())
+    }
+
+    /// Builds a permutation, validating that every index `0..len`
+    /// appears exactly once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..order.len()`.
+    pub fn new(order: Vec<usize>) -> Self {
+        let mut seen = vec![false; order.len()];
+        for &i in &order {
+            assert!(i < order.len() && !seen[i], "not a permutation");
+            seen[i] = true;
+        }
+        Permutation(order)
+    }
+
+    /// A uniformly random permutation.
+    pub fn random(len: usize, rng: &mut StdRng) -> Self {
+        let mut v: Vec<usize> = (0..len).collect();
+        // Fisher–Yates.
+        for i in (1..len).rev() {
+            let j = rng.gen_range(0..=i);
+            v.swap(i, j);
+        }
+        Permutation(v)
+    }
+
+    /// The underlying order: `self.as_slice()[rank] = item`.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Length of the permutation.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The inverse mapping: `rank_of()[item] = rank`.
+    pub fn rank_of(&self) -> Vec<usize> {
+        let mut ranks = vec![0; self.0.len()];
+        for (rank, &item) in self.0.iter().enumerate() {
+            ranks[item] = rank;
+        }
+        ranks
+    }
+
+    /// PMX (partially mapped) crossover.
+    pub fn pmx(&self, other: &Permutation, rng: &mut StdRng) -> Permutation {
+        let n = self.0.len();
+        if n < 2 {
+            return self.clone();
+        }
+        let mut a = rng.gen_range(0..n);
+        let mut b = rng.gen_range(0..n);
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        let mut child: Vec<Option<usize>> = vec![None; n];
+        let mut used = vec![false; n];
+        // Copy the segment [a, b] from self.
+        for i in a..=b {
+            child[i] = Some(self.0[i]);
+            used[self.0[i]] = true;
+        }
+        // Map the rest from `other`, resolving conflicts through the
+        // segment mapping.
+        let self_pos = self.rank_of();
+        for i in (0..a).chain(b + 1..n) {
+            let mut candidate = other.0[i];
+            let mut guard = 0;
+            while used[candidate] {
+                // Follow the PMX mapping: value at the conflicting
+                // position in `other`.
+                candidate = other.0[self_pos[candidate]];
+                guard += 1;
+                if guard > n {
+                    // Degenerate cycle; pick the first unused value.
+                    candidate = (0..n).find(|&v| !used[v]).expect("some value unused");
+                    break;
+                }
+            }
+            child[i] = Some(candidate);
+            used[candidate] = true;
+        }
+        Permutation(child.into_iter().map(|c| c.expect("filled")).collect())
+    }
+
+    /// Swap mutation: exchanges 1–3 random pairs.
+    pub fn swap_mutate(&mut self, rng: &mut StdRng) {
+        let n = self.0.len();
+        if n < 2 {
+            return;
+        }
+        for _ in 0..rng.gen_range(1..=3) {
+            let i = rng.gen_range(0..n);
+            let j = rng.gen_range(0..n);
+            self.0.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn is_permutation(p: &Permutation) -> bool {
+        let mut seen = vec![false; p.len()];
+        p.as_slice().iter().all(|&i| {
+            if i < seen.len() && !seen[i] {
+                seen[i] = true;
+                true
+            } else {
+                false
+            }
+        })
+    }
+
+    #[test]
+    fn identity_and_ranks() {
+        let p = Permutation::identity(4);
+        assert_eq!(p.as_slice(), &[0, 1, 2, 3]);
+        assert_eq!(p.rank_of(), vec![0, 1, 2, 3]);
+        let q = Permutation::new(vec![2, 0, 3, 1]);
+        assert_eq!(q.rank_of(), vec![1, 3, 0, 2]);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn duplicate_rejected() {
+        let _ = Permutation::new(vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn random_is_valid_and_seeded() {
+        let a = Permutation::random(20, &mut rng(1));
+        let b = Permutation::random(20, &mut rng(1));
+        assert_eq!(a, b);
+        assert!(is_permutation(&a));
+        let c = Permutation::random(20, &mut rng(2));
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        #[test]
+        fn pmx_always_yields_valid_permutations(
+            len in 2usize..30,
+            seed in 0u64..1000,
+        ) {
+            let mut r = rng(seed);
+            let a = Permutation::random(len, &mut r);
+            let b = Permutation::random(len, &mut r);
+            let child = a.pmx(&b, &mut r);
+            prop_assert!(is_permutation(&child));
+            prop_assert_eq!(child.len(), len);
+        }
+
+        #[test]
+        fn swap_mutation_preserves_validity(
+            len in 2usize..30,
+            seed in 0u64..1000,
+        ) {
+            let mut r = rng(seed);
+            let mut p = Permutation::random(len, &mut r);
+            p.swap_mutate(&mut r);
+            prop_assert!(is_permutation(&p));
+        }
+    }
+}

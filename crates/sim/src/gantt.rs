@@ -1,0 +1,157 @@
+//! ASCII Gantt rendering of bus traces — the textual equivalent of the
+//! paper's Figure 2 ("Message Jitters, Burst, and Errors Result in
+//! Complex Communication Patterns").
+
+use crate::trace::{Trace, TraceKind};
+use carta_core::time::Time;
+
+/// Rendering options.
+#[derive(Debug, Clone)]
+pub struct GanttConfig {
+    /// Window start.
+    pub from: Time,
+    /// Window end.
+    pub to: Time,
+    /// Number of character columns.
+    pub columns: usize,
+}
+
+impl Default for GanttConfig {
+    fn default() -> Self {
+        GanttConfig {
+            from: Time::ZERO,
+            to: Time::from_ms(10),
+            columns: 100,
+        }
+    }
+}
+
+/// Renders the trace window as one text row per message.
+///
+/// `#` marks successful transmission, `R` retransmission, `x` an error
+/// hit / error frame, `.` idle. Message rows appear in index order with
+/// the supplied labels.
+///
+/// # Panics
+///
+/// Panics if `config.to <= config.from` or `columns == 0`.
+pub fn render(trace: &Trace, labels: &[String], config: &GanttConfig) -> String {
+    assert!(config.to > config.from, "empty render window");
+    assert!(config.columns > 0, "need at least one column");
+    let span = config.to - config.from;
+    let col_width = Time::from_ns((span.as_ns() / config.columns as u64).max(1));
+    let label_width = labels.iter().map(|l| l.len()).max().unwrap_or(4).max(4);
+
+    let mut rows: Vec<Vec<char>> = vec![vec!['.'; config.columns]; labels.len()];
+    for e in trace.window(config.from, config.to) {
+        if e.message >= rows.len() {
+            continue;
+        }
+        let mark = match e.kind {
+            TraceKind::Transmission => '#',
+            TraceKind::Retransmission => 'R',
+            TraceKind::ErrorHit => 'x',
+        };
+        let s = e.start.max(config.from) - config.from;
+        let t = e.end.min(config.to) - config.from;
+        let c0 = s.div_floor(col_width) as usize;
+        let c1 = (t.div_ceil(col_width) as usize).max(c0 + 1);
+        for cell in rows[e.message][c0..c1.min(config.columns)].iter_mut() {
+            *cell = mark;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:label_width$} |{}..{}|\n",
+        "bus", config.from, config.to,
+    ));
+    for (label, row) in labels.iter().zip(rows) {
+        out.push_str(&format!("{label:label_width$} |"));
+        out.extend(row);
+        out.push_str("|\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceEvent;
+
+    #[test]
+    fn renders_marks_in_order() {
+        let mut trace = Trace::new();
+        trace.push(TraceEvent {
+            message: 0,
+            start: Time::from_us(0),
+            end: Time::from_us(250),
+            kind: TraceKind::Transmission,
+        });
+        trace.push(TraceEvent {
+            message: 1,
+            start: Time::from_us(250),
+            end: Time::from_us(300),
+            kind: TraceKind::ErrorHit,
+        });
+        trace.push(TraceEvent {
+            message: 1,
+            start: Time::from_us(300),
+            end: Time::from_us(550),
+            kind: TraceKind::Retransmission,
+        });
+        let labels = vec!["alpha".to_string(), "beta".to_string()];
+        let text = render(
+            &trace,
+            &labels,
+            &GanttConfig {
+                from: Time::ZERO,
+                to: Time::from_ms(1),
+                columns: 50,
+            },
+        );
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("alpha"));
+        assert!(lines[1].contains('#'));
+        assert!(lines[2].contains('x'));
+        assert!(lines[2].contains('R'));
+        // alpha's row has no error marks.
+        assert!(!lines[1].contains('x'));
+    }
+
+    #[test]
+    fn events_outside_window_ignored() {
+        let mut trace = Trace::new();
+        trace.push(TraceEvent {
+            message: 0,
+            start: Time::from_ms(5),
+            end: Time::from_ms(6),
+            kind: TraceKind::Transmission,
+        });
+        let text = render(
+            &trace,
+            &["m".to_string()],
+            &GanttConfig {
+                from: Time::ZERO,
+                to: Time::from_ms(1),
+                columns: 10,
+            },
+        );
+        assert!(!text.lines().nth(1).expect("row").contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty render window")]
+    fn empty_window_rejected() {
+        let _ = render(
+            &Trace::new(),
+            &[],
+            &GanttConfig {
+                from: Time::from_ms(1),
+                to: Time::from_ms(1),
+                columns: 10,
+            },
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Error-injection processes for the simulator.
+//!
+//! The analysis side bounds error hits with
+//! [`ErrorModel`](carta_can::error_model::ErrorModel); the simulator
+//! needs concrete hit *instants*. Every process here stays within the
+//! corresponding analytical bound, so simulated response times must
+//! never exceed the analytical worst case — the cross-validation
+//! invariant exercised by the integration tests.
+
+use carta_core::time::Time;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A generator of bus-error hit instants.
+pub trait ErrorInjector {
+    /// Returns all hit instants in `[0, horizon)`, sorted ascending.
+    fn hits_until(&self, horizon: Time, rng: &mut StdRng) -> Vec<Time>;
+}
+
+/// No errors at all.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoInjection;
+
+impl ErrorInjector for NoInjection {
+    fn hits_until(&self, _horizon: Time, _rng: &mut StdRng) -> Vec<Time> {
+        Vec::new()
+    }
+}
+
+/// Periodic hits every `interval` starting at `phase` — the worst-case
+/// realization of [`SporadicErrors`](carta_can::error_model::SporadicErrors).
+#[derive(Debug, Clone, Copy)]
+pub struct PeriodicInjection {
+    /// Distance between hits.
+    pub interval: Time,
+    /// Offset of the first hit.
+    pub phase: Time,
+}
+
+impl ErrorInjector for PeriodicInjection {
+    fn hits_until(&self, horizon: Time, _rng: &mut StdRng) -> Vec<Time> {
+        let mut hits = Vec::new();
+        let mut t = self.phase;
+        while t < horizon {
+            hits.push(t);
+            t += self.interval;
+        }
+        hits
+    }
+}
+
+/// Random hits with a *minimum* distance of `min_interval` and a random
+/// extra gap up to `max_extra` — always sparser than the sporadic model
+/// with the same interval.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomSporadicInjection {
+    /// Minimum distance between hits (matches the analytical interval).
+    pub min_interval: Time,
+    /// Maximum additional random spacing.
+    pub max_extra: Time,
+}
+
+impl ErrorInjector for RandomSporadicInjection {
+    fn hits_until(&self, horizon: Time, rng: &mut StdRng) -> Vec<Time> {
+        let mut hits = Vec::new();
+        let mut t = Time::from_ns(rng.gen_range(0..=self.min_interval.as_ns()));
+        while t < horizon {
+            hits.push(t);
+            let extra = if self.max_extra.is_zero() {
+                0
+            } else {
+                rng.gen_range(0..=self.max_extra.as_ns())
+            };
+            t = t + self.min_interval + Time::from_ns(extra);
+        }
+        hits
+    }
+}
+
+/// Bursts of `burst_len` hits spaced `intra_gap`, bursts every
+/// `inter_burst` — the worst-case realization of
+/// [`BurstErrors`](carta_can::error_model::BurstErrors).
+#[derive(Debug, Clone, Copy)]
+pub struct BurstInjection {
+    /// Hits per burst.
+    pub burst_len: u64,
+    /// Distance between hits inside a burst.
+    pub intra_gap: Time,
+    /// Distance between burst starts.
+    pub inter_burst: Time,
+    /// Offset of the first burst.
+    pub phase: Time,
+}
+
+impl ErrorInjector for BurstInjection {
+    fn hits_until(&self, horizon: Time, _rng: &mut StdRng) -> Vec<Time> {
+        let mut hits = Vec::new();
+        let mut burst_start = self.phase;
+        while burst_start < horizon {
+            for k in 0..self.burst_len {
+                let t = burst_start + self.intra_gap * k;
+                if t < horizon {
+                    hits.push(t);
+                }
+            }
+            burst_start += self.inter_burst;
+        }
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carta_can::error_model::{BurstErrors, ErrorModel, SporadicErrors};
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn periodic_injection_counts() {
+        let inj = PeriodicInjection {
+            interval: Time::from_ms(10),
+            phase: Time::ZERO,
+        };
+        let hits = inj.hits_until(Time::from_ms(35), &mut rng());
+        assert_eq!(
+            hits,
+            vec![
+                Time::ZERO,
+                Time::from_ms(10),
+                Time::from_ms(20),
+                Time::from_ms(30)
+            ]
+        );
+    }
+
+    #[test]
+    fn injections_respect_analytical_bounds() {
+        let horizon = Time::from_s(1);
+        // Periodic vs sporadic model.
+        let inj = PeriodicInjection {
+            interval: Time::from_ms(7),
+            phase: Time::ZERO,
+        };
+        let model = SporadicErrors::new(Time::from_ms(7));
+        let hits = inj.hits_until(horizon, &mut rng());
+        assert!(hits.len() as u64 <= model.max_hits(horizon));
+
+        // Random sporadic is sparser still.
+        let rinj = RandomSporadicInjection {
+            min_interval: Time::from_ms(7),
+            max_extra: Time::from_ms(5),
+        };
+        let rhits = rinj.hits_until(horizon, &mut rng());
+        assert!(rhits.len() as u64 <= model.max_hits(horizon));
+        for w in rhits.windows(2) {
+            assert!(w[1] - w[0] >= Time::from_ms(7));
+        }
+
+        // Burst injection vs burst model.
+        let binj = BurstInjection {
+            burst_len: 3,
+            intra_gap: Time::from_us(200),
+            inter_burst: Time::from_ms(20),
+            phase: Time::ZERO,
+        };
+        let bmodel = BurstErrors::new(3, Time::from_us(200), Time::from_ms(20));
+        let bhits = binj.hits_until(horizon, &mut rng());
+        assert!(bhits.len() as u64 <= bmodel.max_hits(horizon));
+    }
+
+    #[test]
+    fn no_injection_is_empty() {
+        assert!(NoInjection
+            .hits_until(Time::from_s(10), &mut rng())
+            .is_empty());
+    }
+}

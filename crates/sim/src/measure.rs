@@ -1,0 +1,120 @@
+//! Measurement extraction: turning simulated traces back into event
+//! models and auditing them against datasheets.
+//!
+//! This closes the paper's verification loop from the measuring side:
+//! a party that *receives* a guarantee can record the stream (here:
+//! from the simulator standing in for a bus logger) and check that the
+//! observation stays within the guaranteed event model — "what is
+//! initially assumed and required, must later be guaranteed, and vice
+//! versa" (Sec. 5.1).
+
+use crate::trace::{Trace, TraceKind};
+use carta_core::event_model::{EventModel, StreamViolation};
+use carta_core::time::Time;
+
+/// Completion instants of one message's successful transmissions — the
+/// stream a receiver actually observes on the bus.
+pub fn completion_instants(trace: &Trace, message: usize) -> Vec<Time> {
+    trace
+        .events()
+        .iter()
+        .filter(|e| {
+            e.message == message
+                && matches!(e.kind, TraceKind::Transmission | TraceKind::Retransmission)
+        })
+        .map(|e| e.end)
+        .collect()
+}
+
+/// Fits a `(P, J, d)` event model around the observed completions of a
+/// message (see [`EventModel::from_trace`]); `None` with fewer than two
+/// completions.
+pub fn observed_output_model(trace: &Trace, message: usize) -> Option<EventModel> {
+    EventModel::from_trace(&completion_instants(trace, message))
+}
+
+/// Audits the observed stream of `message` against a guaranteed bound.
+/// Windows of up to `max_window` consecutive events are checked.
+///
+/// # Errors
+///
+/// Returns the first [`StreamViolation`].
+pub fn audit_against(
+    trace: &Trace,
+    message: usize,
+    bound: &EventModel,
+    max_window: usize,
+) -> Result<(), StreamViolation> {
+    bound.bounds_stream(&completion_instants(trace, message), max_window)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{simulate, SimConfig};
+    use crate::inject::NoInjection;
+    use carta_can::controller::ControllerType;
+    use carta_can::frame::Dlc;
+    use carta_can::message::{CanId, CanMessage};
+    use carta_can::network::{CanNetwork, Node};
+
+    fn net() -> CanNetwork {
+        let mut net = CanNetwork::new(500_000);
+        let a = net.add_node(Node::new("A", ControllerType::FullCan));
+        net.add_message(CanMessage::new(
+            "rpm",
+            CanId::standard(0x100).expect("valid"),
+            Dlc::new(8),
+            Time::from_ms(10),
+            Time::from_ms(2),
+            a,
+        ));
+        net.add_message(CanMessage::new(
+            "status",
+            CanId::standard(0x300).expect("valid"),
+            Dlc::new(4),
+            Time::from_ms(50),
+            Time::ZERO,
+            a,
+        ));
+        net
+    }
+
+    #[test]
+    fn observed_model_bounds_the_observation() {
+        let rep = simulate(&net(), &NoInjection, &SimConfig::default());
+        let model = observed_output_model(&rep.trace, 0).expect("enough samples");
+        // The fitted model must bound its own source trace.
+        assert!(audit_against(&rep.trace, 0, &model, 8).is_ok());
+        // The fitted period tracks the true 10 ms within a fraction of
+        // a percent (endpoint jitter skews the mean slightly).
+        let p = model.period().as_ms_f64();
+        assert!((p - 10.0).abs() < 0.1, "fitted period {p} ms");
+    }
+
+    #[test]
+    fn audit_passes_against_honest_guarantee() {
+        let rep = simulate(&net(), &NoInjection, &SimConfig::default());
+        // The OEM's analytical output model: send jitter 2 ms plus the
+        // response span (≤ one blocking frame here) — 3 ms is generous.
+        let guarantee = EventModel::periodic_with_jitter(Time::from_ms(10), Time::from_ms(3))
+            .with_dmin(Time::from_us(200));
+        assert!(audit_against(&rep.trace, 0, &guarantee, 8).is_ok());
+    }
+
+    #[test]
+    fn audit_catches_an_overpromising_guarantee() {
+        let rep = simulate(&net(), &NoInjection, &SimConfig::default());
+        // A zero-jitter promise for a 2 ms-jitter stream cannot hold.
+        let bogus = EventModel::periodic(Time::from_ms(10));
+        let violation = audit_against(&rep.trace, 0, &bogus, 4).expect_err("caught");
+        assert!(violation.span < violation.required);
+    }
+
+    #[test]
+    fn no_completions_no_model() {
+        let trace = Trace::new();
+        assert!(observed_output_model(&trace, 0).is_none());
+        assert!(completion_instants(&trace, 0).is_empty());
+    }
+}

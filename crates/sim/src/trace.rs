@@ -1,0 +1,113 @@
+//! Bus traces recorded by the simulator.
+
+use carta_core::time::Time;
+
+/// What happened on the bus during one trace segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A frame transmitted successfully.
+    Transmission,
+    /// A transmission aborted by a bus error (followed by the error
+    /// frame).
+    ErrorHit,
+    /// A successful retransmission after one or more errors.
+    Retransmission,
+}
+
+/// One bus occupancy segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Index of the message occupying the bus.
+    pub message: usize,
+    /// Segment start.
+    pub start: Time,
+    /// Segment end (exclusive).
+    pub end: Time,
+    /// Segment kind.
+    pub kind: TraceKind,
+}
+
+impl TraceEvent {
+    /// Segment duration.
+    pub fn duration(&self) -> Time {
+        self.end - self.start
+    }
+}
+
+/// A recorded bus trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event (must not precede the previous event's start).
+    pub fn push(&mut self, event: TraceEvent) {
+        debug_assert!(
+            self.events.last().is_none_or(|e| event.start >= e.start),
+            "trace must be time-ordered"
+        );
+        self.events.push(event);
+    }
+
+    /// All events in time order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events overlapping the window `[from, to)`.
+    pub fn window(&self, from: Time, to: Time) -> impl Iterator<Item = &TraceEvent> {
+        self.events
+            .iter()
+            .filter(move |e| e.end > from && e.start < to)
+    }
+
+    /// Total bus-busy time within the trace.
+    pub fn busy_time(&self) -> Time {
+        self.events.iter().map(|e| e.duration()).sum()
+    }
+
+    /// Number of error hits recorded.
+    pub fn error_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.kind == TraceKind::ErrorHit)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(msg: usize, s: u64, e: u64, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            message: msg,
+            start: Time::from_us(s),
+            end: Time::from_us(e),
+            kind,
+        }
+    }
+
+    #[test]
+    fn accumulates_and_windows() {
+        let mut t = Trace::new();
+        t.push(ev(0, 0, 270, TraceKind::Transmission));
+        t.push(ev(1, 270, 300, TraceKind::ErrorHit));
+        t.push(ev(1, 300, 570, TraceKind::Retransmission));
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.busy_time(), Time::from_us(270 + 30 + 270));
+        assert_eq!(t.error_count(), 1);
+        let in_window: Vec<_> = t.window(Time::from_us(280), Time::from_us(310)).collect();
+        assert_eq!(in_window.len(), 2);
+        assert_eq!(
+            ev(0, 0, 270, TraceKind::Transmission).duration(),
+            Time::from_us(270)
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! The full power-train case study of the paper's Section 4:
+//!
+//! 1. import the K-Matrix (here: the synthetic generator, exported and
+//!    re-imported through the CSV layer to exercise the real pipeline),
+//! 2. experiment 1 — zero jitters, no errors: all deadlines met,
+//! 3. experiment 2 — "realistic" jitters for the unknown messages plus
+//!    sporadic and burst error models,
+//! 4. sensitivity classification (Fig. 4) and message-loss curves
+//!    (Fig. 5, non-optimized).
+//!
+//! Run with: `cargo run --release --example powertrain_case_study`
+
+use carta::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- K-Matrix import ------------------------------------------------
+    let matrix = powertrain_default();
+    let csv = to_csv(&matrix);
+    let matrix = from_csv(&csv)?; // round-trip through the CSV layer
+    let net = matrix.to_network()?;
+    println!(
+        "imported K-Matrix `{}`: {} messages, {} nodes, {} with known jitter",
+        matrix.name,
+        matrix.rows.len(),
+        matrix.nodes.len(),
+        matrix.known_jitter_count()
+    );
+    println!(
+        "worst-case bus load: {:.1} %\n",
+        net.load(StuffingMode::WorstCase).utilization_percent()
+    );
+
+    // --- Experiment 1: zero jitters, no errors ---------------------------
+    let zero = with_jitter_ratio(&net, 0.0);
+    let report = Scenario::best_case().analyze(&zero)?;
+    println!(
+        "experiment 1 (zero jitter, no errors): {} / {} deadlines met",
+        report.messages.len() - report.missed_count(),
+        report.messages.len()
+    );
+    assert!(report.schedulable(), "paper: all messages meet deadlines");
+
+    // --- Experiment 2: realistic jitters + error models -------------------
+    // Known jitters stay; unknown ones are assumed at 20 % of period.
+    let realistic = with_assumed_unknown_jitter(&net, 0.20);
+    for scenario in [
+        Scenario::best_case(),
+        Scenario::sporadic_errors(Time::from_ms(10)),
+        Scenario::worst_case(),
+    ] {
+        let report = scenario.analyze(&realistic)?;
+        println!(
+            "experiment 2 under `{}`: {} / {} messages can be lost (max WCRT {})",
+            scenario.name,
+            report.missed_count(),
+            report.messages.len(),
+            report
+                .max_wcrt()
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "unbounded".into()),
+        );
+    }
+
+    // --- Sensitivity (Fig. 4) --------------------------------------------
+    let grid = paper_jitter_grid();
+    let series = response_vs_jitter(&net, &Scenario::worst_case(), &grid, None)?;
+    let mut by_class = std::collections::BTreeMap::new();
+    for s in &series {
+        *by_class.entry(s.classify().to_string()).or_insert(0usize) += 1;
+    }
+    println!("\nsensitivity classes over 0–60 % jitter (Fig. 4):");
+    for (class, count) in by_class {
+        println!("  {class:<20} {count} messages");
+    }
+
+    // --- Message loss (Fig. 5, non-optimized curves) ----------------------
+    println!("\nmessage loss vs jitter (Fig. 5, dotted curves):");
+    println!("{:>8} {:>12} {:>12}", "jitter", "best case", "worst case");
+    let best = loss_vs_jitter(&net, &Scenario::best_case(), &grid)?;
+    let worst = loss_vs_jitter(&net, &Scenario::worst_case(), &grid)?;
+    for (b, w) in best.points.iter().zip(&worst.points) {
+        println!(
+            "{:>7.0}% {:>11.1}% {:>11.1}%",
+            b.jitter_ratio * 100.0,
+            b.fraction() * 100.0,
+            w.fraction() * 100.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! Quickstart: model a small CAN bus, run the load model and the real
+//! schedulability analysis, and see why "load analysis is not enough"
+//! (paper Sec. 3.1).
+//!
+//! Run with: `cargo run --example quickstart`
+
+use carta::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 500 kbit/s power-train bus with two ECUs.
+    let mut net = CanNetwork::new(500_000);
+    let ems = net.add_node(Node::new("EMS", ControllerType::FullCan));
+    let tcu = net.add_node(Node::new("TCU", ControllerType::BasicCan));
+
+    net.add_message(CanMessage::new(
+        "engine_rpm",
+        CanId::standard(0x100)?,
+        Dlc::new(8),
+        Time::from_ms(10),
+        Time::ZERO,
+        ems,
+    ));
+    net.add_message(CanMessage::new(
+        "throttle_pos",
+        CanId::standard(0x120)?,
+        Dlc::new(4),
+        Time::from_ms(10),
+        Time::from_ms(1),
+        ems,
+    ));
+    net.add_message(CanMessage::new(
+        "gear_state",
+        CanId::standard(0x1A0)?,
+        Dlc::new(2),
+        Time::from_ms(20),
+        Time::from_ms(3),
+        tcu,
+    ));
+    net.validate()?;
+
+    // 1. The popular-but-weak load model.
+    let load = net.load(StuffingMode::WorstCase);
+    println!(
+        "bus load: {:.1} % of {} kbit/s (overloaded: {})",
+        load.utilization_percent(),
+        net.bit_rate() / 1000,
+        load.is_overloaded()
+    );
+
+    // 2. The real analysis: response times, blocking, deadlines,
+    //    including sporadic bus errors every 50 ms.
+    let errors = SporadicErrors::new(Time::from_ms(50));
+    let report = analyze_bus(&net, &errors, &AnalysisConfig::default())?;
+    println!(
+        "\n{:<14} {:>10} {:>10} {:>10} {:>8}",
+        "message", "WCRT", "BCRT", "deadline", "ok"
+    );
+    for m in &report.messages {
+        println!(
+            "{:<14} {:>10} {:>10} {:>10} {:>8}",
+            m.name,
+            m.outcome
+                .wcrt()
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "unbounded".into()),
+            m.outcome
+                .bcrt()
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "-".into()),
+            m.deadline.to_string(),
+            if m.misses_deadline() { "MISS" } else { "yes" }
+        );
+    }
+    println!(
+        "\nschedulable: {} ({} of {} messages can be lost)",
+        report.schedulable(),
+        report.missed_count(),
+        report.messages.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! What-if exploration — the integration questions of the paper's
+//! Section 2, answered "within minutes, without any simulation or test
+//! equipment":
+//!
+//! * Is the network (temporarily) overloaded?
+//! * Which messages can get lost, and how often?
+//! * Can more ECUs (and how many) be connected without overloading?
+//! * How about diagnosis and ECU flashing?
+//!
+//! Run with: `cargo run --release --example what_if_exploration`
+
+use carta::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = powertrain_default().to_network()?;
+
+    // --- Is the network overloaded? --------------------------------------
+    let load = net.load(StuffingMode::WorstCase);
+    println!(
+        "Q: Is the network overloaded?\nA: load model says {:.1} % — fine for the 60 % camp, \
+         critical for the 40 % camp; the analysis below is the real answer.\n",
+        load.utilization_percent()
+    );
+
+    // --- Which messages can get lost? -------------------------------------
+    let realistic = with_assumed_unknown_jitter(&net, 0.20);
+    let report = Scenario::worst_case().analyze(&realistic)?;
+    println!("Q: Which messages can get lost (worst case, 20 % assumed jitter)?");
+    let lost: Vec<&str> = report
+        .messages
+        .iter()
+        .filter(|m| m.misses_deadline())
+        .map(|m| m.name.as_str())
+        .collect();
+    if lost.is_empty() {
+        println!("A: none.\n");
+    } else {
+        println!(
+            "A: {} of {}: {}\n",
+            lost.len(),
+            report.messages.len(),
+            lost.join(", ")
+        );
+    }
+
+    // --- How much jitter does the design tolerate? ------------------------
+    let slack = max_schedulable_jitter(&net, &Scenario::worst_case(), 1.0, 0.01)?;
+    println!(
+        "Q: How much uniform jitter does the current design tolerate (worst case)?\nA: {}\n",
+        slack
+            .map(|s| format!("up to {:.0} % of each period", s * 100.0))
+            .unwrap_or_else(|| "none — already failing at zero jitter".into())
+    );
+
+    // --- Can more ECUs be connected? ---------------------------------------
+    let template = EcuTemplate::default();
+    let headroom = max_additional_ecus(&net, &Scenario::worst_case(), &template, 32)?;
+    println!(
+        "Q: Can more ECUs be connected?\nA: up to {headroom} additional ECUs \
+         ({} messages of {} every {} each) still meet all deadlines.\n",
+        template.messages_per_ecu,
+        Dlc::new(template.dlc),
+        template.period
+    );
+
+    // --- How about diagnosis and flashing? ---------------------------------
+    let with_diag = with_diagnostic_stream(&net, Time::from_ms(5));
+    let diag_report = Scenario::worst_case().analyze(&with_diag)?;
+    println!(
+        "Q: How about diagnosis and ECU flashing?\nA: with a tester stream (8-byte frames, \
+         ≥ 5 ms apart) the bus {} — {} of {} messages can then be lost.",
+        if diag_report.schedulable() {
+            "still meets all deadlines"
+        } else {
+            "starts missing deadlines"
+        },
+        diag_report.missed_count(),
+        diag_report.messages.len()
+    );
+    Ok(())
+}

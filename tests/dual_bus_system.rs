@@ -1,0 +1,203 @@
+//! The dual-bus gateway system assembled through the compositional
+//! engine: power-train bus → GW_BODY routing task → body bus, at
+//! case-study scale (64 + 28 messages, 4 forwarded signals).
+
+use carta::prelude::*;
+use std::sync::Arc;
+
+struct Assembled {
+    sys: CompositionalSystem,
+    pt: usize,
+    gw: usize,
+    body: usize,
+    pt_net: CanNetwork,
+    body_net: CanNetwork,
+    forwarded: Vec<ForwardedSignal>,
+}
+
+fn assemble() -> Assembled {
+    assemble_with_pt_jitter(None)
+}
+
+/// Builds the system; with `Some(ratio)` the forwarded power-train
+/// sources get `ratio` of their period as jitter.
+fn assemble_with_pt_jitter(forward_jitter_ratio: Option<f64>) -> Assembled {
+    let d = dual_bus_default();
+    let mut pt_net = d.powertrain.to_network().expect("convertible");
+    if let Some(ratio) = forward_jitter_ratio {
+        for f in &d.forwarded {
+            let (i, _) = pt_net
+                .message_by_name(&f.powertrain_message)
+                .expect("present");
+            let m = &mut pt_net.messages_mut()[i];
+            m.activation = EventModel::periodic_with_jitter(
+                m.activation.period(),
+                m.activation.period().scale(ratio),
+            );
+        }
+    }
+    let body_net = d.body.to_network().expect("convertible");
+
+    // The gateway runs one routing task per forwarded signal plus a
+    // housekeeping task.
+    let mut tasks = Vec::new();
+    for (k, f) in d.forwarded.iter().enumerate() {
+        let (_, src) = pt_net
+            .message_by_name(&f.powertrain_message)
+            .expect("present");
+        tasks.push(Task::periodic(
+            format!("route_{}", f.body_message),
+            Priority(10 - k as u32),
+            src.activation.period(),
+            Time::from_us(20),
+            Time::from_us(80),
+        ));
+    }
+    tasks.push(Task::periodic(
+        "housekeeping",
+        Priority(1),
+        Time::from_ms(100),
+        Time::from_us(100),
+        Time::from_ms(2),
+    ));
+
+    let mut sys = CompositionalSystem::new();
+    let pt = sys.add_resource(Box::new(CanBusResource::with_errors(
+        "powertrain",
+        pt_net.clone(),
+        Arc::new(SporadicErrors::new(Time::from_ms(20))),
+    )));
+    let gw = sys.add_resource(Box::new(EcuResource::new("GW_BODY", tasks)));
+    let body = sys.add_resource(Box::new(CanBusResource::with_errors(
+        "body",
+        body_net.clone(),
+        Arc::new(SporadicErrors::new(Time::from_ms(20))),
+    )));
+
+    // Sources: every power-train message; every body message that is
+    // not forwarded; the housekeeping task.
+    for (i, m) in pt_net.messages().iter().enumerate() {
+        sys.set_source(NodeRef::new(pt, i), m.activation)
+            .expect("valid");
+    }
+    for (i, m) in body_net.messages().iter().enumerate() {
+        if !d.forwarded.iter().any(|f| f.body_message == m.name) {
+            sys.set_source(NodeRef::new(body, i), m.activation)
+                .expect("valid");
+        }
+    }
+    sys.set_source(
+        NodeRef::new(gw, d.forwarded.len()),
+        EventModel::periodic(Time::from_ms(100)),
+    )
+    .expect("valid");
+
+    // Chains: pt message -> routing task -> body message.
+    for (k, f) in d.forwarded.iter().enumerate() {
+        let (src_idx, _) = pt_net
+            .message_by_name(&f.powertrain_message)
+            .expect("present");
+        let (dst_idx, _) = body_net.message_by_name(&f.body_message).expect("present");
+        sys.connect(NodeRef::new(pt, src_idx), NodeRef::new(gw, k))
+            .expect("valid");
+        sys.connect(NodeRef::new(gw, k), NodeRef::new(body, dst_idx))
+            .expect("valid");
+    }
+    Assembled {
+        sys,
+        pt,
+        gw,
+        body,
+        pt_net,
+        body_net,
+        forwarded: d.forwarded,
+    }
+}
+
+#[test]
+fn dual_bus_system_converges_and_is_schedulable() {
+    let a = assemble();
+    let result = a.sys.analyze().expect("converges");
+    assert!(
+        result.iterations() <= 10,
+        "iterations: {}",
+        result.iterations()
+    );
+
+    // Every hop of every forwarded chain has a bounded response and
+    // accumulated jitter grows along the chain.
+    for (k, f) in a.forwarded.iter().enumerate() {
+        let (src_idx, src) = a
+            .pt_net
+            .message_by_name(&f.powertrain_message)
+            .expect("present");
+        let (dst_idx, _) = a
+            .body_net
+            .message_by_name(&f.body_message)
+            .expect("present");
+        let chain = [
+            NodeRef::new(a.pt, src_idx),
+            NodeRef::new(a.gw, k),
+            NodeRef::new(a.body, dst_idx),
+        ];
+        let latency = a.sys.path_latency(&result, &chain).expect("connected");
+        assert!(
+            latency.worst() < Time::from_ms(50),
+            "{}: {}",
+            f.body_message,
+            latency
+        );
+        assert!(latency.best() > Time::ZERO);
+        // The forwarded copy's activation jitter reflects the chain.
+        let derived = result.activation(NodeRef::new(a.body, dst_idx));
+        assert!(derived.jitter() > src.activation.jitter());
+        assert_eq!(derived.period(), src.activation.period());
+    }
+}
+
+#[test]
+fn body_bus_feels_powertrain_jitter() {
+    // Raising the jitter of the forwarded power-train sources must
+    // weakly increase the derived activation jitter of their copies on
+    // the body bus — jitter crosses two resource boundaries.
+    let calm = assemble();
+    let noisy = assemble_with_pt_jitter(Some(0.40));
+    let calm_result = calm.sys.analyze().expect("converges");
+    let noisy_result = noisy.sys.analyze().expect("converges");
+    let mut strictly_larger = 0;
+    for f in &calm.forwarded {
+        let (dst_idx, _) = calm
+            .body_net
+            .message_by_name(&f.body_message)
+            .expect("present");
+        let a = calm_result.activation(NodeRef::new(calm.body, dst_idx));
+        let b = noisy_result.activation(NodeRef::new(noisy.body, dst_idx));
+        assert!(
+            b.jitter() >= a.jitter(),
+            "{}: {} < {}",
+            f.body_message,
+            b.jitter(),
+            a.jitter()
+        );
+        if b.jitter() > a.jitter() {
+            strictly_larger += 1;
+        }
+    }
+    assert!(
+        strictly_larger > 0,
+        "at least one chain must visibly amplify"
+    );
+    // Local body traffic never improves when upstream gets noisier.
+    for (i, m) in calm.body_net.messages().iter().enumerate() {
+        if calm.forwarded.iter().any(|f| f.body_message == m.name) {
+            continue;
+        }
+        let a = calm_result.response(NodeRef::new(calm.body, i));
+        let b = noisy_result.response(NodeRef::new(noisy.body, i));
+        assert!(
+            b.worst() >= a.worst(),
+            "{}: improved under more jitter",
+            m.name
+        );
+    }
+}

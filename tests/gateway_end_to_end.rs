@@ -1,0 +1,171 @@
+//! End-to-end compositional analysis across crates: CAN bus → gateway
+//! ECU → second CAN bus, exercising the global fixpoint engine with
+//! real local analyses on both resource types.
+
+use carta::prelude::*;
+use std::sync::Arc;
+
+struct System {
+    sys: CompositionalSystem,
+    b1: usize,
+    gw: usize,
+    b2: usize,
+}
+
+fn build(rpm_jitter: Time) -> System {
+    let mut bus1 = CanNetwork::new(500_000);
+    let ems = bus1.add_node(Node::new("EMS", ControllerType::FullCan));
+    bus1.add_message(CanMessage::new(
+        "engine_rpm",
+        CanId::standard(0x100).expect("valid"),
+        Dlc::new(8),
+        Time::from_ms(10),
+        rpm_jitter,
+        ems,
+    ));
+    bus1.add_message(CanMessage::new(
+        "throttle",
+        CanId::standard(0x180).expect("valid"),
+        Dlc::new(4),
+        Time::from_ms(10),
+        Time::ZERO,
+        ems,
+    ));
+
+    let tasks = vec![
+        Task::periodic(
+            "routing",
+            Priority(2),
+            Time::from_ms(10),
+            Time::from_us(50),
+            Time::from_us(200),
+        ),
+        Task::periodic(
+            "housekeeping",
+            Priority(1),
+            Time::from_ms(50),
+            Time::from_us(100),
+            Time::from_ms(1),
+        ),
+    ];
+
+    let mut bus2 = CanNetwork::new(250_000);
+    let gwn = bus2.add_node(Node::new("GW", ControllerType::FullCan));
+    let esp = bus2.add_node(Node::new("ESP", ControllerType::FullCan));
+    bus2.add_message(CanMessage::new(
+        "rpm_fwd",
+        CanId::standard(0x110).expect("valid"),
+        Dlc::new(8),
+        Time::from_ms(10),
+        Time::ZERO,
+        gwn,
+    ));
+    bus2.add_message(CanMessage::new(
+        "yaw_rate",
+        CanId::standard(0x090).expect("valid"),
+        Dlc::new(6),
+        Time::from_ms(20),
+        Time::from_ms(2),
+        esp,
+    ));
+
+    let em0 = bus1.messages()[0].activation;
+    let em1 = bus1.messages()[1].activation;
+    let em_yaw = bus2.messages()[1].activation;
+
+    let mut sys = CompositionalSystem::new();
+    let b1 = sys.add_resource(Box::new(CanBusResource::with_errors(
+        "powertrain",
+        bus1,
+        Arc::new(SporadicErrors::new(Time::from_ms(20))),
+    )));
+    let gw = sys.add_resource(Box::new(EcuResource::new("gateway", tasks)));
+    let b2 = sys.add_resource(Box::new(CanBusResource::with_errors(
+        "chassis",
+        bus2,
+        Arc::new(SporadicErrors::new(Time::from_ms(20))),
+    )));
+
+    sys.set_source(NodeRef::new(b1, 0), em0).expect("valid");
+    sys.set_source(NodeRef::new(b1, 1), em1).expect("valid");
+    sys.set_source(NodeRef::new(gw, 1), EventModel::periodic(Time::from_ms(50)))
+        .expect("valid");
+    sys.set_source(NodeRef::new(b2, 1), em_yaw).expect("valid");
+    sys.connect(NodeRef::new(b1, 0), NodeRef::new(gw, 0))
+        .expect("valid");
+    sys.connect(NodeRef::new(gw, 0), NodeRef::new(b2, 0))
+        .expect("valid");
+    System { sys, b1, gw, b2 }
+}
+
+#[test]
+fn fixpoint_converges_and_jitter_accumulates() {
+    let s = build(Time::from_ms(1));
+    let result = s.sys.analyze().expect("converges");
+    assert!(result.iterations() <= 8, "DAG should converge quickly");
+
+    // Jitter grows hop by hop along the chain.
+    let j_bus1_in = result.activation(NodeRef::new(s.b1, 0)).jitter();
+    let j_gw_in = result.activation(NodeRef::new(s.gw, 0)).jitter();
+    let j_bus2_in = result.activation(NodeRef::new(s.b2, 0)).jitter();
+    assert_eq!(j_bus1_in, Time::from_ms(1));
+    assert!(j_gw_in > j_bus1_in);
+    assert!(j_bus2_in > j_gw_in);
+
+    // Period is preserved along the chain.
+    assert_eq!(
+        result.activation(NodeRef::new(s.b2, 0)).period(),
+        Time::from_ms(10)
+    );
+
+    // The end-to-end worst case is the sum of hop worst cases.
+    let total: Time = [s.b1, s.gw, s.b2]
+        .iter()
+        .map(|&r| result.response(NodeRef::new(r, 0)).worst())
+        .sum();
+    assert!(total > Time::ZERO);
+    assert!(total < Time::from_ms(10), "chain fits within one period");
+}
+
+#[test]
+fn upstream_jitter_propagates_to_downstream_bus() {
+    let calm = build(Time::ZERO);
+    let noisy = build(Time::from_ms(8));
+    let r_calm = calm.sys.analyze().expect("converges");
+    let r_noisy = noisy.sys.analyze().expect("converges");
+    // The forwarded frame's activation jitter on bus 2 reflects the
+    // source jitter injected two hops upstream.
+    let calm_j = r_calm.activation(NodeRef::new(calm.b2, 0)).jitter();
+    let noisy_j = r_noisy.activation(NodeRef::new(noisy.b2, 0)).jitter();
+    assert!(noisy_j >= calm_j + Time::from_ms(8) - Time::from_ms(1));
+    // And the *other* traffic on bus 2 sees (at most slightly) more
+    // interference, never less.
+    let calm_yaw = r_calm.response(NodeRef::new(calm.b2, 1)).worst();
+    let noisy_yaw = r_noisy.response(NodeRef::new(noisy.b2, 1)).worst();
+    assert!(noisy_yaw >= calm_yaw);
+}
+
+#[test]
+fn overloaded_downstream_bus_reports_entity() {
+    // Shrink bus 2 to 50 kbit/s: the forwarded stream no longer fits.
+    let mut s = build(Time::ZERO);
+    let mut bus2 = CanNetwork::new(50_000);
+    let gwn = bus2.add_node(Node::new("GW", ControllerType::FullCan));
+    bus2.add_message(CanMessage::new(
+        "rpm_fwd",
+        CanId::standard(0x110).expect("valid"),
+        Dlc::new(8),
+        Time::from_ms(1), // 135 bits / 1 ms on 50 kbit/s: 270 %
+        Time::ZERO,
+        gwn,
+    ));
+    let slow = CanBusResource::new("slow", bus2);
+    let b3 = s.sys.add_resource(Box::new(slow));
+    s.sys
+        .set_source(NodeRef::new(b3, 0), EventModel::periodic(Time::from_ms(1)))
+        .expect("valid");
+    match s.sys.analyze() {
+        Err(AnalysisError::Unbounded { entity }) => assert_eq!(entity, "rpm_fwd"),
+        other => panic!("expected Unbounded, got {other:?}"),
+    }
+}

@@ -1,0 +1,224 @@
+//! End-to-end validation of the **compositional** analysis: a two-bus
+//! gateway chain is co-simulated (upstream bus completions, plus a
+//! sampled gateway processing delay, become the downstream bus's
+//! arrival stream), and every observed end-to-end latency must stay
+//! within the path bound computed by the fixpoint engine.
+//!
+//! This is the system-level counterpart of `tests/sim_vs_analysis.rs`:
+//! it exercises event-model propagation itself, not just one local
+//! analysis.
+
+use carta::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Chain {
+    bus1: CanNetwork,
+    bus2: CanNetwork,
+    gw_c_min: Time,
+    gw_c_max: Time,
+}
+
+fn chain(seed: u64) -> Chain {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut bus1 = CanNetwork::new(500_000);
+    let ems = bus1.add_node(Node::new("EMS", ControllerType::FullCan));
+    // The forwarded signal plus background traffic.
+    bus1.add_message(CanMessage::new(
+        "fwd_src",
+        CanId::standard(0x120).expect("valid"),
+        Dlc::new(8),
+        Time::from_ms(10),
+        Time::from_ms(rng.gen_range(0..3)),
+        ems,
+    ));
+    for k in 0..rng.gen_range(2..5) {
+        let period = Time::from_ms(*[5u64, 10, 20].get(rng.gen_range(0..3)).unwrap());
+        bus1.add_message(CanMessage::new(
+            format!("bg1_{k}"),
+            CanId::standard(0x200 + 16 * k).expect("valid"),
+            Dlc::new(rng.gen_range(2..=8)),
+            period,
+            period.percent(rng.gen_range(0..25)),
+            ems,
+        ));
+    }
+
+    let mut bus2 = CanNetwork::new(250_000);
+    let gw = bus2.add_node(Node::new("GW", ControllerType::FullCan));
+    let esp = bus2.add_node(Node::new("ESP", ControllerType::FullCan));
+    bus2.add_message(CanMessage::new(
+        "fwd_dst",
+        CanId::standard(0x130).expect("valid"),
+        Dlc::new(8),
+        Time::from_ms(10),
+        Time::ZERO, // derived by propagation
+        gw,
+    ));
+    for k in 0..rng.gen_range(1..4) {
+        let period = Time::from_ms(*[10u64, 20, 50].get(rng.gen_range(0..3)).unwrap());
+        bus2.add_message(CanMessage::new(
+            format!("bg2_{k}"),
+            CanId::standard(0x300 + 16 * k).expect("valid"),
+            Dlc::new(rng.gen_range(2..=8)),
+            period,
+            period.percent(rng.gen_range(0..25)),
+            esp,
+        ));
+    }
+    Chain {
+        bus1,
+        bus2,
+        gw_c_min: Time::from_us(30),
+        gw_c_max: Time::from_us(150),
+    }
+}
+
+/// Analyzes the chain compositionally; returns (end-to-end bound,
+/// per-hop node refs are internal).
+fn analyze_chain(c: &Chain) -> ResponseBounds {
+    let tasks = vec![Task::periodic(
+        "route",
+        Priority(1),
+        Time::from_ms(10),
+        c.gw_c_min,
+        c.gw_c_max,
+    )];
+    let mut sys = CompositionalSystem::new();
+    let b1 = sys.add_resource(Box::new(CanBusResource::new("bus1", c.bus1.clone())));
+    let gw = sys.add_resource(Box::new(EcuResource::new("gw", tasks)));
+    let b2 = sys.add_resource(Box::new(CanBusResource::new("bus2", c.bus2.clone())));
+    for (i, m) in c.bus1.messages().iter().enumerate() {
+        sys.set_source(NodeRef::new(b1, i), m.activation)
+            .expect("valid");
+    }
+    for (i, m) in c.bus2.messages().iter().enumerate().skip(1) {
+        sys.set_source(NodeRef::new(b2, i), m.activation)
+            .expect("valid");
+    }
+    sys.connect(NodeRef::new(b1, 0), NodeRef::new(gw, 0))
+        .expect("valid");
+    sys.connect(NodeRef::new(gw, 0), NodeRef::new(b2, 0))
+        .expect("valid");
+    let result = sys.analyze().expect("converges");
+    sys.path_latency(
+        &result,
+        &[
+            NodeRef::new(b1, 0),
+            NodeRef::new(gw, 0),
+            NodeRef::new(b2, 0),
+        ],
+    )
+    .expect("connected")
+}
+
+/// Co-simulates the chain; returns the largest observed end-to-end
+/// latency (source queuing on bus 1 → completion on bus 2).
+fn cosimulate(c: &Chain, seed: u64) -> Option<Time> {
+    let horizon = Time::from_s(3);
+    let config = SimConfig {
+        horizon,
+        seed,
+        stuffing: SimStuffing::Random,
+        record_trace: true,
+    };
+    let up = simulate(&c.bus1, &NoInjection, &config);
+
+    // The gateway forwards each completed fwd_src frame after a sampled
+    // processing delay; queue times on bus 2 = completion + delay. The
+    // end-to-end latency is compared componentwise (max bus-1 response
+    // + max gateway delay + max bus-2 response), which upper-bounds
+    // every individual instance's latency.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6A7E);
+    let completions = completion_instants(&up.trace, 0);
+
+    let mut downstream_arrivals = Vec::with_capacity(completions.len());
+    let mut gw_delays = Vec::with_capacity(completions.len());
+    for &t in &completions {
+        let d = Time::from_ns(rng.gen_range(c.gw_c_min.as_ns()..=c.gw_c_max.as_ns()));
+        gw_delays.push(d);
+        downstream_arrivals.push(t + d);
+    }
+    let down = simulate_with_arrivals(&c.bus2, &NoInjection, &config, &[(0, downstream_arrivals)]);
+
+    // Componentwise observed maxima.
+    let r1 = up.by_name("fwd_src")?.max_response?;
+    let gw = gw_delays.iter().copied().max()?;
+    let r2 = down.by_name("fwd_dst")?.max_response?;
+    Some(r1 + gw + r2)
+}
+
+#[test]
+fn cosimulated_chain_stays_within_the_compositional_bound() {
+    for seed in 0..8u64 {
+        let c = chain(seed);
+        let bound = analyze_chain(&c);
+        let observed = cosimulate(&c, seed).expect("instances ran");
+        assert!(
+            observed <= bound.worst(),
+            "seed {seed}: observed end-to-end {observed} exceeds bound {}",
+            bound.worst()
+        );
+        // The bound is not absurdly loose either (within 50x here —
+        // a smoke check against vacuous bounds).
+        assert!(bound.worst() < observed * 50);
+    }
+}
+
+#[test]
+fn downstream_interference_from_forwarded_stream_is_covered() {
+    // The background traffic on bus 2 competes with the (jittery)
+    // forwarded stream; its observed responses must stay within the
+    // compositional analysis's bounds for bus-2 slots.
+    let c = chain(3);
+    let tasks = vec![Task::periodic(
+        "route",
+        Priority(1),
+        Time::from_ms(10),
+        c.gw_c_min,
+        c.gw_c_max,
+    )];
+    let mut sys = CompositionalSystem::new();
+    let b1 = sys.add_resource(Box::new(CanBusResource::new("bus1", c.bus1.clone())));
+    let gw = sys.add_resource(Box::new(EcuResource::new("gw", tasks)));
+    let b2 = sys.add_resource(Box::new(CanBusResource::new("bus2", c.bus2.clone())));
+    for (i, m) in c.bus1.messages().iter().enumerate() {
+        sys.set_source(NodeRef::new(b1, i), m.activation)
+            .expect("valid");
+    }
+    for (i, m) in c.bus2.messages().iter().enumerate().skip(1) {
+        sys.set_source(NodeRef::new(b2, i), m.activation)
+            .expect("valid");
+    }
+    sys.connect(NodeRef::new(b1, 0), NodeRef::new(gw, 0))
+        .expect("valid");
+    sys.connect(NodeRef::new(gw, 0), NodeRef::new(b2, 0))
+        .expect("valid");
+    let result = sys.analyze().expect("converges");
+
+    // Co-simulate and compare bus-2 background messages.
+    let config = SimConfig {
+        horizon: Time::from_s(3),
+        seed: 3,
+        stuffing: SimStuffing::Random,
+        record_trace: true,
+    };
+    let up = simulate(&c.bus1, &NoInjection, &config);
+    let completions = completion_instants(&up.trace, 0);
+    let arrivals: Vec<Time> = completions.iter().map(|&t| t + c.gw_c_max).collect();
+    let down = simulate_with_arrivals(&c.bus2, &NoInjection, &config, &[(0, arrivals)]);
+    for (i, m) in c.bus2.messages().iter().enumerate().skip(1) {
+        let observed = down.by_name(&m.name).expect("simulated").max_response;
+        let bound = result.response(NodeRef::new(b2, i)).worst();
+        if let Some(obs) = observed {
+            assert!(
+                obs <= bound,
+                "{}: observed {} exceeds compositional bound {}",
+                m.name,
+                obs,
+                bound
+            );
+        }
+        let _ = i;
+    }
+}
