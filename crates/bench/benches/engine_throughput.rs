@@ -1,0 +1,57 @@
+//! Benchmarks the unified evaluation engine (`carta-engine`): batched
+//! candidate throughput at different worker counts, and the gap between
+//! a cold and a warm memo cache. The warm path is the one every repeat
+//! caller (sweeps re-visiting a grid, the GA re-visiting genomes) hits.
+
+use carta_bench::case_study;
+use carta_engine::prelude::{BaseSystem, Evaluator, Parallelism, Scenario, SystemVariant};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const POINTS: usize = 64;
+
+fn batch() -> Vec<SystemVariant> {
+    let base = BaseSystem::new(case_study());
+    let scenario = Scenario::worst_case();
+    (0..POINTS)
+        .map(|i| {
+            SystemVariant::new(base.clone(), scenario.clone())
+                .with_jitter_ratio(i as f64 / POINTS as f64)
+        })
+        .collect()
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let points = batch();
+    let mut group = c.benchmark_group("engine_throughput");
+
+    let mut job_counts = vec![1usize];
+    let ncpu = Parallelism::available();
+    if ncpu > 1 {
+        job_counts.push(ncpu);
+    }
+    for jobs in job_counts {
+        group.bench_with_input(
+            BenchmarkId::new("cold_64pts_jobs", jobs),
+            &jobs,
+            |b, &jobs| {
+                b.iter(|| {
+                    // Fresh evaluator per iteration: every point is a
+                    // cache miss, i.e. a full busy-window analysis.
+                    let eval = Evaluator::new(Parallelism::new(jobs));
+                    black_box(eval.evaluate_batch(&points))
+                })
+            },
+        );
+    }
+
+    let warm = Evaluator::default();
+    warm.evaluate_batch(&points);
+    group.bench_function("warm_64pts", |b| {
+        b.iter(|| black_box(warm.evaluate_batch(&points)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_throughput);
+criterion_main!(benches);

@@ -35,6 +35,8 @@ fn main() {
             population: 60,
             archive: 30,
             generations: 40,
+            // Same budget and seed as the figure-5 acceptance test.
+            seed: 3,
             ..Spea2Config::default()
         },
         ..OptimizeIdsConfig::default()

@@ -7,10 +7,11 @@ use crate::render::Table;
 use carta_can::network::CanNetwork;
 use carta_can::opa::audsley_assignment;
 use carta_core::time::Time;
+use carta_engine::prelude::{Evaluator, Parallelism};
 use carta_explore::jitter::{with_assumed_unknown_jitter, with_jitter_ratio};
-use carta_explore::loss::{loss_vs_jitter, paper_jitter_grid};
+use carta_explore::loss::{loss_vs_jitter_with, paper_jitter_grid};
 use carta_explore::scenario::Scenario;
-use carta_explore::sensitivity::response_vs_jitter;
+use carta_explore::sensitivity::response_vs_jitter_with;
 use carta_kmatrix::csv::{from_csv, to_csv};
 use carta_kmatrix::generator::{powertrain_kmatrix, CaseStudyConfig};
 use carta_kmatrix::model::KMatrix;
@@ -76,6 +77,10 @@ COMMANDS
   diff         compare two matrices' analyses message by message
                  carta diff <before.csv> <after.csv> [--scenario ...]
 
+GLOBAL FLAGS
+  --jobs <n>   worker threads for sweep/optimizer evaluation
+               (default: the CARTA_JOBS env var, else all cores)
+
 Use `-` as the K-Matrix path to analyze the built-in case study.
 "
     .to_string()
@@ -108,6 +113,24 @@ fn load_network(args: &ParsedArgs) -> Result<CanNetwork, Box<dyn Error>> {
         net = with_assumed_unknown_jitter(&net, pct / 100.0);
     }
     Ok(net)
+}
+
+/// Resolves `--jobs` into [`Parallelism`] (flag, then `CARTA_JOBS`,
+/// then all hardware threads).
+fn parallelism_from(args: &ParsedArgs) -> Result<Parallelism, Box<dyn Error>> {
+    let explicit = match args.flag("jobs") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| ParseArgsError(format!("invalid --jobs `{v}`")))?,
+        ),
+    };
+    Ok(Parallelism::resolve(explicit))
+}
+
+/// One evaluation engine per invocation, honoring `--jobs`.
+fn evaluator_from(args: &ParsedArgs) -> Result<Evaluator, Box<dyn Error>> {
+    Ok(Evaluator::new(parallelism_from(args)?))
 }
 
 fn scenario_from(args: &ParsedArgs) -> Result<Scenario, Box<dyn Error>> {
@@ -202,8 +225,9 @@ fn cmd_analyze(args: &ParsedArgs) -> CmdResult {
 fn cmd_loss(args: &ParsedArgs) -> CmdResult {
     let net = load_network(args)?;
     let scenario = scenario_from(args)?;
+    let eval = evaluator_from(args)?;
     let grid = paper_jitter_grid();
-    let curve = loss_vs_jitter(&net, &scenario, &grid)?;
+    let curve = loss_vs_jitter_with(&eval, &net, &scenario, &grid)?;
     let mut table = Table::new(["jitter %", "lost", "of", "fraction"]);
     for p in &curve.points {
         table.row([
@@ -225,9 +249,10 @@ fn cmd_loss(args: &ParsedArgs) -> CmdResult {
 fn cmd_sensitivity(args: &ParsedArgs) -> CmdResult {
     let net = load_network(args)?;
     let scenario = scenario_from(args)?;
+    let eval = evaluator_from(args)?;
     let grid = paper_jitter_grid();
     let only = args.flag("message").map(|m| vec![m]);
-    let series = response_vs_jitter(&net, &scenario, &grid, only.as_deref())?;
+    let series = response_vs_jitter_with(&eval, &net, &scenario, &grid, only.as_deref())?;
     let mut table = Table::new(["message", "class", "WCRT @0%", "WCRT @60%"]);
     for s in &series {
         let first = s.points.first().and_then(|(_, r)| *r);
@@ -288,6 +313,7 @@ fn cmd_optimize(args: &ParsedArgs) -> CmdResult {
             generations,
             ..Spea2Config::default()
         },
+        parallelism: parallelism_from(args)?,
         ..OptimizeIdsConfig::default()
     };
     let result = optimize_can_ids(&net, &config);
@@ -306,9 +332,17 @@ fn cmd_optimize(args: &ParsedArgs) -> CmdResult {
         "SPEA2 finished: {} evaluations, winner objectives {:?}",
         result.archive.evaluations, result.objectives
     )?;
+    writeln!(
+        out,
+        "engine cache: {:.0} % hit rate ({} hits, {} analyses)",
+        result.cache.hit_rate() * 100.0,
+        result.cache.hits,
+        result.cache.misses
+    )?;
+    let eval = evaluator_from(args)?;
     let grid = paper_jitter_grid();
-    let before = loss_vs_jitter(&net, &Scenario::worst_case(), &grid)?;
-    let after = loss_vs_jitter(&result.optimized, &Scenario::worst_case(), &grid)?;
+    let before = loss_vs_jitter_with(&eval, &net, &Scenario::worst_case(), &grid)?;
+    let after = loss_vs_jitter_with(&eval, &result.optimized, &Scenario::worst_case(), &grid)?;
     let mut table = Table::new(["jitter %", "loss before", "loss after"]);
     for (b, a) in before.points.iter().zip(&after.points) {
         table.row([
@@ -564,6 +598,15 @@ mod tests {
         let out = run_line(&["loss", "-", "--scenario", "sporadic:10"]).expect("runs");
         assert!(out.lines().count() > 13);
         assert!(out.contains("jitter %"));
+    }
+
+    #[test]
+    fn jobs_flag_accepted_and_validated() {
+        let sequential = run_line(&["loss", "-", "--jobs", "1"]).expect("runs");
+        let parallel = run_line(&["loss", "-", "--jobs", "4"]).expect("runs");
+        assert_eq!(sequential, parallel, "job count must not change results");
+        let err = run_line(&["loss", "-", "--jobs", "many"]).expect_err("invalid");
+        assert!(err.to_string().contains("--jobs"));
     }
 
     #[test]

@@ -1,0 +1,448 @@
+//! The memoizing, batching, parallel evaluator.
+//!
+//! One [`Evaluator`] instance serves a whole workload (a sweep, a GA
+//! run, a CLI invocation): it owns the sharded result cache and the
+//! parallelism budget, and hands out `Arc<BusReport>`s so repeated
+//! evaluations of the same variant share one allocation.
+
+use crate::variant::{SystemVariant, VariantKey};
+use carta_can::network::CanNetwork;
+use carta_can::rta::{analyze_bus, analyze_bus_incremental, hp_index_sets, BusReport};
+use carta_core::analysis::AnalysisError;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Result of one evaluation: the analysis report, or the model error
+/// (also cached — a malformed base fails identically every time).
+pub type EvalResult = Result<Arc<BusReport>, AnalysisError>;
+
+/// How many worker threads a batch may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    jobs: usize,
+}
+
+impl Parallelism {
+    /// Exactly `jobs` workers (clamped to at least one).
+    pub fn new(jobs: usize) -> Self {
+        Parallelism { jobs: jobs.max(1) }
+    }
+
+    /// Single-threaded evaluation.
+    pub fn sequential() -> Self {
+        Parallelism::new(1)
+    }
+
+    /// The number of hardware threads available to this process.
+    pub fn available() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// Resolves the job count the way the CLI does: an explicit
+    /// request wins, then the `CARTA_JOBS` environment variable, then
+    /// all available hardware threads.
+    pub fn resolve(explicit: Option<usize>) -> Self {
+        if let Some(n) = explicit {
+            return Parallelism::new(n);
+        }
+        match std::env::var("CARTA_JOBS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            Some(n) => Parallelism::new(n),
+            None => Parallelism::new(Self::available()),
+        }
+    }
+
+    /// `CARTA_JOBS` / hardware-thread default (see
+    /// [`Parallelism::resolve`]).
+    pub fn from_env() -> Self {
+        Self::resolve(None)
+    }
+
+    /// The configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::from_env()
+    }
+}
+
+/// Cache effectiveness counters (monotonically increasing over the
+/// evaluator's lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Evaluations answered from the memo cache.
+    pub hits: u64,
+    /// Evaluations that ran the analysis.
+    pub misses: u64,
+    /// Per-message results reused by incremental re-analysis within the
+    /// analyses counted under `misses`.
+    pub messages_reused: u64,
+    /// Per-message results recomputed by incremental re-analysis.
+    pub messages_recomputed: u64,
+}
+
+impl CacheStats {
+    /// Fraction of evaluations served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+const SHARDS: usize = 16;
+
+/// Per-bucket reference analysis for incremental re-analysis of
+/// permutation overlays: a permutation changes identifiers only, so
+/// messages whose higher-priority set is unchanged keep their verdict.
+struct Anchor {
+    report: BusReport,
+    hp_sets: Vec<Vec<usize>>,
+}
+
+thread_local! {
+    /// Per-thread scratch network, keyed by base fingerprint. Cloned
+    /// once per (thread, base) and rewritten in place per variant — the
+    /// "no full-network clone per point" mechanism.
+    static SCRATCH: RefCell<Option<(u64, CanNetwork)>> = const { RefCell::new(None) };
+}
+
+/// Batched, memoized, parallel variant evaluation.
+pub struct Evaluator {
+    parallelism: Parallelism,
+    shards: Vec<Mutex<HashMap<VariantKey, EvalResult>>>,
+    anchors: Mutex<HashMap<VariantKey, Arc<Anchor>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    messages_reused: AtomicU64,
+    messages_recomputed: AtomicU64,
+}
+
+impl std::fmt::Debug for Evaluator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Evaluator")
+            .field("parallelism", &self.parallelism)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Evaluator {
+    fn default() -> Self {
+        Evaluator::new(Parallelism::from_env())
+    }
+}
+
+impl Evaluator {
+    /// An evaluator with an empty cache and the given parallelism.
+    pub fn new(parallelism: Parallelism) -> Self {
+        Evaluator {
+            parallelism,
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            anchors: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            messages_reused: AtomicU64::new(0),
+            messages_recomputed: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured parallelism.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// Cache counters so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            messages_reused: self.messages_reused.load(Ordering::Relaxed),
+            messages_recomputed: self.messages_recomputed.load(Ordering::Relaxed),
+        }
+    }
+
+    fn shard(&self, key: &VariantKey) -> &Mutex<HashMap<VariantKey, EvalResult>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Evaluates one variant, consulting and filling the cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates (and caches) [`AnalysisError`] for malformed bases.
+    pub fn evaluate(&self, variant: &SystemVariant) -> EvalResult {
+        let key = variant.key();
+        if let Some(cached) = self.shard(&key).lock().expect("cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return cached.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let result = self.analyze_uncached(variant);
+        // Racing threads may both compute; the first insert wins so all
+        // callers share one Arc.
+        self.shard(&key)
+            .lock()
+            .expect("cache poisoned")
+            .entry(key)
+            .or_insert(result)
+            .clone()
+    }
+
+    /// Evaluates a slice of variants, in parallel when both the batch
+    /// and the configured [`Parallelism`] allow it. `results[i]`
+    /// corresponds to `variants[i]`, identical to calling
+    /// [`Evaluator::evaluate`] sequentially (the analysis is
+    /// deterministic and the cache keyed structurally, so scheduling
+    /// cannot change any result).
+    pub fn evaluate_batch(&self, variants: &[SystemVariant]) -> Vec<EvalResult> {
+        let jobs = self.parallelism.jobs().min(variants.len());
+        if jobs <= 1 {
+            return variants.iter().map(|v| self.evaluate(v)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut out: Vec<Option<EvalResult>> = vec![None; variants.len()];
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..jobs)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= variants.len() {
+                                break;
+                            }
+                            local.push((i, self.evaluate(&variants[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for worker in workers {
+                for (i, result) in worker.join().expect("evaluation worker panicked") {
+                    out[i] = Some(result);
+                }
+            }
+        });
+        out.into_iter()
+            .map(|r| r.expect("every index claimed by exactly one worker"))
+            .collect()
+    }
+
+    /// Runs the analysis for a cache miss, using the per-thread scratch
+    /// network and, for permutation overlays, incremental re-analysis
+    /// against the bucket's anchor report.
+    fn analyze_uncached(&self, variant: &SystemVariant) -> EvalResult {
+        SCRATCH.with_borrow_mut(|slot| {
+            let fp = variant.base().fingerprint();
+            let scratch = match slot {
+                Some((cached_fp, net)) if *cached_fp == fp => net,
+                _ => {
+                    *slot = Some((fp, variant.base().network().clone()));
+                    &mut slot.as_mut().expect("just set").1
+                }
+            };
+            variant.apply_onto(scratch);
+
+            let errors = variant.scenario().errors.model();
+            let config = variant.scenario().analysis_config();
+
+            if variant.permutation().is_some() {
+                let anchor = self
+                    .anchors
+                    .lock()
+                    .expect("anchor map poisoned")
+                    .get(&variant.anchor_key())
+                    .cloned();
+                if let Some(anchor) = anchor {
+                    let (report, stats) = analyze_bus_incremental(
+                        scratch,
+                        errors.as_ref(),
+                        &config,
+                        &anchor.report,
+                        &anchor.hp_sets,
+                    )?;
+                    self.messages_reused
+                        .fetch_add(stats.reused as u64, Ordering::Relaxed);
+                    self.messages_recomputed
+                        .fetch_add(stats.recomputed as u64, Ordering::Relaxed);
+                    return Ok(Arc::new(report));
+                }
+            }
+
+            let report = analyze_bus(scratch, errors.as_ref(), &config)?;
+            // First full analysis in this bucket: it becomes the anchor
+            // future permutation overlays diff against.
+            self.anchors
+                .lock()
+                .expect("anchor map poisoned")
+                .entry(variant.anchor_key())
+                .or_insert_with(|| {
+                    Arc::new(Anchor {
+                        report: report.clone(),
+                        hp_sets: hp_index_sets(scratch),
+                    })
+                });
+            Ok(Arc::new(report))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use crate::variant::BaseSystem;
+    use carta_can::controller::ControllerType;
+    use carta_can::frame::Dlc;
+    use carta_can::message::{CanId, CanMessage};
+    use carta_can::network::{CanNetwork, Node};
+    use carta_core::time::Time;
+
+    fn net(n: usize) -> CanNetwork {
+        let mut net = CanNetwork::new(250_000);
+        let a = net.add_node(Node::new("A", ControllerType::FullCan));
+        let b = net.add_node(Node::new("B", ControllerType::BasicCan));
+        for k in 0..n {
+            net.add_message(CanMessage::new(
+                format!("m{k}"),
+                CanId::standard(0x100 + 16 * k as u32).expect("valid"),
+                Dlc::new(8),
+                Time::from_ms(5 + 5 * (k as u64 % 4)),
+                Time::from_us(500 * k as u64),
+                if k % 2 == 0 { a } else { b },
+            ));
+        }
+        net
+    }
+
+    #[test]
+    fn cache_hits_on_repeated_variants() {
+        let base = BaseSystem::new(net(6));
+        let eval = Evaluator::new(Parallelism::sequential());
+        let v = SystemVariant::new(base, Scenario::worst_case()).with_jitter_ratio(0.25);
+        let first = eval.evaluate(&v).expect("valid");
+        let second = eval.evaluate(&v).expect("valid");
+        assert!(Arc::ptr_eq(&first, &second), "second call must be cached");
+        let stats = eval.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn results_match_the_direct_path() {
+        let base = BaseSystem::new(net(8));
+        let eval = Evaluator::default();
+        for scenario in [
+            Scenario::best_case(),
+            Scenario::worst_case(),
+            Scenario::sporadic_errors(Time::from_ms(10)),
+        ] {
+            for ratio in [0.0, 0.25, 0.6] {
+                let v = SystemVariant::new(base.clone(), scenario.clone()).with_jitter_ratio(ratio);
+                let engine = eval.evaluate(&v).expect("valid");
+                let direct = scenario
+                    .analyze(&crate::jitter::with_jitter_ratio(base.network(), ratio))
+                    .expect("valid");
+                assert_eq!(engine.messages.len(), direct.messages.len());
+                for (e, d) in engine.messages.iter().zip(&direct.messages) {
+                    assert_eq!(e.outcome, d.outcome, "{} at {ratio}", e.name);
+                    assert_eq!(e.deadline, d.deadline);
+                    assert_eq!(e.blocking, d.blocking);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential_and_preserves_order() {
+        let base = BaseSystem::new(net(6));
+        let variants: Vec<SystemVariant> = (0..20)
+            .map(|k| {
+                SystemVariant::new(base.clone(), Scenario::worst_case())
+                    .with_jitter_ratio(k as f64 * 0.05)
+            })
+            .collect();
+        let parallel = Evaluator::new(Parallelism::new(4));
+        let sequential = Evaluator::new(Parallelism::sequential());
+        let par = parallel.evaluate_batch(&variants);
+        let seq = sequential.evaluate_batch(&variants);
+        for (i, (p, s)) in par.iter().zip(&seq).enumerate() {
+            let (p, s) = (p.as_ref().expect("valid"), s.as_ref().expect("valid"));
+            for (pm, sm) in p.messages.iter().zip(&s.messages) {
+                assert_eq!(pm.outcome, sm.outcome, "variant {i}, message {}", pm.name);
+            }
+        }
+    }
+
+    #[test]
+    fn permutations_use_incremental_analysis_and_stay_exact() {
+        let base = BaseSystem::new(net(6));
+        let eval = Evaluator::new(Parallelism::sequential());
+        let scenario = Scenario::worst_case();
+        // Prime the anchor with the un-permuted variant.
+        let baseline = SystemVariant::new(base.clone(), scenario.clone()).with_jitter_ratio(0.25);
+        eval.evaluate(&baseline).expect("valid");
+        // A permutation that swaps the two weakest identifiers leaves
+        // the higher-priority sets of messages 0..4 untouched.
+        let perm = Arc::new(vec![0usize, 1, 2, 3, 5, 4]);
+        let v = baseline.clone().with_permutation(perm.clone());
+        let report = eval.evaluate(&v).expect("valid");
+        let stats = eval.stats();
+        assert!(
+            stats.messages_reused >= 4,
+            "expected reuse of unchanged prefixes, got {stats:?}"
+        );
+        // Exactness against the from-scratch path.
+        let direct = {
+            let mut m = base.network().clone();
+            let pool = base.id_pool().to_vec();
+            for (rank, &mi) in perm.iter().enumerate() {
+                m.messages_mut()[mi].id = pool[rank];
+            }
+            scenario
+                .analyze(&crate::jitter::with_jitter_ratio(&m, 0.25))
+                .expect("valid")
+        };
+        for (e, d) in report.messages.iter().zip(&direct.messages) {
+            assert_eq!(e.outcome, d.outcome, "{}", e.name);
+            assert_eq!(e.id, d.id);
+            assert_eq!(e.blocking, d.blocking);
+        }
+    }
+
+    #[test]
+    fn invalid_models_cache_their_error() {
+        let empty = CanNetwork::new(500_000);
+        let base = BaseSystem::new(empty);
+        let eval = Evaluator::default();
+        let v = SystemVariant::new(base, Scenario::best_case());
+        assert!(eval.evaluate(&v).is_err());
+        assert!(eval.evaluate(&v).is_err());
+        assert_eq!(eval.stats().hits, 1);
+    }
+
+    #[test]
+    fn parallelism_resolution_precedence() {
+        assert_eq!(Parallelism::new(0).jobs(), 1);
+        assert_eq!(Parallelism::resolve(Some(3)).jobs(), 3);
+        assert!(Parallelism::from_env().jobs() >= 1);
+        assert_eq!(Parallelism::sequential().jobs(), 1);
+    }
+}

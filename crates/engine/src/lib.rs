@@ -1,0 +1,64 @@
+//! # carta-engine
+//!
+//! The unified evaluation engine of the `carta` workspace: every caller
+//! that asks "what would the RTA say about this variant of the network"
+//! — sensitivity sweeps, loss curves, extensibility searches, the SPEA2
+//! identifier optimizer, benches — routes through one [`Evaluator`].
+//!
+//! The paper's headline workloads (Sec. 4.1–4.3) all reduce to
+//! evaluating the same analysis over thousands of network variants.
+//! Three mechanisms make that cheap:
+//!
+//! * **Overlays, not clones** — a [`SystemVariant`] is a shared
+//!   [`BaseSystem`] plus small deltas (jitter assumption, error model,
+//!   deadline override, identifier permutation). Materialization
+//!   rewrites a per-thread scratch network in place; hot loops never
+//!   clone a full network per point.
+//! * **Memoization** — the [`Evaluator`] caches reports in a sharded
+//!   map keyed by the structural [`VariantKey`], so repeated genomes
+//!   across GA generations and overlapping sweep grids hit the cache.
+//! * **Parallel batches** — [`Evaluator::evaluate_batch`] fans a slice
+//!   of variants out over [`Parallelism::jobs`] worker threads
+//!   (`CARTA_JOBS` env var / `--jobs` CLI flag), with incremental
+//!   priority-aware re-analysis (see `carta_can::rta::
+//!   analyze_bus_incremental`) for permutation overlays.
+//!
+//! ```
+//! use carta_engine::prelude::*;
+//! use carta_can::prelude::*;
+//! use carta_core::time::Time;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut net = CanNetwork::new(500_000);
+//! let a = net.add_node(Node::new("A", ControllerType::FullCan));
+//! net.add_message(CanMessage::new(
+//!     "m", CanId::standard(0x100)?, Dlc::new(8),
+//!     Time::from_ms(10), Time::ZERO, a,
+//! ));
+//! let base = BaseSystem::new(net);
+//! let eval = Evaluator::new(Parallelism::sequential());
+//! let variants: Vec<SystemVariant> = [0.0, 0.25, 0.60]
+//!     .iter()
+//!     .map(|&r| SystemVariant::new(base.clone(), Scenario::worst_case()).with_jitter_ratio(r))
+//!     .collect();
+//! let reports = eval.evaluate_batch(&variants);
+//! assert!(reports.iter().all(|r| r.is_ok()));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod evaluator;
+pub mod jitter;
+pub mod scenario;
+pub mod variant;
+
+/// Convenient single import for the common types of this crate.
+pub mod prelude {
+    pub use crate::evaluator::{CacheStats, EvalResult, Evaluator, Parallelism};
+    pub use crate::jitter::{with_assumed_unknown_jitter, with_jitter_ratio, with_scaled_jitter};
+    pub use crate::scenario::{DeadlineOverride, ErrorSpec, Scenario};
+    pub use crate::variant::{BaseSystem, JitterOverlay, SystemVariant, VariantKey};
+}

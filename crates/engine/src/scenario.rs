@@ -14,8 +14,9 @@ use carta_can::rta::AnalysisConfig;
 use carta_core::time::Time;
 
 /// Error-model selection (a plain-data mirror of the trait objects in
-/// `carta-can`, so scenarios stay `Clone + Eq`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// `carta-can`, so scenarios stay `Clone + Eq` and can participate in
+/// the evaluator's structural cache keys).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ErrorSpec {
     /// No bus errors.
     None,
@@ -51,7 +52,7 @@ impl ErrorSpec {
 }
 
 /// How the scenario overrides the deadlines in the network.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeadlineOverride {
     /// Keep per-message policies as modeled.
     Keep,

@@ -19,6 +19,7 @@ use carta_can::network::CanNetwork;
 use carta_can::rta::ResponseOutcome;
 use carta_core::analysis::AnalysisError;
 use carta_core::time::Time;
+use carta_engine::prelude::{BaseSystem, Evaluator, SystemVariant};
 
 /// Sender-side queue requirement of one message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,7 +46,25 @@ pub fn required_tx_depths(
     net: &CanNetwork,
     scenario: &Scenario,
 ) -> Result<Vec<TxBufferNeed>, AnalysisError> {
-    let report = scenario.analyze(net)?;
+    required_tx_depths_with(&Evaluator::default(), net, scenario)
+}
+
+/// [`required_tx_depths`] on a caller-provided [`Evaluator`], sharing
+/// its memoized analysis with other queries over the same network and
+/// scenario (the underlying report is computed once).
+///
+/// # Errors
+///
+/// Propagates [`AnalysisError`] from the bus analysis.
+pub fn required_tx_depths_with(
+    eval: &Evaluator,
+    net: &CanNetwork,
+    scenario: &Scenario,
+) -> Result<Vec<TxBufferNeed>, AnalysisError> {
+    let report = eval.evaluate(&SystemVariant::new(
+        BaseSystem::new(net.clone()),
+        scenario.clone(),
+    ))?;
     Ok(report
         .messages
         .iter()
@@ -82,12 +101,31 @@ pub fn required_rx_depth(
     node: usize,
     drain_period: Time,
 ) -> Result<Option<u64>, AnalysisError> {
+    required_rx_depth_with(&Evaluator::default(), net, scenario, node, drain_period)
+}
+
+/// [`required_rx_depth`] on a caller-provided [`Evaluator`] — dimension
+/// several nodes and drain periods from one memoized analysis.
+///
+/// # Errors
+///
+/// Propagates [`AnalysisError`] from the bus analysis.
+pub fn required_rx_depth_with(
+    eval: &Evaluator,
+    net: &CanNetwork,
+    scenario: &Scenario,
+    node: usize,
+    drain_period: Time,
+) -> Result<Option<u64>, AnalysisError> {
     if net.nodes().get(node).is_none() {
         return Err(AnalysisError::InvalidModel(format!(
             "node index {node} out of range"
         )));
     }
-    let report = scenario.analyze(net)?;
+    let report = eval.evaluate(&SystemVariant::new(
+        BaseSystem::new(net.clone()),
+        scenario.clone(),
+    ))?;
     let mut total = 0u64;
     for m in &report.messages {
         let msg = &net.messages()[m.index];

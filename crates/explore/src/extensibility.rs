@@ -9,6 +9,7 @@ use carta_can::network::{CanNetwork, Node};
 use carta_core::analysis::AnalysisError;
 use carta_core::event_model::EventModel;
 use carta_core::time::Time;
+use carta_engine::prelude::{BaseSystem, Evaluator, SystemVariant};
 
 /// Template for the traffic a prospective additional ECU would add.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,9 +83,29 @@ pub fn max_additional_ecus(
     template: &EcuTemplate,
     cap: usize,
 ) -> Result<usize, AnalysisError> {
+    max_additional_ecus_with(&Evaluator::default(), net, scenario, template, cap)
+}
+
+/// [`max_additional_ecus`] on a caller-provided [`Evaluator`]. Each
+/// probe is a structurally different network (extra ECUs), so the win
+/// here is memoization across repeated searches — e.g. the same count
+/// probed for several scenarios or templates sharing a prefix.
+///
+/// # Errors
+///
+/// Propagates [`AnalysisError`] from the analysis or from identifier
+/// exhaustion.
+pub fn max_additional_ecus_with(
+    eval: &Evaluator,
+    net: &CanNetwork,
+    scenario: &Scenario,
+    template: &EcuTemplate,
+    cap: usize,
+) -> Result<usize, AnalysisError> {
     let fits = |count: usize| -> Result<bool, AnalysisError> {
         let extended = with_additional_ecus(net, template, count)?;
-        Ok(scenario.analyze(&extended)?.schedulable())
+        let v = SystemVariant::new(BaseSystem::new(extended), scenario.clone());
+        Ok(eval.evaluate(&v)?.schedulable())
     };
     if !fits(0)? {
         return Ok(0);

@@ -33,25 +33,37 @@
 pub mod buffers;
 pub mod diff;
 pub mod extensibility;
-pub mod jitter;
 pub mod loss;
 pub mod network_choice;
-pub mod scenario;
 pub mod sensitivity;
+
+// Scenarios and jitter transforms moved into `carta-engine` (they are
+// part of the evaluation engine's cache keys); re-exported here so
+// `carta_explore::scenario::Scenario` etc. keep working.
+pub use carta_engine::jitter;
+pub use carta_engine::scenario;
 
 /// Convenient single import for the common types of this crate.
 pub mod prelude {
-    pub use crate::buffers::{required_rx_depth, required_tx_depths, TxBufferNeed};
+    pub use crate::buffers::{
+        required_rx_depth, required_rx_depth_with, required_tx_depths, required_tx_depths_with,
+        TxBufferNeed,
+    };
     pub use crate::diff::{diff_reports, AnalysisDiff, DeltaRow, VerdictChange};
     pub use crate::extensibility::{
-        max_additional_ecus, with_additional_ecus, with_diagnostic_stream, EcuTemplate,
+        max_additional_ecus, max_additional_ecus_with, with_additional_ecus,
+        with_diagnostic_stream, EcuTemplate,
     };
     pub use crate::jitter::{with_assumed_unknown_jitter, with_jitter_ratio, with_scaled_jitter};
-    pub use crate::loss::{loss_vs_jitter, paper_jitter_grid, LossCurve, LossPoint};
+    pub use crate::loss::{
+        loss_vs_jitter, loss_vs_jitter_with, paper_jitter_grid, LossCurve, LossPoint,
+    };
     pub use crate::network_choice::{cheapest_sufficient, compare_bit_rates, BitRateOption};
     pub use crate::scenario::{DeadlineOverride, ErrorSpec, Scenario};
     pub use crate::sensitivity::{
-        max_schedulable_jitter, response_vs_error_rate, response_vs_jitter, SensitivityClass,
+        max_schedulable_jitter, max_schedulable_jitter_with, response_vs_error_rate,
+        response_vs_error_rate_with, response_vs_jitter, response_vs_jitter_with, SensitivityClass,
         SensitivitySeries,
     };
+    pub use carta_engine::prelude::{CacheStats, Evaluator, Parallelism};
 }

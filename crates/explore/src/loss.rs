@@ -5,10 +5,10 @@
 //! deadline (and thus be overwritten in the sender's buffer — "lost")
 //! is recorded.
 
-use crate::jitter::with_jitter_ratio;
 use crate::scenario::Scenario;
 use carta_can::network::CanNetwork;
 use carta_core::analysis::AnalysisError;
+use carta_engine::prelude::{BaseSystem, Evaluator, SystemVariant};
 
 /// One point of a loss curve.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -77,10 +77,31 @@ pub fn loss_vs_jitter(
     scenario: &Scenario,
     ratios: &[f64],
 ) -> Result<LossCurve, AnalysisError> {
+    loss_vs_jitter_with(&Evaluator::default(), net, scenario, ratios)
+}
+
+/// [`loss_vs_jitter`] on a caller-provided [`Evaluator`]: the whole
+/// ratio grid is one batch submission, so points are analyzed in
+/// parallel and repeated grids (e.g. nominal vs. optimized system on
+/// the same axis) hit the evaluator's cache.
+///
+/// # Errors
+///
+/// Propagates [`AnalysisError`] from the bus analysis.
+pub fn loss_vs_jitter_with(
+    eval: &Evaluator,
+    net: &CanNetwork,
+    scenario: &Scenario,
+    ratios: &[f64],
+) -> Result<LossCurve, AnalysisError> {
+    let base = BaseSystem::new(net.clone());
+    let variants: Vec<SystemVariant> = ratios
+        .iter()
+        .map(|&ratio| SystemVariant::new(base.clone(), scenario.clone()).with_jitter_ratio(ratio))
+        .collect();
     let mut points = Vec::with_capacity(ratios.len());
-    for &ratio in ratios {
-        let variant = with_jitter_ratio(net, ratio);
-        let report = scenario.analyze(&variant)?;
+    for (&ratio, result) in ratios.iter().zip(eval.evaluate_batch(&variants)) {
+        let report = result?;
         points.push(LossPoint {
             jitter_ratio: ratio,
             missed: report.missed_count(),

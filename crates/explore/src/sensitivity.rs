@@ -11,11 +11,11 @@
 //!   whole bus) tolerates before deadlines break, found by binary
 //!   search.
 
-use crate::jitter::with_jitter_ratio;
 use crate::scenario::Scenario;
 use carta_can::network::CanNetwork;
 use carta_core::analysis::AnalysisError;
 use carta_core::time::Time;
+use carta_engine::prelude::{BaseSystem, Evaluator, SystemVariant};
 use std::fmt;
 
 /// Response-vs-jitter series for one message.
@@ -79,6 +79,26 @@ impl SensitivitySeries {
     }
 }
 
+/// The message indices selected by an `only` filter, in network order.
+fn select(net: &CanNetwork, only: Option<&[&str]>) -> Vec<usize> {
+    net.messages()
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| only.is_none_or(|names| names.contains(&m.name.as_str())))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+fn empty_series(net: &CanNetwork, selected: &[usize], capacity: usize) -> Vec<SensitivitySeries> {
+    selected
+        .iter()
+        .map(|&i| SensitivitySeries {
+            message: net.messages()[i].name.clone(),
+            points: Vec::with_capacity(capacity),
+        })
+        .collect()
+}
+
 /// Computes response-vs-jitter series for every message (or the subset
 /// named in `only`).
 ///
@@ -91,22 +111,33 @@ pub fn response_vs_jitter(
     ratios: &[f64],
     only: Option<&[&str]>,
 ) -> Result<Vec<SensitivitySeries>, AnalysisError> {
-    let selected: Vec<usize> = net
-        .messages()
+    response_vs_jitter_with(&Evaluator::default(), net, scenario, ratios, only)
+}
+
+/// [`response_vs_jitter`] on a caller-provided [`Evaluator`]: the whole
+/// ratio grid is submitted as one batch (parallel under the evaluator's
+/// [`carta_engine::prelude::Parallelism`]) and repeated grid points hit
+/// its cache.
+///
+/// # Errors
+///
+/// Propagates [`AnalysisError`] from the bus analysis.
+pub fn response_vs_jitter_with(
+    eval: &Evaluator,
+    net: &CanNetwork,
+    scenario: &Scenario,
+    ratios: &[f64],
+    only: Option<&[&str]>,
+) -> Result<Vec<SensitivitySeries>, AnalysisError> {
+    let selected = select(net, only);
+    let mut series = empty_series(net, &selected, ratios.len());
+    let base = BaseSystem::new(net.clone());
+    let variants: Vec<SystemVariant> = ratios
         .iter()
-        .enumerate()
-        .filter(|(_, m)| only.is_none_or(|names| names.contains(&m.name.as_str())))
-        .map(|(i, _)| i)
+        .map(|&ratio| SystemVariant::new(base.clone(), scenario.clone()).with_jitter_ratio(ratio))
         .collect();
-    let mut series: Vec<SensitivitySeries> = selected
-        .iter()
-        .map(|&i| SensitivitySeries {
-            message: net.messages()[i].name.clone(),
-            points: Vec::with_capacity(ratios.len()),
-        })
-        .collect();
-    for &ratio in ratios {
-        let report = scenario.analyze(&with_jitter_ratio(net, ratio))?;
+    for (&ratio, result) in ratios.iter().zip(eval.evaluate_batch(&variants)) {
+        let report = result?;
         for (k, &i) in selected.iter().enumerate() {
             series[k]
                 .points
@@ -134,28 +165,39 @@ pub fn response_vs_error_rate(
     intervals: &[Time],
     only: Option<&[&str]>,
 ) -> Result<Vec<SensitivitySeries>, AnalysisError> {
-    let selected: Vec<usize> = net
-        .messages()
+    response_vs_error_rate_with(&Evaluator::default(), net, stuffing, intervals, only)
+}
+
+/// [`response_vs_error_rate`] on a caller-provided [`Evaluator`]; the
+/// interval grid is one batch submission.
+///
+/// # Errors
+///
+/// Propagates [`AnalysisError`] from the bus analysis.
+pub fn response_vs_error_rate_with(
+    eval: &Evaluator,
+    net: &CanNetwork,
+    stuffing: carta_can::frame::StuffingMode,
+    intervals: &[Time],
+    only: Option<&[&str]>,
+) -> Result<Vec<SensitivitySeries>, AnalysisError> {
+    let selected = select(net, only);
+    let mut series = empty_series(net, &selected, intervals.len());
+    let base = BaseSystem::new(net.clone());
+    let variants: Vec<SystemVariant> = intervals
         .iter()
-        .enumerate()
-        .filter(|(_, m)| only.is_none_or(|names| names.contains(&m.name.as_str())))
-        .map(|(i, _)| i)
-        .collect();
-    let mut series: Vec<SensitivitySeries> = selected
-        .iter()
-        .map(|&i| SensitivitySeries {
-            message: net.messages()[i].name.clone(),
-            points: Vec::with_capacity(intervals.len()),
+        .map(|&interval| {
+            let scenario = Scenario {
+                name: format!("errors every {interval}"),
+                stuffing,
+                errors: crate::scenario::ErrorSpec::Sporadic { interval },
+                deadline: crate::scenario::DeadlineOverride::MinReArrival,
+            };
+            SystemVariant::new(base.clone(), scenario)
         })
         .collect();
-    for &interval in intervals {
-        let scenario = Scenario {
-            name: format!("errors every {interval}"),
-            stuffing,
-            errors: crate::scenario::ErrorSpec::Sporadic { interval },
-            deadline: crate::scenario::DeadlineOverride::MinReArrival,
-        };
-        let report = scenario.analyze(net)?;
+    for (&interval, result) in intervals.iter().zip(eval.evaluate_batch(&variants)) {
+        let report = result?;
         for (k, &i) in selected.iter().enumerate() {
             series[k]
                 .points
@@ -179,10 +221,28 @@ pub fn max_schedulable_jitter(
     max_ratio: f64,
     tolerance: f64,
 ) -> Result<Option<f64>, AnalysisError> {
+    max_schedulable_jitter_with(&Evaluator::default(), net, scenario, max_ratio, tolerance)
+}
+
+/// [`max_schedulable_jitter`] on a caller-provided [`Evaluator`]. The
+/// probes are inherently sequential (each depends on the previous
+/// verdict) but still benefit from the evaluator's cache when the
+/// search revisits a ratio or runs after a sweep over the same grid.
+///
+/// # Errors
+///
+/// Propagates [`AnalysisError`] from the bus analysis.
+pub fn max_schedulable_jitter_with(
+    eval: &Evaluator,
+    net: &CanNetwork,
+    scenario: &Scenario,
+    max_ratio: f64,
+    tolerance: f64,
+) -> Result<Option<f64>, AnalysisError> {
+    let base = BaseSystem::new(net.clone());
     let ok = |ratio: f64| -> Result<bool, AnalysisError> {
-        Ok(scenario
-            .analyze(&with_jitter_ratio(net, ratio))?
-            .schedulable())
+        let v = SystemVariant::new(base.clone(), scenario.clone()).with_jitter_ratio(ratio);
+        Ok(eval.evaluate(&v)?.schedulable())
     };
     if !ok(0.0)? {
         return Ok(None);

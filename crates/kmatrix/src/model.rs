@@ -11,12 +11,11 @@ use carta_can::message::{CanId, CanMessage, DeadlinePolicy};
 use carta_can::network::{CanNetwork, Node};
 use carta_core::event_model::EventModel;
 use carta_core::time::Time;
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
 /// One message row of the K-Matrix.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KRow {
     /// Message name.
     pub name: String,
@@ -40,7 +39,7 @@ pub struct KRow {
 }
 
 /// A node entry of the K-Matrix.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KNode {
     /// Node name.
     pub name: String,
@@ -49,7 +48,7 @@ pub struct KNode {
 }
 
 /// A complete communication matrix for one bus.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KMatrix {
     /// Matrix (bus) name.
     pub name: String,

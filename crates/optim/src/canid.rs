@@ -13,21 +13,29 @@
 
 use crate::permutation::Permutation;
 use crate::spea2::{optimize, Problem, Spea2Config, Spea2Result};
-use carta_can::message::CanId;
 use carta_can::network::CanNetwork;
+use carta_engine::prelude::{
+    BaseSystem, CacheStats, EvalResult, Evaluator, Parallelism, SystemVariant,
+};
 use carta_explore::jitter::with_jitter_ratio;
 use carta_explore::scenario::Scenario;
 use rand::rngs::StdRng;
+use std::sync::Arc;
 
 /// Penalty charged per unbounded (overloaded) message in the
 /// robustness objective.
 const UNBOUNDED_PENALTY: f64 = 10.0;
 
-/// The optimization problem fed to SPEA2.
+/// The optimization problem fed to SPEA2. Genome evaluation routes
+/// through a [`carta_engine::evaluator::Evaluator`]: each genome is a
+/// permutation overlay over one shared [`BaseSystem`], whole
+/// generations are submitted as one batch, and genomes resurfacing in
+/// later generations hit the memo cache.
 #[derive(Debug)]
 pub struct CanIdProblem<'a> {
     base: &'a CanNetwork,
-    id_pool: Vec<CanId>,
+    system: Arc<BaseSystem>,
+    evaluator: Evaluator,
     scenario: Scenario,
     eval_ratios: Vec<f64>,
 }
@@ -35,26 +43,87 @@ pub struct CanIdProblem<'a> {
 impl<'a> CanIdProblem<'a> {
     /// Creates the problem for a network, evaluating loss under
     /// `scenario` at the given jitter ratios (the paper uses 25 % as
-    /// the design point).
+    /// the design point). Evaluation parallelism follows
+    /// [`carta_engine::evaluator::Parallelism::from_env`]; use
+    /// [`CanIdProblem::with_evaluator`] to override.
     pub fn new(base: &'a CanNetwork, scenario: Scenario, eval_ratios: Vec<f64>) -> Self {
-        let mut id_pool: Vec<CanId> = base.messages().iter().map(|m| m.id).collect();
-        id_pool.sort_by_key(|id| id.arbitration_key());
         CanIdProblem {
             base,
-            id_pool,
+            system: BaseSystem::new(base.clone()),
+            evaluator: Evaluator::default(),
             scenario,
             eval_ratios,
         }
+    }
+
+    /// Replaces the evaluation engine (e.g. to set an explicit job
+    /// count, or to share a cache with surrounding sweeps).
+    pub fn with_evaluator(mut self, evaluator: Evaluator) -> Self {
+        self.evaluator = evaluator;
+        self
+    }
+
+    /// The engine evaluator (its [`carta_engine::evaluator::CacheStats`]
+    /// show the per-genome hit rate after a run).
+    pub fn evaluator(&self) -> &Evaluator {
+        &self.evaluator
     }
 
     /// Applies a genome: message `perm[k]` receives the `k`-th
     /// strongest identifier of the pool.
     pub fn apply(&self, perm: &Permutation) -> CanNetwork {
         let mut net = self.base.clone();
+        let pool = self.system.id_pool();
         for (rank, &msg_idx) in perm.as_slice().iter().enumerate() {
-            net.messages_mut()[msg_idx].id = self.id_pool[rank];
+            net.messages_mut()[msg_idx].id = pool[rank];
         }
         net
+    }
+
+    /// The engine variants of one genome — one per evaluation ratio.
+    fn variants(&self, perm: &Permutation) -> Vec<SystemVariant> {
+        let overlay = Arc::new(perm.as_slice().to_vec());
+        self.eval_ratios
+            .iter()
+            .map(|&ratio| {
+                SystemVariant::new(self.system.clone(), self.scenario.clone())
+                    .with_jitter_ratio(ratio)
+                    .with_permutation(overlay.clone())
+            })
+            .collect()
+    }
+
+    /// Folds the per-ratio reports of one genome into its objective
+    /// vector: loss counts per ratio, then the robustness sum at the
+    /// design point.
+    fn objectives(&self, results: &[EvalResult]) -> Vec<f64> {
+        let mut objectives = Vec::with_capacity(self.eval_ratios.len() + 1);
+        let mut robustness = 0.0;
+        for (k, result) in results.iter().enumerate() {
+            match result {
+                Ok(report) => {
+                    objectives.push(report.missed_count() as f64);
+                    if k == 0 {
+                        for m in &report.messages {
+                            robustness += match m.outcome.wcrt() {
+                                Some(wcrt) => {
+                                    wcrt.as_ns() as f64 / m.deadline.as_ns().max(1) as f64
+                                }
+                                None => UNBOUNDED_PENALTY,
+                            };
+                        }
+                    }
+                }
+                Err(_) => {
+                    // Malformed variant (cannot happen for valid bases,
+                    // but stay total): worst possible.
+                    objectives.push(f64::INFINITY);
+                    robustness = f64::INFINITY;
+                }
+            }
+        }
+        objectives.push(robustness);
+        objectives
     }
 
     /// The rate-monotonic permutation (shorter period ⇒ stronger ID),
@@ -106,35 +175,23 @@ impl Problem for CanIdProblem<'_> {
     }
 
     fn evaluate(&self, genome: &Permutation) -> Vec<f64> {
-        let net = self.apply(genome);
-        let mut objectives = Vec::with_capacity(self.eval_ratios.len() + 1);
-        let mut robustness = 0.0;
-        for (k, &ratio) in self.eval_ratios.iter().enumerate() {
-            let variant = with_jitter_ratio(&net, ratio);
-            match self.scenario.analyze(&variant) {
-                Ok(report) => {
-                    objectives.push(report.missed_count() as f64);
-                    if k == 0 {
-                        for m in &report.messages {
-                            robustness += match m.outcome.wcrt() {
-                                Some(wcrt) => {
-                                    wcrt.as_ns() as f64 / m.deadline.as_ns().max(1) as f64
-                                }
-                                None => UNBOUNDED_PENALTY,
-                            };
-                        }
-                    }
-                }
-                Err(_) => {
-                    // Malformed variant (cannot happen for valid bases,
-                    // but stay total): worst possible.
-                    objectives.push(f64::INFINITY);
-                    robustness = f64::INFINITY;
-                }
-            }
+        let results = self.evaluator.evaluate_batch(&self.variants(genome));
+        self.objectives(&results)
+    }
+
+    fn evaluate_population(&self, genomes: &[Permutation]) -> Vec<Vec<f64>> {
+        let per_genome = self.eval_ratios.len();
+        if per_genome == 0 {
+            return genomes.iter().map(|g| self.evaluate(g)).collect();
         }
-        objectives.push(robustness);
-        objectives
+        // One flat batch: |genomes| × |ratios| variants, evaluated in
+        // parallel and deduplicated by the engine's cache.
+        let variants: Vec<SystemVariant> = genomes.iter().flat_map(|g| self.variants(g)).collect();
+        let results = self.evaluator.evaluate_batch(&variants);
+        results
+            .chunks(per_genome)
+            .map(|chunk| self.objectives(chunk))
+            .collect()
     }
 }
 
@@ -154,6 +211,10 @@ pub struct OptimizeIdsConfig {
     /// (must have `eval_ratios.len() + 1` entries — loss counts first,
     /// robustness last).
     pub weights: Vec<f64>,
+    /// Worker threads for genome evaluation (default:
+    /// [`Parallelism::from_env`] — `CARTA_JOBS` or all hardware
+    /// threads). Parallelism never changes the per-seed result.
+    pub parallelism: Parallelism,
 }
 
 impl Default for OptimizeIdsConfig {
@@ -163,6 +224,7 @@ impl Default for OptimizeIdsConfig {
             scenario: Scenario::worst_case(),
             eval_ratios: vec![0.25, 0.40, 0.60],
             weights: vec![1000.0, 100.0, 150.0, 1.0],
+            parallelism: Parallelism::from_env(),
         }
     }
 }
@@ -179,6 +241,9 @@ pub struct IdOptimizationResult {
     pub objectives: Vec<f64>,
     /// The full Pareto archive.
     pub archive: Spea2Result<Permutation>,
+    /// Engine cache counters of the run — the hit rate shows how many
+    /// genome evaluations were answered without re-running the RTA.
+    pub cache: CacheStats,
 }
 
 /// Runs the SPEA2 identifier optimization.
@@ -194,7 +259,8 @@ pub fn optimize_can_ids(net: &CanNetwork, config: &OptimizeIdsConfig) -> IdOptim
         config.eval_ratios.len() + 1,
         "one weight per loss ratio plus one for robustness"
     );
-    let problem = CanIdProblem::new(net, config.scenario.clone(), config.eval_ratios.clone());
+    let problem = CanIdProblem::new(net, config.scenario.clone(), config.eval_ratios.clone())
+        .with_evaluator(Evaluator::new(config.parallelism));
     let result = optimize(&problem, &config.spea2);
     // Selection is lexicographic in the first objective (loss at the
     // design point — the paper's non-negotiable "not a single message"
@@ -228,6 +294,7 @@ pub fn optimize_can_ids(net: &CanNetwork, config: &OptimizeIdsConfig) -> IdOptim
         permutation,
         objectives,
         archive: result,
+        cache: problem.evaluator().stats(),
     }
 }
 
@@ -308,6 +375,13 @@ mod tests {
         assert!(before.points[0].missed > 0, "test net must start lossy");
         assert_eq!(after.points[0].missed, 0, "optimum should be loss-free");
         assert_eq!(result.objectives[0], 0.0);
+        // Genomes recur across generations (seeds, converged offspring):
+        // the engine cache must have answered a good share of them.
+        assert!(
+            result.cache.hits > 0,
+            "expected cache hits across generations: {:?}",
+            result.cache
+        );
     }
 
     #[test]

@@ -43,6 +43,16 @@ pub trait Problem {
 
     /// Evaluates a genome into its objective vector (minimized).
     fn evaluate(&self, genome: &Self::Genome) -> Vec<f64>;
+
+    /// Evaluates a whole population at once. The default maps
+    /// [`Problem::evaluate`] sequentially; problems backed by the
+    /// evaluation engine override this to submit one parallel,
+    /// memoized batch per generation. `result[i]` must equal
+    /// `self.evaluate(&genomes[i])` — the optimizer relies on batch
+    /// and sequential evaluation being interchangeable.
+    fn evaluate_population(&self, genomes: &[Self::Genome]) -> Vec<Vec<f64>> {
+        genomes.iter().map(|g| self.evaluate(g)).collect()
+    }
 }
 
 /// SPEA2 parameters.
@@ -157,24 +167,36 @@ pub fn optimize<P: Problem>(problem: &P, config: &Spea2Config) -> Spea2Result<P:
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut evaluations = 0usize;
 
-    let eval = |genome: P::Genome, evaluations: &mut usize| -> Individual<P::Genome> {
-        let objectives = problem.evaluate(&genome);
-        *evaluations += 1;
-        Individual {
-            genome,
-            objectives,
-            fitness: f64::INFINITY,
-        }
-    };
+    // Whole generations are evaluated as one batch. The RNG stream is
+    // consumed entirely during variation (before any evaluation), so
+    // batching — and any parallelism inside `evaluate_population` —
+    // cannot change the per-seed result.
+    let eval_batch =
+        |genomes: Vec<P::Genome>, evaluations: &mut usize| -> Vec<Individual<P::Genome>> {
+            *evaluations += genomes.len();
+            let objectives = problem.evaluate_population(&genomes);
+            debug_assert_eq!(objectives.len(), genomes.len());
+            genomes
+                .into_iter()
+                .zip(objectives)
+                .map(|(genome, objectives)| Individual {
+                    genome,
+                    objectives,
+                    fitness: f64::INFINITY,
+                })
+                .collect()
+        };
 
     // Initial population: seeds first, then random.
-    let mut population: Vec<Individual<P::Genome>> = Vec::with_capacity(config.population);
-    for seed in problem.seed_genomes().into_iter().take(config.population) {
-        population.push(eval(seed, &mut evaluations));
+    let mut genomes: Vec<P::Genome> = problem
+        .seed_genomes()
+        .into_iter()
+        .take(config.population)
+        .collect();
+    while genomes.len() < config.population {
+        genomes.push(problem.random_genome(&mut rng));
     }
-    while population.len() < config.population {
-        population.push(eval(problem.random_genome(&mut rng), &mut evaluations));
-    }
+    let mut population = eval_batch(genomes, &mut evaluations);
 
     let mut archive: Vec<Individual<P::Genome>> = Vec::new();
     for _generation in 0..config.generations {
@@ -187,8 +209,8 @@ pub fn optimize<P: Problem>(problem: &P, config: &Spea2Config) -> Spea2Result<P:
         // Environmental selection.
         archive = environmental_selection(combined, config.archive);
 
-        // Mating selection + variation.
-        population = (0..config.population)
+        // Mating selection + variation, then one batched evaluation.
+        let offspring: Vec<P::Genome> = (0..config.population)
             .map(|_| {
                 let a = tournament(&archive, &mut rng);
                 let b = tournament(&archive, &mut rng);
@@ -196,9 +218,10 @@ pub fn optimize<P: Problem>(problem: &P, config: &Spea2Config) -> Spea2Result<P:
                 if rng.gen_bool(config.mutation_rate.clamp(0.0, 1.0)) {
                     problem.mutate(&mut child, &mut rng);
                 }
-                eval(child, &mut evaluations)
+                child
             })
             .collect();
+        population = eval_batch(offspring, &mut evaluations);
     }
 
     // Final fitness assignment on the last archive for reporting order.
@@ -377,6 +400,49 @@ mod tests {
         assert!(toward_3 < toward_5);
         assert!((toward_3 - 3.0).abs() < 1.0);
         assert!((toward_5 - 5.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn population_evaluation_is_batched() {
+        use std::cell::Cell;
+        struct Counting {
+            batches: Cell<usize>,
+        }
+        impl Problem for Counting {
+            type Genome = f64;
+            fn random_genome(&self, rng: &mut StdRng) -> f64 {
+                rng.gen_range(0.0..8.0)
+            }
+            fn crossover(&self, a: &f64, b: &f64, _rng: &mut StdRng) -> f64 {
+                (a + b) / 2.0
+            }
+            fn mutate(&self, g: &mut f64, rng: &mut StdRng) {
+                *g = (*g + rng.gen_range(-1.0..1.0)).clamp(0.0, 8.0);
+            }
+            fn evaluate(&self, g: &f64) -> Vec<f64> {
+                vec![(g - 3.0).powi(2), (g - 5.0).powi(2)]
+            }
+            fn evaluate_population(&self, genomes: &[f64]) -> Vec<Vec<f64>> {
+                self.batches.set(self.batches.get() + 1);
+                genomes.iter().map(|g| self.evaluate(g)).collect()
+            }
+        }
+        let problem = Counting {
+            batches: Cell::new(0),
+        };
+        let config = Spea2Config {
+            generations: 3,
+            ..Spea2Config::default()
+        };
+        let result = optimize(&problem, &config);
+        // One batch for the initial population, one per generation.
+        assert_eq!(problem.batches.get(), 4);
+        assert_eq!(result.evaluations, 40 * 4);
+        // Batching must not change the per-seed outcome.
+        let plain = optimize(&TwoHumps, &config);
+        let ga: Vec<f64> = result.archive.iter().map(|i| i.genome).collect();
+        let gb: Vec<f64> = plain.archive.iter().map(|i| i.genome).collect();
+        assert_eq!(ga, gb);
     }
 
     #[test]

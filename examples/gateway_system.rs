@@ -152,10 +152,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         ..EcuAnalysisConfig::default()
     };
-    println!("
-gatewaying strategies for the forwarded stream:");
+    println!(
+        "
+gatewaying strategies for the forwarded stream:"
+    );
     for (label, strategy) in [
-        ("per-signal task", ForwardingStrategy::PerSignal { top_priority: 9 }),
+        (
+            "per-signal task",
+            ForwardingStrategy::PerSignal { top_priority: 9 },
+        ),
         (
             "polled batch @5ms",
             ForwardingStrategy::PolledBatch {

@@ -1,0 +1,555 @@
+//! Workspace-local stand-in for the subset of the `proptest` API that
+//! carta's property tests use: the `proptest!` macro, integer-range and
+//! tuple strategies, `prop_map`, `collection::vec`, `option::of`,
+//! `any::<T>()`, simple regex-class string strategies, and the
+//! `prop_assert*` macros.
+//!
+//! The build environment has no access to crates.io, so this path crate
+//! takes the `proptest` package name inside the workspace. Differences
+//! from upstream: no shrinking (failures report the generated case
+//! as-is) and a deterministic per-test RNG (the test name seeds the
+//! stream; `PROPTEST_CASES` overrides the case count).
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner;
+
+use test_runner::TestRng;
+
+/// Failure raised by `prop_assert!`-style macros inside a case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+/// A value generator. Upstream proptest separates strategies from value
+/// trees to support shrinking; this stand-in generates directly.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty => $draw:ident),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(
+    u8 => below, u16 => below, u32 => below, u64 => below, usize => below,
+    i8 => below, i16 => below, i32 => below, i64 => below, isize => below
+);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+/// `&str` strategies generate strings matching a small regex subset:
+/// literal characters, `[...]` classes (with ranges), and `{m,n}`, `*`,
+/// `+`, `?` quantifiers — enough for patterns like `"[a-z][a-z0-9_]{0,14}"`.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        regex_lite::generate(self, rng)
+    }
+}
+
+mod regex_lite {
+    use super::test_runner::TestRng;
+
+    enum Atom {
+        Literal(char),
+        Class(Vec<char>),
+    }
+
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => {
+                    let mut set = Vec::new();
+                    let mut prev: Option<char> = None;
+                    for d in chars.by_ref() {
+                        match d {
+                            ']' => break,
+                            '-' if prev.is_some() => {
+                                // Range start recorded in `prev`; complete
+                                // it with the next char (held by marking
+                                // prev as a pending range via sentinel).
+                                set.push('\u{0}'); // placeholder: replaced below
+                                continue;
+                            }
+                            _ => {
+                                if set.last() == Some(&'\u{0}') {
+                                    set.pop();
+                                    let lo = prev.expect("range start");
+                                    for ch in lo..=d {
+                                        if ch != lo {
+                                            set.push(ch);
+                                        }
+                                    }
+                                } else {
+                                    set.push(d);
+                                }
+                                prev = Some(d);
+                            }
+                        }
+                    }
+                    assert!(!set.is_empty(), "empty character class in `{pattern}`");
+                    Atom::Class(set)
+                }
+                '\\' => Atom::Literal(chars.next().expect("escape target")),
+                _ => Atom::Literal(c),
+            };
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for d in chars.by_ref() {
+                        if d == '}' {
+                            break;
+                        }
+                        spec.push(d);
+                    }
+                    match spec.split_once(',') {
+                        Some((m, n)) => (
+                            m.trim().parse().expect("quantifier min"),
+                            n.trim().parse().expect("quantifier max"),
+                        ),
+                        None => {
+                            let k = spec.trim().parse().expect("quantifier count");
+                            (k, k)
+                        }
+                    }
+                }
+                Some('*') => {
+                    chars.next();
+                    (0usize, 8usize)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1usize, 8usize)
+                }
+                Some('?') => {
+                    chars.next();
+                    (0usize, 1usize)
+                }
+                _ => (1usize, 1usize),
+            };
+            let count = min + rng.below((max - min + 1) as u64) as usize;
+            for _ in 0..count {
+                match &atom {
+                    Atom::Literal(l) => out.push(*l),
+                    Atom::Class(set) => out.push(set[rng.below(set.len() as u64) as usize]),
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The "any value of `T`" strategy.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// An admissible length range for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for vectors of `element` values.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min + 1) as u64;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`proptest::option::of`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy yielding `None` or `Some(inner)`.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `Some` roughly three times out of four.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Everything a property-test module usually imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Defines property tests.
+///
+/// Supported grammar (the subset this workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u64..100, v in proptest::collection::vec(any::<u8>(), 0..=8)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (cfg = $cfg:expr; $( #[test] fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "property `{}` failed at case {}/{}: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case
+/// (not aborting the process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: both sides equal {:?}", a);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_maps_generate_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_test("unit");
+        for _ in 0..1000 {
+            let v = (0u64..100).generate(&mut rng);
+            assert!(v < 100);
+            let w = (1u8..=8).generate(&mut rng);
+            assert!((1..=8).contains(&w));
+            let s = "[a-z][a-z0-9_]{0,14}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 15, "{s}");
+            assert!(s.chars().next().expect("non-empty").is_ascii_lowercase());
+            let doubled = (0u32..10).prop_map(|x| x * 2).generate(&mut rng);
+            assert!(doubled % 2 == 0 && doubled < 20);
+            let v = crate::collection::vec(any::<u8>(), 0..=8).generate(&mut rng);
+            assert!(v.len() <= 8);
+            let o = crate::option::of(0u64..10).generate(&mut rng);
+            assert!(o.is_none() || o.expect("some") < 10);
+            let (a, b, c) = (0u8..2, 0u8..2, 0u8..2).generate(&mut rng);
+            assert!(a < 2 && b < 2 && c < 2);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_wires_everything(x in 0u64..50, flag in any::<bool>()) {
+            prop_assert!(x < 50);
+            prop_assert_eq!(u64::from(flag) <= 1, true);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics() {
+        mod inner {
+            use crate::prelude::*;
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(4))]
+                #[test]
+                fn always_fails(x in 0u64..10) {
+                    prop_assert!(x > 100, "x was {}", x);
+                }
+            }
+            pub fn run() {
+                always_fails();
+            }
+        }
+        inner::run();
+    }
+}

@@ -20,6 +20,7 @@
 //! | [`ecu`] | `carta-ecu` | OSEK tasks, ECU analysis, TimeTables, send jitters |
 //! | [`kmatrix`] | `carta-kmatrix` | K-Matrix model, CSV I/O, case-study generator |
 //! | [`sim`] | `carta-sim` | discrete-event bus simulator, traces, Gantt |
+//! | [`engine`] | `carta-engine` | batched, parallel, memoized variant evaluation |
 //! | [`explore`] | `carta-explore` | what-if scenarios, sensitivity, loss, extensibility |
 //! | [`optim`] | `carta-optim` | SPEA2 and CAN-ID optimization |
 //! | [`contract`] | `carta-contract` | datasheets, compatibility, duality, refinement |
@@ -45,6 +46,7 @@ pub use carta_can as can;
 pub use carta_contract as contract;
 pub use carta_core as core;
 pub use carta_ecu as ecu;
+pub use carta_engine as engine;
 pub use carta_explore as explore;
 pub use carta_kmatrix as kmatrix;
 pub use carta_optim as optim;
@@ -63,6 +65,7 @@ pub mod prelude {
         AnalysisError,
     };
     pub use carta_ecu::prelude::*;
+    pub use carta_engine::prelude::*;
     pub use carta_explore::prelude::*;
     pub use carta_kmatrix::prelude::*;
     pub use carta_optim::prelude::*;

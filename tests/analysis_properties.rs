@@ -12,11 +12,11 @@ use rand::{Rng, SeedableRng};
 
 fn random_net(seed: u64, n_messages: usize) -> CanNetwork {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut net = CanNetwork::new(*[125_000, 250_000].get(rng.gen_range(0..2)).unwrap());
+    let mut net = CanNetwork::new(*[125_000, 250_000].get(rng.gen_range(0..2usize)).unwrap());
     let a = net.add_node(Node::new("A", ControllerType::FullCan));
     let b = net.add_node(Node::new("B", ControllerType::FullCan));
     for k in 0..n_messages {
-        let period = Time::from_ms(*[5u64, 10, 20, 50].get(rng.gen_range(0..4)).unwrap());
+        let period = Time::from_ms(*[5u64, 10, 20, 50].get(rng.gen_range(0..4usize)).unwrap());
         net.add_message(CanMessage::new(
             format!("m{k}"),
             CanId::standard(0x100 + 16 * k as u32).expect("valid"),
@@ -177,7 +177,7 @@ fn opa_agrees_with_brute_force_on_small_nets() {
         let mut net = CanNetwork::new(100_000);
         let a = net.add_node(Node::new("A", ControllerType::FullCan));
         for k in 0..4usize {
-            let period = Time::from_ms(*[5u64, 6, 8, 12].get(rng.gen_range(0..4)).unwrap());
+            let period = Time::from_ms(*[5u64, 6, 8, 12].get(rng.gen_range(0..4usize)).unwrap());
             net.add_message(CanMessage::new(
                 format!("m{k}"),
                 CanId::standard(0x100 + 16 * k as u32).expect("valid"),

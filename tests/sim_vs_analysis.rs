@@ -19,7 +19,7 @@ fn random_network_with(seed: u64, mixed_controllers: bool) -> CanNetwork {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut net = CanNetwork::new(
         *[125_000, 250_000, 500_000]
-            .get(rng.gen_range(0..3))
+            .get(rng.gen_range(0..3usize))
             .unwrap(),
     );
     let nodes = rng.gen_range(2..5);
@@ -39,7 +39,11 @@ fn random_network_with(seed: u64, mixed_controllers: bool) -> CanNetwork {
     }
     let count = rng.gen_range(3..10);
     for k in 0..count {
-        let period = Time::from_ms(*[5u64, 10, 20, 50, 100].get(rng.gen_range(0..5)).unwrap());
+        let period = Time::from_ms(
+            *[5u64, 10, 20, 50, 100]
+                .get(rng.gen_range(0..5usize))
+                .unwrap(),
+        );
         let jitter = period.percent(rng.gen_range(0..40));
         net.add_message(CanMessage::new(
             format!("m{k}"),

@@ -130,13 +130,17 @@ fn negotiation_freezes_budgets_on_the_case_study() {
     let tcu = 1;
     // The supplier's true capability: half of whatever the OEM would
     // budget under the initial (pessimistic) assumptions.
-    let initial_budgets =
-        oem_send_requirements(&net, &scenario, tcu, 0.9, 0.8).expect("valid");
+    let initial_budgets = oem_send_requirements(&net, &scenario, tcu, 0.9, 0.8).expect("valid");
     let mut capability = Datasheet::new("TCU supplier");
     for (name, bound) in initial_budgets.iter() {
         capability.guarantee(
             name,
-            EventModel::new(bound.kind(), bound.period(), bound.jitter() / 2, bound.dmin()),
+            EventModel::new(
+                bound.kind(),
+                bound.period(),
+                bound.jitter() / 2,
+                bound.dmin(),
+            ),
         );
     }
     let outcome = negotiate(&net, &scenario, tcu, &capability, 6).expect("valid");

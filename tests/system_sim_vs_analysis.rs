@@ -33,7 +33,7 @@ fn chain(seed: u64) -> Chain {
         ems,
     ));
     for k in 0..rng.gen_range(2..5) {
-        let period = Time::from_ms(*[5u64, 10, 20].get(rng.gen_range(0..3)).unwrap());
+        let period = Time::from_ms(*[5u64, 10, 20].get(rng.gen_range(0..3usize)).unwrap());
         bus1.add_message(CanMessage::new(
             format!("bg1_{k}"),
             CanId::standard(0x200 + 16 * k).expect("valid"),
@@ -56,7 +56,7 @@ fn chain(seed: u64) -> Chain {
         gw,
     ));
     for k in 0..rng.gen_range(1..4) {
-        let period = Time::from_ms(*[10u64, 20, 50].get(rng.gen_range(0..3)).unwrap());
+        let period = Time::from_ms(*[10u64, 20, 50].get(rng.gen_range(0..3usize)).unwrap());
         bus2.add_message(CanMessage::new(
             format!("bg2_{k}"),
             CanId::standard(0x300 + 16 * k).expect("valid"),
