@@ -5,9 +5,11 @@
 use carta_bench::case_study;
 use carta_can::error_model::NoErrors;
 use carta_can::rta::{analyze_bus, AnalysisConfig};
+use carta_engine::prelude::Evaluator;
 use carta_explore::jitter::with_jitter_ratio;
-use carta_explore::loss::{loss_vs_jitter, paper_jitter_grid};
+use carta_explore::loss::paper_jitter_grid;
 use carta_explore::scenario::Scenario;
+use carta_explore::sweeps::Sweeps;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -49,7 +51,15 @@ fn bench_full_loss_curve(c: &mut Criterion) {
     let net = case_study();
     let grid = paper_jitter_grid();
     c.bench_function("fig5_one_curve_13_points", |b| {
-        b.iter(|| black_box(loss_vs_jitter(&net, &Scenario::worst_case(), &grid).expect("valid")))
+        // A fresh evaluator per iteration: this benchmark measures the
+        // cold analysis, not the memo cache.
+        b.iter(|| {
+            let eval = Evaluator::default();
+            black_box(
+                eval.loss_vs_jitter(&net, &Scenario::worst_case(), &grid)
+                    .expect("valid"),
+            )
+        })
     });
 }
 

@@ -1,12 +1,18 @@
 //! Benchmarks the unified evaluation engine (`carta-engine`): batched
-//! candidate throughput at different worker counts, and the gap between
-//! a cold and a warm memo cache. The warm path is the one every repeat
-//! caller (sweeps re-visiting a grid, the GA re-visiting genomes) hits.
+//! candidate throughput at different worker counts, the gap between a
+//! cold and a warm memo cache, and the cost of metrics collection on
+//! the warm path. The warm path is the one every repeat caller (sweeps
+//! re-visiting a grid, the GA re-visiting genomes) hits. `warm_64pts`
+//! runs with instrumentation compiled in but disabled — the default,
+//! where the <2% overhead budget applies (one relaxed atomic load per
+//! point) — while `warm_64pts_metrics` prices fully-enabled recording.
 
 use carta_bench::case_study;
 use carta_engine::prelude::{BaseSystem, Evaluator, Parallelism, Scenario, SystemVariant};
+use carta_obs::metrics::MetricsRegistry;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 
 const POINTS: usize = 64;
 
@@ -49,6 +55,25 @@ fn bench_engine_throughput(c: &mut Criterion) {
     warm.evaluate_batch(&points);
     group.bench_function("warm_64pts", |b| {
         b.iter(|| black_box(warm.evaluate_batch(&points)))
+    });
+
+    // Same warm batch with every counter live (explicit registry makes
+    // recording unconditional) — the delta to `warm_64pts` is the cost
+    // of *enabled* recording, paid only when someone asks for metrics.
+    let registry = Arc::new(MetricsRegistry::new());
+    let instrumented = Evaluator::builder().metrics(&registry).build();
+    let bare = instrumented.evaluate_batch(&points);
+    // Instrumentation must not perturb results: the engine is
+    // deterministic, so the two evaluators agree bit-for-bit.
+    for (a, b) in bare.iter().zip(warm.evaluate_batch(&points)) {
+        let (a, b) = (a.as_ref().expect("valid"), b.as_ref().expect("valid"));
+        assert_eq!(a.messages.len(), b.messages.len());
+        for (x, y) in a.messages.iter().zip(&b.messages) {
+            assert_eq!(x.outcome, y.outcome, "metrics changed {}", x.name);
+        }
+    }
+    group.bench_function("warm_64pts_metrics", |b| {
+        b.iter(|| black_box(instrumented.evaluate_batch(&points)))
     });
     group.finish();
 }

@@ -8,9 +8,11 @@
 
 use carta_bench::{case_study, print_jitter_header, print_loss_curve};
 use carta_can::opa::audsley_assignment;
+use carta_engine::prelude::Evaluator;
 use carta_explore::jitter::with_jitter_ratio;
-use carta_explore::loss::{loss_vs_jitter, paper_jitter_grid};
+use carta_explore::loss::paper_jitter_grid;
 use carta_explore::scenario::Scenario;
+use carta_explore::sweeps::Sweeps;
 use carta_optim::canid::{optimize_can_ids, CanIdProblem, OptimizeIdsConfig};
 use carta_optim::spea2::Spea2Config;
 
@@ -58,15 +60,20 @@ fn main() {
 
     println!();
     print_jitter_header(&grid);
-    let orig = loss_vs_jitter(&net, &scenario, &grid).expect("valid");
+    let eval = Evaluator::default();
+    let orig = eval.loss_vs_jitter(&net, &scenario, &grid).expect("valid");
     print_loss_curve("original (legacy IDs)", &orig);
-    let rm_curve = loss_vs_jitter(&rm, &scenario, &grid).expect("valid");
+    let rm_curve = eval.loss_vs_jitter(&rm, &scenario, &grid).expect("valid");
     print_loss_curve("rate-monotonic", &rm_curve);
     if let Some(opa_net) = &opa_net {
-        let c = loss_vs_jitter(opa_net, &scenario, &grid).expect("valid");
+        let c = eval
+            .loss_vs_jitter(opa_net, &scenario, &grid)
+            .expect("valid");
         print_loss_curve("Audsley OPA @25%", &c);
     }
-    let ga = loss_vs_jitter(&result.optimized, &scenario, &grid).expect("valid");
+    let ga = eval
+        .loss_vs_jitter(&result.optimized, &scenario, &grid)
+        .expect("valid");
     print_loss_curve("SPEA2 (paper Sec. 4.3)", &ga);
 
     println!(

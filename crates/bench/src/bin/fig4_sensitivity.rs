@@ -5,15 +5,19 @@
 
 use carta_bench::case_study;
 use carta_bench::plot::{line_chart, Series as PlotSeries};
+use carta_engine::prelude::Evaluator;
 use carta_explore::loss::paper_jitter_grid;
 use carta_explore::scenario::Scenario;
-use carta_explore::sensitivity::{response_vs_jitter, SensitivityClass};
+use carta_explore::sensitivity::SensitivityClass;
+use carta_explore::sweeps::Sweeps;
 
 fn main() {
     println!("=== Figure 4: response time vs jitter ===\n");
     let net = case_study();
     let grid = paper_jitter_grid();
-    let series = response_vs_jitter(&net, &Scenario::worst_case(), &grid, None).expect("valid");
+    let series = Evaluator::default()
+        .response_vs_jitter(&net, &Scenario::worst_case(), &grid, None)
+        .expect("valid");
 
     // Pick representatives of each class, like the paper's figure.
     let mut by_class: std::collections::BTreeMap<SensitivityClass, Vec<&_>> =

@@ -16,8 +16,10 @@
 
 use carta_bench::plot::{line_chart, Series};
 use carta_bench::{case_study, print_jitter_header, print_loss_curve};
-use carta_explore::loss::{loss_vs_jitter, paper_jitter_grid};
+use carta_engine::prelude::Evaluator;
+use carta_explore::loss::paper_jitter_grid;
 use carta_explore::scenario::Scenario;
+use carta_explore::sweeps::Sweeps;
 use carta_optim::canid::{optimize_can_ids, OptimizeIdsConfig};
 use carta_optim::spea2::Spea2Config;
 use std::time::Instant;
@@ -26,9 +28,14 @@ fn main() {
     println!("=== Figure 5: message loss vs jitter, before/after optimization ===\n");
     let net = case_study();
     let grid = paper_jitter_grid();
+    let eval = Evaluator::default();
 
-    let best = loss_vs_jitter(&net, &Scenario::best_case(), &grid).expect("valid");
-    let worst = loss_vs_jitter(&net, &Scenario::worst_case(), &grid).expect("valid");
+    let best = eval
+        .loss_vs_jitter(&net, &Scenario::best_case(), &grid)
+        .expect("valid");
+    let worst = eval
+        .loss_vs_jitter(&net, &Scenario::worst_case(), &grid)
+        .expect("valid");
 
     let config = OptimizeIdsConfig {
         spea2: Spea2Config {
@@ -53,9 +60,12 @@ fn main() {
         result.archive.evaluations
     );
 
-    let opt_best = loss_vs_jitter(&result.optimized, &Scenario::best_case(), &grid).expect("valid");
-    let opt_worst =
-        loss_vs_jitter(&result.optimized, &Scenario::worst_case(), &grid).expect("valid");
+    let opt_best = eval
+        .loss_vs_jitter(&result.optimized, &Scenario::best_case(), &grid)
+        .expect("valid");
+    let opt_worst = eval
+        .loss_vs_jitter(&result.optimized, &Scenario::worst_case(), &grid)
+        .expect("valid");
 
     println!("loss in % of all messages:\n");
     print_jitter_header(&grid);

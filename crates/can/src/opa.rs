@@ -79,6 +79,10 @@ pub fn audsley_assignment(
 
     let mut unassigned: Vec<usize> = (0..n).collect();
     let mut assigned_low: Vec<usize> = Vec::new(); // filled lowest-first
+
+    // OPA probes many candidate assignments; its fixpoint iterations are
+    // not part of the `rta.iterations` budget reported for analyses.
+    let mut probe_iterations = 0u64;
     for _level in (0..n).rev() {
         let mut chosen = None;
         for (pos, &candidate) in unassigned.iter().enumerate() {
@@ -96,6 +100,7 @@ pub fn audsley_assignment(
                 tau,
                 errors,
                 config,
+                &mut probe_iterations,
             )
             .is_some_and(|(wcrt, _)| wcrt <= deadlines[candidate]);
             if ok {

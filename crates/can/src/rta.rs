@@ -25,6 +25,38 @@ use crate::message::CanId;
 use crate::network::CanNetwork;
 use carta_core::analysis::{AnalysisError, ResponseBounds};
 use carta_core::time::Time;
+use carta_obs::metrics::{self, Counter, Histogram};
+use carta_obs::span;
+use std::sync::{Arc, OnceLock};
+
+/// Pre-resolved global-registry handles for the RTA hot path. Resolved
+/// once; recording happens only while [`metrics::enabled`], so the
+/// disabled cost per `analyze_bus` run is one relaxed atomic load.
+struct RtaMetrics {
+    runs: Arc<Counter>,
+    messages: Arc<Counter>,
+    iterations: Arc<Counter>,
+    busy_instances: Arc<Histogram>,
+    incremental_runs: Arc<Counter>,
+    incremental_reused: Arc<Counter>,
+    incremental_recomputed: Arc<Counter>,
+}
+
+fn rta_metrics() -> &'static RtaMetrics {
+    static HANDLES: OnceLock<RtaMetrics> = OnceLock::new();
+    HANDLES.get_or_init(|| {
+        let registry = metrics::global();
+        RtaMetrics {
+            runs: registry.counter("rta.runs"),
+            messages: registry.counter("rta.messages"),
+            iterations: registry.counter("rta.iterations"),
+            busy_instances: registry.histogram("rta.busy_instances"),
+            incremental_runs: registry.counter("rta.incremental.runs"),
+            incremental_reused: registry.counter("rta.incremental.reused"),
+            incremental_recomputed: registry.counter("rta.incremental.recomputed"),
+        }
+    })
+}
 
 /// Tuning knobs of the analysis.
 #[derive(Debug, Clone, Copy)]
@@ -210,6 +242,7 @@ pub fn analyze_bus(
 ) -> Result<BusReport, AnalysisError> {
     net.validate()
         .map_err(|e| AnalysisError::InvalidModel(e.to_string()))?;
+    let _span = span!("rta.bus", msgs = net.messages().len());
 
     let rate = net.bit_rate();
     let tau = bit_time(rate);
@@ -220,6 +253,8 @@ pub fn analyze_bus(
         .map(|m| Time::from_bits(m.id.kind().min_bits(m.dlc), rate))
         .collect();
 
+    let recording = metrics::enabled();
+    let mut iterations = 0u64;
     let mut reports = Vec::with_capacity(msgs.len());
     for (i, m) in msgs.iter().enumerate() {
         let key = m.id.arbitration_key();
@@ -231,7 +266,17 @@ pub fn analyze_bus(
             .collect();
 
         let blocking = effective_blocking(net, i, &c_max, &lp);
-        let outcome = wcrt_for_sets(net, &c_max, i, &hp, &lp, tau, errors, config);
+        let outcome = wcrt_for_sets(
+            net,
+            &c_max,
+            i,
+            &hp,
+            &lp,
+            tau,
+            errors,
+            config,
+            &mut iterations,
+        );
         let (outcome_enum, instances) = match outcome {
             Some((wcrt, q)) => (
                 ResponseOutcome::Bounded(ResponseBounds::new(c_min[i], wcrt.max(c_min[i]))),
@@ -239,6 +284,9 @@ pub fn analyze_bus(
             ),
             None => (ResponseOutcome::Overload, 0),
         };
+        if recording {
+            rta_metrics().busy_instances.record(instances);
+        }
         reports.push(MessageReport {
             index: i,
             name: m.name.clone(),
@@ -250,6 +298,12 @@ pub fn analyze_bus(
             outcome: outcome_enum,
             instances,
         });
+    }
+    if recording {
+        let handles = rta_metrics();
+        handles.runs.inc();
+        handles.messages.add(msgs.len() as u64);
+        handles.iterations.add(iterations);
     }
     Ok(BusReport {
         messages: reports,
@@ -318,6 +372,7 @@ pub fn analyze_bus_incremental(
 ) -> Result<(BusReport, IncrementalStats), AnalysisError> {
     net.validate()
         .map_err(|e| AnalysisError::InvalidModel(e.to_string()))?;
+    let _span = span!("rta.bus.incremental", msgs = net.messages().len());
     let msgs = net.messages();
     let comparable = previous.messages.len() == msgs.len()
         && previous_hp.len() == msgs.len()
@@ -352,6 +407,7 @@ pub fn analyze_bus_incremental(
         .all(|(j, p)| p.c_max == c_max[j] && p.c_min == c_min[j]);
 
     let mut stats = IncrementalStats::default();
+    let mut iterations = 0u64;
     let mut reports = Vec::with_capacity(msgs.len());
     for (i, m) in msgs.iter().enumerate() {
         let key = m.id.arbitration_key();
@@ -373,7 +429,17 @@ pub fn analyze_bus_incremental(
             (prev.outcome, prev.instances)
         } else {
             stats.recomputed += 1;
-            match wcrt_for_sets(net, &c_max, i, &hp, &lp, tau, errors, config) {
+            match wcrt_for_sets(
+                net,
+                &c_max,
+                i,
+                &hp,
+                &lp,
+                tau,
+                errors,
+                config,
+                &mut iterations,
+            ) {
                 Some((wcrt, q)) => (
                     ResponseOutcome::Bounded(ResponseBounds::new(c_min[i], wcrt.max(c_min[i]))),
                     q,
@@ -392,6 +458,13 @@ pub fn analyze_bus_incremental(
             outcome,
             instances,
         });
+    }
+    if metrics::enabled() {
+        let handles = rta_metrics();
+        handles.incremental_runs.inc();
+        handles.incremental_reused.add(stats.reused as u64);
+        handles.incremental_recomputed.add(stats.recomputed as u64);
+        handles.iterations.add(iterations);
     }
     Ok((
         BusReport {
@@ -467,6 +540,7 @@ pub(crate) fn wcrt_for_sets(
     tau: Time,
     errors: &dyn ErrorModel,
     config: &AnalysisConfig,
+    iterations: &mut u64,
 ) -> Option<(Time, u64)> {
     let rate = net.bit_rate();
     let msgs = net.messages();
@@ -499,6 +573,7 @@ pub(crate) fn wcrt_for_sets(
         errors,
         per_hit,
         config,
+        iterations,
     )
 }
 
@@ -518,7 +593,9 @@ pub(crate) fn c_max_vector(net: &CanNetwork, stuffing: StuffingMode) -> Vec<Time
 }
 
 /// Busy-window iteration for one message; returns `(wcrt, instances)`
-/// or `None` on overload.
+/// or `None` on overload. Each inner fixpoint step adds one to
+/// `iterations` — the convergence-cost figure surfaced as the
+/// `rta.iterations` metric.
 #[allow(clippy::too_many_arguments)]
 fn message_wcrt(
     msgs: &[crate::message::CanMessage],
@@ -530,6 +607,7 @@ fn message_wcrt(
     errors: &dyn ErrorModel,
     per_hit: Time,
     config: &AnalysisConfig,
+    iterations: &mut u64,
 ) -> Option<(Time, u64)> {
     let c_m = c_max[i];
     let own = &msgs[i].activation;
@@ -543,6 +621,7 @@ fn message_wcrt(
         // Fixpoint iteration for instance q.
         w = w.max(blocking + c_m * (q - 1));
         loop {
+            *iterations += 1;
             let mut demand = blocking + c_m * (q - 1);
             demand = demand
                 .saturating_add(per_hit.saturating_mul(errors.max_hits(w.saturating_add(c_m))));

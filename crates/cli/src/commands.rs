@@ -3,30 +3,40 @@
 //! testable without spawning processes.
 
 use crate::args::{ParseArgsError, ParsedArgs};
-use crate::render::Table;
+use crate::obs::ObsSession;
+use crate::render::{cache_stats_line, Table};
 use carta_can::network::CanNetwork;
 use carta_can::opa::audsley_assignment;
 use carta_core::time::Time;
-use carta_engine::prelude::{Evaluator, Parallelism};
+use carta_engine::prelude::{BaseSystem, Evaluator, Parallelism, SystemVariant};
 use carta_explore::jitter::{with_assumed_unknown_jitter, with_jitter_ratio};
-use carta_explore::loss::{loss_vs_jitter_with, paper_jitter_grid};
+use carta_explore::loss::paper_jitter_grid;
 use carta_explore::scenario::Scenario;
-use carta_explore::sensitivity::response_vs_jitter_with;
+use carta_explore::sweeps::Sweeps;
 use carta_kmatrix::csv::{from_csv, to_csv};
 use carta_kmatrix::generator::{powertrain_kmatrix, CaseStudyConfig};
 use carta_kmatrix::model::KMatrix;
+use carta_obs::metrics::PhaseGuard;
 use std::error::Error;
 use std::fmt::Write as _;
 
 type CmdResult = Result<String, Box<dyn Error>>;
 
-/// Dispatches a parsed invocation.
+/// Dispatches a parsed invocation inside an observability session
+/// (the global `--metrics`, `--metrics-json` and `--trace` flags).
 ///
 /// # Errors
 ///
 /// Propagates I/O, parse and analysis errors as boxed errors whose
 /// `Display` is the message shown to the user.
 pub fn run(args: &ParsedArgs) -> CmdResult {
+    let obs = ObsSession::start(args)?;
+    let mut out = dispatch(args)?;
+    obs.finish(&args.command, &mut out)?;
+    Ok(out)
+}
+
+fn dispatch(args: &ParsedArgs) -> CmdResult {
     match args.command.as_str() {
         "help" | "--help" | "-h" => Ok(help_text()),
         "generate" => cmd_generate(args),
@@ -40,6 +50,7 @@ pub fn run(args: &ParsedArgs) -> CmdResult {
         "dimension" => cmd_dimension(args),
         "lint" => cmd_lint(args),
         "diff" => cmd_diff(args),
+        "trace" => crate::obs::cmd_trace(args),
         other => Err(Box::new(ParseArgsError(format!(
             "unknown command `{other}`; try `carta help`"
         )))),
@@ -76,10 +87,18 @@ COMMANDS
   lint         structural review of a K-Matrix
   diff         compare two matrices' analyses message by message
                  carta diff <before.csv> <after.csv> [--scenario ...]
+  trace        replay the span trace of a previous --trace run
+                 carta trace [<trace.jsonl>] [--limit <n>]
 
 GLOBAL FLAGS
-  --jobs <n>   worker threads for sweep/optimizer evaluation
-               (default: the CARTA_JOBS env var, else all cores)
+  --jobs <n>           worker threads for sweep/optimizer evaluation
+                       (default: the CARTA_JOBS env var, else all cores)
+  --metrics            append a metrics table (cache hit rate, RTA
+                       iteration counts, per-phase wall times, ...)
+  --metrics-json <p>   write the same metrics as JSON (schema
+                       carta.metrics.v1) to <p>
+  --trace [<p>]        record a span trace as JSONL (default path:
+                       <tmp>/carta-last-trace.jsonl)
 
 Use `-` as the K-Matrix path to analyze the built-in case study.
 "
@@ -97,6 +116,7 @@ fn load_matrix(path: &str) -> Result<KMatrix, Box<dyn Error>> {
 }
 
 fn load_network(args: &ParsedArgs) -> Result<CanNetwork, Box<dyn Error>> {
+    let _phase = PhaseGuard::new("load");
     let path = args.required_positional("K-Matrix path (or `-`)")?;
     let matrix = load_matrix(path)?;
     let mut net = matrix.to_network()?;
@@ -130,7 +150,9 @@ fn parallelism_from(args: &ParsedArgs) -> Result<Parallelism, Box<dyn Error>> {
 
 /// One evaluation engine per invocation, honoring `--jobs`.
 fn evaluator_from(args: &ParsedArgs) -> Result<Evaluator, Box<dyn Error>> {
-    Ok(Evaluator::new(parallelism_from(args)?))
+    Ok(Evaluator::builder()
+        .parallelism(parallelism_from(args)?)
+        .build())
 }
 
 fn scenario_from(args: &ParsedArgs) -> Result<Scenario, Box<dyn Error>> {
@@ -189,7 +211,12 @@ fn cmd_load(args: &ParsedArgs) -> CmdResult {
 fn cmd_analyze(args: &ParsedArgs) -> CmdResult {
     let net = load_network(args)?;
     let scenario = scenario_from(args)?;
-    let report = scenario.analyze(&net)?;
+    let eval = evaluator_from(args)?;
+    let report = {
+        let _phase = PhaseGuard::new("analyze");
+        eval.evaluate(&SystemVariant::new(BaseSystem::new(net), scenario.clone()))?
+    };
+    let _phase = PhaseGuard::new("render");
     let mut table = Table::new(["message", "id", "WCRT", "BCRT", "deadline", "verdict"]);
     for m in &report.messages {
         table.row([
@@ -227,7 +254,11 @@ fn cmd_loss(args: &ParsedArgs) -> CmdResult {
     let scenario = scenario_from(args)?;
     let eval = evaluator_from(args)?;
     let grid = paper_jitter_grid();
-    let curve = loss_vs_jitter_with(&eval, &net, &scenario, &grid)?;
+    let curve = {
+        let _phase = PhaseGuard::new("analyze");
+        eval.loss_vs_jitter(&net, &scenario, &grid)?
+    };
+    let _phase = PhaseGuard::new("render");
     let mut table = Table::new(["jitter %", "lost", "of", "fraction"]);
     for p in &curve.points {
         table.row([
@@ -252,7 +283,11 @@ fn cmd_sensitivity(args: &ParsedArgs) -> CmdResult {
     let eval = evaluator_from(args)?;
     let grid = paper_jitter_grid();
     let only = args.flag("message").map(|m| vec![m]);
-    let series = response_vs_jitter_with(&eval, &net, &scenario, &grid, only.as_deref())?;
+    let series = {
+        let _phase = PhaseGuard::new("analyze");
+        eval.response_vs_jitter(&net, &scenario, &grid, only.as_deref())?
+    };
+    let _phase = PhaseGuard::new("render");
     let mut table = Table::new(["message", "class", "WCRT @0%", "WCRT @60%"]);
     for s in &series {
         let first = s.points.first().and_then(|(_, r)| *r);
@@ -301,9 +336,13 @@ fn cmd_audsley(args: &ParsedArgs) -> CmdResult {
 fn cmd_optimize(args: &ParsedArgs) -> CmdResult {
     use carta_optim::canid::{optimize_can_ids, OptimizeIdsConfig};
     use carta_optim::spea2::Spea2Config;
-    let path = args.required_positional("K-Matrix path (or `-`)")?;
-    let matrix = load_matrix(path)?;
-    let net = matrix.to_network()?;
+    let (matrix, net) = {
+        let _phase = PhaseGuard::new("load");
+        let path = args.required_positional("K-Matrix path (or `-`)")?;
+        let matrix = load_matrix(path)?;
+        let net = matrix.to_network()?;
+        (matrix, net)
+    };
     let population = args.numeric_flag("population", 60usize)?;
     let generations = args.numeric_flag("generations", 40usize)?;
     let config = OptimizeIdsConfig {
@@ -316,7 +355,10 @@ fn cmd_optimize(args: &ParsedArgs) -> CmdResult {
         parallelism: parallelism_from(args)?,
         ..OptimizeIdsConfig::default()
     };
-    let result = optimize_can_ids(&net, &config);
+    let result = {
+        let _phase = PhaseGuard::new("analyze");
+        optimize_can_ids(&net, &config)
+    };
     if args.has_flag("emit-csv") {
         // Re-emit the matrix with the optimized identifiers.
         let mut out_matrix = matrix.clone();
@@ -332,17 +374,12 @@ fn cmd_optimize(args: &ParsedArgs) -> CmdResult {
         "SPEA2 finished: {} evaluations, winner objectives {:?}",
         result.archive.evaluations, result.objectives
     )?;
-    writeln!(
-        out,
-        "engine cache: {:.0} % hit rate ({} hits, {} analyses)",
-        result.cache.hit_rate() * 100.0,
-        result.cache.hits,
-        result.cache.misses
-    )?;
+    writeln!(out, "{}", cache_stats_line(&result.cache))?;
     let eval = evaluator_from(args)?;
     let grid = paper_jitter_grid();
-    let before = loss_vs_jitter_with(&eval, &net, &Scenario::worst_case(), &grid)?;
-    let after = loss_vs_jitter_with(&eval, &result.optimized, &Scenario::worst_case(), &grid)?;
+    let before = eval.loss_vs_jitter(&net, &Scenario::worst_case(), &grid)?;
+    let after = eval.loss_vs_jitter(&result.optimized, &Scenario::worst_case(), &grid)?;
+    let _phase = PhaseGuard::new("render");
     let mut table = Table::new(["jitter %", "loss before", "loss after"]);
     for (b, a) in before.points.iter().zip(&after.points) {
         table.row([
@@ -425,7 +462,7 @@ fn cmd_simulate(args: &ParsedArgs) -> CmdResult {
 
 fn cmd_dimension(args: &ParsedArgs) -> CmdResult {
     use carta_explore::extensibility::EcuTemplate;
-    use carta_explore::network_choice::{cheapest_sufficient, compare_bit_rates};
+    use carta_explore::network_choice::cheapest_sufficient;
     let net = load_network(args)?;
     let scenario = scenario_from(args)?;
     let rates: Vec<u64> = match args.flag("rates") {
@@ -440,7 +477,12 @@ fn cmd_dimension(args: &ParsedArgs) -> CmdResult {
             })
             .collect::<Result<_, _>>()?,
     };
-    let options = compare_bit_rates(&net, &scenario, &rates, &EcuTemplate::default())?;
+    let eval = evaluator_from(args)?;
+    let options = {
+        let _phase = PhaseGuard::new("analyze");
+        eval.compare_bit_rates(&net, &scenario, &rates, &EcuTemplate::default())?
+    };
+    let _phase = PhaseGuard::new("render");
     let mut table = Table::new([
         "kbit/s",
         "load",
@@ -690,6 +732,79 @@ mod tests {
         let err = run_line(&["diff", base.to_str().expect("utf8")]).expect_err("one path");
         assert!(err.to_string().contains("two"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_flag_appends_table() {
+        let out = run_line(&["analyze", "-", "--metrics"]).expect("runs");
+        assert!(out.contains("== metrics =="), "{out}");
+        assert!(out.contains("derived.cache_hit_rate"), "{out}");
+        assert!(out.contains("derived.points_per_s"), "{out}");
+        assert!(out.contains("wall_ms"), "{out}");
+        assert!(out.contains("phase.analyze.wall_ns"), "{out}");
+    }
+
+    #[test]
+    fn metrics_json_writes_schema_document() {
+        let dir = std::env::temp_dir().join("carta_cli_metrics_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("metrics.json");
+        let out =
+            run_line(&["loss", "-", "--metrics-json", path.to_str().expect("utf8")]).expect("runs");
+        assert!(out.contains("metrics written to"), "{out}");
+        let text = std::fs::read_to_string(&path).expect("written");
+        let doc = carta_obs::json::parse(&text).expect("valid json");
+        assert_eq!(
+            doc.get("schema").and_then(carta_obs::json::Value::as_str),
+            Some("carta.metrics.v1")
+        );
+        assert_eq!(
+            doc.get("command").and_then(carta_obs::json::Value::as_str),
+            Some("loss")
+        );
+        assert!(doc.get("wall_ms").is_some());
+        assert!(doc
+            .get("metrics")
+            .and_then(|m| m.get("engine.cache.misses"))
+            .is_some());
+        assert!(doc
+            .get("derived")
+            .and_then(|d| d.get("points_per_s"))
+            .is_some());
+        std::fs::remove_dir_all(&dir).ok();
+        let err = run_line(&["loss", "-", "--metrics-json"]).expect_err("needs path");
+        assert!(err.to_string().contains("--metrics-json"));
+    }
+
+    #[test]
+    fn trace_flag_writes_replayable_file() {
+        let dir = std::env::temp_dir().join("carta_cli_trace_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("trace.jsonl");
+        let out =
+            run_line(&["analyze", "-", "--trace", path.to_str().expect("utf8")]).expect("runs");
+        assert!(out.contains("trace written to"), "{out}");
+        assert!(path.exists());
+        let replay =
+            run_line(&["trace", path.to_str().expect("utf8"), "--limit", "5"]).expect("replays");
+        assert!(
+            replay.contains("rta.bus") || replay.contains("more events") || replay.contains("us"),
+            "{replay}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+        let err = run_line(&["trace", "/nonexistent/trace.jsonl"]).expect_err("missing");
+        assert!(err.to_string().contains("cannot read trace"));
+    }
+
+    #[test]
+    fn help_lists_observability() {
+        let text = help_text();
+        assert!(text.contains("trace"), "help misses `trace`");
+        assert!(text.contains("--metrics"), "help misses `--metrics`");
+        assert!(
+            text.contains("--metrics-json"),
+            "help misses `--metrics-json`"
+        );
     }
 
     #[test]

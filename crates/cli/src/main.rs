@@ -4,6 +4,7 @@
 
 mod args;
 mod commands;
+mod obs;
 mod render;
 
 use std::process::ExitCode;

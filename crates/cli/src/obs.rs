@@ -1,0 +1,407 @@
+//! CLI observability plumbing: the global `--metrics`,
+//! `--metrics-json <path>` and `--trace [<path>]` flags, and the
+//! `carta trace` replay subcommand.
+//!
+//! Every command runs inside an [`ObsSession`]. When any of the flags
+//! is present the session switches the global metrics registry on
+//! (and/or installs a JSONL span sink), snapshots the registry before
+//! the command, and reports the **delta** afterwards — so the numbers
+//! describe this invocation, not the process lifetime.
+//!
+//! ## `--metrics-json` schema (`carta.metrics.v1`)
+//!
+//! One JSON object:
+//!
+//! ```json
+//! {
+//!   "schema": "carta.metrics.v1",
+//!   "command": "loss",
+//!   "wall_ms": 12.7,
+//!   "metrics": {
+//!     "engine.cache.hits": 13,
+//!     "engine.batch.queue_depth": {"count": 1, "sum": 13, "min": 13,
+//!                                   "max": 13, "p50": 13, "p99": 13,
+//!                                   "mean": 13.0},
+//!     "rta.iterations": 5301
+//!   },
+//!   "derived": {"cache_hit_rate": 0.5, "points_per_s": 1023.9}
+//! }
+//! ```
+//!
+//! `metrics` maps every metric name touched during the run to its
+//! delta: counters and gauges to numbers, histograms to
+//! `{count, sum, min, max, p50, p99, mean}` objects.
+
+use crate::args::{ParseArgsError, ParsedArgs};
+use crate::render::Table;
+use carta_obs::json::{self, ObjectBuilder, Value};
+use carta_obs::metrics::{self, MetricValue, MetricsSnapshot};
+use carta_obs::trace::JsonlSink;
+use std::error::Error;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Where `--trace` writes when no path is given, and where
+/// `carta trace` reads from by default.
+pub fn default_trace_path() -> PathBuf {
+    std::env::temp_dir().join("carta-last-trace.jsonl")
+}
+
+/// Observability state of one CLI invocation.
+#[derive(Debug)]
+pub struct ObsSession {
+    print_table: bool,
+    json_path: Option<PathBuf>,
+    trace_path: Option<PathBuf>,
+    before: MetricsSnapshot,
+    start: Instant,
+}
+
+impl ObsSession {
+    /// Reads the global observability flags and, when any is present,
+    /// enables collection before the command runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a valueless `--metrics-json` or when the
+    /// trace sink file cannot be created.
+    pub fn start(args: &ParsedArgs) -> Result<Self, Box<dyn Error>> {
+        let print_table = args.has_flag("metrics");
+        let json_path = match args.flag("metrics-json") {
+            None => None,
+            Some("") => {
+                return Err(Box::new(ParseArgsError(
+                    "--metrics-json needs a file path".into(),
+                )))
+            }
+            Some(path) => Some(PathBuf::from(path)),
+        };
+        let trace_path = match args.flag("trace") {
+            None => None,
+            Some("") => Some(default_trace_path()),
+            Some(path) => Some(PathBuf::from(path)),
+        };
+        if print_table || json_path.is_some() {
+            metrics::set_enabled(true);
+        }
+        if let Some(path) = &trace_path {
+            let sink = JsonlSink::create(path)
+                .map_err(|e| ParseArgsError(format!("cannot create trace file: {e}")))?;
+            carta_obs::trace::install(Arc::new(sink));
+        }
+        Ok(ObsSession {
+            print_table,
+            json_path,
+            trace_path,
+            before: metrics::global().snapshot(),
+            start: Instant::now(),
+        })
+    }
+
+    /// `true` when no observability flag was given (the session is a
+    /// no-op and `finish` appends nothing).
+    pub fn is_inert(&self) -> bool {
+        !self.print_table && self.json_path.is_none() && self.trace_path.is_none()
+    }
+
+    /// Closes the session: flushes the trace sink, writes the JSON
+    /// report and appends the human-readable metrics table and file
+    /// notes to `out`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing the JSON report.
+    pub fn finish(self, command: &str, out: &mut String) -> Result<(), Box<dyn Error>> {
+        if self.is_inert() {
+            return Ok(());
+        }
+        let wall = self.start.elapsed();
+        if let Some(path) = &self.trace_path {
+            carta_obs::trace::uninstall();
+            writeln!(
+                out,
+                "\ntrace written to {} (replay with `carta trace {}`)",
+                path.display(),
+                path.display()
+            )?;
+        }
+        if !self.print_table && self.json_path.is_none() {
+            return Ok(());
+        }
+        let delta = metrics::global().snapshot().delta(&self.before);
+        let derived = Derived::from(&delta, wall.as_secs_f64());
+        if let Some(path) = &self.json_path {
+            std::fs::write(
+                path,
+                metrics_json(command, wall.as_secs_f64(), &delta, &derived),
+            )?;
+            writeln!(out, "\nmetrics written to {}", path.display())?;
+        }
+        if self.print_table {
+            out.push('\n');
+            out.push_str(&metrics_table(wall.as_secs_f64(), &delta, &derived));
+        }
+        Ok(())
+    }
+}
+
+/// Headline numbers computed from the snapshot delta.
+#[derive(Debug)]
+struct Derived {
+    cache_hit_rate: f64,
+    points_per_s: f64,
+}
+
+impl Derived {
+    fn from(delta: &MetricsSnapshot, wall_s: f64) -> Self {
+        let hits = delta.counter("engine.cache.hits").unwrap_or(0);
+        let misses = delta.counter("engine.cache.misses").unwrap_or(0);
+        let cache_hit_rate = if hits + misses > 0 {
+            hits as f64 / (hits + misses) as f64
+        } else {
+            0.0
+        };
+        // Sweep points where a sweep ran; otherwise every evaluation
+        // (cached or analyzed) counts as a point.
+        let points = match delta.counter("sweep.points") {
+            Some(p) if p > 0 => p,
+            _ => hits + misses,
+        };
+        let points_per_s = if wall_s > 0.0 {
+            points as f64 / wall_s
+        } else {
+            0.0
+        };
+        Derived {
+            cache_hit_rate,
+            points_per_s,
+        }
+    }
+}
+
+/// Renders the human-readable `--metrics` table.
+fn metrics_table(wall_s: f64, delta: &MetricsSnapshot, derived: &Derived) -> String {
+    let mut table = Table::new(["metric", "value"]);
+    for (name, value) in &delta.values {
+        match value {
+            MetricValue::Counter(v) => {
+                table.row([name.clone(), v.to_string()]);
+            }
+            MetricValue::Gauge(v) => {
+                table.row([name.clone(), format!("{v:.3}")]);
+            }
+            MetricValue::Histogram(h) => {
+                if h.count == 0 {
+                    continue;
+                }
+                table.row([
+                    name.clone(),
+                    format!(
+                        "count {}  mean {:.1}  p50 {}  p99 {}  max {}",
+                        h.count,
+                        h.mean(),
+                        h.p50,
+                        h.p99,
+                        h.max
+                    ),
+                ]);
+            }
+        }
+    }
+    table.row([
+        "derived.cache_hit_rate".to_string(),
+        format!("{:.1} %", derived.cache_hit_rate * 100.0),
+    ]);
+    table.row([
+        "derived.points_per_s".to_string(),
+        format!("{:.1}", derived.points_per_s),
+    ]);
+    table.row(["wall_ms".to_string(), format!("{:.1}", wall_s * 1000.0)]);
+    format!("== metrics ==\n{}", table.render())
+}
+
+/// Builds the `carta.metrics.v1` JSON document.
+fn metrics_json(command: &str, wall_s: f64, delta: &MetricsSnapshot, derived: &Derived) -> String {
+    let derived_obj = ObjectBuilder::new()
+        .num("cache_hit_rate", derived.cache_hit_rate)
+        .num("points_per_s", derived.points_per_s)
+        .build();
+    let mut doc = ObjectBuilder::new()
+        .string("schema", "carta.metrics.v1")
+        .string("command", command)
+        .num("wall_ms", wall_s * 1000.0)
+        .raw("metrics", &delta.to_json())
+        .raw("derived", &derived_obj)
+        .build();
+    doc.push('\n');
+    doc
+}
+
+/// The `carta trace` subcommand: replays a JSONL trace written by
+/// `--trace` as an indented, per-thread timeline.
+///
+/// # Errors
+///
+/// Returns an error when the file is missing or a line is not valid
+/// trace JSON.
+pub fn cmd_trace(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
+    let default = default_trace_path();
+    let path: &Path = match args.positional.first() {
+        Some(p) => Path::new(p),
+        None => &default,
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        ParseArgsError(format!(
+            "cannot read trace `{}`: {e} (write one with any command plus --trace)",
+            path.display()
+        ))
+    })?;
+    let limit = args.numeric_flag("limit", usize::MAX)?;
+    let mut out = String::new();
+    let mut shown = 0usize;
+    let mut total = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        total += 1;
+        if shown >= limit {
+            continue;
+        }
+        let event = json::parse(line).map_err(|e| {
+            ParseArgsError(format!(
+                "{}:{}: invalid trace line: {e}",
+                path.display(),
+                lineno + 1
+            ))
+        })?;
+        writeln!(out, "{}", render_event(&event))?;
+        shown += 1;
+    }
+    if shown < total {
+        writeln!(out, "... {} more events (raise --limit)", total - shown)?;
+    }
+    if total == 0 {
+        writeln!(out, "trace {} is empty", path.display())?;
+    }
+    Ok(out)
+}
+
+/// One replayed trace line: time, thread, indentation by span depth,
+/// kind marker, name and fields.
+fn render_event(event: &Value) -> String {
+    let kind = event.get("kind").and_then(Value::as_str).unwrap_or("?");
+    let name = event.get("name").and_then(Value::as_str).unwrap_or("?");
+    let depth = event.get("depth").and_then(Value::as_f64).unwrap_or(0.0) as usize;
+    let thread = event.get("thread").and_then(Value::as_str).unwrap_or("?");
+    let t_us = event.get("t_ns").and_then(Value::as_f64).unwrap_or(0.0) / 1000.0;
+    let marker = match kind {
+        "enter" => ">",
+        "exit" => "<",
+        _ => "*",
+    };
+    let mut line = format!(
+        "{t_us:>12.1} us  {thread:<12} {indent}{marker} {name}",
+        indent = "  ".repeat(depth.min(20)),
+    );
+    if let Some(fields) = event.get("fields").and_then(Value::as_obj) {
+        for (k, v) in fields {
+            match v {
+                Value::Str(s) => {
+                    let _ = write!(line, " {k}={s}");
+                }
+                Value::Num(n) => {
+                    let _ = write!(line, " {k}={}", json::number(*n));
+                }
+                other => {
+                    let _ = write!(line, " {k}={other:?}");
+                }
+            }
+        }
+    }
+    if let Some(dur) = event.get("dur_ns").and_then(Value::as_f64) {
+        let _ = write!(line, " ({:.1} us)", dur / 1000.0);
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates_from_counters() {
+        let mut delta = MetricsSnapshot {
+            values: Default::default(),
+        };
+        delta
+            .values
+            .insert("engine.cache.hits".into(), MetricValue::Counter(3));
+        delta
+            .values
+            .insert("engine.cache.misses".into(), MetricValue::Counter(1));
+        let d = Derived::from(&delta, 2.0);
+        assert!((d.cache_hit_rate - 0.75).abs() < 1e-12);
+        assert!((d.points_per_s - 2.0).abs() < 1e-12);
+        // Sweep points take precedence when present.
+        delta
+            .values
+            .insert("sweep.points".into(), MetricValue::Counter(26));
+        let d = Derived::from(&delta, 2.0);
+        assert!((d.points_per_s - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_delta_has_zero_rates() {
+        let delta = MetricsSnapshot {
+            values: Default::default(),
+        };
+        let d = Derived::from(&delta, 1.0);
+        assert_eq!(d.cache_hit_rate, 0.0);
+        assert_eq!(d.points_per_s, 0.0);
+    }
+
+    #[test]
+    fn metrics_json_document_parses_and_has_schema() {
+        let mut delta = MetricsSnapshot {
+            values: Default::default(),
+        };
+        delta
+            .values
+            .insert("engine.cache.hits".into(), MetricValue::Counter(5));
+        let derived = Derived::from(&delta, 0.5);
+        let doc = metrics_json("loss", 0.5, &delta, &derived);
+        let parsed = json::parse(&doc).expect("valid json");
+        assert_eq!(
+            parsed.get("schema").and_then(Value::as_str),
+            Some("carta.metrics.v1")
+        );
+        assert_eq!(parsed.get("command").and_then(Value::as_str), Some("loss"));
+        assert_eq!(
+            parsed
+                .get("metrics")
+                .and_then(|m| m.get("engine.cache.hits"))
+                .and_then(Value::as_f64),
+            Some(5.0)
+        );
+        assert!(parsed
+            .get("derived")
+            .and_then(|d| d.get("cache_hit_rate"))
+            .is_some());
+    }
+
+    #[test]
+    fn event_rendering_is_indented_by_depth() {
+        let line = render_event(
+            &json::parse(
+                r#"{"kind":"enter","name":"rta.bus","depth":2,"thread":"main","t_ns":1500,
+                    "fields":{"msgs":64}}"#,
+            )
+            .expect("valid"),
+        );
+        assert!(line.contains("    > rta.bus"), "{line}");
+        assert!(line.contains("msgs=64"), "{line}");
+    }
+}

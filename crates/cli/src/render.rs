@@ -1,5 +1,18 @@
 //! Plain-text table rendering for CLI output.
 
+use carta_engine::prelude::CacheStats;
+
+/// The one-line engine cache summary every subcommand prints the same
+/// way (hit rate, hits, fresh analyses, contended/evicted shards).
+pub fn cache_stats_line(stats: &CacheStats) -> String {
+    format!(
+        "engine cache: {:.0} % hit rate ({} hits, {} analyses)",
+        stats.hit_rate() * 100.0,
+        stats.hits,
+        stats.misses
+    )
+}
+
 /// A simple left-padded column table.
 #[derive(Debug, Default)]
 pub struct Table {
@@ -84,6 +97,19 @@ mod tests {
         assert!(lines[3].starts_with("x "));
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn cache_line_reports_hit_rate() {
+        let stats = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..CacheStats::default()
+        };
+        let line = cache_stats_line(&stats);
+        assert!(line.contains("75 % hit rate"), "{line}");
+        assert!(line.contains("3 hits"), "{line}");
+        assert!(line.contains("1 analyses"), "{line}");
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! End-to-end contract for the `--metrics-json` document: run the real
+//! `carta` binary and assert the `carta.metrics.v1` schema holds — the
+//! same validation the CI observability job performs.
+
+use carta_obs::json::{self, Value};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn carta() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_carta"))
+}
+
+fn temp_file(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("carta_metrics_schema_test");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir.join(name)
+}
+
+fn run_with_metrics_json(args: &[&str], path: &PathBuf) -> Value {
+    let output = carta()
+        .args(args)
+        .arg("--metrics-json")
+        .arg(path)
+        .output()
+        .expect("binary runs");
+    assert!(
+        output.status.success(),
+        "carta {args:?} failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let text = std::fs::read_to_string(path).expect("metrics file written");
+    json::parse(&text).expect("metrics file is valid JSON")
+}
+
+#[test]
+fn loss_metrics_document_has_required_keys() {
+    let path = temp_file("loss.json");
+    let doc = run_with_metrics_json(&["loss", "-"], &path);
+
+    assert_eq!(
+        doc.get("schema").and_then(Value::as_str),
+        Some("carta.metrics.v1")
+    );
+    assert_eq!(doc.get("command").and_then(Value::as_str), Some("loss"));
+    assert!(
+        doc.get("wall_ms").and_then(Value::as_f64).is_some(),
+        "wall_ms missing"
+    );
+
+    let metrics = doc
+        .get("metrics")
+        .and_then(Value::as_obj)
+        .expect("metrics map");
+    for key in [
+        "engine.cache.hits",
+        "engine.cache.misses",
+        "rta.iterations",
+        "sweep.runs",
+        "sweep.points",
+        "phase.load.wall_ns",
+        "phase.analyze.wall_ns",
+        "phase.render.wall_ns",
+    ] {
+        assert!(metrics.contains_key(key), "metrics missing `{key}`");
+    }
+    // A 14-point loss sweep analyzes at least one variant per point.
+    let misses = metrics
+        .get("engine.cache.misses")
+        .and_then(Value::as_f64)
+        .expect("counter is a number");
+    assert!(misses >= 1.0, "no analyses recorded: {misses}");
+
+    let derived = doc
+        .get("derived")
+        .and_then(Value::as_obj)
+        .expect("derived map");
+    for key in ["cache_hit_rate", "points_per_s"] {
+        let v = derived
+            .get(key)
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| panic!("derived missing `{key}`"));
+        assert!(v.is_finite() && v >= 0.0, "derived.{key} = {v}");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn analyze_metrics_and_trace_round_trip() {
+    let json_path = temp_file("analyze.json");
+    let trace_path = temp_file("analyze-trace.jsonl");
+    let output = carta()
+        .args(["analyze", "-", "--metrics"])
+        .arg("--metrics-json")
+        .arg(&json_path)
+        .arg("--trace")
+        .arg(&trace_path)
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("== metrics =="), "{stdout}");
+    assert!(stdout.contains("trace written to"), "{stdout}");
+
+    let doc =
+        json::parse(&std::fs::read_to_string(&json_path).expect("written")).expect("valid JSON");
+    assert_eq!(doc.get("command").and_then(Value::as_str), Some("analyze"));
+
+    // Every line of the trace file is standalone JSON, and the replay
+    // subcommand accepts it.
+    let trace = std::fs::read_to_string(&trace_path).expect("trace written");
+    assert!(trace.lines().count() >= 2, "trace too short:\n{trace}");
+    for line in trace.lines() {
+        json::parse(line).expect("trace line is valid JSON");
+    }
+    let replay = carta()
+        .arg("trace")
+        .arg(&trace_path)
+        .output()
+        .expect("binary runs");
+    assert!(replay.status.success());
+    assert!(
+        String::from_utf8_lossy(&replay.stdout).contains("rta.bus"),
+        "replay misses rta.bus span"
+    );
+    std::fs::remove_file(&json_path).ok();
+    std::fs::remove_file(&trace_path).ok();
+}

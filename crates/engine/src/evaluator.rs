@@ -9,11 +9,14 @@ use crate::variant::{SystemVariant, VariantKey};
 use carta_can::network::CanNetwork;
 use carta_can::rta::{analyze_bus, analyze_bus_incremental, hp_index_sets, BusReport};
 use carta_core::analysis::AnalysisError;
+use carta_obs::metrics::{self, Counter, Histogram, MetricsRegistry};
+use carta_obs::span;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, TryLockError};
+use std::time::Instant;
 
 /// Result of one evaluation: the analysis report, or the model error
 /// (also cached — a malformed base fails identically every time).
@@ -121,15 +124,134 @@ thread_local! {
     static SCRATCH: RefCell<Option<(u64, CanNetwork)>> = const { RefCell::new(None) };
 }
 
+/// Pre-resolved metric handles for the engine's hot paths.
+///
+/// Handles are resolved once at evaluator construction so the per-point
+/// cost while recording is a handful of relaxed atomic adds — and while
+/// *not* recording, a single relaxed load in [`EngineMetrics::active`].
+struct EngineMetrics {
+    /// `true` when an explicit registry was bound via
+    /// [`EvaluatorBuilder::metrics`]: recording is then unconditional.
+    /// Otherwise the handles point into [`metrics::global`] and record
+    /// only while [`metrics::enabled`].
+    explicit: bool,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    contention: Arc<Counter>,
+    evictions: Arc<Counter>,
+    eval_wall_ns: Arc<Histogram>,
+    batch_runs: Arc<Counter>,
+    batch_points: Arc<Counter>,
+    batch_wall_ns: Arc<Histogram>,
+    queue_depth: Arc<Histogram>,
+}
+
+impl EngineMetrics {
+    fn bind(registry: &MetricsRegistry, explicit: bool) -> Self {
+        EngineMetrics {
+            explicit,
+            hits: registry.counter("engine.cache.hits"),
+            misses: registry.counter("engine.cache.misses"),
+            contention: registry.counter("engine.cache.contention"),
+            evictions: registry.counter("engine.cache.evictions"),
+            eval_wall_ns: registry.histogram("engine.eval.wall_ns"),
+            batch_runs: registry.counter("engine.batch.runs"),
+            batch_points: registry.counter("engine.batch.points"),
+            batch_wall_ns: registry.histogram("engine.batch.wall_ns"),
+            queue_depth: registry.histogram("engine.batch.queue_depth"),
+        }
+    }
+
+    #[inline]
+    fn active(&self) -> bool {
+        self.explicit || metrics::enabled()
+    }
+}
+
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Configures and constructs an [`Evaluator`] — the one way CLI, optim
+/// and benches build one.
+///
+/// ```
+/// use carta_engine::evaluator::Evaluator;
+///
+/// let evaluator = Evaluator::builder().jobs(2).cache_capacity(10_000).build();
+/// assert_eq!(evaluator.parallelism().jobs(), 2);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct EvaluatorBuilder {
+    parallelism: Option<Parallelism>,
+    cache_capacity: Option<usize>,
+    metrics: Option<Arc<MetricsRegistry>>,
+}
+
+impl EvaluatorBuilder {
+    /// Exactly `jobs` worker threads (clamped to at least one).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.parallelism = Some(Parallelism::new(jobs));
+        self
+    }
+
+    /// A pre-resolved [`Parallelism`] (e.g. from
+    /// [`Parallelism::resolve`]). Later of `jobs`/`parallelism` wins.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = Some(parallelism);
+        self
+    }
+
+    /// Bounds the memo cache to roughly `capacity` entries. When a
+    /// cache shard outgrows its share the whole shard is cleared (a
+    /// deterministic, correctness-neutral policy: evicted variants are
+    /// simply re-analysed on their next request). Unbounded by default.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = Some(capacity);
+        self
+    }
+
+    /// Records engine metrics into `registry` unconditionally, instead
+    /// of into the global registry gated on [`metrics::enabled`].
+    pub fn metrics(mut self, registry: &Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry.clone());
+        self
+    }
+
+    /// Builds the evaluator. Defaults: [`Parallelism::from_env`],
+    /// unbounded cache, global-registry metrics.
+    pub fn build(self) -> Evaluator {
+        let metrics = match &self.metrics {
+            Some(registry) => EngineMetrics::bind(registry, true),
+            None => EngineMetrics::bind(metrics::global(), false),
+        };
+        Evaluator {
+            parallelism: self.parallelism.unwrap_or_else(Parallelism::from_env),
+            // Per-shard budget; a capacity below SHARDS still keeps one
+            // entry per shard rather than thrashing on every insert.
+            shard_capacity: self.cache_capacity.map(|c| (c / SHARDS).max(1)),
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            anchors: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            messages_reused: AtomicU64::new(0),
+            messages_recomputed: AtomicU64::new(0),
+            metrics,
+        }
+    }
+}
+
 /// Batched, memoized, parallel variant evaluation.
 pub struct Evaluator {
     parallelism: Parallelism,
+    shard_capacity: Option<usize>,
     shards: Vec<Mutex<HashMap<VariantKey, EvalResult>>>,
     anchors: Mutex<HashMap<VariantKey, Arc<Anchor>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     messages_reused: AtomicU64,
     messages_recomputed: AtomicU64,
+    metrics: EngineMetrics,
 }
 
 impl std::fmt::Debug for Evaluator {
@@ -148,17 +270,15 @@ impl Default for Evaluator {
 }
 
 impl Evaluator {
+    /// Starts configuring an evaluator; see [`EvaluatorBuilder`].
+    pub fn builder() -> EvaluatorBuilder {
+        EvaluatorBuilder::default()
+    }
+
     /// An evaluator with an empty cache and the given parallelism.
+    /// Shorthand for `Evaluator::builder().parallelism(..).build()`.
     pub fn new(parallelism: Parallelism) -> Self {
-        Evaluator {
-            parallelism,
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            anchors: Mutex::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            messages_reused: AtomicU64::new(0),
-            messages_recomputed: AtomicU64::new(0),
-        }
+        Evaluator::builder().parallelism(parallelism).build()
     }
 
     /// The configured parallelism.
@@ -182,6 +302,23 @@ impl Evaluator {
         &self.shards[(h.finish() as usize) % SHARDS]
     }
 
+    /// Locks the shard holding `key`, counting contended acquisitions
+    /// while metrics are active.
+    fn lock_shard(&self, key: &VariantKey) -> MutexGuard<'_, HashMap<VariantKey, EvalResult>> {
+        let shard = self.shard(key);
+        if !self.metrics.active() {
+            return shard.lock().expect("cache poisoned");
+        }
+        match shard.try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::WouldBlock) => {
+                self.metrics.contention.inc();
+                shard.lock().expect("cache poisoned")
+            }
+            Err(TryLockError::Poisoned(_)) => panic!("cache poisoned"),
+        }
+    }
+
     /// Evaluates one variant, consulting and filling the cache.
     ///
     /// # Errors
@@ -189,20 +326,36 @@ impl Evaluator {
     /// Propagates (and caches) [`AnalysisError`] for malformed bases.
     pub fn evaluate(&self, variant: &SystemVariant) -> EvalResult {
         let key = variant.key();
-        if let Some(cached) = self.shard(&key).lock().expect("cache poisoned").get(&key) {
+        if let Some(cached) = self.lock_shard(&key).get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            if self.metrics.active() {
+                self.metrics.hits.inc();
+            }
             return cached.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        let timed = self.metrics.active();
+        if timed {
+            self.metrics.misses.inc();
+        }
+        let start = timed.then(Instant::now);
         let result = self.analyze_uncached(variant);
+        if let Some(start) = start {
+            self.metrics.eval_wall_ns.record(elapsed_ns(start));
+        }
+        let mut shard = self.lock_shard(&key);
+        if let Some(capacity) = self.shard_capacity {
+            if shard.len() >= capacity && !shard.contains_key(&key) {
+                let evicted = shard.len() as u64;
+                shard.clear();
+                if self.metrics.active() {
+                    self.metrics.evictions.add(evicted);
+                }
+            }
+        }
         // Racing threads may both compute; the first insert wins so all
         // callers share one Arc.
-        self.shard(&key)
-            .lock()
-            .expect("cache poisoned")
-            .entry(key)
-            .or_insert(result)
-            .clone()
+        shard.entry(key).or_insert(result).clone()
     }
 
     /// Evaluates a slice of variants, in parallel when both the batch
@@ -212,6 +365,26 @@ impl Evaluator {
     /// deterministic and the cache keyed structurally, so scheduling
     /// cannot change any result).
     pub fn evaluate_batch(&self, variants: &[SystemVariant]) -> Vec<EvalResult> {
+        let _span = span!(
+            "engine.batch",
+            points = variants.len(),
+            jobs = self.parallelism.jobs()
+        );
+        let timed = self.metrics.active();
+        if timed {
+            self.metrics.batch_runs.inc();
+            self.metrics.batch_points.add(variants.len() as u64);
+            self.metrics.queue_depth.record(variants.len() as u64);
+        }
+        let start = timed.then(Instant::now);
+        let out = self.evaluate_batch_inner(variants);
+        if let Some(start) = start {
+            self.metrics.batch_wall_ns.record(elapsed_ns(start));
+        }
+        out
+    }
+
+    fn evaluate_batch_inner(&self, variants: &[SystemVariant]) -> Vec<EvalResult> {
         let jobs = self.parallelism.jobs().min(variants.len());
         if jobs <= 1 {
             return variants.iter().map(|v| self.evaluate(v)).collect();
@@ -444,5 +617,70 @@ mod tests {
         assert_eq!(Parallelism::resolve(Some(3)).jobs(), 3);
         assert!(Parallelism::from_env().jobs() >= 1);
         assert_eq!(Parallelism::sequential().jobs(), 1);
+    }
+
+    #[test]
+    fn builder_configures_jobs_and_capacity() {
+        let eval = Evaluator::builder().jobs(3).cache_capacity(64).build();
+        assert_eq!(eval.parallelism().jobs(), 3);
+        assert_eq!(eval.shard_capacity, Some(4));
+        // A tiny capacity still keeps one entry per shard.
+        let tiny = Evaluator::builder().cache_capacity(1).build();
+        assert_eq!(tiny.shard_capacity, Some(1));
+    }
+
+    #[test]
+    fn bounded_cache_evicts_and_stays_correct() {
+        let base = BaseSystem::new(net(6));
+        let eval = Evaluator::builder()
+            .jobs(1)
+            .cache_capacity(SHARDS) // one entry per shard
+            .build();
+        let variants: Vec<SystemVariant> = (0..40)
+            .map(|k| {
+                SystemVariant::new(base.clone(), Scenario::worst_case())
+                    .with_jitter_ratio(k as f64 * 0.01)
+            })
+            .collect();
+        let first = eval.evaluate_batch(&variants);
+        let unbounded = Evaluator::new(Parallelism::sequential());
+        let reference = unbounded.evaluate_batch(&variants);
+        for (a, b) in first.iter().zip(&reference) {
+            let (a, b) = (a.as_ref().expect("valid"), b.as_ref().expect("valid"));
+            for (am, bm) in a.messages.iter().zip(&b.messages) {
+                assert_eq!(am.outcome, bm.outcome, "{}", am.name);
+            }
+        }
+        // With 40 distinct variants across 16 single-entry shards, some
+        // shard must have been cleared at least once.
+        assert!(
+            eval.stats().misses == 40,
+            "all distinct variants analysed: {:?}",
+            eval.stats()
+        );
+    }
+
+    #[test]
+    fn explicit_registry_mirrors_internal_counters() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let base = BaseSystem::new(net(6));
+        let eval = Evaluator::builder().jobs(2).metrics(&registry).build();
+        let variants: Vec<SystemVariant> = (0..10)
+            .map(|k| {
+                SystemVariant::new(base.clone(), Scenario::worst_case())
+                    .with_jitter_ratio((k % 5) as f64 * 0.1)
+            })
+            .collect();
+        eval.evaluate_batch(&variants);
+        eval.evaluate_batch(&variants); // warm pass: all hits
+        let stats = eval.stats();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("engine.cache.hits"), Some(stats.hits));
+        assert_eq!(snap.counter("engine.cache.misses"), Some(stats.misses));
+        assert_eq!(snap.counter("engine.batch.runs"), Some(2));
+        assert_eq!(snap.counter("engine.batch.points"), Some(20));
+        let wall = snap.histogram("engine.eval.wall_ns").expect("present");
+        assert_eq!(wall.count, stats.misses);
+        assert!(wall.sum > 0);
     }
 }

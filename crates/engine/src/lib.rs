@@ -57,7 +57,7 @@ pub mod variant;
 
 /// Convenient single import for the common types of this crate.
 pub mod prelude {
-    pub use crate::evaluator::{CacheStats, EvalResult, Evaluator, Parallelism};
+    pub use crate::evaluator::{CacheStats, EvalResult, Evaluator, EvaluatorBuilder, Parallelism};
     pub use crate::jitter::{with_assumed_unknown_jitter, with_jitter_ratio, with_scaled_jitter};
     pub use crate::scenario::{DeadlineOverride, ErrorSpec, Scenario};
     pub use crate::variant::{BaseSystem, JitterOverlay, SystemVariant, VariantKey};

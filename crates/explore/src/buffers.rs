@@ -42,21 +42,33 @@ pub struct TxBufferNeed {
 /// # Errors
 ///
 /// Propagates [`AnalysisError`] from the bus analysis.
+#[deprecated(note = "use `Evaluator` with `Sweeps::required_tx_depths` instead")]
 pub fn required_tx_depths(
     net: &CanNetwork,
     scenario: &Scenario,
 ) -> Result<Vec<TxBufferNeed>, AnalysisError> {
-    required_tx_depths_with(&Evaluator::default(), net, scenario)
+    required_tx_depths_impl(&Evaluator::default(), net, scenario)
 }
 
-/// [`required_tx_depths`] on a caller-provided [`Evaluator`], sharing
-/// its memoized analysis with other queries over the same network and
-/// scenario (the underlying report is computed once).
+/// [`required_tx_depths`] on a caller-provided [`Evaluator`].
 ///
 /// # Errors
 ///
 /// Propagates [`AnalysisError`] from the bus analysis.
+#[deprecated(note = "use `Sweeps::required_tx_depths` as a method on `Evaluator` instead")]
 pub fn required_tx_depths_with(
+    eval: &Evaluator,
+    net: &CanNetwork,
+    scenario: &Scenario,
+) -> Result<Vec<TxBufferNeed>, AnalysisError> {
+    required_tx_depths_impl(eval, net, scenario)
+}
+
+/// Shared body of [`crate::sweeps::Sweeps::required_tx_depths`],
+/// sharing the evaluator's memoized analysis with other queries over
+/// the same network and scenario (the underlying report is computed
+/// once).
+pub(crate) fn required_tx_depths_impl(
     eval: &Evaluator,
     net: &CanNetwork,
     scenario: &Scenario,
@@ -95,22 +107,36 @@ pub fn required_tx_depths_with(
 /// # Errors
 ///
 /// Propagates [`AnalysisError`] from the bus analysis.
+#[deprecated(note = "use `Evaluator` with `Sweeps::required_rx_depth` instead")]
 pub fn required_rx_depth(
     net: &CanNetwork,
     scenario: &Scenario,
     node: usize,
     drain_period: Time,
 ) -> Result<Option<u64>, AnalysisError> {
-    required_rx_depth_with(&Evaluator::default(), net, scenario, node, drain_period)
+    required_rx_depth_impl(&Evaluator::default(), net, scenario, node, drain_period)
 }
 
-/// [`required_rx_depth`] on a caller-provided [`Evaluator`] — dimension
-/// several nodes and drain periods from one memoized analysis.
+/// [`required_rx_depth`] on a caller-provided [`Evaluator`].
 ///
 /// # Errors
 ///
 /// Propagates [`AnalysisError`] from the bus analysis.
+#[deprecated(note = "use `Sweeps::required_rx_depth` as a method on `Evaluator` instead")]
 pub fn required_rx_depth_with(
+    eval: &Evaluator,
+    net: &CanNetwork,
+    scenario: &Scenario,
+    node: usize,
+    drain_period: Time,
+) -> Result<Option<u64>, AnalysisError> {
+    required_rx_depth_impl(eval, net, scenario, node, drain_period)
+}
+
+/// Shared body of [`crate::sweeps::Sweeps::required_rx_depth`] —
+/// dimension several nodes and drain periods from one memoized
+/// analysis.
+pub(crate) fn required_rx_depth_impl(
     eval: &Evaluator,
     net: &CanNetwork,
     scenario: &Scenario,
@@ -180,9 +206,13 @@ mod tests {
         net
     }
 
+    use crate::sweeps::Sweeps;
+
     #[test]
     fn single_buffer_suffices_on_a_light_bus() {
-        let needs = required_tx_depths(&net(), &Scenario::best_case()).expect("valid");
+        let needs = Evaluator::default()
+            .required_tx_depths(&net(), &Scenario::best_case())
+            .expect("valid");
         for n in &needs {
             assert_eq!(
                 n.depth,
@@ -199,7 +229,9 @@ mod tests {
         // A burst sender: 4 queuings within ~1 ms, every 40 ms.
         n.messages_mut()[0].activation =
             EventModel::burst(Time::from_ms(40), 4, Time::from_us(300));
-        let needs = required_tx_depths(&n, &Scenario::best_case()).expect("valid");
+        let needs = Evaluator::default()
+            .required_tx_depths(&n, &Scenario::best_case())
+            .expect("valid");
         let fast = needs.iter().find(|x| x.message == "fast").expect("present");
         assert!(
             fast.depth.expect("bounded") >= 2,
@@ -211,7 +243,9 @@ mod tests {
     fn overloaded_messages_have_no_finite_depth() {
         let mut n = net();
         n.messages_mut()[1].activation = EventModel::periodic(Time::from_us(400)); // > 100 %
-        let needs = required_tx_depths(&n, &Scenario::best_case()).expect("valid");
+        let needs = Evaluator::default()
+            .required_tx_depths(&n, &Scenario::best_case())
+            .expect("valid");
         let slow = needs.iter().find(|x| x.message == "slow").expect("present");
         assert_eq!(slow.depth, None);
     }
@@ -219,10 +253,13 @@ mod tests {
     #[test]
     fn rx_depth_scales_with_drain_period() {
         let n = net();
-        let quick = required_rx_depth(&n, &Scenario::best_case(), 1, Time::from_ms(5))
+        let eval = Evaluator::default();
+        let quick = eval
+            .required_rx_depth(&n, &Scenario::best_case(), 1, Time::from_ms(5))
             .expect("valid")
             .expect("bounded");
-        let lazy = required_rx_depth(&n, &Scenario::best_case(), 1, Time::from_ms(50))
+        let lazy = eval
+            .required_rx_depth(&n, &Scenario::best_case(), 1, Time::from_ms(50))
             .expect("valid")
             .expect("bounded");
         assert!(lazy > quick);
@@ -230,6 +267,8 @@ mod tests {
         // land in a window (5 ms + small response).
         assert!((2..=4).contains(&quick), "quick = {quick}");
         // Out-of-range node is an error.
-        assert!(required_rx_depth(&n, &Scenario::best_case(), 9, Time::from_ms(5)).is_err());
+        assert!(eval
+            .required_rx_depth(&n, &Scenario::best_case(), 9, Time::from_ms(5))
+            .is_err());
     }
 }

@@ -77,24 +77,23 @@ pub fn with_additional_ecus(
 ///
 /// Propagates [`AnalysisError`] from the analysis or from identifier
 /// exhaustion.
+#[deprecated(note = "use `Evaluator` with `Sweeps::max_additional_ecus` instead")]
 pub fn max_additional_ecus(
     net: &CanNetwork,
     scenario: &Scenario,
     template: &EcuTemplate,
     cap: usize,
 ) -> Result<usize, AnalysisError> {
-    max_additional_ecus_with(&Evaluator::default(), net, scenario, template, cap)
+    max_additional_ecus_impl(&Evaluator::default(), net, scenario, template, cap)
 }
 
-/// [`max_additional_ecus`] on a caller-provided [`Evaluator`]. Each
-/// probe is a structurally different network (extra ECUs), so the win
-/// here is memoization across repeated searches — e.g. the same count
-/// probed for several scenarios or templates sharing a prefix.
+/// [`max_additional_ecus`] on a caller-provided [`Evaluator`].
 ///
 /// # Errors
 ///
 /// Propagates [`AnalysisError`] from the analysis or from identifier
 /// exhaustion.
+#[deprecated(note = "use `Sweeps::max_additional_ecus` as a method on `Evaluator` instead")]
 pub fn max_additional_ecus_with(
     eval: &Evaluator,
     net: &CanNetwork,
@@ -102,6 +101,22 @@ pub fn max_additional_ecus_with(
     template: &EcuTemplate,
     cap: usize,
 ) -> Result<usize, AnalysisError> {
+    max_additional_ecus_impl(eval, net, scenario, template, cap)
+}
+
+/// Shared body of [`crate::sweeps::Sweeps::max_additional_ecus`]. Each
+/// probe is a structurally different network (extra ECUs), so the win
+/// of a shared evaluator is memoization across repeated searches —
+/// e.g. the same count probed for several scenarios or templates
+/// sharing a prefix.
+pub(crate) fn max_additional_ecus_impl(
+    eval: &Evaluator,
+    net: &CanNetwork,
+    scenario: &Scenario,
+    template: &EcuTemplate,
+    cap: usize,
+) -> Result<usize, AnalysisError> {
+    let _span = carta_obs::span!("sweep.ecu_headroom", cap = cap);
     let fits = |count: usize| -> Result<bool, AnalysisError> {
         let extended = with_additional_ecus(net, template, count)?;
         let v = SystemVariant::new(BaseSystem::new(extended), scenario.clone());
@@ -182,7 +197,10 @@ mod tests {
             period: Time::from_ms(5),
             ..EcuTemplate::default()
         };
-        let n = max_additional_ecus(&net, &Scenario::worst_case(), &template, 64).expect("valid");
+        use crate::sweeps::Sweeps;
+        let n = Evaluator::default()
+            .max_additional_ecus(&net, &Scenario::worst_case(), &template, 64)
+            .expect("valid");
         assert!(n >= 1, "at least one ECU should fit, got {n}");
         assert!(n < 64, "cannot fit unboundedly many");
         // One more than the maximum must break.

@@ -13,7 +13,9 @@
 //!   classification and slack search (Figure 4, Sec. 4.1),
 //! * [`loss`] — message-loss curves (Figure 5, Sec. 4.2),
 //! * [`extensibility`] — "how many more ECUs fit" and the
-//!   diagnosis/flashing stream of Figure 3.
+//!   diagnosis/flashing stream of Figure 3,
+//! * [`sweeps`] — the [`Sweeps`](sweeps::Sweeps) trait exposing every
+//!   exploration as a method on the engine's `Evaluator`.
 //!
 //! ```
 //! use carta_explore::prelude::*;
@@ -21,7 +23,8 @@
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let net = powertrain_default().to_network()?;
-//! let curve = loss_vs_jitter(&net, &Scenario::best_case(), &[0.0, 0.25])?;
+//! let eval = Evaluator::default();
+//! let curve = eval.loss_vs_jitter(&net, &Scenario::best_case(), &[0.0, 0.25])?;
 //! assert_eq!(curve.points[0].missed, 0); // exp. 1: zero jitter, all fine
 //! # Ok(())
 //! # }
@@ -36,6 +39,7 @@ pub mod extensibility;
 pub mod loss;
 pub mod network_choice;
 pub mod sensitivity;
+pub mod sweeps;
 
 // Scenarios and jitter transforms moved into `carta-engine` (they are
 // part of the evaluation engine's cache keys); re-exported here so
@@ -45,25 +49,29 @@ pub use carta_engine::scenario;
 
 /// Convenient single import for the common types of this crate.
 pub mod prelude {
+    pub use crate::buffers::TxBufferNeed;
+    #[allow(deprecated)]
     pub use crate::buffers::{
         required_rx_depth, required_rx_depth_with, required_tx_depths, required_tx_depths_with,
-        TxBufferNeed,
     };
     pub use crate::diff::{diff_reports, AnalysisDiff, DeltaRow, VerdictChange};
-    pub use crate::extensibility::{
-        max_additional_ecus, max_additional_ecus_with, with_additional_ecus,
-        with_diagnostic_stream, EcuTemplate,
-    };
+    #[allow(deprecated)]
+    pub use crate::extensibility::{max_additional_ecus, max_additional_ecus_with};
+    pub use crate::extensibility::{with_additional_ecus, with_diagnostic_stream, EcuTemplate};
     pub use crate::jitter::{with_assumed_unknown_jitter, with_jitter_ratio, with_scaled_jitter};
-    pub use crate::loss::{
-        loss_vs_jitter, loss_vs_jitter_with, paper_jitter_grid, LossCurve, LossPoint,
-    };
-    pub use crate::network_choice::{cheapest_sufficient, compare_bit_rates, BitRateOption};
+    #[allow(deprecated)]
+    pub use crate::loss::{loss_vs_jitter, loss_vs_jitter_with};
+    pub use crate::loss::{paper_jitter_grid, LossCurve, LossPoint};
+    #[allow(deprecated)]
+    pub use crate::network_choice::compare_bit_rates;
+    pub use crate::network_choice::{cheapest_sufficient, BitRateOption};
     pub use crate::scenario::{DeadlineOverride, ErrorSpec, Scenario};
+    #[allow(deprecated)]
     pub use crate::sensitivity::{
         max_schedulable_jitter, max_schedulable_jitter_with, response_vs_error_rate,
-        response_vs_error_rate_with, response_vs_jitter, response_vs_jitter_with, SensitivityClass,
-        SensitivitySeries,
+        response_vs_error_rate_with, response_vs_jitter, response_vs_jitter_with,
     };
-    pub use carta_engine::prelude::{CacheStats, Evaluator, Parallelism};
+    pub use crate::sensitivity::{SensitivityClass, SensitivitySeries};
+    pub use crate::sweeps::Sweeps;
+    pub use carta_engine::prelude::{CacheStats, Evaluator, EvaluatorBuilder, Parallelism};
 }

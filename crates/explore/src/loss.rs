@@ -72,28 +72,41 @@ impl LossCurve {
 ///
 /// Propagates [`AnalysisError`] from the bus analysis (per-message
 /// overload is *not* an error; overloaded messages count as lost).
+#[deprecated(note = "use `Evaluator` with `Sweeps::loss_vs_jitter` instead")]
 pub fn loss_vs_jitter(
     net: &CanNetwork,
     scenario: &Scenario,
     ratios: &[f64],
 ) -> Result<LossCurve, AnalysisError> {
-    loss_vs_jitter_with(&Evaluator::default(), net, scenario, ratios)
+    loss_vs_jitter_impl(&Evaluator::default(), net, scenario, ratios)
 }
 
-/// [`loss_vs_jitter`] on a caller-provided [`Evaluator`]: the whole
-/// ratio grid is one batch submission, so points are analyzed in
-/// parallel and repeated grids (e.g. nominal vs. optimized system on
-/// the same axis) hit the evaluator's cache.
+/// [`loss_vs_jitter`] on a caller-provided [`Evaluator`].
 ///
 /// # Errors
 ///
 /// Propagates [`AnalysisError`] from the bus analysis.
+#[deprecated(note = "use `Sweeps::loss_vs_jitter` as a method on `Evaluator` instead")]
 pub fn loss_vs_jitter_with(
     eval: &Evaluator,
     net: &CanNetwork,
     scenario: &Scenario,
     ratios: &[f64],
 ) -> Result<LossCurve, AnalysisError> {
+    loss_vs_jitter_impl(eval, net, scenario, ratios)
+}
+
+/// Shared body of [`crate::sweeps::Sweeps::loss_vs_jitter`]: the whole
+/// ratio grid is one batch submission, so points are analyzed in
+/// parallel and repeated grids (e.g. nominal vs. optimized system on
+/// the same axis) hit the evaluator's cache.
+pub(crate) fn loss_vs_jitter_impl(
+    eval: &Evaluator,
+    net: &CanNetwork,
+    scenario: &Scenario,
+    ratios: &[f64],
+) -> Result<LossCurve, AnalysisError> {
+    let _span = carta_obs::span!("sweep.loss", points = ratios.len());
     let base = BaseSystem::new(net.clone());
     let variants: Vec<SystemVariant> = ratios
         .iter()
@@ -102,12 +115,20 @@ pub fn loss_vs_jitter_with(
     let mut points = Vec::with_capacity(ratios.len());
     for (&ratio, result) in ratios.iter().zip(eval.evaluate_batch(&variants)) {
         let report = result?;
-        points.push(LossPoint {
+        let point = LossPoint {
             jitter_ratio: ratio,
             missed: report.missed_count(),
             total: report.messages.len(),
-        });
+        };
+        carta_obs::event!(
+            "sweep.point",
+            ratio = ratio,
+            missed = point.missed,
+            total = point.total
+        );
+        points.push(point);
     }
+    crate::sweeps::record_sweep_points(ratios.len());
     Ok(LossCurve {
         scenario: scenario.name.clone(),
         points,
@@ -158,10 +179,16 @@ mod tests {
 
     #[test]
     fn loss_curve_monotone_and_worst_dominates_best() {
+        use crate::sweeps::Sweeps;
         let net = loaded_net();
         let grid = paper_jitter_grid();
-        let best = loss_vs_jitter(&net, &Scenario::best_case(), &grid).expect("valid");
-        let worst = loss_vs_jitter(&net, &Scenario::worst_case(), &grid).expect("valid");
+        let eval = Evaluator::default();
+        let best = eval
+            .loss_vs_jitter(&net, &Scenario::best_case(), &grid)
+            .expect("valid");
+        let worst = eval
+            .loss_vs_jitter(&net, &Scenario::worst_case(), &grid)
+            .expect("valid");
         for w in best.points.windows(2) {
             assert!(
                 w[1].missed >= w[0].missed,

@@ -7,12 +7,13 @@
 //! candidate: load, schedulability, jitter slack and ECU headroom —
 //! the decision table an OEM would put next to the wiring-cost table.
 
-use crate::extensibility::{max_additional_ecus, EcuTemplate};
+use crate::extensibility::{max_additional_ecus_impl, EcuTemplate};
 use crate::scenario::Scenario;
-use crate::sensitivity::max_schedulable_jitter;
+use crate::sensitivity::max_schedulable_jitter_impl;
 use carta_can::frame::StuffingMode;
 use carta_can::network::CanNetwork;
 use carta_core::analysis::AnalysisError;
+use carta_engine::prelude::{BaseSystem, Evaluator, SystemVariant};
 
 /// Evaluation of one candidate bus speed.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,24 +36,44 @@ pub struct BitRateOption {
 /// # Errors
 ///
 /// Propagates [`AnalysisError`] from the underlying analyses.
+#[deprecated(note = "use `Evaluator` with `Sweeps::compare_bit_rates` instead")]
 pub fn compare_bit_rates(
     net: &CanNetwork,
     scenario: &Scenario,
     candidates: &[u64],
     template: &EcuTemplate,
 ) -> Result<Vec<BitRateOption>, AnalysisError> {
+    compare_bit_rates_impl(&Evaluator::default(), net, scenario, candidates, template)
+}
+
+/// Shared body of [`crate::sweeps::Sweeps::compare_bit_rates`]. The
+/// whole decision table — schedulability check, jitter-slack search
+/// and ECU-headroom search per candidate speed — runs through one
+/// memoized evaluator, so repeated sweeps (or overlapping candidate
+/// sets) reuse each other's analyses.
+pub(crate) fn compare_bit_rates_impl(
+    eval: &Evaluator,
+    net: &CanNetwork,
+    scenario: &Scenario,
+    candidates: &[u64],
+    template: &EcuTemplate,
+) -> Result<Vec<BitRateOption>, AnalysisError> {
+    let _span = carta_obs::span!("sweep.bit_rates", candidates = candidates.len());
     let mut options = Vec::with_capacity(candidates.len());
     for &bit_rate in candidates {
         let variant = retimed(net, bit_rate);
-        let report = scenario.analyze(&variant)?;
+        let report = eval.evaluate(&SystemVariant::new(
+            BaseSystem::new(variant.clone()),
+            scenario.clone(),
+        ))?;
         let schedulable = report.schedulable();
         let jitter_slack = if schedulable {
-            max_schedulable_jitter(&variant, scenario, 1.0, 0.02)?
+            max_schedulable_jitter_impl(eval, &variant, scenario, 1.0, 0.02)?
         } else {
             None
         };
         let ecu_headroom = if schedulable {
-            max_additional_ecus(&variant, scenario, template, 64)?
+            max_additional_ecus_impl(eval, &variant, scenario, template, 64)?
         } else {
             0
         };
@@ -64,6 +85,7 @@ pub fn compare_bit_rates(
             ecu_headroom,
         });
     }
+    crate::sweeps::record_sweep_points(candidates.len());
     Ok(options)
 }
 
@@ -113,15 +135,18 @@ mod tests {
         net
     }
 
+    use crate::sweeps::Sweeps;
+
     #[test]
     fn sweep_orders_sensibly() {
-        let options = compare_bit_rates(
-            &matrix(),
-            &Scenario::worst_case(),
-            &[50_000, 125_000, 250_000, 500_000],
-            &EcuTemplate::default(),
-        )
-        .expect("valid");
+        let options = Evaluator::default()
+            .compare_bit_rates(
+                &matrix(),
+                &Scenario::worst_case(),
+                &[50_000, 125_000, 250_000, 500_000],
+                &EcuTemplate::default(),
+            )
+            .expect("valid");
         assert_eq!(options.len(), 4);
         // Load falls with speed.
         for w in options.windows(2) {
@@ -145,13 +170,14 @@ mod tests {
 
     #[test]
     fn dimensioning_picks_cheapest_sufficient() {
-        let options = compare_bit_rates(
-            &matrix(),
-            &Scenario::worst_case(),
-            &[50_000, 125_000, 250_000, 500_000],
-            &EcuTemplate::default(),
-        )
-        .expect("valid");
+        let options = Evaluator::default()
+            .compare_bit_rates(
+                &matrix(),
+                &Scenario::worst_case(),
+                &[50_000, 125_000, 250_000, 500_000],
+                &EcuTemplate::default(),
+            )
+            .expect("valid");
         let pick = cheapest_sufficient(&options, 0.25).expect("some candidate works");
         assert!(pick.schedulable);
         assert!(pick.jitter_slack.expect("slack computed") >= 0.25);

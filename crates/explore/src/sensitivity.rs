@@ -105,23 +105,22 @@ fn empty_series(net: &CanNetwork, selected: &[usize], capacity: usize) -> Vec<Se
 /// # Errors
 ///
 /// Propagates [`AnalysisError`] from the bus analysis.
+#[deprecated(note = "use `Evaluator` with `Sweeps::response_vs_jitter` instead")]
 pub fn response_vs_jitter(
     net: &CanNetwork,
     scenario: &Scenario,
     ratios: &[f64],
     only: Option<&[&str]>,
 ) -> Result<Vec<SensitivitySeries>, AnalysisError> {
-    response_vs_jitter_with(&Evaluator::default(), net, scenario, ratios, only)
+    response_vs_jitter_impl(&Evaluator::default(), net, scenario, ratios, only)
 }
 
-/// [`response_vs_jitter`] on a caller-provided [`Evaluator`]: the whole
-/// ratio grid is submitted as one batch (parallel under the evaluator's
-/// [`carta_engine::prelude::Parallelism`]) and repeated grid points hit
-/// its cache.
+/// [`response_vs_jitter`] on a caller-provided [`Evaluator`].
 ///
 /// # Errors
 ///
 /// Propagates [`AnalysisError`] from the bus analysis.
+#[deprecated(note = "use `Sweeps::response_vs_jitter` as a method on `Evaluator` instead")]
 pub fn response_vs_jitter_with(
     eval: &Evaluator,
     net: &CanNetwork,
@@ -129,6 +128,21 @@ pub fn response_vs_jitter_with(
     ratios: &[f64],
     only: Option<&[&str]>,
 ) -> Result<Vec<SensitivitySeries>, AnalysisError> {
+    response_vs_jitter_impl(eval, net, scenario, ratios, only)
+}
+
+/// Shared body of [`crate::sweeps::Sweeps::response_vs_jitter`]: the
+/// whole ratio grid is submitted as one batch (parallel under the
+/// evaluator's [`carta_engine::prelude::Parallelism`]) and repeated
+/// grid points hit its cache.
+pub(crate) fn response_vs_jitter_impl(
+    eval: &Evaluator,
+    net: &CanNetwork,
+    scenario: &Scenario,
+    ratios: &[f64],
+    only: Option<&[&str]>,
+) -> Result<Vec<SensitivitySeries>, AnalysisError> {
+    let _span = carta_obs::span!("sweep.sensitivity", points = ratios.len());
     let selected = select(net, only);
     let mut series = empty_series(net, &selected, ratios.len());
     let base = BaseSystem::new(net.clone());
@@ -138,12 +152,14 @@ pub fn response_vs_jitter_with(
         .collect();
     for (&ratio, result) in ratios.iter().zip(eval.evaluate_batch(&variants)) {
         let report = result?;
+        carta_obs::event!("sweep.point", ratio = ratio, missed = report.missed_count());
         for (k, &i) in selected.iter().enumerate() {
             series[k]
                 .points
                 .push((ratio, report.messages[i].outcome.wcrt()));
         }
     }
+    crate::sweeps::record_sweep_points(ratios.len());
     Ok(series)
 }
 
@@ -159,21 +175,22 @@ pub fn response_vs_jitter_with(
 /// # Errors
 ///
 /// Propagates [`AnalysisError`] from the bus analysis.
+#[deprecated(note = "use `Evaluator` with `Sweeps::response_vs_error_rate` instead")]
 pub fn response_vs_error_rate(
     net: &CanNetwork,
     stuffing: carta_can::frame::StuffingMode,
     intervals: &[Time],
     only: Option<&[&str]>,
 ) -> Result<Vec<SensitivitySeries>, AnalysisError> {
-    response_vs_error_rate_with(&Evaluator::default(), net, stuffing, intervals, only)
+    response_vs_error_rate_impl(&Evaluator::default(), net, stuffing, intervals, only)
 }
 
-/// [`response_vs_error_rate`] on a caller-provided [`Evaluator`]; the
-/// interval grid is one batch submission.
+/// [`response_vs_error_rate`] on a caller-provided [`Evaluator`].
 ///
 /// # Errors
 ///
 /// Propagates [`AnalysisError`] from the bus analysis.
+#[deprecated(note = "use `Sweeps::response_vs_error_rate` as a method on `Evaluator` instead")]
 pub fn response_vs_error_rate_with(
     eval: &Evaluator,
     net: &CanNetwork,
@@ -181,6 +198,19 @@ pub fn response_vs_error_rate_with(
     intervals: &[Time],
     only: Option<&[&str]>,
 ) -> Result<Vec<SensitivitySeries>, AnalysisError> {
+    response_vs_error_rate_impl(eval, net, stuffing, intervals, only)
+}
+
+/// Shared body of [`crate::sweeps::Sweeps::response_vs_error_rate`];
+/// the interval grid is one batch submission.
+pub(crate) fn response_vs_error_rate_impl(
+    eval: &Evaluator,
+    net: &CanNetwork,
+    stuffing: carta_can::frame::StuffingMode,
+    intervals: &[Time],
+    only: Option<&[&str]>,
+) -> Result<Vec<SensitivitySeries>, AnalysisError> {
+    let _span = carta_obs::span!("sweep.error_rate", points = intervals.len());
     let selected = select(net, only);
     let mut series = empty_series(net, &selected, intervals.len());
     let base = BaseSystem::new(net.clone());
@@ -198,12 +228,18 @@ pub fn response_vs_error_rate_with(
         .collect();
     for (&interval, result) in intervals.iter().zip(eval.evaluate_batch(&variants)) {
         let report = result?;
+        carta_obs::event!(
+            "sweep.point",
+            interval_ms = interval.as_ms_f64(),
+            missed = report.missed_count()
+        );
         for (k, &i) in selected.iter().enumerate() {
             series[k]
                 .points
                 .push((interval.as_ms_f64(), report.messages[i].outcome.wcrt()));
         }
     }
+    crate::sweeps::record_sweep_points(intervals.len());
     Ok(series)
 }
 
@@ -215,23 +251,22 @@ pub fn response_vs_error_rate_with(
 /// # Errors
 ///
 /// Propagates [`AnalysisError`] from the bus analysis.
+#[deprecated(note = "use `Evaluator` with `Sweeps::max_schedulable_jitter` instead")]
 pub fn max_schedulable_jitter(
     net: &CanNetwork,
     scenario: &Scenario,
     max_ratio: f64,
     tolerance: f64,
 ) -> Result<Option<f64>, AnalysisError> {
-    max_schedulable_jitter_with(&Evaluator::default(), net, scenario, max_ratio, tolerance)
+    max_schedulable_jitter_impl(&Evaluator::default(), net, scenario, max_ratio, tolerance)
 }
 
-/// [`max_schedulable_jitter`] on a caller-provided [`Evaluator`]. The
-/// probes are inherently sequential (each depends on the previous
-/// verdict) but still benefit from the evaluator's cache when the
-/// search revisits a ratio or runs after a sweep over the same grid.
+/// [`max_schedulable_jitter`] on a caller-provided [`Evaluator`].
 ///
 /// # Errors
 ///
 /// Propagates [`AnalysisError`] from the bus analysis.
+#[deprecated(note = "use `Sweeps::max_schedulable_jitter` as a method on `Evaluator` instead")]
 pub fn max_schedulable_jitter_with(
     eval: &Evaluator,
     net: &CanNetwork,
@@ -239,6 +274,21 @@ pub fn max_schedulable_jitter_with(
     max_ratio: f64,
     tolerance: f64,
 ) -> Result<Option<f64>, AnalysisError> {
+    max_schedulable_jitter_impl(eval, net, scenario, max_ratio, tolerance)
+}
+
+/// Shared body of [`crate::sweeps::Sweeps::max_schedulable_jitter`].
+/// The probes are inherently sequential (each depends on the previous
+/// verdict) but still benefit from the evaluator's cache when the
+/// search revisits a ratio or runs after a sweep over the same grid.
+pub(crate) fn max_schedulable_jitter_impl(
+    eval: &Evaluator,
+    net: &CanNetwork,
+    scenario: &Scenario,
+    max_ratio: f64,
+    tolerance: f64,
+) -> Result<Option<f64>, AnalysisError> {
+    let _span = carta_obs::span!("sweep.jitter_slack", max_ratio = max_ratio);
     let base = BaseSystem::new(net.clone());
     let ok = |ratio: f64| -> Result<bool, AnalysisError> {
         let v = SystemVariant::new(base.clone(), scenario.clone()).with_jitter_ratio(ratio);
@@ -265,6 +315,7 @@ pub fn max_schedulable_jitter_with(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sweeps::Sweeps;
     use carta_can::controller::ControllerType;
     use carta_can::frame::Dlc;
     use carta_can::message::{CanId, CanMessage};
@@ -289,8 +340,9 @@ mod tests {
     #[test]
     fn series_are_monotone_and_priorities_differ() {
         let ratios = [0.0, 0.2, 0.4, 0.6];
-        let series =
-            response_vs_jitter(&net(), &Scenario::best_case(), &ratios, None).expect("valid");
+        let series = Evaluator::default()
+            .response_vs_jitter(&net(), &Scenario::best_case(), &ratios, None)
+            .expect("valid");
         assert_eq!(series.len(), 8);
         for s in &series {
             for w in s.points.windows(2) {
@@ -313,9 +365,9 @@ mod tests {
 
     #[test]
     fn subset_selection() {
-        let series =
-            response_vs_jitter(&net(), &Scenario::best_case(), &[0.0], Some(&["m2", "m5"]))
-                .expect("valid");
+        let series = Evaluator::default()
+            .response_vs_jitter(&net(), &Scenario::best_case(), &[0.0], Some(&["m2", "m5"]))
+            .expect("valid");
         let names: Vec<&str> = series.iter().map(|s| s.message.as_str()).collect();
         assert_eq!(names, vec!["m2", "m5"]);
     }
@@ -345,7 +397,9 @@ mod tests {
         use carta_can::frame::StuffingMode;
         // Calm -> stormy: 100 ms, 10 ms, 2 ms error intervals.
         let intervals = [Time::from_ms(100), Time::from_ms(10), Time::from_ms(2)];
-        let series = response_vs_error_rate(&net(), StuffingMode::WorstCase, &intervals, None)
+        let eval = Evaluator::default();
+        let series = eval
+            .response_vs_error_rate(&net(), StuffingMode::WorstCase, &intervals, None)
             .expect("valid");
         assert_eq!(series.len(), 8);
         for s in &series {
@@ -365,9 +419,9 @@ mod tests {
             }
         }
         // A subset works too.
-        let sub =
-            response_vs_error_rate(&net(), StuffingMode::WorstCase, &intervals, Some(&["m0"]))
-                .expect("valid");
+        let sub = eval
+            .response_vs_error_rate(&net(), StuffingMode::WorstCase, &intervals, Some(&["m0"]))
+            .expect("valid");
         assert_eq!(sub.len(), 1);
         assert_eq!(sub[0].points.len(), 3);
     }
@@ -375,7 +429,9 @@ mod tests {
     #[test]
     fn slack_search_brackets_the_break_point() {
         let n = net();
-        let slack = max_schedulable_jitter(&n, &Scenario::worst_case(), 1.0, 0.01).expect("valid");
+        let slack = Evaluator::default()
+            .max_schedulable_jitter(&n, &Scenario::worst_case(), 1.0, 0.01)
+            .expect("valid");
         match slack {
             Some(s) => {
                 // Schedulable at the found ratio...

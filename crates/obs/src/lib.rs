@@ -1,0 +1,54 @@
+//! Dependency-free observability substrate for the `carta` workspace.
+//!
+//! Two facades, both inert until switched on:
+//!
+//! - **Metrics** ([`metrics`]): a [`MetricsRegistry`] of named atomic
+//!   [`Counter`]s, [`Gauge`]s and log₂-bucketed [`Histogram`]s. The
+//!   analysis crates record into the process-wide [`metrics::global`]
+//!   registry when [`metrics::enabled`] (one relaxed atomic load on
+//!   the fast path), or into an explicit registry handed to
+//!   `Evaluator::builder().metrics(..)`.
+//! - **Tracing** ([`trace`]): scoped spans ([`span!`]) and point
+//!   events ([`event!`]) delivered to a pluggable [`SpanSink`] —
+//!   [`NullSink`], [`StderrSink`], [`RingBufferSink`] (backs
+//!   `carta trace`) or [`JsonlSink`]. Field formatting is deferred
+//!   behind a closure, so disabled call sites cost a single atomic
+//!   load.
+//!
+//! Like the `shims/` crates, `carta-obs` has **zero external
+//! dependencies**; [`json`] provides the small emitter/parser the
+//! sinks and the `--metrics-json` schema tests share.
+//!
+//! ```
+//! use carta_obs::{metrics, span};
+//!
+//! metrics::set_enabled(true);
+//! let hits = metrics::global().counter("engine.cache.hits");
+//! {
+//!     let _span = span!("rta.bus", msgs = 64);
+//!     hits.inc();
+//! }
+//! assert!(metrics::global().snapshot().counter("engine.cache.hits").unwrap() >= 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSummary, MetricValue, MetricsRegistry, MetricsSnapshot,
+    PhaseGuard,
+};
+pub use trace::{
+    JsonlSink, NullSink, RingBufferSink, SpanEvent, SpanGuard, SpanKind, SpanSink, StderrSink,
+};
+
+/// Convenience glob-import: `use carta_obs::prelude::*;`
+pub mod prelude {
+    pub use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+    pub use crate::trace::{RingBufferSink, SpanEvent, SpanSink};
+    pub use crate::{event, span};
+}

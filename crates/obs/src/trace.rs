@@ -1,0 +1,490 @@
+//! Scoped-span tracing facade with pluggable sinks.
+//!
+//! Instrumented code opens spans with [`span!`] and emits point events
+//! with [`event!`]. Both are no-ops — a single relaxed atomic load,
+//! with field formatting never evaluated — until a sink is
+//! [`install`]ed. Sinks receive [`SpanEvent`] records; the crate ships
+//! a [`NullSink`], a [`StderrSink`], an in-memory [`RingBufferSink`]
+//! (backing `carta trace`) and a [`JsonlSink`] file writer.
+
+use crate::json::ObjectBuilder;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Instant;
+
+/// What a [`SpanEvent`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A span was opened.
+    Enter,
+    /// A span closed; `dur_ns` is set.
+    Exit,
+    /// A point-in-time event inside the current span.
+    Instant,
+}
+
+impl SpanKind {
+    /// Stable lowercase name used in JSONL output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanKind::Enter => "enter",
+            SpanKind::Exit => "exit",
+            SpanKind::Instant => "instant",
+        }
+    }
+}
+
+/// One tracing record delivered to a [`SpanSink`].
+#[derive(Debug, Clone)]
+pub struct SpanEvent {
+    /// Enter, exit or instant.
+    pub kind: SpanKind,
+    /// Static span/event name, e.g. `"rta.bus"`.
+    pub name: &'static str,
+    /// Formatted key/value fields attached at the call site.
+    pub fields: Vec<(&'static str, String)>,
+    /// Nesting depth on the emitting thread (0 = top level).
+    pub depth: usize,
+    /// Emitting thread, e.g. `"ThreadId(3)"`.
+    pub thread: String,
+    /// Nanoseconds since the process tracing epoch.
+    pub t_ns: u64,
+    /// Span duration; set on `Exit` events only.
+    pub dur_ns: Option<u64>,
+}
+
+impl SpanEvent {
+    /// Renders the event as one JSON object (one JSONL line, sans
+    /// newline).
+    pub fn to_json(&self) -> String {
+        let mut obj = ObjectBuilder::new()
+            .string("kind", self.kind.as_str())
+            .string("name", self.name)
+            .uint("depth", self.depth as u64)
+            .string("thread", &self.thread)
+            .uint("t_ns", self.t_ns);
+        if let Some(d) = self.dur_ns {
+            obj = obj.uint("dur_ns", d);
+        }
+        if !self.fields.is_empty() {
+            let mut fields = ObjectBuilder::new();
+            for (k, v) in &self.fields {
+                fields = fields.string(k, v);
+            }
+            obj = obj.raw("fields", &fields.build());
+        }
+        obj.build()
+    }
+}
+
+/// Receives tracing records. Implementations must be cheap and
+/// thread-safe; `record` is called from analysis worker threads.
+pub trait SpanSink: Send + Sync {
+    /// Delivers one event.
+    fn record(&self, event: &SpanEvent);
+
+    /// Flushes any buffered output (default: nothing to do).
+    fn flush(&self) {}
+}
+
+impl std::fmt::Debug for dyn SpanSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("dyn SpanSink")
+    }
+}
+
+/// Discards every event. Useful for measuring facade overhead.
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl SpanSink for NullSink {
+    fn record(&self, _event: &SpanEvent) {}
+}
+
+/// Prints each event to stderr, indented by depth.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl SpanSink for StderrSink {
+    fn record(&self, event: &SpanEvent) {
+        let indent = "  ".repeat(event.depth);
+        let fields: Vec<String> = event
+            .fields
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        let dur = event
+            .dur_ns
+            .map(|d| format!(" ({:.1} us)", d as f64 / 1_000.0))
+            .unwrap_or_default();
+        eprintln!(
+            "[trace] {indent}{} {}{}{}",
+            event.kind.as_str(),
+            event.name,
+            if fields.is_empty() {
+                String::new()
+            } else {
+                format!(" {}", fields.join(" "))
+            },
+            dur
+        );
+    }
+}
+
+/// Keeps the most recent events in memory; old events are dropped once
+/// `capacity` is reached. Backs the `carta trace` replay.
+#[derive(Debug)]
+pub struct RingBufferSink {
+    capacity: usize,
+    events: Mutex<VecDeque<SpanEvent>>,
+}
+
+impl RingBufferSink {
+    /// A ring holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        RingBufferSink {
+            capacity: capacity.max(1),
+            events: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Removes and returns the buffered events, oldest first.
+    pub fn drain(&self) -> Vec<SpanEvent> {
+        self.events
+            .lock()
+            .expect("ring buffer poisoned")
+            .drain(..)
+            .collect()
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("ring buffer poisoned").len()
+    }
+
+    /// `true` when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl SpanSink for RingBufferSink {
+    fn record(&self, event: &SpanEvent) {
+        let mut events = self.events.lock().expect("ring buffer poisoned");
+        if events.len() == self.capacity {
+            events.pop_front();
+        }
+        events.push_back(event.clone());
+    }
+}
+
+/// Appends one JSON object per event to a file (JSON Lines).
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) `path` for writing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+}
+
+impl SpanSink for JsonlSink {
+    fn record(&self, event: &SpanEvent) {
+        let mut w = self.writer.lock().expect("jsonl sink poisoned");
+        let _ = writeln!(w, "{}", event.to_json());
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("jsonl sink poisoned").flush();
+    }
+}
+
+static SINK: RwLock<Option<Arc<dyn SpanSink>>> = RwLock::new(None);
+static TRACING: AtomicBool = AtomicBool::new(false);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+thread_local! {
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Installs `sink` as the process-wide tracing sink and turns tracing
+/// on. Replaces any previous sink (after flushing it).
+pub fn install(sink: Arc<dyn SpanSink>) {
+    epoch(); // pin t=0 no later than the first event
+    let previous = SINK
+        .write()
+        .expect("trace sink lock poisoned")
+        .replace(sink);
+    if let Some(previous) = previous {
+        previous.flush();
+    }
+    TRACING.store(true, Ordering::Release);
+}
+
+/// Turns tracing off, flushes and removes the current sink (returned
+/// so callers can e.g. drain a ring buffer).
+pub fn uninstall() -> Option<Arc<dyn SpanSink>> {
+    TRACING.store(false, Ordering::Release);
+    let sink = SINK.write().expect("trace sink lock poisoned").take();
+    if let Some(sink) = &sink {
+        sink.flush();
+    }
+    sink
+}
+
+/// `true` while a sink is installed. One relaxed load — this is the
+/// fast path instrumented code checks before formatting anything.
+#[inline]
+pub fn tracing_enabled() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+fn dispatch(event: SpanEvent) {
+    if let Some(sink) = SINK.read().expect("trace sink lock poisoned").as_ref() {
+        sink.record(&event);
+    }
+}
+
+fn now_ns() -> u64 {
+    u64::try_from(epoch().elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// RAII guard for one span: emits `Enter` on creation and `Exit` (with
+/// duration) on drop. Created via the [`span!`] macro; inert when
+/// tracing is off at creation time.
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    /// `Some` only when the guard actually opened a span.
+    start: Option<Instant>,
+    depth: usize,
+}
+
+impl SpanGuard {
+    /// Opens a span named `name`; `fields` is only invoked when tracing
+    /// is enabled. Prefer the [`span!`] macro.
+    #[must_use = "the span closes when the guard drops"]
+    pub fn new(name: &'static str, fields: impl FnOnce() -> Vec<(&'static str, String)>) -> Self {
+        if !tracing_enabled() {
+            return SpanGuard {
+                name,
+                start: None,
+                depth: 0,
+            };
+        }
+        let depth = DEPTH.with(|d| {
+            let depth = d.get();
+            d.set(depth + 1);
+            depth
+        });
+        dispatch(SpanEvent {
+            kind: SpanKind::Enter,
+            name,
+            fields: fields(),
+            depth,
+            thread: format!("{:?}", std::thread::current().id()),
+            t_ns: now_ns(),
+            dur_ns: None,
+        });
+        SpanGuard {
+            name,
+            start: Some(Instant::now()),
+            depth,
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        dispatch(SpanEvent {
+            kind: SpanKind::Exit,
+            name: self.name,
+            fields: Vec::new(),
+            depth: self.depth,
+            thread: format!("{:?}", std::thread::current().id()),
+            t_ns: now_ns(),
+            dur_ns: Some(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)),
+        });
+    }
+}
+
+/// Emits a point-in-time event; `fields` is only invoked when tracing
+/// is enabled. Prefer the [`event!`] macro.
+pub fn instant(name: &'static str, fields: impl FnOnce() -> Vec<(&'static str, String)>) {
+    if !tracing_enabled() {
+        return;
+    }
+    dispatch(SpanEvent {
+        kind: SpanKind::Instant,
+        name,
+        fields: fields(),
+        depth: DEPTH.with(Cell::get),
+        thread: format!("{:?}", std::thread::current().id()),
+        t_ns: now_ns(),
+        dur_ns: None,
+    });
+}
+
+/// Opens a scoped span: `let _s = span!("rta.bus", msg = id);`
+///
+/// The guard closes the span when dropped. Field values are formatted
+/// with `Display` and only when a sink is installed.
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        $crate::trace::SpanGuard::new($name, || {
+            vec![$((stringify!($key), format!("{}", $value))),*]
+        })
+    };
+}
+
+/// Emits a point event: `event!("rta.verdict", ok = schedulable);`
+///
+/// Field values are formatted with `Display` and only when a sink is
+/// installed.
+#[macro_export]
+macro_rules! event {
+    ($name:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        $crate::trace::instant($name, || {
+            vec![$((stringify!($key), format!("{}", $value))),*]
+        })
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    // The sink slot is process-global, so every test that installs one
+    // runs under this lock to avoid cross-talk (Rust runs tests in
+    // threads of one process).
+    static TEST_SINK_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn spans_nest_and_balance() {
+        let _guard = TEST_SINK_LOCK.lock().unwrap();
+        let ring = Arc::new(RingBufferSink::new(64));
+        install(ring.clone());
+        {
+            let _outer = span!("outer", a = 1);
+            {
+                let _inner = span!("inner");
+                event!("tick", n = 2);
+            }
+        }
+        uninstall();
+        let events = ring.drain();
+        let kinds: Vec<(SpanKind, &str, usize)> =
+            events.iter().map(|e| (e.kind, e.name, e.depth)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (SpanKind::Enter, "outer", 0),
+                (SpanKind::Enter, "inner", 1),
+                (SpanKind::Instant, "tick", 2),
+                (SpanKind::Exit, "inner", 1),
+                (SpanKind::Exit, "outer", 0),
+            ]
+        );
+        assert_eq!(events[0].fields, vec![("a", "1".to_string())]);
+        assert!(events[4].dur_ns.is_some());
+    }
+
+    #[test]
+    fn disabled_tracing_skips_field_formatting() {
+        let _guard = TEST_SINK_LOCK.lock().unwrap();
+        uninstall();
+        let mut formatted = false;
+        {
+            let _s = SpanGuard::new("quiet", || {
+                formatted = true;
+                Vec::new()
+            });
+        }
+        assert!(!formatted, "field closure must not run when disabled");
+    }
+
+    #[test]
+    fn ring_buffer_keeps_most_recent() {
+        let ring = RingBufferSink::new(2);
+        for i in 0..4 {
+            ring.record(&SpanEvent {
+                kind: SpanKind::Instant,
+                name: "e",
+                fields: vec![("i", i.to_string())],
+                depth: 0,
+                thread: "t".to_string(),
+                t_ns: i,
+                dur_ns: None,
+            });
+        }
+        let events = ring.drain();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].t_ns, 2);
+        assert_eq!(events[1].t_ns, 3);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn events_serialize_to_parseable_json() {
+        let event = SpanEvent {
+            kind: SpanKind::Exit,
+            name: "rta.bus",
+            fields: vec![("msgs", "64".to_string())],
+            depth: 1,
+            thread: "ThreadId(1)".to_string(),
+            t_ns: 123,
+            dur_ns: Some(456),
+        };
+        let v = parse(&event.to_json()).expect("valid json");
+        assert_eq!(v.get("kind").and_then(|x| x.as_str()), Some("exit"));
+        assert_eq!(v.get("name").and_then(|x| x.as_str()), Some("rta.bus"));
+        assert_eq!(v.get("dur_ns").and_then(|x| x.as_f64()), Some(456.0));
+        assert_eq!(
+            v.get("fields")
+                .and_then(|f| f.get("msgs"))
+                .and_then(|x| x.as_str()),
+            Some("64")
+        );
+    }
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        let _guard = TEST_SINK_LOCK.lock().unwrap();
+        let path = std::env::temp_dir().join("carta-obs-jsonl-test.jsonl");
+        let sink = Arc::new(JsonlSink::create(&path).expect("create"));
+        install(sink);
+        {
+            let _s = span!("file.span");
+        }
+        uninstall();
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "enter + exit");
+        for line in lines {
+            parse(line).expect("each line is valid json");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

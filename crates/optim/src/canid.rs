@@ -260,7 +260,7 @@ pub fn optimize_can_ids(net: &CanNetwork, config: &OptimizeIdsConfig) -> IdOptim
         "one weight per loss ratio plus one for robustness"
     );
     let problem = CanIdProblem::new(net, config.scenario.clone(), config.eval_ratios.clone())
-        .with_evaluator(Evaluator::new(config.parallelism));
+        .with_evaluator(Evaluator::builder().parallelism(config.parallelism).build());
     let result = optimize(&problem, &config.spea2);
     // Selection is lexicographic in the first objective (loss at the
     // design point — the paper's non-negotiable "not a single message"
@@ -306,7 +306,7 @@ mod tests {
     use carta_can::message::CanMessage;
     use carta_can::network::Node;
     use carta_core::time::Time;
-    use carta_explore::loss::loss_vs_jitter;
+    use carta_explore::sweeps::Sweeps;
 
     /// A deliberately inverted network: the fastest message has the
     /// weakest identifier. Chosen so that the inversion loses messages
@@ -363,10 +363,14 @@ mod tests {
     #[test]
     fn optimization_removes_loss_at_design_point() {
         let net = inverted_net();
-        let before = loss_vs_jitter(&net, &Scenario::worst_case(), &[0.25]).expect("valid");
+        let eval = Evaluator::default();
+        let before = eval
+            .loss_vs_jitter(&net, &Scenario::worst_case(), &[0.25])
+            .expect("valid");
         let result = optimize_can_ids(&net, &quick_config());
-        let after =
-            loss_vs_jitter(&result.optimized, &Scenario::worst_case(), &[0.25]).expect("valid");
+        let after = eval
+            .loss_vs_jitter(&result.optimized, &Scenario::worst_case(), &[0.25])
+            .expect("valid");
         assert!(
             after.points[0].missed <= before.points[0].missed,
             "optimizer must not make things worse"

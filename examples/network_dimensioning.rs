@@ -12,11 +12,12 @@ use carta::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let net = powertrain_default().to_network()?;
     let scenario = Scenario::worst_case();
+    let eval = Evaluator::default();
 
     // --- 1. Which bus speed does this matrix need? ------------------------
     println!("--- bit-rate dimensioning (worst-case scenario) ---\n");
     let candidates = [125_000u64, 250_000, 500_000, 1_000_000];
-    let options = compare_bit_rates(&net, &scenario, &candidates, &EcuTemplate::default())?;
+    let options = eval.compare_bit_rates(&net, &scenario, &candidates, &EcuTemplate::default())?;
     println!(
         "{:>10} {:>8} {:>13} {:>14} {:>13}",
         "bit rate", "load", "schedulable", "jitter slack", "ECU headroom"
@@ -43,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- 2. Buffer dimensioning -------------------------------------------
     println!("\n--- buffer dimensioning ---\n");
-    let depths = required_tx_depths(&net, &scenario)?;
+    let depths = eval.required_tx_depths(&net, &scenario)?;
     let deep: Vec<&TxBufferNeed> = depths.iter().filter(|d| d.depth != Some(1)).collect();
     println!(
         "sender queues: {} of {} messages need depth 1; exceptions: {}",
@@ -60,7 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for (node, name) in [(6usize, "GW_BODY"), (7, "GW_CHAS")] {
         if let Some(depth) =
-            required_rx_depth(&net, &Scenario::best_case(), node, Time::from_ms(10))?
+            eval.required_rx_depth(&net, &Scenario::best_case(), node, Time::from_ms(10))?
         {
             println!("gateway {name}: a 10 ms routing cycle needs a queue of {depth} frames");
         }

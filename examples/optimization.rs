@@ -11,8 +11,9 @@ use carta::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let net = powertrain_default().to_network()?;
     let grid = paper_jitter_grid();
+    let eval = Evaluator::default();
 
-    let before_worst = loss_vs_jitter(&net, &Scenario::worst_case(), &grid)?;
+    let before_worst = eval.loss_vs_jitter(&net, &Scenario::worst_case(), &grid)?;
     println!("non-optimized worst case:");
     print_curve(&before_worst);
 
@@ -26,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         result.objectives[2]
     );
 
-    let after_worst = loss_vs_jitter(&result.optimized, &Scenario::worst_case(), &grid)?;
+    let after_worst = eval.loss_vs_jitter(&result.optimized, &Scenario::worst_case(), &grid)?;
     println!("\noptimized worst case:");
     print_curve(&after_worst);
 

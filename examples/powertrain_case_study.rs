@@ -63,7 +63,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Sensitivity (Fig. 4) --------------------------------------------
     let grid = paper_jitter_grid();
-    let series = response_vs_jitter(&net, &Scenario::worst_case(), &grid, None)?;
+    let eval = Evaluator::default();
+    let series = eval.response_vs_jitter(&net, &Scenario::worst_case(), &grid, None)?;
     let mut by_class = std::collections::BTreeMap::new();
     for s in &series {
         *by_class.entry(s.classify().to_string()).or_insert(0usize) += 1;
@@ -76,8 +77,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Message loss (Fig. 5, non-optimized curves) ----------------------
     println!("\nmessage loss vs jitter (Fig. 5, dotted curves):");
     println!("{:>8} {:>12} {:>12}", "jitter", "best case", "worst case");
-    let best = loss_vs_jitter(&net, &Scenario::best_case(), &grid)?;
-    let worst = loss_vs_jitter(&net, &Scenario::worst_case(), &grid)?;
+    let best = eval.loss_vs_jitter(&net, &Scenario::best_case(), &grid)?;
+    let worst = eval.loss_vs_jitter(&net, &Scenario::worst_case(), &grid)?;
     for (b, w) in best.points.iter().zip(&worst.points) {
         println!(
             "{:>7.0}% {:>11.1}% {:>11.1}%",

@@ -44,7 +44,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // --- How much jitter does the design tolerate? ------------------------
-    let slack = max_schedulable_jitter(&net, &Scenario::worst_case(), 1.0, 0.01)?;
+    let eval = Evaluator::default();
+    let slack = eval.max_schedulable_jitter(&net, &Scenario::worst_case(), 1.0, 0.01)?;
     println!(
         "Q: How much uniform jitter does the current design tolerate (worst case)?\nA: {}\n",
         slack
@@ -54,7 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Can more ECUs be connected? ---------------------------------------
     let template = EcuTemplate::default();
-    let headroom = max_additional_ecus(&net, &Scenario::worst_case(), &template, 32)?;
+    let headroom = eval.max_additional_ecus(&net, &Scenario::worst_case(), &template, 32)?;
     println!(
         "Q: Can more ECUs be connected?\nA: up to {headroom} additional ECUs \
          ({} messages of {} every {} each) still meet all deadlines.\n",

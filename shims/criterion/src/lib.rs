@@ -61,12 +61,27 @@ impl From<String> for BenchmarkId {
 pub struct Bencher<'a> {
     samples: u32,
     target_sample_time: Duration,
+    test_mode: bool,
     result: &'a mut Option<Stats>,
 }
 
 impl Bencher<'_> {
     /// Times `routine`, keeping its return value alive via `black_box`.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            // `--test`: execute the routine exactly once so CI can
+            // smoke-check every benchmark without paying for sampling.
+            let start = Instant::now();
+            black_box(routine());
+            let t = start.elapsed().as_secs_f64();
+            *self.result = Some(Stats {
+                min: t,
+                median: t,
+                mean: t,
+                iters_per_sample: 1,
+            });
+            return;
+        }
         // Warm-up and calibration: run until ~50ms elapsed to estimate
         // the per-iteration cost.
         let calib_start = Instant::now();
@@ -124,19 +139,22 @@ fn format_time(secs: f64) -> String {
 /// The benchmark harness entry point.
 pub struct Criterion {
     filter: Option<String>,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         // cargo-bench forwards CLI args after `--bench <name>`; the only
-        // positional argument criterion accepts is a name filter. Flags
-        // (e.g. `--bench`, which cargo appends for harness=false
-        // targets) are ignored.
+        // positional argument criterion accepts is a name filter.
+        // `--test` (like real criterion) runs every benchmark body once
+        // instead of sampling; other flags (e.g. `--bench`, which cargo
+        // appends for harness=false targets) are ignored.
         let filter = std::env::args()
             .skip(1)
             .find(|a| !a.starts_with('-'))
             .filter(|a| !a.is_empty());
-        Criterion { filter }
+        let test_mode = std::env::args().skip(1).any(|a| a == "--test");
+        Criterion { filter, test_mode }
     }
 }
 
@@ -154,10 +172,15 @@ impl Criterion {
             samples,
             // Keep total time bounded: ~2s of measurement per benchmark.
             target_sample_time: Duration::from_secs_f64(2.0 / samples as f64),
+            test_mode: self.test_mode,
             result: &mut result,
         };
         f(&mut bencher);
         match result {
+            Some(s) if self.test_mode => println!(
+                "bench: {id:<50} ok in {} (test mode — 1 iteration)",
+                format_time(s.median),
+            ),
             Some(s) => println!(
                 "bench: {id:<50} median {:>12}  mean {:>12}  min {:>12}  ({} iters/sample, {} samples)",
                 format_time(s.median),
@@ -263,6 +286,7 @@ mod tests {
     fn harness_measures_something() {
         let mut c = Criterion {
             filter: Some("picked".into()),
+            test_mode: false,
         };
         let mut hits = 0u32;
         {
@@ -278,5 +302,21 @@ mod tests {
             group.finish();
         }
         assert!(hits > 0);
+    }
+
+    #[test]
+    fn test_mode_runs_each_bench_exactly_once() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: true,
+        };
+        let mut hits = 0u32;
+        c.bench_function("once", |b| {
+            b.iter(|| {
+                hits += 1;
+                std::hint::black_box(3u64.pow(7))
+            })
+        });
+        assert_eq!(hits, 1);
     }
 }

@@ -21,6 +21,7 @@
 //! | [`kmatrix`] | `carta-kmatrix` | K-Matrix model, CSV I/O, case-study generator |
 //! | [`sim`] | `carta-sim` | discrete-event bus simulator, traces, Gantt |
 //! | [`engine`] | `carta-engine` | batched, parallel, memoized variant evaluation |
+//! | [`obs`] | `carta-obs` | metrics registry, scoped-span tracing, sinks |
 //! | [`explore`] | `carta-explore` | what-if scenarios, sensitivity, loss, extensibility |
 //! | [`optim`] | `carta-optim` | SPEA2 and CAN-ID optimization |
 //! | [`contract`] | `carta-contract` | datasheets, compatibility, duality, refinement |
@@ -34,7 +35,8 @@
 //! // The synthetic power-train case study (64 messages, 8 ECUs).
 //! let network = powertrain_default().to_network()?;
 //! // Experiment 1 of the paper: zero jitters, no errors — all fine.
-//! let report = loss_vs_jitter(&network, &Scenario::best_case(), &[0.0])?;
+//! let eval = Evaluator::default();
+//! let report = eval.loss_vs_jitter(&network, &Scenario::best_case(), &[0.0])?;
 //! assert_eq!(report.points[0].missed, 0);
 //! # Ok(())
 //! # }
@@ -49,6 +51,7 @@ pub use carta_ecu as ecu;
 pub use carta_engine as engine;
 pub use carta_explore as explore;
 pub use carta_kmatrix as kmatrix;
+pub use carta_obs as obs;
 pub use carta_optim as optim;
 pub use carta_sim as sim;
 

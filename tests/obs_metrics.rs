@@ -1,0 +1,162 @@
+//! Observability must be a read-only window: the metrics the engine
+//! exports agree with its own internal bookkeeping, spans nest and
+//! close in a balanced way, and instrumenting a run never changes a
+//! single analysis result.
+
+use carta::prelude::*;
+use carta_obs::metrics::{self, MetricsRegistry};
+use carta_obs::trace::{NullSink, RingBufferSink, SpanKind};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn random_net(seed: u64, n_messages: usize) -> CanNetwork {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = CanNetwork::new(*[125_000, 250_000].get(rng.gen_range(0..2usize)).unwrap());
+    let a = net.add_node(Node::new("A", ControllerType::FullCan));
+    let b = net.add_node(Node::new("B", ControllerType::BasicCan));
+    for k in 0..n_messages {
+        let period = Time::from_ms(*[5u64, 10, 20, 50].get(rng.gen_range(0..4usize)).unwrap());
+        net.add_message(CanMessage::new(
+            format!("m{k}"),
+            CanId::standard(0x100 + 16 * k as u32).expect("valid"),
+            Dlc::new(rng.gen_range(1..=8)),
+            period,
+            period.percent(rng.gen_range(0..30)),
+            if rng.gen_bool(0.5) { a } else { b },
+        ));
+    }
+    net
+}
+
+fn jitter_batch(net: &CanNetwork, scenario: &Scenario) -> Vec<SystemVariant> {
+    let base = BaseSystem::new(net.clone());
+    [0.0, 0.1, 0.25, 0.4, 0.6]
+        .iter()
+        .map(|&r| SystemVariant::new(base.clone(), scenario.clone()).with_jitter_ratio(r))
+        .collect()
+}
+
+/// The cache counters an explicitly-bound registry collects must equal
+/// the evaluator's own `CacheStats` — across a cold batch and a fully
+/// warm repeat.
+#[test]
+fn explicit_registry_matches_evaluator_cache_stats() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let eval = Evaluator::builder().jobs(2).metrics(&registry).build();
+    let net = random_net(11, 6);
+    let variants = jitter_batch(&net, &Scenario::worst_case());
+
+    eval.evaluate_batch(&variants); // cold: all misses
+    eval.evaluate_batch(&variants); // warm: all hits
+
+    let stats = eval.stats();
+    assert!(stats.hits >= variants.len() as u64, "{stats:?}");
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("engine.cache.hits"), Some(stats.hits));
+    assert_eq!(snap.counter("engine.cache.misses"), Some(stats.misses));
+    assert_eq!(
+        snap.counter("engine.batch.points"),
+        Some(2 * variants.len() as u64)
+    );
+    assert_eq!(snap.counter("engine.batch.runs"), Some(2));
+}
+
+/// Every span a single-threaded analysis opens must close, in LIFO
+/// order, on the thread that opened it.
+#[test]
+fn spans_nest_and_balance() {
+    let sink = Arc::new(RingBufferSink::new(4096));
+    carta_obs::trace::install(sink.clone());
+    // Events are tagged with the emitting thread's id; the probe
+    // reports its own so we can single it out below.
+    let probe_thread = std::thread::spawn(|| {
+        let eval = Evaluator::builder().jobs(1).build();
+        let net = random_net(5, 6);
+        eval.loss_vs_jitter(&net, &Scenario::worst_case(), &[0.0, 0.2, 0.4])
+            .expect("valid model");
+        format!("{:?}", std::thread::current().id())
+    })
+    .join()
+    .expect("probe thread succeeds");
+    carta_obs::trace::uninstall();
+
+    // Other tests may run traced work concurrently; judge only the
+    // probe thread, which ran strictly single-threaded.
+    let events: Vec<_> = sink
+        .drain()
+        .into_iter()
+        .filter(|e| e.thread == probe_thread)
+        .collect();
+    assert!(!events.is_empty(), "probe thread emitted no spans");
+    let mut stack: Vec<&'static str> = Vec::new();
+    for event in &events {
+        match event.kind {
+            SpanKind::Enter => {
+                assert_eq!(event.depth, stack.len(), "enter depth for {}", event.name);
+                stack.push(event.name);
+            }
+            SpanKind::Exit => {
+                assert_eq!(stack.pop(), Some(event.name), "exit out of order");
+                assert_eq!(event.depth, stack.len(), "exit depth for {}", event.name);
+                assert!(event.dur_ns.is_some(), "exit without duration");
+            }
+            SpanKind::Instant => assert!(!stack.is_empty(), "instant outside any span"),
+        }
+    }
+    assert!(stack.is_empty(), "unclosed spans: {stack:?}");
+    assert!(
+        events
+            .iter()
+            .any(|e| e.kind == SpanKind::Enter && e.name.starts_with("sweep.")),
+        "sweep span missing from {:?}",
+        events.iter().map(|e| e.name).collect::<Vec<_>>()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // Turning the whole observability stack on — global metrics, an
+    // explicit registry *and* a null span sink — must leave every
+    // response bound bit-identical to a bare run.
+    #[test]
+    fn instrumentation_never_changes_results(seed in 0u64..5_000, pick in 0u8..4) {
+        let net = random_net(seed, 6);
+        let scenario = match pick % 4 {
+            0 => Scenario::best_case(),
+            1 => Scenario::best_case_period_deadline(),
+            2 => Scenario::worst_case(),
+            _ => Scenario::sporadic_errors(Time::from_ms(10)),
+        };
+        let variants = jitter_batch(&net, &scenario);
+
+        let bare = Evaluator::builder().jobs(1).build();
+        let plain: Vec<_> = bare.evaluate_batch(&variants);
+
+        let was_enabled = metrics::enabled();
+        metrics::set_enabled(true);
+        carta_obs::trace::install(Arc::new(NullSink));
+        let registry = Arc::new(MetricsRegistry::new());
+        let observed = Evaluator::builder()
+            .jobs(2)
+            .metrics(&registry)
+            .build()
+            .evaluate_batch(&variants);
+        carta_obs::trace::uninstall();
+        metrics::set_enabled(was_enabled);
+
+        for (i, (p, o)) in plain.iter().zip(&observed).enumerate() {
+            let (p, o) = (p.as_ref().expect("valid"), o.as_ref().expect("valid"));
+            prop_assert_eq!(p.messages.len(), o.messages.len());
+            for (a, b) in p.messages.iter().zip(&o.messages) {
+                prop_assert_eq!(a.outcome, b.outcome, "variant {}, message {}", i, &a.name);
+                prop_assert_eq!(a.blocking, b.blocking);
+                prop_assert_eq!(a.c_min, b.c_min);
+                prop_assert_eq!(a.instances, b.instances);
+            }
+        }
+        prop_assert!(registry.snapshot().counter("engine.cache.misses").unwrap_or(0) > 0);
+    }
+}
