@@ -476,12 +476,37 @@ pub fn analyze_bus_incremental(
     ))
 }
 
+/// Fault-injection hooks for verification tooling.
+///
+/// `carta-testkit` proves its differential oracle can actually catch a
+/// broken analysis by flipping these switches, running the fuzz loop,
+/// and asserting a violation is found and shrunk. They are process-wide
+/// and **must never be enabled outside such a self-test**.
+#[doc(hidden)]
+pub mod test_mutations {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static DROP_BLOCKING: AtomicBool = AtomicBool::new(false);
+
+    /// When enabled, the analysis unsoundly drops the blocking term.
+    pub fn set_drop_blocking(enabled: bool) {
+        DROP_BLOCKING.store(enabled, Ordering::SeqCst);
+    }
+
+    pub(crate) fn drop_blocking() -> bool {
+        DROP_BLOCKING.load(Ordering::SeqCst)
+    }
+}
+
 /// The total blocking charged to message `i`: for fullCAN senders, one
 /// lower-priority frame of bus blocking plus nothing local; for
 /// basicCAN/FIFO senders, the local queue-ahead frames (other-node
 /// lower-priority traffic is charged as interference instead — its one
 /// just-started frame is subsumed by `η⁺ ≥ 1`).
 pub(crate) fn effective_blocking(net: &CanNetwork, i: usize, c_max: &[Time], lp: &[usize]) -> Time {
+    if test_mutations::drop_blocking() {
+        return Time::ZERO;
+    }
     let m = &net.messages()[i];
     let bus_blocking = match net.controller_of(m) {
         ControllerType::FullCan => lp.iter().map(|&j| c_max[j]).max().unwrap_or(Time::ZERO),

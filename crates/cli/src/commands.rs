@@ -50,6 +50,7 @@ fn dispatch(args: &ParsedArgs) -> CmdResult {
         "dimension" => cmd_dimension(args),
         "lint" => cmd_lint(args),
         "diff" => cmd_diff(args),
+        "fuzz" => cmd_fuzz(args),
         "trace" => crate::obs::cmd_trace(args),
         other => Err(Box::new(ParseArgsError(format!(
             "unknown command `{other}`; try `carta help`"
@@ -87,6 +88,12 @@ COMMANDS
   lint         structural review of a K-Matrix
   diff         compare two matrices' analyses message by message
                  carta diff <before.csv> <after.csv> [--scenario ...]
+  fuzz         randomized verification (metamorphic laws + the
+               differential sim-vs-analysis oracle, shrinking failures)
+                 --cases <n> --seed <n> --laws <name,name,...>
+                 --repro <file>    replay a stored counterexample
+                 --repro-dir <d>   where shrunk repros are written
+                                   (default: fuzz-repros/)
   trace        replay the span trace of a previous --trace run
                  carta trace [<trace.jsonl>] [--limit <n>]
 
@@ -584,6 +591,95 @@ fn cmd_diff(args: &ParsedArgs) -> CmdResult {
     Ok(out)
 }
 
+/// One or more fuzz laws were violated; `Display` carries the full
+/// per-law summary including the repro file paths.
+#[derive(Debug)]
+struct FuzzFailedError(String);
+
+impl std::fmt::Display for FuzzFailedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fuzz found violations\n{}", self.0)
+    }
+}
+
+impl Error for FuzzFailedError {}
+
+fn cmd_fuzz(args: &ParsedArgs) -> CmdResult {
+    use carta_testkit::prelude::*;
+
+    if let Some(path) = args.flag("repro") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ParseArgsError(format!("cannot read repro `{path}`: {e}")))?;
+        let repro = Repro::from_json(&text)?;
+        let _phase = PhaseGuard::new("fuzz");
+        return match repro.replay() {
+            Ok(()) => Ok(format!(
+                "repro `{path}` ({}, seed {}) passes — the defect no longer reproduces\n",
+                repro.law, repro.seed
+            )),
+            Err(v) => Err(Box::new(v)),
+        };
+    }
+
+    let config = FuzzConfig {
+        seed: args.numeric_flag("seed", 2006u64)?,
+        cases: args.numeric_flag("cases", 64u64)?,
+        laws: args.flag("laws").map(|list| {
+            list.split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect()
+        }),
+        parallelism: parallelism_from(args)?,
+    };
+    let report = {
+        let _phase = PhaseGuard::new("fuzz");
+        run_fuzz(&config)?
+    };
+
+    let mut table = Table::new(["law", "cases", "verdict"]);
+    for o in &report.outcomes {
+        table.row([
+            o.law.clone(),
+            o.cases_run.to_string(),
+            if o.repro.is_some() {
+                "VIOLATED".into()
+            } else {
+                "ok".to_string()
+            },
+        ]);
+    }
+    let mut out = table.render();
+    if report.passed() {
+        writeln!(
+            out,
+            "\nall {} laws held over {} cases each (seed {})",
+            report.outcomes.len(),
+            config.cases,
+            report.seed
+        )?;
+        return Ok(out);
+    }
+    let dir = std::path::Path::new(args.flag("repro-dir").unwrap_or("fuzz-repros"));
+    std::fs::create_dir_all(dir)
+        .map_err(|e| ParseArgsError(format!("cannot create `{}`: {e}", dir.display())))?;
+    for o in report.violations() {
+        let repro = o.repro.as_ref().expect("violations carry a repro");
+        let path = dir.join(repro.file_name());
+        std::fs::write(&path, repro.to_json())
+            .map_err(|e| ParseArgsError(format!("cannot write `{}`: {e}", path.display())))?;
+        writeln!(out, "\n{}", repro.violation)?;
+        writeln!(
+            out,
+            "  shrunk to {} message(s) in {} steps; replay with `carta fuzz --repro {}`",
+            repro.network.messages().len(),
+            repro.shrink_steps,
+            path.display()
+        )?;
+    }
+    Err(Box::new(FuzzFailedError(out)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -605,6 +701,7 @@ mod tests {
             "optimize",
             "simulate",
             "dimension",
+            "fuzz",
         ] {
             assert!(text.contains(cmd), "help misses `{cmd}`");
         }
@@ -805,6 +902,55 @@ mod tests {
             text.contains("--metrics-json"),
             "help misses `--metrics-json`"
         );
+    }
+
+    #[test]
+    fn fuzz_smoke_holds_every_law() {
+        let out = run_line(&["fuzz", "--cases", "2", "--seed", "2006", "--jobs", "1"])
+            .expect("laws hold");
+        assert!(out.contains("sim-never-exceeds-analysis"), "{out}");
+        assert!(out.contains("jitter-monotonicity"), "{out}");
+        assert!(
+            out.contains("all 8 laws held over 2 cases each (seed 2006)"),
+            "{out}"
+        );
+        assert!(!out.contains("VIOLATED"), "{out}");
+    }
+
+    #[test]
+    fn fuzz_law_filter_and_validation() {
+        let out =
+            run_line(&["fuzz", "--cases", "1", "--laws", "load-schedulability"]).expect("runs");
+        assert!(out.contains("all 1 laws held"), "{out}");
+        let err = run_line(&["fuzz", "--cases", "1", "--laws", "no-such-law"]).expect_err("bad");
+        assert!(err.to_string().contains("unknown law `no-such-law`"));
+        assert!(err.to_string().contains("jitter-monotonicity"));
+    }
+
+    #[test]
+    fn fuzz_replays_repro_files() {
+        use carta_testkit::prelude::*;
+        let err = run_line(&["fuzz", "--repro", "/nonexistent/r.json"]).expect_err("missing");
+        assert!(err.to_string().contains("cannot read repro"));
+
+        let dir = std::env::temp_dir().join("carta_cli_fuzz_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("repro.json");
+        let repro = Repro {
+            law: "load-schedulability".into(),
+            seed: 11,
+            errors: ErrorSpec::None,
+            violation: "synthetic".into(),
+            shrink_steps: 0,
+            network: random_network(&NetShape::bus(), 11),
+        };
+        std::fs::write(&path, repro.to_json()).expect("write");
+        let out = run_line(&["fuzz", "--repro", path.to_str().expect("utf8")]).expect("replays");
+        assert!(out.contains("no longer reproduces"), "{out}");
+        std::fs::write(&path, "{\"schema\":\"nope\"}").expect("write");
+        let err = run_line(&["fuzz", "--repro", path.to_str().expect("utf8")]).expect_err("bad");
+        assert!(err.to_string().contains("invalid repro"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,437 @@
+//! Seeded scenario generators.
+//!
+//! Every randomized test in the workspace used to carry its own copy of
+//! a `random_network_with` helper; the distributions live here once,
+//! parameterized by a [`NetShape`]. All constructors are pure functions
+//! of their seed, so any generated system can be rebuilt from the seed
+//! alone — the property the repro files and the proptest seed hints
+//! rely on.
+
+use carta_can::controller::ControllerType;
+use carta_can::frame::Dlc;
+use carta_can::message::{CanId, CanMessage};
+use carta_can::network::{CanNetwork, Node};
+use carta_core::time::Time;
+use carta_ecu::prelude::{Priority, Task};
+use carta_engine::prelude::{BaseSystem, JitterOverlay, Scenario, SystemVariant};
+use proptest::test_runner::TestRng;
+use proptest::Strategy;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Exclusive upper bound on the seeds drawn by the proptest strategies
+/// ([`networks`], [`chains`]), matching the `seed in 0u64..10_000`
+/// ranges the migrated tests used.
+pub const STRATEGY_SEEDS: u64 = 10_000;
+
+/// The size and distribution parameters of a generated [`CanNetwork`].
+///
+/// Ranges are inclusive on both ends; `max_jitter_pct` is an exclusive
+/// upper bound on the per-message jitter (as an integer percentage of
+/// its period), with `0` meaning jitter-free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetShape {
+    /// Candidate bus bit rates (bits/s), sampled uniformly.
+    pub bit_rates: Vec<u64>,
+    /// Inclusive range of node counts.
+    pub node_range: (usize, usize),
+    /// Inclusive range of message counts.
+    pub message_range: (usize, usize),
+    /// Candidate activation periods in milliseconds.
+    pub periods_ms: Vec<u64>,
+    /// Inclusive range of payload lengths in bytes.
+    pub dlc_range: (u8, u8),
+    /// Exclusive upper bound on jitter as a percentage of the period.
+    pub max_jitter_pct: u64,
+    /// Mix fullCAN, basicCAN and FIFO controllers (fullCAN-only when
+    /// false).
+    pub mixed_controllers: bool,
+    /// First CAN identifier handed out.
+    pub id_base: u32,
+    /// Identifier distance between consecutive messages.
+    pub id_stride: u32,
+}
+
+impl NetShape {
+    /// The general single-bus corpus: 125/250/500 kbit/s, 2–4 fullCAN
+    /// nodes, 3–9 messages with periods of 5–100 ms and up to 40 %
+    /// jitter (the historical `tests/sim_vs_analysis.rs` distribution).
+    pub fn bus() -> Self {
+        NetShape {
+            bit_rates: vec![125_000, 250_000, 500_000],
+            node_range: (2, 4),
+            message_range: (3, 9),
+            periods_ms: vec![5, 10, 20, 50, 100],
+            dlc_range: (1, 8),
+            max_jitter_pct: 40,
+            mixed_controllers: false,
+            id_base: 0x100,
+            id_stride: 8,
+        }
+    }
+
+    /// [`NetShape::bus`] with mixed fullCAN/basicCAN/FIFO controllers,
+    /// exercising the conservative controller analysis against the
+    /// register/queue-faithful simulator.
+    pub fn mixed() -> Self {
+        NetShape {
+            mixed_controllers: true,
+            ..Self::bus()
+        }
+    }
+
+    /// Two fullCAN nodes on a slow bus, moderate jitter — the
+    /// historical `tests/analysis_properties.rs` distribution for
+    /// monotonicity checks.
+    pub fn two_node() -> Self {
+        NetShape {
+            bit_rates: vec![125_000, 250_000],
+            node_range: (2, 2),
+            message_range: (3, 9),
+            periods_ms: vec![5, 10, 20, 50],
+            dlc_range: (1, 8),
+            max_jitter_pct: 30,
+            mixed_controllers: false,
+            id_base: 0x100,
+            id_stride: 16,
+        }
+    }
+
+    /// Small, tight nets on a 100 kbit/s bus: four messages whose
+    /// periods barely fit, so feasible and infeasible identifier
+    /// assignments both occur — the brute-force-vs-Audsley corpus.
+    pub fn tight() -> Self {
+        NetShape {
+            bit_rates: vec![100_000],
+            node_range: (1, 1),
+            message_range: (4, 4),
+            periods_ms: vec![5, 6, 8, 12],
+            dlc_range: (4, 8),
+            max_jitter_pct: 35,
+            mixed_controllers: false,
+            id_base: 0x100,
+            id_stride: 16,
+        }
+    }
+
+    /// Pins the message count to exactly `count`.
+    pub fn messages(mut self, count: usize) -> Self {
+        self.message_range = (count, count);
+        self
+    }
+}
+
+/// Builds a random, structurally valid network from a seed and shape.
+/// Deterministic: the same `(shape, seed)` pair always yields the same
+/// network.
+pub fn random_network(shape: &NetShape, seed: u64) -> CanNetwork {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bit_rate = shape.bit_rates[rng.gen_range(0..shape.bit_rates.len())];
+    let mut net = CanNetwork::new(bit_rate);
+    let nodes = rng.gen_range(shape.node_range.0..=shape.node_range.1);
+    for n in 0..nodes {
+        let controller = if shape.mixed_controllers {
+            match rng.gen_range(0..3) {
+                0 => ControllerType::FullCan,
+                1 => ControllerType::BasicCan,
+                _ => ControllerType::FifoQueue {
+                    depth: rng.gen_range(2..5),
+                },
+            }
+        } else {
+            ControllerType::FullCan
+        };
+        net.add_node(Node::new(format!("N{n}"), controller));
+    }
+    let count = rng.gen_range(shape.message_range.0..=shape.message_range.1);
+    for k in 0..count {
+        let period = Time::from_ms(shape.periods_ms[rng.gen_range(0..shape.periods_ms.len())]);
+        let jitter = if shape.max_jitter_pct == 0 {
+            Time::ZERO
+        } else {
+            period.percent(rng.gen_range(0..shape.max_jitter_pct))
+        };
+        net.add_message(CanMessage::new(
+            format!("m{k}"),
+            CanId::standard(shape.id_base + shape.id_stride * k as u32).expect("valid id"),
+            Dlc::new(rng.gen_range(shape.dlc_range.0..=shape.dlc_range.1)),
+            period,
+            jitter,
+            rng.gen_range(0..nodes),
+        ));
+    }
+    net
+}
+
+/// A two-bus gateway topology: the first message of `bus1` (`fwd_src`)
+/// is routed through a gateway task onto the first message of `bus2`
+/// (`fwd_dst`); the rest is background traffic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatewayChain {
+    /// The upstream bus (500 kbit/s; carries `fwd_src`).
+    pub bus1: CanNetwork,
+    /// The downstream bus (250 kbit/s; carries `fwd_dst`).
+    pub bus2: CanNetwork,
+    /// Best-case gateway processing delay.
+    pub gw_c_min: Time,
+    /// Worst-case gateway processing delay.
+    pub gw_c_max: Time,
+}
+
+impl GatewayChain {
+    /// The gateway's routing task with this chain's processing budget.
+    pub fn route_task(&self) -> Task {
+        Task::periodic(
+            "route",
+            Priority(1),
+            Time::from_ms(10),
+            self.gw_c_min,
+            self.gw_c_max,
+        )
+    }
+}
+
+/// Builds a random gateway chain (the historical
+/// `tests/system_sim_vs_analysis.rs` distribution): a jittery forwarded
+/// stream plus 2–4 upstream and 1–3 downstream background messages.
+pub fn random_chain(seed: u64) -> GatewayChain {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut bus1 = CanNetwork::new(500_000);
+    let ems = bus1.add_node(Node::new("EMS", ControllerType::FullCan));
+    bus1.add_message(CanMessage::new(
+        "fwd_src",
+        CanId::standard(0x120).expect("valid"),
+        Dlc::new(8),
+        Time::from_ms(10),
+        Time::from_ms(rng.gen_range(0..3)),
+        ems,
+    ));
+    for k in 0..rng.gen_range(2..5) {
+        let period = Time::from_ms(*[5u64, 10, 20].get(rng.gen_range(0..3usize)).unwrap());
+        bus1.add_message(CanMessage::new(
+            format!("bg1_{k}"),
+            CanId::standard(0x200 + 16 * k).expect("valid"),
+            Dlc::new(rng.gen_range(2..=8)),
+            period,
+            period.percent(rng.gen_range(0..25)),
+            ems,
+        ));
+    }
+
+    let mut bus2 = CanNetwork::new(250_000);
+    let gw = bus2.add_node(Node::new("GW", ControllerType::FullCan));
+    let esp = bus2.add_node(Node::new("ESP", ControllerType::FullCan));
+    bus2.add_message(CanMessage::new(
+        "fwd_dst",
+        CanId::standard(0x130).expect("valid"),
+        Dlc::new(8),
+        Time::from_ms(10),
+        Time::ZERO, // derived by propagation
+        gw,
+    ));
+    for k in 0..rng.gen_range(1..4) {
+        let period = Time::from_ms(*[10u64, 20, 50].get(rng.gen_range(0..3usize)).unwrap());
+        bus2.add_message(CanMessage::new(
+            format!("bg2_{k}"),
+            CanId::standard(0x300 + 16 * k).expect("valid"),
+            Dlc::new(rng.gen_range(2..=8)),
+            period,
+            period.percent(rng.gen_range(0..25)),
+            esp,
+        ));
+    }
+    GatewayChain {
+        bus1,
+        bus2,
+        gw_c_min: Time::from_us(30),
+        gw_c_max: Time::from_us(150),
+    }
+}
+
+/// A random periodic ECU task set of `count` tasks whose total
+/// utilization stays below one half (so generated systems remain in the
+/// analyzable regime).
+pub fn random_task_set(seed: u64, count: usize) -> Vec<Task> {
+    assert!(count > 0, "task set must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7461_736b); // "task"
+    (0..count)
+        .map(|k| {
+            let period = Time::from_ms(*[5u64, 10, 20, 50].get(rng.gen_range(0..4usize)).unwrap());
+            let budget_us = (period.as_ns() / 1_000) / (2 * count as u64);
+            let c_max = Time::from_us(rng.gen_range(50..budget_us.max(52)));
+            let c_min = Time::from_us(rng.gen_range(10..=c_max.as_ns() / 1_000));
+            Task::periodic(
+                format!("t{k}"),
+                Priority(k as u32 + 1),
+                period,
+                c_min,
+                c_max,
+            )
+        })
+        .collect()
+}
+
+/// A random named scenario (stuffing, error model, deadline override).
+pub fn random_scenario(seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5ce0);
+    match rng.gen_range(0..4) {
+        0 => Scenario::best_case(),
+        1 => Scenario::worst_case(),
+        2 => Scenario::sporadic_errors(Time::from_ms(
+            *[5u64, 10, 20, 50].get(rng.gen_range(0..4usize)).unwrap(),
+        )),
+        _ => Scenario::best_case_period_deadline(),
+    }
+}
+
+/// A random [`SystemVariant`] over `base`: a random scenario plus,
+/// each with probability one half, a jitter overlay and an identifier
+/// permutation.
+pub fn random_variant(base: &Arc<BaseSystem>, seed: u64) -> SystemVariant {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7a61);
+    let mut variant = SystemVariant::new(Arc::clone(base), random_scenario(seed));
+    if rng.gen_bool(0.5) {
+        let overlay = match rng.gen_range(0..3) {
+            0 => JitterOverlay::UniformRatio(rng.gen_range(0..=60) as f64 / 100.0),
+            1 => JitterOverlay::AssumedUnknownRatio(rng.gen_range(0..=60) as f64 / 100.0),
+            _ => JitterOverlay::Scale(rng.gen_range(0..=250) as f64 / 100.0),
+        };
+        variant = variant.with_jitter(overlay);
+    }
+    if rng.gen_bool(0.5) {
+        let n = base.network().messages().len();
+        variant = variant.with_permutation(Arc::new(random_permutation(&mut rng, n)));
+    }
+    variant
+}
+
+/// Fisher–Yates shuffle of `0..n`.
+fn random_permutation(rng: &mut StdRng, n: usize) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        perm.swap(i, rng.gen_range(0..=i));
+    }
+    perm
+}
+
+/// Proptest strategy yielding `(seed, network)` pairs for a shape. The
+/// seed is recorded through [`proptest::seeds`], so a failing property
+/// prints it and `carta fuzz --seed <n>` can rebuild the exact network.
+#[derive(Debug, Clone)]
+pub struct NetworkStrategy {
+    shape: NetShape,
+}
+
+/// Strategy over [`random_network`] draws for `shape`.
+pub fn networks(shape: NetShape) -> NetworkStrategy {
+    NetworkStrategy { shape }
+}
+
+impl Strategy for NetworkStrategy {
+    type Value = (u64, CanNetwork);
+
+    fn generate(&self, rng: &mut TestRng) -> (u64, CanNetwork) {
+        let seed = rng.below(STRATEGY_SEEDS);
+        proptest::seeds::record(seed);
+        (seed, random_network(&self.shape, seed))
+    }
+}
+
+/// Proptest strategy yielding `(seed, chain)` pairs; seeds are recorded
+/// like [`networks`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChainStrategy;
+
+/// Strategy over [`random_chain`] draws.
+pub fn chains() -> ChainStrategy {
+    ChainStrategy
+}
+
+impl Strategy for ChainStrategy {
+    type Value = (u64, GatewayChain);
+
+    fn generate(&self, rng: &mut TestRng) -> (u64, GatewayChain) {
+        let seed = rng.below(STRATEGY_SEEDS);
+        proptest::seeds::record(seed);
+        (seed, random_chain(seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn networks_are_deterministic_and_valid() {
+        for shape in [
+            NetShape::bus(),
+            NetShape::mixed(),
+            NetShape::two_node(),
+            NetShape::tight(),
+        ] {
+            for seed in 0..24 {
+                let net = random_network(&shape, seed);
+                net.validate().expect("generated network is valid");
+                assert_eq!(net, random_network(&shape, seed), "same seed, same net");
+                assert!(net.messages().len() >= shape.message_range.0);
+                assert!(net.messages().len() <= shape.message_range.1);
+            }
+        }
+    }
+
+    #[test]
+    fn message_count_can_be_pinned() {
+        let net = random_network(&NetShape::two_node().messages(6), 3);
+        assert_eq!(net.messages().len(), 6);
+        assert_eq!(net.nodes().len(), 2);
+    }
+
+    #[test]
+    fn chains_are_deterministic_and_valid() {
+        for seed in 0..12 {
+            let chain = random_chain(seed);
+            chain.bus1.validate().expect("bus1 valid");
+            chain.bus2.validate().expect("bus2 valid");
+            assert_eq!(chain, random_chain(seed));
+            assert_eq!(chain.bus1.messages()[0].name, "fwd_src");
+            assert_eq!(chain.bus2.messages()[0].name, "fwd_dst");
+        }
+    }
+
+    #[test]
+    fn task_sets_stay_under_half_utilization() {
+        for seed in 0..12 {
+            let tasks = random_task_set(seed, 5);
+            assert_eq!(tasks.len(), 5);
+            let u: f64 = tasks
+                .iter()
+                .map(|t| t.c_max.as_ns() as f64 / t.activation.period().as_ns() as f64)
+                .sum();
+            assert!(u < 0.5, "utilization {u} too high");
+        }
+    }
+
+    #[test]
+    fn variants_are_deterministic() {
+        let base = BaseSystem::new(random_network(&NetShape::bus(), 5));
+        for seed in 0..24 {
+            let a = random_variant(&base, seed);
+            let b = random_variant(&base, seed);
+            assert_eq!(a.key(), b.key());
+            a.materialize().validate().expect("variant stays valid");
+        }
+    }
+
+    #[test]
+    fn strategies_record_their_seeds() {
+        proptest::seeds::reset();
+        let mut rng = proptest::test_runner::TestRng::from_seed(11);
+        let (seed, net) = networks(NetShape::bus()).generate(&mut rng);
+        assert_eq!(net, random_network(&NetShape::bus(), seed));
+        let (chain_seed, chain) = chains().generate(&mut rng);
+        assert_eq!(chain, random_chain(chain_seed));
+        assert_eq!(proptest::seeds::recorded(), vec![seed, chain_seed]);
+        proptest::seeds::reset();
+    }
+}

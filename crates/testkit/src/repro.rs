@@ -1,0 +1,375 @@
+//! Replayable counterexample files.
+//!
+//! When the fuzz runner (or the differential oracle) finds a violation
+//! it shrinks the case and serializes the minimal network — together
+//! with the law name, the originating seed and the error model — as a
+//! small JSON document (schema `carta.repro.v1`). The file is
+//! self-contained: [`Repro::from_json`] followed by [`Repro::replay`]
+//! re-runs the exact failing check without the generator.
+
+use crate::laws::{law_by_name, LawCase};
+use crate::oracle::{DiffOracle, Violation};
+use carta_can::controller::ControllerType;
+use carta_can::frame::{Dlc, FrameKind};
+use carta_can::message::{CanId, CanMessage, DeadlinePolicy};
+use carta_can::network::{CanNetwork, Node};
+use carta_core::event_model::{ActivationKind, EventModel};
+use carta_core::time::Time;
+use carta_engine::prelude::{ErrorSpec, Evaluator};
+use carta_obs::json::{parse, ObjectBuilder, Value};
+use std::fmt;
+
+/// Schema identifier written into every repro document.
+pub const SCHEMA: &str = "carta.repro.v1";
+
+/// A minimal, replayable counterexample for one law.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Repro {
+    /// Name of the violated law (see [`crate::laws::law_names`]).
+    pub law: String,
+    /// Seed the failing case originated from.
+    pub seed: u64,
+    /// Error model the case ran under (after shrinking).
+    pub errors: ErrorSpec,
+    /// Human-readable description of the violation.
+    pub violation: String,
+    /// Number of accepted shrink steps that led to this network.
+    pub shrink_steps: u64,
+    /// The shrunk network.
+    pub network: CanNetwork,
+}
+
+/// Failure to decode a repro document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReproError(String);
+
+impl ReproError {
+    fn new(message: impl Into<String>) -> Self {
+        ReproError(message.into())
+    }
+}
+
+impl fmt::Display for ReproError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid repro: {}", self.0)
+    }
+}
+
+impl std::error::Error for ReproError {}
+
+impl Repro {
+    /// A stable, filesystem-friendly name for this repro.
+    pub fn file_name(&self) -> String {
+        format!("{}-seed{}.json", self.law, self.seed)
+    }
+
+    /// Re-runs the failing check on the embedded network.
+    ///
+    /// Dispatches to the named law; unknown law names fall back to the
+    /// differential oracle so old repro files keep replaying after a
+    /// law is renamed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Violation`] if the defect still reproduces.
+    pub fn replay(&self) -> Result<(), Violation> {
+        let eval = Evaluator::default();
+        let case = LawCase {
+            seed: self.seed,
+            errors: self.errors,
+        };
+        match law_by_name(&self.law) {
+            Some(law) => law.check(&self.network, &case, &eval),
+            None => DiffOracle::default().check(&eval, &self.network, self.errors, self.seed),
+        }
+    }
+
+    /// Serializes the repro as a `carta.repro.v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let nodes: Vec<String> = self
+            .network
+            .nodes()
+            .iter()
+            .map(|n| {
+                let b = ObjectBuilder::new().string("name", &n.name);
+                match n.controller {
+                    ControllerType::FullCan => b.string("controller", "full"),
+                    ControllerType::BasicCan => b.string("controller", "basic"),
+                    ControllerType::FifoQueue { depth } => {
+                        b.string("controller", "fifo").uint("depth", depth as u64)
+                    }
+                }
+                .build()
+            })
+            .collect();
+        let messages: Vec<String> = self
+            .network
+            .messages()
+            .iter()
+            .map(|m| {
+                let b = ObjectBuilder::new()
+                    .string("name", &m.name)
+                    .uint("id", u64::from(m.id.raw()))
+                    .string(
+                        "frame",
+                        match m.id.kind() {
+                            FrameKind::Standard => "standard",
+                            FrameKind::Extended => "extended",
+                        },
+                    )
+                    .uint("dlc", u64::from(m.dlc.bytes()))
+                    .string(
+                        "activation",
+                        match m.activation.kind() {
+                            ActivationKind::Periodic => "periodic",
+                            ActivationKind::Sporadic => "sporadic",
+                        },
+                    )
+                    .uint("period_ns", m.activation.period().as_ns())
+                    .uint("jitter_ns", m.activation.jitter().as_ns())
+                    .uint("dmin_ns", m.activation.dmin().as_ns())
+                    .uint("sender", m.sender as u64);
+                match m.deadline {
+                    DeadlinePolicy::Period => b.string("deadline", "period"),
+                    DeadlinePolicy::MinReArrival => b.string("deadline", "min_rearrival"),
+                    DeadlinePolicy::Explicit(t) => b
+                        .string("deadline", "explicit")
+                        .uint("deadline_ns", t.as_ns()),
+                }
+                .build()
+            })
+            .collect();
+        let network = ObjectBuilder::new()
+            .uint("bit_rate", self.network.bit_rate())
+            .raw("nodes", &format!("[{}]", nodes.join(",")))
+            .raw("messages", &format!("[{}]", messages.join(",")))
+            .build();
+        let errors = match self.errors {
+            ErrorSpec::None => ObjectBuilder::new().string("kind", "none").build(),
+            ErrorSpec::Sporadic { interval } => ObjectBuilder::new()
+                .string("kind", "sporadic")
+                .uint("interval_ns", interval.as_ns())
+                .build(),
+            ErrorSpec::Burst {
+                burst_len,
+                intra_gap,
+                inter_burst,
+            } => ObjectBuilder::new()
+                .string("kind", "burst")
+                .uint("burst_len", burst_len)
+                .uint("intra_gap_ns", intra_gap.as_ns())
+                .uint("inter_burst_ns", inter_burst.as_ns())
+                .build(),
+        };
+        ObjectBuilder::new()
+            .string("schema", SCHEMA)
+            .string("law", &self.law)
+            // Seeds use the full u64 range; a JSON number would go
+            // through f64 on parse and lose bits, so store a string.
+            .string("seed", &self.seed.to_string())
+            .raw("errors", &errors)
+            .string("violation", &self.violation)
+            .uint("shrink_steps", self.shrink_steps)
+            .raw("network", &network)
+            .build()
+    }
+
+    /// Decodes a `carta.repro.v1` document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReproError`] on malformed JSON, a wrong schema tag or
+    /// out-of-range fields.
+    pub fn from_json(input: &str) -> Result<Self, ReproError> {
+        let doc = parse(input).map_err(|e| ReproError::new(e.to_string()))?;
+        let schema = req_str(&doc, "schema")?;
+        if schema != SCHEMA {
+            return Err(ReproError::new(format!(
+                "unsupported schema `{schema}` (expected `{SCHEMA}`)"
+            )));
+        }
+        let seed: u64 = req_str(&doc, "seed")?
+            .parse()
+            .map_err(|_| ReproError::new("`seed` is not a u64"))?;
+        let errors = decode_errors(req(&doc, "errors")?)?;
+        let network = decode_network(req(&doc, "network")?)?;
+        Ok(Repro {
+            law: req_str(&doc, "law")?.to_string(),
+            seed,
+            errors,
+            violation: req_str(&doc, "violation")?.to_string(),
+            shrink_steps: req_u64(&doc, "shrink_steps")?,
+            network,
+        })
+    }
+}
+
+fn req<'a>(v: &'a Value, key: &str) -> Result<&'a Value, ReproError> {
+    v.get(key)
+        .ok_or_else(|| ReproError::new(format!("missing `{key}`")))
+}
+
+fn req_str<'a>(v: &'a Value, key: &str) -> Result<&'a str, ReproError> {
+    req(v, key)?
+        .as_str()
+        .ok_or_else(|| ReproError::new(format!("`{key}` is not a string")))
+}
+
+fn req_u64(v: &Value, key: &str) -> Result<u64, ReproError> {
+    let n = req(v, key)?
+        .as_f64()
+        .ok_or_else(|| ReproError::new(format!("`{key}` is not a number")))?;
+    if n < 0.0 || n.fract() != 0.0 || n >= 9_007_199_254_740_992.0 {
+        return Err(ReproError::new(format!(
+            "`{key}` is not an exact unsigned integer"
+        )));
+    }
+    Ok(n as u64)
+}
+
+fn req_arr<'a>(v: &'a Value, key: &str) -> Result<&'a [Value], ReproError> {
+    match req(v, key)? {
+        Value::Arr(items) => Ok(items),
+        _ => Err(ReproError::new(format!("`{key}` is not an array"))),
+    }
+}
+
+fn decode_errors(v: &Value) -> Result<ErrorSpec, ReproError> {
+    match req_str(v, "kind")? {
+        "none" => Ok(ErrorSpec::None),
+        "sporadic" => Ok(ErrorSpec::Sporadic {
+            interval: Time::from_ns(req_u64(v, "interval_ns")?),
+        }),
+        "burst" => Ok(ErrorSpec::Burst {
+            burst_len: req_u64(v, "burst_len")?,
+            intra_gap: Time::from_ns(req_u64(v, "intra_gap_ns")?),
+            inter_burst: Time::from_ns(req_u64(v, "inter_burst_ns")?),
+        }),
+        other => Err(ReproError::new(format!("unknown error kind `{other}`"))),
+    }
+}
+
+fn decode_network(v: &Value) -> Result<CanNetwork, ReproError> {
+    let mut net = CanNetwork::new(req_u64(v, "bit_rate")?);
+    for node in req_arr(v, "nodes")? {
+        let controller = match req_str(node, "controller")? {
+            "full" => ControllerType::FullCan,
+            "basic" => ControllerType::BasicCan,
+            "fifo" => ControllerType::FifoQueue {
+                depth: req_u64(node, "depth")?
+                    .try_into()
+                    .map_err(|_| ReproError::new("fifo `depth` out of range"))?,
+            },
+            other => return Err(ReproError::new(format!("unknown controller `{other}`"))),
+        };
+        net.add_node(Node::new(req_str(node, "name")?, controller));
+    }
+    let node_count = net.nodes().len();
+    for m in req_arr(v, "messages")? {
+        let raw =
+            u32::try_from(req_u64(m, "id")?).map_err(|_| ReproError::new("`id` out of range"))?;
+        let id = match req_str(m, "frame")? {
+            "standard" => CanId::standard(raw),
+            "extended" => CanId::extended(raw),
+            other => return Err(ReproError::new(format!("unknown frame kind `{other}`"))),
+        }
+        .map_err(|e| ReproError::new(e.to_string()))?;
+        let kind = match req_str(m, "activation")? {
+            "periodic" => ActivationKind::Periodic,
+            "sporadic" => ActivationKind::Sporadic,
+            other => return Err(ReproError::new(format!("unknown activation `{other}`"))),
+        };
+        let activation = EventModel::new(
+            kind,
+            Time::from_ns(req_u64(m, "period_ns")?),
+            Time::from_ns(req_u64(m, "jitter_ns")?),
+            Time::from_ns(req_u64(m, "dmin_ns")?),
+        );
+        let deadline = match req_str(m, "deadline")? {
+            "period" => DeadlinePolicy::Period,
+            "min_rearrival" => DeadlinePolicy::MinReArrival,
+            "explicit" => DeadlinePolicy::Explicit(Time::from_ns(req_u64(m, "deadline_ns")?)),
+            other => return Err(ReproError::new(format!("unknown deadline `{other}`"))),
+        };
+        let sender = req_u64(m, "sender")? as usize;
+        if sender >= node_count {
+            return Err(ReproError::new(format!(
+                "message sender {sender} exceeds node count {node_count}"
+            )));
+        }
+        let dlc = req_u64(m, "dlc")?;
+        if !(1..=8).contains(&dlc) {
+            return Err(ReproError::new(format!("dlc {dlc} out of range 1..=8")));
+        }
+        net.add_message(CanMessage {
+            name: req_str(m, "name")?.to_string(),
+            id,
+            dlc: Dlc::new(dlc as u8),
+            activation,
+            deadline,
+            sender,
+        });
+    }
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{random_network, NetShape};
+
+    fn sample(seed: u64) -> Repro {
+        Repro {
+            law: "sim-never-exceeds-analysis".into(),
+            seed,
+            errors: ErrorSpec::Burst {
+                burst_len: 2,
+                intra_gap: Time::from_us(200),
+                inter_burst: Time::from_ms(25),
+            },
+            violation: "max_response 1.2ms > wcrt 1.1ms for `m0`".into(),
+            shrink_steps: 7,
+            network: random_network(&NetShape::mixed(), seed),
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        for seed in [0u64, 3, u64::MAX] {
+            let repro = sample(seed);
+            let decoded = Repro::from_json(&repro.to_json()).expect("roundtrip");
+            assert_eq!(decoded, repro);
+        }
+    }
+
+    #[test]
+    fn replay_of_a_sound_network_passes() {
+        let mut repro = sample(5);
+        repro.errors = ErrorSpec::None;
+        repro.replay().expect("sound network replays clean");
+        // Unknown law names fall back to the differential oracle.
+        repro.law = "retired-law".into();
+        repro.replay().expect("fallback replays clean");
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        assert!(Repro::from_json("{").is_err());
+        assert!(Repro::from_json("{\"schema\":\"carta.repro.v0\"}")
+            .unwrap_err()
+            .to_string()
+            .contains("unsupported schema"));
+        let mut repro = sample(1);
+        repro.seed = 42;
+        let doc = repro.to_json().replace("\"seed\":\"42\"", "\"seed\":\"x\"");
+        assert!(Repro::from_json(&doc).is_err());
+    }
+
+    #[test]
+    fn file_names_are_stable() {
+        assert_eq!(
+            sample(9).file_name(),
+            "sim-never-exceeds-analysis-seed9.json"
+        );
+    }
+}

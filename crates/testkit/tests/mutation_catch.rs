@@ -1,0 +1,50 @@
+//! End-to-end sensitivity check: an intentionally-broken analysis
+//! (blocking term dropped via the hidden `test_mutations` hook) must be
+//! caught by the differential oracle, shrunk to a tiny counterexample,
+//! survive a JSON round trip, and replay clean once the fault is gone.
+//!
+//! Kept as a single `#[test]` in its own binary: the fault hook is
+//! process-global, so nothing else may run concurrently with it.
+
+use carta_can::rta::test_mutations;
+use carta_testkit::prelude::*;
+
+#[test]
+fn dropped_blocking_term_is_caught_and_shrunk() {
+    test_mutations::set_drop_blocking(true);
+    let oracle = DiffOracle::default();
+    let mut caught = None;
+    for seed in 0..48u64 {
+        // A fresh evaluator per seed: the cache must not serve reports
+        // computed under a different mutation state.
+        let eval = Evaluator::default();
+        let net = random_network(&NetShape::bus(), seed);
+        if let Err(repro) = oracle.check_and_shrink(&eval, &net, ErrorSpec::None, seed) {
+            caught = Some(repro);
+            break;
+        }
+    }
+    test_mutations::set_drop_blocking(false);
+
+    let repro = caught.expect(
+        "dropping the blocking term must be observable within 48 seeds — \
+         the oracle lost its teeth",
+    );
+    assert!(
+        repro.network.messages().len() <= 4,
+        "shrinker left {} messages (steps: {}): {}",
+        repro.network.messages().len(),
+        repro.shrink_steps,
+        repro.violation
+    );
+    assert_eq!(repro.law, ORACLE_LAW);
+
+    // The counterexample must survive serialization untouched...
+    let decoded = Repro::from_json(&repro.to_json()).expect("repro roundtrips");
+    assert_eq!(decoded, *repro);
+
+    // ...and replay clean now that the analysis is sound again.
+    decoded
+        .replay()
+        .expect("with the fault disabled the repro must pass");
+}

@@ -17,6 +17,54 @@ pub mod test_runner;
 
 use test_runner::TestRng;
 
+/// Seed bookkeeping for strategies that wrap external seeded
+/// generators (e.g. `carta-testkit`'s network strategies, which draw a
+/// `u64` seed and build the value with `StdRng`). Upstream proptest
+/// persists failing cases to disk; this stand-in instead lets a
+/// strategy [`record`](seeds::record) the seeds it consumed so the
+/// `proptest!` failure message can print them — enough to replay the
+/// case through `carta fuzz --seed <n>` from a CI log alone.
+pub mod seeds {
+    use std::cell::RefCell;
+
+    thread_local! {
+        static RECORDED: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Records a seed consumed while generating the current case.
+    pub fn record(seed: u64) {
+        RECORDED.with(|r| r.borrow_mut().push(seed));
+    }
+
+    /// Clears the record (the `proptest!` macro calls this before each
+    /// case's generation phase).
+    pub fn reset() {
+        RECORDED.with(|r| r.borrow_mut().clear());
+    }
+
+    /// All seeds recorded since the last [`reset`].
+    pub fn recorded() -> Vec<u64> {
+        RECORDED.with(|r| r.borrow().clone())
+    }
+
+    /// Renders the recorded seeds as a replay hint for failure
+    /// messages, or an empty string if no strategy recorded any.
+    pub fn replay_hint() -> String {
+        let recorded = recorded();
+        if recorded.is_empty() {
+            return String::new();
+        }
+        let list = recorded
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            " [strategy seeds: {list}; replay with `carta fuzz --seed <seed>` or `--repro <file>`]"
+        )
+    }
+}
+
 /// Failure raised by `prop_assert!`-style macros inside a case.
 #[derive(Debug, Clone)]
 pub struct TestCaseError(String);
@@ -442,6 +490,7 @@ macro_rules! __proptest_cases {
                 let mut rng =
                     $crate::test_runner::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
                 for case in 0..config.cases {
+                    $crate::seeds::reset();
                     $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
                     let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
                         $body
@@ -449,11 +498,12 @@ macro_rules! __proptest_cases {
                     })();
                     if let ::std::result::Result::Err(e) = outcome {
                         panic!(
-                            "property `{}` failed at case {}/{}: {}",
+                            "property `{}` failed at case {}/{}: {}{}",
                             stringify!($name),
                             case + 1,
                             config.cases,
-                            e
+                            e,
+                            $crate::seeds::replay_hint()
                         );
                     }
                 }
@@ -532,6 +582,49 @@ mod tests {
             prop_assert!(x < 50);
             prop_assert_eq!(u64::from(flag) <= 1, true);
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "strategy seeds: 41")]
+    fn failure_message_names_recorded_seeds() {
+        mod inner {
+            use crate::prelude::*;
+
+            struct Seeded;
+            impl Strategy for Seeded {
+                type Value = u64;
+                fn generate(&self, rng: &mut crate::test_runner::TestRng) -> u64 {
+                    let seed = 41 + rng.below(1);
+                    crate::seeds::record(seed);
+                    seed
+                }
+            }
+
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(2))]
+                #[test]
+                fn fails_with_seed(seed in Seeded) {
+                    prop_assert!(seed > 100, "seed was {}", seed);
+                }
+            }
+            pub fn run() {
+                fails_with_seed();
+            }
+        }
+        inner::run();
+    }
+
+    #[test]
+    fn seed_record_resets_between_uses() {
+        crate::seeds::reset();
+        assert!(crate::seeds::recorded().is_empty());
+        assert_eq!(crate::seeds::replay_hint(), "");
+        crate::seeds::record(7);
+        crate::seeds::record(9);
+        assert_eq!(crate::seeds::recorded(), vec![7, 9]);
+        assert!(crate::seeds::replay_hint().contains("7, 9"));
+        crate::seeds::reset();
+        assert!(crate::seeds::recorded().is_empty());
     }
 
     #[test]

@@ -4,50 +4,22 @@
 //!   *improve* a worst-case response time,
 //! * OPA optimality — Audsley's assignment finds a feasible identifier
 //!   order exactly when brute-force enumeration finds one (small nets).
+//!
+//! Networks come from `carta_testkit::gen` (the `two_node` and `tight`
+//! shapes); the full metamorphic law catalogue lives in
+//! `carta_testkit::laws` and is fuzzed by `carta fuzz` — this suite
+//! keeps the historical direct checks plus the brute-force OPA cross
+//! validation that is too expensive for the fuzz loop.
 
 use carta::prelude::*;
+use carta_testkit::prelude::*;
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-fn random_net(seed: u64, n_messages: usize) -> CanNetwork {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut net = CanNetwork::new(*[125_000, 250_000].get(rng.gen_range(0..2usize)).unwrap());
-    let a = net.add_node(Node::new("A", ControllerType::FullCan));
-    let b = net.add_node(Node::new("B", ControllerType::FullCan));
-    for k in 0..n_messages {
-        let period = Time::from_ms(*[5u64, 10, 20, 50].get(rng.gen_range(0..4usize)).unwrap());
-        net.add_message(CanMessage::new(
-            format!("m{k}"),
-            CanId::standard(0x100 + 16 * k as u32).expect("valid"),
-            Dlc::new(rng.gen_range(1..=8)),
-            period,
-            period.percent(rng.gen_range(0..30)),
-            if rng.gen_bool(0.5) { a } else { b },
-        ));
-    }
-    net
-}
-
-fn wcrts(report: &BusReport) -> Vec<Option<Time>> {
-    report.messages.iter().map(|m| m.outcome.wcrt()).collect()
-}
-
-/// `a` is pointwise at most `b`, treating `None` (unbounded) as +∞.
-fn pointwise_le(a: &[Option<Time>], b: &[Option<Time>]) -> bool {
-    a.iter().zip(b).all(|(x, y)| match (x, y) {
-        (_, None) => true,
-        (None, Some(_)) => false,
-        (Some(x), Some(y)) => x <= y,
-    })
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
-    fn jitter_monotonicity(seed in 0u64..5_000, bump in 1u64..20) {
-        let net = random_net(seed, 6);
+    fn jitter_monotonicity((seed, net) in networks(NetShape::two_node().messages(6)), bump in 1u64..20) {
         let cfg = AnalysisConfig::default();
         let base = analyze_bus(&net, &NoErrors, &cfg).expect("valid");
         // Bump one message's jitter.
@@ -66,8 +38,7 @@ proptest! {
     }
 
     #[test]
-    fn error_rate_monotonicity(seed in 0u64..5_000) {
-        let net = random_net(seed, 5);
+    fn error_rate_monotonicity((seed, net) in networks(NetShape::two_node().messages(5))) {
         let cfg = AnalysisConfig::default();
         let calm = analyze_bus(&net, &SporadicErrors::new(Time::from_ms(50)), &cfg)
             .expect("valid");
@@ -82,8 +53,7 @@ proptest! {
     }
 
     #[test]
-    fn added_traffic_monotonicity(seed in 0u64..5_000) {
-        let net = random_net(seed, 5);
+    fn added_traffic_monotonicity((seed, net) in networks(NetShape::two_node().messages(5))) {
         let cfg = AnalysisConfig::default();
         let base = analyze_bus(&net, &NoErrors, &cfg).expect("valid");
         // Add one more message (any priority position).
@@ -111,8 +81,7 @@ proptest! {
     }
 
     #[test]
-    fn stuffing_monotonicity(seed in 0u64..5_000) {
-        let net = random_net(seed, 6);
+    fn stuffing_monotonicity((seed, net) in networks(NetShape::two_node().messages(6))) {
         let lean = analyze_bus(
             &net,
             &NoErrors,
@@ -120,7 +89,28 @@ proptest! {
         )
         .expect("valid");
         let stuffed = analyze_bus(&net, &NoErrors, &AnalysisConfig::default()).expect("valid");
-        prop_assert!(pointwise_le(&wcrts(&lean), &wcrts(&stuffed)));
+        prop_assert!(
+            pointwise_le(&wcrts(&lean), &wcrts(&stuffed)),
+            "stuffing overhead reduced some WCRT (seed {seed})"
+        );
+    }
+}
+
+/// The law catalogue holds on the two-node shape as well (the fuzz
+/// runner's corpus only covers the `bus` and `mixed` shapes).
+#[test]
+fn law_catalogue_holds_on_two_node_nets() {
+    let eval = Evaluator::default();
+    for law in all_laws() {
+        for seed in 0..2u64 {
+            let net = random_network(&NetShape::two_node(), seed);
+            let case = LawCase {
+                seed,
+                errors: ErrorSpec::None,
+            };
+            law.check(&net, &case, &eval)
+                .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+        }
     }
 }
 
@@ -172,21 +162,8 @@ fn opa_agrees_with_brute_force_on_small_nets() {
     let mut feasible_seen = 0;
     let mut infeasible_seen = 0;
     for seed in 0..40u64 {
-        let mut rng = StdRng::seed_from_u64(seed);
         // Small, tight nets on a slow bus so both verdicts occur.
-        let mut net = CanNetwork::new(100_000);
-        let a = net.add_node(Node::new("A", ControllerType::FullCan));
-        for k in 0..4usize {
-            let period = Time::from_ms(*[5u64, 6, 8, 12].get(rng.gen_range(0..4usize)).unwrap());
-            net.add_message(CanMessage::new(
-                format!("m{k}"),
-                CanId::standard(0x100 + 16 * k as u32).expect("valid"),
-                Dlc::new(rng.gen_range(4..=8)),
-                period,
-                period.percent(rng.gen_range(0..35)),
-                a,
-            ));
-        }
+        let net = random_network(&NetShape::tight(), seed);
         let opa = audsley_assignment(&net, &errors, &cfg).expect("valid network");
         let brute = brute_force_feasible(&net, &errors);
         assert_eq!(

@@ -1,0 +1,228 @@
+//! Equivalence gate for the deprecated free-function sweep API: every
+//! `foo(...)` / `foo_with(&Evaluator, ...)` shim left in
+//! `carta-explore` must return results bit-identical (same `Debug`
+//! rendering, covering every field) to its `Sweeps` trait replacement
+//! on an `Evaluator`. The shims stay until downstream callers migrate;
+//! this suite guarantees the migration is a pure rename.
+#![allow(deprecated)]
+
+use carta::prelude::*;
+use carta_testkit::prelude::*;
+
+const RATIOS: &[f64] = &[0.0, 0.25, 0.5, 1.0];
+
+/// A small corpus: random two-node nets plus the powertrain case study
+/// (the only fixture with realistic bit-rate/template headroom).
+fn corpus() -> Vec<(u64, CanNetwork)> {
+    let mut nets: Vec<(u64, CanNetwork)> = (0..3u64)
+        .map(|seed| {
+            (
+                seed,
+                random_network(&NetShape::two_node().messages(5), seed),
+            )
+        })
+        .collect();
+    nets.push((
+        u64::MAX,
+        powertrain_default().to_network().expect("convertible"),
+    ));
+    nets
+}
+
+fn intervals() -> Vec<Time> {
+    vec![Time::from_ms(50), Time::from_ms(20), Time::from_ms(10)]
+}
+
+/// Asserts one shim pair against the trait rendering.
+fn assert_matches(label: &str, seed: u64, via_trait: &str, plain: String, with: String) {
+    assert_eq!(
+        plain, via_trait,
+        "{label}: plain shim diverged (seed {seed})"
+    );
+    assert_eq!(
+        with, via_trait,
+        "{label}: _with shim diverged (seed {seed})"
+    );
+}
+
+#[test]
+fn loss_vs_jitter_shims_match_the_trait() {
+    let eval = Evaluator::default();
+    let scenario = Scenario::worst_case();
+    for (seed, net) in corpus() {
+        let via_trait = format!("{:?}", eval.loss_vs_jitter(&net, &scenario, RATIOS));
+        assert_matches(
+            "loss_vs_jitter",
+            seed,
+            &via_trait,
+            format!("{:?}", loss_vs_jitter(&net, &scenario, RATIOS)),
+            format!("{:?}", loss_vs_jitter_with(&eval, &net, &scenario, RATIOS)),
+        );
+    }
+}
+
+#[test]
+fn response_vs_jitter_shims_match_the_trait() {
+    let eval = Evaluator::default();
+    let scenario = Scenario::worst_case();
+    for (seed, net) in corpus() {
+        // Exercise both the full selection and a named subset.
+        let first = net.messages()[0].name.clone();
+        for only in [None, Some([first.as_str()].as_slice())] {
+            let via_trait = format!(
+                "{:?}",
+                eval.response_vs_jitter(&net, &scenario, RATIOS, only)
+            );
+            assert_matches(
+                "response_vs_jitter",
+                seed,
+                &via_trait,
+                format!("{:?}", response_vs_jitter(&net, &scenario, RATIOS, only)),
+                format!(
+                    "{:?}",
+                    response_vs_jitter_with(&eval, &net, &scenario, RATIOS, only)
+                ),
+            );
+        }
+    }
+}
+
+#[test]
+fn response_vs_error_rate_shims_match_the_trait() {
+    let eval = Evaluator::default();
+    let grid = intervals();
+    for (seed, net) in corpus() {
+        let via_trait = format!(
+            "{:?}",
+            eval.response_vs_error_rate(&net, StuffingMode::default(), &grid, None)
+        );
+        assert_matches(
+            "response_vs_error_rate",
+            seed,
+            &via_trait,
+            format!(
+                "{:?}",
+                response_vs_error_rate(&net, StuffingMode::default(), &grid, None)
+            ),
+            format!(
+                "{:?}",
+                response_vs_error_rate_with(&eval, &net, StuffingMode::default(), &grid, None)
+            ),
+        );
+    }
+}
+
+#[test]
+fn max_schedulable_jitter_shims_match_the_trait() {
+    let eval = Evaluator::default();
+    let scenario = Scenario::sporadic_errors(Time::from_ms(10));
+    for (seed, net) in corpus() {
+        let via_trait = format!(
+            "{:?}",
+            eval.max_schedulable_jitter(&net, &scenario, 2.0, 0.05)
+        );
+        assert_matches(
+            "max_schedulable_jitter",
+            seed,
+            &via_trait,
+            format!("{:?}", max_schedulable_jitter(&net, &scenario, 2.0, 0.05)),
+            format!(
+                "{:?}",
+                max_schedulable_jitter_with(&eval, &net, &scenario, 2.0, 0.05)
+            ),
+        );
+    }
+}
+
+#[test]
+fn required_tx_depths_shims_match_the_trait() {
+    let eval = Evaluator::default();
+    let scenario = Scenario::worst_case();
+    for (seed, net) in corpus() {
+        let via_trait = format!("{:?}", eval.required_tx_depths(&net, &scenario));
+        assert_matches(
+            "required_tx_depths",
+            seed,
+            &via_trait,
+            format!("{:?}", required_tx_depths(&net, &scenario)),
+            format!("{:?}", required_tx_depths_with(&eval, &net, &scenario)),
+        );
+    }
+}
+
+#[test]
+fn required_rx_depth_shims_match_the_trait() {
+    let eval = Evaluator::default();
+    let scenario = Scenario::worst_case();
+    let drain = Time::from_ms(5);
+    for (seed, net) in corpus() {
+        // Every node, plus one out-of-range index (the error path must
+        // stay identical too).
+        for node in 0..=net.nodes().len() {
+            let via_trait = format!("{:?}", eval.required_rx_depth(&net, &scenario, node, drain));
+            assert_matches(
+                "required_rx_depth",
+                seed,
+                &via_trait,
+                format!("{:?}", required_rx_depth(&net, &scenario, node, drain)),
+                format!(
+                    "{:?}",
+                    required_rx_depth_with(&eval, &net, &scenario, node, drain)
+                ),
+            );
+        }
+    }
+}
+
+#[test]
+fn max_additional_ecus_shims_match_the_trait() {
+    let eval = Evaluator::default();
+    let scenario = Scenario::worst_case();
+    let template = EcuTemplate {
+        messages_per_ecu: 2,
+        ..EcuTemplate::default()
+    };
+    for (seed, net) in corpus() {
+        let via_trait = format!(
+            "{:?}",
+            eval.max_additional_ecus(&net, &scenario, &template, 6)
+        );
+        assert_matches(
+            "max_additional_ecus",
+            seed,
+            &via_trait,
+            format!("{:?}", max_additional_ecus(&net, &scenario, &template, 6)),
+            format!(
+                "{:?}",
+                max_additional_ecus_with(&eval, &net, &scenario, &template, 6)
+            ),
+        );
+    }
+}
+
+#[test]
+fn compare_bit_rates_shim_matches_the_trait() {
+    // `compare_bit_rates` never had a `_with` twin — only the plain
+    // deprecated form exists alongside the trait method.
+    let eval = Evaluator::default();
+    let scenario = Scenario::worst_case();
+    let template = EcuTemplate {
+        messages_per_ecu: 2,
+        ..EcuTemplate::default()
+    };
+    let candidates = [125_000u64, 250_000, 500_000];
+    for (seed, net) in corpus() {
+        let via_trait = format!(
+            "{:?}",
+            eval.compare_bit_rates(&net, &scenario, &candidates, &template)
+        );
+        assert_eq!(
+            format!(
+                "{:?}",
+                compare_bit_rates(&net, &scenario, &candidates, &template)
+            ),
+            via_trait,
+            "compare_bit_rates: plain shim diverged (seed {seed})"
+        );
+    }
+}

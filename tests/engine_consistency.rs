@@ -5,28 +5,20 @@
 //! bit-identical.
 
 use carta::prelude::*;
+use carta_testkit::prelude::*;
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
-fn random_net(seed: u64, n_messages: usize) -> CanNetwork {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut net = CanNetwork::new(*[125_000, 250_000].get(rng.gen_range(0..2usize)).unwrap());
-    let a = net.add_node(Node::new("A", ControllerType::FullCan));
-    let b = net.add_node(Node::new("B", ControllerType::BasicCan));
-    for k in 0..n_messages {
-        let period = Time::from_ms(*[5u64, 10, 20, 50].get(rng.gen_range(0..4usize)).unwrap());
-        net.add_message(CanMessage::new(
-            format!("m{k}"),
-            CanId::standard(0x100 + 16 * k as u32).expect("valid"),
-            Dlc::new(rng.gen_range(1..=8)),
-            period,
-            period.percent(rng.gen_range(0..30)),
-            if rng.gen_bool(0.5) { a } else { b },
-        ));
-    }
-    net
+/// Shape selection only — generation lives in `carta_testkit::gen`.
+/// Odd seeds use the mixed-controller shape so basicCAN and FIFO TX
+/// paths stay covered.
+fn net_for(seed: u64) -> CanNetwork {
+    let shape = if seed.is_multiple_of(2) {
+        NetShape::two_node()
+    } else {
+        NetShape::mixed()
+    };
+    random_network(&shape.messages(6), seed)
 }
 
 fn scenario_for(pick: u8) -> Scenario {
@@ -69,7 +61,7 @@ proptest! {
         pick in 0u8..4,
         jobs in 1usize..5,
     ) {
-        let net = random_net(seed, 6);
+        let net = net_for(seed);
         let scenario = scenario_for(pick);
         let ratios = [0.0, 0.1, 0.25, 0.4, 0.6];
         // A rotation permutation derived from the seed (plus identity

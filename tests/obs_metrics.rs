@@ -6,28 +6,13 @@
 use carta::prelude::*;
 use carta_obs::metrics::{self, MetricsRegistry};
 use carta_obs::trace::{NullSink, RingBufferSink, SpanKind};
+use carta_testkit::prelude::*;
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
-fn random_net(seed: u64, n_messages: usize) -> CanNetwork {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut net = CanNetwork::new(*[125_000, 250_000].get(rng.gen_range(0..2usize)).unwrap());
-    let a = net.add_node(Node::new("A", ControllerType::FullCan));
-    let b = net.add_node(Node::new("B", ControllerType::BasicCan));
-    for k in 0..n_messages {
-        let period = Time::from_ms(*[5u64, 10, 20, 50].get(rng.gen_range(0..4usize)).unwrap());
-        net.add_message(CanMessage::new(
-            format!("m{k}"),
-            CanId::standard(0x100 + 16 * k as u32).expect("valid"),
-            Dlc::new(rng.gen_range(1..=8)),
-            period,
-            period.percent(rng.gen_range(0..30)),
-            if rng.gen_bool(0.5) { a } else { b },
-        ));
-    }
-    net
+/// Shape selection only — generation lives in `carta_testkit::gen`.
+fn net_for(seed: u64) -> CanNetwork {
+    random_network(&NetShape::two_node().messages(6), seed)
 }
 
 fn jitter_batch(net: &CanNetwork, scenario: &Scenario) -> Vec<SystemVariant> {
@@ -45,7 +30,7 @@ fn jitter_batch(net: &CanNetwork, scenario: &Scenario) -> Vec<SystemVariant> {
 fn explicit_registry_matches_evaluator_cache_stats() {
     let registry = Arc::new(MetricsRegistry::new());
     let eval = Evaluator::builder().jobs(2).metrics(&registry).build();
-    let net = random_net(11, 6);
+    let net = net_for(11);
     let variants = jitter_batch(&net, &Scenario::worst_case());
 
     eval.evaluate_batch(&variants); // cold: all misses
@@ -73,7 +58,7 @@ fn spans_nest_and_balance() {
     // reports its own so we can single it out below.
     let probe_thread = std::thread::spawn(|| {
         let eval = Evaluator::builder().jobs(1).build();
-        let net = random_net(5, 6);
+        let net = net_for(5);
         eval.loss_vs_jitter(&net, &Scenario::worst_case(), &[0.0, 0.2, 0.4])
             .expect("valid model");
         format!("{:?}", std::thread::current().id())
@@ -123,7 +108,7 @@ proptest! {
     // response bound bit-identical to a bare run.
     #[test]
     fn instrumentation_never_changes_results(seed in 0u64..5_000, pick in 0u8..4) {
-        let net = random_net(seed, 6);
+        let net = net_for(seed);
         let scenario = match pick % 4 {
             0 => Scenario::best_case(),
             1 => Scenario::best_case_period_deadline(),

@@ -1,0 +1,37 @@
+//! Regression gate: every counterexample ever shrunk to a file under
+//! `tests/repros/` must keep replaying clean. The suite is
+//! directory-driven — fixing a fuzz finding means committing the repro
+//! JSON `carta fuzz` wrote, and nothing else.
+
+use carta_testkit::prelude::*;
+
+#[test]
+fn every_stored_repro_replays_clean() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/repros");
+    let mut replayed = 0;
+    for entry in std::fs::read_dir(&dir).expect("tests/repros exists") {
+        let path = entry.expect("readable entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable file");
+        let repro = Repro::from_json(&text)
+            .unwrap_or_else(|e| panic!("{} does not decode: {e}", path.display()));
+        repro.replay().unwrap_or_else(|v| {
+            panic!(
+                "{} reproduces again — the defect it anchors has returned: {v}",
+                path.display()
+            )
+        });
+        // The file must stay decodable by future sessions: encoding the
+        // decoded repro must be lossless.
+        assert_eq!(
+            Repro::from_json(&repro.to_json()).expect("re-encodes"),
+            repro,
+            "{} does not roundtrip",
+            path.display()
+        );
+        replayed += 1;
+    }
+    assert!(replayed >= 1, "no repro files found in {}", dir.display());
+}

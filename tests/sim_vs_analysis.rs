@@ -2,161 +2,64 @@
 //! times must never exceed the analytical worst-case bounds, across
 //! randomly generated networks, with and without error injection.
 //!
-//! This is the soundness half of the paper's core claim; the coverage
-//! half (simulation misses corner cases) is demonstrated by the
+//! The generators and the oracle itself live in `carta-testkit` (see
+//! DESIGN.md § Verification); this suite pins the historical seed
+//! ranges and the case study. The coverage half of the claim
+//! (simulation misses corner cases) is demonstrated by the
 //! `simulation_vs_analysis` example.
 
 use carta::prelude::*;
+use carta_testkit::prelude::*;
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-/// Builds a random, structurally valid network from a seed. With
-/// `mixed_controllers`, nodes randomly use fullCAN, basicCAN or FIFO
-/// TX paths — exercising the conservative controller analysis against
-/// the register/queue-faithful simulator.
-fn random_network_with(seed: u64, mixed_controllers: bool) -> CanNetwork {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut net = CanNetwork::new(
-        *[125_000, 250_000, 500_000]
-            .get(rng.gen_range(0..3usize))
-            .unwrap(),
-    );
-    let nodes = rng.gen_range(2..5);
-    for n in 0..nodes {
-        let controller = if mixed_controllers {
-            match rng.gen_range(0..3) {
-                0 => ControllerType::FullCan,
-                1 => ControllerType::BasicCan,
-                _ => ControllerType::FifoQueue {
-                    depth: rng.gen_range(2..5),
-                },
-            }
-        } else {
-            ControllerType::FullCan
-        };
-        net.add_node(Node::new(format!("N{n}"), controller));
-    }
-    let count = rng.gen_range(3..10);
-    for k in 0..count {
-        let period = Time::from_ms(
-            *[5u64, 10, 20, 50, 100]
-                .get(rng.gen_range(0..5usize))
-                .unwrap(),
-        );
-        let jitter = period.percent(rng.gen_range(0..40));
-        net.add_message(CanMessage::new(
-            format!("m{k}"),
-            CanId::standard(0x100 + 8 * k as u32).expect("valid"),
-            Dlc::new(rng.gen_range(1..=8)),
-            period,
-            jitter,
-            rng.gen_range(0..nodes),
-        ));
-    }
-    net
-}
-
-fn random_network(seed: u64) -> CanNetwork {
-    random_network_with(seed, false)
-}
 
 /// Simulated maxima stay within the analytical bounds for one system.
-fn assert_sound(net: &CanNetwork, seed: u64, with_errors: bool) {
-    let config = AnalysisConfig::default();
-    let report = if with_errors {
-        analyze_bus(net, &SporadicErrors::new(Time::from_ms(10)), &config)
+fn assert_sound(eval: &Evaluator, net: &CanNetwork, seed: u64, with_errors: bool) {
+    let errors = if with_errors {
+        ErrorSpec::Sporadic {
+            interval: Time::from_ms(10),
+        }
     } else {
-        analyze_bus(net, &NoErrors, &config)
-    }
-    .expect("valid network");
-
-    let sim_config = SimConfig {
-        horizon: Time::from_s(3),
-        seed,
-        stuffing: SimStuffing::Random,
-        record_trace: false,
+        ErrorSpec::None
     };
-    let sim = if with_errors {
-        // Periodic injection ≥ the analytical interval stays within the
-        // sporadic bound.
-        simulate(
-            net,
-            &PeriodicInjection {
-                interval: Time::from_us(10_300),
-                phase: Time::from_us(seed % 9_000),
-            },
-            &sim_config,
-        )
-    } else {
-        simulate(net, &NoInjection, &sim_config)
-    };
-
-    for m in &report.messages {
-        let stats = sim.by_name(&m.name).expect("simulated");
-        if let (Some(observed), Some(bound)) = (stats.max_response, m.outcome.wcrt()) {
-            assert!(
-                observed <= bound,
-                "seed {seed}, errors={with_errors}: {} observed {} > bound {}",
-                m.name,
-                observed,
-                bound
-            );
-        }
-        if let Some(bcrt) = m.outcome.bcrt() {
-            if let Some(observed_min) = stats.min_response {
-                assert!(
-                    observed_min >= bcrt,
-                    "seed {seed}: {} observed min {} < best-case bound {}",
-                    m.name,
-                    observed_min,
-                    bcrt
-                );
-            }
-        }
-        // A message the analysis proves loss-free must not be
-        // overwritten in an error-free simulation. (FIFO senders are
-        // exempt: a queue-overflow drop is a different loss mechanism
-        // than the deadline-driven buffer overwrite the bound covers.)
-        let fifo_sender = matches!(
-            net.controller_of(&net.messages()[m.index]),
-            ControllerType::FifoQueue { .. }
-        );
-        if !with_errors && !m.misses_deadline() && !fifo_sender {
-            assert_eq!(
-                stats.overwritten, 0,
-                "seed {seed}: {} lost instances despite proven deadline",
-                m.name
-            );
-        }
-    }
+    DiffOracle::default()
+        .check(eval, net, errors, seed)
+        .unwrap_or_else(|v| panic!("seed {seed}, errors={with_errors}: {v}"));
 }
 
 #[test]
 fn fixed_seeds_error_free() {
+    let eval = Evaluator::default();
     for seed in 0..12 {
-        assert_sound(&random_network(seed), seed, false);
+        assert_sound(&eval, &random_network(&NetShape::bus(), seed), seed, false);
     }
 }
 
 #[test]
 fn fixed_seeds_with_errors() {
+    let eval = Evaluator::default();
     for seed in 100..110 {
-        assert_sound(&random_network(seed), seed, true);
+        assert_sound(&eval, &random_network(&NetShape::bus(), seed), seed, true);
     }
 }
 
 #[test]
 fn case_study_is_sound() {
+    let eval = Evaluator::default();
     let net = powertrain_default().to_network().expect("convertible");
-    assert_sound(&net, 7, false);
-    assert_sound(&net, 8, true);
+    assert_sound(&eval, &net, 7, false);
+    assert_sound(&eval, &net, 8, true);
 }
 
 #[test]
 fn fixed_seeds_mixed_controllers() {
+    let eval = Evaluator::default();
     for seed in 200..216 {
-        assert_sound(&random_network_with(seed, true), seed, false);
+        assert_sound(
+            &eval,
+            &random_network(&NetShape::mixed(), seed),
+            seed,
+            false,
+        );
     }
 }
 
@@ -164,14 +67,12 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     #[test]
-    fn random_systems_sound(seed in 0u64..10_000) {
-        let net = random_network(seed);
-        assert_sound(&net, seed, seed % 2 == 0);
+    fn random_systems_sound((seed, net) in networks(NetShape::bus())) {
+        assert_sound(&Evaluator::default(), &net, seed, seed % 2 == 0);
     }
 
     #[test]
-    fn random_mixed_controller_systems_sound(seed in 0u64..10_000) {
-        let net = random_network_with(seed, true);
-        assert_sound(&net, seed, false);
+    fn random_mixed_controller_systems_sound((seed, net) in networks(NetShape::mixed())) {
+        assert_sound(&Evaluator::default(), &net, seed, false);
     }
 }

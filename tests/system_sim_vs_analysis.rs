@@ -4,89 +4,22 @@
 //! arrival stream), and every observed end-to-end latency must stay
 //! within the path bound computed by the fixpoint engine.
 //!
-//! This is the system-level counterpart of `tests/sim_vs_analysis.rs`:
-//! it exercises event-model propagation itself, not just one local
+//! Chains come from `carta_testkit::gen::random_chain`; this suite is
+//! the system-level counterpart of `tests/sim_vs_analysis.rs`: it
+//! exercises event-model propagation itself, not just one local
 //! analysis.
 
 use carta::prelude::*;
+use carta_testkit::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-struct Chain {
-    bus1: CanNetwork,
-    bus2: CanNetwork,
-    gw_c_min: Time,
-    gw_c_max: Time,
-}
-
-fn chain(seed: u64) -> Chain {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut bus1 = CanNetwork::new(500_000);
-    let ems = bus1.add_node(Node::new("EMS", ControllerType::FullCan));
-    // The forwarded signal plus background traffic.
-    bus1.add_message(CanMessage::new(
-        "fwd_src",
-        CanId::standard(0x120).expect("valid"),
-        Dlc::new(8),
-        Time::from_ms(10),
-        Time::from_ms(rng.gen_range(0..3)),
-        ems,
-    ));
-    for k in 0..rng.gen_range(2..5) {
-        let period = Time::from_ms(*[5u64, 10, 20].get(rng.gen_range(0..3usize)).unwrap());
-        bus1.add_message(CanMessage::new(
-            format!("bg1_{k}"),
-            CanId::standard(0x200 + 16 * k).expect("valid"),
-            Dlc::new(rng.gen_range(2..=8)),
-            period,
-            period.percent(rng.gen_range(0..25)),
-            ems,
-        ));
-    }
-
-    let mut bus2 = CanNetwork::new(250_000);
-    let gw = bus2.add_node(Node::new("GW", ControllerType::FullCan));
-    let esp = bus2.add_node(Node::new("ESP", ControllerType::FullCan));
-    bus2.add_message(CanMessage::new(
-        "fwd_dst",
-        CanId::standard(0x130).expect("valid"),
-        Dlc::new(8),
-        Time::from_ms(10),
-        Time::ZERO, // derived by propagation
-        gw,
-    ));
-    for k in 0..rng.gen_range(1..4) {
-        let period = Time::from_ms(*[10u64, 20, 50].get(rng.gen_range(0..3usize)).unwrap());
-        bus2.add_message(CanMessage::new(
-            format!("bg2_{k}"),
-            CanId::standard(0x300 + 16 * k).expect("valid"),
-            Dlc::new(rng.gen_range(2..=8)),
-            period,
-            period.percent(rng.gen_range(0..25)),
-            esp,
-        ));
-    }
-    Chain {
-        bus1,
-        bus2,
-        gw_c_min: Time::from_us(30),
-        gw_c_max: Time::from_us(150),
-    }
-}
-
-/// Analyzes the chain compositionally; returns (end-to-end bound,
-/// per-hop node refs are internal).
-fn analyze_chain(c: &Chain) -> ResponseBounds {
-    let tasks = vec![Task::periodic(
-        "route",
-        Priority(1),
-        Time::from_ms(10),
-        c.gw_c_min,
-        c.gw_c_max,
-    )];
+/// Wires the chain into a compositional system: bus 1 → gateway task →
+/// bus 2, with every non-forwarded message as an independent source.
+fn build_system(c: &GatewayChain) -> (CompositionalSystem, usize, usize, usize) {
     let mut sys = CompositionalSystem::new();
     let b1 = sys.add_resource(Box::new(CanBusResource::new("bus1", c.bus1.clone())));
-    let gw = sys.add_resource(Box::new(EcuResource::new("gw", tasks)));
+    let gw = sys.add_resource(Box::new(EcuResource::new("gw", vec![c.route_task()])));
     let b2 = sys.add_resource(Box::new(CanBusResource::new("bus2", c.bus2.clone())));
     for (i, m) in c.bus1.messages().iter().enumerate() {
         sys.set_source(NodeRef::new(b1, i), m.activation)
@@ -100,6 +33,12 @@ fn analyze_chain(c: &Chain) -> ResponseBounds {
         .expect("valid");
     sys.connect(NodeRef::new(gw, 0), NodeRef::new(b2, 0))
         .expect("valid");
+    (sys, b1, gw, b2)
+}
+
+/// Analyzes the chain compositionally; returns the end-to-end bound.
+fn analyze_chain(c: &GatewayChain) -> ResponseBounds {
+    let (sys, b1, gw, b2) = build_system(c);
     let result = sys.analyze().expect("converges");
     sys.path_latency(
         &result,
@@ -114,7 +53,7 @@ fn analyze_chain(c: &Chain) -> ResponseBounds {
 
 /// Co-simulates the chain; returns the largest observed end-to-end
 /// latency (source queuing on bus 1 → completion on bus 2).
-fn cosimulate(c: &Chain, seed: u64) -> Option<Time> {
+fn cosimulate(c: &GatewayChain, seed: u64) -> Option<Time> {
     let horizon = Time::from_s(3);
     let config = SimConfig {
         horizon,
@@ -151,7 +90,7 @@ fn cosimulate(c: &Chain, seed: u64) -> Option<Time> {
 #[test]
 fn cosimulated_chain_stays_within_the_compositional_bound() {
     for seed in 0..8u64 {
-        let c = chain(seed);
+        let c = random_chain(seed);
         let bound = analyze_chain(&c);
         let observed = cosimulate(&c, seed).expect("instances ran");
         assert!(
@@ -170,30 +109,8 @@ fn downstream_interference_from_forwarded_stream_is_covered() {
     // The background traffic on bus 2 competes with the (jittery)
     // forwarded stream; its observed responses must stay within the
     // compositional analysis's bounds for bus-2 slots.
-    let c = chain(3);
-    let tasks = vec![Task::periodic(
-        "route",
-        Priority(1),
-        Time::from_ms(10),
-        c.gw_c_min,
-        c.gw_c_max,
-    )];
-    let mut sys = CompositionalSystem::new();
-    let b1 = sys.add_resource(Box::new(CanBusResource::new("bus1", c.bus1.clone())));
-    let gw = sys.add_resource(Box::new(EcuResource::new("gw", tasks)));
-    let b2 = sys.add_resource(Box::new(CanBusResource::new("bus2", c.bus2.clone())));
-    for (i, m) in c.bus1.messages().iter().enumerate() {
-        sys.set_source(NodeRef::new(b1, i), m.activation)
-            .expect("valid");
-    }
-    for (i, m) in c.bus2.messages().iter().enumerate().skip(1) {
-        sys.set_source(NodeRef::new(b2, i), m.activation)
-            .expect("valid");
-    }
-    sys.connect(NodeRef::new(b1, 0), NodeRef::new(gw, 0))
-        .expect("valid");
-    sys.connect(NodeRef::new(gw, 0), NodeRef::new(b2, 0))
-        .expect("valid");
+    let c = random_chain(3);
+    let (sys, _b1, _gw, b2) = build_system(&c);
     let result = sys.analyze().expect("converges");
 
     // Co-simulate and compare bus-2 background messages.
@@ -219,6 +136,5 @@ fn downstream_interference_from_forwarded_stream_is_covered() {
                 bound
             );
         }
-        let _ = i;
     }
 }
