@@ -6,8 +6,17 @@
 //! runs with instrumentation compiled in but disabled — the default,
 //! where the <2% overhead budget applies (one relaxed atomic load per
 //! point) — while `warm_64pts_metrics` prices fully-enabled recording.
+//!
+//! The `rta_*` variants isolate the compiled RTA kernel itself
+//! (BENCH_rta.json): `rta_cold_compiled_64pts` prices the solve phase
+//! alone (tables compiled once, every fixpoint cold), and
+//! `rta_warm_64pts` adds workspace warm-starting across the sweep. Both
+//! are gated by a bit-identity assertion against the naive
+//! `analyze_bus` path.
 
 use carta_bench::case_study;
+use carta_can::network::CanNetwork;
+use carta_can::prelude::{analyze_bus, BusReport, CompiledBus, RtaWorkspace};
 use carta_engine::prelude::{BaseSystem, Evaluator, Parallelism, Scenario, SystemVariant};
 use carta_obs::metrics::MetricsRegistry;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -75,7 +84,61 @@ fn bench_engine_throughput(c: &mut Criterion) {
     group.bench_function("warm_64pts_metrics", |b| {
         b.iter(|| black_box(instrumented.evaluate_batch(&points)))
     });
+
+    // Compiled RTA kernel, isolated from the engine's memo cache: the
+    // tables are compiled once and each iteration solves all 64 points.
+    let nets: Vec<CanNetwork> = points.iter().map(|v| v.materialize()).collect();
+    let scenario = Scenario::worst_case();
+    let config = scenario.analysis_config();
+    let model = scenario.errors.model();
+    let compiled = CompiledBus::compile(&nets[0], config.stuffing).expect("valid case study");
+    // Bit-identity gate: warm-started and cold compiled solves must
+    // both reproduce the naive analysis exactly (this is what CI's
+    // `--test` mode asserts).
+    let mut gate_ws = RtaWorkspace::new();
+    for net in &nets {
+        let naive = analyze_bus(net, model.as_ref(), &config).expect("valid case study");
+        let warm = compiled.solve(net, model.as_ref(), &config, &mut gate_ws);
+        let cold = compiled.solve(net, model.as_ref(), &config, &mut RtaWorkspace::new());
+        assert_identical(&warm, &naive, "warm-started compiled solve");
+        assert_identical(&cold, &naive, "cold compiled solve");
+    }
+
+    group.bench_function("rta_cold_compiled_64pts", |b| {
+        b.iter(|| {
+            for net in &nets {
+                black_box(compiled.solve(net, model.as_ref(), &config, &mut RtaWorkspace::new()));
+            }
+        })
+    });
+
+    let mut ws = RtaWorkspace::new();
+    group.bench_function("rta_warm_64pts", |b| {
+        b.iter(|| {
+            for net in &nets {
+                black_box(compiled.solve(net, model.as_ref(), &config, &mut ws));
+            }
+        })
+    });
     group.finish();
+}
+
+/// Every field a report row exposes must match the naive analysis.
+fn assert_identical(fast: &BusReport, naive: &BusReport, what: &str) {
+    assert_eq!(fast.messages.len(), naive.messages.len(), "{what}");
+    assert_eq!(fast.error_model, naive.error_model, "{what}");
+    assert_eq!(fast.stuffing, naive.stuffing, "{what}");
+    for (a, b) in fast.messages.iter().zip(&naive.messages) {
+        let identical = a.name == b.name
+            && a.id == b.id
+            && a.c_max == b.c_max
+            && a.c_min == b.c_min
+            && a.blocking == b.blocking
+            && a.deadline == b.deadline
+            && a.outcome == b.outcome
+            && a.instances == b.instances;
+        assert!(identical, "{what} diverged for `{}`", a.name);
+    }
 }
 
 criterion_group!(benches, bench_engine_throughput);

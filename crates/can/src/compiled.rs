@@ -1,0 +1,889 @@
+//! The compiled RTA kernel: a compile/solve split of the busy-window
+//! analysis.
+//!
+//! [`crate::rta::analyze_bus`] rebuilds the same per-topology data on
+//! every call: priority-sorted index sets, worst/best-case frame-time
+//! vectors, per-controller interference sets and error constants. For
+//! workloads that analyze thousands of *variants* of one network
+//! (jitter sweeps, identifier searches, fuzzing), that per-call work —
+//! and its allocations — dominates. [`CompiledBus`] performs it once:
+//!
+//! * **compile** ([`CompiledBus::compile`]) derives everything that
+//!   depends only on the topology (identifiers, payloads, senders,
+//!   controllers, bit rate, stuffing mode): `c_max`/`c_min` vectors,
+//!   hp/interference index sets, blocking and per-error-hit constants,
+//!   and interned message names;
+//! * **solve** ([`CompiledBus::solve`]) reads only the *event models*
+//!   and deadlines from the network, so jitter and deadline overlays
+//!   need no recompilation, and runs the busy-window fixpoints through
+//!   a reusable [`RtaWorkspace`] that makes the steady state
+//!   allocation-free and **warm-starts** each fixpoint from the
+//!   previous solution when that is provably sound.
+//!
+//! # Warm-start soundness
+//!
+//! For message `i`, instance `q`, the busy window is the least fixpoint
+//! of the monotone demand function
+//!
+//! ```text
+//! f_q(w) = B_i + (q−1)·C_i + E(w + C_i) + Σ_{j ∈ I(i)} η⁺_j(w + τ)·C_j
+//! ```
+//!
+//! Kleene iteration from any start `v ≤ lfp(f_q)` converges to exactly
+//! `lfp(f_q)` (every iterate stays ≤ the fixpoint by monotonicity, and
+//! the iteration cannot stop strictly below it). The previous
+//! solution's fixpoint `w_q^old = lfp(f_q^old)` is therefore a valid
+//! start whenever the *new* demand dominates the old one pointwise,
+//! `f_q^new ≥ f_q^old`, which forces `lfp(f_q^old) ≤ lfp(f_q^new)`.
+//! Note that a start *above* the least fixpoint would be unsound — the
+//! iteration could settle on a larger post-fixpoint — and no local
+//! probe at the old value can rule that out, so dominance of the demand
+//! function itself is the gate:
+//!
+//! * the compiled tables (`C`, `B`, per-hit constant, interference
+//!   sets) are unchanged — enforced by comparing the compile epoch;
+//! * the error model and config are unchanged (`E` is the same
+//!   monotone function);
+//! * every interfering activation dominates its previous self:
+//!   `η⁺_j^new ≥ η⁺_j^old` pointwise, for which
+//!   `P_new ≤ P_old ∧ J_new ≥ J_old` plus a compatible `d_min` is
+//!   sufficient (see [`eta_dominates`]).
+//!
+//! The message's *own* activation never appears in `f_q`, only in the
+//! busy-period extension and the response-time subtraction — both are
+//! evaluated fresh per solve — so it needs no dominance check. Because
+//! the warm start converges to the *same* least fixpoint the cold start
+//! would, the produced [`BusReport`] is bit-identical either way (the
+//! `compiled-equals-naive` fuzz law in `carta-testkit` pins this).
+
+use crate::controller::ControllerType;
+use crate::error_model::ErrorModel;
+use crate::frame::{bit_time, StuffingMode, ERROR_FRAME_BITS};
+use crate::message::{CanId, CanMessage};
+use crate::network::CanNetwork;
+use crate::rta::{
+    test_mutations, AnalysisConfig, BusReport, IncrementalStats, MessageReport, ResponseOutcome,
+};
+use carta_core::analysis::{AnalysisError, ResponseBounds};
+use carta_core::event_model::EventModel;
+use carta_core::time::Time;
+use carta_obs::metrics::{self, Counter, Histogram};
+use carta_obs::span;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Pre-resolved global-registry handles for the compiled kernel.
+/// Recording happens only while [`metrics::enabled`].
+struct CompiledMetrics {
+    compile_ns: Arc<Histogram>,
+    warm_starts: Arc<Counter>,
+    iters_saved: Arc<Counter>,
+}
+
+fn compiled_metrics() -> &'static CompiledMetrics {
+    static HANDLES: OnceLock<CompiledMetrics> = OnceLock::new();
+    HANDLES.get_or_init(|| {
+        let registry = metrics::global();
+        CompiledMetrics {
+            compile_ns: registry.histogram("rta.compile_ns"),
+            warm_starts: registry.counter("rta.warm_starts"),
+            iters_saved: registry.counter("rta.fixpoint_iters_saved"),
+        }
+    })
+}
+
+/// Monotonically increasing compile identity. Two [`CompiledBus`]
+/// values never share an epoch, so a workspace's warm state can be tied
+/// to exactly the tables it was produced with.
+fn next_epoch() -> u64 {
+    static EPOCH: AtomicU64 = AtomicU64::new(1);
+    EPOCH.fetch_add(1, Ordering::Relaxed)
+}
+
+/// `η⁺_new(Δ) ≥ η⁺_old(Δ)` for every window `Δ` — the per-stream gate
+/// of the warm start.
+///
+/// With `η⁺(Δ) = min(⌈(Δ+J)/P⌉, ⌈Δ/d⌉)` (the `d` term absent when
+/// `d = 0`), a sufficient condition is that both branches grew:
+/// `P_new ≤ P_old`, `J_new ≥ J_old`, and the `d` branch of the new
+/// model is no tighter than the old one's (`d_new = 0` means
+/// unconstrained, i.e. `+∞`). The activation kind never enters `η⁺`.
+pub(crate) fn eta_dominates(new: &EventModel, old: &EventModel) -> bool {
+    new == old
+        || (new.period() <= old.period()
+            && new.jitter() >= old.jitter()
+            && (new.dmin().is_zero() || (!old.dmin().is_zero() && new.dmin() <= old.dmin())))
+}
+
+/// Work accounting of one [`CompiledBus::solve`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Messages whose busy-window fixpoints were warm-started from the
+    /// workspace's previous solution.
+    pub warm_messages: u64,
+    /// Messages solved from a cold start.
+    pub cold_messages: u64,
+    /// Fixpoint iterations spent in this solve.
+    pub iterations: u64,
+    /// Estimated fixpoint iterations avoided by warm starts: for every
+    /// warm-started message, the iterations its *previous* solve spent
+    /// minus the iterations this solve spent (floored at zero). An
+    /// estimate — the true cold cost of the new parameters is unknown
+    /// without running it — but a faithful trend indicator.
+    pub iters_saved: u64,
+}
+
+/// Reusable solve-phase state: busy-window warm-start data plus the
+/// scratch buffers that make the steady state allocation-free.
+///
+/// A workspace belongs to one solving thread and may be reused across
+/// arbitrary [`CompiledBus::solve`] calls — every warm-start gate
+/// (compile epoch, error model, config, activation dominance) is
+/// checked internally, so a stale or mismatched workspace degrades to a
+/// cold start, never to a wrong result.
+#[derive(Debug, Default)]
+pub struct RtaWorkspace {
+    /// Epoch of the [`CompiledBus`] the warm state belongs to
+    /// (0 = no valid state).
+    epoch: u64,
+    /// `describe()` of the error model of the last solve.
+    errors_desc: String,
+    horizon: Time,
+    max_instances: u64,
+    /// Activations of the last solve, indexed like the network.
+    activations: Vec<EventModel>,
+    /// Converged per-instance busy windows of the last solve:
+    /// `w[i][q-1]` is the least fixpoint of message `i`, instance `q`.
+    /// May be a prefix when the last solve overloaded past it.
+    w: Vec<Vec<Time>>,
+    /// Per-message fixpoint iterations of the last solve.
+    iters: Vec<u64>,
+    /// Scratch: per-stream dominance flags of the current solve.
+    dominates: Vec<bool>,
+    /// Scratch: the window vector of the message being solved.
+    w_next: Vec<Time>,
+    /// Stats of the most recent solve.
+    last: SolveStats,
+}
+
+impl RtaWorkspace {
+    /// An empty workspace (first solve runs cold).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Work accounting of the most recent [`CompiledBus::solve`].
+    pub fn last_stats(&self) -> SolveStats {
+        self.last
+    }
+
+    /// Drops all warm-start state (subsequent solves run cold until
+    /// they re-establish it).
+    pub fn invalidate(&mut self) {
+        self.epoch = 0;
+    }
+
+    fn resize(&mut self, n: usize) {
+        self.w.resize_with(n, Vec::new);
+        self.iters.resize(n, 0);
+        self.dominates.resize(n, false);
+    }
+}
+
+/// Precompiled per-topology tables of one CAN bus: everything the
+/// busy-window solve needs that does not depend on event models or
+/// deadlines.
+#[derive(Debug, Clone)]
+pub struct CompiledBus {
+    epoch: u64,
+    stuffing: StuffingMode,
+    bit_rate: u64,
+    /// One bit time on this bus.
+    tau: Time,
+    /// Interned message names, shared by every report produced from
+    /// these tables (cloning an `Arc<str>` is a refcount bump).
+    names: Vec<Arc<str>>,
+    ids: Vec<CanId>,
+    c_max: Vec<Time>,
+    c_min: Vec<Time>,
+    /// `hp[i]`: indices of the messages that out-arbitrate `i`,
+    /// ascending.
+    hp: Vec<Vec<usize>>,
+    /// `interference[i]`: the index set whose `η⁺` feeds message `i`'s
+    /// demand (hp for fullCAN senders; hp plus other-node lp for
+    /// basicCAN/FIFO senders).
+    interference: Vec<Vec<usize>>,
+    /// Total (bus + controller-local) blocking charged to message `i`.
+    blocking: Vec<Time>,
+    /// Error overhead per hit while `i` waits: error frame plus the
+    /// longest retransmission among `interference[i] ∪ {i}`.
+    per_hit: Vec<Time>,
+}
+
+impl CompiledBus {
+    /// Compiles the per-topology tables of `net` under `stuffing`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::InvalidModel`] if the network fails
+    /// [`CanNetwork::validate`].
+    pub fn compile(net: &CanNetwork, stuffing: StuffingMode) -> Result<Self, AnalysisError> {
+        net.validate()
+            .map_err(|e| AnalysisError::InvalidModel(e.to_string()))?;
+        let start = metrics::enabled().then(Instant::now);
+        let names = net
+            .messages()
+            .iter()
+            .map(|m| Arc::from(m.name.as_str()))
+            .collect();
+        let compiled = Self::tables(net, stuffing, names);
+        if let Some(start) = start {
+            compiled_metrics()
+                .compile_ns
+                .record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+        Ok(compiled)
+    }
+
+    /// Recompiles only the identifier-dependent tables against `net`,
+    /// reusing the interned names. `net` must be the compiled network
+    /// with its identifiers re-assigned (same messages in the same
+    /// order — exactly what a permutation overlay produces); everything
+    /// else (payloads, senders, controllers, bit rate) is re-read from
+    /// `net`, so a violated contract yields wrong *performance
+    /// attribution* at worst, never a wrong report.
+    ///
+    /// The result carries a fresh epoch: warm-start state tied to the
+    /// old tables is never applied to the new priority order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` has a different message count.
+    pub fn reordered(&self, net: &CanNetwork) -> Self {
+        assert_eq!(
+            net.messages().len(),
+            self.names.len(),
+            "reordered() requires the compiled network with new identifiers"
+        );
+        Self::tables(net, self.stuffing, self.names.clone())
+    }
+
+    /// Shared table construction; `net` is already validated.
+    fn tables(net: &CanNetwork, stuffing: StuffingMode, names: Vec<Arc<str>>) -> Self {
+        let msgs = net.messages();
+        let n = msgs.len();
+        let rate = net.bit_rate();
+        let c_max = crate::rta::c_max_vector(net, stuffing);
+        let c_min: Vec<Time> = msgs
+            .iter()
+            .map(|m| Time::from_bits(m.id.kind().min_bits(m.dlc), rate))
+            .collect();
+        let mut hp = Vec::with_capacity(n);
+        let mut interference = Vec::with_capacity(n);
+        let mut blocking = Vec::with_capacity(n);
+        let mut per_hit = Vec::with_capacity(n);
+        let error_frame = Time::from_bits(ERROR_FRAME_BITS, rate);
+        for (i, m) in msgs.iter().enumerate() {
+            let key = m.id.arbitration_key();
+            let hp_i: Vec<usize> = (0..n)
+                .filter(|&j| msgs[j].id.arbitration_key() < key)
+                .collect();
+            let lp_i: Vec<usize> = (0..n)
+                .filter(|&j| j != i && msgs[j].id.arbitration_key() > key)
+                .collect();
+            let interference_i: Vec<usize> = match net.controller_of(m) {
+                ControllerType::FullCan => hp_i.clone(),
+                ControllerType::BasicCan | ControllerType::FifoQueue { .. } => {
+                    let mut set = hp_i.clone();
+                    set.extend(lp_i.iter().copied().filter(|&j| msgs[j].sender != m.sender));
+                    set
+                }
+            };
+            let retx = interference_i
+                .iter()
+                .map(|&j| c_max[j])
+                .chain(std::iter::once(c_max[i]))
+                .max()
+                .expect("at least own frame");
+            blocking.push(crate::rta::blocking_for(net, i, &c_max, &lp_i));
+            per_hit.push(error_frame + retx);
+            hp.push(hp_i);
+            interference.push(interference_i);
+        }
+        CompiledBus {
+            epoch: next_epoch(),
+            stuffing,
+            bit_rate: rate,
+            tau: bit_time(rate),
+            names,
+            ids: msgs.iter().map(|m| m.id).collect(),
+            c_max,
+            c_min,
+            hp,
+            interference,
+            blocking,
+            per_hit,
+        }
+    }
+
+    /// Number of messages on the compiled bus.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` for an empty bus (never produced by [`CompiledBus::compile`],
+    /// which rejects invalid networks).
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The stuffing mode the tables were compiled under.
+    pub fn stuffing(&self) -> StuffingMode {
+        self.stuffing
+    }
+
+    /// The higher-priority index sets (see
+    /// [`crate::rta::hp_index_sets`]).
+    pub fn hp_sets(&self) -> &[Vec<usize>] {
+        &self.hp
+    }
+
+    /// Runs the solve phase against `net`, which must be the compiled
+    /// topology with possibly different event models and deadline
+    /// policies (identifiers, payloads, senders and bit rate
+    /// unchanged). Busy-window fixpoints warm-start from `ws` where the
+    /// dominance gate allows; the report is bit-identical to a cold
+    /// solve either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.stuffing` differs from the compiled mode or
+    /// the message count changed. Identifier agreement is the caller's
+    /// contract (checked in debug builds).
+    pub fn solve(
+        &self,
+        net: &CanNetwork,
+        errors: &dyn ErrorModel,
+        config: &AnalysisConfig,
+        ws: &mut RtaWorkspace,
+    ) -> BusReport {
+        let msgs = net.messages();
+        let n = msgs.len();
+        assert_eq!(
+            n,
+            self.names.len(),
+            "solve() requires the compiled topology"
+        );
+        assert_eq!(
+            config.stuffing, self.stuffing,
+            "config stuffing must match the compiled tables"
+        );
+        debug_assert!(
+            msgs.iter().zip(&self.ids).all(|(m, id)| m.id == *id),
+            "identifiers diverged from the compiled tables; recompile or reorder first"
+        );
+        debug_assert_eq!(net.bit_rate(), self.bit_rate);
+        let _span = span!("rta.bus", msgs = n);
+
+        let desc = errors.describe();
+        let hook = test_mutations::drop_blocking();
+        ws.resize(n);
+        let warm_base = !hook
+            && ws.epoch == self.epoch
+            && ws.errors_desc == desc
+            && ws.horizon == config.horizon
+            && ws.max_instances == config.max_instances
+            && ws.activations.len() == n;
+        if warm_base {
+            for (j, m) in msgs.iter().enumerate() {
+                ws.dominates[j] = eta_dominates(&m.activation, &ws.activations[j]);
+            }
+        }
+
+        let recording = metrics::enabled();
+        let mut stats = SolveStats::default();
+        let mut reports = Vec::with_capacity(n);
+        for (i, m) in msgs.iter().enumerate() {
+            let warm = warm_base && self.interference[i].iter().all(|&j| ws.dominates[j]);
+            let blocking = if hook { Time::ZERO } else { self.blocking[i] };
+            let mut iterations = 0u64;
+            let mut w_next = std::mem::take(&mut ws.w_next);
+            let outcome = {
+                let warm_hints: &[Time] = if warm { &ws.w[i] } else { &[] };
+                busy_window(
+                    msgs,
+                    i,
+                    &self.interference[i],
+                    &self.c_max,
+                    blocking,
+                    self.tau,
+                    errors,
+                    self.per_hit[i],
+                    config,
+                    warm_hints,
+                    &mut w_next,
+                    &mut iterations,
+                )
+            };
+            std::mem::swap(&mut ws.w[i], &mut w_next);
+            w_next.clear();
+            ws.w_next = w_next;
+            if warm {
+                stats.warm_messages += 1;
+                stats.iters_saved += ws.iters[i].saturating_sub(iterations);
+            } else {
+                stats.cold_messages += 1;
+            }
+            stats.iterations += iterations;
+            ws.iters[i] = iterations;
+
+            let (outcome_enum, instances) = match outcome {
+                Some((wcrt, q)) => (
+                    ResponseOutcome::Bounded(ResponseBounds::new(
+                        self.c_min[i],
+                        wcrt.max(self.c_min[i]),
+                    )),
+                    q,
+                ),
+                None => (ResponseOutcome::Overload, 0),
+            };
+            if recording {
+                crate::rta::rta_metrics().busy_instances.record(instances);
+            }
+            reports.push(MessageReport {
+                index: i,
+                name: self.names[i].clone(),
+                id: self.ids[i],
+                c_max: self.c_max[i],
+                c_min: self.c_min[i],
+                blocking,
+                deadline: m.resolved_deadline(),
+                outcome: outcome_enum,
+                instances,
+            });
+        }
+
+        if hook {
+            // Fault-injected solves must not seed warm state: the hook
+            // can be flipped back off between solves, which would break
+            // the demand-dominance premise.
+            ws.invalidate();
+        } else {
+            ws.epoch = self.epoch;
+            ws.errors_desc.clear();
+            ws.errors_desc.push_str(&desc);
+            ws.horizon = config.horizon;
+            ws.max_instances = config.max_instances;
+            ws.activations.clear();
+            ws.activations.extend(msgs.iter().map(|m| m.activation));
+        }
+        ws.last = stats;
+
+        if recording {
+            let handles = crate::rta::rta_metrics();
+            handles.runs.inc();
+            handles.messages.add(n as u64);
+            handles.iterations.add(stats.iterations);
+            let compiled_handles = compiled_metrics();
+            compiled_handles.warm_starts.add(stats.warm_messages);
+            compiled_handles.iters_saved.add(stats.iters_saved);
+        }
+        BusReport {
+            messages: reports,
+            error_model: desc,
+            stuffing: config.stuffing,
+        }
+    }
+
+    /// Priority-aware incremental solve: reuses `previous` verdicts for
+    /// messages whose higher-priority set is unchanged (the compiled
+    /// twin of [`crate::rta::analyze_bus_incremental`]; see there for
+    /// the comparability contract). Recomputed messages run cold —
+    /// exact reuse already covers the unchanged ones.
+    pub fn solve_incremental(
+        &self,
+        net: &CanNetwork,
+        errors: &dyn ErrorModel,
+        config: &AnalysisConfig,
+        previous: &BusReport,
+        previous_hp: &[Vec<usize>],
+    ) -> (BusReport, IncrementalStats) {
+        let msgs = net.messages();
+        let n = msgs.len();
+        let _span = span!("rta.bus.incremental", msgs = n);
+        let desc = errors.describe();
+        let comparable = previous.messages.len() == n
+            && previous_hp.len() == n
+            && previous.stuffing == config.stuffing
+            && previous.error_model == desc;
+        if !comparable {
+            let report = self.solve(net, errors, config, &mut RtaWorkspace::new());
+            let recomputed = report.messages.len();
+            return (
+                report,
+                IncrementalStats {
+                    reused: 0,
+                    recomputed,
+                },
+            );
+        }
+        // A permutation over a mixed standard/extended pool can change
+        // transmission times, which feed every message's interference
+        // sum; reuse is only sound when the whole vectors are unchanged.
+        let c_vectors_match = previous
+            .messages
+            .iter()
+            .enumerate()
+            .all(|(j, p)| p.c_max == self.c_max[j] && p.c_min == self.c_min[j]);
+        let hook = test_mutations::drop_blocking();
+
+        let mut stats = IncrementalStats::default();
+        let mut iterations = 0u64;
+        let mut w_scratch = Vec::new();
+        let mut reports = Vec::with_capacity(n);
+        for (i, m) in msgs.iter().enumerate() {
+            let blocking = if hook { Time::ZERO } else { self.blocking[i] };
+            let deadline = m.resolved_deadline();
+            let prev = &previous.messages[i];
+            let (outcome, instances) = if c_vectors_match
+                && prev.name == self.names[i]
+                && prev.deadline == deadline
+                && self.hp[i] == previous_hp[i]
+            {
+                stats.reused += 1;
+                (prev.outcome, prev.instances)
+            } else {
+                stats.recomputed += 1;
+                match busy_window(
+                    msgs,
+                    i,
+                    &self.interference[i],
+                    &self.c_max,
+                    blocking,
+                    self.tau,
+                    errors,
+                    self.per_hit[i],
+                    config,
+                    &[],
+                    &mut w_scratch,
+                    &mut iterations,
+                ) {
+                    Some((wcrt, q)) => (
+                        ResponseOutcome::Bounded(ResponseBounds::new(
+                            self.c_min[i],
+                            wcrt.max(self.c_min[i]),
+                        )),
+                        q,
+                    ),
+                    None => (ResponseOutcome::Overload, 0),
+                }
+            };
+            reports.push(MessageReport {
+                index: i,
+                name: self.names[i].clone(),
+                id: self.ids[i],
+                c_max: self.c_max[i],
+                c_min: self.c_min[i],
+                blocking,
+                deadline,
+                outcome,
+                instances,
+            });
+        }
+        if metrics::enabled() {
+            let handles = crate::rta::rta_metrics();
+            handles.incremental_runs.inc();
+            handles.incremental_reused.add(stats.reused as u64);
+            handles.incremental_recomputed.add(stats.recomputed as u64);
+            handles.iterations.add(iterations);
+        }
+        (
+            BusReport {
+                messages: reports,
+                error_model: desc,
+                stuffing: config.stuffing,
+            },
+            stats,
+        )
+    }
+}
+
+/// Busy-window iteration for one message; returns `(wcrt, instances)`
+/// or `None` on overload. Each inner fixpoint step adds one to
+/// `iterations` — the convergence-cost figure surfaced as the
+/// `rta.iterations` metric.
+///
+/// `warm[q-1]`, when present, is a known lower bound on instance `q`'s
+/// least fixpoint (see the module docs for the soundness argument);
+/// the iteration starts at the maximum of the cold start and that
+/// bound. Every converged window is pushed to `out_w` (cleared first),
+/// so the caller can feed them back as the next solve's warm hints.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn busy_window(
+    msgs: &[CanMessage],
+    i: usize,
+    interference: &[usize],
+    c_max: &[Time],
+    blocking: Time,
+    tau: Time,
+    errors: &dyn ErrorModel,
+    per_hit: Time,
+    config: &AnalysisConfig,
+    warm: &[Time],
+    out_w: &mut Vec<Time>,
+    iterations: &mut u64,
+) -> Option<(Time, u64)> {
+    let c_m = c_max[i];
+    let own = &msgs[i].activation;
+    out_w.clear();
+    let mut wcrt = Time::ZERO;
+    // `w` carries over between instances: the demand is monotone in
+    // both `w` and `q`, so the least fixpoint for q+1 is at least the
+    // one for q, and a warm hint can only raise the start further —
+    // never past the least fixpoint it came below.
+    let mut w = Time::ZERO;
+    let mut q = 1u64;
+    loop {
+        // Fixpoint iteration for instance q.
+        w = w.max(blocking + c_m * (q - 1));
+        if let Some(&hint) = warm.get((q - 1) as usize) {
+            w = w.max(hint);
+        }
+        loop {
+            *iterations += 1;
+            let mut demand = blocking + c_m * (q - 1);
+            demand = demand
+                .saturating_add(per_hit.saturating_mul(errors.max_hits(w.saturating_add(c_m))));
+            for &j in interference {
+                let eta = msgs[j].activation.eta_plus(w.saturating_add(tau));
+                demand = demand.saturating_add(c_max[j].saturating_mul(eta));
+            }
+            if demand > config.horizon {
+                return None;
+            }
+            if demand <= w {
+                break; // fixpoint reached (demand == w on the way up)
+            }
+            w = demand;
+        }
+        out_w.push(w);
+        let finish = w + c_m;
+        wcrt = wcrt.max(finish.saturating_sub(own.delta_min(q)));
+        // Does the busy period extend to the next instance?
+        if finish > own.delta_min(q + 1) {
+            q += 1;
+            if q > config.max_instances {
+                return None;
+            }
+        } else {
+            return Some((wcrt, q));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error_model::{NoErrors, SporadicErrors};
+    use crate::frame::Dlc;
+    use crate::message::CanMessage;
+    use crate::network::Node;
+    use crate::rta::analyze_bus;
+    use carta_core::event_model::ActivationKind;
+
+    fn net_with(messages: Vec<CanMessage>) -> CanNetwork {
+        let mut net = CanNetwork::new(500_000);
+        net.add_node(Node::new("A", ControllerType::FullCan));
+        net.add_node(Node::new("B", ControllerType::BasicCan));
+        for m in messages {
+            net.add_message(m);
+        }
+        net
+    }
+
+    fn msg(name: &str, id: u32, dlc: u8, period_ms: u64, jitter_ms: u64, s: usize) -> CanMessage {
+        CanMessage::new(
+            name,
+            CanId::standard(id).expect("valid id"),
+            Dlc::new(dlc),
+            Time::from_ms(period_ms),
+            Time::from_ms(jitter_ms),
+            s,
+        )
+    }
+
+    fn same_rows(a: &BusReport, b: &BusReport) {
+        assert_eq!(a.messages.len(), b.messages.len());
+        for (x, y) in a.messages.iter().zip(&b.messages) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.c_max, y.c_max);
+            assert_eq!(x.c_min, y.c_min);
+            assert_eq!(x.blocking, y.blocking);
+            assert_eq!(x.deadline, y.deadline);
+            assert_eq!(x.outcome, y.outcome, "{}", x.name);
+            assert_eq!(x.instances, y.instances, "{}", x.name);
+        }
+    }
+
+    fn with_jitter(net: &CanNetwork, jitter: Time) -> CanNetwork {
+        let mut out = net.clone();
+        for m in out.messages_mut() {
+            let a = m.activation;
+            m.activation = EventModel::new(a.kind(), a.period(), jitter, a.dmin());
+        }
+        out
+    }
+
+    #[test]
+    fn warm_started_sweep_is_bit_identical_to_cold() {
+        let base = net_with(vec![
+            msg("a", 0x100, 8, 5, 0, 0),
+            msg("b", 0x140, 4, 10, 0, 1),
+            msg("c", 0x180, 8, 10, 0, 0),
+            msg("d", 0x200, 2, 20, 0, 1),
+        ]);
+        let config = AnalysisConfig::default();
+        let errors = SporadicErrors::new(Time::from_ms(20));
+        let compiled = CompiledBus::compile(&base, config.stuffing).expect("valid");
+        let mut ws = RtaWorkspace::new();
+        // Ascending jitter: every step dominates the previous one, so
+        // from the second point on the fixpoints warm-start.
+        for (k, us) in [0u64, 200, 500, 1200, 2500].iter().enumerate() {
+            let variant = with_jitter(&base, Time::from_us(*us));
+            let fast = compiled.solve(&variant, &errors, &config, &mut ws);
+            let naive = analyze_bus(&variant, &errors, &config).expect("valid");
+            same_rows(&fast, &naive);
+            if k > 0 {
+                assert!(
+                    ws.last_stats().warm_messages > 0,
+                    "ascending jitter must warm-start (step {k}): {:?}",
+                    ws.last_stats()
+                );
+            }
+        }
+        // Descending jitter breaks dominance: the solve must fall back
+        // to cold starts and still agree. Only the top-priority fullCAN
+        // message keeps its warm start — its interference set is empty,
+        // so its demand function never depends on any activation.
+        let variant = with_jitter(&base, Time::from_us(100));
+        let fast = compiled.solve(&variant, &errors, &config, &mut ws);
+        same_rows(
+            &fast,
+            &analyze_bus(&variant, &errors, &config).expect("valid"),
+        );
+        assert_eq!(ws.last_stats().warm_messages, 1);
+    }
+
+    #[test]
+    fn error_model_change_rejects_warm_state() {
+        let base = net_with(vec![
+            msg("a", 0x100, 8, 5, 0, 0),
+            msg("b", 0x200, 8, 5, 0, 1),
+        ]);
+        let config = AnalysisConfig::default();
+        let compiled = CompiledBus::compile(&base, config.stuffing).expect("valid");
+        let mut ws = RtaWorkspace::new();
+        compiled.solve(&base, &NoErrors, &config, &mut ws);
+        let errors = SporadicErrors::new(Time::from_ms(10));
+        let fast = compiled.solve(&base, &errors, &config, &mut ws);
+        assert_eq!(ws.last_stats().warm_messages, 0, "error model changed");
+        same_rows(&fast, &analyze_bus(&base, &errors, &config).expect("valid"));
+    }
+
+    #[test]
+    fn reordered_tables_match_a_fresh_compile() {
+        let base = net_with(vec![
+            msg("a", 0x100, 8, 5, 1, 0),
+            msg("b", 0x140, 4, 10, 0, 1),
+            msg("c", 0x180, 8, 10, 2, 0),
+        ]);
+        let config = AnalysisConfig::default();
+        let compiled = CompiledBus::compile(&base, config.stuffing).expect("valid");
+        let mut permuted = base.clone();
+        let (a, c) = (permuted.messages()[0].id, permuted.messages()[2].id);
+        permuted.messages_mut()[0].id = c;
+        permuted.messages_mut()[2].id = a;
+        let reordered = compiled.reordered(&permuted);
+        let errors = NoErrors;
+        let fast = reordered.solve(&permuted, &errors, &config, &mut RtaWorkspace::new());
+        same_rows(
+            &fast,
+            &analyze_bus(&permuted, &errors, &config).expect("valid"),
+        );
+        // Names are shared, not re-interned.
+        assert!(Arc::ptr_eq(&fast.messages[0].name, &compiled.names[0]));
+        // Warm state from the old order must not leak into the new one.
+        assert_ne!(reordered.epoch, compiled.epoch);
+    }
+
+    #[test]
+    fn dominance_gate_matches_eta_plus_pointwise() {
+        let p = |period_ms, jitter_ms, dmin_us| {
+            EventModel::new(
+                ActivationKind::Periodic,
+                Time::from_ms(period_ms),
+                Time::from_ms(jitter_ms),
+                Time::from_us(dmin_us),
+            )
+        };
+        let windows: Vec<Time> = (0..200u64).map(|k| Time::from_us(137 * k)).collect();
+        let cases = [
+            (p(10, 2, 0), p(10, 0, 0), true),     // jitter grew
+            (p(10, 1, 0), p(10, 2, 0), false),    // jitter shrank
+            (p(5, 1, 0), p(10, 1, 0), true),      // period shrank
+            (p(20, 1, 0), p(10, 1, 0), false),    // period grew
+            (p(10, 5, 400), p(10, 2, 500), true), // dmin tightened the cap less
+            (p(10, 5, 0), p(10, 2, 500), true),   // cap dropped entirely
+            (p(10, 5, 500), p(10, 2, 0), false),  // cap appeared
+            (p(10, 2, 300), p(10, 2, 300), true), // identical
+        ];
+        for (new, old, expect) in cases {
+            assert_eq!(eta_dominates(&new, &old), expect, "{new:?} vs {old:?}");
+            if eta_dominates(&new, &old) {
+                for w in &windows {
+                    assert!(
+                        new.eta_plus(*w) >= old.eta_plus(*w),
+                        "dominance gate admitted a non-dominating pair at {w}: {new:?} vs {old:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_survives_overload_and_recovers() {
+        // 135 bits every 200 us at 500 kbit/s: the bus is overloaded.
+        let flood = CanMessage::new(
+            "flood",
+            CanId::standard(0x100).expect("valid"),
+            Dlc::new(8),
+            Time::from_us(200),
+            Time::ZERO,
+            0,
+        );
+        let net = net_with(vec![flood, msg("victim", 0x200, 8, 10, 0, 1)]);
+        let config = AnalysisConfig::default();
+        let compiled = CompiledBus::compile(&net, config.stuffing).expect("valid");
+        let mut ws = RtaWorkspace::new();
+        let first = compiled.solve(&net, &NoErrors, &config, &mut ws);
+        assert!(!first.schedulable());
+        // Re-solving with the overload-tainted workspace stays exact.
+        let second = compiled.solve(&net, &NoErrors, &config, &mut ws);
+        same_rows(&first, &second);
+        same_rows(
+            &second,
+            &analyze_bus(&net, &NoErrors, &config).expect("valid"),
+        );
+    }
+
+    #[test]
+    fn compile_rejects_invalid_networks() {
+        let empty = CanNetwork::new(500_000);
+        assert!(matches!(
+            CompiledBus::compile(&empty, StuffingMode::WorstCase),
+            Err(AnalysisError::InvalidModel(_))
+        ));
+    }
+}

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod compiled;
 pub mod controller;
 pub mod encode;
 pub mod error_model;
@@ -57,6 +58,7 @@ pub mod rta;
 
 /// Convenient single import for the common types of this crate.
 pub mod prelude {
+    pub use crate::compiled::{CompiledBus, RtaWorkspace, SolveStats};
     pub use crate::controller::ControllerType;
     pub use crate::error_model::{
         BurstErrors, CombinedErrors, ErrorModel, NoErrors, SporadicErrors,

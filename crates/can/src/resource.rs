@@ -110,7 +110,7 @@ impl Resource for CanBusResource {
                     min_output_spacing: m.c_min,
                 }),
                 ResponseOutcome::Overload => Err(AnalysisError::Unbounded {
-                    entity: m.name.clone(),
+                    entity: m.name.to_string(),
                 }),
             })
             .collect()

@@ -18,31 +18,31 @@
 //! The instance's response time is `R_q = w_q + C_m − δ⁻_m(q)` and the
 //! busy period extends to instance `q+1` while `w_q + C_m > δ⁻_m(q+1)`.
 
+use crate::compiled::{CompiledBus, RtaWorkspace};
 use crate::controller::ControllerType;
 use crate::error_model::ErrorModel;
-use crate::frame::{bit_time, StuffingMode, ERROR_FRAME_BITS};
+use crate::frame::{StuffingMode, ERROR_FRAME_BITS};
 use crate::message::CanId;
 use crate::network::CanNetwork;
 use carta_core::analysis::{AnalysisError, ResponseBounds};
 use carta_core::time::Time;
 use carta_obs::metrics::{self, Counter, Histogram};
-use carta_obs::span;
 use std::sync::{Arc, OnceLock};
 
 /// Pre-resolved global-registry handles for the RTA hot path. Resolved
 /// once; recording happens only while [`metrics::enabled`], so the
 /// disabled cost per `analyze_bus` run is one relaxed atomic load.
-struct RtaMetrics {
-    runs: Arc<Counter>,
-    messages: Arc<Counter>,
-    iterations: Arc<Counter>,
-    busy_instances: Arc<Histogram>,
-    incremental_runs: Arc<Counter>,
-    incremental_reused: Arc<Counter>,
-    incremental_recomputed: Arc<Counter>,
+pub(crate) struct RtaMetrics {
+    pub(crate) runs: Arc<Counter>,
+    pub(crate) messages: Arc<Counter>,
+    pub(crate) iterations: Arc<Counter>,
+    pub(crate) busy_instances: Arc<Histogram>,
+    pub(crate) incremental_runs: Arc<Counter>,
+    pub(crate) incremental_reused: Arc<Counter>,
+    pub(crate) incremental_recomputed: Arc<Counter>,
 }
 
-fn rta_metrics() -> &'static RtaMetrics {
+pub(crate) fn rta_metrics() -> &'static RtaMetrics {
     static HANDLES: OnceLock<RtaMetrics> = OnceLock::new();
     HANDLES.get_or_init(|| {
         let registry = metrics::global();
@@ -121,8 +121,10 @@ impl ResponseOutcome {
 pub struct MessageReport {
     /// Index of the message in the network's message list.
     pub index: usize,
-    /// Message name.
-    pub name: String,
+    /// Message name, interned per [`crate::compiled::CompiledBus`]:
+    /// every report produced from the same compiled tables shares one
+    /// allocation per name.
+    pub name: Arc<str>,
     /// CAN identifier.
     pub id: CanId,
     /// Worst-case transmission time (stuffing per config).
@@ -194,7 +196,7 @@ impl BusReport {
 
     /// Looks a report up by message name.
     pub fn by_name(&self, name: &str) -> Option<&MessageReport> {
-        self.messages.iter().find(|m| m.name == name)
+        self.messages.iter().find(|m| &*m.name == name)
     }
 
     /// The largest worst-case response time on the bus, if all bounded.
@@ -208,6 +210,12 @@ impl BusReport {
 }
 
 /// Analyzes every message on the bus.
+///
+/// Shorthand for compiling the topology ([`CompiledBus::compile`]) and
+/// solving once with a fresh [`RtaWorkspace`]. Callers that analyze
+/// many variants of one topology should hold on to the compiled tables
+/// and a workspace instead — that skips the per-call table derivation
+/// and warm-starts the busy-window fixpoints (see [`crate::compiled`]).
 ///
 /// # Errors
 ///
@@ -240,76 +248,8 @@ pub fn analyze_bus(
     errors: &dyn ErrorModel,
     config: &AnalysisConfig,
 ) -> Result<BusReport, AnalysisError> {
-    net.validate()
-        .map_err(|e| AnalysisError::InvalidModel(e.to_string()))?;
-    let _span = span!("rta.bus", msgs = net.messages().len());
-
-    let rate = net.bit_rate();
-    let tau = bit_time(rate);
-    let msgs = net.messages();
-    let c_max = c_max_vector(net, config.stuffing);
-    let c_min: Vec<Time> = msgs
-        .iter()
-        .map(|m| Time::from_bits(m.id.kind().min_bits(m.dlc), rate))
-        .collect();
-
-    let recording = metrics::enabled();
-    let mut iterations = 0u64;
-    let mut reports = Vec::with_capacity(msgs.len());
-    for (i, m) in msgs.iter().enumerate() {
-        let key = m.id.arbitration_key();
-        let hp: Vec<usize> = (0..msgs.len())
-            .filter(|&j| msgs[j].id.arbitration_key() < key)
-            .collect();
-        let lp: Vec<usize> = (0..msgs.len())
-            .filter(|&j| j != i && msgs[j].id.arbitration_key() > key)
-            .collect();
-
-        let blocking = effective_blocking(net, i, &c_max, &lp);
-        let outcome = wcrt_for_sets(
-            net,
-            &c_max,
-            i,
-            &hp,
-            &lp,
-            tau,
-            errors,
-            config,
-            &mut iterations,
-        );
-        let (outcome_enum, instances) = match outcome {
-            Some((wcrt, q)) => (
-                ResponseOutcome::Bounded(ResponseBounds::new(c_min[i], wcrt.max(c_min[i]))),
-                q,
-            ),
-            None => (ResponseOutcome::Overload, 0),
-        };
-        if recording {
-            rta_metrics().busy_instances.record(instances);
-        }
-        reports.push(MessageReport {
-            index: i,
-            name: m.name.clone(),
-            id: m.id,
-            c_max: c_max[i],
-            c_min: c_min[i],
-            blocking,
-            deadline: m.resolved_deadline(),
-            outcome: outcome_enum,
-            instances,
-        });
-    }
-    if recording {
-        let handles = rta_metrics();
-        handles.runs.inc();
-        handles.messages.add(msgs.len() as u64);
-        handles.iterations.add(iterations);
-    }
-    Ok(BusReport {
-        messages: reports,
-        error_model: errors.describe(),
-        stuffing: config.stuffing,
-    })
+    let compiled = CompiledBus::compile(net, config.stuffing)?;
+    Ok(compiled.solve(net, errors, config, &mut RtaWorkspace::new()))
 }
 
 /// The higher-priority index set of every message: `result[i]` holds
@@ -370,110 +310,8 @@ pub fn analyze_bus_incremental(
     previous: &BusReport,
     previous_hp: &[Vec<usize>],
 ) -> Result<(BusReport, IncrementalStats), AnalysisError> {
-    net.validate()
-        .map_err(|e| AnalysisError::InvalidModel(e.to_string()))?;
-    let _span = span!("rta.bus.incremental", msgs = net.messages().len());
-    let msgs = net.messages();
-    let comparable = previous.messages.len() == msgs.len()
-        && previous_hp.len() == msgs.len()
-        && previous.stuffing == config.stuffing
-        && previous.error_model == errors.describe();
-    if !comparable {
-        let report = analyze_bus(net, errors, config)?;
-        let recomputed = report.messages.len();
-        return Ok((
-            report,
-            IncrementalStats {
-                reused: 0,
-                recomputed,
-            },
-        ));
-    }
-
-    let rate = net.bit_rate();
-    let tau = bit_time(rate);
-    let c_max = c_max_vector(net, config.stuffing);
-    let c_min: Vec<Time> = msgs
-        .iter()
-        .map(|m| Time::from_bits(m.id.kind().min_bits(m.dlc), rate))
-        .collect();
-    // A permutation over a mixed standard/extended pool can change
-    // transmission times, which feed every message's interference sum;
-    // reuse is only sound when the whole vectors are unchanged.
-    let c_vectors_match = previous
-        .messages
-        .iter()
-        .enumerate()
-        .all(|(j, p)| p.c_max == c_max[j] && p.c_min == c_min[j]);
-
-    let mut stats = IncrementalStats::default();
-    let mut iterations = 0u64;
-    let mut reports = Vec::with_capacity(msgs.len());
-    for (i, m) in msgs.iter().enumerate() {
-        let key = m.id.arbitration_key();
-        let hp: Vec<usize> = (0..msgs.len())
-            .filter(|&j| msgs[j].id.arbitration_key() < key)
-            .collect();
-        let lp: Vec<usize> = (0..msgs.len())
-            .filter(|&j| j != i && msgs[j].id.arbitration_key() > key)
-            .collect();
-        let blocking = effective_blocking(net, i, &c_max, &lp);
-        let deadline = m.resolved_deadline();
-        let prev = &previous.messages[i];
-        let (outcome, instances) = if c_vectors_match
-            && prev.name == m.name
-            && prev.deadline == deadline
-            && hp == previous_hp[i]
-        {
-            stats.reused += 1;
-            (prev.outcome, prev.instances)
-        } else {
-            stats.recomputed += 1;
-            match wcrt_for_sets(
-                net,
-                &c_max,
-                i,
-                &hp,
-                &lp,
-                tau,
-                errors,
-                config,
-                &mut iterations,
-            ) {
-                Some((wcrt, q)) => (
-                    ResponseOutcome::Bounded(ResponseBounds::new(c_min[i], wcrt.max(c_min[i]))),
-                    q,
-                ),
-                None => (ResponseOutcome::Overload, 0),
-            }
-        };
-        reports.push(MessageReport {
-            index: i,
-            name: m.name.clone(),
-            id: m.id,
-            c_max: c_max[i],
-            c_min: c_min[i],
-            blocking,
-            deadline,
-            outcome,
-            instances,
-        });
-    }
-    if metrics::enabled() {
-        let handles = rta_metrics();
-        handles.incremental_runs.inc();
-        handles.incremental_reused.add(stats.reused as u64);
-        handles.incremental_recomputed.add(stats.recomputed as u64);
-        handles.iterations.add(iterations);
-    }
-    Ok((
-        BusReport {
-            messages: reports,
-            error_model: errors.describe(),
-            stuffing: config.stuffing,
-        },
-        stats,
-    ))
+    let compiled = CompiledBus::compile(net, config.stuffing)?;
+    Ok(compiled.solve_incremental(net, errors, config, previous, previous_hp))
 }
 
 /// Fault-injection hooks for verification tooling.
@@ -507,6 +345,13 @@ pub(crate) fn effective_blocking(net: &CanNetwork, i: usize, c_max: &[Time], lp:
     if test_mutations::drop_blocking() {
         return Time::ZERO;
     }
+    blocking_for(net, i, c_max, lp)
+}
+
+/// [`effective_blocking`] without the fault-injection hook — the pure
+/// term [`crate::compiled::CompiledBus`] precompiles (the hook is
+/// re-checked at solve time so compiled tables stay hook-agnostic).
+pub(crate) fn blocking_for(net: &CanNetwork, i: usize, c_max: &[Time], lp: &[usize]) -> Time {
     let m = &net.messages()[i];
     let bus_blocking = match net.controller_of(m) {
         ControllerType::FullCan => lp.iter().map(|&j| c_max[j]).max().unwrap_or(Time::ZERO),
@@ -588,7 +433,7 @@ pub(crate) fn wcrt_for_sets(
         .max()
         .expect("at least own frame");
     let per_hit = Time::from_bits(ERROR_FRAME_BITS, rate) + retx;
-    message_wcrt(
+    crate::compiled::busy_window(
         msgs,
         i,
         &interference,
@@ -598,6 +443,8 @@ pub(crate) fn wcrt_for_sets(
         errors,
         per_hit,
         config,
+        &[],
+        &mut Vec::new(),
         iterations,
     )
 }
@@ -615,65 +462,6 @@ pub(crate) fn c_max_vector(net: &CanNetwork, stuffing: StuffingMode) -> Vec<Time
             Time::from_bits(bits, rate)
         })
         .collect()
-}
-
-/// Busy-window iteration for one message; returns `(wcrt, instances)`
-/// or `None` on overload. Each inner fixpoint step adds one to
-/// `iterations` — the convergence-cost figure surfaced as the
-/// `rta.iterations` metric.
-#[allow(clippy::too_many_arguments)]
-fn message_wcrt(
-    msgs: &[crate::message::CanMessage],
-    i: usize,
-    hp: &[usize],
-    c_max: &[Time],
-    blocking: Time,
-    tau: Time,
-    errors: &dyn ErrorModel,
-    per_hit: Time,
-    config: &AnalysisConfig,
-    iterations: &mut u64,
-) -> Option<(Time, u64)> {
-    let c_m = c_max[i];
-    let own = &msgs[i].activation;
-    let mut wcrt = Time::ZERO;
-    // `w` warm-starts each instance at the previous fixpoint: the
-    // right-hand side is monotone in both `w` and `q`, so the smallest
-    // fixpoint for q+1 is at least the one for q.
-    let mut w = Time::ZERO;
-    let mut q = 1u64;
-    loop {
-        // Fixpoint iteration for instance q.
-        w = w.max(blocking + c_m * (q - 1));
-        loop {
-            *iterations += 1;
-            let mut demand = blocking + c_m * (q - 1);
-            demand = demand
-                .saturating_add(per_hit.saturating_mul(errors.max_hits(w.saturating_add(c_m))));
-            for &j in hp {
-                let eta = msgs[j].activation.eta_plus(w.saturating_add(tau));
-                demand = demand.saturating_add(c_max[j].saturating_mul(eta));
-            }
-            if demand > config.horizon {
-                return None;
-            }
-            if demand <= w {
-                break; // fixpoint reached (demand == w on the way up)
-            }
-            w = demand;
-        }
-        let finish = w + c_m;
-        wcrt = wcrt.max(finish.saturating_sub(own.delta_min(q)));
-        // Does the busy period extend to the next instance?
-        if finish > own.delta_min(q + 1) {
-            q += 1;
-            if q > config.max_instances {
-                return None;
-            }
-        } else {
-            return Some((wcrt, q));
-        }
-    }
 }
 
 #[cfg(test)]

@@ -227,7 +227,7 @@ fn cmd_analyze(args: &ParsedArgs) -> CmdResult {
     let mut table = Table::new(["message", "id", "WCRT", "BCRT", "deadline", "verdict"]);
     for m in &report.messages {
         table.row([
-            m.name.clone(),
+            m.name.to_string(),
             m.id.to_string(),
             m.outcome
                 .wcrt()
@@ -911,7 +911,7 @@ mod tests {
         assert!(out.contains("sim-never-exceeds-analysis"), "{out}");
         assert!(out.contains("jitter-monotonicity"), "{out}");
         assert!(
-            out.contains("all 8 laws held over 2 cases each (seed 2006)"),
+            out.contains("all 9 laws held over 2 cases each (seed 2006)"),
             "{out}"
         );
         assert!(!out.contains("VIOLATED"), "{out}");

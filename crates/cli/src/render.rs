@@ -6,10 +6,12 @@ use carta_engine::prelude::CacheStats;
 /// way (hit rate, hits, fresh analyses, contended/evicted shards).
 pub fn cache_stats_line(stats: &CacheStats) -> String {
     format!(
-        "engine cache: {:.0} % hit rate ({} hits, {} analyses)",
+        "engine cache: {:.0} % hit rate ({} hits, {} analyses); rta: {} compiles, {:.0} % warm starts",
         stats.hit_rate() * 100.0,
         stats.hits,
-        stats.misses
+        stats.misses,
+        stats.compiles,
+        stats.warm_start_rate() * 100.0
     )
 }
 
@@ -104,12 +106,17 @@ mod tests {
         let stats = CacheStats {
             hits: 3,
             misses: 1,
+            compiles: 2,
+            warm_starts: 9,
+            cold_starts: 3,
             ..CacheStats::default()
         };
         let line = cache_stats_line(&stats);
         assert!(line.contains("75 % hit rate"), "{line}");
         assert!(line.contains("3 hits"), "{line}");
         assert!(line.contains("1 analyses"), "{line}");
+        assert!(line.contains("2 compiles"), "{line}");
+        assert!(line.contains("75 % warm starts"), "{line}");
     }
 
     #[test]

@@ -49,11 +49,11 @@ pub fn oem_receive_guarantees(
             ResponseOutcome::Bounded(bounds) => {
                 let activation = net.messages()[m.index].activation;
                 ds.guarantee(
-                    m.name.clone(),
+                    m.name.to_string(),
                     activation.propagate(bounds.best(), bounds.worst(), m.c_min),
                 );
             }
-            ResponseOutcome::Overload => unguaranteed.push(m.name.clone()),
+            ResponseOutcome::Overload => unguaranteed.push(m.name.to_string()),
         }
     }
     Ok((ds, unguaranteed))

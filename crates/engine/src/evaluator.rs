@@ -6,8 +6,10 @@
 //! evaluations of the same variant share one allocation.
 
 use crate::variant::{SystemVariant, VariantKey};
+use carta_can::compiled::{CompiledBus, RtaWorkspace};
+use carta_can::frame::StuffingMode;
 use carta_can::network::CanNetwork;
-use carta_can::rta::{analyze_bus, analyze_bus_incremental, hp_index_sets, BusReport};
+use carta_can::rta::BusReport;
 use carta_core::analysis::AnalysisError;
 use carta_obs::metrics::{self, Counter, Histogram, MetricsRegistry};
 use carta_obs::span;
@@ -21,6 +23,10 @@ use std::time::Instant;
 /// Result of one evaluation: the analysis report, or the model error
 /// (also cached — a malformed base fails identically every time).
 pub type EvalResult = Result<Arc<BusReport>, AnalysisError>;
+
+/// One compiled-bus cache entry: the tables, or the validation error of
+/// the base (cached so a malformed base is validated once).
+type CompiledEntry = Result<Arc<CompiledBus>, AnalysisError>;
 
 /// How many worker threads a batch may use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +99,14 @@ pub struct CacheStats {
     pub messages_reused: u64,
     /// Per-message results recomputed by incremental re-analysis.
     pub messages_recomputed: u64,
+    /// RTA compile-phase runs: one full [`CompiledBus::compile`] per
+    /// (base, stuffing mode), plus one order-dependent recompile per
+    /// permutation overlay miss.
+    pub compiles: u64,
+    /// Busy-window fixpoints warm-started from a per-thread workspace.
+    pub warm_starts: u64,
+    /// Busy-window fixpoints solved from a cold start.
+    pub cold_starts: u64,
 }
 
 impl CacheStats {
@@ -103,6 +117,17 @@ impl CacheStats {
             0.0
         } else {
             self.hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of solved busy-window fixpoints that warm-started
+    /// (cached evaluations solve nothing and are not counted).
+    pub fn warm_start_rate(&self) -> f64 {
+        let total = self.warm_starts + self.cold_starts;
+        if total == 0 {
+            0.0
+        } else {
+            self.warm_starts as f64 / total as f64
         }
     }
 }
@@ -117,11 +142,23 @@ struct Anchor {
     hp_sets: Vec<Vec<usize>>,
 }
 
+/// Per-thread solve state: the reusable scratch network, the compiled
+/// tables last used on this thread (an `Arc` into the evaluator's
+/// compiled-bus cache, re-fetched when base or stuffing change), and
+/// the RTA workspace that carries busy-window warm-start data from one
+/// solve to the next.
+struct Scratch {
+    fp: u64,
+    net: CanNetwork,
+    compiled: Option<((u64, StuffingMode), Arc<CompiledBus>)>,
+    ws: RtaWorkspace,
+}
+
 thread_local! {
-    /// Per-thread scratch network, keyed by base fingerprint. Cloned
-    /// once per (thread, base) and rewritten in place per variant — the
-    /// "no full-network clone per point" mechanism.
-    static SCRATCH: RefCell<Option<(u64, CanNetwork)>> = const { RefCell::new(None) };
+    /// Per-thread scratch, keyed by base fingerprint. The network is
+    /// cloned once per (thread, base) and rewritten in place per
+    /// variant — the "no full-network clone per point" mechanism.
+    static SCRATCH: RefCell<Option<Scratch>> = const { RefCell::new(None) };
 }
 
 /// Pre-resolved metric handles for the engine's hot paths.
@@ -144,6 +181,9 @@ struct EngineMetrics {
     batch_points: Arc<Counter>,
     batch_wall_ns: Arc<Histogram>,
     queue_depth: Arc<Histogram>,
+    rta_compiles: Arc<Counter>,
+    rta_warm_starts: Arc<Counter>,
+    rta_cold_starts: Arc<Counter>,
 }
 
 impl EngineMetrics {
@@ -159,6 +199,9 @@ impl EngineMetrics {
             batch_points: registry.counter("engine.batch.points"),
             batch_wall_ns: registry.histogram("engine.batch.wall_ns"),
             queue_depth: registry.histogram("engine.batch.queue_depth"),
+            rta_compiles: registry.counter("engine.rta.compiles"),
+            rta_warm_starts: registry.counter("engine.rta.warm_starts"),
+            rta_cold_starts: registry.counter("engine.rta.cold_starts"),
         }
     }
 
@@ -232,10 +275,14 @@ impl EvaluatorBuilder {
             shard_capacity: self.cache_capacity.map(|c| (c / SHARDS).max(1)),
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             anchors: Mutex::new(HashMap::new()),
+            compiled: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             messages_reused: AtomicU64::new(0),
             messages_recomputed: AtomicU64::new(0),
+            compiles: AtomicU64::new(0),
+            warm_starts: AtomicU64::new(0),
+            cold_starts: AtomicU64::new(0),
             metrics,
         }
     }
@@ -247,10 +294,17 @@ pub struct Evaluator {
     shard_capacity: Option<usize>,
     shards: Vec<Mutex<HashMap<VariantKey, EvalResult>>>,
     anchors: Mutex<HashMap<VariantKey, Arc<Anchor>>>,
+    /// One compiled bus per (base fingerprint, stuffing mode), shared
+    /// by every worker thread; compile errors are cached alongside so a
+    /// malformed base is validated once.
+    compiled: Mutex<HashMap<(u64, StuffingMode), CompiledEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
     messages_reused: AtomicU64,
     messages_recomputed: AtomicU64,
+    compiles: AtomicU64,
+    warm_starts: AtomicU64,
+    cold_starts: AtomicU64,
     metrics: EngineMetrics,
 }
 
@@ -293,6 +347,9 @@ impl Evaluator {
             misses: self.misses.load(Ordering::Relaxed),
             messages_reused: self.messages_reused.load(Ordering::Relaxed),
             messages_recomputed: self.messages_recomputed.load(Ordering::Relaxed),
+            compiles: self.compiles.load(Ordering::Relaxed),
+            warm_starts: self.warm_starts.load(Ordering::Relaxed),
+            cold_starts: self.cold_starts.load(Ordering::Relaxed),
         }
     }
 
@@ -418,25 +475,85 @@ impl Evaluator {
             .collect()
     }
 
-    /// Runs the analysis for a cache miss, using the per-thread scratch
-    /// network and, for permutation overlays, incremental re-analysis
-    /// against the bucket's anchor report.
+    /// The compiled bus of `variant`'s base under `stuffing`, from the
+    /// shared cache (compiling on first use). Always compiles the *base*
+    /// network — permutation overlays reorder a copy via
+    /// [`CompiledBus::reordered`] instead of polluting this cache.
+    fn compiled_for(
+        &self,
+        variant: &SystemVariant,
+        fp: u64,
+        stuffing: StuffingMode,
+    ) -> Result<Arc<CompiledBus>, AnalysisError> {
+        let mut map = self.compiled.lock().expect("compiled map poisoned");
+        map.entry((fp, stuffing))
+            .or_insert_with(|| {
+                self.compiles.fetch_add(1, Ordering::Relaxed);
+                if self.metrics.active() {
+                    self.metrics.rta_compiles.inc();
+                }
+                CompiledBus::compile(variant.base().network(), stuffing).map(Arc::new)
+            })
+            .clone()
+    }
+
+    /// Counts the warm/cold busy-window starts of the latest solve.
+    fn record_solve(&self, ws: &RtaWorkspace) {
+        let stats = ws.last_stats();
+        self.warm_starts
+            .fetch_add(stats.warm_messages, Ordering::Relaxed);
+        self.cold_starts
+            .fetch_add(stats.cold_messages, Ordering::Relaxed);
+        if self.metrics.active() {
+            self.metrics.rta_warm_starts.add(stats.warm_messages);
+            self.metrics.rta_cold_starts.add(stats.cold_messages);
+        }
+    }
+
+    /// Runs the analysis for a cache miss on the compiled fast path:
+    /// the per-thread scratch network is rewritten in place, the base's
+    /// [`CompiledBus`] is fetched from the shared cache, and the solve
+    /// phase warm-starts from the thread's [`RtaWorkspace`]. Permutation
+    /// overlays recompile only the order-dependent tables
+    /// ([`CompiledBus::reordered`]) and re-use per-message verdicts from
+    /// the bucket's anchor report where the priority order is unchanged.
     fn analyze_uncached(&self, variant: &SystemVariant) -> EvalResult {
         SCRATCH.with_borrow_mut(|slot| {
             let fp = variant.base().fingerprint();
             let scratch = match slot {
-                Some((cached_fp, net)) if *cached_fp == fp => net,
+                Some(s) if s.fp == fp => s,
                 _ => {
-                    *slot = Some((fp, variant.base().network().clone()));
-                    &mut slot.as_mut().expect("just set").1
+                    *slot = Some(Scratch {
+                        fp,
+                        net: variant.base().network().clone(),
+                        compiled: None,
+                        ws: RtaWorkspace::new(),
+                    });
+                    slot.as_mut().expect("just set")
                 }
             };
-            variant.apply_onto(scratch);
+            variant.apply_onto(&mut scratch.net);
 
             let errors = variant.scenario().errors.model();
             let config = variant.scenario().analysis_config();
+            let compiled = match &scratch.compiled {
+                Some((key, c)) if *key == (fp, config.stuffing) => c.clone(),
+                _ => {
+                    let c = self.compiled_for(variant, fp, config.stuffing)?;
+                    scratch.compiled = Some(((fp, config.stuffing), c.clone()));
+                    c
+                }
+            };
 
             if variant.permutation().is_some() {
+                // Identifiers were redistributed: the order-dependent
+                // tables recompile against the permuted scratch network
+                // (interned names and frame times carry over).
+                let reordered = compiled.reordered(&scratch.net);
+                self.compiles.fetch_add(1, Ordering::Relaxed);
+                if self.metrics.active() {
+                    self.metrics.rta_compiles.inc();
+                }
                 let anchor = self
                     .anchors
                     .lock()
@@ -444,22 +561,44 @@ impl Evaluator {
                     .get(&variant.anchor_key())
                     .cloned();
                 if let Some(anchor) = anchor {
-                    let (report, stats) = analyze_bus_incremental(
-                        scratch,
+                    let (report, stats) = reordered.solve_incremental(
+                        &scratch.net,
                         errors.as_ref(),
                         &config,
                         &anchor.report,
                         &anchor.hp_sets,
-                    )?;
+                    );
                     self.messages_reused
                         .fetch_add(stats.reused as u64, Ordering::Relaxed);
                     self.messages_recomputed
                         .fetch_add(stats.recomputed as u64, Ordering::Relaxed);
                     return Ok(Arc::new(report));
                 }
+                // Anchor miss: solve cold (warm-start state never
+                // transfers across a reordering) and install the anchor.
+                let report = reordered.solve(
+                    &scratch.net,
+                    errors.as_ref(),
+                    &config,
+                    &mut RtaWorkspace::new(),
+                );
+                self.cold_starts
+                    .fetch_add(report.messages.len() as u64, Ordering::Relaxed);
+                self.anchors
+                    .lock()
+                    .expect("anchor map poisoned")
+                    .entry(variant.anchor_key())
+                    .or_insert_with(|| {
+                        Arc::new(Anchor {
+                            report: report.clone(),
+                            hp_sets: reordered.hp_sets().to_vec(),
+                        })
+                    });
+                return Ok(Arc::new(report));
             }
 
-            let report = analyze_bus(scratch, errors.as_ref(), &config)?;
+            let report = compiled.solve(&scratch.net, errors.as_ref(), &config, &mut scratch.ws);
+            self.record_solve(&scratch.ws);
             // First full analysis in this bucket: it becomes the anchor
             // future permutation overlays diff against.
             self.anchors
@@ -469,7 +608,7 @@ impl Evaluator {
                 .or_insert_with(|| {
                     Arc::new(Anchor {
                         report: report.clone(),
-                        hp_sets: hp_index_sets(scratch),
+                        hp_sets: compiled.hp_sets().to_vec(),
                     })
                 });
             Ok(Arc::new(report))
@@ -598,6 +737,31 @@ mod tests {
             assert_eq!(e.id, d.id);
             assert_eq!(e.blocking, d.blocking);
         }
+    }
+
+    #[test]
+    fn jitter_sweeps_compile_once_and_warm_start() {
+        let base = BaseSystem::new(net(6));
+        let eval = Evaluator::new(Parallelism::sequential());
+        for k in 0..8 {
+            let v = SystemVariant::new(base.clone(), Scenario::worst_case())
+                .with_jitter_ratio(k as f64 * 0.05);
+            eval.evaluate(&v).expect("valid");
+        }
+        let stats = eval.stats();
+        assert_eq!(stats.compiles, 1, "one compile serves the sweep: {stats:?}");
+        assert_eq!(
+            stats.warm_starts + stats.cold_starts,
+            8 * 6,
+            "every message of every point is solved exactly once: {stats:?}"
+        );
+        // Ascending jitter dominates the previous point stream-wise, so
+        // every solve after the first warm-starts.
+        assert_eq!(
+            stats.cold_starts, 6,
+            "only the first point runs cold: {stats:?}"
+        );
+        assert!(stats.warm_start_rate() > 0.8, "{stats:?}");
     }
 
     #[test]

@@ -91,7 +91,7 @@ pub(crate) fn required_tx_depths_impl(
                 ResponseOutcome::Overload => None,
             };
             TxBufferNeed {
-                message: m.name.clone(),
+                message: m.name.to_string(),
                 depth,
             }
         })

@@ -94,7 +94,7 @@ pub fn diff_reports(before: &BusReport, after: &BusReport) -> AnalysisDiff {
     let mut removed = Vec::new();
     for b in &before.messages {
         match after.by_name(&b.name) {
-            None => removed.push(b.name.clone()),
+            None => removed.push(b.name.to_string()),
             Some(a) => {
                 let change = match (b.misses_deadline(), a.misses_deadline()) {
                     (false, false) => VerdictChange::StillOk,
@@ -103,7 +103,7 @@ pub fn diff_reports(before: &BusReport, after: &BusReport) -> AnalysisDiff {
                     (true, false) => VerdictChange::Fixed,
                 };
                 rows.push(DeltaRow {
-                    message: b.name.clone(),
+                    message: b.name.to_string(),
                     before: b.outcome.wcrt(),
                     after: a.outcome.wcrt(),
                     change,
@@ -115,7 +115,7 @@ pub fn diff_reports(before: &BusReport, after: &BusReport) -> AnalysisDiff {
         .messages
         .iter()
         .filter(|a| before.by_name(&a.name).is_none())
-        .map(|a| a.name.clone())
+        .map(|a| a.name.to_string())
         .collect();
     AnalysisDiff {
         rows,

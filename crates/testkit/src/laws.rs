@@ -8,6 +8,7 @@
 
 use crate::gen::random_variant;
 use crate::oracle::{DiffOracle, Violation, ORACLE_LAW};
+use carta_can::compiled::{CompiledBus, RtaWorkspace};
 use carta_can::error_model::ErrorModel;
 use carta_can::frame::StuffingMode;
 use carta_can::message::CanId;
@@ -69,6 +70,7 @@ pub fn all_laws() -> Vec<Box<dyn Law>> {
         Box::new(ErrorModelDominance),
         Box::new(BitRateScaling),
         Box::new(IncrementalEqualsFull),
+        Box::new(CompiledEqualsNaive),
         Box::new(OverlayEqualsRebuilt),
         Box::new(LoadSchedulability),
         Box::new(SimNeverExceedsAnalysis::default()),
@@ -307,6 +309,99 @@ impl Law for IncrementalEqualsFull {
     }
 }
 
+/// The compiled RTA kernel must be invisible in the results: solving a
+/// parameter sequence through precompiled tables with one shared,
+/// warm-started workspace — and a permuted variant through
+/// [`CompiledBus::reordered`] tables, both incrementally and cold —
+/// is bit-identical to a fresh `analyze_bus` of each network.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompiledEqualsNaive;
+
+impl CompiledEqualsNaive {
+    fn same_report(
+        &self,
+        fast: &BusReport,
+        fresh: &BusReport,
+        what: &str,
+        seed: u64,
+    ) -> Result<(), Violation> {
+        let rows_match = fast.messages.len() == fresh.messages.len()
+            && fast
+                .messages
+                .iter()
+                .zip(fresh.messages.iter())
+                .all(|(a, b)| same_report_row(a, b));
+        if rows_match && fast.error_model == fresh.error_model && fast.stuffing == fresh.stuffing {
+            Ok(())
+        } else {
+            Err(Violation::new(
+                self.name(),
+                format!("compiled solve diverged from the naive analysis at {what} (seed {seed})"),
+            ))
+        }
+    }
+}
+
+impl Law for CompiledEqualsNaive {
+    fn name(&self) -> &'static str {
+        "compiled-equals-naive"
+    }
+
+    fn check(&self, net: &CanNetwork, case: &LawCase, _eval: &Evaluator) -> Result<(), Violation> {
+        let scenario = Scenario {
+            name: "compiled-equals-naive".into(),
+            stuffing: StuffingMode::WorstCase,
+            errors: case.errors,
+            deadline: DeadlineOverride::Keep,
+        };
+        let model = scenario.errors.model();
+        let config = scenario.analysis_config();
+        let compiled =
+            CompiledBus::compile(net, config.stuffing).expect("generated networks are analyzable");
+        let base = BaseSystem::new(net.clone());
+        let mut ws = RtaWorkspace::new();
+        // A non-monotone jitter sequence: warm starts engage where the
+        // dominance gate allows and must fall back to cold where not.
+        let mut last: Option<(CanNetwork, BusReport)> = None;
+        for ratio in [0.0, 0.1, 0.3, 0.05] {
+            let point = SystemVariant::new(Arc::clone(&base), scenario.clone())
+                .with_jitter_ratio(ratio)
+                .materialize();
+            let fast = compiled.solve(&point, model.as_ref(), &config, &mut ws);
+            let fresh = analyze_bus(&point, model.as_ref(), &config)
+                .expect("generated networks are analyzable");
+            self.same_report(&fast, &fresh, &format!("jitter ratio {ratio}"), case.seed)?;
+            last = Some((point, fast));
+        }
+        // Permutation variant: the reordered tables must agree with a
+        // fresh analysis, both when diffing against the previous report
+        // and when solving cold.
+        let (last_net, last_report) = last.expect("sequence is non-empty");
+        let mut rng = StdRng::seed_from_u64(case.seed ^ 0x5c);
+        let mut ids: Vec<CanId> = last_net.messages().iter().map(|m| m.id).collect();
+        for i in (1..ids.len()).rev() {
+            ids.swap(i, rng.gen_range(0..=i));
+        }
+        let mut permuted = last_net.clone();
+        for (m, id) in permuted.messages_mut().iter_mut().zip(ids) {
+            m.id = id;
+        }
+        let reordered = compiled.reordered(&permuted);
+        let fresh = analyze_bus(&permuted, model.as_ref(), &config)
+            .expect("generated networks are analyzable");
+        let (incremental, _) = reordered.solve_incremental(
+            &permuted,
+            model.as_ref(),
+            &config,
+            &last_report,
+            compiled.hp_sets(),
+        );
+        self.same_report(&incremental, &fresh, "permutation (incremental)", case.seed)?;
+        let cold = reordered.solve(&permuted, model.as_ref(), &config, &mut RtaWorkspace::new());
+        self.same_report(&cold, &fresh, "permutation (cold)", case.seed)
+    }
+}
+
 /// Evaluating a variant through the engine (overlays + cache) must be
 /// bit-identical to analyzing the materialized network directly.
 #[derive(Debug, Clone, Copy, Default)]
@@ -427,7 +522,8 @@ mod tests {
     #[test]
     fn catalogue_has_stable_unique_names() {
         let names = law_names();
-        assert_eq!(names.len(), 8);
+        assert_eq!(names.len(), 9);
+        assert!(law_by_name("compiled-equals-naive").is_some());
         let mut sorted = names.clone();
         sorted.sort_unstable();
         sorted.dedup();

@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .messages
         .iter()
         .filter(|m| m.misses_deadline())
-        .map(|m| m.name.as_str())
+        .map(|m| &*m.name)
         .collect();
     if lost.is_empty() {
         println!("A: none.\n");
