@@ -64,11 +64,11 @@ use crate::network::CanNetwork;
 use crate::rta::{
     test_mutations, AnalysisConfig, BusReport, IncrementalStats, MessageReport, ResponseOutcome,
 };
-use carta_core::analysis::{AnalysisError, ResponseBounds};
+use carta_core::analysis::{AnalysisError, DivergenceCause, MessageDiagnostic, ResponseBounds};
 use carta_core::event_model::EventModel;
 use carta_core::time::Time;
 use carta_obs::metrics::{self, Counter, Histogram};
-use carta_obs::span;
+use carta_obs::{event, span};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
@@ -303,9 +303,9 @@ impl CompiledBus {
             let retx = interference_i
                 .iter()
                 .map(|&j| c_max[j])
-                .chain(std::iter::once(c_max[i]))
                 .max()
-                .expect("at least own frame");
+                .unwrap_or(c_max[i])
+                .max(c_max[i]);
             blocking.push(crate::rta::blocking_for(net, i, &c_max, &lp_i));
             per_hit.push(error_frame + retx);
             hp.push(hp_i);
@@ -347,6 +347,43 @@ impl CompiledBus {
     /// [`crate::rta::hp_index_sets`]).
     pub fn hp_sets(&self) -> &[Vec<usize>] {
         &self.hp
+    }
+
+    /// The interference index sets: `interference_sets()[i]` holds the
+    /// messages whose `η⁺` feeds message `i`'s busy-window demand (hp
+    /// for fullCAN senders; hp plus other-node lp for basicCAN/FIFO
+    /// senders). These are exactly the sets a divergence diagnostic
+    /// names.
+    pub fn interference_sets(&self) -> &[Vec<usize>] {
+        &self.interference
+    }
+
+    /// Lifts an abandoned fixpoint into a degraded-mode diagnostic
+    /// with interned names, recording the `rta.diverged` metric and a
+    /// structured trace event.
+    fn diagnose(&self, i: usize, abort: BusyAbort, recording: bool) -> MessageDiagnostic {
+        if recording {
+            crate::rta::rta_metrics().diverged.inc();
+        }
+        event!(
+            "rta.diverged",
+            msg = self.names[i],
+            level = self.hp[i].len(),
+            w = abort.w,
+            q = abort.q,
+            cause = abort.cause,
+        );
+        MessageDiagnostic {
+            entity: self.names[i].clone(),
+            priority_level: self.hp[i].len(),
+            busy_window: abort.w,
+            instances: abort.q,
+            interference: self.interference[i]
+                .iter()
+                .map(|&j| self.names[j].clone())
+                .collect(),
+            cause: abort.cause,
+        }
     }
 
     /// Runs the solve phase against `net`, which must be the compiled
@@ -439,14 +476,17 @@ impl CompiledBus {
             ws.iters[i] = iterations;
 
             let (outcome_enum, instances) = match outcome {
-                Some((wcrt, q)) => (
+                Ok((wcrt, q)) => (
                     ResponseOutcome::Bounded(ResponseBounds::new(
                         self.c_min[i],
                         wcrt.max(self.c_min[i]),
                     )),
                     q,
                 ),
-                None => (ResponseOutcome::Overload, 0),
+                Err(abort) => (
+                    ResponseOutcome::Overload(self.diagnose(i, abort, recording)),
+                    0,
+                ),
             };
             if recording {
                 crate::rta::rta_metrics().busy_instances.record(instances);
@@ -552,7 +592,7 @@ impl CompiledBus {
                 && self.hp[i] == previous_hp[i]
             {
                 stats.reused += 1;
-                (prev.outcome, prev.instances)
+                (prev.outcome.clone(), prev.instances)
             } else {
                 stats.recomputed += 1;
                 match busy_window(
@@ -569,14 +609,17 @@ impl CompiledBus {
                     &mut w_scratch,
                     &mut iterations,
                 ) {
-                    Some((wcrt, q)) => (
+                    Ok((wcrt, q)) => (
                         ResponseOutcome::Bounded(ResponseBounds::new(
                             self.c_min[i],
                             wcrt.max(self.c_min[i]),
                         )),
                         q,
                     ),
-                    None => (ResponseOutcome::Overload, 0),
+                    Err(abort) => (
+                        ResponseOutcome::Overload(self.diagnose(i, abort, metrics::enabled())),
+                        0,
+                    ),
                 }
             };
             reports.push(MessageReport {
@@ -609,10 +652,25 @@ impl CompiledBus {
     }
 }
 
+/// Abort state of an abandoned busy-window fixpoint: how far the
+/// window had grown, which instance was being examined, and which
+/// budget ran out. [`CompiledBus::solve`] lifts this into a
+/// [`MessageDiagnostic`] with the interned names of the interference
+/// set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct BusyAbort {
+    /// Busy-window length when the fixpoint was abandoned.
+    pub(crate) w: Time,
+    /// Instance under examination at the abort.
+    pub(crate) q: u64,
+    /// Which budget was exhausted.
+    pub(crate) cause: DivergenceCause,
+}
+
 /// Busy-window iteration for one message; returns `(wcrt, instances)`
-/// or `None` on overload. Each inner fixpoint step adds one to
-/// `iterations` — the convergence-cost figure surfaced as the
-/// `rta.iterations` metric.
+/// or the [`BusyAbort`] state on overload / budget exhaustion. Each
+/// inner fixpoint step adds one to `iterations` — the convergence-cost
+/// figure surfaced as the `rta.iterations` metric.
 ///
 /// `warm[q-1]`, when present, is a known lower bound on instance `q`'s
 /// least fixpoint (see the module docs for the soundness argument);
@@ -633,11 +691,14 @@ pub(crate) fn busy_window(
     warm: &[Time],
     out_w: &mut Vec<Time>,
     iterations: &mut u64,
-) -> Option<(Time, u64)> {
+) -> Result<(Time, u64), BusyAbort> {
     let c_m = c_max[i];
     let own = &msgs[i].activation;
     out_w.clear();
     let mut wcrt = Time::ZERO;
+    // Per-message divergence budget, measured against the shared
+    // cumulative counter so the hot loop stays branch-light.
+    let budget_end = iterations.saturating_add(config.max_iterations);
     // `w` carries over between instances: the demand is monotone in
     // both `w` and `q`, so the least fixpoint for q+1 is at least the
     // one for q, and a warm hint can only raise the start further —
@@ -651,6 +712,15 @@ pub(crate) fn busy_window(
             w = w.max(hint);
         }
         loop {
+            if *iterations >= budget_end {
+                return Err(BusyAbort {
+                    w,
+                    q,
+                    cause: DivergenceCause::IterationBudget {
+                        budget: config.max_iterations,
+                    },
+                });
+            }
             *iterations += 1;
             let mut demand = blocking + c_m * (q - 1);
             demand = demand
@@ -660,7 +730,13 @@ pub(crate) fn busy_window(
                 demand = demand.saturating_add(c_max[j].saturating_mul(eta));
             }
             if demand > config.horizon {
-                return None;
+                return Err(BusyAbort {
+                    w: demand,
+                    q,
+                    cause: DivergenceCause::HorizonExceeded {
+                        horizon: config.horizon,
+                    },
+                });
             }
             if demand <= w {
                 break; // fixpoint reached (demand == w on the way up)
@@ -674,10 +750,16 @@ pub(crate) fn busy_window(
         if finish > own.delta_min(q + 1) {
             q += 1;
             if q > config.max_instances {
-                return None;
+                return Err(BusyAbort {
+                    w,
+                    q: q - 1,
+                    cause: DivergenceCause::InstanceLimit {
+                        limit: config.max_instances,
+                    },
+                });
             }
         } else {
-            return Some((wcrt, q));
+            return Ok((wcrt, q));
         }
     }
 }

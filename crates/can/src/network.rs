@@ -48,6 +48,14 @@ pub enum ValidateNetworkError {
     DuplicateName(String),
     /// The bus has no messages.
     Empty,
+    /// The bus bit rate is zero: no frame can ever be transmitted.
+    ZeroBitRate,
+    /// A message activates with a zero period/minimum inter-arrival
+    /// time, which would admit unboundedly many arrivals in any window.
+    ZeroPeriod {
+        /// Message name.
+        message: String,
+    },
 }
 
 impl fmt::Display for ValidateNetworkError {
@@ -65,6 +73,10 @@ impl fmt::Display for ValidateNetworkError {
                 write!(f, "duplicate message name `{name}`")
             }
             ValidateNetworkError::Empty => write!(f, "network has no messages"),
+            ValidateNetworkError::ZeroBitRate => write!(f, "bus bit rate is zero"),
+            ValidateNetworkError::ZeroPeriod { message } => {
+                write!(f, "message `{message}` has a zero period")
+            }
         }
     }
 }
@@ -105,11 +117,11 @@ pub struct CanNetwork {
 impl CanNetwork {
     /// Creates an empty network with the given bit rate (bits/s).
     ///
-    /// # Panics
-    ///
-    /// Panics if `bit_rate` is zero.
+    /// A zero bit rate is accepted here so that hostile inputs can be
+    /// constructed and then *diagnosed*: [`CanNetwork::validate`] (run
+    /// by every analysis entry point) rejects it with
+    /// [`ValidateNetworkError::ZeroBitRate`] instead of panicking.
     pub fn new(bit_rate: u64) -> Self {
-        assert!(bit_rate > 0, "bit rate must be positive");
         CanNetwork {
             bit_rate,
             nodes: Vec::new(),
@@ -180,6 +192,9 @@ impl CanNetwork {
     ///
     /// Returns the first [`ValidateNetworkError`] found.
     pub fn validate(&self) -> Result<(), ValidateNetworkError> {
+        if self.bit_rate == 0 {
+            return Err(ValidateNetworkError::ZeroBitRate);
+        }
         if self.messages.is_empty() {
             return Err(ValidateNetworkError::Empty);
         }
@@ -199,6 +214,11 @@ impl CanNetwork {
                 return Err(ValidateNetworkError::UnknownSender {
                     message: m.name.clone(),
                     sender: m.sender,
+                });
+            }
+            if m.activation.period().is_zero() {
+                return Err(ValidateNetworkError::ZeroPeriod {
+                    message: m.name.clone(),
                 });
             }
         }
@@ -276,6 +296,21 @@ mod tests {
 
         let net = two_node_net();
         assert_eq!(net.validate(), Err(ValidateNetworkError::Empty));
+    }
+
+    #[test]
+    fn validate_catches_zero_bit_rate_and_zero_period() {
+        let mut net = CanNetwork::new(0);
+        net.add_node(Node::new("EMS", ControllerType::FullCan));
+        net.add_message(msg("a", 0x100, 8, 10, 0));
+        assert_eq!(net.validate(), Err(ValidateNetworkError::ZeroBitRate));
+
+        let mut net = two_node_net();
+        net.add_message(msg("a", 0x100, 8, 0, 0));
+        assert!(matches!(
+            net.validate(),
+            Err(ValidateNetworkError::ZeroPeriod { .. })
+        ));
     }
 
     #[test]

@@ -102,7 +102,7 @@ pub fn audsley_assignment(
                 config,
                 &mut probe_iterations,
             )
-            .is_some_and(|(wcrt, _)| wcrt <= deadlines[candidate]);
+            .is_ok_and(|(wcrt, _)| wcrt <= deadlines[candidate]);
             if ok {
                 chosen = Some(pos);
                 break;

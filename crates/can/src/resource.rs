@@ -104,14 +104,14 @@ impl Resource for CanBusResource {
         report
             .messages
             .iter()
-            .map(|m| match m.outcome {
+            .map(|m| match &m.outcome {
                 ResponseOutcome::Bounded(bounds) => Ok(SlotResponse {
-                    bounds,
+                    bounds: *bounds,
                     min_output_spacing: m.c_min,
                 }),
-                ResponseOutcome::Overload => Err(AnalysisError::Unbounded {
-                    entity: m.name.to_string(),
-                }),
+                // The diagnostic already interns the entity name; the
+                // coarse error reuses that allocation.
+                ResponseOutcome::Overload(diag) => Err(diag.to_error()),
             })
             .collect()
     }

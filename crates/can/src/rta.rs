@@ -24,7 +24,7 @@ use crate::error_model::ErrorModel;
 use crate::frame::{StuffingMode, ERROR_FRAME_BITS};
 use crate::message::CanId;
 use crate::network::CanNetwork;
-use carta_core::analysis::{AnalysisError, ResponseBounds};
+use carta_core::analysis::{AnalysisError, MessageDiagnostic, ResponseBounds};
 use carta_core::time::Time;
 use carta_obs::metrics::{self, Counter, Histogram};
 use std::sync::{Arc, OnceLock};
@@ -40,6 +40,7 @@ pub(crate) struct RtaMetrics {
     pub(crate) incremental_runs: Arc<Counter>,
     pub(crate) incremental_reused: Arc<Counter>,
     pub(crate) incremental_recomputed: Arc<Counter>,
+    pub(crate) diverged: Arc<Counter>,
 }
 
 pub(crate) fn rta_metrics() -> &'static RtaMetrics {
@@ -54,6 +55,7 @@ pub(crate) fn rta_metrics() -> &'static RtaMetrics {
             incremental_runs: registry.counter("rta.incremental.runs"),
             incremental_reused: registry.counter("rta.incremental.reused"),
             incremental_recomputed: registry.counter("rta.incremental.recomputed"),
+            diverged: registry.counter("rta.diverged"),
         }
     })
 }
@@ -67,6 +69,14 @@ pub struct AnalysisConfig {
     pub horizon: Time,
     /// Maximum number of instances examined per busy period.
     pub max_instances: u64,
+    /// Divergence budget: fixpoint iterations allowed per message
+    /// before its busy window is abandoned with
+    /// [`carta_core::analysis::DivergenceCause::IterationBudget`].
+    /// Deliberately an iteration (not wall-clock) budget so the abort
+    /// point — and with it every report — stays deterministic and
+    /// cache-coherent; wall budgets exist one level up, on the global
+    /// fixpoint ([`carta_core::comp::CompositionalSystem::with_wall_budget`]).
+    pub max_iterations: u64,
 }
 
 impl Default for AnalysisConfig {
@@ -75,6 +85,7 @@ impl Default for AnalysisConfig {
             stuffing: StuffingMode::WorstCase,
             horizon: Time::from_s(10),
             max_instances: 4096,
+            max_iterations: 1_000_000,
         }
     }
 }
@@ -90,12 +101,19 @@ impl AnalysisConfig {
 }
 
 /// The analysis verdict for one message.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Degraded mode: divergence is diagnosed per message, never escalated
+/// to a whole-report failure — an overloaded priority level carries a
+/// [`MessageDiagnostic`] (priority level, busy-window length at abort,
+/// the interference set that overloaded it) while every lower-impact
+/// message keeps its sound bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ResponseOutcome {
     /// The message has bounded best/worst-case response times.
     Bounded(ResponseBounds),
-    /// No bound exists (its priority level is overloaded).
-    Overload,
+    /// No bound exists (its priority level is overloaded, or a
+    /// divergence budget ran out first); the diagnostic says why.
+    Overload(MessageDiagnostic),
 }
 
 impl ResponseOutcome {
@@ -103,7 +121,7 @@ impl ResponseOutcome {
     pub fn wcrt(&self) -> Option<Time> {
         match self {
             ResponseOutcome::Bounded(b) => Some(b.worst()),
-            ResponseOutcome::Overload => None,
+            ResponseOutcome::Overload(_) => None,
         }
     }
 
@@ -111,13 +129,30 @@ impl ResponseOutcome {
     pub fn bcrt(&self) -> Option<Time> {
         match self {
             ResponseOutcome::Bounded(b) => Some(b.best()),
-            ResponseOutcome::Overload => None,
+            ResponseOutcome::Overload(_) => None,
+        }
+    }
+
+    /// The verdict as a `Result`: sound bounds, or the divergence
+    /// diagnostic of the abandoned fixpoint.
+    pub fn as_result(&self) -> Result<ResponseBounds, &MessageDiagnostic> {
+        match self {
+            ResponseOutcome::Bounded(b) => Ok(*b),
+            ResponseOutcome::Overload(d) => Err(d),
+        }
+    }
+
+    /// The divergence diagnostic, when the message has no bounds.
+    pub fn diagnostic(&self) -> Option<&MessageDiagnostic> {
+        match self {
+            ResponseOutcome::Bounded(_) => None,
+            ResponseOutcome::Overload(d) => Some(d),
         }
     }
 }
 
 /// Per-message analysis result.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MessageReport {
     /// Index of the message in the network's message list.
     pub index: usize,
@@ -160,10 +195,16 @@ impl MessageReport {
             .filter(|w| *w <= self.deadline)
             .map(|w| self.deadline - w)
     }
+
+    /// The per-message verdict as a `Result` (see
+    /// [`ResponseOutcome::as_result`]).
+    pub fn response(&self) -> Result<ResponseBounds, &MessageDiagnostic> {
+        self.outcome.as_result()
+    }
 }
 
 /// The full bus analysis result.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BusReport {
     /// Per-message reports, in network message order.
     pub messages: Vec<MessageReport>,
@@ -206,6 +247,20 @@ impl BusReport {
             .map(|m| m.outcome.wcrt())
             .collect::<Option<Vec<_>>>()
             .map(|v| v.into_iter().max().unwrap_or(Time::ZERO))
+    }
+
+    /// `true` if at least one message carries a divergence diagnostic
+    /// instead of bounds (a *degraded* report: the remaining bounds are
+    /// still sound).
+    pub fn is_degraded(&self) -> bool {
+        self.messages
+            .iter()
+            .any(|m| m.outcome.diagnostic().is_some())
+    }
+
+    /// The divergence diagnostics of this report, in message order.
+    pub fn diagnostics(&self) -> impl Iterator<Item = &MessageDiagnostic> {
+        self.messages.iter().filter_map(|m| m.outcome.diagnostic())
     }
 }
 
@@ -411,7 +466,7 @@ pub(crate) fn wcrt_for_sets(
     errors: &dyn ErrorModel,
     config: &AnalysisConfig,
     iterations: &mut u64,
-) -> Option<(Time, u64)> {
+) -> Result<(Time, u64), crate::compiled::BusyAbort> {
     let rate = net.bit_rate();
     let msgs = net.messages();
     let m = &msgs[i];
@@ -429,9 +484,9 @@ pub(crate) fn wcrt_for_sets(
     let retx = interference
         .iter()
         .map(|&j| c_max[j])
-        .chain(std::iter::once(c_max[i]))
         .max()
-        .expect("at least own frame");
+        .unwrap_or(c_max[i])
+        .max(c_max[i]);
     let per_hit = Time::from_bits(ERROR_FRAME_BITS, rate) + retx;
     crate::compiled::busy_window(
         msgs,
@@ -601,19 +656,35 @@ mod tests {
             msg("victim", 0x200, 8, 10, 0, 1),
         ]);
         let rep = analyze_bus(&net, &NoErrors, &AnalysisConfig::default()).expect("valid");
-        assert_eq!(
-            rep.by_name("victim").unwrap().outcome,
-            ResponseOutcome::Overload
-        );
-        assert!(rep.by_name("victim").unwrap().misses_deadline());
+        let victim = rep.by_name("victim").unwrap();
+        assert!(matches!(victim.outcome, ResponseOutcome::Overload(_)));
+        assert!(victim.misses_deadline());
         assert!(!rep.schedulable());
         assert!(rep.max_wcrt().is_none());
+        assert!(rep.is_degraded());
         // The flooding message alone exceeds the bus bandwidth (135 %),
         // so even the top priority has no bound.
+        let flood = rep.by_name("flood").unwrap();
+        assert!(matches!(flood.outcome, ResponseOutcome::Overload(_)));
+        // Degraded-mode diagnostics: the victim names its interference
+        // set and abort state, the flood has nothing above it.
+        let diag = victim.outcome.diagnostic().expect("diagnosed");
+        assert_eq!(&*diag.entity, "victim");
+        assert_eq!(diag.priority_level, 1);
+        assert_eq!(diag.interference, vec![Arc::<str>::from("flood")]);
+        assert!(diag.instances >= 1);
+        assert!(diag.busy_window > Time::ZERO);
         assert_eq!(
-            rep.by_name("flood").unwrap().outcome,
-            ResponseOutcome::Overload
+            diag.cause,
+            carta_core::analysis::DivergenceCause::HorizonExceeded {
+                horizon: AnalysisConfig::default().horizon
+            }
         );
+        let fdiag = flood.outcome.diagnostic().expect("diagnosed");
+        assert_eq!(fdiag.priority_level, 0);
+        assert!(fdiag.interference.is_empty());
+        assert_eq!(rep.diagnostics().count(), 2);
+        assert!(victim.response().is_err());
     }
 
     #[test]

@@ -238,7 +238,9 @@ fn cmd_analyze(args: &ParsedArgs) -> CmdResult {
                 .map(|t| t.to_string())
                 .unwrap_or_else(|| "-".into()),
             m.deadline.to_string(),
-            if m.misses_deadline() {
+            if m.outcome.diagnostic().is_some() {
+                "DIVERGED".into()
+            } else if m.misses_deadline() {
                 "LOST".into()
             } else {
                 "ok".to_string()
@@ -253,6 +255,30 @@ fn cmd_analyze(args: &ParsedArgs) -> CmdResult {
         report.missed_count(),
         report.messages.len()
     )?;
+    if report.is_degraded() {
+        writeln!(
+            out,
+            "\nDEGRADED REPORT: {} message(s) have no response bound; all other bounds remain \
+             sound",
+            report.diagnostics().count()
+        )?;
+        for d in report.diagnostics() {
+            writeln!(
+                out,
+                "  `{}` (priority level {}): {} — busy window {} over {} instance(s)",
+                d.entity, d.priority_level, d.cause, d.busy_window, d.instances
+            )?;
+            writeln!(
+                out,
+                "    interference: {}",
+                d.interference
+                    .iter()
+                    .map(|n| format!("`{n}`"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )?;
+        }
+    }
     Ok(out)
 }
 
@@ -911,10 +937,47 @@ mod tests {
         assert!(out.contains("sim-never-exceeds-analysis"), "{out}");
         assert!(out.contains("jitter-monotonicity"), "{out}");
         assert!(
-            out.contains("all 9 laws held over 2 cases each (seed 2006)"),
+            out.contains("all 11 laws held over 2 cases each (seed 2006)"),
             "{out}"
         );
         assert!(!out.contains("VIOLATED"), "{out}");
+    }
+
+    #[test]
+    fn fuzz_runs_the_chaos_laws() {
+        let out = run_line(&[
+            "fuzz",
+            "--cases",
+            "3",
+            "--laws",
+            "degraded-is-sound,fault-isolation",
+            "--jobs",
+            "1",
+        ])
+        .expect("chaos laws hold");
+        assert!(out.contains("degraded-is-sound"), "{out}");
+        assert!(out.contains("fault-isolation"), "{out}");
+        assert!(out.contains("all 2 laws held"), "{out}");
+    }
+
+    #[test]
+    fn analyze_renders_degraded_diagnostics() {
+        // The built-in case study plus an infeasible flood message:
+        // the flood diverges and is diagnosed, the rest keeps bounds.
+        let mut csv = run_line(&["generate", "--seed", "7"]).expect("generates");
+        csv.push_str("flood,0x7fa,0,8,50,,,EMS,TCU\n");
+        let dir = std::env::temp_dir().join("carta_cli_degraded_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("flooded.csv");
+        std::fs::write(&path, csv).expect("write");
+        let out = run_line(&["analyze", path.to_str().expect("utf8")]).expect("analyzes");
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(out.contains("DIVERGED"), "{out}");
+        assert!(out.contains("DEGRADED REPORT"), "{out}");
+        assert!(out.contains("`flood`"), "{out}");
+        assert!(out.contains("interference:"), "{out}");
+        // Messages above the flood keep their verdicts.
+        assert!(out.contains("ok"), "{out}");
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub fn oem_receive_guarantees(
     let mut ds = Datasheet::new("OEM (bus arrival timing)");
     let mut unguaranteed = Vec::new();
     for m in &report.messages {
-        match m.outcome {
+        match &m.outcome {
             ResponseOutcome::Bounded(bounds) => {
                 let activation = net.messages()[m.index].activation;
                 ds.guarantee(
@@ -53,7 +53,7 @@ pub fn oem_receive_guarantees(
                     activation.propagate(bounds.best(), bounds.worst(), m.c_min),
                 );
             }
-            ResponseOutcome::Overload => unguaranteed.push(m.name.to_string()),
+            ResponseOutcome::Overload(_) => unguaranteed.push(m.name.to_string()),
         }
     }
     Ok((ds, unguaranteed))
@@ -189,7 +189,7 @@ pub fn supplier_send_datasheet(
         })?;
         let t = &report.tasks[task_idx];
         let bounds = t.bounds.ok_or_else(|| AnalysisError::Unbounded {
-            entity: t.name.clone(),
+            entity: t.name.as_str().into(),
         })?;
         ds.guarantee(message, message_model_from_task(&task.activation, &bounds));
     }

@@ -20,6 +20,9 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// Panic-free library surface: a malformed model must surface as a
+// typed error, never a crash. Tests and benches may still unwrap.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod compat;
 pub mod duality;

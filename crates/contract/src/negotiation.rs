@@ -101,14 +101,18 @@ pub fn negotiate(
         let budgets = oem_send_requirements(&state, scenario, node, 0.95, 0.95)?;
         let mut agreed_now = Vec::new();
         for name in open.clone() {
-            let offer = capability.get(&name).expect("validated");
+            let Some(offer) = capability.get(&name) else {
+                continue;
+            };
             let Some(budget) = budgets.get(&name) else {
                 continue;
             };
             if check_model(budget, offer).is_ok() {
                 // Freeze: the network now carries the supplier's true
                 // model for this message.
-                let (idx, _) = state.message_by_name(&name).expect("validated");
+                let Some((idx, _)) = state.message_by_name(&name) else {
+                    continue;
+                };
                 state.messages_mut()[idx].activation = *offer;
                 agreed.guarantee(name.clone(), *offer);
                 agreed_now.push(name.clone());

@@ -141,9 +141,9 @@ pub fn assess_suppliers(
             .collect();
         let mut slipped = net.clone();
         for c in &slippable {
-            let (idx, _) = slipped
-                .message_by_name(&c.message)
-                .expect("validated above");
+            let Some((idx, _)) = slipped.message_by_name(&c.message) else {
+                continue;
+            };
             let m = &mut slipped.messages_mut()[idx];
             m.activation = EventModel::new(
                 m.activation.kind(),

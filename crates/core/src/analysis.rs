@@ -4,6 +4,7 @@
 use crate::time::Time;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// Best-/worst-case response time of one schedulable entity.
 ///
@@ -65,17 +66,28 @@ pub enum AnalysisError {
     /// A busy-window iteration exceeded the horizon: the entity has no
     /// bounded response time (overload at its priority level).
     Unbounded {
-        /// Human-readable name of the entity without a bound.
-        entity: String,
+        /// Interned name of the entity without a bound. `Arc<str>` so
+        /// hot paths (compiled kernel, batch evaluation) can construct
+        /// the error without allocating a fresh `String` per failure.
+        entity: Arc<str>,
     },
     /// The global fixpoint iteration did not converge (typically a
-    /// cyclic dependency whose jitter grows without bound).
+    /// cyclic dependency whose jitter grows without bound), or a
+    /// divergence budget (iteration or wall-clock) was exhausted first.
     NotConverged {
         /// Iterations performed before giving up.
         iterations: usize,
     },
     /// The system description is malformed.
     InvalidModel(String),
+    /// The analysis panicked and the panic was contained by the
+    /// engine's fault isolation. Transient by construction: such a
+    /// result is never memoized, so retrying the point re-runs the
+    /// analysis from scratch.
+    Panicked {
+        /// Panic payload rendered as text (best effort).
+        detail: String,
+    },
 }
 
 impl fmt::Display for AnalysisError {
@@ -91,11 +103,104 @@ impl fmt::Display for AnalysisError {
                 )
             }
             AnalysisError::InvalidModel(msg) => write!(f, "invalid system model: {msg}"),
+            AnalysisError::Panicked { detail } => {
+                write!(f, "analysis panicked (contained): {detail}")
+            }
         }
     }
 }
 
 impl Error for AnalysisError {}
+
+/// Why one entity's fixpoint was abandoned before convergence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivergenceCause {
+    /// The busy window grew past the analysis horizon: demand exceeds
+    /// capacity at this priority level (genuine overload).
+    HorizonExceeded {
+        /// The horizon in force when the fixpoint was abandoned.
+        horizon: Time,
+    },
+    /// More queued instances than the configured cap — the busy window
+    /// keeps absorbing fresh activations without draining.
+    InstanceLimit {
+        /// The instance cap in force.
+        limit: u64,
+    },
+    /// The per-entity iteration budget ran out before the window
+    /// stabilised (pathological convergence, not provable overload).
+    IterationBudget {
+        /// The iteration budget in force.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for DivergenceCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DivergenceCause::HorizonExceeded { horizon } => {
+                write!(f, "busy window exceeded the {horizon} horizon")
+            }
+            DivergenceCause::InstanceLimit { limit } => {
+                write!(f, "more than {limit} queued instances")
+            }
+            DivergenceCause::IterationBudget { budget } => {
+                write!(f, "iteration budget of {budget} exhausted")
+            }
+        }
+    }
+}
+
+/// Degraded-mode diagnostic for one entity whose fixpoint diverged.
+///
+/// Instead of aborting the whole report, the analysis records *why*
+/// this entity has no bounds — its priority level, how far the busy
+/// window had grown when the fixpoint was abandoned, and the
+/// interference set that overloaded it — while every other entity
+/// keeps its sound bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MessageDiagnostic {
+    /// Interned name of the diverged entity.
+    pub entity: Arc<str>,
+    /// Arbitration rank: number of strictly stronger (higher-priority)
+    /// entities on the shared resource. `0` means highest priority.
+    pub priority_level: usize,
+    /// Busy-window length when the fixpoint was abandoned — a lower
+    /// bound on the true (possibly infinite) busy period.
+    pub busy_window: Time,
+    /// Queued instances examined before the abort.
+    pub instances: u64,
+    /// Interned names of the entities whose demand is included in this
+    /// entity's busy window (the interference set that overloaded it).
+    pub interference: Vec<Arc<str>>,
+    /// Which budget the fixpoint exhausted.
+    pub cause: DivergenceCause,
+}
+
+impl MessageDiagnostic {
+    /// The matching coarse [`AnalysisError`] for callers that need a
+    /// single error value rather than a per-entity report.
+    pub fn to_error(&self) -> AnalysisError {
+        AnalysisError::Unbounded {
+            entity: self.entity.clone(),
+        }
+    }
+}
+
+impl fmt::Display for MessageDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "`{}` diverged at priority level {} ({}): busy window {} after {} instance(s), {} interferer(s)",
+            self.entity,
+            self.priority_level,
+            self.cause,
+            self.busy_window,
+            self.instances,
+            self.interference.len()
+        )
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -127,5 +232,40 @@ mod tests {
         assert!(e.to_string().contains("64"));
         let e = AnalysisError::InvalidModel("dangling edge".into());
         assert!(e.to_string().contains("dangling edge"));
+        let e = AnalysisError::Panicked {
+            detail: "index out of bounds".into(),
+        };
+        assert!(e.to_string().contains("contained"));
+    }
+
+    #[test]
+    fn diagnostic_display_and_error_conversion() {
+        let d = MessageDiagnostic {
+            entity: "flood".into(),
+            priority_level: 3,
+            busy_window: Time::from_ms(12),
+            instances: 7,
+            interference: vec!["a".into(), "b".into()],
+            cause: DivergenceCause::HorizonExceeded {
+                horizon: Time::from_s(10),
+            },
+        };
+        let text = d.to_string();
+        assert!(text.contains("flood"), "{text}");
+        assert!(text.contains("level 3"), "{text}");
+        assert!(text.contains("2 interferer"), "{text}");
+        assert_eq!(
+            d.to_error(),
+            AnalysisError::Unbounded {
+                entity: "flood".into()
+            }
+        );
+
+        let caps = [
+            DivergenceCause::InstanceLimit { limit: 4096 }.to_string(),
+            DivergenceCause::IterationBudget { budget: 100_000 }.to_string(),
+        ];
+        assert!(caps[0].contains("4096"), "{}", caps[0]);
+        assert!(caps[1].contains("100000"), "{}", caps[1]);
     }
 }

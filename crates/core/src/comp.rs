@@ -183,22 +183,38 @@ pub struct CompositionalSystem {
     sources: HashMap<NodeRef, EventModel>,
     edges: HashMap<NodeRef, NodeRef>, // target -> upstream source
     max_iterations: usize,
+    wall_budget: Option<std::time::Duration>,
 }
 
 impl CompositionalSystem {
-    /// Creates an empty system with the default iteration budget (64).
+    /// Creates an empty system with the default iteration budget (64)
+    /// and no wall-clock budget.
     pub fn new() -> Self {
         CompositionalSystem {
             resources: Vec::new(),
             sources: HashMap::new(),
             edges: HashMap::new(),
             max_iterations: 64,
+            wall_budget: None,
         }
     }
 
     /// Overrides the global iteration budget.
     pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
         self.max_iterations = max_iterations.max(1);
+        self
+    }
+
+    /// Caps the wall-clock time the global fixpoint may spend. When the
+    /// budget is exhausted the iteration is abandoned with
+    /// [`AnalysisError::NotConverged`] — preferable to an unbounded
+    /// stall when a pathological model couples many slow resources.
+    /// Iteration budgets stay the primary control because they are
+    /// deterministic; the wall budget is a backstop for deployments
+    /// where latency matters more than reproducibility of the abort
+    /// point.
+    pub fn with_wall_budget(mut self, budget: std::time::Duration) -> Self {
+        self.wall_budget = Some(budget);
         self
     }
 
@@ -304,8 +320,16 @@ impl CompositionalSystem {
     pub fn analyze(&self) -> Result<GlobalAnalysis, AnalysisError> {
         let mut activations = self.initial_activations()?;
         let mut responses: Vec<Vec<SlotResponse>> = Vec::new();
+        let started = std::time::Instant::now();
 
         for iteration in 1..=self.max_iterations {
+            if let Some(budget) = self.wall_budget {
+                if started.elapsed() >= budget {
+                    return Err(AnalysisError::NotConverged {
+                        iterations: iteration - 1,
+                    });
+                }
+            }
             responses.clear();
             for (i, r) in self.resources.iter().enumerate() {
                 responses.push(r.analyze(&activations[i])?);
@@ -386,10 +410,22 @@ impl CompositionalSystem {
                 activations[node.resource][node.slot] = Some(model);
             }
         }
-        Ok(activations
-            .into_iter()
-            .map(|row| row.into_iter().map(|m| m.expect("all resolved")).collect())
-            .collect())
+        let mut resolved = Vec::with_capacity(activations.len());
+        for row in activations {
+            let mut slots = Vec::with_capacity(row.len());
+            for m in row {
+                match m {
+                    Some(m) => slots.push(m),
+                    None => {
+                        return Err(AnalysisError::InvalidModel(
+                            "activation slot left unresolved after propagation".into(),
+                        ))
+                    }
+                }
+            }
+            resolved.push(slots);
+        }
+        Ok(resolved)
     }
 }
 
@@ -600,6 +636,20 @@ mod tests {
             .expect("valid");
         match sys2.analyze() {
             Err(AnalysisError::NotConverged { iterations }) => assert_eq!(iterations, 8),
+            other => panic!("expected NotConverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhausted_wall_budget_reports_not_converged() {
+        let mut sys = CompositionalSystem::new()
+            .with_max_iterations(1_000_000)
+            .with_wall_budget(std::time::Duration::ZERO);
+        let a = sys.add_resource(Box::new(FixedDelay::new("a", 1, 2)));
+        sys.set_source(NodeRef::new(a, 0), EventModel::periodic(Time::from_ms(1)))
+            .expect("valid");
+        match sys.analyze() {
+            Err(AnalysisError::NotConverged { iterations }) => assert_eq!(iterations, 0),
             other => panic!("expected NotConverged, got {other:?}"),
         }
     }

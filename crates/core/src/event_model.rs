@@ -105,11 +105,11 @@ impl EventModel {
     /// (long-run) period would contradict the period itself, and the
     /// capped model describes the same event streams.
     ///
-    /// # Panics
-    ///
-    /// Panics if `period` is zero.
+    /// A zero `period` is accepted as a *degenerate* model (unbounded
+    /// arrivals in any window: `η⁺ = ∞`). It is representable so that
+    /// hostile inputs can be diagnosed — every analysis entry point
+    /// rejects it during validation instead of panicking here.
     pub fn new(kind: ActivationKind, period: Time, jitter: Time, dmin: Time) -> Self {
-        assert!(!period.is_zero(), "event model period must be positive");
         EventModel {
             kind,
             period,
@@ -173,8 +173,12 @@ impl EventModel {
         EventModel { dmin, ..self }
     }
 
-    /// Jitter expressed as a fraction of the period.
+    /// Jitter expressed as a fraction of the period (infinite for the
+    /// degenerate zero-period model).
     pub fn jitter_ratio(&self) -> f64 {
+        if self.period.is_zero() {
+            return f64::INFINITY;
+        }
         self.jitter.as_ns() as f64 / self.period.as_ns() as f64
     }
 
@@ -192,6 +196,15 @@ impl EventModel {
         if window.is_zero() {
             return 0;
         }
+        if self.period.is_zero() {
+            // Degenerate zero-period model: unbounded arrivals (the
+            // dmin cap below still applies when a distance is given).
+            return if self.dmin.is_zero() {
+                u64::MAX
+            } else {
+                window.div_ceil(self.dmin)
+            };
+        }
         let by_period = window.saturating_add(self.jitter).div_ceil(self.period);
         if self.dmin.is_zero() {
             by_period
@@ -206,6 +219,9 @@ impl EventModel {
     pub fn eta_minus(&self, window: Time) -> u64 {
         if self.kind == ActivationKind::Sporadic {
             return 0;
+        }
+        if self.period.is_zero() {
+            return u64::MAX; // degenerate: unbounded arrivals
         }
         window.saturating_sub(self.jitter).div_floor(self.period)
     }
@@ -297,7 +313,7 @@ impl EventModel {
             "trace must be sorted"
         );
         let n = (trace.len() - 1) as u64;
-        let span = *trace.last().expect("non-empty") - trace[0];
+        let span = trace[trace.len() - 1] - trace[0];
         let period = Time::from_ns((span.as_ns() / n).max(1));
         let t0 = trace[0];
         let mut max_dev_late = Time::ZERO;

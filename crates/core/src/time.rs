@@ -220,6 +220,9 @@ impl Time {
 
 impl Add for Time {
     type Output = Time;
+    // Arithmetic overflow on the 584-year u64 nanosecond range is a
+    // programming error, not a modeling error: fail loudly.
+    #[allow(clippy::expect_used)]
     #[inline]
     fn add(self, rhs: Time) -> Time {
         Time(self.0.checked_add(rhs.0).expect("time addition overflow"))
@@ -239,6 +242,7 @@ impl Sub for Time {
     ///
     /// Panics on underflow; use [`Time::saturating_sub`] when the
     /// operands may be unordered.
+    #[allow(clippy::expect_used)]
     #[inline]
     fn sub(self, rhs: Time) -> Time {
         Time(
@@ -258,6 +262,7 @@ impl SubAssign for Time {
 
 impl Mul<u64> for Time {
     type Output = Time;
+    #[allow(clippy::expect_used)]
     #[inline]
     fn mul(self, rhs: u64) -> Time {
         Time(

@@ -103,7 +103,7 @@ pub fn plan_gateway(
             let mut delays = Vec::with_capacity(streams.len());
             for (s, t) in streams.iter().zip(&report.tasks) {
                 let wcrt = t.bounds.ok_or_else(|| AnalysisError::Unbounded {
-                    entity: t.name.clone(),
+                    entity: t.name.as_str().into(),
                 })?;
                 delays.push((s.name.clone(), wcrt.worst()));
             }

@@ -127,13 +127,12 @@ pub fn analyze_offsets(tasks: &[OffsetTask]) -> Result<OffsetReport, AnalysisErr
         .map(|t| t.task.c_max.as_ns() as f64 / t.period.as_ns() as f64)
         .sum();
     if utilization > 1.0 {
-        let worst = tasks
-            .iter()
-            .max_by(|a, b| a.task.c_max.cmp(&b.task.c_max))
-            .expect("non-empty");
-        return Err(AnalysisError::Unbounded {
-            entity: worst.task.name.clone(),
-        });
+        // Utilization above zero implies at least one task exists.
+        if let Some(worst) = tasks.iter().max_by(|a, b| a.task.c_max.cmp(&b.task.c_max)) {
+            return Err(AnalysisError::Unbounded {
+                entity: worst.task.name.as_str().into(),
+            });
+        }
     }
 
     // Replay twice: once with everyone's WCET (worst case), once with
@@ -238,7 +237,7 @@ fn replay(
             continue; // warm-up window
         }
         let finished = r.finished.ok_or_else(|| AnalysisError::Unbounded {
-            entity: tasks[r.task].task.name.clone(),
+            entity: tasks[r.task].task.name.as_str().into(),
         })?;
         let resp = finished - r.at;
         let entry = &mut out[r.task];

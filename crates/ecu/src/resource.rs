@@ -84,7 +84,7 @@ impl Resource for EcuResource {
                     min_output_spacing: self.tasks[t.index].c_min,
                 }),
                 None => Err(AnalysisError::Unbounded {
-                    entity: t.name.clone(),
+                    entity: t.name.as_str().into(),
                 }),
             })
             .collect()

@@ -11,13 +11,15 @@ use carta_can::frame::StuffingMode;
 use carta_can::network::CanNetwork;
 use carta_can::rta::BusReport;
 use carta_core::analysis::AnalysisError;
+use carta_core::time::Time;
 use carta_obs::metrics::{self, Counter, Histogram, MetricsRegistry};
-use carta_obs::span;
+use carta_obs::{event, span};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, TryLockError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, TryLockError};
 use std::time::Instant;
 
 /// Result of one evaluation: the analysis report, or the model error
@@ -84,6 +86,49 @@ impl Default for Parallelism {
     fn default() -> Self {
         Parallelism::from_env()
     }
+}
+
+/// Deterministic fault injection for chaos testing — the hooks behind
+/// `carta-testkit`'s chaos harness and the `fault-isolation` law.
+///
+/// Each hook fires on the N-th *uncached* analysis this evaluator
+/// performs (cache hits replay completed work and never fault). An
+/// injected result is never written to the memo cache, so retrying the
+/// faulted point behaves exactly like a fresh evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Panic inside the analysis of the N-th uncached evaluation (after
+    /// the scratch network has been mutated), exercising the
+    /// `catch_unwind` containment and workspace-reset path.
+    pub panic_at: Option<u64>,
+    /// Force the N-th uncached evaluation to diverge by sabotaging its
+    /// busy-window horizon to zero, degrading every message of that
+    /// report.
+    pub diverge_at: Option<u64>,
+    /// Fail the N-th uncached evaluation with an injected
+    /// [`AnalysisError::InvalidModel`].
+    pub invalid_at: Option<u64>,
+}
+
+impl FaultPlan {
+    fn pick(&self, seq: u64) -> Option<InjectedFault> {
+        if self.panic_at == Some(seq) {
+            Some(InjectedFault::Panic)
+        } else if self.diverge_at == Some(seq) {
+            Some(InjectedFault::Diverge)
+        } else if self.invalid_at == Some(seq) {
+            Some(InjectedFault::Invalid)
+        } else {
+            None
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InjectedFault {
+    Panic,
+    Diverge,
+    Invalid,
 }
 
 /// Cache effectiveness counters (monotonically increasing over the
@@ -184,6 +229,8 @@ struct EngineMetrics {
     rta_compiles: Arc<Counter>,
     rta_warm_starts: Arc<Counter>,
     rta_cold_starts: Arc<Counter>,
+    fault_panics: Arc<Counter>,
+    fault_injected: Arc<Counter>,
 }
 
 impl EngineMetrics {
@@ -202,6 +249,8 @@ impl EngineMetrics {
             rta_compiles: registry.counter("engine.rta.compiles"),
             rta_warm_starts: registry.counter("engine.rta.warm_starts"),
             rta_cold_starts: registry.counter("engine.rta.cold_starts"),
+            fault_panics: registry.counter("engine.faults.panics"),
+            fault_injected: registry.counter("engine.faults.injected"),
         }
     }
 
@@ -213,6 +262,17 @@ impl EngineMetrics {
 
 fn elapsed_ns(start: Instant) -> u64 {
     u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Configures and constructs an [`Evaluator`] — the one way CLI, optim
@@ -229,6 +289,7 @@ pub struct EvaluatorBuilder {
     parallelism: Option<Parallelism>,
     cache_capacity: Option<usize>,
     metrics: Option<Arc<MetricsRegistry>>,
+    faults: Option<FaultPlan>,
 }
 
 impl EvaluatorBuilder {
@@ -261,6 +322,13 @@ impl EvaluatorBuilder {
         self
     }
 
+    /// Arms deterministic fault injection; see [`FaultPlan`]. Chaos
+    /// testing only — production callers never set this.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Builds the evaluator. Defaults: [`Parallelism::from_env`],
     /// unbounded cache, global-registry metrics.
     pub fn build(self) -> Evaluator {
@@ -284,6 +352,8 @@ impl EvaluatorBuilder {
             warm_starts: AtomicU64::new(0),
             cold_starts: AtomicU64::new(0),
             metrics,
+            faults: self.faults,
+            fault_seq: AtomicU64::new(0),
         }
     }
 }
@@ -306,6 +376,9 @@ pub struct Evaluator {
     warm_starts: AtomicU64,
     cold_starts: AtomicU64,
     metrics: EngineMetrics,
+    faults: Option<FaultPlan>,
+    /// Counts uncached analyses, numbering them for [`FaultPlan`].
+    fault_seq: AtomicU64,
 }
 
 impl std::fmt::Debug for Evaluator {
@@ -361,18 +434,23 @@ impl Evaluator {
 
     /// Locks the shard holding `key`, counting contended acquisitions
     /// while metrics are active.
+    ///
+    /// Poisoned locks are recovered, not propagated: shards only ever
+    /// hold fully-constructed entries (no lock is held across an
+    /// analysis), so a panic on another thread cannot leave a torn
+    /// value behind.
     fn lock_shard(&self, key: &VariantKey) -> MutexGuard<'_, HashMap<VariantKey, EvalResult>> {
         let shard = self.shard(key);
         if !self.metrics.active() {
-            return shard.lock().expect("cache poisoned");
+            return shard.lock().unwrap_or_else(PoisonError::into_inner);
         }
         match shard.try_lock() {
             Ok(guard) => guard,
             Err(TryLockError::WouldBlock) => {
                 self.metrics.contention.inc();
-                shard.lock().expect("cache poisoned")
+                shard.lock().unwrap_or_else(PoisonError::into_inner)
             }
-            Err(TryLockError::Poisoned(_)) => panic!("cache poisoned"),
+            Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
         }
     }
 
@@ -396,9 +474,15 @@ impl Evaluator {
             self.metrics.misses.inc();
         }
         let start = timed.then(Instant::now);
-        let result = self.analyze_uncached(variant);
+        let (result, cacheable) = self.analyze_contained(variant);
         if let Some(start) = start {
             self.metrics.eval_wall_ns.record(elapsed_ns(start));
+        }
+        if !cacheable {
+            // Contained panics and injected faults never enter the memo
+            // cache: a retry of this variant must behave exactly like a
+            // fresh evaluation.
+            return result;
         }
         let mut shard = self.lock_shard(&key);
         if let Some(capacity) = self.shard_capacity {
@@ -465,13 +549,25 @@ impl Evaluator {
                 })
                 .collect();
             for worker in workers {
-                for (i, result) in worker.join().expect("evaluation worker panicked") {
-                    out[i] = Some(result);
+                // Panics inside the analysis are contained by
+                // `analyze_contained`, so a worker dying is a harness
+                // bug — degrade its unclaimed points instead of
+                // aborting the whole batch.
+                if let Ok(rows) = worker.join() {
+                    for (i, result) in rows {
+                        out[i] = Some(result);
+                    }
                 }
             }
         });
         out.into_iter()
-            .map(|r| r.expect("every index claimed by exactly one worker"))
+            .map(|r| {
+                r.unwrap_or_else(|| {
+                    Err(AnalysisError::Panicked {
+                        detail: "evaluation worker died before reporting this point".into(),
+                    })
+                })
+            })
             .collect()
     }
 
@@ -485,7 +581,7 @@ impl Evaluator {
         fp: u64,
         stuffing: StuffingMode,
     ) -> Result<Arc<CompiledBus>, AnalysisError> {
-        let mut map = self.compiled.lock().expect("compiled map poisoned");
+        let mut map = self.compiled.lock().unwrap_or_else(PoisonError::into_inner);
         map.entry((fp, stuffing))
             .or_insert_with(|| {
                 self.compiles.fetch_add(1, Ordering::Relaxed);
@@ -510,6 +606,52 @@ impl Evaluator {
         }
     }
 
+    /// Runs one uncached analysis behind a panic boundary. Returns the
+    /// result plus whether it may enter the memo cache.
+    ///
+    /// A panic anywhere inside the analysis is contained here and
+    /// surfaced as [`AnalysisError::Panicked`] instead of unwinding
+    /// through the batch: one poisoned variant costs its own point,
+    /// never the other 63. The thread's scratch state is dropped on the
+    /// way out (the panic may have unwound mid-solve, leaving the
+    /// scratch network or warm-start workspace inconsistent), so the
+    /// next analysis on this thread cold-starts from clean state.
+    fn analyze_contained(&self, variant: &SystemVariant) -> (EvalResult, bool) {
+        let injected = self.faults.as_ref().and_then(|plan| {
+            let seq = self.fault_seq.fetch_add(1, Ordering::Relaxed);
+            plan.pick(seq)
+        });
+        if injected == Some(InjectedFault::Invalid) {
+            if self.metrics.active() {
+                self.metrics.fault_injected.inc();
+            }
+            event!("engine.fault.injected", kind = "invalid-model");
+            let err = AnalysisError::InvalidModel("injected fault: invalid model".into());
+            return (Err(err), false);
+        }
+        if injected == Some(InjectedFault::Diverge) {
+            if self.metrics.active() {
+                self.metrics.fault_injected.inc();
+            }
+            event!("engine.fault.injected", kind = "forced-divergence");
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            self.analyze_uncached(variant, injected)
+        }));
+        match outcome {
+            Ok(result) => (result, injected.is_none()),
+            Err(payload) => {
+                SCRATCH.with_borrow_mut(|slot| *slot = None);
+                let detail = panic_detail(payload.as_ref());
+                if self.metrics.active() {
+                    self.metrics.fault_panics.inc();
+                }
+                event!("engine.fault.contained", detail = detail);
+                (Err(AnalysisError::Panicked { detail }), false)
+            }
+        }
+    }
+
     /// Runs the analysis for a cache miss on the compiled fast path:
     /// the per-thread scratch network is rewritten in place, the base's
     /// [`CompiledBus`] is fetched from the shared cache, and the solve
@@ -517,25 +659,37 @@ impl Evaluator {
     /// overlays recompile only the order-dependent tables
     /// ([`CompiledBus::reordered`]) and re-use per-message verdicts from
     /// the bucket's anchor report where the priority order is unchanged.
-    fn analyze_uncached(&self, variant: &SystemVariant) -> EvalResult {
+    fn analyze_uncached(
+        &self,
+        variant: &SystemVariant,
+        fault: Option<InjectedFault>,
+    ) -> EvalResult {
+        variant.validate_overlays()?;
         SCRATCH.with_borrow_mut(|slot| {
             let fp = variant.base().fingerprint();
             let scratch = match slot {
                 Some(s) if s.fp == fp => s,
-                _ => {
-                    *slot = Some(Scratch {
-                        fp,
-                        net: variant.base().network().clone(),
-                        compiled: None,
-                        ws: RtaWorkspace::new(),
-                    });
-                    slot.as_mut().expect("just set")
-                }
+                slot => slot.insert(Scratch {
+                    fp,
+                    net: variant.base().network().clone(),
+                    compiled: None,
+                    ws: RtaWorkspace::new(),
+                }),
             };
             variant.apply_onto(&mut scratch.net);
+            if fault == Some(InjectedFault::Panic) {
+                // Fires after the scratch network was mutated so the
+                // containment path must genuinely discard dirty state.
+                panic!("injected fault: panic during analysis");
+            }
 
             let errors = variant.scenario().errors.model();
-            let config = variant.scenario().analysis_config();
+            let mut config = variant.scenario().analysis_config();
+            if fault == Some(InjectedFault::Diverge) {
+                // A zero busy-window horizon makes every message abort
+                // with a `HorizonExceeded` diagnostic on first demand.
+                config.horizon = Time::ZERO;
+            }
             let compiled = match &scratch.compiled {
                 Some((key, c)) if *key == (fp, config.stuffing) => c.clone(),
                 _ => {
@@ -557,7 +711,7 @@ impl Evaluator {
                 let anchor = self
                     .anchors
                     .lock()
-                    .expect("anchor map poisoned")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .get(&variant.anchor_key())
                     .cloned();
                 if let Some(anchor) = anchor {
@@ -586,7 +740,7 @@ impl Evaluator {
                     .fetch_add(report.messages.len() as u64, Ordering::Relaxed);
                 self.anchors
                     .lock()
-                    .expect("anchor map poisoned")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .entry(variant.anchor_key())
                     .or_insert_with(|| {
                         Arc::new(Anchor {
@@ -603,7 +757,7 @@ impl Evaluator {
             // future permutation overlays diff against.
             self.anchors
                 .lock()
-                .expect("anchor map poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .entry(variant.anchor_key())
                 .or_insert_with(|| {
                     Arc::new(Anchor {
@@ -773,6 +927,97 @@ mod tests {
         assert!(eval.evaluate(&v).is_err());
         assert!(eval.evaluate(&v).is_err());
         assert_eq!(eval.stats().hits, 1);
+    }
+
+    #[test]
+    fn injected_panic_is_contained_and_isolated() {
+        let base = BaseSystem::new(net(6));
+        let variants: Vec<SystemVariant> = (0..8)
+            .map(|k| {
+                SystemVariant::new(base.clone(), Scenario::worst_case())
+                    .with_jitter_ratio(k as f64 * 0.05)
+            })
+            .collect();
+        let clean = Evaluator::new(Parallelism::sequential());
+        let baseline = clean.evaluate_batch(&variants);
+
+        let faulty = Evaluator::builder()
+            .parallelism(Parallelism::sequential())
+            .faults(FaultPlan {
+                panic_at: Some(3),
+                ..FaultPlan::default()
+            })
+            .build();
+        let got = faulty.evaluate_batch(&variants);
+        for (i, (g, b)) in got.iter().zip(&baseline).enumerate() {
+            if i == 3 {
+                match g {
+                    Err(AnalysisError::Panicked { detail }) => {
+                        assert!(detail.contains("injected fault"), "{detail}");
+                    }
+                    other => panic!("point 3 must be Panicked, got {other:?}"),
+                }
+            } else {
+                let (g, b) = (g.as_ref().expect("isolated"), b.as_ref().expect("valid"));
+                assert_eq!(g.messages, b.messages, "point {i} must be untouched");
+            }
+        }
+        // Retrying the failed point is a fresh evaluation: nothing was
+        // cached for it, and the fault (keyed to analysis #3) is spent.
+        let retried = faulty.evaluate(&variants[3]).expect("retry succeeds");
+        assert_eq!(
+            retried.messages,
+            baseline[3].as_ref().expect("valid").messages,
+            "retry must be bit-identical to a clean evaluation"
+        );
+    }
+
+    #[test]
+    fn injected_faults_never_enter_the_cache() {
+        let base = BaseSystem::new(net(4));
+        let v = SystemVariant::new(base, Scenario::worst_case()).with_jitter_ratio(0.1);
+
+        let eval = Evaluator::builder()
+            .parallelism(Parallelism::sequential())
+            .faults(FaultPlan {
+                invalid_at: Some(0),
+                ..FaultPlan::default()
+            })
+            .build();
+        match eval.evaluate(&v) {
+            Err(AnalysisError::InvalidModel(msg)) => assert!(msg.contains("injected")),
+            other => panic!("expected injected InvalidModel, got {other:?}"),
+        }
+        // The injected error was not cached: the retry runs a real
+        // analysis and succeeds.
+        let retried = eval.evaluate(&v).expect("retry is a real analysis");
+        assert!(!retried.is_degraded());
+        assert_eq!(eval.stats().hits, 0, "no cache hit can have occurred");
+    }
+
+    #[test]
+    fn forced_divergence_degrades_the_report_without_caching_it() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let base = BaseSystem::new(net(4));
+        let v = SystemVariant::new(base, Scenario::worst_case()).with_jitter_ratio(0.1);
+        let eval = Evaluator::builder()
+            .parallelism(Parallelism::sequential())
+            .metrics(&registry)
+            .faults(FaultPlan {
+                diverge_at: Some(0),
+                ..FaultPlan::default()
+            })
+            .build();
+        let degraded = eval.evaluate(&v).expect("degraded, not failed");
+        assert!(degraded.is_degraded());
+        assert_eq!(degraded.diagnostics().count(), 4, "every message aborts");
+        let healthy = eval.evaluate(&v).expect("fresh analysis");
+        assert!(
+            !healthy.is_degraded(),
+            "sabotaged report must not be cached"
+        );
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("engine.faults.injected"), Some(1));
     }
 
     #[test]

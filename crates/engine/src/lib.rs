@@ -49,6 +49,9 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// Panic-free library surface: a malformed model must surface as a
+// typed error, never a crash. Tests and benches may still unwrap.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod evaluator;
 pub mod jitter;
@@ -57,7 +60,9 @@ pub mod variant;
 
 /// Convenient single import for the common types of this crate.
 pub mod prelude {
-    pub use crate::evaluator::{CacheStats, EvalResult, Evaluator, EvaluatorBuilder, Parallelism};
+    pub use crate::evaluator::{
+        CacheStats, EvalResult, Evaluator, EvaluatorBuilder, FaultPlan, Parallelism,
+    };
     pub use crate::jitter::{with_assumed_unknown_jitter, with_jitter_ratio, with_scaled_jitter};
     pub use crate::scenario::{DeadlineOverride, ErrorSpec, Scenario};
     pub use crate::variant::{BaseSystem, JitterOverlay, SystemVariant, VariantKey};

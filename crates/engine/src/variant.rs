@@ -11,6 +11,7 @@
 use crate::scenario::{DeadlineOverride, Scenario};
 use carta_can::message::{CanId, DeadlinePolicy};
 use carta_can::network::CanNetwork;
+use carta_core::analysis::AnalysisError;
 use carta_core::event_model::EventModel;
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::Arc;
@@ -169,24 +170,37 @@ impl SystemVariant {
 
     /// Adds a jitter overlay.
     ///
-    /// # Panics
-    ///
-    /// Panics if the overlay's ratio/factor is negative or not finite.
+    /// Hostile values (negative, NaN, infinite) are accepted here and
+    /// rejected with [`AnalysisError::InvalidModel`] when the variant
+    /// is evaluated — building a variant never panics.
     pub fn with_jitter(mut self, overlay: JitterOverlay) -> Self {
-        let v = overlay.value();
-        assert!(v.is_finite() && v >= 0.0, "ratio must be non-negative");
         self.jitter = Some(overlay);
         self
     }
 
     /// Shorthand for the paper's sweep axis: every jitter becomes
     /// `ratio` of the period.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `ratio` is negative or not finite.
     pub fn with_jitter_ratio(self, ratio: f64) -> Self {
         self.with_jitter(JitterOverlay::UniformRatio(ratio))
+    }
+
+    /// Checks the overlays for hostile values the type system cannot
+    /// rule out (the analysis entry points call this before solving).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::InvalidModel`] when a jitter overlay
+    /// carries a negative, NaN or infinite ratio/factor.
+    pub fn validate_overlays(&self) -> Result<(), AnalysisError> {
+        if let Some(overlay) = &self.jitter {
+            let v = overlay.value();
+            if !v.is_finite() || v < 0.0 {
+                return Err(AnalysisError::InvalidModel(format!(
+                    "jitter overlay value {v} must be a finite non-negative number"
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Adds an identifier permutation: message `perm[k]` receives the

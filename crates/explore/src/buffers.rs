@@ -81,14 +81,14 @@ pub(crate) fn required_tx_depths_impl(
         .messages
         .iter()
         .map(|m| {
-            let depth = match m.outcome {
+            let depth = match &m.outcome {
                 ResponseOutcome::Bounded(b) => Some(
                     net.messages()[m.index]
                         .activation
                         .eta_plus(b.worst())
                         .max(1),
                 ),
-                ResponseOutcome::Overload => None,
+                ResponseOutcome::Overload(_) => None,
             };
             TxBufferNeed {
                 message: m.name.to_string(),
@@ -162,12 +162,12 @@ pub(crate) fn required_rx_depth_impl(
         if msg.sender == node {
             continue;
         }
-        match m.outcome {
+        match &m.outcome {
             ResponseOutcome::Bounded(b) => {
                 let out = msg.activation.propagate(b.best(), b.worst(), m.c_min);
                 total += out.eta_plus(drain_period.saturating_add(b.worst()));
             }
-            ResponseOutcome::Overload => return Ok(None),
+            ResponseOutcome::Overload(_) => return Ok(None),
         }
     }
     Ok(Some(total))

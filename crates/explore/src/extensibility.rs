@@ -146,6 +146,8 @@ pub(crate) fn max_additional_ecus_impl(
 pub fn with_diagnostic_stream(net: &CanNetwork, min_gap: Time) -> CanNetwork {
     let mut net = net.clone();
     let node = net.add_node(Node::new("TESTER", Default::default()));
+    // 0x7E0 is a valid 11-bit identifier by construction.
+    #[allow(clippy::expect_used)]
     let id = CanId::standard(0x7E0).expect("fixed diagnostic id is valid");
     let msg = CanMessage {
         name: "diag_flash".into(),

@@ -19,6 +19,12 @@ pub struct LossPoint {
     pub missed: usize,
     /// Total messages on the bus.
     pub total: usize,
+    /// `true` when this point's analysis failed outright (e.g. a
+    /// contained panic). Failed points are classified as fully lost —
+    /// `missed == total` — rather than silently dropped, preserving
+    /// the Figure 5 semantics that an unanalyzable configuration is an
+    /// unsafe one.
+    pub failed: bool,
 }
 
 impl LossPoint {
@@ -70,8 +76,10 @@ impl LossCurve {
 ///
 /// # Errors
 ///
-/// Propagates [`AnalysisError`] from the bus analysis (per-message
-/// overload is *not* an error; overloaded messages count as lost).
+/// Returns [`AnalysisError`] only when *every* grid point fails (a
+/// broken base model). Per-message overload is not an error
+/// (overloaded messages count as lost), and isolated point failures
+/// are classified as fully-lost points with [`LossPoint::failed`] set.
 #[deprecated(note = "use `Evaluator` with `Sweeps::loss_vs_jitter` instead")]
 pub fn loss_vs_jitter(
     net: &CanNetwork,
@@ -112,13 +120,36 @@ pub(crate) fn loss_vs_jitter_impl(
         .iter()
         .map(|&ratio| SystemVariant::new(base.clone(), scenario.clone()).with_jitter_ratio(ratio))
         .collect();
+    let results = eval.evaluate_batch(&variants);
+    // A uniformly failing grid means the *base* model is broken: that
+    // is a caller error, not a per-point classification.
+    if let Some(Err(err)) = results.first() {
+        if results.iter().all(|r| r.is_err()) {
+            return Err(err.clone());
+        }
+    }
+    let total = net.messages().len();
     let mut points = Vec::with_capacity(ratios.len());
-    for (&ratio, result) in ratios.iter().zip(eval.evaluate_batch(&variants)) {
-        let report = result?;
-        let point = LossPoint {
-            jitter_ratio: ratio,
-            missed: report.missed_count(),
-            total: report.messages.len(),
+    for (&ratio, result) in ratios.iter().zip(results) {
+        let point = match result {
+            Ok(report) => LossPoint {
+                jitter_ratio: ratio,
+                missed: report.missed_count(),
+                total: report.messages.len(),
+                failed: false,
+            },
+            Err(err) => {
+                // Classify, don't drop: a point whose analysis died is
+                // reported as fully lost so the curve stays aligned
+                // with the requested grid.
+                carta_obs::event!("sweep.point.failed", ratio = ratio, error = err);
+                LossPoint {
+                    jitter_ratio: ratio,
+                    missed: total,
+                    total,
+                    failed: true,
+                }
+            }
         };
         carta_obs::event!(
             "sweep.point",
@@ -209,6 +240,47 @@ mod tests {
     }
 
     #[test]
+    fn failed_points_are_classified_not_dropped() {
+        use crate::sweeps::Sweeps;
+        use carta_engine::prelude::FaultPlan;
+        let net = loaded_net();
+        let grid = [0.0, 0.1, 0.2, 0.3];
+        let clean = Evaluator::builder()
+            .jobs(1)
+            .build()
+            .loss_vs_jitter(&net, &Scenario::worst_case(), &grid)
+            .expect("valid");
+        let faulty = Evaluator::builder()
+            .jobs(1)
+            .faults(FaultPlan {
+                panic_at: Some(2),
+                ..FaultPlan::default()
+            })
+            .build();
+        let curve = faulty
+            .loss_vs_jitter(&net, &Scenario::worst_case(), &grid)
+            .expect("isolated failure must not abort the sweep");
+        assert_eq!(curve.points.len(), grid.len(), "grid stays aligned");
+        assert!(curve.points[2].failed);
+        assert_eq!(curve.points[2].missed, curve.points[2].total);
+        assert_eq!(curve.points[2].fraction(), 1.0);
+        for i in [0, 1, 3] {
+            assert_eq!(curve.points[i], clean.points[i], "point {i} untouched");
+        }
+        // A grid where *every* point fails reports the error instead.
+        let broken = Evaluator::builder()
+            .jobs(1)
+            .faults(FaultPlan {
+                invalid_at: Some(0),
+                ..FaultPlan::default()
+            })
+            .build();
+        assert!(broken
+            .loss_vs_jitter(&net, &Scenario::worst_case(), &[0.0])
+            .is_err());
+    }
+
+    #[test]
     fn zero_loss_prefix_detection() {
         let curve = LossCurve {
             scenario: "x".into(),
@@ -217,21 +289,25 @@ mod tests {
                     jitter_ratio: 0.0,
                     missed: 0,
                     total: 10,
+                    failed: false,
                 },
                 LossPoint {
                     jitter_ratio: 0.1,
                     missed: 0,
                     total: 10,
+                    failed: false,
                 },
                 LossPoint {
                     jitter_ratio: 0.2,
                     missed: 2,
                     total: 10,
+                    failed: false,
                 },
                 LossPoint {
                     jitter_ratio: 0.3,
                     missed: 0,
                     total: 10,
+                    failed: false,
                 }, // after a loss: ignored
             ],
         };
@@ -251,12 +327,14 @@ mod tests {
             jitter_ratio: 0.1,
             missed: 3,
             total: 12,
+            failed: false,
         };
         assert!((p.fraction() - 0.25).abs() < 1e-12);
         let z = LossPoint {
             jitter_ratio: 0.1,
             missed: 0,
             total: 0,
+            failed: false,
         };
         assert_eq!(z.fraction(), 0.0);
     }

@@ -65,7 +65,7 @@ impl SensitivitySeries {
             Some(f) if !f.is_zero() => f.as_ns() as f64,
             _ => return SensitivityClass::Robust,
         };
-        let last = bounded.last().expect("non-empty").as_ns() as f64;
+        let last = bounded[bounded.len() - 1].as_ns() as f64;
         let growth = last / first;
         if growth < 1.15 {
             SensitivityClass::Robust
@@ -104,7 +104,11 @@ fn empty_series(net: &CanNetwork, selected: &[usize], capacity: usize) -> Vec<Se
 ///
 /// # Errors
 ///
-/// Propagates [`AnalysisError`] from the bus analysis.
+/// Returns [`AnalysisError`] only when *every* grid point fails (a
+/// broken base model); isolated point failures are classified as
+/// unbounded responses (`None`), which
+/// [`SensitivitySeries::classify`] maps to
+/// [`SensitivityClass::VerySensitive`].
 #[deprecated(note = "use `Evaluator` with `Sweeps::response_vs_jitter` instead")]
 pub fn response_vs_jitter(
     net: &CanNetwork,
@@ -150,13 +154,31 @@ pub(crate) fn response_vs_jitter_impl(
         .iter()
         .map(|&ratio| SystemVariant::new(base.clone(), scenario.clone()).with_jitter_ratio(ratio))
         .collect();
-    for (&ratio, result) in ratios.iter().zip(eval.evaluate_batch(&variants)) {
-        let report = result?;
-        carta_obs::event!("sweep.point", ratio = ratio, missed = report.missed_count());
-        for (k, &i) in selected.iter().enumerate() {
-            series[k]
-                .points
-                .push((ratio, report.messages[i].outcome.wcrt()));
+    let results = eval.evaluate_batch(&variants);
+    if let Some(Err(err)) = results.first() {
+        if results.iter().all(|r| r.is_err()) {
+            return Err(err.clone());
+        }
+    }
+    for (&ratio, result) in ratios.iter().zip(results) {
+        match result {
+            Ok(report) => {
+                carta_obs::event!("sweep.point", ratio = ratio, missed = report.missed_count());
+                for (k, &i) in selected.iter().enumerate() {
+                    series[k]
+                        .points
+                        .push((ratio, report.messages[i].outcome.wcrt()));
+                }
+            }
+            Err(err) => {
+                // Classify, don't drop: a failed point counts as
+                // unbounded for every message, pushing the affected
+                // series into `VerySensitive`.
+                carta_obs::event!("sweep.point.failed", ratio = ratio, error = err);
+                for s in series.iter_mut() {
+                    s.points.push((ratio, None));
+                }
+            }
         }
     }
     crate::sweeps::record_sweep_points(ratios.len());
@@ -226,17 +248,36 @@ pub(crate) fn response_vs_error_rate_impl(
             SystemVariant::new(base.clone(), scenario)
         })
         .collect();
-    for (&interval, result) in intervals.iter().zip(eval.evaluate_batch(&variants)) {
-        let report = result?;
-        carta_obs::event!(
-            "sweep.point",
-            interval_ms = interval.as_ms_f64(),
-            missed = report.missed_count()
-        );
-        for (k, &i) in selected.iter().enumerate() {
-            series[k]
-                .points
-                .push((interval.as_ms_f64(), report.messages[i].outcome.wcrt()));
+    let results = eval.evaluate_batch(&variants);
+    if let Some(Err(err)) = results.first() {
+        if results.iter().all(|r| r.is_err()) {
+            return Err(err.clone());
+        }
+    }
+    for (&interval, result) in intervals.iter().zip(results) {
+        match result {
+            Ok(report) => {
+                carta_obs::event!(
+                    "sweep.point",
+                    interval_ms = interval.as_ms_f64(),
+                    missed = report.missed_count()
+                );
+                for (k, &i) in selected.iter().enumerate() {
+                    series[k]
+                        .points
+                        .push((interval.as_ms_f64(), report.messages[i].outcome.wcrt()));
+                }
+            }
+            Err(err) => {
+                carta_obs::event!(
+                    "sweep.point.failed",
+                    interval_ms = interval.as_ms_f64(),
+                    error = err
+                );
+                for s in series.iter_mut() {
+                    s.points.push((interval.as_ms_f64(), None));
+                }
+            }
         }
     }
     crate::sweeps::record_sweep_points(intervals.len());
@@ -370,6 +411,26 @@ mod tests {
             .expect("valid");
         let names: Vec<&str> = series.iter().map(|s| s.message.as_str()).collect();
         assert_eq!(names, vec!["m2", "m5"]);
+    }
+
+    #[test]
+    fn failed_point_classifies_as_very_sensitive() {
+        use carta_engine::prelude::FaultPlan;
+        let faulty = Evaluator::builder()
+            .jobs(1)
+            .faults(FaultPlan {
+                panic_at: Some(1),
+                ..FaultPlan::default()
+            })
+            .build();
+        let series = faulty
+            .response_vs_jitter(&net(), &Scenario::best_case(), &[0.0, 0.2, 0.4], None)
+            .expect("isolated failure must not abort the sweep");
+        for s in &series {
+            assert_eq!(s.points.len(), 3, "{}: grid stays aligned", s.message);
+            assert!(s.points[1].1.is_none(), "{}: failed point", s.message);
+            assert_eq!(s.classify(), SensitivityClass::VerySensitive);
+        }
     }
 
     #[test]

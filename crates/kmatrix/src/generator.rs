@@ -146,9 +146,7 @@ pub fn powertrain_kmatrix(config: &CaseStudyConfig) -> KMatrix {
             let stem_idx = rng.below(SIGNAL_STEMS.len() as u64) as usize;
             stem_use[stem_idx] += 1;
             let name = format!("{}_{}", SIGNAL_STEMS[stem_idx], stem_use[stem_idx]);
-            let dlc = *[8u8, 8, 8, 8, 8, 6, 4, 2]
-                .get(rng.below(8) as usize)
-                .expect("index below 8");
+            let dlc = [8u8, 8, 8, 8, 8, 6, 4, 2][rng.below(8) as usize];
             let sender_idx = rng.below(NODES.len() as u64) as usize;
             let mut receivers = Vec::new();
             let n_recv = rng.range(1, 3) as usize;
@@ -294,7 +292,7 @@ pub fn dual_bus_case_study(config: &CaseStudyConfig) -> DualBusCaseStudy {
                 name: format!("{}_{}", stems[s], stem_use[s]),
                 id: 0,
                 extended: false,
-                dlc: *[8u8, 6, 4, 2].get(rng.below(4) as usize).expect("in range"),
+                dlc: [8u8, 6, 4, 2][rng.below(4) as usize],
                 period_us: period_ms * 1000,
                 jitter_us: None,
                 deadline_us: None,
@@ -375,7 +373,7 @@ pub fn stress_kmatrix(seed: u64, message_count: usize, target_load: f64) -> KMat
     let periods_ms = [5u64, 10, 20, 50, 100, 200];
     let mut rows = Vec::with_capacity(message_count);
     for k in 0..message_count {
-        let dlc = *[8u8, 8, 6, 4].get(rng.below(4) as usize).expect("in range");
+        let dlc = [8u8, 8, 6, 4][rng.below(4) as usize];
         let period_ms = periods_ms[rng.below(periods_ms.len() as u64) as usize];
         rows.push(KRow {
             name: format!("stress_{k}"),

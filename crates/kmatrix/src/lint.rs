@@ -69,8 +69,7 @@ fn rate_monotonic_inversions(matrix: &KMatrix, out: &mut Vec<Finding>) {
             }
         }
     }
-    if count > 0 {
-        let (fast, slow) = example.expect("counted");
+    if let Some((fast, slow)) = example {
         out.push(Finding {
             severity: Severity::Warning,
             rule: "rate-inversion",

@@ -318,7 +318,9 @@ impl Parser<'_> {
                     // it came in as &str).
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = s.chars().next().expect("non-empty");
+                    let Some(c) = s.chars().next() else {
+                        return Err(self.err("invalid UTF-8"));
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

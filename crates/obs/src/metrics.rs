@@ -214,7 +214,10 @@ impl MetricsRegistry {
 
     /// Resolves (creating if needed) the counter `name`.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        let mut metrics = self
+            .metrics
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         match metrics
             .entry(name.to_string())
             .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
@@ -226,7 +229,10 @@ impl MetricsRegistry {
 
     /// Resolves (creating if needed) the gauge `name`.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        let mut metrics = self
+            .metrics
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         match metrics
             .entry(name.to_string())
             .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
@@ -238,7 +244,10 @@ impl MetricsRegistry {
 
     /// Resolves (creating if needed) the histogram `name`.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        let mut metrics = self
+            .metrics
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         match metrics
             .entry(name.to_string())
             .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::default())))
@@ -250,7 +259,10 @@ impl MetricsRegistry {
 
     /// A point-in-time snapshot of every registered metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let metrics = self.metrics.lock().expect("metrics registry poisoned");
+        let metrics = self
+            .metrics
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         MetricsSnapshot {
             values: metrics
                 .iter()

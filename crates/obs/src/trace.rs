@@ -157,14 +157,17 @@ impl RingBufferSink {
     pub fn drain(&self) -> Vec<SpanEvent> {
         self.events
             .lock()
-            .expect("ring buffer poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .drain(..)
             .collect()
     }
 
     /// Number of events currently buffered.
     pub fn len(&self) -> usize {
-        self.events.lock().expect("ring buffer poisoned").len()
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 
     /// `true` when nothing is buffered.
@@ -175,7 +178,10 @@ impl RingBufferSink {
 
 impl SpanSink for RingBufferSink {
     fn record(&self, event: &SpanEvent) {
-        let mut events = self.events.lock().expect("ring buffer poisoned");
+        let mut events = self
+            .events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if events.len() == self.capacity {
             events.pop_front();
         }
@@ -204,12 +210,19 @@ impl JsonlSink {
 
 impl SpanSink for JsonlSink {
     fn record(&self, event: &SpanEvent) {
-        let mut w = self.writer.lock().expect("jsonl sink poisoned");
+        let mut w = self
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let _ = writeln!(w, "{}", event.to_json());
     }
 
     fn flush(&self) {
-        let _ = self.writer.lock().expect("jsonl sink poisoned").flush();
+        let _ = self
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .flush();
     }
 }
 
@@ -231,7 +244,7 @@ pub fn install(sink: Arc<dyn SpanSink>) {
     epoch(); // pin t=0 no later than the first event
     let previous = SINK
         .write()
-        .expect("trace sink lock poisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .replace(sink);
     if let Some(previous) = previous {
         previous.flush();
@@ -243,7 +256,10 @@ pub fn install(sink: Arc<dyn SpanSink>) {
 /// so callers can e.g. drain a ring buffer).
 pub fn uninstall() -> Option<Arc<dyn SpanSink>> {
     TRACING.store(false, Ordering::Release);
-    let sink = SINK.write().expect("trace sink lock poisoned").take();
+    let sink = SINK
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .take();
     if let Some(sink) = &sink {
         sink.flush();
     }
@@ -258,7 +274,11 @@ pub fn tracing_enabled() -> bool {
 }
 
 fn dispatch(event: SpanEvent) {
-    if let Some(sink) = SINK.read().expect("trace sink lock poisoned").as_ref() {
+    if let Some(sink) = SINK
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .as_ref()
+    {
         sink.record(&event);
     }
 }

@@ -115,10 +115,14 @@ impl<'a> CanIdProblem<'a> {
                     }
                 }
                 Err(_) => {
-                    // Malformed variant (cannot happen for valid bases,
-                    // but stay total): worst possible.
-                    objectives.push(f64::INFINITY);
-                    robustness = f64::INFINITY;
+                    // Failed variant (injected fault, contained panic):
+                    // rank it strictly worse than any analyzable genome
+                    // but keep the fitness *finite* — infinities poison
+                    // SPEA2's euclidean density estimation with NaNs and
+                    // would let one bad candidate abort the whole run.
+                    let n = self.base.messages().len() as f64;
+                    objectives.push(n + 1.0);
+                    robustness = (n + 1.0) * UNBOUNDED_PENALTY;
                 }
             }
         }
@@ -270,6 +274,9 @@ pub fn optimize_can_ids(net: &CanNetwork, config: &OptimizeIdsConfig) -> IdOptim
         .iter()
         .map(|ind| ind.objectives[0])
         .fold(f64::INFINITY, f64::min);
+    // SPEA2 always returns a non-empty archive for a non-empty
+    // population, and the message-count assert above rules that out.
+    #[allow(clippy::expect_used)]
     let best = result
         .archive
         .iter()
@@ -386,6 +393,31 @@ mod tests {
             "expected cache hits across generations: {:?}",
             result.cache
         );
+    }
+
+    #[test]
+    fn failed_candidates_get_finite_worst_rank_fitness() {
+        use carta_engine::prelude::FaultPlan;
+        let net = inverted_net();
+        let problem = CanIdProblem::new(&net, Scenario::worst_case(), vec![0.25]).with_evaluator(
+            Evaluator::builder()
+                .jobs(1)
+                .faults(FaultPlan {
+                    panic_at: Some(0),
+                    ..FaultPlan::default()
+                })
+                .build(),
+        );
+        let rm = problem.rate_monotonic();
+        let faulted = problem.evaluate(&rm);
+        assert!(
+            faulted.iter().all(|o| o.is_finite()),
+            "fitness must stay finite under faults: {faulted:?}"
+        );
+        let healthy = problem.evaluate(&rm);
+        for (f, h) in faulted.iter().zip(&healthy) {
+            assert!(f > h, "faulted rank {f} must be worse than healthy {h}");
+        }
     }
 
     #[test]

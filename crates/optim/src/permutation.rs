@@ -99,15 +99,16 @@ impl Permutation {
                 candidate = other.0[self_pos[candidate]];
                 guard += 1;
                 if guard > n {
-                    // Degenerate cycle; pick the first unused value.
-                    candidate = (0..n).find(|&v| !used[v]).expect("some value unused");
+                    // Degenerate cycle; pick the first unused value
+                    // (one always exists: i values are used out of n).
+                    candidate = (0..n).find(|&v| !used[v]).unwrap_or(candidate);
                     break;
                 }
             }
             child[i] = Some(candidate);
             used[candidate] = true;
         }
-        Permutation(child.into_iter().map(|c| c.expect("filled")).collect())
+        Permutation(child.into_iter().flatten().collect())
     }
 
     /// Swap mutation: exchanges 1–3 random pairs.

@@ -174,6 +174,7 @@ impl<G> Spea2Result<G> {
     ///
     /// Panics if `weights` length differs from the objective count or
     /// the archive is empty.
+    #[allow(clippy::expect_used)] // the empty-archive panic is documented
     pub fn best_weighted(&self, weights: &[f64]) -> &Individual<G> {
         self.archive
             .iter()
@@ -364,16 +365,15 @@ fn environmental_selection<G: Clone>(
                 d
             })
             .collect();
-        let victim = (0..n)
-            .min_by(|&a, &b| {
-                dist_vectors[a]
-                    .iter()
-                    .zip(&dist_vectors[b])
-                    .map(|(x, y)| x.total_cmp(y))
-                    .find(|o| o.is_ne())
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
-            .expect("non-empty archive");
+        let victim = (0..n).min_by(|&a, &b| {
+            dist_vectors[a]
+                .iter()
+                .zip(&dist_vectors[b])
+                .map(|(x, y)| x.total_cmp(y))
+                .find(|o| o.is_ne())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let Some(victim) = victim else { break };
         archive.remove(victim);
     }
     archive

@@ -258,6 +258,7 @@ pub fn simulate(net: &CanNetwork, injector: &dyn ErrorInjector, config: &SimConf
 ///
 /// Panics if the network fails validation or an override index is out
 /// of range.
+#[allow(clippy::expect_used)] // validity panic is documented above
 pub fn simulate_with_arrivals(
     net: &CanNetwork,
     injector: &dyn ErrorInjector,
@@ -421,7 +422,7 @@ pub fn simulate_with_arrivals(
                 ControllerType::FifoQueue { .. } => fifos[node].front().copied(),
             };
             if let Some(j) = offer {
-                let t = pending[j].expect("offered frames are pending");
+                let Some(t) = pending[j] else { continue };
                 let better = winner
                     .map(|(w, _)| msgs[j].id.arbitration_key() < msgs[w].id.arbitration_key())
                     .unwrap_or(true);

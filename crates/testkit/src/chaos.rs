@@ -1,0 +1,435 @@
+//! The chaos harness: fault-injection hooks and the resilience laws.
+//!
+//! The engine's [`FaultPlan`] arms an [`Evaluator`] to panic, force a
+//! divergence or report an injected `InvalidModel` at a chosen point of
+//! a batch. This module turns those hooks into two metamorphic laws:
+//!
+//! * [`DegradedIsSound`] — flooding a bus with an unschedulable
+//!   lowest-priority message must *degrade* the report (the flood is
+//!   diagnosed, everything else keeps bounds) without ever producing a
+//!   bound below the flood-free analysis, and the surviving bounds must
+//!   still dominate a bus simulation,
+//! * [`FaultIsolation`] — one faulted point in a batch must leave every
+//!   other point bit-identical to a clean evaluation, and retrying the
+//!   faulted point must heal (no poisoned cache, no corrupted
+//!   warm-start state).
+//!
+//! Both are members of [`crate::laws::all_laws`], so `carta fuzz`
+//! exercises them over the whole generated corpus.
+
+use crate::laws::{pointwise_le, wcrts, Law, LawCase};
+use crate::oracle::{DiffOracle, Violation};
+use carta_can::compiled::CompiledBus;
+use carta_can::controller::ControllerType;
+use carta_can::frame::{Dlc, StuffingMode};
+use carta_can::message::{CanId, CanMessage};
+use carta_can::network::{CanNetwork, Node};
+use carta_can::rta::{analyze_bus, AnalysisConfig, BusReport};
+use carta_core::analysis::AnalysisError;
+use carta_core::time::Time;
+use carta_engine::prelude::{
+    BaseSystem, DeadlineOverride, Evaluator, FaultPlan, Scenario, SystemVariant,
+};
+use std::sync::Arc;
+
+/// Stable name of the [`DegradedIsSound`] law.
+pub const DEGRADED_LAW: &str = "degraded-is-sound";
+
+/// Stable name of the [`FaultIsolation`] law.
+pub const ISOLATION_LAW: &str = "fault-isolation";
+
+/// A sequential evaluator with `plan` armed: fault point `N` counts
+/// *uncached* analyses, so with one worker the N-th submitted variant
+/// of a batch is the one that faults — the deterministic setup every
+/// chaos check wants.
+pub fn chaotic_evaluator(plan: FaultPlan) -> Evaluator {
+    Evaluator::builder().jobs(1).faults(plan).build()
+}
+
+/// The CAN identifier of the injected flood message: weaker than
+/// everything [`crate::gen`] hands out, so the flood sits at the bottom
+/// of the arbitration order and only *blocks* (never interferes with)
+/// the original messages.
+const FLOOD_ID: u32 = 0x7FA;
+
+/// A copy of `net` with an unschedulable lowest-priority flood message
+/// appended: eight bytes every 50 µs demands several times the capacity
+/// of even a 1 Mbit/s bus, so the flood's priority level is guaranteed
+/// to diverge. The flood gets its own fullCAN node — a basicCAN or
+/// FIFO sender would conservatively fold the flood into its
+/// queue-mates' (and, for FIFO, the whole bus's) interference and
+/// overload *every* level, defeating the point of a lowest-priority
+/// probe.
+pub fn flooded(net: &CanNetwork) -> CanNetwork {
+    let mut out = net.clone();
+    let sender = out.add_node(Node::new("flood_node", ControllerType::FullCan));
+    out.add_message(CanMessage::new(
+        "flood",
+        CanId::standard(FLOOD_ID).expect("valid id"),
+        Dlc::new(8),
+        Time::from_us(50),
+        Time::ZERO,
+        sender,
+    ));
+    out
+}
+
+/// Degraded-mode soundness: an overloaded priority level is diagnosed,
+/// not escalated, and every bound that survives is still a sound upper
+/// bound.
+///
+/// The law injects a flood message (see [`flooded`]) below every
+/// generated message and checks four things against the flood-free
+/// analysis:
+///
+/// 1. the flooded report is degraded and the flood itself carries a
+///    diagnostic naming its priority level and interference set,
+/// 2. no original message's WCRT *improved* under the extra load
+///    (monotonicity, with unbounded treated as +∞),
+/// 3. originals that do not see the flood in their compiled
+///    interference set (fullCAN senders stronger than the flood —
+///    basicCAN/FIFO senders conservatively absorb other nodes'
+///    lower-priority traffic) and whose blocking is unchanged are
+///    bit-identical — divergence below them is invisible,
+/// 4. the degraded report still dominates a short bus simulation
+///    (via [`DiffOracle`]), i.e. the surviving bounds are not just
+///    present but *sound*.
+#[derive(Debug, Clone, Copy)]
+pub struct DegradedIsSound {
+    oracle: DiffOracle,
+}
+
+impl Default for DegradedIsSound {
+    fn default() -> Self {
+        DegradedIsSound {
+            // The flooded bus is saturated, so a short horizon already
+            // observes back-to-back worst-case frames; 3 s would just
+            // burn fuzz time.
+            oracle: DiffOracle {
+                sim_horizon: Time::from_ms(500),
+            },
+        }
+    }
+}
+
+impl Law for DegradedIsSound {
+    fn name(&self) -> &'static str {
+        DEGRADED_LAW
+    }
+
+    fn check(&self, net: &CanNetwork, case: &LawCase, eval: &Evaluator) -> Result<(), Violation> {
+        let model = case.errors.model();
+        let config = AnalysisConfig::default();
+        let plain =
+            analyze_bus(net, model.as_ref(), &config).expect("generated networks are analyzable");
+        let flooded_net = flooded(net);
+        let report = analyze_bus(&flooded_net, model.as_ref(), &config)
+            .expect("a flooded network is still analyzable — degraded, not an error");
+
+        self.flood_is_diagnosed(net, &report, case.seed)?;
+        self.originals_are_monotone_and_isolated(net, &flooded_net, &plain, &report, case.seed)?;
+        // Soundness of the surviving bounds against the simulator (the
+        // oracle skips unbounded messages: +∞ dominates everything).
+        self.oracle
+            .check(eval, &flooded_net, case.errors, case.seed)
+            .map_err(|v| {
+                Violation::new(
+                    self.name(),
+                    format!("degraded report unsound: {}", v.detail),
+                )
+            })
+    }
+}
+
+impl DegradedIsSound {
+    fn flood_is_diagnosed(
+        &self,
+        net: &CanNetwork,
+        report: &BusReport,
+        seed: u64,
+    ) -> Result<(), Violation> {
+        if !report.is_degraded() {
+            return Err(Violation::new(
+                self.name(),
+                format!(
+                    "a flood demanding multiples of the bus capacity was not diagnosed (seed {seed})"
+                ),
+            ));
+        }
+        let flood = report
+            .by_name("flood")
+            .expect("the injected flood is reported");
+        let Some(diag) = flood.outcome.diagnostic() else {
+            return Err(Violation::new(
+                self.name(),
+                format!("the flood itself kept bounds despite infeasible demand (seed {seed})"),
+            ));
+        };
+        if diag.priority_level != net.messages().len() {
+            return Err(Violation::new(
+                self.name(),
+                format!(
+                    "flood diagnostic reports priority level {} but {} stronger messages exist \
+                     (seed {seed})",
+                    diag.priority_level,
+                    net.messages().len()
+                ),
+            ));
+        }
+        if diag.interference.is_empty() && !net.messages().is_empty() {
+            return Err(Violation::new(
+                self.name(),
+                format!("flood diagnostic carries an empty interference set (seed {seed})"),
+            ));
+        }
+        Ok(())
+    }
+
+    fn originals_are_monotone_and_isolated(
+        &self,
+        net: &CanNetwork,
+        flooded_net: &CanNetwork,
+        plain: &BusReport,
+        report: &BusReport,
+        seed: u64,
+    ) -> Result<(), Violation> {
+        let n = net.messages().len();
+        let flooded_originals: Vec<Option<Time>> = wcrts(report).into_iter().take(n).collect();
+        if !pointwise_le(&wcrts(plain), &flooded_originals) {
+            return Err(Violation::new(
+                self.name(),
+                format!("an original message's WCRT improved under the flood (seed {seed})"),
+            ));
+        }
+        let compiled = CompiledBus::compile(flooded_net, StuffingMode::WorstCase)
+            .expect("flooded network compiles");
+        let flood_idx = n;
+        for (i, (a, b)) in plain
+            .messages
+            .iter()
+            .zip(report.messages.iter())
+            .enumerate()
+        {
+            // A message whose interference set excludes the flood only
+            // feels it through blocking; if the flood did not raise its
+            // blocking either, the row must be untouched — divergence
+            // below is invisible above.
+            let sees_flood = compiled.interference_sets()[i].contains(&flood_idx);
+            if !sees_flood && a.blocking == b.blocking && a != b {
+                return Err(Violation::new(
+                    self.name(),
+                    format!(
+                        "`{}` changed under the flood despite identical blocking and no \
+                         interference path: {:?} vs {:?} (seed {seed})",
+                        a.name, a.outcome, b.outcome
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fault isolation: a single poisoned point of a batch never leaks into
+/// its neighbours, the cache, or the warm-start state.
+///
+/// The law evaluates an eight-point jitter grid twice — once on a clean
+/// sequential evaluator, once on a fault-armed one that panics, reports
+/// an injected `InvalidModel` or forces a divergence at a seed-chosen
+/// point — and checks that
+///
+/// 1. exactly the faulted point differs, with the fault kind the plan
+///    asked for,
+/// 2. every other point is bit-identical to the clean evaluation,
+/// 3. retrying the faulted point on the *same* armed evaluator heals:
+///    the retry is bit-identical to the clean result (nothing poisoned
+///    entered the memo cache, the panicked workspace was discarded).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultIsolation;
+
+/// Which fault the plan arms for a given case seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultKind {
+    Panic,
+    Invalid,
+    Diverge,
+}
+
+impl Law for FaultIsolation {
+    fn name(&self) -> &'static str {
+        ISOLATION_LAW
+    }
+
+    fn check(&self, net: &CanNetwork, case: &LawCase, _eval: &Evaluator) -> Result<(), Violation> {
+        const POINTS: u64 = 8;
+        let scenario = Scenario {
+            name: "fault-isolation".into(),
+            stuffing: StuffingMode::WorstCase,
+            errors: case.errors,
+            deadline: DeadlineOverride::Keep,
+        };
+        let base = BaseSystem::new(net.clone());
+        let variants: Vec<SystemVariant> = (0..POINTS)
+            .map(|k| {
+                SystemVariant::new(Arc::clone(&base), scenario.clone())
+                    .with_jitter_ratio(k as f64 * 0.05)
+            })
+            .collect();
+
+        let baseline: Vec<Arc<BusReport>> = chaotic_evaluator(FaultPlan::default())
+            .evaluate_batch(&variants)
+            .into_iter()
+            .map(|r| r.expect("generated networks are analyzable"))
+            .collect();
+
+        let at = case.seed % POINTS;
+        let kind = match case.seed % 3 {
+            0 => FaultKind::Panic,
+            1 => FaultKind::Invalid,
+            _ => FaultKind::Diverge,
+        };
+        let plan = match kind {
+            FaultKind::Panic => FaultPlan {
+                panic_at: Some(at),
+                ..FaultPlan::default()
+            },
+            FaultKind::Invalid => FaultPlan {
+                invalid_at: Some(at),
+                ..FaultPlan::default()
+            },
+            FaultKind::Diverge => FaultPlan {
+                diverge_at: Some(at),
+                ..FaultPlan::default()
+            },
+        };
+        let armed = chaotic_evaluator(plan);
+        let results = armed.evaluate_batch(&variants);
+
+        for (i, result) in results.iter().enumerate() {
+            if i as u64 == at {
+                self.faulted_point_matches(kind, result, at, case.seed)?;
+                continue;
+            }
+            match result {
+                Ok(report) if **report == *baseline[i] => {}
+                Ok(_) => {
+                    return Err(Violation::new(
+                        self.name(),
+                        format!(
+                            "point {i} differs from the clean evaluation although the fault was \
+                             armed at point {at} (seed {})",
+                            case.seed
+                        ),
+                    ));
+                }
+                Err(err) => {
+                    return Err(Violation::new(
+                        self.name(),
+                        format!(
+                            "point {i} failed ({err}) although the fault was armed at point {at} \
+                             (seed {})",
+                            case.seed
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // The fault fired exactly once and nothing poisoned was cached:
+        // a retry on the same evaluator must match a fresh evaluation.
+        match armed.evaluate(&variants[at as usize]) {
+            Ok(report) if *report == *baseline[at as usize] => Ok(()),
+            Ok(_) => Err(Violation::new(
+                self.name(),
+                format!(
+                    "retry of the faulted point {at} is not bit-identical to a clean evaluation \
+                     (seed {})",
+                    case.seed
+                ),
+            )),
+            Err(err) => Err(Violation::new(
+                self.name(),
+                format!(
+                    "retry of the faulted point {at} still fails: {err} (seed {})",
+                    case.seed
+                ),
+            )),
+        }
+    }
+}
+
+impl FaultIsolation {
+    fn faulted_point_matches(
+        &self,
+        kind: FaultKind,
+        result: &Result<Arc<BusReport>, AnalysisError>,
+        at: u64,
+        seed: u64,
+    ) -> Result<(), Violation> {
+        let ok = match (kind, result) {
+            (FaultKind::Panic, Err(AnalysisError::Panicked { .. })) => true,
+            (FaultKind::Invalid, Err(AnalysisError::InvalidModel(_))) => true,
+            // A forced divergence is *not* an error: the point comes
+            // back as a degraded report with every message diagnosed.
+            (FaultKind::Diverge, Ok(report)) => report.is_degraded(),
+            _ => false,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(Violation::new(
+                self.name(),
+                format!(
+                    "point {at} did not fail as {kind:?} was armed: got {result:?} (seed {seed})"
+                ),
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{random_network, NetShape};
+    use carta_engine::prelude::ErrorSpec;
+
+    #[test]
+    fn flooding_always_overloads() {
+        for seed in 0..6 {
+            let net = flooded(&random_network(&NetShape::bus(), seed));
+            let report = analyze_bus(
+                &net,
+                ErrorSpec::None.model().as_ref(),
+                &AnalysisConfig::default(),
+            )
+            .expect("degraded, not an error");
+            assert!(report.is_degraded());
+            assert!(report
+                .by_name("flood")
+                .expect("flood reported")
+                .outcome
+                .diagnostic()
+                .is_some());
+        }
+    }
+
+    #[test]
+    fn chaos_laws_hold_on_a_small_corpus() {
+        let eval = Evaluator::default();
+        for law in [
+            Box::new(DegradedIsSound::default()) as Box<dyn Law>,
+            Box::new(FaultIsolation),
+        ] {
+            // Seeds 0..3 cover all three fault kinds of FaultIsolation.
+            for seed in 0..3u64 {
+                let net = random_network(&NetShape::bus(), seed);
+                let case = LawCase {
+                    seed,
+                    errors: ErrorSpec::None,
+                };
+                law.check(&net, &case, &eval)
+                    .unwrap_or_else(|v| panic!("law {} violated on seed {seed}: {v}", law.name()));
+            }
+        }
+    }
+}

@@ -74,6 +74,8 @@ pub fn all_laws() -> Vec<Box<dyn Law>> {
         Box::new(OverlayEqualsRebuilt),
         Box::new(LoadSchedulability),
         Box::new(SimNeverExceedsAnalysis::default()),
+        Box::new(crate::chaos::DegradedIsSound::default()),
+        Box::new(crate::chaos::FaultIsolation),
     ]
 }
 
@@ -522,8 +524,10 @@ mod tests {
     #[test]
     fn catalogue_has_stable_unique_names() {
         let names = law_names();
-        assert_eq!(names.len(), 9);
+        assert_eq!(names.len(), 11);
         assert!(law_by_name("compiled-equals-naive").is_some());
+        assert!(law_by_name(crate::chaos::DEGRADED_LAW).is_some());
+        assert!(law_by_name(crate::chaos::ISOLATION_LAW).is_some());
         let mut sorted = names.clone();
         sorted.sort_unstable();
         sorted.dedup();

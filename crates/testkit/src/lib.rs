@@ -20,6 +20,10 @@
 //!   monotonicity, priority-raise dominance, error-model dominance,
 //!   bit-rate scaling, incremental == full, overlay == rebuilt, load
 //!   vs schedulability, sim ≤ analysis),
+//! * [`chaos`] — the fault-injection harness:
+//!   [`FaultPlan`](carta_engine::prelude::FaultPlan)-armed evaluators
+//!   plus the resilience laws `degraded-is-sound` and
+//!   `fault-isolation`,
 //! * [`repro`] — replayable JSON counterexample files
 //!   (`carta.repro.v1`) with the originating seed,
 //! * [`runner`] — the fuzz loop behind the `carta fuzz` CLI command,
@@ -38,6 +42,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chaos;
 pub mod gen;
 pub mod laws;
 pub mod oracle;
@@ -46,6 +51,9 @@ pub mod runner;
 
 /// Convenient single import for the common types of this crate.
 pub mod prelude {
+    pub use crate::chaos::{
+        chaotic_evaluator, flooded, DegradedIsSound, FaultIsolation, DEGRADED_LAW, ISOLATION_LAW,
+    };
     pub use crate::gen::{
         chains, networks, random_chain, random_network, random_scenario, random_task_set,
         random_variant, GatewayChain, NetShape,
@@ -55,6 +63,6 @@ pub mod prelude {
     pub use crate::repro::Repro;
     pub use crate::runner::{run_fuzz, FuzzConfig, FuzzReport, LawOutcome};
     pub use carta_engine::prelude::{
-        BaseSystem, ErrorSpec, Evaluator, Parallelism, Scenario, SystemVariant,
+        BaseSystem, ErrorSpec, Evaluator, FaultPlan, Parallelism, Scenario, SystemVariant,
     };
 }

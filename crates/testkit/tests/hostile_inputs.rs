@@ -1,0 +1,111 @@
+//! Hostile-input properties: every malformed model an integrator can
+//! plausibly feed the stack — zero periods, dead buses, duplicate
+//! identifiers, non-numeric jitter assumptions — must come back as a
+//! structured [`AnalysisError::InvalidModel`] diagnosis, and extreme
+//! but *valid* inputs (jitter far above the period) must analyze to a
+//! sound verdict. Nothing here may ever panic.
+
+use carta_core::analysis::AnalysisError;
+use carta_core::time::Time;
+use carta_engine::prelude::{BaseSystem, Evaluator, JitterOverlay, Scenario, SystemVariant};
+use carta_testkit::prelude::{networks, NetShape};
+use proptest::prelude::*;
+
+/// One full-stack evaluation of `net` under the worst-case scenario.
+fn evaluate(net: &carta_can::network::CanNetwork) -> Result<(), AnalysisError> {
+    let base = BaseSystem::new(net.clone());
+    Evaluator::default()
+        .evaluate(&SystemVariant::new(base, Scenario::worst_case()))
+        .map(|_| ())
+}
+
+fn is_invalid(result: &Result<(), AnalysisError>) -> bool {
+    matches!(result, Err(AnalysisError::InvalidModel(_)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn zero_period_is_diagnosed_not_a_panic((seed, net) in networks(NetShape::bus())) {
+        let mut net = net;
+        let k = seed as usize % net.messages().len();
+        let m = &mut net.messages_mut()[k];
+        let activation = m.activation;
+        m.activation = carta_core::event_model::EventModel::new(
+            activation.kind(),
+            Time::ZERO,
+            activation.jitter(),
+            Time::ZERO,
+        );
+        prop_assert!(is_invalid(&evaluate(&net)));
+    }
+
+    #[test]
+    fn zero_bit_rate_is_diagnosed_not_a_panic((_seed, net) in networks(NetShape::bus())) {
+        let mut dead = carta_can::network::CanNetwork::new(0);
+        for node in net.nodes() {
+            dead.add_node(node.clone());
+        }
+        for m in net.messages() {
+            dead.add_message(m.clone());
+        }
+        prop_assert!(is_invalid(&evaluate(&dead)));
+    }
+
+    #[test]
+    fn empty_bus_is_diagnosed_not_a_panic((_seed, net) in networks(NetShape::bus())) {
+        let mut empty = carta_can::network::CanNetwork::new(net.bit_rate());
+        for node in net.nodes() {
+            empty.add_node(node.clone());
+        }
+        prop_assert!(is_invalid(&evaluate(&empty)));
+    }
+
+    #[test]
+    fn duplicate_can_ids_are_diagnosed_not_a_panic((seed, net) in networks(NetShape::bus())) {
+        let mut net = net;
+        let n = net.messages().len();
+        let src = seed as usize % n;
+        let dst = (src + 1) % n;
+        let id = net.messages()[src].id;
+        net.messages_mut()[dst].id = id;
+        prop_assert!(is_invalid(&evaluate(&net)));
+    }
+
+    #[test]
+    fn non_numeric_jitter_overlays_are_diagnosed(
+        (_seed, net) in networks(NetShape::bus()),
+        value_pick in 0usize..4,
+        kind_pick in 0usize..3,
+    ) {
+        let hostile = [f64::NAN, f64::NEG_INFINITY, f64::INFINITY, -0.25][value_pick];
+        let overlay = match kind_pick {
+            0 => JitterOverlay::UniformRatio(hostile),
+            1 => JitterOverlay::AssumedUnknownRatio(hostile),
+            _ => JitterOverlay::Scale(hostile),
+        };
+        let base = BaseSystem::new(net);
+        let result = Evaluator::default()
+            .evaluate(&SystemVariant::new(base, Scenario::worst_case()).with_jitter(overlay));
+        prop_assert!(matches!(result, Err(AnalysisError::InvalidModel(_))));
+    }
+
+    #[test]
+    fn jitter_far_above_the_period_still_analyzes((seed, net) in networks(NetShape::bus())) {
+        // Valid-but-extreme: release jitter hundreds of periods long is
+        // a legal event model. The analysis must terminate with a sound
+        // verdict (bounded or diagnosed divergence), never panic.
+        let mut net = net;
+        let k = seed as usize % net.messages().len();
+        let m = &mut net.messages_mut()[k];
+        let activation = m.activation;
+        m.activation = carta_core::event_model::EventModel::new(
+            activation.kind(),
+            activation.period(),
+            Time::from_ns(activation.period().as_ns().saturating_mul(500)),
+            activation.dmin(),
+        );
+        prop_assert!(evaluate(&net).is_ok());
+    }
+}

@@ -165,7 +165,7 @@ fn overloaded_downstream_bus_reports_entity() {
         .set_source(NodeRef::new(b3, 0), EventModel::periodic(Time::from_ms(1)))
         .expect("valid");
     match s.sys.analyze() {
-        Err(AnalysisError::Unbounded { entity }) => assert_eq!(entity, "rpm_fwd"),
+        Err(AnalysisError::Unbounded { entity }) => assert_eq!(&*entity, "rpm_fwd"),
         other => panic!("expected Unbounded, got {other:?}"),
     }
 }
