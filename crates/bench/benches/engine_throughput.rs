@@ -15,6 +15,7 @@
 //! `analyze_bus` path.
 
 use carta_bench::case_study;
+use carta_can::backend::BackendConfig;
 use carta_can::network::CanNetwork;
 use carta_can::prelude::{analyze_bus, BusReport, CompiledBus, RtaWorkspace};
 use carta_engine::prelude::{BaseSystem, Evaluator, Parallelism, Scenario, SystemVariant};
@@ -120,6 +121,33 @@ fn bench_engine_throughput(c: &mut Criterion) {
             }
         })
     });
+
+    // The CAN FD twin of the sweep: same matrix and scenario on the
+    // dual-rate backend. Tables are backend-specific, so this prices a
+    // full compile-once/solve-64 pass through the FD wire model, gated
+    // by its own bit-identity assertion against the naive path.
+    let fd_nets: Vec<CanNetwork> = nets
+        .iter()
+        .map(|n| n.clone().with_backend(BackendConfig::can_fd()))
+        .collect();
+    let fd_compiled = CompiledBus::compile(&fd_nets[0], config.stuffing).expect("valid case study");
+    for net in &fd_nets {
+        let naive = analyze_bus(net, model.as_ref(), &config).expect("valid case study");
+        let cold = fd_compiled.solve(net, model.as_ref(), &config, &mut RtaWorkspace::new());
+        assert_identical(&cold, &naive, "cold FD compiled solve");
+    }
+    group.bench_function("rta_fd_cold_64pts", |b| {
+        b.iter(|| {
+            for net in &fd_nets {
+                black_box(fd_compiled.solve(
+                    net,
+                    model.as_ref(),
+                    &config,
+                    &mut RtaWorkspace::new(),
+                ));
+            }
+        })
+    });
     group.finish();
 }
 
@@ -128,6 +156,7 @@ fn assert_identical(fast: &BusReport, naive: &BusReport, what: &str) {
     assert_eq!(fast.messages.len(), naive.messages.len(), "{what}");
     assert_eq!(fast.error_model, naive.error_model, "{what}");
     assert_eq!(fast.stuffing, naive.stuffing, "{what}");
+    assert_eq!(fast.backend, naive.backend, "{what}");
     for (a, b) in fast.messages.iter().zip(&naive.messages) {
         let identical = a.name == b.name
             && a.id == b.id

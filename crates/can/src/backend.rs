@@ -1,0 +1,524 @@
+//! Pluggable bus transmission-time models ([`NetworkBackend`]).
+//!
+//! Classic CAN hard-wires one frame-length model (`55 + 10·s` bits and
+//! friends, see [`crate::frame`]). Real vehicle networks are
+//! heterogeneous, so everything downstream of the frame math — load,
+//! RTA, the compiled kernel, the simulator — goes through a backend
+//! that answers one question: *how long does a frame of this kind and
+//! payload occupy the bus?* The answer is phase-decomposed into
+//! [`WireBits`]: a nominal-rate bit count (arbitration-phase fields)
+//! and a data-rate bit count (zero for single-rate protocols), each as
+//! a `[min, max]` range bracketing the dynamic stuffing.
+//!
+//! Two backends ship today:
+//!
+//! * [`ClassicCan`] — CAN 2.0A/B. Single bit rate, payloads to 8
+//!   bytes; `wire_bits` reproduces [`FrameKind::max_bits`] /
+//!   [`FrameKind::min_bits`] exactly, so analyses through the backend
+//!   are bit-identical to the historical direct path.
+//! * [`CanFd`] — CAN FD (ISO 11898-1:2015). Dual bit rate (the
+//!   arbitration phase runs at the bus's nominal rate, the data phase
+//!   `data_ratio`× faster), payloads to 64 bytes on the DLC step
+//!   table, FD dynamic stuffing plus the fixed-stuff CRC-17/21 field.
+//!
+//! Both are priority-arbitrated and non-preemptive, so the busy-window
+//! RTA in [`crate::rta`]/[`crate::compiled`] applies unchanged; a
+//! backend only reshapes the `C` vectors, the blocking term and the
+//! per-hit error cost. A future preemptive backend (TSN Ethernet) will
+//! need to generalize the solver itself — see DESIGN.md § 11 for the
+//! contract a new backend must satisfy.
+
+use crate::frame::{Dlc, FrameKind, StuffingMode, ERROR_FRAME_BITS};
+use carta_core::time::Time;
+use std::fmt;
+
+/// Phase-decomposed wire length of one frame: bit counts transmitted
+/// at the nominal (arbitration) rate and at the data-phase rate, each
+/// as a `[min, max]` range over the dynamic stuffing outcomes.
+///
+/// Single-rate backends (classic CAN) put everything into the nominal
+/// range and leave the data range at `0..0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WireBits {
+    /// Fewest nominal-rate bits (no dynamic stuff bits).
+    pub nominal_min: u64,
+    /// Most nominal-rate bits (worst-case dynamic stuffing).
+    pub nominal_max: u64,
+    /// Fewest data-rate bits (zero for single-rate backends).
+    pub data_min: u64,
+    /// Most data-rate bits (zero for single-rate backends).
+    pub data_max: u64,
+}
+
+impl WireBits {
+    /// Bits of the worst-case frame under `mode`, per phase:
+    /// `(nominal, data)`.
+    pub fn for_mode(&self, mode: StuffingMode) -> (u64, u64) {
+        match mode {
+            StuffingMode::WorstCase => (self.nominal_max, self.data_max),
+            StuffingMode::None => (self.nominal_min, self.data_min),
+        }
+    }
+}
+
+/// A bus transmission-time model.
+///
+/// Implementations must be pure functions of their configuration: the
+/// compiled kernel caches per-`(topology × backend config)` tables and
+/// the engine keys its memo cache on a fingerprint that hashes the
+/// backend, so two equal configs must answer identically forever.
+///
+/// The contract every backend satisfies (and every consumer may
+/// assume):
+///
+/// 1. `wire_bits` ranges are well-formed: `min ≤ max` per phase, and
+///    monotone in the payload (more bytes never shortens the frame).
+/// 2. `data_rate(r) ≥ r` and both are zero only if `r` is zero — the
+///    data phase never runs slower than arbitration.
+/// 3. `error_frame_bits` are signalled at the *nominal* rate (error
+///    flags are dominant-bit sequences subject to arbitration-phase
+///    timing in both classic CAN and CAN FD).
+/// 4. Arbitration is priority-based and non-preemptive: a started
+///    frame completes (or is killed by an error), which is what the
+///    busy-window recurrence with its blocking term models.
+pub trait NetworkBackend {
+    /// Stable, human-readable backend name (`"can"`, `"can-fd"`).
+    fn name(&self) -> &'static str;
+
+    /// Largest payload a frame may carry, in bytes.
+    fn max_payload_bytes(&self) -> u8;
+
+    /// Payload actually occupying the wire for a requested payload of
+    /// `bytes` (CAN FD rounds up to the DLC step table; classic CAN is
+    /// byte-granular).
+    fn wire_payload(&self, bytes: u8) -> u8;
+
+    /// Phase-decomposed wire length of a `kind` frame carrying `dlc`.
+    fn wire_bits(&self, kind: FrameKind, dlc: Dlc) -> WireBits;
+
+    /// Data-phase bit rate for a bus whose nominal (arbitration) rate
+    /// is `nominal_rate` bits/s.
+    fn data_rate(&self, nominal_rate: u64) -> u64;
+
+    /// Bits of the error frame plus recovery overhead, signalled at
+    /// the nominal rate.
+    fn error_frame_bits(&self) -> u64 {
+        ERROR_FRAME_BITS
+    }
+}
+
+/// The classic CAN 2.0A/B backend: one bit rate, payloads to 8 bytes,
+/// the textbook `⌊(g − 1)/4⌋` worst-case stuffing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ClassicCan;
+
+impl NetworkBackend for ClassicCan {
+    fn name(&self) -> &'static str {
+        "can"
+    }
+
+    fn max_payload_bytes(&self) -> u8 {
+        8
+    }
+
+    fn wire_payload(&self, bytes: u8) -> u8 {
+        bytes
+    }
+
+    fn wire_bits(&self, kind: FrameKind, dlc: Dlc) -> WireBits {
+        WireBits {
+            nominal_min: kind.min_bits(dlc),
+            nominal_max: kind.max_bits(dlc),
+            data_min: 0,
+            data_max: 0,
+        }
+    }
+
+    fn data_rate(&self, nominal_rate: u64) -> u64 {
+        nominal_rate
+    }
+}
+
+/// The CAN FD payload step table: every DLC value maps to one of these
+/// wire payload sizes; requested payloads round *up* to the next step
+/// (the gap is padding on the wire).
+pub const FD_PAYLOAD_STEPS: [u8; 16] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 12, 16, 20, 24, 32, 48, 64];
+
+/// The smallest FD payload step that fits `bytes`.
+///
+/// # Panics
+///
+/// Panics if `bytes > 64` (the CAN FD payload limit).
+pub fn fd_wire_payload(bytes: u8) -> u8 {
+    assert!(bytes <= 64, "CAN FD carries at most 64 data bytes");
+    FD_PAYLOAD_STEPS
+        .iter()
+        .copied()
+        .find(|&step| step >= bytes)
+        // The assert above bounds `bytes` by the table's last entry.
+        .unwrap_or(64)
+}
+
+/// The CAN FD backend (ISO 11898-1:2015): arbitration phase at the
+/// bus's nominal rate, data phase `data_ratio`× faster, payloads to 64
+/// bytes on [`FD_PAYLOAD_STEPS`].
+///
+/// Frame structure used for the bit counts (interframe space
+/// included, `s` = wire payload bytes):
+///
+/// * Nominal phase, dynamically stuffed: SOF + identifier + RRS/SRR +
+///   IDE + FDF + res + BRS = 17 bits (standard) / 36 bits (extended);
+///   worst-case stuffing adds `⌊(17 − 1)/4⌋ = 4` / `⌊(36 − 1)/4⌋ = 8`.
+/// * Nominal tail, never stuffed: CRC delimiter + ACK + ACK delimiter
+///   + EOF + IFS = 13 bits.
+/// * Data phase, dynamically stuffed: ESI + DLC + data = `5 + 8·s`
+///   bits; worst case adds `⌊(5 + 8·s − 1)/4⌋ = 1 + 2·s`.
+/// * Data-phase CRC field, *fixed*-stuffed (always present, so it
+///   contributes to min and max alike): stuff-bit count + CRC + fixed
+///   stuff bits = 4 + 17 + 6 = 27 bits for `s ≤ 16` (CRC-17), else
+///   4 + 21 + 7 = 32 bits (CRC-21).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CanFd {
+    /// Data-phase rate as an integer multiple of the nominal rate
+    /// (typical buses run 2–8×; e.g. 500 kbit/s arbitration with a
+    /// 2 Mbit/s data phase is a ratio of 4).
+    pub data_ratio: u32,
+}
+
+impl CanFd {
+    /// The common 4× data-phase ratio.
+    pub const DEFAULT_DATA_RATIO: u32 = 4;
+
+    /// Creates an FD backend with the given data-phase ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_ratio` is zero.
+    pub fn new(data_ratio: u32) -> Self {
+        assert!(data_ratio > 0, "FD data-phase ratio must be positive");
+        CanFd { data_ratio }
+    }
+}
+
+impl Default for CanFd {
+    fn default() -> Self {
+        CanFd {
+            data_ratio: Self::DEFAULT_DATA_RATIO,
+        }
+    }
+}
+
+impl NetworkBackend for CanFd {
+    fn name(&self) -> &'static str {
+        "can-fd"
+    }
+
+    fn max_payload_bytes(&self) -> u8 {
+        64
+    }
+
+    fn wire_payload(&self, bytes: u8) -> u8 {
+        fd_wire_payload(bytes)
+    }
+
+    fn wire_bits(&self, kind: FrameKind, dlc: Dlc) -> WireBits {
+        let s = u64::from(fd_wire_payload(dlc.bytes()));
+        let (head, head_stuff) = match kind {
+            FrameKind::Standard => (17, 4),
+            FrameKind::Extended => (36, 8),
+        };
+        let tail = 13;
+        let crc_field = if s <= 16 { 27 } else { 32 };
+        let payload_field = 5 + 8 * s;
+        WireBits {
+            nominal_min: head + tail,
+            nominal_max: head + head_stuff + tail,
+            data_min: payload_field + crc_field,
+            data_max: payload_field + (payload_field - 1) / 4 + crc_field,
+        }
+    }
+
+    fn data_rate(&self, nominal_rate: u64) -> u64 {
+        nominal_rate * u64::from(self.data_ratio)
+    }
+}
+
+/// The backend configuration a [`crate::network::CanNetwork`] carries:
+/// a closed, hashable enumeration of the shipped backends, dispatching
+/// to the [`NetworkBackend`] implementations.
+///
+/// Kept as an enum (rather than a boxed trait object) so networks stay
+/// `Clone + PartialEq + Hash` and the engine can fingerprint the
+/// backend into its cache keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackendConfig {
+    /// Classic CAN 2.0A/B.
+    #[default]
+    Can,
+    /// CAN FD with the given data-phase backend parameters.
+    CanFd(CanFd),
+}
+
+impl BackendConfig {
+    /// An FD config with the default 4× data-phase ratio.
+    pub fn can_fd() -> Self {
+        BackendConfig::CanFd(CanFd::default())
+    }
+
+    /// The trait object this config dispatches to.
+    pub fn backend(&self) -> &dyn NetworkBackend {
+        match self {
+            BackendConfig::Can => &ClassicCan,
+            BackendConfig::CanFd(fd) => fd,
+        }
+    }
+
+    /// Parses a backend name as used by `carta --backend`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognized name.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "can" => Ok(BackendConfig::Can),
+            "can-fd" | "canfd" | "fd" => Ok(BackendConfig::can_fd()),
+            other => Err(format!(
+                "unknown backend `{other}` (known backends: can, can-fd)"
+            )),
+        }
+    }
+
+    /// Worst-case transmission time of a `kind`/`dlc` frame on a bus
+    /// with nominal rate `bit_rate`, under `mode`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit_rate` is zero.
+    pub fn c_max(&self, kind: FrameKind, dlc: Dlc, mode: StuffingMode, bit_rate: u64) -> Time {
+        let (nominal, data) = self.backend().wire_bits(kind, dlc).for_mode(mode);
+        self.phase_time(nominal, data, bit_rate)
+    }
+
+    /// Best-case transmission time (no dynamic stuff bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit_rate` is zero.
+    pub fn c_min(&self, kind: FrameKind, dlc: Dlc, bit_rate: u64) -> Time {
+        let bits = self.backend().wire_bits(kind, dlc);
+        self.phase_time(bits.nominal_min, bits.data_min, bit_rate)
+    }
+
+    /// Combines per-phase bit counts into a transmission time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit_rate` is zero.
+    pub fn phase_time(&self, nominal_bits: u64, data_bits: u64, bit_rate: u64) -> Time {
+        let nominal = Time::from_bits(nominal_bits, bit_rate);
+        if data_bits == 0 {
+            // Single-rate path: bit-identical to the historical
+            // `Time::from_bits(kind.max_bits(dlc), rate)` computation.
+            nominal
+        } else {
+            nominal + Time::from_bits(data_bits, self.backend().data_rate(bit_rate))
+        }
+    }
+
+    /// Nominal-rate-equivalent frame length in bits under `mode`:
+    /// data-phase bits are scaled down by the data-rate ratio (rounded
+    /// up). This is what the simple load model of the paper's
+    /// Section 3.1 consumes.
+    pub fn nominal_equivalent_bits(&self, kind: FrameKind, dlc: Dlc, mode: StuffingMode) -> u64 {
+        let (nominal, data) = self.backend().wire_bits(kind, dlc).for_mode(mode);
+        if data == 0 {
+            nominal
+        } else {
+            let ratio = match self {
+                BackendConfig::Can => 1,
+                BackendConfig::CanFd(fd) => u64::from(fd.data_ratio),
+            };
+            nominal + data.div_ceil(ratio)
+        }
+    }
+}
+
+impl fmt::Display for BackendConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendConfig::Can => write!(f, "can"),
+            BackendConfig::CanFd(fd) => write!(f, "can-fd(x{})", fd.data_ratio),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_backend_reproduces_frame_math_exactly() {
+        for s in 0..=8u8 {
+            let dlc = Dlc::new(s);
+            for kind in [FrameKind::Standard, FrameKind::Extended] {
+                let bits = ClassicCan.wire_bits(kind, dlc);
+                assert_eq!(bits.nominal_max, kind.max_bits(dlc));
+                assert_eq!(bits.nominal_min, kind.min_bits(dlc));
+                assert_eq!((bits.data_min, bits.data_max), (0, 0));
+            }
+        }
+        // And through the config's time computation: the 8-byte
+        // standard frame at 500 kbit/s stays the pinned 270 µs.
+        let c = BackendConfig::Can.c_max(
+            FrameKind::Standard,
+            Dlc::new(8),
+            StuffingMode::WorstCase,
+            500_000,
+        );
+        assert_eq!(c, Time::from_us(270));
+        assert_eq!(
+            BackendConfig::Can.c_min(FrameKind::Standard, Dlc::new(8), 500_000),
+            Time::from_us(222)
+        );
+    }
+
+    #[test]
+    fn fd_step_table_rounds_up() {
+        assert_eq!(fd_wire_payload(0), 0);
+        assert_eq!(fd_wire_payload(8), 8);
+        assert_eq!(fd_wire_payload(9), 12);
+        assert_eq!(fd_wire_payload(13), 16);
+        assert_eq!(fd_wire_payload(17), 20);
+        assert_eq!(fd_wire_payload(33), 48);
+        assert_eq!(fd_wire_payload(49), 64);
+        assert_eq!(fd_wire_payload(64), 64);
+        for step in FD_PAYLOAD_STEPS {
+            assert_eq!(fd_wire_payload(step), step, "steps are fixed points");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 data bytes")]
+    fn fd_step_rejects_over_sixty_four() {
+        let _ = fd_wire_payload(65);
+    }
+
+    #[test]
+    fn fd_bit_counts_match_closed_forms() {
+        let fd = CanFd::default();
+        for &s in FD_PAYLOAD_STEPS.iter() {
+            let dlc = Dlc::fd(s);
+            let s = u64::from(s);
+            let std = fd.wire_bits(FrameKind::Standard, dlc);
+            let ext = fd.wire_bits(FrameKind::Extended, dlc);
+            // Nominal phase is payload-independent.
+            assert_eq!((std.nominal_min, std.nominal_max), (30, 34));
+            assert_eq!((ext.nominal_min, ext.nominal_max), (49, 57));
+            // Data phase: 33 + 10·s (s ≤ 16) / 38 + 10·s worst case.
+            let (dmax, dmin) = if s <= 16 {
+                (33 + 10 * s, 32 + 8 * s)
+            } else {
+                (38 + 10 * s, 37 + 8 * s)
+            };
+            assert_eq!(std.data_max, dmax, "{s}-byte data-phase worst case");
+            assert_eq!(std.data_min, dmin, "{s}-byte data-phase best case");
+            // The data phase is identifier-format independent.
+            assert_eq!((ext.data_min, ext.data_max), (std.data_min, std.data_max));
+        }
+    }
+
+    #[test]
+    fn fd_dominates_classic_per_frame_at_ratio_two_or_more() {
+        // The per-frame fact behind the `fd-dominates-classic-at-same-
+        // payload` law: at the same nominal rate, any data ratio ≥ 2
+        // makes the FD frame no longer on the wire than the classic
+        // frame of the same (≤ 8 byte) payload.
+        for ratio in [2u32, 4, 8] {
+            let fd = BackendConfig::CanFd(CanFd::new(ratio));
+            for s in 0..=8u8 {
+                let dlc = Dlc::new(s);
+                for kind in [FrameKind::Standard, FrameKind::Extended] {
+                    for rate in [125_000u64, 250_000, 500_000] {
+                        let classic =
+                            BackendConfig::Can.c_max(kind, dlc, StuffingMode::WorstCase, rate);
+                        let fast = fd.c_max(kind, dlc, StuffingMode::WorstCase, rate);
+                        assert!(
+                            fast <= classic,
+                            "FD x{ratio} {kind:?} {s}B at {rate}: {fast} > {classic}"
+                        );
+                        assert!(
+                            fd.c_min(kind, dlc, rate) <= BackendConfig::Can.c_min(kind, dlc, rate)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fd_at_ratio_one_is_longer_than_classic() {
+        // Sanity check of the ratio ≥ 2 precondition: a same-rate data
+        // phase makes FD frames *longer* (FD protocol overhead).
+        let fd = BackendConfig::CanFd(CanFd::new(1));
+        let dlc = Dlc::new(8);
+        let classic =
+            BackendConfig::Can.c_max(FrameKind::Standard, dlc, StuffingMode::WorstCase, 500_000);
+        let same_rate = fd.c_max(FrameKind::Standard, dlc, StuffingMode::WorstCase, 500_000);
+        assert!(same_rate > classic);
+    }
+
+    #[test]
+    fn backend_config_parses_and_displays() {
+        assert_eq!(BackendConfig::parse("can"), Ok(BackendConfig::Can));
+        assert_eq!(BackendConfig::parse("can-fd"), Ok(BackendConfig::can_fd()));
+        assert_eq!(BackendConfig::parse("fd"), Ok(BackendConfig::can_fd()));
+        assert!(BackendConfig::parse("flexray").is_err());
+        assert_eq!(BackendConfig::Can.to_string(), "can");
+        assert_eq!(BackendConfig::can_fd().to_string(), "can-fd(x4)");
+        assert_eq!(BackendConfig::default(), BackendConfig::Can);
+        assert_eq!(BackendConfig::Can.backend().name(), "can");
+        assert_eq!(BackendConfig::can_fd().backend().name(), "can-fd");
+    }
+
+    #[test]
+    fn nominal_equivalent_bits_scale_the_data_phase() {
+        let dlc = Dlc::new(8);
+        // Classic: identical to the frame math.
+        assert_eq!(
+            BackendConfig::Can.nominal_equivalent_bits(
+                FrameKind::Standard,
+                dlc,
+                StuffingMode::WorstCase
+            ),
+            135
+        );
+        // FD x4: 34 nominal + ceil(113/4) data-equivalent = 63 bits.
+        assert_eq!(
+            BackendConfig::can_fd().nominal_equivalent_bits(
+                FrameKind::Standard,
+                dlc,
+                StuffingMode::WorstCase
+            ),
+            34 + 29
+        );
+    }
+
+    #[test]
+    fn error_frame_cost_is_shared() {
+        assert_eq!(ClassicCan.error_frame_bits(), ERROR_FRAME_BITS);
+        assert_eq!(CanFd::default().error_frame_bits(), ERROR_FRAME_BITS);
+    }
+
+    #[test]
+    fn data_rate_scales_by_ratio() {
+        assert_eq!(ClassicCan.data_rate(500_000), 500_000);
+        assert_eq!(CanFd::new(4).data_rate(500_000), 2_000_000);
+        assert_eq!(CanFd::new(2).data_rate(125_000), 250_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be positive")]
+    fn zero_ratio_rejected() {
+        let _ = CanFd::new(0);
+    }
+}

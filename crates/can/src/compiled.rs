@@ -56,9 +56,10 @@
 //! would, the produced [`BusReport`] is bit-identical either way (the
 //! `compiled-equals-naive` fuzz law in `carta-testkit` pins this).
 
+use crate::backend::BackendConfig;
 use crate::controller::ControllerType;
 use crate::error_model::ErrorModel;
-use crate::frame::{bit_time, StuffingMode, ERROR_FRAME_BITS};
+use crate::frame::{bit_time, StuffingMode};
 use crate::message::{CanId, CanMessage};
 use crate::network::CanNetwork;
 use crate::rta::{
@@ -198,6 +199,7 @@ impl RtaWorkspace {
 pub struct CompiledBus {
     epoch: u64,
     stuffing: StuffingMode,
+    backend: BackendConfig,
     bit_rate: u64,
     /// One bit time on this bus.
     tau: Time,
@@ -274,16 +276,17 @@ impl CompiledBus {
         let msgs = net.messages();
         let n = msgs.len();
         let rate = net.bit_rate();
+        let backend = net.backend();
         let c_max = crate::rta::c_max_vector(net, stuffing);
         let c_min: Vec<Time> = msgs
             .iter()
-            .map(|m| Time::from_bits(m.id.kind().min_bits(m.dlc), rate))
+            .map(|m| backend.c_min(m.id.kind(), m.dlc, rate))
             .collect();
         let mut hp = Vec::with_capacity(n);
         let mut interference = Vec::with_capacity(n);
         let mut blocking = Vec::with_capacity(n);
         let mut per_hit = Vec::with_capacity(n);
-        let error_frame = Time::from_bits(ERROR_FRAME_BITS, rate);
+        let error_frame = Time::from_bits(backend.backend().error_frame_bits(), rate);
         for (i, m) in msgs.iter().enumerate() {
             let key = m.id.arbitration_key();
             let hp_i: Vec<usize> = (0..n)
@@ -314,6 +317,7 @@ impl CompiledBus {
         CompiledBus {
             epoch: next_epoch(),
             stuffing,
+            backend,
             bit_rate: rate,
             tau: bit_time(rate),
             names,
@@ -341,6 +345,11 @@ impl CompiledBus {
     /// The stuffing mode the tables were compiled under.
     pub fn stuffing(&self) -> StuffingMode {
         self.stuffing
+    }
+
+    /// The bus backend the tables were compiled under.
+    pub fn backend(&self) -> BackendConfig {
+        self.backend
     }
 
     /// The higher-priority index sets (see
@@ -421,6 +430,11 @@ impl CompiledBus {
             "identifiers diverged from the compiled tables; recompile or reorder first"
         );
         debug_assert_eq!(net.bit_rate(), self.bit_rate);
+        debug_assert_eq!(
+            net.backend(),
+            self.backend,
+            "bus backend diverged from the compiled tables; recompile first"
+        );
         let _span = span!("rta.bus", msgs = n);
 
         let desc = errors.describe();
@@ -533,6 +547,7 @@ impl CompiledBus {
             messages: reports,
             error_model: desc,
             stuffing: config.stuffing,
+            backend: self.backend,
         }
     }
 
@@ -556,6 +571,7 @@ impl CompiledBus {
         let comparable = previous.messages.len() == n
             && previous_hp.len() == n
             && previous.stuffing == config.stuffing
+            && previous.backend == self.backend
             && previous.error_model == desc;
         if !comparable {
             let report = self.solve(net, errors, config, &mut RtaWorkspace::new());
@@ -646,6 +662,7 @@ impl CompiledBus {
                 messages: reports,
                 error_model: desc,
                 stuffing: config.stuffing,
+                backend: self.backend,
             },
             stats,
         )

@@ -12,7 +12,8 @@
 use carta_core::time::Time;
 use std::fmt;
 
-/// Number of data bytes in a CAN frame (0–8 for classic CAN).
+/// Number of data bytes in a CAN frame (0–8 for classic CAN, up to 64
+/// on the CAN FD step table via [`Dlc::fd`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Dlc(u8);
 
@@ -21,10 +22,23 @@ impl Dlc {
     ///
     /// # Panics
     ///
-    /// Panics if `bytes > 8` (classic CAN payload limit).
+    /// Panics if `bytes > 8` (classic CAN payload limit). Payloads up
+    /// to 64 bytes are available through [`Dlc::fd`] on networks with
+    /// a CAN FD backend.
     pub fn new(bytes: u8) -> Self {
         assert!(bytes <= 8, "classic CAN carries at most 8 data bytes");
         Dlc(bytes)
+    }
+
+    /// Creates a CAN FD data length code, rounding `bytes` *up* to the
+    /// wire payload step table (`0..=8, 12, 16, 20, 24, 32, 48, 64`) —
+    /// the bytes between steps are padding on the wire either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes > 64` (the CAN FD payload limit).
+    pub fn fd(bytes: u8) -> Self {
+        Dlc(crate::backend::fd_wire_payload(bytes))
     }
 
     /// Payload size in bytes.
@@ -217,5 +231,19 @@ mod tests {
         assert_eq!(d.bytes(), 5);
         assert_eq!(d.bits(), 40);
         assert_eq!(d.to_string(), "5B");
+    }
+
+    #[test]
+    fn fd_dlc_rounds_to_steps() {
+        assert_eq!(Dlc::fd(8), Dlc::new(8));
+        assert_eq!(Dlc::fd(9).bytes(), 12);
+        assert_eq!(Dlc::fd(64).bytes(), 64);
+        assert_eq!(Dlc::fd(64).bits(), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 data bytes")]
+    fn fd_dlc_rejects_over_sixty_four() {
+        let _ = Dlc::fd(65);
     }
 }

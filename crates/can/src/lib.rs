@@ -48,6 +48,7 @@
 // typed error, never a crash. Tests and benches may still unwrap.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod backend;
 pub mod compiled;
 pub mod controller;
 pub mod encode;
@@ -61,6 +62,7 @@ pub mod rta;
 
 /// Convenient single import for the common types of this crate.
 pub mod prelude {
+    pub use crate::backend::{BackendConfig, CanFd, ClassicCan, NetworkBackend, WireBits};
     pub use crate::compiled::{CompiledBus, RtaWorkspace, SolveStats};
     pub use crate::controller::ControllerType;
     pub use crate::error_model::{

@@ -1,5 +1,6 @@
 //! The CAN network model: a bus, its nodes and its messages.
 
+use crate::backend::BackendConfig;
 use crate::controller::ControllerType;
 use crate::frame::StuffingMode;
 use crate::message::CanMessage;
@@ -56,6 +57,16 @@ pub enum ValidateNetworkError {
         /// Message name.
         message: String,
     },
+    /// A message's payload exceeds what the bus backend can carry
+    /// (e.g. a 64-byte FD payload on a classic CAN bus).
+    PayloadExceedsBackend {
+        /// Message name.
+        message: String,
+        /// Requested payload in bytes.
+        bytes: u8,
+        /// The backend's payload limit in bytes.
+        max: u8,
+    },
 }
 
 impl fmt::Display for ValidateNetworkError {
@@ -76,6 +87,17 @@ impl fmt::Display for ValidateNetworkError {
             ValidateNetworkError::ZeroBitRate => write!(f, "bus bit rate is zero"),
             ValidateNetworkError::ZeroPeriod { message } => {
                 write!(f, "message `{message}` has a zero period")
+            }
+            ValidateNetworkError::PayloadExceedsBackend {
+                message,
+                bytes,
+                max,
+            } => {
+                write!(
+                    f,
+                    "message `{message}` carries {bytes} bytes but the bus backend allows at \
+                     most {max}"
+                )
             }
         }
     }
@@ -110,12 +132,15 @@ impl Error for ValidateNetworkError {}
 #[derive(Debug, Clone, PartialEq)]
 pub struct CanNetwork {
     bit_rate: u64,
+    backend: BackendConfig,
     nodes: Vec<Node>,
     messages: Vec<CanMessage>,
 }
 
 impl CanNetwork {
-    /// Creates an empty network with the given bit rate (bits/s).
+    /// Creates an empty classic-CAN network with the given bit rate
+    /// (bits/s). Use [`CanNetwork::with_backend`] for other bus
+    /// protocols.
     ///
     /// A zero bit rate is accepted here so that hostile inputs can be
     /// constructed and then *diagnosed*: [`CanNetwork::validate`] (run
@@ -124,14 +149,33 @@ impl CanNetwork {
     pub fn new(bit_rate: u64) -> Self {
         CanNetwork {
             bit_rate,
+            backend: BackendConfig::default(),
             nodes: Vec::new(),
             messages: Vec::new(),
         }
     }
 
-    /// Bus speed in bits per second.
+    /// Bus speed in bits per second. For dual-rate backends (CAN FD)
+    /// this is the *nominal* (arbitration-phase) rate; the data-phase
+    /// rate is derived by the backend.
     pub fn bit_rate(&self) -> u64 {
         self.bit_rate
+    }
+
+    /// The bus transmission-time model.
+    pub fn backend(&self) -> BackendConfig {
+        self.backend
+    }
+
+    /// Returns the network with its backend replaced (builder-style).
+    pub fn with_backend(mut self, backend: BackendConfig) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Replaces the bus backend in place.
+    pub fn set_backend(&mut self, backend: BackendConfig) {
+        self.backend = backend;
     }
 
     /// Adds a node and returns its index.
@@ -221,18 +265,27 @@ impl CanNetwork {
                     message: m.name.clone(),
                 });
             }
+            let max = self.backend.backend().max_payload_bytes();
+            if m.dlc.bytes() > max {
+                return Err(ValidateNetworkError::PayloadExceedsBackend {
+                    message: m.name.clone(),
+                    bytes: m.dlc.bytes(),
+                    max,
+                });
+            }
         }
         Ok(())
     }
 
     /// The simple load analysis of the paper's Section 3.1, under the
-    /// chosen stuffing assumption.
+    /// chosen stuffing assumption. Frame lengths come from the bus
+    /// backend; data-phase bits of dual-rate backends are counted at
+    /// their nominal-rate equivalent.
     pub fn load(&self, stuffing: StuffingMode) -> LoadReport {
         let sources = self.messages.iter().map(|m| {
-            let bits = match stuffing {
-                StuffingMode::WorstCase => m.id.kind().max_bits(m.dlc),
-                StuffingMode::None => m.id.kind().min_bits(m.dlc),
-            };
+            let bits = self
+                .backend
+                .nominal_equivalent_bits(m.id.kind(), m.dlc, stuffing);
             TrafficSource::new(bits, m.activation.period())
         });
         bus_load(sources, self.bit_rate)
@@ -347,6 +400,42 @@ mod tests {
                 Time::from_ms(2),
             );
         assert_eq!(net.messages()[0].activation.jitter(), Time::from_ms(2));
+    }
+
+    #[test]
+    fn networks_default_to_classic_can() {
+        let net = two_node_net();
+        assert_eq!(net.backend(), BackendConfig::Can);
+        let fd = net.clone().with_backend(BackendConfig::can_fd());
+        assert_eq!(fd.backend(), BackendConfig::can_fd());
+        assert_ne!(net, fd, "backend participates in network equality");
+    }
+
+    #[test]
+    fn validate_rejects_fd_payloads_on_classic_backends() {
+        let mut net = two_node_net();
+        net.add_message(msg("a", 0x100, 8, 10, 0));
+        net.messages_mut()[0].dlc = Dlc::fd(64);
+        assert!(matches!(
+            net.validate(),
+            Err(ValidateNetworkError::PayloadExceedsBackend {
+                bytes: 64,
+                max: 8,
+                ..
+            })
+        ));
+        net.set_backend(BackendConfig::can_fd());
+        net.validate().expect("FD backend carries 64 bytes");
+    }
+
+    #[test]
+    fn fd_load_is_lighter_than_classic_at_same_payload() {
+        let mut net = two_node_net();
+        net.add_message(msg("a", 0x100, 8, 10, 0));
+        let classic = net.load(StuffingMode::WorstCase).utilization();
+        net.set_backend(BackendConfig::can_fd());
+        let fd = net.load(StuffingMode::WorstCase).utilization();
+        assert!(fd < classic, "fd {fd} vs classic {classic}");
     }
 
     #[test]

@@ -18,10 +18,11 @@
 //! The instance's response time is `R_q = w_q + C_m − δ⁻_m(q)` and the
 //! busy period extends to instance `q+1` while `w_q + C_m > δ⁻_m(q+1)`.
 
+use crate::backend::BackendConfig;
 use crate::compiled::{CompiledBus, RtaWorkspace};
 use crate::controller::ControllerType;
 use crate::error_model::ErrorModel;
-use crate::frame::{StuffingMode, ERROR_FRAME_BITS};
+use crate::frame::StuffingMode;
 use crate::message::CanId;
 use crate::network::CanNetwork;
 use carta_core::analysis::{AnalysisError, MessageDiagnostic, ResponseBounds};
@@ -212,6 +213,8 @@ pub struct BusReport {
     pub error_model: String,
     /// Stuffing mode used.
     pub stuffing: StuffingMode,
+    /// Bus backend the transmission times were derived from.
+    pub backend: BackendConfig,
 }
 
 impl BusReport {
@@ -487,7 +490,7 @@ pub(crate) fn wcrt_for_sets(
         .max()
         .unwrap_or(c_max[i])
         .max(c_max[i]);
-    let per_hit = Time::from_bits(ERROR_FRAME_BITS, rate) + retx;
+    let per_hit = Time::from_bits(net.backend().backend().error_frame_bits(), rate) + retx;
     crate::compiled::busy_window(
         msgs,
         i,
@@ -504,18 +507,14 @@ pub(crate) fn wcrt_for_sets(
     )
 }
 
-/// Worst-case transmission times of all messages under `stuffing`.
+/// Worst-case transmission times of all messages under `stuffing`,
+/// derived from the network's bus backend.
 pub(crate) fn c_max_vector(net: &CanNetwork, stuffing: StuffingMode) -> Vec<Time> {
     let rate = net.bit_rate();
+    let backend = net.backend();
     net.messages()
         .iter()
-        .map(|m| {
-            let bits = match stuffing {
-                StuffingMode::WorstCase => m.id.kind().max_bits(m.dlc),
-                StuffingMode::None => m.id.kind().min_bits(m.dlc),
-            };
-            Time::from_bits(bits, rate)
-        })
+        .map(|m| backend.c_max(m.id.kind(), m.dlc, stuffing, rate))
         .collect()
 }
 
@@ -567,6 +566,40 @@ mod tests {
         assert_eq!(m.instances, 1);
         assert!(rep.schedulable());
         assert_eq!(rep.miss_fraction(), 0.0);
+    }
+
+    #[test]
+    fn fd_backend_shortens_the_data_phase() {
+        let mut net = net_with(vec![msg("a", 0x100, 8, 10, 0, 0)]);
+        net.set_backend(BackendConfig::can_fd());
+        let rep = analyze_bus(&net, &NoErrors, &AnalysisConfig::default()).expect("valid");
+        let m = &rep.messages[0];
+        // Nominal phase 34 bits at 500 kbit/s = 68 us; data phase
+        // 33 + 10·8 = 113 bits at 2 Mbit/s = 56.5 us.
+        assert_eq!(m.outcome.wcrt(), Some(Time::from_ns(124_500)));
+        // Best case: 30 nominal bits (60 us) + 96 data bits (48 us).
+        assert_eq!(m.outcome.bcrt(), Some(Time::from_ns(108_000)));
+        assert_eq!(rep.backend, BackendConfig::can_fd());
+        assert!(rep.schedulable());
+    }
+
+    #[test]
+    fn fd_sixty_four_byte_frames_are_bounded() {
+        let mut net = net_with(vec![CanMessage::new(
+            "bulk",
+            CanId::standard(0x100).expect("valid id"),
+            Dlc::fd(64),
+            Time::from_ms(10),
+            Time::ZERO,
+            0,
+        )]);
+        net.set_backend(BackendConfig::can_fd());
+        let rep = analyze_bus(&net, &NoErrors, &AnalysisConfig::default()).expect("valid");
+        let m = &rep.messages[0];
+        // 34 nominal bits (68 us) + 38 + 10·64 = 678 data bits with
+        // CRC-21 at 2 Mbit/s (339 us).
+        assert_eq!(m.outcome.wcrt(), Some(Time::from_ns(407_000)));
+        assert!(rep.schedulable());
     }
 
     #[test]

@@ -5,6 +5,7 @@
 use crate::args::{ParseArgsError, ParsedArgs};
 use crate::obs::ObsSession;
 use crate::render::{cache_stats_line, Table};
+use carta_can::backend::BackendConfig;
 use carta_can::network::CanNetwork;
 use carta_can::opa::audsley_assignment;
 use carta_core::time::Time;
@@ -73,6 +74,7 @@ COMMANDS
                  --scenario best|worst|sporadic:<ms>   (default worst)
                  --jitter <pct>          uniform jitter override
                  --assume-unknown <pct>  jitter for unknown messages
+                 --backend can|can-fd    bus backend (default can)
   loss         message-loss curve over the 0–60 % jitter grid
                  --scenario ...
   sensitivity  response-vs-jitter classes per message
@@ -91,6 +93,7 @@ COMMANDS
   fuzz         randomized verification (metamorphic laws + the
                differential sim-vs-analysis oracle, shrinking failures)
                  --cases <n> --seed <n> --laws <name,name,...>
+                 --backend can|can-fd    fuzz corpus backend
                  --repro <file>    replay a stored counterexample
                  --repro-dir <d>   where shrunk repros are written
                                    (default: fuzz-repros/)
@@ -98,6 +101,9 @@ COMMANDS
                  carta trace [<trace.jsonl>] [--limit <n>]
 
 GLOBAL FLAGS
+  --backend <b>        bus backend for every model-loading command:
+                       can (classic, default) or can-fd (dual rate,
+                       4x data phase, payloads to 64 bytes)
   --jobs <n>           worker threads for sweep/optimizer evaluation
                        (default: the CARTA_JOBS env var, else all cores)
   --metrics            append a metrics table (cache hit rate, RTA
@@ -122,11 +128,24 @@ fn load_matrix(path: &str) -> Result<KMatrix, Box<dyn Error>> {
     Ok(from_csv(&text)?)
 }
 
+/// Resolves `--backend` (default classic CAN).
+fn backend_from(args: &ParsedArgs) -> Result<BackendConfig, Box<dyn Error>> {
+    match args.flag("backend") {
+        None => Ok(BackendConfig::Can),
+        Some(name) => BackendConfig::parse(name).map_err(|unknown| {
+            Box::new(ParseArgsError(format!(
+                "unknown backend `{unknown}` (can, can-fd)"
+            ))) as Box<dyn Error>
+        }),
+    }
+}
+
 fn load_network(args: &ParsedArgs) -> Result<CanNetwork, Box<dyn Error>> {
     let _phase = PhaseGuard::new("load");
     let path = args.required_positional("K-Matrix path (or `-`)")?;
     let matrix = load_matrix(path)?;
     let mut net = matrix.to_network()?;
+    net.set_backend(backend_from(args)?);
     if let Some(pct) = args.flag("jitter") {
         let pct: f64 = pct
             .parse()
@@ -198,6 +217,7 @@ fn cmd_load(args: &ParsedArgs) -> CmdResult {
     let mut out = String::new();
     writeln!(out, "messages: {}", net.messages().len())?;
     writeln!(out, "bit rate: {} kbit/s", net.bit_rate() / 1000)?;
+    writeln!(out, "backend: {}", net.backend())?;
     writeln!(
         out,
         "load (worst-case stuffing): {:.1} %",
@@ -373,7 +393,8 @@ fn cmd_optimize(args: &ParsedArgs) -> CmdResult {
         let _phase = PhaseGuard::new("load");
         let path = args.required_positional("K-Matrix path (or `-`)")?;
         let matrix = load_matrix(path)?;
-        let net = matrix.to_network()?;
+        let mut net = matrix.to_network()?;
+        net.set_backend(backend_from(args)?);
         (matrix, net)
     };
     let population = args.numeric_flag("population", 60usize)?;
@@ -570,8 +591,13 @@ fn cmd_diff(args: &ParsedArgs) -> CmdResult {
         .get(1)
         .ok_or_else(|| ParseArgsError("diff needs two K-Matrix paths".into()))?;
     let scenario = scenario_from(args)?;
-    let before = scenario.analyze(&load_matrix(before_path)?.to_network()?)?;
-    let after = scenario.analyze(&load_matrix(after_path)?.to_network()?)?;
+    let backend = backend_from(args)?;
+    let before = scenario.analyze(
+        &load_matrix(before_path)?
+            .to_network()?
+            .with_backend(backend),
+    )?;
+    let after = scenario.analyze(&load_matrix(after_path)?.to_network()?.with_backend(backend))?;
     let diff = diff_reports(&before, &after);
     let mut table = Table::new(["message", "before", "after", "change"]);
     for r in &diff.rows {
@@ -657,6 +683,7 @@ fn cmd_fuzz(args: &ParsedArgs) -> CmdResult {
                 .collect()
         }),
         parallelism: parallelism_from(args)?,
+        backend: backend_from(args)?,
     };
     let report = {
         let _phase = PhaseGuard::new("fuzz");
@@ -752,10 +779,28 @@ mod tests {
     fn load_and_analyze_builtin() {
         let out = run_line(&["load", "-"]).expect("loads");
         assert!(out.contains("load (worst-case stuffing)"));
+        assert!(out.contains("backend: can\n"), "{out}");
         let out = run_line(&["analyze", "-", "--scenario", "best"]).expect("analyzes");
         assert!(out.contains("0 of 64 messages can be lost"), "{out}");
         let out = run_line(&["analyze", "-", "--jitter", "40"]).expect("analyzes");
         assert!(out.contains("LOST"));
+    }
+
+    #[test]
+    fn analyze_on_the_fd_backend_is_bounded() {
+        // `--backend can` is the default spelled out.
+        let classic = run_line(&["analyze", "-"]).expect("analyzes");
+        let explicit = run_line(&["analyze", "-", "--backend", "can"]).expect("analyzes");
+        assert_eq!(classic, explicit);
+        let fd = run_line(&["analyze", "-", "--backend", "can-fd"]).expect("analyzes");
+        assert!(!fd.contains("unbounded"), "{fd}");
+        assert!(!fd.contains("DIVERGED"), "{fd}");
+        assert!(fd.contains("0 of 64 messages can be lost"), "{fd}");
+        assert_ne!(classic, fd, "FD must change the response times");
+        let out = run_line(&["load", "-", "--backend", "can-fd"]).expect("loads");
+        assert!(out.contains("backend: can-fd(x4)"), "{out}");
+        let err = run_line(&["analyze", "-", "--backend", "flexray"]).expect_err("bad");
+        assert!(err.to_string().contains("unknown backend `flexray`"));
     }
 
     #[test]
@@ -928,6 +973,7 @@ mod tests {
             text.contains("--metrics-json"),
             "help misses `--metrics-json`"
         );
+        assert!(text.contains("--backend"), "help misses `--backend`");
     }
 
     #[test]
@@ -937,10 +983,36 @@ mod tests {
         assert!(out.contains("sim-never-exceeds-analysis"), "{out}");
         assert!(out.contains("jitter-monotonicity"), "{out}");
         assert!(
-            out.contains("all 11 laws held over 2 cases each (seed 2006)"),
+            out.contains("fd-dominates-classic-at-same-payload"),
+            "{out}"
+        );
+        assert!(
+            out.contains("all 12 laws held over 2 cases each (seed 2006)"),
             "{out}"
         );
         assert!(!out.contains("VIOLATED"), "{out}");
+    }
+
+    #[test]
+    fn fuzz_smoke_on_the_fd_backend() {
+        let out = run_line(&[
+            "fuzz",
+            "--cases",
+            "2",
+            "--seed",
+            "2006",
+            "--backend",
+            "can-fd",
+            "--jobs",
+            "1",
+        ])
+        .expect("laws hold on FD");
+        assert!(
+            out.contains("all 12 laws held over 2 cases each (seed 2006)"),
+            "{out}"
+        );
+        let err = run_line(&["fuzz", "--cases", "1", "--backend", "lin"]).expect_err("bad");
+        assert!(err.to_string().contains("unknown backend `lin`"));
     }
 
     #[test]

@@ -919,6 +919,48 @@ mod tests {
     }
 
     #[test]
+    fn backends_never_share_cache_entries_or_warm_state() {
+        let classic = BaseSystem::new(net(6));
+        let fd = BaseSystem::new(net(6).with_backend(carta_can::backend::BackendConfig::can_fd()));
+        assert_ne!(
+            classic.fingerprint(),
+            fd.fingerprint(),
+            "backend must enter the structural fingerprint"
+        );
+        let eval = Evaluator::new(Parallelism::sequential());
+        let scenario = Scenario::worst_case();
+        let a = eval
+            .evaluate(&SystemVariant::new(classic.clone(), scenario.clone()))
+            .expect("valid");
+        let b = eval
+            .evaluate(&SystemVariant::new(fd.clone(), scenario.clone()))
+            .expect("valid");
+        let stats = eval.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 2), "{stats:?}");
+        assert_eq!(stats.compiles, 2, "one compile per backend: {stats:?}");
+        assert_eq!(
+            stats.cold_starts,
+            2 * 6,
+            "warm-start state never crosses backends: {stats:?}"
+        );
+        assert_ne!(a.backend, b.backend);
+        assert!(
+            a.messages
+                .iter()
+                .zip(&b.messages)
+                .all(|(x, y)| x.c_max > y.c_max),
+            "FD frames must be strictly shorter at the default data ratio"
+        );
+        // Re-evaluating either backend hits exactly its own entry.
+        eval.evaluate(&SystemVariant::new(classic, scenario.clone()))
+            .expect("valid");
+        eval.evaluate(&SystemVariant::new(fd, scenario))
+            .expect("valid");
+        assert_eq!(eval.stats().hits, 2);
+        assert_eq!(eval.stats().compiles, 2, "no recompiles on the warm pass");
+    }
+
+    #[test]
     fn invalid_models_cache_their_error() {
         let empty = CanNetwork::new(500_000);
         let base = BaseSystem::new(empty);

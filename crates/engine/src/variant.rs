@@ -65,6 +65,7 @@ fn fingerprint(net: &CanNetwork) -> u64 {
     // network.
     let mut h = DefaultHasher::new();
     net.bit_rate().hash(&mut h);
+    net.backend().hash(&mut h);
     net.nodes().len().hash(&mut h);
     for node in net.nodes() {
         node.name.hash(&mut h);
@@ -408,6 +409,16 @@ mod tests {
         let f = SystemVariant::new(BaseSystem::new(other), Scenario::worst_case())
             .with_jitter_ratio(0.25);
         assert_ne!(a.key(), f.key());
+    }
+
+    #[test]
+    fn backend_separates_fingerprints() {
+        let classic = BaseSystem::new(net());
+        let fd = BaseSystem::new(net().with_backend(carta_can::backend::BackendConfig::can_fd()));
+        assert_ne!(classic.fingerprint(), fd.fingerprint());
+        let a = SystemVariant::new(classic, Scenario::worst_case());
+        let b = SystemVariant::new(fd, Scenario::worst_case());
+        assert_ne!(a.key(), b.key());
     }
 
     #[test]

@@ -39,31 +39,6 @@ pub struct TxBufferNeed {
 /// to make the "message loss" of the paper's Section 4.2 impossible
 /// even past the deadline.
 ///
-/// # Errors
-///
-/// Propagates [`AnalysisError`] from the bus analysis.
-#[deprecated(note = "use `Evaluator` with `Sweeps::required_tx_depths` instead")]
-pub fn required_tx_depths(
-    net: &CanNetwork,
-    scenario: &Scenario,
-) -> Result<Vec<TxBufferNeed>, AnalysisError> {
-    required_tx_depths_impl(&Evaluator::default(), net, scenario)
-}
-
-/// [`required_tx_depths`] on a caller-provided [`Evaluator`].
-///
-/// # Errors
-///
-/// Propagates [`AnalysisError`] from the bus analysis.
-#[deprecated(note = "use `Sweeps::required_tx_depths` as a method on `Evaluator` instead")]
-pub fn required_tx_depths_with(
-    eval: &Evaluator,
-    net: &CanNetwork,
-    scenario: &Scenario,
-) -> Result<Vec<TxBufferNeed>, AnalysisError> {
-    required_tx_depths_impl(eval, net, scenario)
-}
-
 /// Shared body of [`crate::sweeps::Sweeps::required_tx_depths`],
 /// sharing the evaluator's memoized analysis with other queries over
 /// the same network and scenario (the underlying report is computed
@@ -104,35 +79,6 @@ pub(crate) fn required_tx_depths_impl(
 ///
 /// Returns `None` if any consumed stream has no bounded response.
 ///
-/// # Errors
-///
-/// Propagates [`AnalysisError`] from the bus analysis.
-#[deprecated(note = "use `Evaluator` with `Sweeps::required_rx_depth` instead")]
-pub fn required_rx_depth(
-    net: &CanNetwork,
-    scenario: &Scenario,
-    node: usize,
-    drain_period: Time,
-) -> Result<Option<u64>, AnalysisError> {
-    required_rx_depth_impl(&Evaluator::default(), net, scenario, node, drain_period)
-}
-
-/// [`required_rx_depth`] on a caller-provided [`Evaluator`].
-///
-/// # Errors
-///
-/// Propagates [`AnalysisError`] from the bus analysis.
-#[deprecated(note = "use `Sweeps::required_rx_depth` as a method on `Evaluator` instead")]
-pub fn required_rx_depth_with(
-    eval: &Evaluator,
-    net: &CanNetwork,
-    scenario: &Scenario,
-    node: usize,
-    drain_period: Time,
-) -> Result<Option<u64>, AnalysisError> {
-    required_rx_depth_impl(eval, net, scenario, node, drain_period)
-}
-
 /// Shared body of [`crate::sweeps::Sweeps::required_rx_depth`] —
 /// dimension several nodes and drain periods from one memoized
 /// analysis.

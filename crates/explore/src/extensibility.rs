@@ -73,37 +73,6 @@ pub fn with_additional_ecus(
 /// added while every message (old and new) still meets its deadline
 /// under `scenario`.
 ///
-/// # Errors
-///
-/// Propagates [`AnalysisError`] from the analysis or from identifier
-/// exhaustion.
-#[deprecated(note = "use `Evaluator` with `Sweeps::max_additional_ecus` instead")]
-pub fn max_additional_ecus(
-    net: &CanNetwork,
-    scenario: &Scenario,
-    template: &EcuTemplate,
-    cap: usize,
-) -> Result<usize, AnalysisError> {
-    max_additional_ecus_impl(&Evaluator::default(), net, scenario, template, cap)
-}
-
-/// [`max_additional_ecus`] on a caller-provided [`Evaluator`].
-///
-/// # Errors
-///
-/// Propagates [`AnalysisError`] from the analysis or from identifier
-/// exhaustion.
-#[deprecated(note = "use `Sweeps::max_additional_ecus` as a method on `Evaluator` instead")]
-pub fn max_additional_ecus_with(
-    eval: &Evaluator,
-    net: &CanNetwork,
-    scenario: &Scenario,
-    template: &EcuTemplate,
-    cap: usize,
-) -> Result<usize, AnalysisError> {
-    max_additional_ecus_impl(eval, net, scenario, template, cap)
-}
-
 /// Shared body of [`crate::sweeps::Sweeps::max_additional_ecus`]. Each
 /// probe is a structurally different network (extra ECUs), so the win
 /// of a shared evaluator is memoization across repeated searches —

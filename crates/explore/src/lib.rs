@@ -53,27 +53,12 @@ pub use carta_engine::scenario;
 /// Convenient single import for the common types of this crate.
 pub mod prelude {
     pub use crate::buffers::TxBufferNeed;
-    #[allow(deprecated)]
-    pub use crate::buffers::{
-        required_rx_depth, required_rx_depth_with, required_tx_depths, required_tx_depths_with,
-    };
     pub use crate::diff::{diff_reports, AnalysisDiff, DeltaRow, VerdictChange};
-    #[allow(deprecated)]
-    pub use crate::extensibility::{max_additional_ecus, max_additional_ecus_with};
     pub use crate::extensibility::{with_additional_ecus, with_diagnostic_stream, EcuTemplate};
     pub use crate::jitter::{with_assumed_unknown_jitter, with_jitter_ratio, with_scaled_jitter};
-    #[allow(deprecated)]
-    pub use crate::loss::{loss_vs_jitter, loss_vs_jitter_with};
     pub use crate::loss::{paper_jitter_grid, LossCurve, LossPoint};
-    #[allow(deprecated)]
-    pub use crate::network_choice::compare_bit_rates;
     pub use crate::network_choice::{cheapest_sufficient, BitRateOption};
     pub use crate::scenario::{DeadlineOverride, ErrorSpec, Scenario};
-    #[allow(deprecated)]
-    pub use crate::sensitivity::{
-        max_schedulable_jitter, max_schedulable_jitter_with, response_vs_error_rate,
-        response_vs_error_rate_with, response_vs_jitter, response_vs_jitter_with,
-    };
     pub use crate::sensitivity::{SensitivityClass, SensitivitySeries};
     pub use crate::sweeps::Sweeps;
     pub use carta_engine::prelude::{CacheStats, Evaluator, EvaluatorBuilder, Parallelism};

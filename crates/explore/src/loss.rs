@@ -71,39 +71,6 @@ impl LossCurve {
     }
 }
 
-/// Computes the loss curve of `net` under `scenario` for the given
-/// jitter ratios (e.g. `0.0, 0.05, …, 0.60` as in Figure 5).
-///
-/// # Errors
-///
-/// Returns [`AnalysisError`] only when *every* grid point fails (a
-/// broken base model). Per-message overload is not an error
-/// (overloaded messages count as lost), and isolated point failures
-/// are classified as fully-lost points with [`LossPoint::failed`] set.
-#[deprecated(note = "use `Evaluator` with `Sweeps::loss_vs_jitter` instead")]
-pub fn loss_vs_jitter(
-    net: &CanNetwork,
-    scenario: &Scenario,
-    ratios: &[f64],
-) -> Result<LossCurve, AnalysisError> {
-    loss_vs_jitter_impl(&Evaluator::default(), net, scenario, ratios)
-}
-
-/// [`loss_vs_jitter`] on a caller-provided [`Evaluator`].
-///
-/// # Errors
-///
-/// Propagates [`AnalysisError`] from the bus analysis.
-#[deprecated(note = "use `Sweeps::loss_vs_jitter` as a method on `Evaluator` instead")]
-pub fn loss_vs_jitter_with(
-    eval: &Evaluator,
-    net: &CanNetwork,
-    scenario: &Scenario,
-    ratios: &[f64],
-) -> Result<LossCurve, AnalysisError> {
-    loss_vs_jitter_impl(eval, net, scenario, ratios)
-}
-
 /// Shared body of [`crate::sweeps::Sweeps::loss_vs_jitter`]: the whole
 /// ratio grid is one batch submission, so points are analyzed in
 /// parallel and repeated grids (e.g. nominal vs. optimized system on

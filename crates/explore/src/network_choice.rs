@@ -33,19 +33,6 @@ pub struct BitRateOption {
 
 /// Sweeps candidate bit rates for a fixed matrix.
 ///
-/// # Errors
-///
-/// Propagates [`AnalysisError`] from the underlying analyses.
-#[deprecated(note = "use `Evaluator` with `Sweeps::compare_bit_rates` instead")]
-pub fn compare_bit_rates(
-    net: &CanNetwork,
-    scenario: &Scenario,
-    candidates: &[u64],
-    template: &EcuTemplate,
-) -> Result<Vec<BitRateOption>, AnalysisError> {
-    compare_bit_rates_impl(&Evaluator::default(), net, scenario, candidates, template)
-}
-
 /// Shared body of [`crate::sweeps::Sweeps::compare_bit_rates`]. The
 /// whole decision table — schedulability check, jitter-slack search
 /// and ECU-headroom search per candidate speed — runs through one
@@ -89,9 +76,9 @@ pub(crate) fn compare_bit_rates_impl(
     Ok(options)
 }
 
-/// The same matrix on a different bus speed.
+/// The same matrix on a different bus speed (backend carried over).
 fn retimed(net: &CanNetwork, bit_rate: u64) -> CanNetwork {
-    let mut out = CanNetwork::new(bit_rate);
+    let mut out = CanNetwork::new(bit_rate).with_backend(net.backend());
     for n in net.nodes() {
         out.add_node(n.clone());
     }

@@ -99,42 +99,6 @@ fn empty_series(net: &CanNetwork, selected: &[usize], capacity: usize) -> Vec<Se
         .collect()
 }
 
-/// Computes response-vs-jitter series for every message (or the subset
-/// named in `only`).
-///
-/// # Errors
-///
-/// Returns [`AnalysisError`] only when *every* grid point fails (a
-/// broken base model); isolated point failures are classified as
-/// unbounded responses (`None`), which
-/// [`SensitivitySeries::classify`] maps to
-/// [`SensitivityClass::VerySensitive`].
-#[deprecated(note = "use `Evaluator` with `Sweeps::response_vs_jitter` instead")]
-pub fn response_vs_jitter(
-    net: &CanNetwork,
-    scenario: &Scenario,
-    ratios: &[f64],
-    only: Option<&[&str]>,
-) -> Result<Vec<SensitivitySeries>, AnalysisError> {
-    response_vs_jitter_impl(&Evaluator::default(), net, scenario, ratios, only)
-}
-
-/// [`response_vs_jitter`] on a caller-provided [`Evaluator`].
-///
-/// # Errors
-///
-/// Propagates [`AnalysisError`] from the bus analysis.
-#[deprecated(note = "use `Sweeps::response_vs_jitter` as a method on `Evaluator` instead")]
-pub fn response_vs_jitter_with(
-    eval: &Evaluator,
-    net: &CanNetwork,
-    scenario: &Scenario,
-    ratios: &[f64],
-    only: Option<&[&str]>,
-) -> Result<Vec<SensitivitySeries>, AnalysisError> {
-    response_vs_jitter_impl(eval, net, scenario, ratios, only)
-}
-
 /// Shared body of [`crate::sweeps::Sweeps::response_vs_jitter`]: the
 /// whole ratio grid is submitted as one batch (parallel under the
 /// evaluator's [`carta_engine::prelude::Parallelism`]) and repeated
@@ -194,35 +158,6 @@ pub(crate) fn response_vs_jitter_impl(
 /// first) so [`SensitivitySeries::classify`] reads growth correctly;
 /// the series' x-values are the error intervals in milliseconds.
 ///
-/// # Errors
-///
-/// Propagates [`AnalysisError`] from the bus analysis.
-#[deprecated(note = "use `Evaluator` with `Sweeps::response_vs_error_rate` instead")]
-pub fn response_vs_error_rate(
-    net: &CanNetwork,
-    stuffing: carta_can::frame::StuffingMode,
-    intervals: &[Time],
-    only: Option<&[&str]>,
-) -> Result<Vec<SensitivitySeries>, AnalysisError> {
-    response_vs_error_rate_impl(&Evaluator::default(), net, stuffing, intervals, only)
-}
-
-/// [`response_vs_error_rate`] on a caller-provided [`Evaluator`].
-///
-/// # Errors
-///
-/// Propagates [`AnalysisError`] from the bus analysis.
-#[deprecated(note = "use `Sweeps::response_vs_error_rate` as a method on `Evaluator` instead")]
-pub fn response_vs_error_rate_with(
-    eval: &Evaluator,
-    net: &CanNetwork,
-    stuffing: carta_can::frame::StuffingMode,
-    intervals: &[Time],
-    only: Option<&[&str]>,
-) -> Result<Vec<SensitivitySeries>, AnalysisError> {
-    response_vs_error_rate_impl(eval, net, stuffing, intervals, only)
-}
-
 /// Shared body of [`crate::sweeps::Sweeps::response_vs_error_rate`];
 /// the interval grid is one batch submission.
 pub(crate) fn response_vs_error_rate_impl(
@@ -289,35 +224,6 @@ pub(crate) fn response_vs_error_rate_impl(
 /// slack of the whole configuration in the Racu et al. sense. Returns
 /// `None` if even zero jitter fails.
 ///
-/// # Errors
-///
-/// Propagates [`AnalysisError`] from the bus analysis.
-#[deprecated(note = "use `Evaluator` with `Sweeps::max_schedulable_jitter` instead")]
-pub fn max_schedulable_jitter(
-    net: &CanNetwork,
-    scenario: &Scenario,
-    max_ratio: f64,
-    tolerance: f64,
-) -> Result<Option<f64>, AnalysisError> {
-    max_schedulable_jitter_impl(&Evaluator::default(), net, scenario, max_ratio, tolerance)
-}
-
-/// [`max_schedulable_jitter`] on a caller-provided [`Evaluator`].
-///
-/// # Errors
-///
-/// Propagates [`AnalysisError`] from the bus analysis.
-#[deprecated(note = "use `Sweeps::max_schedulable_jitter` as a method on `Evaluator` instead")]
-pub fn max_schedulable_jitter_with(
-    eval: &Evaluator,
-    net: &CanNetwork,
-    scenario: &Scenario,
-    max_ratio: f64,
-    tolerance: f64,
-) -> Result<Option<f64>, AnalysisError> {
-    max_schedulable_jitter_impl(eval, net, scenario, max_ratio, tolerance)
-}
-
 /// Shared body of [`crate::sweeps::Sweeps::max_schedulable_jitter`].
 /// The probes are inherently sequential (each depends on the previous
 /// verdict) but still benefit from the evaluator's cache when the

@@ -34,9 +34,9 @@
 //! assert_eq!(curve.points.len(), 13);
 //! ```
 //!
-//! The free functions that predate this trait (`loss_vs_jitter`,
-//! `response_vs_jitter_with`, …) remain as deprecated shims; new code
-//! should construct one [`Evaluator`] (see
+//! This trait is the only entry point to the sweeps (the free
+//! functions that predated it have been removed); construct one
+//! [`Evaluator`] (see
 //! [`Evaluator::builder`](carta_engine::evaluator::EvaluatorBuilder))
 //! and call these methods on it.
 
@@ -299,7 +299,7 @@ mod tests {
     }
 
     #[test]
-    fn trait_methods_match_free_functions() {
+    fn trait_methods_delegate_to_the_shared_impl() {
         let net = net();
         let scenario = Scenario::worst_case();
         let grid = [0.0, 0.1, 0.2];
@@ -307,9 +307,8 @@ mod tests {
         let via_trait = eval
             .loss_vs_jitter(&net, &scenario, &grid)
             .expect("valid model");
-        #[allow(deprecated)]
-        let via_free = crate::loss::loss_vs_jitter(&net, &scenario, &grid).expect("valid model");
-        assert_eq!(via_trait, via_free);
+        let via_impl = loss_vs_jitter_impl(&eval, &net, &scenario, &grid).expect("valid model");
+        assert_eq!(via_trait, via_impl);
     }
 
     #[test]

@@ -16,8 +16,9 @@
 
 use crate::inject::ErrorInjector;
 use crate::trace::{Trace, TraceEvent, TraceKind};
+use carta_can::backend::NetworkBackend;
 use carta_can::controller::ControllerType;
-use carta_can::frame::{bit_time, ERROR_FRAME_BITS};
+use carta_can::frame::bit_time;
 use carta_can::network::CanNetwork;
 use carta_core::time::Time;
 use rand::rngs::StdRng;
@@ -268,8 +269,13 @@ pub fn simulate_with_arrivals(
     net.validate().expect("network must be valid");
     let mut rng = StdRng::seed_from_u64(config.seed);
     let rate = net.bit_rate();
+    let backend_config = net.backend();
+    let backend: &dyn NetworkBackend = backend_config.backend();
     let tau = bit_time(rate);
-    let error_frame = tau * ERROR_FRAME_BITS;
+    // Data-phase bit time; equals `tau` on classic CAN, where the data
+    // phase is empty anyway.
+    let tau_d = bit_time(backend.data_rate(rate));
+    let error_frame = tau * backend.error_frame_bits();
     let msgs = net.messages();
     for (i, _) in external {
         assert!(*i < msgs.len(), "external arrival index {i} out of range");
@@ -449,14 +455,23 @@ pub fn simulate_with_arrivals(
             break;
         }
         let kind_obj = &msgs[i];
-        let min_bits = kind_obj.id.kind().min_bits(kind_obj.dlc);
-        let max_bits = kind_obj.id.kind().max_bits(kind_obj.dlc);
-        let bits = match config.stuffing {
-            SimStuffing::Worst => max_bits,
-            SimStuffing::None => min_bits,
-            SimStuffing::Random => rng.gen_range(min_bits..=max_bits),
+        let wire = backend.wire_bits(kind_obj.id.kind(), kind_obj.dlc);
+        let (n_bits, d_bits) = match config.stuffing {
+            SimStuffing::Worst => (wire.nominal_max, wire.data_max),
+            SimStuffing::None => (wire.nominal_min, wire.data_min),
+            SimStuffing::Random => {
+                let n = rng.gen_range(wire.nominal_min..=wire.nominal_max);
+                // Classic CAN has an empty (degenerate) data phase;
+                // drawing from it would perturb the RNG stream.
+                let d = if wire.data_max > wire.data_min {
+                    rng.gen_range(wire.data_min..=wire.data_max)
+                } else {
+                    wire.data_min
+                };
+                (n, d)
+            }
         };
-        let c = tau * bits;
+        let c = tau * n_bits + tau_d * d_bits;
         let end = start + c;
 
         // Skip error hits that fell on the idle bus.

@@ -7,6 +7,7 @@
 //! alone — the property the repro files and the proptest seed hints
 //! rely on.
 
+use carta_can::backend::BackendConfig;
 use carta_can::controller::ControllerType;
 use carta_can::frame::Dlc;
 use carta_can::message::{CanId, CanMessage};
@@ -51,6 +52,11 @@ pub struct NetShape {
     pub id_base: u32,
     /// Identifier distance between consecutive messages.
     pub id_stride: u32,
+    /// Bus backend of the generated networks. Payloads are built with
+    /// [`Dlc::fd`] on a CAN FD backend (rounding up to the FD step
+    /// table) and [`Dlc::new`] on classic CAN, so `dlc_range` may span
+    /// the full 1–64 bytes only when the backend allows it.
+    pub backend: BackendConfig,
 }
 
 impl NetShape {
@@ -68,6 +74,7 @@ impl NetShape {
             mixed_controllers: false,
             id_base: 0x100,
             id_stride: 8,
+            backend: BackendConfig::Can,
         }
     }
 
@@ -95,6 +102,7 @@ impl NetShape {
             mixed_controllers: false,
             id_base: 0x100,
             id_stride: 16,
+            backend: BackendConfig::Can,
         }
     }
 
@@ -112,12 +120,34 @@ impl NetShape {
             mixed_controllers: false,
             id_base: 0x100,
             id_stride: 16,
+            backend: BackendConfig::Can,
+        }
+    }
+
+    /// [`NetShape::bus`] on the default CAN FD backend with payloads
+    /// spanning the full 1–64 byte FD step table.
+    pub fn fd() -> Self {
+        NetShape {
+            dlc_range: (1, 64),
+            backend: BackendConfig::can_fd(),
+            ..Self::bus()
         }
     }
 
     /// Pins the message count to exactly `count`.
     pub fn messages(mut self, count: usize) -> Self {
         self.message_range = (count, count);
+        self
+    }
+
+    /// Replaces the bus backend. On a CAN FD backend the payload range
+    /// widens to the full FD step table (1–64 bytes) unless the shape
+    /// already asked for something narrower than the classic 1–8.
+    pub fn with_backend(mut self, backend: BackendConfig) -> Self {
+        if !matches!(backend, BackendConfig::Can) && self.dlc_range == (1, 8) {
+            self.dlc_range = (1, 64);
+        }
+        self.backend = backend;
         self
     }
 }
@@ -128,7 +158,7 @@ impl NetShape {
 pub fn random_network(shape: &NetShape, seed: u64) -> CanNetwork {
     let mut rng = StdRng::seed_from_u64(seed);
     let bit_rate = shape.bit_rates[rng.gen_range(0..shape.bit_rates.len())];
-    let mut net = CanNetwork::new(bit_rate);
+    let mut net = CanNetwork::new(bit_rate).with_backend(shape.backend);
     let nodes = rng.gen_range(shape.node_range.0..=shape.node_range.1);
     for n in 0..nodes {
         let controller = if shape.mixed_controllers {
@@ -152,10 +182,19 @@ pub fn random_network(shape: &NetShape, seed: u64) -> CanNetwork {
         } else {
             period.percent(rng.gen_range(0..shape.max_jitter_pct))
         };
+        // Draw first, then round: the classic path keeps its exact
+        // historical RNG stream, and FD payloads snap up to the step
+        // table without extra draws.
+        let bytes = rng.gen_range(shape.dlc_range.0..=shape.dlc_range.1);
+        let dlc = if matches!(shape.backend, BackendConfig::Can) {
+            Dlc::new(bytes)
+        } else {
+            Dlc::fd(bytes)
+        };
         net.add_message(CanMessage::new(
             format!("m{k}"),
             CanId::standard(shape.id_base + shape.id_stride * k as u32).expect("valid id"),
-            Dlc::new(rng.gen_range(shape.dlc_range.0..=shape.dlc_range.1)),
+            dlc,
             period,
             jitter,
             rng.gen_range(0..nodes),
@@ -369,6 +408,7 @@ mod tests {
             NetShape::mixed(),
             NetShape::two_node(),
             NetShape::tight(),
+            NetShape::fd(),
         ] {
             for seed in 0..24 {
                 let net = random_network(&shape, seed);
@@ -378,6 +418,45 @@ mod tests {
                 assert!(net.messages().len() <= shape.message_range.1);
             }
         }
+    }
+
+    #[test]
+    fn fd_shapes_carry_the_backend_and_step_table_payloads() {
+        use carta_can::backend::FD_PAYLOAD_STEPS;
+        for seed in 0..24 {
+            let net = random_network(&NetShape::fd(), seed);
+            assert_eq!(net.backend(), BackendConfig::can_fd());
+            for m in net.messages() {
+                assert!(
+                    FD_PAYLOAD_STEPS.contains(&m.dlc.bytes()),
+                    "payload {} is not an FD step",
+                    m.dlc.bytes()
+                );
+            }
+        }
+        // The classic stream is untouched by the backend plumbing: a
+        // bus-shaped FD net clamped back to 8-byte payloads draws the
+        // same structure as the classic bus shape.
+        let fd_small = NetShape {
+            dlc_range: (1, 8),
+            backend: BackendConfig::can_fd(),
+            ..NetShape::bus()
+        };
+        for seed in 0..8 {
+            let fd = random_network(&fd_small, seed);
+            let classic = random_network(&NetShape::bus(), seed);
+            assert_eq!(fd.clone().with_backend(BackendConfig::Can), classic);
+        }
+    }
+
+    #[test]
+    fn with_backend_widens_only_the_default_payload_range() {
+        let fd = NetShape::bus().with_backend(BackendConfig::can_fd());
+        assert_eq!(fd.dlc_range, (1, 64));
+        let tight = NetShape::tight().with_backend(BackendConfig::can_fd());
+        assert_eq!(tight.dlc_range, (4, 8));
+        let classic = NetShape::bus().with_backend(BackendConfig::Can);
+        assert_eq!(classic.dlc_range, (1, 8));
     }
 
     #[test]

@@ -8,9 +8,10 @@
 
 use crate::gen::random_variant;
 use crate::oracle::{DiffOracle, Violation, ORACLE_LAW};
+use carta_can::backend::BackendConfig;
 use carta_can::compiled::{CompiledBus, RtaWorkspace};
 use carta_can::error_model::ErrorModel;
-use carta_can::frame::StuffingMode;
+use carta_can::frame::{Dlc, StuffingMode};
 use carta_can::message::CanId;
 use carta_can::network::CanNetwork;
 use carta_can::rta::{analyze_bus, analyze_bus_incremental, hp_index_sets, AnalysisConfig};
@@ -73,6 +74,7 @@ pub fn all_laws() -> Vec<Box<dyn Law>> {
         Box::new(CompiledEqualsNaive),
         Box::new(OverlayEqualsRebuilt),
         Box::new(LoadSchedulability),
+        Box::new(FdDominatesClassic),
         Box::new(SimNeverExceedsAnalysis::default()),
         Box::new(crate::chaos::DegradedIsSound::default()),
         Box::new(crate::chaos::FaultIsolation),
@@ -473,6 +475,50 @@ impl Law for LoadSchedulability {
     }
 }
 
+/// At the same payloads, a CAN FD bus (data phase at twice the nominal
+/// rate or faster) must not report a larger WCRT than classic CAN for
+/// any message: every FD frame is strictly shorter on the wire (the FD
+/// nominal phase is shorter than the classic header/trailer, and the
+/// data+CRC phase runs at the higher rate), so every demand term of the
+/// busy-window recurrence shrinks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FdDominatesClassic;
+
+impl Law for FdDominatesClassic {
+    fn name(&self) -> &'static str {
+        "fd-dominates-classic-at-same-payload"
+    }
+
+    fn check(&self, net: &CanNetwork, case: &LawCase, _eval: &Evaluator) -> Result<(), Violation> {
+        let model = case.errors.model();
+        // Same payloads on both buses: clamp to the classic 8-byte cap
+        // (FD-generated networks may carry larger frames).
+        let mut classic = net.clone();
+        classic.set_backend(BackendConfig::Can);
+        for m in classic.messages_mut() {
+            if m.dlc.bytes() > 8 {
+                m.dlc = Dlc::new(8);
+            }
+        }
+        let mut fd = classic.clone();
+        fd.set_backend(BackendConfig::can_fd());
+        let slow = analyzed(&classic, model.as_ref());
+        let fast = analyzed(&fd, model.as_ref());
+        if pointwise_le(&wcrts(&fast), &wcrts(&slow)) {
+            Ok(())
+        } else {
+            Err(Violation::new(
+                self.name(),
+                format!(
+                    "CAN FD exceeded classic CAN at the same payload under {} (seed {})",
+                    BackendConfig::can_fd(),
+                    case.seed
+                ),
+            ))
+        }
+    }
+}
+
 /// The differential oracle as a law: simulated response times never
 /// exceed the analytic bounds (and the engine's permutation path agrees
 /// with the plain one).
@@ -504,9 +550,9 @@ fn same_report_row(a: &MessageReport, b: &MessageReport) -> bool {
         && a.instances == b.instances
 }
 
-/// A copy of `net` at a different bit rate.
+/// A copy of `net` at a different bit rate (same backend).
 fn at_bit_rate(net: &CanNetwork, bit_rate: u64) -> CanNetwork {
-    let mut out = CanNetwork::new(bit_rate);
+    let mut out = CanNetwork::new(bit_rate).with_backend(net.backend());
     for node in net.nodes() {
         out.add_node(node.clone());
     }
@@ -524,8 +570,9 @@ mod tests {
     #[test]
     fn catalogue_has_stable_unique_names() {
         let names = law_names();
-        assert_eq!(names.len(), 11);
+        assert_eq!(names.len(), 12);
         assert!(law_by_name("compiled-equals-naive").is_some());
+        assert!(law_by_name("fd-dominates-classic-at-same-payload").is_some());
         assert!(law_by_name(crate::chaos::DEGRADED_LAW).is_some());
         assert!(law_by_name(crate::chaos::ISOLATION_LAW).is_some());
         let mut sorted = names.clone();

@@ -307,15 +307,21 @@ where
             }
         }
 
-        // 3. Shrink payloads (halving, floor one byte).
+        // 3. Shrink payloads (halving, floor one byte). Halved FD
+        //    payloads snap back up to the step table, so guard against
+        //    a "shrink" that rounds to the same length.
         for i in 0..best_net.messages().len() {
             loop {
                 let bytes = best_net.messages()[i].dlc.bytes();
                 if bytes <= 1 {
                     break;
                 }
+                let halved = Dlc::fd(bytes / 2);
+                if halved.bytes() >= bytes {
+                    break;
+                }
                 let mut cand = best_net.clone();
-                cand.messages_mut()[i].dlc = Dlc::new(bytes / 2);
+                cand.messages_mut()[i].dlc = halved;
                 match violates(&cand, best_errors) {
                     Some(v) => {
                         best_net = cand;
@@ -371,9 +377,9 @@ where
     }
 }
 
-/// A copy of `net` without message `i` (nodes untouched).
+/// A copy of `net` without message `i` (nodes and backend untouched).
 fn without_message(net: &CanNetwork, i: usize) -> CanNetwork {
-    let mut out = CanNetwork::new(net.bit_rate());
+    let mut out = CanNetwork::new(net.bit_rate()).with_backend(net.backend());
     for node in net.nodes() {
         out.add_node(node.clone());
     }
@@ -411,6 +417,48 @@ mod tests {
                 3,
             )
             .expect("sound analysis passes with errors");
+    }
+
+    #[test]
+    fn oracle_accepts_sound_fd_networks() {
+        let eval = Evaluator::default();
+        let oracle = DiffOracle::default();
+        for seed in 0..6 {
+            let net = random_network(&NetShape::fd(), seed);
+            oracle
+                .check(&eval, &net, ErrorSpec::None, seed)
+                .expect("sound FD analysis passes");
+        }
+        let net = random_network(&NetShape::fd(), 3);
+        oracle
+            .check(
+                &eval,
+                &net,
+                ErrorSpec::Sporadic {
+                    interval: Time::from_ms(10),
+                },
+                3,
+            )
+            .expect("sound FD analysis passes with errors");
+    }
+
+    #[test]
+    fn shrinking_fd_payloads_stays_on_the_step_table() {
+        use carta_can::backend::{BackendConfig, FD_PAYLOAD_STEPS};
+        // Synthetic predicate that always "violates": the shrinker
+        // drives payloads to the floor without ever leaving the table.
+        let net = random_network(&NetShape::fd().messages(3), 11);
+        let violates = |_n: &CanNetwork, _e: ErrorSpec| Some(Violation::new("synthetic", "always"));
+        let shrunk = shrink_case(
+            &net,
+            ErrorSpec::None,
+            Violation::new("synthetic", "seed case"),
+            violates,
+        );
+        assert_eq!(shrunk.network.backend(), BackendConfig::can_fd());
+        for m in shrunk.network.messages() {
+            assert!(FD_PAYLOAD_STEPS.contains(&m.dlc.bytes()));
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crate::laws::{law_by_name, LawCase};
 use crate::oracle::{DiffOracle, Violation};
+use carta_can::backend::{BackendConfig, CanFd};
 use carta_can::controller::ControllerType;
 use carta_can::frame::{Dlc, FrameKind};
 use carta_can::message::{CanId, CanMessage, DeadlinePolicy};
@@ -139,11 +140,19 @@ impl Repro {
                 .build()
             })
             .collect();
-        let network = ObjectBuilder::new()
-            .uint("bit_rate", self.network.bit_rate())
-            .raw("nodes", &format!("[{}]", nodes.join(",")))
-            .raw("messages", &format!("[{}]", messages.join(",")))
-            .build();
+        // The backend is only written for non-classic buses, so every
+        // pre-FD `carta.repro.v1` document stays byte-identical and
+        // decodes as classic CAN.
+        let network = match self.network.backend() {
+            BackendConfig::Can => ObjectBuilder::new().uint("bit_rate", self.network.bit_rate()),
+            BackendConfig::CanFd(fd) => ObjectBuilder::new()
+                .uint("bit_rate", self.network.bit_rate())
+                .string("backend", "can-fd")
+                .uint("data_ratio", u64::from(fd.data_ratio)),
+        }
+        .raw("nodes", &format!("[{}]", nodes.join(",")))
+        .raw("messages", &format!("[{}]", messages.join(",")))
+        .build();
         let errors = match self.errors {
             ErrorSpec::None => ObjectBuilder::new().string("kind", "none").build(),
             ErrorSpec::Sporadic { interval } => ObjectBuilder::new()
@@ -250,7 +259,8 @@ fn decode_errors(v: &Value) -> Result<ErrorSpec, ReproError> {
 }
 
 fn decode_network(v: &Value) -> Result<CanNetwork, ReproError> {
-    let mut net = CanNetwork::new(req_u64(v, "bit_rate")?);
+    let backend = decode_backend(v)?;
+    let mut net = CanNetwork::new(req_u64(v, "bit_rate")?).with_backend(backend);
     for node in req_arr(v, "nodes")? {
         let controller = match req_str(node, "controller")? {
             "full" => ControllerType::FullCan,
@@ -298,19 +308,58 @@ fn decode_network(v: &Value) -> Result<CanNetwork, ReproError> {
             )));
         }
         let dlc = req_u64(m, "dlc")?;
-        if !(1..=8).contains(&dlc) {
-            return Err(ReproError::new(format!("dlc {dlc} out of range 1..=8")));
+        let max_payload = backend.backend().max_payload_bytes();
+        if !(1..=u64::from(max_payload)).contains(&dlc) {
+            return Err(ReproError::new(format!(
+                "dlc {dlc} out of range 1..={max_payload} for backend `{backend}`"
+            )));
         }
+        let dlc = match backend {
+            BackendConfig::Can => Dlc::new(dlc as u8),
+            BackendConfig::CanFd(_) => {
+                let rounded = Dlc::fd(dlc as u8);
+                if u64::from(rounded.bytes()) != dlc {
+                    return Err(ReproError::new(format!(
+                        "dlc {dlc} is not on the FD payload step table"
+                    )));
+                }
+                rounded
+            }
+        };
         net.add_message(CanMessage {
             name: req_str(m, "name")?.to_string(),
             id,
-            dlc: Dlc::new(dlc as u8),
+            dlc,
             activation,
             deadline,
             sender,
         });
     }
     Ok(net)
+}
+
+/// Reads the optional `backend` field of a network object; absent
+/// means classic CAN (the schema predates backends).
+fn decode_backend(v: &Value) -> Result<BackendConfig, ReproError> {
+    let Some(name) = v.get("backend") else {
+        return Ok(BackendConfig::Can);
+    };
+    match name.as_str() {
+        Some("can") => Ok(BackendConfig::Can),
+        Some("can-fd") => {
+            let ratio = match v.get("data_ratio") {
+                None => CanFd::DEFAULT_DATA_RATIO,
+                Some(_) => u32::try_from(req_u64(v, "data_ratio")?)
+                    .map_err(|_| ReproError::new("`data_ratio` out of range"))?,
+            };
+            if ratio == 0 {
+                return Err(ReproError::new("`data_ratio` must be positive"));
+            }
+            Ok(BackendConfig::CanFd(CanFd::new(ratio)))
+        }
+        Some(other) => Err(ReproError::new(format!("unknown backend `{other}`"))),
+        None => Err(ReproError::new("`backend` is not a string")),
+    }
 }
 
 #[cfg(test)]
@@ -340,6 +389,37 @@ mod tests {
             let decoded = Repro::from_json(&repro.to_json()).expect("roundtrip");
             assert_eq!(decoded, repro);
         }
+    }
+
+    #[test]
+    fn fd_networks_roundtrip_with_their_backend() {
+        for seed in [0u64, 7, 19] {
+            let mut repro = sample(seed);
+            repro.network = random_network(&NetShape::fd(), seed);
+            let json = repro.to_json();
+            assert!(json.contains("\"backend\":\"can-fd\""));
+            assert!(json.contains("\"data_ratio\":4"));
+            let decoded = Repro::from_json(&json).expect("FD roundtrip");
+            assert_eq!(decoded, repro);
+            assert_eq!(decoded.network.backend(), BackendConfig::can_fd());
+        }
+        // Classic documents never mention the backend, so files written
+        // before the field existed stay decodable (and ours stay
+        // readable by older tools).
+        assert!(!sample(3).to_json().contains("backend"));
+    }
+
+    #[test]
+    fn fd_payloads_off_the_step_table_are_rejected() {
+        let mut repro = sample(2);
+        repro.network = random_network(&NetShape::fd().messages(1), 4);
+        repro.network.messages_mut()[0].dlc = Dlc::fd(16);
+        let doc = repro.to_json().replace("\"dlc\":16", "\"dlc\":13");
+        let err = Repro::from_json(&doc).expect_err("13 is not an FD step");
+        assert!(err.to_string().contains("step table"));
+        let doc = repro.to_json().replace("\"dlc\":16", "\"dlc\":65");
+        let err = Repro::from_json(&doc).expect_err("65 exceeds FD payloads");
+        assert!(err.to_string().contains("out of range"));
     }
 
     #[test]

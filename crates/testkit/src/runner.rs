@@ -11,6 +11,7 @@ use crate::gen::{random_network, NetShape};
 use crate::laws::{all_laws, law_by_name, law_names, Law, LawCase};
 use crate::oracle::shrink_case;
 use crate::repro::Repro;
+use carta_can::backend::BackendConfig;
 use carta_core::time::Time;
 use carta_engine::prelude::{ErrorSpec, Evaluator, Parallelism};
 use carta_obs::metrics::{self, Counter};
@@ -31,6 +32,10 @@ pub struct FuzzConfig {
     pub laws: Option<Vec<String>>,
     /// Parallelism of the engine evaluator under test.
     pub parallelism: Parallelism,
+    /// Bus backend of the generated corpus. A CAN FD backend widens
+    /// payloads to the full FD step table (see
+    /// [`NetShape::with_backend`]).
+    pub backend: BackendConfig,
 }
 
 impl Default for FuzzConfig {
@@ -40,6 +45,7 @@ impl Default for FuzzConfig {
             cases: 64,
             laws: None,
             parallelism: Parallelism::from_env(),
+            backend: BackendConfig::Can,
         }
     }
 }
@@ -174,7 +180,8 @@ pub fn run_fuzz(config: &FuzzConfig) -> Result<FuzzReport, UnknownLawError> {
                 NetShape::bus()
             } else {
                 NetShape::mixed()
-            };
+            }
+            .with_backend(config.backend);
             let errors = case_errors(case);
             let net = random_network(&shape, seed);
             cases_run += 1;
@@ -223,6 +230,7 @@ mod tests {
             cases: 2,
             laws: None,
             parallelism: Parallelism::sequential(),
+            backend: BackendConfig::Can,
         })
         .expect("catalogue names are valid");
         assert!(report.passed(), "violations: {:?}", report.outcomes);
@@ -232,12 +240,27 @@ mod tests {
     }
 
     #[test]
+    fn small_fd_run_passes_every_law() {
+        let report = run_fuzz(&FuzzConfig {
+            seed: 2006,
+            cases: 2,
+            laws: None,
+            parallelism: Parallelism::sequential(),
+            backend: BackendConfig::can_fd(),
+        })
+        .expect("catalogue names are valid");
+        assert!(report.passed(), "violations: {:?}", report.outcomes);
+        assert_eq!(report.outcomes.len(), all_laws().len());
+    }
+
+    #[test]
     fn law_filter_is_honored() {
         let report = run_fuzz(&FuzzConfig {
             seed: 7,
             cases: 1,
             laws: Some(vec!["load-schedulability".into()]),
             parallelism: Parallelism::sequential(),
+            backend: BackendConfig::Can,
         })
         .expect("known law");
         assert_eq!(report.outcomes.len(), 1);

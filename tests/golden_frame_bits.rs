@@ -1,0 +1,192 @@
+//! Golden frame-length values, pinned against the literature.
+//!
+//! Classic CAN bit counts follow Tindell/Burns' worst-case stuffing
+//! formulas (CAN 2.0A standard, 2.0B extended, interframe space
+//! included); the CAN FD table follows ISO 11898-1:2015 (DLC payload
+//! steps, dual-rate phases, fixed-stuffed CRC-17/21). These are the
+//! numbers every layer above `carta-can` ultimately multiplies by the
+//! bit time, so they are pinned here as plain integers: any backend
+//! refactor that shifts one of them must show up as a diff in this
+//! file, not as a silent change in analysis results.
+
+use carta_can::backend::{fd_wire_payload, BackendConfig, FD_PAYLOAD_STEPS};
+use carta_can::frame::{Dlc, FrameKind, StuffingMode};
+use carta_core::time::Time;
+
+/// CAN 2.0A (standard, 11-bit id): worst case `55 + 10·s` bits, best
+/// case `47 + 8·s`; CAN 2.0B (extended, 29-bit id): `80 + 10·s` and
+/// `67 + 8·s`.
+#[test]
+fn classic_bit_counts_match_the_worst_case_stuffing_formulas() {
+    let classic = BackendConfig::Can;
+    for s in 0..=8u8 {
+        let dlc = Dlc::new(s.max(1)); // payloads start at one byte
+        let s = u64::from(dlc.bytes());
+        assert_eq!(FrameKind::Standard.max_bits(dlc), 55 + 10 * s);
+        assert_eq!(FrameKind::Standard.min_bits(dlc), 47 + 8 * s);
+        assert_eq!(FrameKind::Extended.max_bits(dlc), 80 + 10 * s);
+        assert_eq!(FrameKind::Extended.min_bits(dlc), 67 + 8 * s);
+        // The backend reports the same counts as a pure nominal phase.
+        for kind in [FrameKind::Standard, FrameKind::Extended] {
+            let bits = classic.backend().wire_bits(kind, dlc);
+            assert_eq!(bits.nominal_max, kind.max_bits(dlc));
+            assert_eq!(bits.nominal_min, kind.min_bits(dlc));
+            assert_eq!((bits.data_min, bits.data_max), (0, 0));
+        }
+    }
+}
+
+/// The headline classic pins at 500 kbit/s: an 8-byte standard frame
+/// is 135 bits = 270 µs worst case, 111 bits = 222 µs unstuffed; the
+/// extended twin is 160 bits = 320 µs and 131 bits = 262 µs.
+#[test]
+fn classic_transmission_times_at_500k_are_pinned() {
+    let classic = BackendConfig::Can;
+    let dlc = Dlc::new(8);
+    let rate = 500_000;
+    let cases = [
+        (FrameKind::Standard, 270_000, 222_000),
+        (FrameKind::Extended, 320_000, 262_000),
+    ];
+    for (kind, worst_ns, best_ns) in cases {
+        assert_eq!(
+            classic.c_max(kind, dlc, StuffingMode::WorstCase, rate),
+            Time::from_ns(worst_ns)
+        );
+        assert_eq!(classic.c_min(kind, dlc, rate), Time::from_ns(best_ns));
+    }
+    // One-byte standard frame: 65 bits = 130 µs worst case.
+    assert_eq!(
+        classic.c_max(
+            FrameKind::Standard,
+            Dlc::new(1),
+            StuffingMode::WorstCase,
+            rate
+        ),
+        Time::from_ns(130_000)
+    );
+}
+
+/// The ISO 11898-1 DLC step table: requested payloads round *up* to
+/// the next wire size.
+#[test]
+fn fd_dlc_step_table_is_pinned() {
+    assert_eq!(
+        FD_PAYLOAD_STEPS,
+        [0, 1, 2, 3, 4, 5, 6, 7, 8, 12, 16, 20, 24, 32, 48, 64]
+    );
+    for bytes in 0..=64u8 {
+        let expected = match bytes {
+            0..=8 => bytes,
+            9..=12 => 12,
+            13..=16 => 16,
+            17..=20 => 20,
+            21..=24 => 24,
+            25..=32 => 32,
+            33..=48 => 48,
+            _ => 64,
+        };
+        assert_eq!(fd_wire_payload(bytes), expected, "payload {bytes}");
+        if bytes >= 1 {
+            assert_eq!(Dlc::fd(bytes).bytes(), expected);
+        }
+    }
+}
+
+/// FD per-phase bit counts for every wire payload size `s`: the
+/// nominal phase is payload-independent (30/34 bits standard, 49/57
+/// extended); the data phase is `5 + 8·s` payload bits plus dynamic
+/// stuffing plus the fixed-stuffed CRC field (27 bits through 16-byte
+/// payloads — CRC-17 — and 32 bits above — CRC-21).
+#[test]
+fn fd_wire_bit_counts_are_pinned() {
+    let fd = BackendConfig::can_fd();
+    //            s  data_min data_max
+    let golden = [
+        (0u8, 32u64, 33u64),
+        (1, 40, 43),
+        (2, 48, 53),
+        (3, 56, 63),
+        (4, 64, 73),
+        (5, 72, 83),
+        (6, 80, 93),
+        (7, 88, 103),
+        (8, 96, 113),
+        (12, 128, 153),
+        (16, 160, 193),
+        (20, 197, 238),
+        (24, 229, 278),
+        (32, 293, 358),
+        (48, 421, 518),
+        (64, 549, 678),
+    ];
+    for (s, data_min, data_max) in golden {
+        if s == 0 {
+            continue; // zero-byte frames are not constructible via Dlc
+        }
+        let dlc = Dlc::fd(s);
+        let std = fd.backend().wire_bits(FrameKind::Standard, dlc);
+        let ext = fd.backend().wire_bits(FrameKind::Extended, dlc);
+        assert_eq!((std.nominal_min, std.nominal_max), (30, 34), "s={s}");
+        assert_eq!((ext.nominal_min, ext.nominal_max), (49, 57), "s={s}");
+        for bits in [std, ext] {
+            assert_eq!(bits.data_min, data_min, "s={s}");
+            assert_eq!(bits.data_max, data_max, "s={s}");
+        }
+    }
+}
+
+/// FD transmission-time pins on a 500 kbit/s bus with the default 4×
+/// data phase (2 Mbit/s): the nominal phase pays classic-speed bits,
+/// the data phase runs four times faster.
+#[test]
+fn fd_transmission_times_at_500k_x4_are_pinned() {
+    let fd = BackendConfig::can_fd();
+    let rate = 500_000;
+    // 8-byte standard frame: 34 bits @500k (68 µs) + 113 bits @2M
+    // (56.5 µs) = 124.5 µs worst; 30 + 96 bits = 60 + 48 µs best.
+    assert_eq!(
+        fd.c_max(
+            FrameKind::Standard,
+            Dlc::new(8),
+            StuffingMode::WorstCase,
+            rate
+        ),
+        Time::from_ns(124_500)
+    );
+    assert_eq!(
+        fd.c_min(FrameKind::Standard, Dlc::new(8), rate),
+        Time::from_ns(108_000)
+    );
+    // 64-byte frames: 678 data bits @2M = 339 µs on top of the
+    // nominal phase.
+    assert_eq!(
+        fd.c_max(
+            FrameKind::Standard,
+            Dlc::fd(64),
+            StuffingMode::WorstCase,
+            rate
+        ),
+        Time::from_ns(407_000)
+    );
+    assert_eq!(
+        fd.c_max(
+            FrameKind::Extended,
+            Dlc::fd(64),
+            StuffingMode::WorstCase,
+            rate
+        ),
+        Time::from_ns(453_000)
+    );
+    // Same payload, same bus: FD dominates classic at ratio >= 2.
+    for bytes in 1..=8u8 {
+        for kind in [FrameKind::Standard, FrameKind::Extended] {
+            let dlc = Dlc::new(bytes);
+            assert!(
+                fd.c_max(kind, dlc, StuffingMode::WorstCase, rate)
+                    <= BackendConfig::Can.c_max(kind, dlc, StuffingMode::WorstCase, rate),
+                "{kind:?} {bytes}B"
+            );
+        }
+    }
+}
