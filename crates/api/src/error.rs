@@ -1,0 +1,251 @@
+//! The unified error surface of `carta.api.v1`.
+//!
+//! Every failure that can cross the API boundary carries a stable
+//! string code (the `error.code` field on the wire) plus a
+//! human-readable message. The same table drives the CLI's process
+//! exit codes and the server's HTTP status codes, so the three
+//! frontends can never disagree about what a failure *is*.
+
+use carta_core::analysis::{AnalysisError, DivergenceCause};
+use std::error::Error;
+use std::fmt;
+
+/// Stable machine-readable failure classes.
+///
+/// Codes are part of the `carta.api.v1` contract: new ones may be
+/// added, existing strings never change meaning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// The request itself is malformed (unknown command, bad flag
+    /// value, missing argument).
+    RequestInvalid,
+    /// The uploaded model (K-Matrix CSV or network) does not parse or
+    /// is structurally invalid.
+    ModelInvalid,
+    /// A file or socket operation failed (CLI-side paths, uploads).
+    Io,
+    /// The analysis proved an entity has no bounded response time.
+    Unbounded,
+    /// The global fixpoint did not converge within its budget.
+    NotConverged,
+    /// The analysis panicked; the panic was contained by the engine's
+    /// fault isolation and the process kept running.
+    AnalysisPanicked,
+    /// A fuzz law was violated (a counterexample was found).
+    FuzzViolation,
+    /// The referenced upload session does not exist.
+    SessionNotFound,
+    /// A per-tenant resource quota was exceeded.
+    QuotaExceeded,
+    /// Admission control shed the request; retry later.
+    AdmissionShed,
+    /// Any other internal failure.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The stable wire string for this code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::RequestInvalid => "request.invalid",
+            ErrorCode::ModelInvalid => "model.invalid",
+            ErrorCode::Io => "io",
+            ErrorCode::Unbounded => "analysis.unbounded",
+            ErrorCode::NotConverged => "analysis.not_converged",
+            ErrorCode::AnalysisPanicked => "analysis.panicked",
+            ErrorCode::FuzzViolation => "fuzz.violation",
+            ErrorCode::SessionNotFound => "session.not_found",
+            ErrorCode::QuotaExceeded => "quota.exceeded",
+            ErrorCode::AdmissionShed => "admission.shed",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parses a wire string back into a code.
+    pub fn parse(code: &str) -> Option<Self> {
+        Some(match code {
+            "request.invalid" => ErrorCode::RequestInvalid,
+            "model.invalid" => ErrorCode::ModelInvalid,
+            "io" => ErrorCode::Io,
+            "analysis.unbounded" => ErrorCode::Unbounded,
+            "analysis.not_converged" => ErrorCode::NotConverged,
+            "analysis.panicked" => ErrorCode::AnalysisPanicked,
+            "fuzz.violation" => ErrorCode::FuzzViolation,
+            "session.not_found" => ErrorCode::SessionNotFound,
+            "quota.exceeded" => ErrorCode::QuotaExceeded,
+            "admission.shed" => ErrorCode::AdmissionShed,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+
+    /// Process exit code for CLI frontends (sysexits-flavored).
+    pub fn exit_code(self) -> u8 {
+        match self {
+            ErrorCode::RequestInvalid => 2,
+            ErrorCode::Unbounded | ErrorCode::NotConverged => 3,
+            ErrorCode::FuzzViolation => 4,
+            ErrorCode::ModelInvalid => 65,
+            ErrorCode::Io => 66,
+            ErrorCode::SessionNotFound | ErrorCode::QuotaExceeded => 69,
+            ErrorCode::AnalysisPanicked | ErrorCode::Internal => 70,
+            ErrorCode::AdmissionShed => 75,
+        }
+    }
+
+    /// HTTP status for server frontends. Analysis failures are `200`
+    /// at the transport level is *not* an option — they are reported
+    /// as `422` so clients can dispatch without parsing the body;
+    /// shedding is `429`, never a `500`.
+    pub fn http_status(self) -> u16 {
+        match self {
+            ErrorCode::RequestInvalid => 400,
+            ErrorCode::SessionNotFound => 404,
+            ErrorCode::ModelInvalid => 422,
+            ErrorCode::Unbounded | ErrorCode::NotConverged => 422,
+            ErrorCode::FuzzViolation => 422,
+            ErrorCode::QuotaExceeded | ErrorCode::AdmissionShed => 429,
+            ErrorCode::Io | ErrorCode::AnalysisPanicked | ErrorCode::Internal => 500,
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// An API failure: a stable code plus the message shown to humans.
+///
+/// `Display` renders the message *only* — the CLI's `error: {e}`
+/// output and every existing message-text assertion stay intact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// Stable failure class.
+    pub code: ErrorCode,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ApiError {
+    /// A new error with an explicit code.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        ApiError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// A malformed-request error.
+    pub fn request(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::RequestInvalid, message)
+    }
+
+    /// An invalid-model error.
+    pub fn model(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::ModelInvalid, message)
+    }
+
+    /// An I/O error.
+    pub fn io(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Io, message)
+    }
+
+    /// An internal error.
+    pub fn internal(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Internal, message)
+    }
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for ApiError {}
+
+impl From<AnalysisError> for ApiError {
+    fn from(e: AnalysisError) -> Self {
+        let code = match &e {
+            AnalysisError::Unbounded { .. } => ErrorCode::Unbounded,
+            AnalysisError::NotConverged { .. } => ErrorCode::NotConverged,
+            AnalysisError::InvalidModel(_) => ErrorCode::ModelInvalid,
+            AnalysisError::Panicked { .. } => ErrorCode::AnalysisPanicked,
+        };
+        ApiError::new(code, e.to_string())
+    }
+}
+
+/// The stable wire code for a per-message divergence cause, used in
+/// degraded-report diagnostics (`diagnostic.cause.code`).
+pub fn divergence_code(cause: &DivergenceCause) -> &'static str {
+    match cause {
+        DivergenceCause::HorizonExceeded { .. } => "diverged.horizon",
+        DivergenceCause::InstanceLimit { .. } => "diverged.instance_limit",
+        DivergenceCause::IterationBudget { .. } => "diverged.iteration_budget",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carta_core::time::Time;
+
+    #[test]
+    fn codes_roundtrip_and_stay_stable() {
+        for code in [
+            ErrorCode::RequestInvalid,
+            ErrorCode::ModelInvalid,
+            ErrorCode::Io,
+            ErrorCode::Unbounded,
+            ErrorCode::NotConverged,
+            ErrorCode::AnalysisPanicked,
+            ErrorCode::FuzzViolation,
+            ErrorCode::SessionNotFound,
+            ErrorCode::QuotaExceeded,
+            ErrorCode::AdmissionShed,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
+        }
+        assert_eq!(ErrorCode::parse("no.such.code"), None);
+        assert_eq!(ErrorCode::RequestInvalid.exit_code(), 2);
+        assert_eq!(ErrorCode::AdmissionShed.http_status(), 429);
+        assert_eq!(ErrorCode::SessionNotFound.http_status(), 404);
+    }
+
+    #[test]
+    fn display_is_the_bare_message() {
+        let e = ApiError::request("unknown scenario `chaotic`");
+        assert_eq!(e.to_string(), "unknown scenario `chaotic`");
+    }
+
+    #[test]
+    fn analysis_errors_map_by_variant() {
+        let e: ApiError = AnalysisError::InvalidModel("x".into()).into();
+        assert_eq!(e.code, ErrorCode::ModelInvalid);
+        assert_eq!(e.to_string(), "invalid system model: x");
+        let e: ApiError = AnalysisError::Panicked { detail: "p".into() }.into();
+        assert_eq!(e.code, ErrorCode::AnalysisPanicked);
+    }
+
+    #[test]
+    fn divergence_codes_cover_all_causes() {
+        assert_eq!(
+            divergence_code(&DivergenceCause::HorizonExceeded {
+                horizon: Time::from_s(10)
+            }),
+            "diverged.horizon"
+        );
+        assert_eq!(
+            divergence_code(&DivergenceCause::InstanceLimit { limit: 1 }),
+            "diverged.instance_limit"
+        );
+        assert_eq!(
+            divergence_code(&DivergenceCause::IterationBudget { budget: 1 }),
+            "diverged.iteration_budget"
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! # carta-api — transport-agnostic analysis API (`carta.api.v1`)
+//!
+//! Every way of asking the carta engine a question — each CLI
+//! subcommand, each server call — is a [`request::Request`] value;
+//! every answer is a [`response::Response`] carrying the engine's own
+//! result types. [`handler::Handler`] is the single interpreter
+//! between the two, and [`wire`] gives both a stable, versioned JSON
+//! spelling.
+//!
+//! Frontends stay thin: the CLI parses argv into a `Request` and
+//! renders the `Response` as text; the server decodes the request
+//! envelope from a POST body and encodes the response envelope back.
+//! Neither touches the engine directly, so behavior (scenario
+//! presets, evaluation caching, degraded-mode reporting) cannot drift
+//! between surfaces.
+//!
+//! Errors carry stable string codes ([`error::ErrorCode`]) with fixed
+//! mappings to CLI exit codes and HTTP statuses, so scripts can match
+//! on `analysis.unbounded` instead of prose.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod error;
+pub mod handler;
+pub mod request;
+pub mod response;
+pub mod wire;
+
+/// Convenient single-import surface.
+pub mod prelude {
+    pub use crate::error::{divergence_code, ApiError, ErrorCode};
+    pub use crate::handler::Handler;
+    pub use crate::request::{
+        parse_backend, Model, ModelOptions, ModelSource, Request, ScenarioSpec,
+    };
+    pub use crate::response::{
+        AnalyzeReport, AudsleyRow, FuzzReplay, FuzzSummary, LoadSummary, OptimizeSummary, Response,
+        SimulateSummary,
+    };
+}

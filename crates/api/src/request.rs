@@ -1,0 +1,348 @@
+//! The request side of `carta.api.v1`: plain-data descriptions of
+//! every analysis the engine can run, shared by the CLI and the
+//! server frontends.
+
+use crate::error::ApiError;
+use carta_can::backend::BackendConfig;
+use carta_core::time::Time;
+use carta_engine::prelude::Scenario;
+
+/// Where the K-Matrix comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelSource {
+    /// The built-in synthetic power-train case study.
+    CaseStudy {
+        /// Generator seed (the CLI's `-` path uses the default 42).
+        seed: u64,
+    },
+    /// An uploaded/loaded K-Matrix CSV document.
+    Csv(String),
+}
+
+impl Default for ModelSource {
+    fn default() -> Self {
+        ModelSource::CaseStudy { seed: 42 }
+    }
+}
+
+/// Model-level switches applied before analysis, in a fixed order:
+/// backend, then uniform jitter override, then assumed-unknown jitter.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ModelOptions {
+    /// Bus backend (classic CAN or CAN FD).
+    pub backend: BackendConfig,
+    /// `--jitter <pct>`: uniform jitter as a percentage of each period.
+    pub jitter_pct: Option<f64>,
+    /// `--assume-unknown <pct>`: jitter assumed for messages whose
+    /// jitter is unknown.
+    pub assume_unknown_pct: Option<f64>,
+}
+
+/// A model reference: source plus options.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Model {
+    /// Where the K-Matrix comes from.
+    pub source: ModelSource,
+    /// Switches applied before analysis.
+    pub options: ModelOptions,
+}
+
+impl Model {
+    /// The built-in case study with default options.
+    pub fn case_study() -> Self {
+        Model::default()
+    }
+
+    /// A model from CSV text with default options.
+    pub fn from_csv(text: impl Into<String>) -> Self {
+        Model {
+            source: ModelSource::Csv(text.into()),
+            options: ModelOptions::default(),
+        }
+    }
+}
+
+/// Scenario selection, as spelled on the wire and the CLI
+/// (`worst`, `best`, `sporadic:<ms>`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScenarioSpec {
+    /// Burst errors + worst-case stuffing (the paper's Fig. 5 upper
+    /// bound).
+    #[default]
+    Worst,
+    /// No errors, no stuff bits.
+    Best,
+    /// Sporadic errors with the given minimum distance in ms.
+    SporadicMs(u64),
+}
+
+impl ScenarioSpec {
+    /// Parses the CLI/wire spelling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError`] with the exact message the CLI has always
+    /// printed for unknown scenarios.
+    pub fn parse(s: &str) -> Result<Self, ApiError> {
+        match s {
+            "worst" => Ok(ScenarioSpec::Worst),
+            "best" => Ok(ScenarioSpec::Best),
+            _ => {
+                if let Some(ms) = s.strip_prefix("sporadic:") {
+                    let ms: u64 = ms.parse().map_err(|_| {
+                        ApiError::request(format!("invalid sporadic interval `{ms}`"))
+                    })?;
+                    Ok(ScenarioSpec::SporadicMs(ms))
+                } else {
+                    Err(ApiError::request(format!(
+                        "unknown scenario `{s}` (best, worst, sporadic:<ms>)"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// The canonical wire spelling.
+    pub fn spec_str(&self) -> String {
+        match self {
+            ScenarioSpec::Worst => "worst".into(),
+            ScenarioSpec::Best => "best".into(),
+            ScenarioSpec::SporadicMs(ms) => format!("sporadic:{ms}"),
+        }
+    }
+
+    /// Materializes the engine scenario.
+    pub fn to_scenario(self) -> Scenario {
+        match self {
+            ScenarioSpec::Worst => Scenario::worst_case(),
+            ScenarioSpec::Best => Scenario::best_case(),
+            ScenarioSpec::SporadicMs(ms) => Scenario::sporadic_errors(Time::from_ms(ms)),
+        }
+    }
+}
+
+/// Parses a backend name (`can`, `can-fd`), preserving the engine's
+/// error text.
+///
+/// # Errors
+///
+/// Returns a [`crate::error::ErrorCode::RequestInvalid`] error naming
+/// the unknown backend.
+pub fn parse_backend(name: &str) -> Result<BackendConfig, ApiError> {
+    BackendConfig::parse(name).map_err(ApiError::request)
+}
+
+/// One API request. Every CLI subcommand and server call is a value
+/// of this type; the [`crate::handler::Handler`] is the single
+/// interpreter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Emit the synthetic power-train K-Matrix CSV.
+    Generate {
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Bus-load (utilization) report.
+    Load {
+        /// The model to load.
+        model: Model,
+    },
+    /// Worst/best-case response times per message.
+    Analyze {
+        /// The model to analyze.
+        model: Model,
+        /// Assumption bundle.
+        scenario: ScenarioSpec,
+    },
+    /// Message-loss curve over the paper's 0–60 % jitter grid.
+    Loss {
+        /// The model to sweep.
+        model: Model,
+        /// Assumption bundle.
+        scenario: ScenarioSpec,
+    },
+    /// Response-vs-jitter sensitivity classes per message.
+    Sensitivity {
+        /// The model to sweep.
+        model: Model,
+        /// Assumption bundle.
+        scenario: ScenarioSpec,
+        /// Restrict to one message, by name.
+        message: Option<String>,
+    },
+    /// Audsley feasibility identifier assignment.
+    Audsley {
+        /// The model to assign.
+        model: Model,
+        /// Assumption bundle.
+        scenario: ScenarioSpec,
+    },
+    /// SPEA2 identifier optimization.
+    Optimize {
+        /// The model to optimize (jitter options are ignored, as the
+        /// CLI always has).
+        model: Model,
+        /// SPEA2 population size.
+        population: usize,
+        /// SPEA2 generations.
+        generations: usize,
+        /// Return the optimized K-Matrix CSV instead of the summary.
+        emit_csv: bool,
+    },
+    /// Discrete-event simulation.
+    Simulate {
+        /// The model to simulate.
+        model: Model,
+        /// Simulated horizon in milliseconds.
+        millis: u64,
+        /// Simulation seed.
+        seed: u64,
+        /// Periodic error injection interval in ms, if any.
+        errors_ms: Option<u64>,
+        /// Render an ASCII Gantt chart of the first 20 ms.
+        gantt: bool,
+    },
+    /// Compare candidate bit rates.
+    Dimension {
+        /// The model to re-dimension.
+        model: Model,
+        /// Assumption bundle.
+        scenario: ScenarioSpec,
+        /// Candidate bit rates in bit/s.
+        rates: Vec<u64>,
+    },
+    /// Structural review of a K-Matrix.
+    Lint {
+        /// The model to review.
+        model: Model,
+    },
+    /// Compare two matrices' analyses message by message.
+    Diff {
+        /// The "before" model.
+        before: Model,
+        /// The "after" model.
+        after: Model,
+        /// Assumption bundle applied to both.
+        scenario: ScenarioSpec,
+    },
+    /// Randomized verification (metamorphic laws + differential
+    /// oracle).
+    Fuzz {
+        /// Cases per law.
+        cases: u64,
+        /// Fuzz seed.
+        seed: u64,
+        /// Law-name filter, if any.
+        laws: Option<Vec<String>>,
+        /// Corpus backend.
+        backend: BackendConfig,
+    },
+    /// Replay a stored fuzz counterexample (`carta.repro.v1` JSON).
+    FuzzReplay {
+        /// The repro document text.
+        repro_json: String,
+    },
+}
+
+impl Request {
+    /// The stable wire name of this request kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Generate { .. } => "generate",
+            Request::Load { .. } => "load",
+            Request::Analyze { .. } => "analyze",
+            Request::Loss { .. } => "loss",
+            Request::Sensitivity { .. } => "sensitivity",
+            Request::Audsley { .. } => "audsley",
+            Request::Optimize { .. } => "optimize",
+            Request::Simulate { .. } => "simulate",
+            Request::Dimension { .. } => "dimension",
+            Request::Lint { .. } => "lint",
+            Request::Diff { .. } => "diff",
+            Request::Fuzz { .. } => "fuzz",
+            Request::FuzzReplay { .. } => "fuzz-replay",
+        }
+    }
+
+    /// Whether this request is expensive enough that an overloaded
+    /// tenant should be shed rather than served (sweeps, optimization,
+    /// fuzzing, simulation). Cheap point queries are always admitted;
+    /// `analyze` under pressure degrades instead of shedding.
+    pub fn is_heavy(&self) -> bool {
+        matches!(
+            self,
+            Request::Loss { .. }
+                | Request::Sensitivity { .. }
+                | Request::Audsley { .. }
+                | Request::Optimize { .. }
+                | Request::Simulate { .. }
+                | Request::Dimension { .. }
+                | Request::Diff { .. }
+                | Request::Fuzz { .. }
+                | Request::FuzzReplay { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_spec_parses_the_cli_grammar() {
+        assert_eq!(ScenarioSpec::parse("worst"), Ok(ScenarioSpec::Worst));
+        assert_eq!(ScenarioSpec::parse("best"), Ok(ScenarioSpec::Best));
+        assert_eq!(
+            ScenarioSpec::parse("sporadic:10"),
+            Ok(ScenarioSpec::SporadicMs(10))
+        );
+        let err = ScenarioSpec::parse("chaotic").expect_err("unknown");
+        assert_eq!(
+            err.to_string(),
+            "unknown scenario `chaotic` (best, worst, sporadic:<ms>)"
+        );
+        let err = ScenarioSpec::parse("sporadic:soon").expect_err("bad ms");
+        assert!(err.to_string().contains("invalid sporadic interval"));
+    }
+
+    #[test]
+    fn scenario_spec_roundtrips_via_spec_str() {
+        for spec in [
+            ScenarioSpec::Worst,
+            ScenarioSpec::Best,
+            ScenarioSpec::SporadicMs(7),
+        ] {
+            assert_eq!(ScenarioSpec::parse(&spec.spec_str()), Ok(spec));
+        }
+        assert_eq!(ScenarioSpec::Worst.to_scenario().name, "worst case");
+    }
+
+    #[test]
+    fn backend_parse_keeps_the_error_text() {
+        assert_eq!(parse_backend("can"), Ok(BackendConfig::Can));
+        assert_eq!(parse_backend("can-fd"), Ok(BackendConfig::can_fd()));
+        let err = parse_backend("flexray").expect_err("unknown");
+        assert!(err.to_string().contains("unknown backend `flexray`"));
+    }
+
+    #[test]
+    fn heavy_classification_exempts_point_queries() {
+        assert!(!Request::Generate { seed: 1 }.is_heavy());
+        assert!(!Request::Load {
+            model: Model::case_study()
+        }
+        .is_heavy());
+        assert!(!Request::Analyze {
+            model: Model::case_study(),
+            scenario: ScenarioSpec::Worst
+        }
+        .is_heavy());
+        assert!(Request::Fuzz {
+            cases: 1,
+            seed: 1,
+            laws: None,
+            backend: BackendConfig::Can
+        }
+        .is_heavy());
+    }
+}

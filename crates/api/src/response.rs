@@ -1,0 +1,151 @@
+//! The response side of `carta.api.v1`.
+//!
+//! Responses carry the engine's own rich result types (reports,
+//! curves, diffs) rather than pre-rendered text, so every frontend —
+//! the CLI's table renderer, the server's JSON encoder — is a pure
+//! function of the same value.
+
+use carta_can::rta::BusReport;
+use carta_engine::prelude::CacheStats;
+use carta_explore::prelude::{AnalysisDiff, BitRateOption, LossCurve, SensitivitySeries};
+use carta_kmatrix::lint::Finding;
+use carta_sim::engine::MessageStats;
+use carta_testkit::prelude::FuzzReport;
+use std::sync::Arc;
+
+/// Bus-load (utilization) summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadSummary {
+    /// Message count.
+    pub messages: usize,
+    /// Nominal bit rate in bit/s.
+    pub bit_rate: u64,
+    /// Backend, rendered (`can`, `can-fd(x4)`).
+    pub backend: String,
+    /// Utilization percentage under worst-case stuffing.
+    pub worst_util_percent: f64,
+    /// Utilization percentage with no stuff bits.
+    pub best_util_percent: f64,
+}
+
+/// An analysis report plus the scenario it ran under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzeReport {
+    /// Scenario display name (e.g. `worst case`).
+    pub scenario: String,
+    /// The full per-message report, shared with the engine's cache.
+    pub report: Arc<BusReport>,
+}
+
+/// One row of a feasible Audsley assignment, strongest first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AudsleyRow {
+    /// Message name.
+    pub message: String,
+    /// The newly assigned identifier, rendered (`0x101`).
+    pub new_id: String,
+}
+
+/// SPEA2 optimization summary (the non-`--emit-csv` shape).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeSummary {
+    /// Total genome evaluations performed.
+    pub evaluations: usize,
+    /// Winner objective vector.
+    pub objectives: Vec<f64>,
+    /// Engine cache statistics of the optimization run.
+    pub cache: CacheStats,
+    /// Loss curve of the original identifier assignment.
+    pub loss_before: LossCurve,
+    /// Loss curve of the optimized assignment.
+    pub loss_after: LossCurve,
+}
+
+/// Discrete-event simulation summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateSummary {
+    /// Per-message statistics.
+    pub stats: Vec<MessageStats>,
+    /// Simulated horizon in milliseconds.
+    pub millis: u64,
+    /// Observed bus utilization (0..1).
+    pub observed_utilization: f64,
+    /// Error hits injected over the horizon.
+    pub error_hits: usize,
+    /// Rendered ASCII Gantt chart, when requested.
+    pub gantt: Option<String>,
+}
+
+/// Fuzz run summary.
+#[derive(Debug, Clone)]
+pub struct FuzzSummary {
+    /// Per-law outcomes (violations carry shrunk repros).
+    pub report: FuzzReport,
+    /// Cases requested per law.
+    pub cases: u64,
+}
+
+/// Result of replaying a stored counterexample that no longer fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzReplay {
+    /// The law the repro exercises.
+    pub law: String,
+    /// The seed it was found under.
+    pub seed: u64,
+}
+
+/// One API response; the payload mirror of [`crate::request::Request`].
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// A K-Matrix CSV document (`generate`, `optimize --emit-csv`).
+    Matrix {
+        /// The CSV text.
+        csv: String,
+    },
+    /// Bus-load summary.
+    Load(LoadSummary),
+    /// Response-time analysis report.
+    Analyze(AnalyzeReport),
+    /// Message-loss curve.
+    Loss(LossCurve),
+    /// Sensitivity series per message.
+    Sensitivity(Vec<SensitivitySeries>),
+    /// Audsley assignment (`None` = infeasible).
+    Audsley(Option<Vec<AudsleyRow>>),
+    /// Optimization summary.
+    Optimize(OptimizeSummary),
+    /// Simulation summary.
+    Simulate(SimulateSummary),
+    /// Bit-rate candidates.
+    Dimension(Vec<BitRateOption>),
+    /// Lint findings.
+    Lint(Vec<Finding>),
+    /// Analysis diff between two models.
+    Diff(AnalysisDiff),
+    /// Fuzz outcomes.
+    Fuzz(FuzzSummary),
+    /// Repro replay that passed.
+    FuzzReplay(FuzzReplay),
+}
+
+impl Response {
+    /// The stable wire name of this response kind (matches the
+    /// request kind that produced it).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Response::Matrix { .. } => "matrix",
+            Response::Load(_) => "load",
+            Response::Analyze(_) => "analyze",
+            Response::Loss(_) => "loss",
+            Response::Sensitivity(_) => "sensitivity",
+            Response::Audsley(_) => "audsley",
+            Response::Optimize(_) => "optimize",
+            Response::Simulate(_) => "simulate",
+            Response::Dimension(_) => "dimension",
+            Response::Lint(_) => "lint",
+            Response::Diff(_) => "diff",
+            Response::Fuzz(_) => "fuzz",
+            Response::FuzzReplay(_) => "fuzz-replay",
+        }
+    }
+}

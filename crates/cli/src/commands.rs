@@ -1,22 +1,19 @@
-//! The `carta` subcommands. Every command is a pure function from
-//! parsed arguments to the text it prints, so the full surface is unit
-//! testable without spawning processes.
+//! The `carta` subcommands, routed through the shared `carta.api.v1`
+//! layer: argv is parsed into a [`Request`], the [`Handler`] runs it,
+//! and [`crate::render::render_response`] turns the [`Response`] into
+//! text. Every command stays a pure function from parsed arguments to
+//! the text it prints, so the full surface is unit testable without
+//! spawning processes.
 
 use crate::args::{ParseArgsError, ParsedArgs};
 use crate::obs::ObsSession;
-use crate::render::{cache_stats_line, Table};
+use crate::render::{render_fuzz, render_response};
+use carta_api::prelude::{
+    parse_backend, ApiError, ErrorCode, Handler, Model, ModelOptions, ModelSource, Request,
+    Response, ScenarioSpec,
+};
 use carta_can::backend::BackendConfig;
-use carta_can::network::CanNetwork;
-use carta_can::opa::audsley_assignment;
-use carta_core::time::Time;
-use carta_engine::prelude::{BaseSystem, Evaluator, Parallelism, SystemVariant};
-use carta_explore::jitter::{with_assumed_unknown_jitter, with_jitter_ratio};
-use carta_explore::loss::paper_jitter_grid;
-use carta_explore::scenario::Scenario;
-use carta_explore::sweeps::Sweeps;
-use carta_kmatrix::csv::{from_csv, to_csv};
-use carta_kmatrix::generator::{powertrain_kmatrix, CaseStudyConfig};
-use carta_kmatrix::model::KMatrix;
+use carta_engine::prelude::Parallelism;
 use carta_obs::metrics::PhaseGuard;
 use std::error::Error;
 use std::fmt::Write as _;
@@ -40,22 +37,16 @@ pub fn run(args: &ParsedArgs) -> CmdResult {
 fn dispatch(args: &ParsedArgs) -> CmdResult {
     match args.command.as_str() {
         "help" | "--help" | "-h" => Ok(help_text()),
-        "generate" => cmd_generate(args),
-        "load" => cmd_load(args),
-        "analyze" => cmd_analyze(args),
-        "loss" => cmd_loss(args),
-        "sensitivity" => cmd_sensitivity(args),
-        "audsley" => cmd_audsley(args),
-        "optimize" => cmd_optimize(args),
-        "simulate" => cmd_simulate(args),
-        "dimension" => cmd_dimension(args),
-        "lint" => cmd_lint(args),
-        "diff" => cmd_diff(args),
-        "fuzz" => cmd_fuzz(args),
         "trace" => crate::obs::cmd_trace(args),
-        other => Err(Box::new(ParseArgsError(format!(
-            "unknown command `{other}`; try `carta help`"
-        )))),
+        // Fuzz owns repro-file I/O on top of the shared handler.
+        "fuzz" => cmd_fuzz(args),
+        _ => {
+            let request = request_from(args)?;
+            let handler = Handler::new(parallelism_from(args)?);
+            let response = handler.handle(&request)?;
+            let _phase = PhaseGuard::new("render");
+            Ok(render_response(&response)?)
+        }
     }
 }
 
@@ -118,47 +109,154 @@ Use `-` as the K-Matrix path to analyze the built-in case study.
     .to_string()
 }
 
-/// Loads a K-Matrix from a path, or the built-in case study for `-`.
-fn load_matrix(path: &str) -> Result<KMatrix, Box<dyn Error>> {
+/// Builds the API request for a subcommand; all file reads happen
+/// here, so the handler itself never touches the filesystem.
+fn request_from(args: &ParsedArgs) -> Result<Request, Box<dyn Error>> {
+    Ok(match args.command.as_str() {
+        "generate" => Request::Generate {
+            seed: args.numeric_flag("seed", 42u64)?,
+        },
+        "load" => Request::Load {
+            model: model_from(args)?,
+        },
+        "analyze" => Request::Analyze {
+            model: model_from(args)?,
+            scenario: scenario_from(args)?,
+        },
+        "loss" => Request::Loss {
+            model: model_from(args)?,
+            scenario: scenario_from(args)?,
+        },
+        "sensitivity" => Request::Sensitivity {
+            model: model_from(args)?,
+            scenario: scenario_from(args)?,
+            message: args.flag("message").map(str::to_string),
+        },
+        "audsley" => Request::Audsley {
+            model: model_from(args)?,
+            scenario: scenario_from(args)?,
+        },
+        "optimize" => Request::Optimize {
+            model: model_from(args)?,
+            population: args.numeric_flag("population", 60usize)?,
+            generations: args.numeric_flag("generations", 40usize)?,
+            emit_csv: args.has_flag("emit-csv"),
+        },
+        "simulate" => Request::Simulate {
+            model: model_from(args)?,
+            millis: args.numeric_flag("millis", 2_000u64)?,
+            seed: args.numeric_flag("seed", 42u64)?,
+            errors_ms: match args.flag("errors") {
+                None => None,
+                Some(ms) => Some(
+                    ms.parse()
+                        .map_err(|_| ParseArgsError(format!("invalid --errors `{ms}`")))?,
+                ),
+            },
+            gantt: args.has_flag("gantt"),
+        },
+        "dimension" => Request::Dimension {
+            model: model_from(args)?,
+            scenario: scenario_from(args)?,
+            rates: rates_from(args)?,
+        },
+        "lint" => Request::Lint {
+            model: model_from(args)?,
+        },
+        "diff" => {
+            let before_path = args.required_positional("two K-Matrix paths")?;
+            let after_path = args
+                .positional
+                .get(1)
+                .ok_or_else(|| ParseArgsError("diff needs two K-Matrix paths".into()))?;
+            let options = options_from(args)?;
+            Request::Diff {
+                before: Model {
+                    source: source_from(before_path)?,
+                    options: options.clone(),
+                },
+                after: Model {
+                    source: source_from(after_path)?,
+                    options,
+                },
+                scenario: scenario_from(args)?,
+            }
+        }
+        other => {
+            return Err(Box::new(ParseArgsError(format!(
+                "unknown command `{other}`; try `carta help`"
+            ))))
+        }
+    })
+}
+
+/// Resolves a K-Matrix path into a model source: `-` is the built-in
+/// case study, anything else is read as CSV here and shipped as text.
+fn source_from(path: &str) -> Result<ModelSource, Box<dyn Error>> {
     if path == "-" {
-        return Ok(powertrain_kmatrix(&CaseStudyConfig::default()));
+        return Ok(ModelSource::CaseStudy { seed: 42 });
     }
     let text = std::fs::read_to_string(path)
-        .map_err(|e| ParseArgsError(format!("cannot read `{path}`: {e}")))?;
-    Ok(from_csv(&text)?)
+        .map_err(|e| ApiError::io(format!("cannot read `{path}`: {e}")))?;
+    Ok(ModelSource::Csv(text))
+}
+
+fn model_from(args: &ParsedArgs) -> Result<Model, Box<dyn Error>> {
+    let path = args.required_positional("K-Matrix path (or `-`)")?;
+    Ok(Model {
+        source: source_from(path)?,
+        options: options_from(args)?,
+    })
+}
+
+fn options_from(args: &ParsedArgs) -> Result<ModelOptions, Box<dyn Error>> {
+    Ok(ModelOptions {
+        backend: backend_from(args)?,
+        jitter_pct: pct_flag(args, "jitter")?,
+        assume_unknown_pct: pct_flag(args, "assume-unknown")?,
+    })
 }
 
 /// Resolves `--backend` (default classic CAN).
 fn backend_from(args: &ParsedArgs) -> Result<BackendConfig, Box<dyn Error>> {
     match args.flag("backend") {
         None => Ok(BackendConfig::Can),
-        Some(name) => BackendConfig::parse(name).map_err(|unknown| {
-            Box::new(ParseArgsError(format!(
-                "unknown backend `{unknown}` (can, can-fd)"
-            ))) as Box<dyn Error>
-        }),
+        Some(name) => Ok(parse_backend(name)?),
     }
 }
 
-fn load_network(args: &ParsedArgs) -> Result<CanNetwork, Box<dyn Error>> {
-    let _phase = PhaseGuard::new("load");
-    let path = args.required_positional("K-Matrix path (or `-`)")?;
-    let matrix = load_matrix(path)?;
-    let mut net = matrix.to_network()?;
-    net.set_backend(backend_from(args)?);
-    if let Some(pct) = args.flag("jitter") {
-        let pct: f64 = pct
-            .parse()
-            .map_err(|_| ParseArgsError(format!("invalid --jitter `{pct}`")))?;
-        net = with_jitter_ratio(&net, pct / 100.0);
+fn pct_flag(args: &ParsedArgs, name: &str) -> Result<Option<f64>, Box<dyn Error>> {
+    match args.flag(name) {
+        None => Ok(None),
+        Some(pct) => {
+            Ok(Some(pct.parse().map_err(|_| {
+                ParseArgsError(format!("invalid --{name} `{pct}`"))
+            })?))
+        }
     }
-    if let Some(pct) = args.flag("assume-unknown") {
-        let pct: f64 = pct
-            .parse()
-            .map_err(|_| ParseArgsError(format!("invalid --assume-unknown `{pct}`")))?;
-        net = with_assumed_unknown_jitter(&net, pct / 100.0);
+}
+
+fn scenario_from(args: &ParsedArgs) -> Result<ScenarioSpec, Box<dyn Error>> {
+    Ok(ScenarioSpec::parse(
+        args.flag("scenario").unwrap_or("worst"),
+    )?)
+}
+
+fn rates_from(args: &ParsedArgs) -> Result<Vec<u64>, Box<dyn Error>> {
+    match args.flag("rates") {
+        None => Ok(vec![125_000, 250_000, 500_000, 1_000_000]),
+        Some(list) => list
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<u64>()
+                    .map(|kbps| kbps * 1000)
+                    .map_err(|_| {
+                        Box::new(ParseArgsError(format!("invalid rate `{s}`"))) as Box<dyn Error>
+                    })
+            })
+            .collect(),
     }
-    Ok(net)
 }
 
 /// Resolves `--jobs` into [`Parallelism`] (flag, then `CARTA_JOBS`,
@@ -174,553 +272,71 @@ fn parallelism_from(args: &ParsedArgs) -> Result<Parallelism, Box<dyn Error>> {
     Ok(Parallelism::resolve(explicit))
 }
 
-/// One evaluation engine per invocation, honoring `--jobs`.
-fn evaluator_from(args: &ParsedArgs) -> Result<Evaluator, Box<dyn Error>> {
-    Ok(Evaluator::builder()
-        .parallelism(parallelism_from(args)?)
-        .build())
+/// Maps a command error to the process exit code via the shared
+/// `carta.api.v1` error table; argument-parsing failures count as
+/// invalid requests, anything unrecognized exits 1.
+pub fn exit_code_for(err: &(dyn Error + 'static)) -> u8 {
+    if let Some(api) = err.downcast_ref::<ApiError>() {
+        return api.code.exit_code();
+    }
+    if err.downcast_ref::<ParseArgsError>().is_some() {
+        return ErrorCode::RequestInvalid.exit_code();
+    }
+    1
 }
 
-fn scenario_from(args: &ParsedArgs) -> Result<Scenario, Box<dyn Error>> {
-    match args.flag("scenario").unwrap_or("worst") {
-        "worst" => Ok(Scenario::worst_case()),
-        "best" => Ok(Scenario::best_case()),
-        s => {
-            if let Some(ms) = s.strip_prefix("sporadic:") {
-                let ms: u64 = ms
-                    .parse()
-                    .map_err(|_| ParseArgsError(format!("invalid sporadic interval `{ms}`")))?;
-                Ok(Scenario::sporadic_errors(Time::from_ms(ms)))
-            } else {
-                Err(Box::new(ParseArgsError(format!(
-                    "unknown scenario `{s}` (best, worst, sporadic:<ms>)"
-                ))))
-            }
-        }
-    }
+fn unexpected(resp: &Response) -> Box<dyn Error> {
+    Box::new(ApiError::internal(format!(
+        "unexpected response kind `{}`",
+        resp.kind()
+    )))
 }
-
-fn cmd_generate(args: &ParsedArgs) -> CmdResult {
-    let seed = args.numeric_flag("seed", 42u64)?;
-    let matrix = powertrain_kmatrix(&CaseStudyConfig {
-        seed,
-        ..CaseStudyConfig::default()
-    });
-    Ok(to_csv(&matrix))
-}
-
-fn cmd_load(args: &ParsedArgs) -> CmdResult {
-    use carta_can::frame::StuffingMode;
-    let net = load_network(args)?;
-    let worst = net.load(StuffingMode::WorstCase);
-    let best = net.load(StuffingMode::None);
-    let mut out = String::new();
-    writeln!(out, "messages: {}", net.messages().len())?;
-    writeln!(out, "bit rate: {} kbit/s", net.bit_rate() / 1000)?;
-    writeln!(out, "backend: {}", net.backend())?;
-    writeln!(
-        out,
-        "load (worst-case stuffing): {:.1} %",
-        worst.utilization_percent()
-    )?;
-    writeln!(
-        out,
-        "load (no stuffing):         {:.1} %",
-        best.utilization_percent()
-    )?;
-    writeln!(
-        out,
-        "note: the load model cannot decide schedulability — run `carta analyze`"
-    )?;
-    Ok(out)
-}
-
-fn cmd_analyze(args: &ParsedArgs) -> CmdResult {
-    let net = load_network(args)?;
-    let scenario = scenario_from(args)?;
-    let eval = evaluator_from(args)?;
-    let report = {
-        let _phase = PhaseGuard::new("analyze");
-        eval.evaluate(&SystemVariant::new(BaseSystem::new(net), scenario.clone()))?
-    };
-    let _phase = PhaseGuard::new("render");
-    let mut table = Table::new(["message", "id", "WCRT", "BCRT", "deadline", "verdict"]);
-    for m in &report.messages {
-        table.row([
-            m.name.to_string(),
-            m.id.to_string(),
-            m.outcome
-                .wcrt()
-                .map(|t| t.to_string())
-                .unwrap_or_else(|| "unbounded".into()),
-            m.outcome
-                .bcrt()
-                .map(|t| t.to_string())
-                .unwrap_or_else(|| "-".into()),
-            m.deadline.to_string(),
-            if m.outcome.diagnostic().is_some() {
-                "DIVERGED".into()
-            } else if m.misses_deadline() {
-                "LOST".into()
-            } else {
-                "ok".to_string()
-            },
-        ]);
-    }
-    let mut out = table.render();
-    writeln!(
-        out,
-        "\nscenario `{}`: {} of {} messages can be lost",
-        scenario.name,
-        report.missed_count(),
-        report.messages.len()
-    )?;
-    if report.is_degraded() {
-        writeln!(
-            out,
-            "\nDEGRADED REPORT: {} message(s) have no response bound; all other bounds remain \
-             sound",
-            report.diagnostics().count()
-        )?;
-        for d in report.diagnostics() {
-            writeln!(
-                out,
-                "  `{}` (priority level {}): {} — busy window {} over {} instance(s)",
-                d.entity, d.priority_level, d.cause, d.busy_window, d.instances
-            )?;
-            writeln!(
-                out,
-                "    interference: {}",
-                d.interference
-                    .iter()
-                    .map(|n| format!("`{n}`"))
-                    .collect::<Vec<_>>()
-                    .join(", ")
-            )?;
-        }
-    }
-    Ok(out)
-}
-
-fn cmd_loss(args: &ParsedArgs) -> CmdResult {
-    let net = load_network(args)?;
-    let scenario = scenario_from(args)?;
-    let eval = evaluator_from(args)?;
-    let grid = paper_jitter_grid();
-    let curve = {
-        let _phase = PhaseGuard::new("analyze");
-        eval.loss_vs_jitter(&net, &scenario, &grid)?
-    };
-    let _phase = PhaseGuard::new("render");
-    let mut table = Table::new(["jitter %", "lost", "of", "fraction"]);
-    for p in &curve.points {
-        table.row([
-            format!("{:.0}", p.jitter_ratio * 100.0),
-            p.missed.to_string(),
-            p.total.to_string(),
-            format!("{:.1} %", p.fraction() * 100.0),
-        ]);
-    }
-    let mut out = table.render();
-    if let Some(z) = curve.zero_loss_up_to() {
-        writeln!(out, "\nzero loss up to {:.0} % jitter", z * 100.0)?;
-    } else {
-        writeln!(out, "\nloss already at zero jitter")?;
-    }
-    Ok(out)
-}
-
-fn cmd_sensitivity(args: &ParsedArgs) -> CmdResult {
-    let net = load_network(args)?;
-    let scenario = scenario_from(args)?;
-    let eval = evaluator_from(args)?;
-    let grid = paper_jitter_grid();
-    let only = args.flag("message").map(|m| vec![m]);
-    let series = {
-        let _phase = PhaseGuard::new("analyze");
-        eval.response_vs_jitter(&net, &scenario, &grid, only.as_deref())?
-    };
-    let _phase = PhaseGuard::new("render");
-    let mut table = Table::new(["message", "class", "WCRT @0%", "WCRT @60%"]);
-    for s in &series {
-        let first = s.points.first().and_then(|(_, r)| *r);
-        let last = s.points.last().and_then(|(_, r)| *r);
-        table.row([
-            s.message.clone(),
-            s.classify().to_string(),
-            first
-                .map(|t| t.to_string())
-                .unwrap_or_else(|| "unbounded".into()),
-            last.map(|t| t.to_string())
-                .unwrap_or_else(|| "unbounded".into()),
-        ]);
-    }
-    Ok(table.render())
-}
-
-fn cmd_audsley(args: &ParsedArgs) -> CmdResult {
-    let net = load_network(args)?;
-    let scenario = scenario_from(args)?;
-    let prepared = scenario.apply(&net);
-    let order = audsley_assignment(
-        &prepared,
-        scenario.errors.model().as_ref(),
-        &scenario.analysis_config(),
-    )?;
-    match order {
-        None => Ok("no fixed-priority identifier assignment is feasible\n".into()),
-        Some(order) => {
-            let fixed = order.apply(&net);
-            let mut table = Table::new(["rank", "message", "new id"]);
-            for (rank, &idx) in order.strongest_first().iter().enumerate() {
-                table.row([
-                    (rank + 1).to_string(),
-                    net.messages()[idx].name.clone(),
-                    fixed.messages()[idx].id.to_string(),
-                ]);
-            }
-            let mut out = String::from("feasible assignment found:\n\n");
-            out.push_str(&table.render());
-            Ok(out)
-        }
-    }
-}
-
-fn cmd_optimize(args: &ParsedArgs) -> CmdResult {
-    use carta_optim::canid::{optimize_can_ids, OptimizeIdsConfig};
-    use carta_optim::spea2::Spea2Config;
-    let (matrix, net) = {
-        let _phase = PhaseGuard::new("load");
-        let path = args.required_positional("K-Matrix path (or `-`)")?;
-        let matrix = load_matrix(path)?;
-        let mut net = matrix.to_network()?;
-        net.set_backend(backend_from(args)?);
-        (matrix, net)
-    };
-    let population = args.numeric_flag("population", 60usize)?;
-    let generations = args.numeric_flag("generations", 40usize)?;
-    let config = OptimizeIdsConfig {
-        spea2: Spea2Config {
-            population,
-            archive: (population / 2).max(1),
-            generations,
-            ..Spea2Config::default()
-        },
-        parallelism: parallelism_from(args)?,
-        ..OptimizeIdsConfig::default()
-    };
-    let result = {
-        let _phase = PhaseGuard::new("analyze");
-        optimize_can_ids(&net, &config)
-    };
-    if args.has_flag("emit-csv") {
-        // Re-emit the matrix with the optimized identifiers.
-        let mut out_matrix = matrix.clone();
-        for (row, msg) in out_matrix.rows.iter_mut().zip(result.optimized.messages()) {
-            debug_assert_eq!(row.name, msg.name);
-            row.id = msg.id.raw();
-        }
-        return Ok(to_csv(&out_matrix));
-    }
-    let mut out = String::new();
-    writeln!(
-        out,
-        "SPEA2 finished: {} evaluations, winner objectives {:?}",
-        result.archive.evaluations, result.objectives
-    )?;
-    writeln!(out, "{}", cache_stats_line(&result.cache))?;
-    let eval = evaluator_from(args)?;
-    let grid = paper_jitter_grid();
-    let before = eval.loss_vs_jitter(&net, &Scenario::worst_case(), &grid)?;
-    let after = eval.loss_vs_jitter(&result.optimized, &Scenario::worst_case(), &grid)?;
-    let _phase = PhaseGuard::new("render");
-    let mut table = Table::new(["jitter %", "loss before", "loss after"]);
-    for (b, a) in before.points.iter().zip(&after.points) {
-        table.row([
-            format!("{:.0}", b.jitter_ratio * 100.0),
-            format!("{:.1} %", b.fraction() * 100.0),
-            format!("{:.1} %", a.fraction() * 100.0),
-        ]);
-    }
-    out.push_str(&table.render());
-    writeln!(out, "\nuse --emit-csv to write the optimized K-Matrix")?;
-    Ok(out)
-}
-
-fn cmd_simulate(args: &ParsedArgs) -> CmdResult {
-    use carta_sim::engine::{simulate, SimConfig, SimStuffing};
-    use carta_sim::gantt::{render, GanttConfig};
-    use carta_sim::inject::{NoInjection, PeriodicInjection};
-    let net = load_network(args)?;
-    let millis = args.numeric_flag("millis", 2_000u64)?;
-    let seed = args.numeric_flag("seed", 42u64)?;
-    let config = SimConfig {
-        horizon: Time::from_ms(millis),
-        seed,
-        stuffing: SimStuffing::Random,
-        record_trace: true,
-    };
-    let report = match args.flag("errors") {
-        Some(ms) => {
-            let ms: u64 = ms
-                .parse()
-                .map_err(|_| ParseArgsError(format!("invalid --errors `{ms}`")))?;
-            simulate(
-                &net,
-                &PeriodicInjection {
-                    interval: Time::from_ms(ms),
-                    phase: Time::from_us(137),
-                },
-                &config,
-            )
-        }
-        None => simulate(&net, &NoInjection, &config),
-    };
-    let mut table = Table::new(["message", "queued", "done", "lost", "max resp", "misses"]);
-    for s in &report.stats {
-        table.row([
-            s.name.clone(),
-            s.queued.to_string(),
-            s.completed.to_string(),
-            s.overwritten.to_string(),
-            s.max_response
-                .map(|t| t.to_string())
-                .unwrap_or_else(|| "-".into()),
-            s.deadline_misses.to_string(),
-        ]);
-    }
-    let mut out = table.render();
-    writeln!(
-        out,
-        "\n{} ms simulated, observed utilization {:.1} %, {} error hits",
-        millis,
-        report.observed_utilization() * 100.0,
-        report.trace.error_count()
-    )?;
-    if args.has_flag("gantt") {
-        let labels: Vec<String> = net.messages().iter().map(|m| m.name.clone()).collect();
-        let window = Time::from_ms(millis.min(20));
-        out.push('\n');
-        out.push_str(&render(
-            &report.trace,
-            &labels,
-            &GanttConfig {
-                from: Time::ZERO,
-                to: window,
-                columns: 100,
-            },
-        ));
-    }
-    Ok(out)
-}
-
-fn cmd_dimension(args: &ParsedArgs) -> CmdResult {
-    use carta_explore::extensibility::EcuTemplate;
-    use carta_explore::network_choice::cheapest_sufficient;
-    let net = load_network(args)?;
-    let scenario = scenario_from(args)?;
-    let rates: Vec<u64> = match args.flag("rates") {
-        None => vec![125_000, 250_000, 500_000, 1_000_000],
-        Some(list) => list
-            .split(',')
-            .map(|s| {
-                s.trim()
-                    .parse::<u64>()
-                    .map(|kbps| kbps * 1000)
-                    .map_err(|_| ParseArgsError(format!("invalid rate `{s}`")))
-            })
-            .collect::<Result<_, _>>()?,
-    };
-    let eval = evaluator_from(args)?;
-    let options = {
-        let _phase = PhaseGuard::new("analyze");
-        eval.compare_bit_rates(&net, &scenario, &rates, &EcuTemplate::default())?
-    };
-    let _phase = PhaseGuard::new("render");
-    let mut table = Table::new([
-        "kbit/s",
-        "load",
-        "schedulable",
-        "jitter slack",
-        "ECU headroom",
-    ]);
-    for o in &options {
-        table.row([
-            (o.bit_rate / 1000).to_string(),
-            format!("{:.1} %", o.load * 100.0),
-            o.schedulable.to_string(),
-            o.jitter_slack
-                .map(|s| format!("{:.0} %", s * 100.0))
-                .unwrap_or_else(|| "-".into()),
-            o.ecu_headroom.to_string(),
-        ]);
-    }
-    let mut out = table.render();
-    match cheapest_sufficient(&options, 0.10) {
-        Some(pick) => writeln!(
-            out,
-            "\ncheapest candidate with ≥ 10 % jitter reserve: {} kbit/s",
-            pick.bit_rate / 1000
-        )?,
-        None => writeln!(out, "\nno candidate offers a 10 % jitter reserve")?,
-    }
-    Ok(out)
-}
-
-fn cmd_lint(args: &ParsedArgs) -> CmdResult {
-    let path = args.required_positional("K-Matrix path (or `-`)")?;
-    let matrix = load_matrix(path)?;
-    let findings = carta_kmatrix::lint::lint(&matrix);
-    if findings.is_empty() {
-        return Ok("no findings
-"
-        .into());
-    }
-    let mut out = String::new();
-    for f in &findings {
-        writeln!(out, "{f}")?;
-    }
-    Ok(out)
-}
-
-fn cmd_diff(args: &ParsedArgs) -> CmdResult {
-    use carta_explore::diff::diff_reports;
-    let before_path = args.required_positional("two K-Matrix paths")?;
-    let after_path = args
-        .positional
-        .get(1)
-        .ok_or_else(|| ParseArgsError("diff needs two K-Matrix paths".into()))?;
-    let scenario = scenario_from(args)?;
-    let backend = backend_from(args)?;
-    let before = scenario.analyze(
-        &load_matrix(before_path)?
-            .to_network()?
-            .with_backend(backend),
-    )?;
-    let after = scenario.analyze(&load_matrix(after_path)?.to_network()?.with_backend(backend))?;
-    let diff = diff_reports(&before, &after);
-    let mut table = Table::new(["message", "before", "after", "change"]);
-    for r in &diff.rows {
-        // Keep the table focused: skip unchanged-ok rows with identical WCRT.
-        if r.change == carta_explore::diff::VerdictChange::StillOk && r.before == r.after {
-            continue;
-        }
-        table.row([
-            r.message.clone(),
-            r.before
-                .map(|t| t.to_string())
-                .unwrap_or_else(|| "unbounded".into()),
-            r.after
-                .map(|t| t.to_string())
-                .unwrap_or_else(|| "unbounded".into()),
-            r.change.to_string(),
-        ]);
-    }
-    let mut out = String::new();
-    if table.is_empty() {
-        writeln!(out, "no per-message changes")?;
-    } else {
-        out.push_str(&table.render());
-    }
-    if !diff.added.is_empty() {
-        writeln!(out, "added: {}", diff.added.join(", "))?;
-    }
-    if !diff.removed.is_empty() {
-        writeln!(out, "removed: {}", diff.removed.join(", "))?;
-    }
-    writeln!(
-        out,
-        "
-{} regression(s), {} fix(es) — {}",
-        diff.regressions().len(),
-        diff.fixes().len(),
-        if diff.is_safe() {
-            "safe change"
-        } else {
-            "NOT safe"
-        }
-    )?;
-    Ok(out)
-}
-
-/// One or more fuzz laws were violated; `Display` carries the full
-/// per-law summary including the repro file paths.
-#[derive(Debug)]
-struct FuzzFailedError(String);
-
-impl std::fmt::Display for FuzzFailedError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "fuzz found violations\n{}", self.0)
-    }
-}
-
-impl Error for FuzzFailedError {}
 
 fn cmd_fuzz(args: &ParsedArgs) -> CmdResult {
-    use carta_testkit::prelude::*;
+    let handler = Handler::new(parallelism_from(args)?);
 
     if let Some(path) = args.flag("repro") {
         let text = std::fs::read_to_string(path)
-            .map_err(|e| ParseArgsError(format!("cannot read repro `{path}`: {e}")))?;
-        let repro = Repro::from_json(&text)?;
-        let _phase = PhaseGuard::new("fuzz");
-        return match repro.replay() {
-            Ok(()) => Ok(format!(
+            .map_err(|e| ApiError::io(format!("cannot read repro `{path}`: {e}")))?;
+        let resp = handler.handle(&Request::FuzzReplay { repro_json: text })?;
+        return match &resp {
+            Response::FuzzReplay(r) => Ok(format!(
                 "repro `{path}` ({}, seed {}) passes — the defect no longer reproduces\n",
-                repro.law, repro.seed
+                r.law, r.seed
             )),
-            Err(v) => Err(Box::new(v)),
+            other => Err(unexpected(other)),
         };
     }
 
-    let config = FuzzConfig {
-        seed: args.numeric_flag("seed", 2006u64)?,
+    let request = Request::Fuzz {
         cases: args.numeric_flag("cases", 64u64)?,
+        seed: args.numeric_flag("seed", 2006u64)?,
         laws: args.flag("laws").map(|list| {
             list.split(',')
                 .map(|s| s.trim().to_string())
                 .filter(|s| !s.is_empty())
                 .collect()
         }),
-        parallelism: parallelism_from(args)?,
         backend: backend_from(args)?,
     };
-    let report = {
-        let _phase = PhaseGuard::new("fuzz");
-        run_fuzz(&config)?
+    let resp = handler.handle(&request)?;
+    let summary = match &resp {
+        Response::Fuzz(summary) => summary,
+        other => return Err(unexpected(other)),
     };
-
-    let mut table = Table::new(["law", "cases", "verdict"]);
-    for o in &report.outcomes {
-        table.row([
-            o.law.clone(),
-            o.cases_run.to_string(),
-            if o.repro.is_some() {
-                "VIOLATED".into()
-            } else {
-                "ok".to_string()
-            },
-        ]);
-    }
-    let mut out = table.render();
-    if report.passed() {
-        writeln!(
-            out,
-            "\nall {} laws held over {} cases each (seed {})",
-            report.outcomes.len(),
-            config.cases,
-            report.seed
-        )?;
+    let _phase = PhaseGuard::new("render");
+    let mut out = render_fuzz(summary)?;
+    if summary.report.passed() {
         return Ok(out);
     }
     let dir = std::path::Path::new(args.flag("repro-dir").unwrap_or("fuzz-repros"));
     std::fs::create_dir_all(dir)
-        .map_err(|e| ParseArgsError(format!("cannot create `{}`: {e}", dir.display())))?;
-    for o in report.violations() {
+        .map_err(|e| ApiError::io(format!("cannot create `{}`: {e}", dir.display())))?;
+    for o in summary.report.violations() {
         let repro = o.repro.as_ref().expect("violations carry a repro");
         let path = dir.join(repro.file_name());
         std::fs::write(&path, repro.to_json())
-            .map_err(|e| ParseArgsError(format!("cannot write `{}`: {e}", path.display())))?;
+            .map_err(|e| ApiError::io(format!("cannot write `{}`: {e}", path.display())))?;
         writeln!(out, "\n{}", repro.violation)?;
         writeln!(
             out,
@@ -730,12 +346,17 @@ fn cmd_fuzz(args: &ParsedArgs) -> CmdResult {
             path.display()
         )?;
     }
-    Err(Box::new(FuzzFailedError(out)))
+    Err(Box::new(ApiError::new(
+        ErrorCode::FuzzViolation,
+        format!("fuzz found violations\n{out}"),
+    )))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use carta_kmatrix::csv::from_csv;
+    use carta_kmatrix::generator::{powertrain_kmatrix, CaseStudyConfig};
 
     fn run_line(line: &[&str]) -> CmdResult {
         run(&ParsedArgs::parse(line.iter().copied()).expect("parses"))
@@ -765,6 +386,7 @@ mod tests {
     fn unknown_command_rejected() {
         let err = run_line(&["frobnicate"]).expect_err("unknown");
         assert!(err.to_string().contains("frobnicate"));
+        assert_eq!(exit_code_for(err.as_ref()), 2);
     }
 
     #[test]
@@ -801,6 +423,7 @@ mod tests {
         assert!(out.contains("backend: can-fd(x4)"), "{out}");
         let err = run_line(&["analyze", "-", "--backend", "flexray"]).expect_err("bad");
         assert!(err.to_string().contains("unknown backend `flexray`"));
+        assert_eq!(exit_code_for(err.as_ref()), 2);
     }
 
     #[test]
@@ -1067,6 +690,7 @@ mod tests {
         use carta_testkit::prelude::*;
         let err = run_line(&["fuzz", "--repro", "/nonexistent/r.json"]).expect_err("missing");
         assert!(err.to_string().contains("cannot read repro"));
+        assert_eq!(exit_code_for(err.as_ref()), 66);
 
         let dir = std::env::temp_dir().join("carta_cli_fuzz_test");
         std::fs::create_dir_all(&dir).expect("mkdir");
@@ -1096,5 +720,22 @@ mod tests {
         assert!(err.to_string().contains("K-Matrix"));
         let err = run_line(&["load", "/nonexistent/file.csv"]).expect_err("missing file");
         assert!(err.to_string().contains("cannot read"));
+        assert_eq!(exit_code_for(err.as_ref()), 66);
+    }
+
+    #[test]
+    fn exit_codes_come_from_the_shared_table() {
+        // Analysis divergence is a *degraded report*, not an error, so
+        // exercise the table directly on representative errors.
+        assert_eq!(
+            exit_code_for(&ApiError::new(ErrorCode::FuzzViolation, "x")),
+            4
+        );
+        assert_eq!(exit_code_for(&ApiError::model("bad csv")), 65);
+        assert_eq!(exit_code_for(&ParseArgsError("bad flag".into())), 2);
+        assert_eq!(
+            exit_code_for(&std::io::Error::new(std::io::ErrorKind::Other, "raw")),
+            1
+        );
     }
 }

@@ -1,12 +1,8 @@
 //! `carta` — the command-line front end of the carta workspace.
 //!
-//! See `carta help` (or [`commands::help_text`]) for usage.
+//! See `carta help` (or [`carta_cli::commands::help_text`]) for usage.
 
-mod args;
-mod commands;
-mod obs;
-mod render;
-
+use carta_cli::{args, commands};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -25,7 +21,7 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(commands::exit_code_for(e.as_ref()))
         }
     }
 }

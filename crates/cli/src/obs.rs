@@ -8,34 +8,15 @@
 //! the command, and reports the **delta** afterwards — so the numbers
 //! describe this invocation, not the process lifetime.
 //!
-//! ## `--metrics-json` schema (`carta.metrics.v1`)
-//!
-//! One JSON object:
-//!
-//! ```json
-//! {
-//!   "schema": "carta.metrics.v1",
-//!   "command": "loss",
-//!   "wall_ms": 12.7,
-//!   "metrics": {
-//!     "engine.cache.hits": 13,
-//!     "engine.batch.queue_depth": {"count": 1, "sum": 13, "min": 13,
-//!                                   "max": 13, "p50": 13, "p99": 13,
-//!                                   "mean": 13.0},
-//!     "rta.iterations": 5301
-//!   },
-//!   "derived": {"cache_hit_rate": 0.5, "points_per_s": 1023.9}
-//! }
-//! ```
-//!
-//! `metrics` maps every metric name touched during the run to its
-//! delta: counters and gauges to numbers, histograms to
-//! `{count, sum, min, max, p50, p99, mean}` objects.
+//! The `--metrics-json` document is the shared `carta.metrics.v1`
+//! schema built by [`carta_obs::report`] (the server's `/v1/metrics`
+//! endpoint emits the same shape).
 
 use crate::args::{ParseArgsError, ParsedArgs};
 use crate::render::Table;
-use carta_obs::json::{self, ObjectBuilder, Value};
+use carta_obs::json::{self, Value};
 use carta_obs::metrics::{self, MetricValue, MetricsSnapshot};
+use carta_obs::report::{metrics_json, Derived};
 use carta_obs::trace::JsonlSink;
 use std::error::Error;
 use std::fmt::Write as _;
@@ -131,7 +112,7 @@ impl ObsSession {
             return Ok(());
         }
         let delta = metrics::global().snapshot().delta(&self.before);
-        let derived = Derived::from(&delta, wall.as_secs_f64());
+        let derived = Derived::from_delta(&delta, wall.as_secs_f64());
         if let Some(path) = &self.json_path {
             std::fs::write(
                 path,
@@ -144,40 +125,6 @@ impl ObsSession {
             out.push_str(&metrics_table(wall.as_secs_f64(), &delta, &derived));
         }
         Ok(())
-    }
-}
-
-/// Headline numbers computed from the snapshot delta.
-#[derive(Debug)]
-struct Derived {
-    cache_hit_rate: f64,
-    points_per_s: f64,
-}
-
-impl Derived {
-    fn from(delta: &MetricsSnapshot, wall_s: f64) -> Self {
-        let hits = delta.counter("engine.cache.hits").unwrap_or(0);
-        let misses = delta.counter("engine.cache.misses").unwrap_or(0);
-        let cache_hit_rate = if hits + misses > 0 {
-            hits as f64 / (hits + misses) as f64
-        } else {
-            0.0
-        };
-        // Sweep points where a sweep ran; otherwise every evaluation
-        // (cached or analyzed) counts as a point.
-        let points = match delta.counter("sweep.points") {
-            Some(p) if p > 0 => p,
-            _ => hits + misses,
-        };
-        let points_per_s = if wall_s > 0.0 {
-            points as f64 / wall_s
-        } else {
-            0.0
-        };
-        Derived {
-            cache_hit_rate,
-            points_per_s,
-        }
     }
 }
 
@@ -220,23 +167,6 @@ fn metrics_table(wall_s: f64, delta: &MetricsSnapshot, derived: &Derived) -> Str
     ]);
     table.row(["wall_ms".to_string(), format!("{:.1}", wall_s * 1000.0)]);
     format!("== metrics ==\n{}", table.render())
-}
-
-/// Builds the `carta.metrics.v1` JSON document.
-fn metrics_json(command: &str, wall_s: f64, delta: &MetricsSnapshot, derived: &Derived) -> String {
-    let derived_obj = ObjectBuilder::new()
-        .num("cache_hit_rate", derived.cache_hit_rate)
-        .num("points_per_s", derived.points_per_s)
-        .build();
-    let mut doc = ObjectBuilder::new()
-        .string("schema", "carta.metrics.v1")
-        .string("command", command)
-        .num("wall_ms", wall_s * 1000.0)
-        .raw("metrics", &delta.to_json())
-        .raw("derived", &derived_obj)
-        .build();
-    doc.push('\n');
-    doc
 }
 
 /// The `carta trace` subcommand: replays a JSONL trace written by
@@ -332,64 +262,19 @@ mod tests {
     use super::*;
 
     #[test]
-    fn derived_rates_from_counters() {
+    fn metrics_table_includes_derived_rows() {
         let mut delta = MetricsSnapshot {
             values: Default::default(),
         };
         delta
             .values
             .insert("engine.cache.hits".into(), MetricValue::Counter(3));
-        delta
-            .values
-            .insert("engine.cache.misses".into(), MetricValue::Counter(1));
-        let d = Derived::from(&delta, 2.0);
-        assert!((d.cache_hit_rate - 0.75).abs() < 1e-12);
-        assert!((d.points_per_s - 2.0).abs() < 1e-12);
-        // Sweep points take precedence when present.
-        delta
-            .values
-            .insert("sweep.points".into(), MetricValue::Counter(26));
-        let d = Derived::from(&delta, 2.0);
-        assert!((d.points_per_s - 13.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn empty_delta_has_zero_rates() {
-        let delta = MetricsSnapshot {
-            values: Default::default(),
-        };
-        let d = Derived::from(&delta, 1.0);
-        assert_eq!(d.cache_hit_rate, 0.0);
-        assert_eq!(d.points_per_s, 0.0);
-    }
-
-    #[test]
-    fn metrics_json_document_parses_and_has_schema() {
-        let mut delta = MetricsSnapshot {
-            values: Default::default(),
-        };
-        delta
-            .values
-            .insert("engine.cache.hits".into(), MetricValue::Counter(5));
-        let derived = Derived::from(&delta, 0.5);
-        let doc = metrics_json("loss", 0.5, &delta, &derived);
-        let parsed = json::parse(&doc).expect("valid json");
-        assert_eq!(
-            parsed.get("schema").and_then(Value::as_str),
-            Some("carta.metrics.v1")
-        );
-        assert_eq!(parsed.get("command").and_then(Value::as_str), Some("loss"));
-        assert_eq!(
-            parsed
-                .get("metrics")
-                .and_then(|m| m.get("engine.cache.hits"))
-                .and_then(Value::as_f64),
-            Some(5.0)
-        );
-        assert!(parsed
-            .get("derived")
-            .and_then(|d| d.get("cache_hit_rate"))
-            .is_some());
+        let derived = Derived::from_delta(&delta, 2.0);
+        let table = metrics_table(2.0, &delta, &derived);
+        assert!(table.contains("== metrics =="), "{table}");
+        assert!(table.contains("engine.cache.hits"), "{table}");
+        assert!(table.contains("derived.cache_hit_rate"), "{table}");
+        assert!(table.contains("wall_ms"), "{table}");
     }
 
     #[test]

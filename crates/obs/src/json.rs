@@ -77,6 +77,12 @@ impl ObjectBuilder {
         self
     }
 
+    /// Adds a boolean member.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.parts.push(format!("\"{}\":{}", escape(key), value));
+        self
+    }
+
     /// Renders the object.
     pub fn build(self) -> String {
         format!("{{{}}}", self.parts.join(","))
@@ -129,6 +135,33 @@ impl Value {
     pub fn as_obj(&self) -> Option<&BTreeMap<String, Value>> {
         match self {
             Value::Obj(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean, if one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if it is a non-negative whole
+    /// number small enough (< 2⁵³) to be exact in a JSON double.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n < 9_007_199_254_740_992.0 => {
+                Some(*n as u64)
+            }
             _ => None,
         }
     }

@@ -39,6 +39,7 @@
 
 pub mod json;
 pub mod metrics;
+pub mod report;
 pub mod trace;
 
 pub use metrics::{

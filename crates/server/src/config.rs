@@ -1,0 +1,113 @@
+//! Server tuning knobs, every one overridable through a
+//! `CARTA_SERVER_*` environment variable so deployments never need a
+//! config file.
+
+use std::str::FromStr;
+
+/// All server tuning knobs with their defaults.
+///
+/// [`ServerConfig::from_env`] reads each field from the
+/// `CARTA_SERVER_*` variable named in its doc comment; unset or
+/// unparsable variables fall back to the default (a service must come
+/// up even with a typo in its unit file — the effective config is what
+/// `/v1/metrics` consumers observe, not what the environment claims).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address (`CARTA_SERVER_ADDR`). Use port `0` to let the
+    /// OS pick — tests do.
+    pub addr: String,
+    /// Connection-handling worker threads (`CARTA_SERVER_WORKERS`).
+    pub workers: usize,
+    /// Per-tenant evaluator parallelism in jobs
+    /// (`CARTA_SERVER_JOBS`). Tenants share the machine, so the
+    /// default is sequential; raise it on dedicated hardware.
+    pub jobs: usize,
+    /// Per-tenant evaluator memo-cache quota in entries
+    /// (`CARTA_SERVER_CACHE_QUOTA`). The engine's LRU keyed by base
+    /// fingerprint evicts within a tenant once the quota is hit.
+    pub cache_quota: usize,
+    /// Resident tenant limit (`CARTA_SERVER_MAX_TENANTS`). The
+    /// least-recently-used tenant — evaluator cache, sessions and all —
+    /// is evicted beyond this.
+    pub max_tenants: usize,
+    /// Uploaded sessions kept per tenant
+    /// (`CARTA_SERVER_MAX_SESSIONS`); oldest-first eviction beyond.
+    pub max_sessions: usize,
+    /// Request body ceiling in bytes (`CARTA_SERVER_MAX_BODY`).
+    pub max_body: usize,
+    /// Admission window length in milliseconds
+    /// (`CARTA_SERVER_WINDOW_MS`).
+    pub window_ms: u64,
+    /// Requests one tenant may spend per window
+    /// (`CARTA_SERVER_BUDGET`) before pressure handling kicks in:
+    /// heavy requests are shed, `analyze` degrades.
+    pub budget: u32,
+    /// Fixpoint-iteration budget for degraded-mode `analyze`
+    /// (`CARTA_SERVER_DEGRADED_ITERATIONS`). Deliberately tiny: the
+    /// point of the degraded report is an immediate partial answer
+    /// whose unconverged messages carry diagnostics, not a cheap way
+    /// around admission control.
+    pub degraded_iterations: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7006".into(),
+            workers: 4,
+            jobs: 1,
+            cache_quota: 4096,
+            max_tenants: 8,
+            max_sessions: 16,
+            max_body: 1 << 20,
+            window_ms: 1000,
+            budget: 32,
+            degraded_iterations: 4,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The defaults overridden by whatever `CARTA_SERVER_*` variables
+    /// are set (and parsable) in the environment.
+    pub fn from_env() -> Self {
+        let d = ServerConfig::default();
+        ServerConfig {
+            addr: std::env::var("CARTA_SERVER_ADDR").unwrap_or(d.addr),
+            workers: env_parse("CARTA_SERVER_WORKERS", d.workers).max(1),
+            jobs: env_parse("CARTA_SERVER_JOBS", d.jobs).max(1),
+            cache_quota: env_parse("CARTA_SERVER_CACHE_QUOTA", d.cache_quota).max(1),
+            max_tenants: env_parse("CARTA_SERVER_MAX_TENANTS", d.max_tenants).max(1),
+            max_sessions: env_parse("CARTA_SERVER_MAX_SESSIONS", d.max_sessions).max(1),
+            max_body: env_parse("CARTA_SERVER_MAX_BODY", d.max_body).max(1024),
+            window_ms: env_parse("CARTA_SERVER_WINDOW_MS", d.window_ms).max(1),
+            budget: env_parse("CARTA_SERVER_BUDGET", d.budget).max(1),
+            degraded_iterations: env_parse(
+                "CARTA_SERVER_DEGRADED_ITERATIONS",
+                d.degraded_iterations,
+            )
+            .max(1),
+        }
+    }
+}
+
+fn env_parse<T: FromStr + Copy>(key: &str, default: T) -> T {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ServerConfig::default();
+        assert!(c.workers >= 1);
+        assert!(c.budget >= 1);
+        assert!(c.degraded_iterations >= 1);
+        assert!(c.max_body >= 1024);
+    }
+}

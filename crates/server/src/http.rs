@@ -1,0 +1,275 @@
+//! A deliberately small HTTP/1.1 subset over `std::net`, in the same
+//! no-registry spirit as the `shims/` crates: request line, headers,
+//! `Content-Length` bodies, one response per connection
+//! (`Connection: close`). Exactly what `carta.api.v1` needs — JSON
+//! bodies over POST/GET — and nothing a service behind a reverse proxy
+//! does not.
+
+use std::io::{self, BufRead, Write};
+
+/// Hard ceiling on the request line plus headers, independent of the
+/// configurable body limit.
+const MAX_HEAD: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    /// Uppercase method (`GET`, `POST`, ...), as received.
+    pub method: String,
+    /// Request path, query string stripped.
+    pub path: String,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The raw body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// First header with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed before sending a request line.
+    Closed,
+    /// Transport failure.
+    Io(io::Error),
+    /// Syntactically invalid request (maps to `400`).
+    Malformed(String),
+    /// Declared body larger than the configured ceiling (maps to
+    /// `413`).
+    BodyTooLarge {
+        /// The declared `Content-Length`.
+        declared: usize,
+        /// The configured ceiling.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Closed => write!(f, "connection closed"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
+            HttpError::BodyTooLarge { declared, limit } => {
+                write!(
+                    f,
+                    "request body of {declared} bytes exceeds the {limit}-byte limit"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Reads one request from `reader`.
+///
+/// # Errors
+///
+/// [`HttpError::Closed`] on a clean EOF before the request line,
+/// [`HttpError::Malformed`] on bad syntax, [`HttpError::BodyTooLarge`]
+/// when `Content-Length` exceeds `max_body`.
+pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<HttpRequest, HttpError> {
+    let line = read_line(reader, MAX_HEAD)?;
+    if line.is_empty() {
+        return Err(HttpError::Closed);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("request line without a target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("request line without a version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported version `{version}`"
+        )));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut headers = Vec::new();
+    let mut head_bytes = line.len();
+    loop {
+        let line = read_line(reader, MAX_HEAD)?;
+        if line.is_empty() {
+            break;
+        }
+        head_bytes += line.len();
+        if head_bytes > MAX_HEAD {
+            return Err(HttpError::Malformed("header section too large".into()));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("header without a colon: `{line}`")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+        None => 0,
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed(format!("invalid content-length `{v}`")))?,
+    };
+    if content_length > max_body {
+        return Err(HttpError::BodyTooLarge {
+            declared: content_length,
+            limit: max_body,
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(HttpError::Io)?;
+    Ok(HttpRequest {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line, without the
+/// terminator.
+fn read_line<R: BufRead>(reader: &mut R, limit: usize) -> Result<String, HttpError> {
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match reader.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                buf.push(byte[0]);
+                if buf.len() > limit {
+                    return Err(HttpError::Malformed("line too long".into()));
+                }
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf).map_err(|_| HttpError::Malformed("non-UTF-8 header bytes".into()))
+}
+
+/// The standard reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one complete response and flushes.
+///
+/// # Errors
+///
+/// Propagates transport errors; callers treat them as "peer went
+/// away" and drop the connection.
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    )?;
+    writer.write_all(body.as_bytes())?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<HttpRequest, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), 1024)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse(
+            "POST /v1/requests?x=1 HTTP/1.1\r\nHost: localhost\r\nX-Carta-Tenant: oem\r\ncontent-length: 4\r\n\r\nbody",
+        )
+        .expect("parses");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/requests");
+        assert_eq!(req.header("x-carta-tenant"), Some("oem"));
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn get_without_length_has_empty_body() {
+        let req = parse("GET /v1/metrics HTTP/1.1\r\n\r\n").expect("parses");
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_before_reading_it() {
+        let err = parse("POST /v1/requests HTTP/1.1\r\ncontent-length: 99999\r\n\r\n")
+            .expect_err("too large");
+        assert!(matches!(
+            err,
+            HttpError::BodyTooLarge {
+                declared: 99999,
+                limit: 1024
+            }
+        ));
+    }
+
+    #[test]
+    fn clean_eof_is_closed_and_garbage_is_malformed() {
+        assert!(matches!(parse(""), Err(HttpError::Closed)));
+        assert!(matches!(
+            parse("what\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / SPDY/3\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn responses_carry_length_and_close() {
+        let mut out = Vec::new();
+        write_response(&mut out, 429, "application/json", "{}").expect("writes");
+        let text = String::from_utf8(out).expect("utf-8");
+        assert!(
+            text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("content-length: 2\r\n"), "{text}");
+        assert!(text.contains("connection: close\r\n"), "{text}");
+        assert!(text.ends_with("{}"), "{text}");
+    }
+}

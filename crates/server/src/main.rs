@@ -1,0 +1,31 @@
+//! The `carta-server` binary: bind from `CARTA_SERVER_*` environment
+//! variables (see [`carta_server::ServerConfig`]) and serve until
+//! killed.
+
+use carta_server::{Server, ServerConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let config = ServerConfig::from_env();
+    let server = match Server::bind(config.clone()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", config.addr);
+            return ExitCode::from(66);
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => eprintln!(
+            "carta-server listening on http://{addr} \
+             (POST /v1/requests, POST /v1/tenants/<t>/sessions, GET /v1/metrics)"
+        ),
+        Err(e) => eprintln!("carta-server listening (local_addr unavailable: {e})"),
+    }
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: accept loop failed: {e}");
+            ExitCode::from(70)
+        }
+    }
+}

@@ -1,0 +1,479 @@
+//! The HTTP front door: routing, admission handling, and the
+//! worker-pool accept loop.
+//!
+//! Three routes:
+//!
+//! * `POST /v1/tenants/<tenant>/sessions` — upload a K-Matrix CSV,
+//!   get a session id back,
+//! * `POST /v1/requests` — one `carta.api.v1` request envelope
+//!   (tenant from the `x-carta-tenant` header, default `public`);
+//!   uploaded matrices are referenced with the
+//!   `{"kind": "session", "id": "s1"}` model source,
+//! * `GET /v1/metrics` — the `carta.metrics.v1` document since server
+//!   start, including the `server.*` counters.
+//!
+//! Failure policy: an analysis outcome is **never** a 500. Divergence
+//! comes back as a degraded 200 report, model and request problems as
+//! their `carta.api.v1` error codes, and even a panicking worker is
+//! caught (`Evaluator::evaluate_batch` already contains analysis
+//! panics; the route layer adds a second `catch_unwind` so the
+//! process survives anything else too).
+
+use crate::config::ServerConfig;
+use crate::http::{self, HttpError, HttpRequest};
+use crate::tenant::{Admission, TenantPool};
+use carta_api::handler::{load_matrix, load_network};
+use carta_api::prelude::{AnalyzeReport, ApiError, ErrorCode, Handler, Model, Request, Response};
+use carta_api::wire;
+use carta_can::rta::{analyze_bus, AnalysisConfig};
+use carta_obs::json::ObjectBuilder;
+use carta_obs::metrics::{self, MetricsSnapshot};
+use carta_obs::report::{metrics_json, Derived};
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// State shared by every connection worker.
+#[derive(Debug)]
+struct Shared {
+    config: ServerConfig,
+    pool: TenantPool,
+    started: Instant,
+    baseline: MetricsSnapshot,
+    shutdown: AtomicBool,
+}
+
+/// A bound (not yet serving) server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listen socket and switches the global metrics
+    /// registry on (the `/v1/metrics` endpoint reports deltas against
+    /// the snapshot taken here).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        metrics::set_enabled(true);
+        let listener = TcpListener::bind(&config.addr)?;
+        let shared = Arc::new(Shared {
+            pool: TenantPool::new(config.clone()),
+            config,
+            started: Instant::now(),
+            baseline: metrics::global().snapshot(),
+            shutdown: AtomicBool::new(false),
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The bound address (the OS-chosen port when the config asked
+    /// for `:0`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` failures.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until [`ServerHandle::stop`] (or a listener error).
+    /// Accepted connections are fanned out to a fixed pool of worker
+    /// threads; the accept loop itself never parses a byte.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop I/O failures other than shutdown.
+    pub fn run(self) -> io::Result<()> {
+        let (tx, rx) = channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers: Vec<JoinHandle<()>> = (0..self.shared.config.workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&self.shared);
+                thread::Builder::new()
+                    .name(format!("carta-server-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &rx))
+                    .unwrap_or_else(|e| panic!("cannot spawn worker thread: {e}"))
+            })
+            .collect();
+        for stream in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                // Transient accept errors (e.g. a peer resetting
+                // mid-handshake) must not take the service down.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::ConnectionReset
+                            | io::ErrorKind::ConnectionAborted
+                            | io::ErrorKind::Interrupted
+                    ) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        drop(tx);
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+
+    /// Runs the accept loop on a background thread, returning a
+    /// handle for the test harness (and a graceful `stop`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` failures.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let shared = Arc::clone(&self.shared);
+        let thread = thread::Builder::new()
+            .name("carta-server-accept".into())
+            .spawn(move || self.run())?;
+        Ok(ServerHandle {
+            addr,
+            shared,
+            thread: Some(thread),
+        })
+    }
+}
+
+/// A running server spawned with [`Server::spawn`].
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    thread: Option<JoinHandle<io::Result<()>>>,
+}
+
+impl ServerHandle {
+    /// Where the server listens.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals shutdown, unblocks the accept loop and joins it.
+    pub fn stop(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // One throwaway connection unblocks the blocking accept.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<TcpStream>>>) {
+    loop {
+        let stream = {
+            let Ok(guard) = rx.lock() else { return };
+            guard.recv()
+        };
+        match stream {
+            Ok(stream) => handle_connection(shared, stream),
+            Err(_) => return, // accept loop gone: shutdown
+        }
+    }
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    // A stalled peer must not pin a worker forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let (status, body) = match http::read_request(&mut reader, shared.config.max_body) {
+        Ok(req) => dispatch(shared, &req),
+        Err(HttpError::Closed | HttpError::Io(_)) => return,
+        Err(err @ HttpError::BodyTooLarge { .. }) => (
+            413,
+            wire::encode_error(&ApiError::new(ErrorCode::QuotaExceeded, err.to_string())),
+        ),
+        Err(err @ HttpError::Malformed(_)) => error_response(&ApiError::request(err.to_string())),
+    };
+    let _ = http::write_response(&mut stream, status, "application/json", &body);
+    let _ = stream.flush();
+}
+
+/// Routes one request; panics anywhere below become a 500 here, and
+/// the worker (and process) live on.
+fn dispatch(shared: &Shared, req: &HttpRequest) -> (u16, String) {
+    catch_unwind(AssertUnwindSafe(|| route(shared, req))).unwrap_or_else(|_| {
+        metrics::global().counter("server.requests.panicked").inc();
+        error_response(&ApiError::internal(
+            "request handling panicked; the server is still up",
+        ))
+    })
+}
+
+fn route(shared: &Shared, req: &HttpRequest) -> (u16, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/v1/requests") => handle_api(shared, req),
+        ("GET", "/v1/metrics") => (200, metrics_document(shared)),
+        ("GET", "/v1/healthz") => (
+            200,
+            ObjectBuilder::new()
+                .string("schema", wire::SCHEMA)
+                .bool("ok", true)
+                .string("kind", "healthz")
+                .build(),
+        ),
+        ("POST", path) => match session_upload_tenant(path) {
+            Some(tenant) => handle_upload(shared, tenant, &req.body),
+            None => not_found(path),
+        },
+        (_, path @ ("/v1/requests" | "/v1/metrics" | "/v1/healthz")) => (
+            405,
+            wire::encode_error(&ApiError::request(format!(
+                "method `{}` not allowed on `{path}`",
+                req.method
+            ))),
+        ),
+        (_, path) => not_found(path),
+    }
+}
+
+/// `/v1/tenants/<tenant>/sessions` → `<tenant>`.
+fn session_upload_tenant(path: &str) -> Option<&str> {
+    path.strip_prefix("/v1/tenants/")?.strip_suffix("/sessions")
+}
+
+fn not_found(path: &str) -> (u16, String) {
+    (
+        404,
+        wire::encode_error(&ApiError::request(format!("unknown route `{path}`"))),
+    )
+}
+
+fn error_response(err: &ApiError) -> (u16, String) {
+    (err.code.http_status(), wire::encode_error(err))
+}
+
+fn handle_upload(shared: &Shared, tenant: &str, body: &[u8]) -> (u16, String) {
+    if let Err(err) = TenantPool::validate_tenant(tenant) {
+        return error_response(&err);
+    }
+    let csv = match std::str::from_utf8(body) {
+        Ok(text) => text,
+        Err(_) => {
+            return error_response(&ApiError::request("session body is not UTF-8 K-Matrix CSV"))
+        }
+    };
+    // Reject junk at the door so `session` model sources can only
+    // name parsable matrices.
+    if let Err(err) = load_matrix(&carta_api::prelude::ModelSource::Csv(csv.to_string())) {
+        return error_response(&err);
+    }
+    let id = shared.pool.put_session(tenant, csv.to_string());
+    metrics::global().counter("server.sessions.uploaded").inc();
+    let result = ObjectBuilder::new()
+        .string("id", &id)
+        .string("tenant", tenant)
+        .build();
+    let body = ObjectBuilder::new()
+        .string("schema", wire::SCHEMA)
+        .bool("ok", true)
+        .string("kind", "session")
+        .raw("result", &result)
+        .build();
+    (201, body)
+}
+
+fn handle_api(shared: &Shared, req: &HttpRequest) -> (u16, String) {
+    let tenant = req.header("x-carta-tenant").unwrap_or("public").to_string();
+    if let Err(err) = TenantPool::validate_tenant(&tenant) {
+        return error_response(&err);
+    }
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(text) => text,
+        Err(_) => return error_response(&ApiError::request("request body is not UTF-8")),
+    };
+    let resolve = |id: &str| shared.pool.session(&tenant, id).map(|csv| (*csv).clone());
+    let request = match wire::decode_request(text, &resolve) {
+        Ok(request) => request,
+        Err(err) => return error_response(&err),
+    };
+    let (handler, admission) = shared.pool.checkout(&tenant);
+    match admission {
+        Admission::Granted => serve(&handler, &request),
+        Admission::Pressure if request.is_heavy() => {
+            metrics::global().counter("server.requests.shed").inc();
+            error_response(&ApiError::new(
+                ErrorCode::AdmissionShed,
+                format!(
+                    "tenant `{tenant}` is over its admission budget of {} requests per {} ms; \
+                     heavy request `{}` shed — retry next window",
+                    shared.config.budget,
+                    shared.config.window_ms,
+                    request.kind()
+                ),
+            ))
+        }
+        Admission::Pressure => match &request {
+            // `analyze` under pressure still answers, but with a
+            // strangled iteration budget: whatever converges keeps its
+            // bounds, the rest carries diagnostics, and the report is
+            // marked degraded. A flooding tenant gets an honest
+            // partial answer, never a 500 and never a free full run.
+            Request::Analyze { model, scenario } => {
+                metrics::global().counter("server.requests.degraded").inc();
+                match degraded_analyze(model, *scenario, shared.config.degraded_iterations) {
+                    Ok(resp) => (200, wire::encode_response(&resp)),
+                    Err(err) => error_response(&err),
+                }
+            }
+            _ => serve(&handler, &request),
+        },
+    }
+}
+
+fn serve(handler: &Handler, request: &Request) -> (u16, String) {
+    metrics::global().counter("server.requests.accepted").inc();
+    match handler.handle(request) {
+        Ok(resp) => (200, wire::encode_response(&resp)),
+        Err(err) => error_response(&err),
+    }
+}
+
+/// The admission-pressure `analyze` path: a direct `analyze_bus` run
+/// whose per-message fixpoints are capped at `max_iterations`, so the
+/// answer is immediate and partial rather than queued or shed.
+fn degraded_analyze(
+    model: &Model,
+    scenario: carta_api::prelude::ScenarioSpec,
+    max_iterations: u64,
+) -> Result<Response, ApiError> {
+    let net = load_network(model)?;
+    let scenario = scenario.to_scenario();
+    let prepared = scenario.apply(&net);
+    let config = AnalysisConfig {
+        max_iterations,
+        ..scenario.analysis_config()
+    };
+    let error_model = scenario.errors.model();
+    let report = analyze_bus(&prepared, error_model.as_ref(), &config)?;
+    Ok(Response::Analyze(AnalyzeReport {
+        scenario: scenario.name,
+        report: Arc::new(report),
+    }))
+}
+
+fn metrics_document(shared: &Shared) -> String {
+    let wall_s = shared.started.elapsed().as_secs_f64();
+    let delta = metrics::global().snapshot().delta(&shared.baseline);
+    let derived = Derived::from_delta(&delta, wall_s);
+    metrics_json("server", wall_s, &delta, &derived)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carta_api::prelude::ScenarioSpec;
+
+    fn shared() -> Shared {
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            ..ServerConfig::default()
+        };
+        Shared {
+            pool: TenantPool::new(config.clone()),
+            config,
+            started: Instant::now(),
+            baseline: MetricsSnapshot {
+                values: Default::default(),
+            },
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    fn post(path: &str, body: &str) -> HttpRequest {
+        HttpRequest {
+            method: "POST".into(),
+            path: path.into(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    #[test]
+    fn unknown_routes_are_404_with_api_error_envelopes() {
+        let shared = shared();
+        let (status, body) = route(&shared, &post("/v2/everything", ""));
+        assert_eq!(status, 404);
+        let err = wire::decode_error(&body).expect("error envelope");
+        assert_eq!(err.code, ErrorCode::RequestInvalid);
+        assert!(err.message.contains("unknown route"), "{}", err.message);
+    }
+
+    #[test]
+    fn wrong_method_is_405() {
+        let shared = shared();
+        let mut req = post("/v1/metrics", "");
+        req.method = "DELETE".into();
+        let (status, _) = route(&shared, &req);
+        assert_eq!(status, 405);
+    }
+
+    #[test]
+    fn session_upload_rejects_junk_and_accepts_a_matrix() {
+        let shared = shared();
+        let (status, body) = route(&shared, &post("/v1/tenants/oem/sessions", "not,a,kmatrix"));
+        assert_eq!(status, 422, "{body}");
+        let csv = match Handler::default()
+            .handle(&Request::Generate { seed: 42 })
+            .expect("generates")
+        {
+            Response::Matrix { csv } => csv,
+            other => panic!("wrong kind {}", other.kind()),
+        };
+        let (status, body) = route(&shared, &post("/v1/tenants/oem/sessions", &csv));
+        assert_eq!(status, 201, "{body}");
+        assert!(body.contains("\"id\":\"s1\""), "{body}");
+        assert!(shared.pool.session("oem", "s1").is_some());
+    }
+
+    #[test]
+    fn degraded_analyze_is_partial_but_never_an_error() {
+        let resp = degraded_analyze(&Model::case_study(), ScenarioSpec::Worst, 1)
+            .expect("degraded, not an error");
+        match resp {
+            Response::Analyze(a) => {
+                assert!(
+                    a.report.is_degraded(),
+                    "a 1-iteration budget cannot converge 64 messages"
+                );
+                assert!(a.report.diagnostics().count() > 0);
+            }
+            other => panic!("wrong kind {}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn tenant_path_parsing_is_exact() {
+        assert_eq!(
+            session_upload_tenant("/v1/tenants/oem/sessions"),
+            Some("oem")
+        );
+        assert_eq!(session_upload_tenant("/v1/tenants/oem/other"), None);
+        assert_eq!(session_upload_tenant("/v1/tenants//sessions"), Some(""));
+        assert!(TenantPool::validate_tenant("").is_err());
+    }
+}

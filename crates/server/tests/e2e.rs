@@ -1,0 +1,357 @@
+//! End-to-end service tests over a real socket: two tenants, session
+//! upload, `carta.api.v1` round-trips, admission shedding, degraded
+//! analyze under pressure, tenant isolation, and the `/v1/metrics`
+//! document.
+//!
+//! Every test spins its own server on an ephemeral port (`:0`) with a
+//! 60 s admission window so budget arithmetic is deterministic.
+
+use carta_api::prelude::{ErrorCode, Handler, Model, Request, Response, ScenarioSpec};
+use carta_api::wire;
+use carta_engine::prelude::Parallelism;
+use carta_obs::json::{self, Value};
+use carta_server::{Server, ServerConfig, ServerHandle};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+fn start(budget: u32) -> ServerHandle {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        window_ms: 60_000,
+        budget,
+        ..ServerConfig::default()
+    };
+    Server::bind(config)
+        .expect("binds an ephemeral port")
+        .spawn()
+        .expect("accept loop spawns")
+}
+
+/// One request over a fresh connection (the server is
+/// `connection: close`); returns status and body.
+fn http(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    tenant: Option<&str>,
+    body: &str,
+) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    let tenant_header = tenant
+        .map(|t| format!("x-carta-tenant: {t}\r\n"))
+        .unwrap_or_default();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nhost: carta\r\n{tenant_header}content-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("writes the request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("reads to close");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn generate_csv(seed: u64) -> String {
+    match Handler::new(Parallelism::sequential())
+        .handle(&Request::Generate { seed })
+        .expect("generates")
+    {
+        Response::Matrix { csv } => csv,
+        other => panic!("wrong response kind {}", other.kind()),
+    }
+}
+
+fn upload(addr: SocketAddr, tenant: &str, csv: &str) -> String {
+    let (status, body) = http(
+        addr,
+        "POST",
+        &format!("/v1/tenants/{tenant}/sessions"),
+        None,
+        csv,
+    );
+    assert_eq!(status, 201, "{body}");
+    let doc = json::parse(&body).expect("valid session envelope");
+    assert_eq!(
+        doc.get("schema").and_then(Value::as_str),
+        Some(wire::SCHEMA)
+    );
+    assert_eq!(doc.get("ok").and_then(Value::as_bool), Some(true));
+    doc.get("result")
+        .and_then(|r| r.get("id"))
+        .and_then(Value::as_str)
+        .expect("session id")
+        .to_string()
+}
+
+fn analyze_session_body(id: &str) -> String {
+    format!(
+        r#"{{"schema":"carta.api.v1","request":"analyze","params":{{"model":{{"source":{{"kind":"session","id":"{id}"}}}},"scenario":"worst"}}}}"#
+    )
+}
+
+#[test]
+fn uploaded_session_analysis_is_bit_identical_to_a_direct_evaluator_run() {
+    let server = start(32);
+    let addr = server.addr();
+    let csv = generate_csv(42);
+    let id = upload(addr, "oem", &csv);
+
+    let (status, body) = http(
+        addr,
+        "POST",
+        "/v1/requests",
+        Some("oem"),
+        &analyze_session_body(&id),
+    );
+    assert_eq!(status, 200, "{body}");
+    let doc = json::parse(&body).expect("valid response envelope");
+    assert_eq!(
+        doc.get("schema").and_then(Value::as_str),
+        Some(wire::SCHEMA)
+    );
+    assert_eq!(doc.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(doc.get("kind").and_then(Value::as_str), Some("analyze"));
+
+    let over_the_wire = wire::decode_analyze(&body).expect("decodes");
+    let direct = match Handler::new(Parallelism::sequential())
+        .handle(&Request::Analyze {
+            model: Model::from_csv(csv),
+            scenario: ScenarioSpec::Worst,
+        })
+        .expect("analyzes directly")
+    {
+        Response::Analyze(a) => a,
+        other => panic!("wrong response kind {}", other.kind()),
+    };
+    assert_eq!(
+        over_the_wire, direct,
+        "the server's report must round-trip bit-identically"
+    );
+    assert!(!over_the_wire.report.is_degraded());
+    server.stop();
+}
+
+#[test]
+fn flooding_tenant_degrades_and_sheds_while_the_other_tenant_is_untouched() {
+    // Budget 2: the third and later requests of a window are pressure.
+    let server = start(2);
+    let addr = server.addr();
+
+    // The "supplier" tenant uploads a flooded matrix: the appended row
+    // is the same unschedulable lowest-priority probe
+    // `carta_testkit::chaos::flooded` injects (id 0x7FA, 8 bytes every
+    // 50 time units — several times the bus capacity).
+    let mut flooded_csv = generate_csv(7);
+    flooded_csv.push_str("flood,0x7fa,0,8,50,,,EMS,TCU\n");
+    let flooded_id = upload(addr, "supplier", &flooded_csv);
+
+    // Request 1 (within budget): a full analysis — degraded because
+    // the *model* is overloaded, with the flood diagnosed.
+    let (status, body) = http(
+        addr,
+        "POST",
+        "/v1/requests",
+        Some("supplier"),
+        &analyze_session_body(&flooded_id),
+    );
+    assert_eq!(
+        status, 200,
+        "an overloaded model is a report, not an error: {body}"
+    );
+    let report = wire::decode_analyze(&body).expect("decodes");
+    assert!(report.report.is_degraded());
+    assert!(
+        report.report.diagnostics().count() >= 1,
+        "the flood carries a diagnostic"
+    );
+    assert!(
+        body.contains("\"diagnostic\""),
+        "diagnostics are serialized: {body}"
+    );
+
+    // Request 2 burns the rest of the budget.
+    let (status, _) = http(
+        addr,
+        "POST",
+        "/v1/requests",
+        Some("supplier"),
+        &analyze_session_body(&flooded_id),
+    );
+    assert_eq!(status, 200);
+
+    // Request 3 is over budget and heavy: shed with `admission.shed`.
+    let loss_body = format!(
+        r#"{{"schema":"carta.api.v1","request":"loss","params":{{"model":{{"source":{{"kind":"session","id":"{flooded_id}"}}}},"scenario":"worst"}}}}"#
+    );
+    let (status, body) = http(addr, "POST", "/v1/requests", Some("supplier"), &loss_body);
+    assert_eq!(status, 429, "{body}");
+    let err = wire::decode_error(&body).expect("error envelope");
+    assert_eq!(err.code, ErrorCode::AdmissionShed);
+    assert!(err.message.contains("admission budget"), "{}", err.message);
+
+    // Request 4 is over budget but `analyze`: an immediate partial
+    // report under a strangled iteration budget — DEGRADED, not 429.
+    let (status, body) = http(
+        addr,
+        "POST",
+        "/v1/requests",
+        Some("supplier"),
+        &analyze_session_body(&flooded_id),
+    );
+    assert_eq!(
+        status, 200,
+        "pressure analyze degrades instead of shedding: {body}"
+    );
+    let partial = wire::decode_analyze(&body).expect("decodes");
+    assert!(partial.report.is_degraded());
+
+    // The "oem" tenant has its own window, evaluator and sessions: a
+    // clean matrix analyzes fully and matches a direct run bit for
+    // bit, flood or no flood next door.
+    let clean_csv = generate_csv(42);
+    let clean_id = upload(addr, "oem", &clean_csv);
+    let (status, body) = http(
+        addr,
+        "POST",
+        "/v1/requests",
+        Some("oem"),
+        &analyze_session_body(&clean_id),
+    );
+    assert_eq!(status, 200, "{body}");
+    let oem_report = wire::decode_analyze(&body).expect("decodes");
+    assert!(!oem_report.report.is_degraded());
+    let direct = match Handler::new(Parallelism::sequential())
+        .handle(&Request::Analyze {
+            model: Model::from_csv(clean_csv),
+            scenario: ScenarioSpec::Worst,
+        })
+        .expect("analyzes directly")
+    {
+        Response::Analyze(a) => a,
+        other => panic!("wrong response kind {}", other.kind()),
+    };
+    assert_eq!(oem_report, direct);
+
+    // The process survived all of it: metrics and health still serve,
+    // and the counters saw the shed and the degradation.
+    let (status, body) = http(addr, "GET", "/v1/metrics", None, "");
+    assert_eq!(status, 200);
+    let doc = json::parse(&body).expect("valid metrics document");
+    assert_eq!(
+        doc.get("schema").and_then(Value::as_str),
+        Some("carta.metrics.v1")
+    );
+    let metric = |name: &str| {
+        doc.get("metrics")
+            .and_then(|m| m.get(name))
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0)
+    };
+    assert!(metric("server.requests.accepted") >= 3.0, "{body}");
+    assert!(metric("server.requests.shed") >= 1.0, "{body}");
+    assert!(metric("server.requests.degraded") >= 1.0, "{body}");
+    assert!(metric("server.sessions.uploaded") >= 2.0, "{body}");
+    let (status, _) = http(addr, "GET", "/v1/healthz", None, "");
+    assert_eq!(status, 200);
+    server.stop();
+}
+
+#[test]
+fn the_error_surface_uses_stable_codes_and_statuses() {
+    let server = start(32);
+    let addr = server.addr();
+
+    // Unknown session → 404 session.not_found.
+    let (status, body) = http(
+        addr,
+        "POST",
+        "/v1/requests",
+        Some("oem"),
+        &analyze_session_body("s99"),
+    );
+    assert_eq!(status, 404, "{body}");
+    let err = wire::decode_error(&body).expect("error envelope");
+    assert_eq!(err.code, ErrorCode::SessionNotFound);
+    assert!(
+        err.message.contains("unknown session `s99`"),
+        "{}",
+        err.message
+    );
+
+    // Sessions are tenant-scoped: another tenant's id does not leak.
+    let id = upload(addr, "oem", &generate_csv(42));
+    let (status, _) = http(
+        addr,
+        "POST",
+        "/v1/requests",
+        Some("supplier"),
+        &analyze_session_body(&id),
+    );
+    assert_eq!(status, 404);
+
+    // Malformed JSON → 400 request.invalid.
+    let (status, body) = http(addr, "POST", "/v1/requests", None, "{nope");
+    assert_eq!(status, 400);
+    let err = wire::decode_error(&body).expect("error envelope");
+    assert_eq!(err.code, ErrorCode::RequestInvalid);
+
+    // Wrong schema → 400 with the expected-schema message.
+    let (status, body) = http(
+        addr,
+        "POST",
+        "/v1/requests",
+        None,
+        r#"{"schema":"carta.api.v2","request":"analyze"}"#,
+    );
+    assert_eq!(status, 400);
+    assert!(body.contains("unsupported schema"), "{body}");
+
+    // Junk CSV upload → 422 model.invalid, and nothing is stored.
+    let (status, body) = http(
+        addr,
+        "POST",
+        "/v1/tenants/oem/sessions",
+        None,
+        "not,a,kmatrix",
+    );
+    assert_eq!(status, 422, "{body}");
+    let err = wire::decode_error(&body).expect("error envelope");
+    assert_eq!(err.code, ErrorCode::ModelInvalid);
+
+    // Bad tenant names and unknown routes.
+    let (status, _) = http(addr, "POST", "/v1/tenants/a%2Fb/sessions", None, "x,y");
+    assert_eq!(status, 400);
+    let (status, _) = http(addr, "GET", "/v2/everything", None, "");
+    assert_eq!(status, 404);
+    server.stop();
+}
+
+#[test]
+fn oversized_bodies_are_refused_before_being_read() {
+    let server = start(32);
+    let addr = server.addr();
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    // Claim a body far over the limit and send none of it: the server
+    // must answer 413 from the header alone.
+    write!(
+        stream,
+        "POST /v1/requests HTTP/1.1\r\nhost: carta\r\ncontent-length: 999999999\r\n\r\n"
+    )
+    .expect("writes");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("reads");
+    assert!(raw.starts_with("HTTP/1.1 413 "), "{raw}");
+    assert!(raw.contains("quota.exceeded"), "{raw}");
+    server.stop();
+}

@@ -63,7 +63,7 @@ impl Default for SimConfig {
 }
 
 /// Observed statistics for one message.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MessageStats {
     /// Message name.
     pub name: String,
