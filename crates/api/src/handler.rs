@@ -9,8 +9,8 @@
 use crate::error::ApiError;
 use crate::request::{Model, ModelSource, Request};
 use crate::response::{
-    AnalyzeReport, AudsleyRow, FuzzReplay, FuzzSummary, LoadSummary, OptimizeSummary, Response,
-    SimulateSummary,
+    AnalyzeReport, AudsleyRow, FuzzReplay, FuzzSummary, LoadSummary, OptimizeSummary,
+    ProbAnalyzeReport, Response, SimulateSummary,
 };
 use carta_can::frame::StuffingMode;
 use carta_can::network::CanNetwork;
@@ -118,6 +118,8 @@ impl Handler {
             Request::Load { model } => self.load(model),
             Request::Analyze { model, scenario } => self.analyze(model, *scenario),
             Request::Loss { model, scenario } => self.loss(model, *scenario),
+            Request::ProbAnalyze { model, scenario } => self.prob_analyze(model, *scenario),
+            Request::ProbLoss { model, scenario } => self.prob_loss(model, *scenario),
             Request::Sensitivity {
                 model,
                 scenario,
@@ -214,6 +216,45 @@ impl Handler {
             self.evaluator.loss_vs_jitter(&net, &scenario, &grid)?
         };
         Ok(Response::Loss(curve))
+    }
+
+    fn prob_analyze(
+        &self,
+        model: &Model,
+        scenario: crate::request::ScenarioSpec,
+    ) -> Result<Response, ApiError> {
+        let net = {
+            let _phase = PhaseGuard::new("load");
+            load_network(model)?
+        };
+        let scenario = scenario.to_scenario();
+        let report = {
+            let _phase = PhaseGuard::new("analyze");
+            self.evaluator
+                .evaluate_prob(&SystemVariant::new(BaseSystem::new(net), scenario.clone()))?
+        };
+        Ok(Response::ProbAnalyze(ProbAnalyzeReport {
+            scenario: scenario.name,
+            report,
+        }))
+    }
+
+    fn prob_loss(
+        &self,
+        model: &Model,
+        scenario: crate::request::ScenarioSpec,
+    ) -> Result<Response, ApiError> {
+        let net = {
+            let _phase = PhaseGuard::new("load");
+            load_network(model)?
+        };
+        let scenario = scenario.to_scenario();
+        let grid = paper_jitter_grid();
+        let curve = {
+            let _phase = PhaseGuard::new("analyze");
+            self.evaluator.prob_loss_vs_jitter(&net, &scenario, &grid)?
+        };
+        Ok(Response::ProbLoss(curve))
     }
 
     fn sensitivity(
@@ -447,7 +488,7 @@ impl Handler {
     }
 
     fn fuzz_replay(repro_json: &str) -> Result<Response, ApiError> {
-        use carta_testkit::prelude::Repro;
+        use carta_testkit::prelude::{ReplayError, Repro};
         let repro = Repro::from_json(repro_json).map_err(|e| ApiError::request(e.to_string()))?;
         let _phase = PhaseGuard::new("fuzz");
         match repro.replay() {
@@ -455,7 +496,10 @@ impl Handler {
                 law: repro.law,
                 seed: repro.seed,
             })),
-            Err(v) => Err(ApiError::new(
+            // A retired/misspelled law name is a malformed request, not
+            // a reproduced defect — it must not exit like a violation.
+            Err(ReplayError::UnknownLaw(e)) => Err(ApiError::request(e.to_string())),
+            Err(ReplayError::Violation(v)) => Err(ApiError::new(
                 crate::error::ErrorCode::FuzzViolation,
                 v.to_string(),
             )),

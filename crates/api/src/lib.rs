@@ -36,7 +36,7 @@ pub mod prelude {
         parse_backend, Model, ModelOptions, ModelSource, Request, ScenarioSpec,
     };
     pub use crate::response::{
-        AnalyzeReport, AudsleyRow, FuzzReplay, FuzzSummary, LoadSummary, OptimizeSummary, Response,
-        SimulateSummary,
+        AnalyzeReport, AudsleyRow, FuzzReplay, FuzzSummary, LoadSummary, OptimizeSummary,
+        ProbAnalyzeReport, Response, SimulateSummary,
     };
 }

@@ -161,6 +161,22 @@ pub enum Request {
         /// Assumption bundle.
         scenario: ScenarioSpec,
     },
+    /// Convolution-based response-time distributions and deadline-miss
+    /// probabilities per message.
+    ProbAnalyze {
+        /// The model to analyze.
+        model: Model,
+        /// Assumption bundle.
+        scenario: ScenarioSpec,
+    },
+    /// Probabilistic message-loss curve (expected losses with a
+    /// certain/possible confidence band) over the jitter grid.
+    ProbLoss {
+        /// The model to sweep.
+        model: Model,
+        /// Assumption bundle.
+        scenario: ScenarioSpec,
+    },
     /// Response-vs-jitter sensitivity classes per message.
     Sensitivity {
         /// The model to sweep.
@@ -252,6 +268,8 @@ impl Request {
             Request::Load { .. } => "load",
             Request::Analyze { .. } => "analyze",
             Request::Loss { .. } => "loss",
+            Request::ProbAnalyze { .. } => "prob-analyze",
+            Request::ProbLoss { .. } => "prob-loss",
             Request::Sensitivity { .. } => "sensitivity",
             Request::Audsley { .. } => "audsley",
             Request::Optimize { .. } => "optimize",
@@ -272,6 +290,8 @@ impl Request {
         matches!(
             self,
             Request::Loss { .. }
+                | Request::ProbAnalyze { .. }
+                | Request::ProbLoss { .. }
                 | Request::Sensitivity { .. }
                 | Request::Audsley { .. }
                 | Request::Optimize { .. }

@@ -5,9 +5,12 @@
 //! the CLI's table renderer, the server's JSON encoder — is a pure
 //! function of the same value.
 
+use carta_can::prob::ProbBusReport;
 use carta_can::rta::BusReport;
 use carta_engine::prelude::CacheStats;
-use carta_explore::prelude::{AnalysisDiff, BitRateOption, LossCurve, SensitivitySeries};
+use carta_explore::prelude::{
+    AnalysisDiff, BitRateOption, LossCurve, ProbLossCurve, SensitivitySeries,
+};
 use carta_kmatrix::lint::Finding;
 use carta_sim::engine::MessageStats;
 use carta_testkit::prelude::FuzzReport;
@@ -35,6 +38,15 @@ pub struct AnalyzeReport {
     pub scenario: String,
     /// The full per-message report, shared with the engine's cache.
     pub report: Arc<BusReport>,
+}
+
+/// A probabilistic analysis report plus the scenario it ran under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbAnalyzeReport {
+    /// Scenario display name (e.g. `worst case`).
+    pub scenario: String,
+    /// Per-message distributions, shared with the engine's cache.
+    pub report: Arc<ProbBusReport>,
 }
 
 /// One row of a feasible Audsley assignment, strongest first.
@@ -108,6 +120,10 @@ pub enum Response {
     Analyze(AnalyzeReport),
     /// Message-loss curve.
     Loss(LossCurve),
+    /// Probabilistic response-time analysis report.
+    ProbAnalyze(ProbAnalyzeReport),
+    /// Probabilistic message-loss curve.
+    ProbLoss(ProbLossCurve),
     /// Sensitivity series per message.
     Sensitivity(Vec<SensitivitySeries>),
     /// Audsley assignment (`None` = infeasible).
@@ -137,6 +153,8 @@ impl Response {
             Response::Load(_) => "load",
             Response::Analyze(_) => "analyze",
             Response::Loss(_) => "loss",
+            Response::ProbAnalyze(_) => "prob-analyze",
+            Response::ProbLoss(_) => "prob-loss",
             Response::Sensitivity(_) => "sensitivity",
             Response::Audsley(_) => "audsley",
             Response::Optimize(_) => "optimize",

@@ -16,15 +16,16 @@
 
 use crate::error::{divergence_code, ApiError, ErrorCode};
 use crate::request::{parse_backend, Model, ModelOptions, ModelSource, Request, ScenarioSpec};
-use crate::response::{AnalyzeReport, AudsleyRow, Response};
+use crate::response::{AnalyzeReport, AudsleyRow, ProbAnalyzeReport, Response};
 use carta_can::backend::{BackendConfig, CanFd};
 use carta_can::frame::StuffingMode;
 use carta_can::message::CanId;
+use carta_can::prob::{ProbDist, ProbMessageReport, ProbOutcome};
 use carta_can::rta::{BusReport, MessageReport, ResponseOutcome};
 use carta_core::analysis::{DivergenceCause, MessageDiagnostic, ResponseBounds};
 use carta_core::time::Time;
 use carta_engine::prelude::CacheStats;
-use carta_explore::prelude::LossCurve;
+use carta_explore::prelude::{LossCurve, ProbLossCurve};
 use carta_obs::json::{self, ObjectBuilder, Value};
 use std::sync::Arc;
 
@@ -101,6 +102,8 @@ pub fn encode_request(req: &Request) -> String {
             .build(),
         Request::Analyze { model, scenario }
         | Request::Loss { model, scenario }
+        | Request::ProbAnalyze { model, scenario }
+        | Request::ProbLoss { model, scenario }
         | Request::Audsley { model, scenario } => ObjectBuilder::new()
             .raw("model", &model_json(model))
             .string("scenario", &scenario.spec_str())
@@ -275,6 +278,75 @@ fn loss_curve_json(curve: &LossCurve) -> String {
         .build()
 }
 
+fn prob_dist_json(d: &ProbDist) -> String {
+    // The raw PMF can run to thousands of bins; the wire carries the
+    // summary statistics plus the CDF the quantiles were read from.
+    ObjectBuilder::new()
+        .uint("bcrt_ns", d.bcrt.as_ns())
+        .uint("wcrt_ns", d.wcrt.as_ns())
+        .num("miss_probability", d.miss_probability)
+        .uint("p50_ns", d.p50.as_ns())
+        .uint("p95_ns", d.p95.as_ns())
+        .uint("p99_ns", d.p99.as_ns())
+        .uint("support_min_ns", d.pmf.support_min().as_ns())
+        .uint("support_max_ns", d.pmf.support_max().as_ns())
+        .uint("bins", d.pmf.len() as u64)
+        .num("total_mass", d.pmf.total_mass())
+        .build()
+}
+
+fn prob_message_json(m: &ProbMessageReport) -> String {
+    let b = ObjectBuilder::new()
+        .uint("index", m.index as u64)
+        .string("name", &m.name)
+        .uint("id", u64::from(m.id.raw()))
+        .uint("deadline_ns", m.deadline.as_ns())
+        .num("miss_probability", m.outcome.miss_probability());
+    match &m.outcome {
+        ProbOutcome::Dist(d) => b.bool("bounded", true).raw("dist", &prob_dist_json(d)),
+        ProbOutcome::Overload(d) => b
+            .bool("bounded", false)
+            .raw("diagnostic", &diagnostic_json(d)),
+    }
+    .build()
+}
+
+fn prob_analyze_json(a: &ProbAnalyzeReport) -> String {
+    ObjectBuilder::new()
+        .string("scenario", &a.scenario)
+        .uint("quantum_ns", a.report.quantum.as_ns())
+        .num("expected_missed", a.report.expected_missed())
+        .uint("certain_missed", a.report.certain_missed() as u64)
+        .uint("possible_missed", a.report.possible_missed() as u64)
+        .string("error_model", &a.report.error_model)
+        .string("stuffing", stuffing_str(a.report.stuffing))
+        .raw("backend", &backend_json(a.report.backend))
+        .raw(
+            "messages",
+            &arr(a.report.messages.iter().map(prob_message_json)),
+        )
+        .build()
+}
+
+fn prob_loss_curve_json(curve: &ProbLossCurve) -> String {
+    ObjectBuilder::new()
+        .string("scenario", &curve.scenario)
+        .raw(
+            "points",
+            &arr(curve.points.iter().map(|p| {
+                ObjectBuilder::new()
+                    .num("jitter_ratio", p.jitter_ratio)
+                    .num("expected_missed", p.expected_missed)
+                    .uint("certain_missed", p.certain_missed as u64)
+                    .uint("possible_missed", p.possible_missed as u64)
+                    .uint("total", p.total as u64)
+                    .bool("failed", p.failed)
+                    .build()
+            })),
+        )
+        .build()
+}
+
 fn cache_stats_json(cache: &CacheStats) -> String {
     ObjectBuilder::new()
         .uint("hits", cache.hits)
@@ -299,6 +371,8 @@ fn result_json(resp: &Response) -> String {
             .build(),
         Response::Analyze(a) => analyze_json(a),
         Response::Loss(curve) => loss_curve_json(curve),
+        Response::ProbAnalyze(a) => prob_analyze_json(a),
+        Response::ProbLoss(curve) => prob_loss_curve_json(curve),
         Response::Sensitivity(series) => ObjectBuilder::new()
             .raw(
                 "series",
@@ -626,6 +700,14 @@ pub fn decode_request(
             scenario: decode_scenario(params)?,
         }),
         "loss" => Ok(Request::Loss {
+            model: model("model")?,
+            scenario: decode_scenario(params)?,
+        }),
+        "prob-analyze" => Ok(Request::ProbAnalyze {
+            model: model("model")?,
+            scenario: decode_scenario(params)?,
+        }),
+        "prob-loss" => Ok(Request::ProbLoss {
             model: model("model")?,
             scenario: decode_scenario(params)?,
         }),
@@ -983,6 +1065,21 @@ mod tests {
             Request::Diff {
                 before: Model::case_study(),
                 after: Model::case_study(),
+                scenario: ScenarioSpec::Worst,
+            },
+            Request::ProbAnalyze {
+                model: Model::case_study(),
+                scenario: ScenarioSpec::SporadicMs(5),
+            },
+            Request::ProbLoss {
+                model: Model {
+                    source: ModelSource::CaseStudy { seed: 9 },
+                    options: ModelOptions {
+                        backend: BackendConfig::can_fd(),
+                        jitter_pct: None,
+                        assume_unknown_pct: Some(10.0),
+                    },
+                },
                 scenario: ScenarioSpec::Worst,
             },
             Request::Fuzz {

@@ -1,0 +1,107 @@
+//! Benchmarks the probabilistic RTA path (BENCH_prob.json): the cost of
+//! a cold `evaluate_prob` sweep (two deterministic solves plus the
+//! convolution refinement per point), the warm memoized path, and the
+//! convolution refinement (`prob_from_reports`) isolated from the
+//! deterministic solves it consumes. All variants are gated by a
+//! bit-identity assertion: the engine's cached path must agree with the
+//! self-contained `prob_analyze` exactly, per-bin.
+
+use carta_bench::case_study;
+use carta_can::prelude::{
+    prob_analyze, prob_from_reports, CompiledBus, ProbBusReport, RtaWorkspace,
+};
+use carta_core::time::Time;
+use carta_engine::prelude::{BaseSystem, Evaluator, Parallelism, Scenario, SystemVariant};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const POINTS: usize = 64;
+
+fn batch() -> Vec<SystemVariant> {
+    let base = BaseSystem::new(case_study());
+    let scenario = Scenario::sporadic_errors(Time::from_ms(10));
+    (0..POINTS)
+        .map(|i| {
+            SystemVariant::new(base.clone(), scenario.clone())
+                .with_jitter_ratio(i as f64 / POINTS as f64)
+        })
+        .collect()
+}
+
+fn bench_prob_analysis(c: &mut Criterion) {
+    let points = batch();
+    let scenario = Scenario::sporadic_errors(Time::from_ms(10));
+    let config = scenario.analysis_config();
+    let model = scenario.errors.model();
+    let mut group = c.benchmark_group("prob_analysis");
+
+    // Bit-identity gate: the engine's cached prob path must reproduce
+    // the self-contained analysis for every point — same bins, same
+    // masses, same quantiles (ProbBusReport derives PartialEq).
+    let gate = Evaluator::default();
+    for v in &points {
+        let cached = gate.evaluate_prob(v).expect("valid case study");
+        let net = v.materialize();
+        let direct = prob_analyze(&net, model.as_ref(), &config).expect("valid case study");
+        assert_eq!(
+            *cached, direct,
+            "engine prob path diverged from prob_analyze"
+        );
+    }
+
+    group.bench_function("prob_cold_64pts", |b| {
+        b.iter(|| {
+            // Fresh evaluator per iteration: each point pays both
+            // deterministic solves plus the convolution refinement.
+            let eval = Evaluator::new(Parallelism::new(1));
+            for v in &points {
+                black_box(eval.evaluate_prob(v).expect("valid case study"));
+            }
+        })
+    });
+
+    let warm = Evaluator::default();
+    for v in &points {
+        warm.evaluate_prob(v).expect("valid case study");
+    }
+    group.bench_function("prob_warm_64pts", |b| {
+        b.iter(|| {
+            for v in &points {
+                black_box(warm.evaluate_prob(v).expect("valid case study"));
+            }
+        })
+    });
+
+    // The refinement alone: deterministic reports precomputed, each
+    // iteration only convolves and clamps per message.
+    let nets: Vec<_> = points.iter().map(|v| v.materialize()).collect();
+    let compiled = CompiledBus::compile(&nets[0], config.stuffing).expect("valid case study");
+    let mut ws = RtaWorkspace::new();
+    let solved: Vec<(_, _)> = nets
+        .iter()
+        .map(|net| {
+            let base = compiled.solve(
+                net,
+                &carta_can::prelude::NoErrors,
+                &config,
+                &mut RtaWorkspace::new(),
+            );
+            let full = compiled.solve(net, model.as_ref(), &config, &mut ws);
+            (base, full)
+        })
+        .collect();
+    group.bench_function("prob_refine_64pts", |b| {
+        b.iter(|| {
+            for (base, full) in &solved {
+                let report: ProbBusReport =
+                    prob_from_reports(&compiled, base, full, model.as_ref())
+                        .expect("valid case study");
+                black_box(report);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prob_analysis);
+criterion_main!(benches);

@@ -367,6 +367,28 @@ impl CompiledBus {
         &self.interference
     }
 
+    /// One bit time on the compiled bus.
+    pub(crate) fn tau(&self) -> Time {
+        self.tau
+    }
+
+    /// Per-message error overhead per hit (error frame plus the longest
+    /// retransmission among the interference set and the message
+    /// itself).
+    pub(crate) fn per_hit_vec(&self) -> &[Time] {
+        &self.per_hit
+    }
+
+    /// The interned message names.
+    pub(crate) fn names(&self) -> &[Arc<str>] {
+        &self.names
+    }
+
+    /// The compiled identifiers.
+    pub(crate) fn ids(&self) -> &[CanId] {
+        &self.ids
+    }
+
     /// Lifts an abandoned fixpoint into a degraded-mode diagnostic
     /// with interned names, recording the `rta.diverged` metric and a
     /// structured trace event.

@@ -57,6 +57,7 @@ pub mod frame;
 pub mod message;
 pub mod network;
 pub mod opa;
+pub mod prob;
 pub mod resource;
 pub mod rta;
 
@@ -72,6 +73,10 @@ pub mod prelude {
     pub use crate::message::{CanId, CanMessage, DeadlinePolicy};
     pub use crate::network::{CanNetwork, Node};
     pub use crate::opa::{audsley_assignment, PriorityOrder};
+    pub use crate::prob::{
+        prob_analyze, prob_from_reports, Pmf, ProbBusReport, ProbDist, ProbMessageReport,
+        ProbOutcome,
+    };
     pub use crate::resource::CanBusResource;
     pub use crate::rta::{analyze_bus, AnalysisConfig, BusReport, MessageReport, ResponseOutcome};
 }

@@ -1,0 +1,153 @@
+//! Property suite for the probabilistic response-time distributions.
+//!
+//! [`Pmf`] is the algebraic core of the convolution-based RTA: every
+//! guarantee the analysis states (CDFs never over-promise, mass is
+//! conserved, quantiles invert the CDF) reduces to a small law on this
+//! type. Each law is checked here over randomized distributions built
+//! from the same constructors the analysis uses (`point`, `binomial`,
+//! `convolve`, `clamp_to`).
+
+use carta_can::prob::Pmf;
+use carta_core::time::Time;
+use proptest::prelude::*;
+
+/// Tolerance for accumulated `f64` rounding across a convolution.
+const EPS: f64 = 1e-9;
+
+/// A randomized distribution from the analysis' own constructors: a
+/// binomial error-mass convolved onto a point offset, exactly the shape
+/// `prob_from_reports` builds per message.
+fn pmf_strategy() -> impl Strategy<Value = Pmf> {
+    (
+        1u64..200,   // quantum in ns
+        0u64..2_000, // point offset in ns
+        0u64..30,    // binomial trials
+        0.0f64..1.0, // per-trial probability
+        1u64..2_000, // retransmission step in ns
+    )
+        .prop_map(|(q, off, trials, p, step)| {
+            let quantum = Time::from_ns(q);
+            Pmf::point(Time::from_ns(off), quantum).convolve(&Pmf::binomial(
+                trials,
+                p,
+                Time::from_ns(step),
+                quantum,
+            ))
+        })
+}
+
+/// Two distributions on a shared lattice (convolution requires it).
+fn pmf_pair_strategy() -> impl Strategy<Value = (Pmf, Pmf)> {
+    (
+        1u64..200,
+        (0u64..2_000, 0u64..30, 0.0f64..1.0, 1u64..2_000),
+        (0u64..2_000, 0u64..30, 0.0f64..1.0, 1u64..2_000),
+    )
+        .prop_map(|(q, a, b)| {
+            let quantum = Time::from_ns(q);
+            let build = |(off, trials, p, step): (u64, u64, f64, u64)| {
+                Pmf::point(Time::from_ns(off), quantum).convolve(&Pmf::binomial(
+                    trials,
+                    p,
+                    Time::from_ns(step),
+                    quantum,
+                ))
+            };
+            (build(a), build(b))
+        })
+}
+
+/// Bin-by-bin approximate equality: identical supports, masses within
+/// `EPS`. Exact `==` is too strict — convolution sums floats in loop
+/// order, so commuted operands can differ in the last ulp.
+fn approx_eq(a: &Pmf, b: &Pmf) -> bool {
+    a.quantum() == b.quantum()
+        && a.len() == b.len()
+        && a.bins()
+            .zip(b.bins())
+            .all(|((ta, ma), (tb, mb))| ta == tb && (ma - mb).abs() <= EPS)
+}
+
+proptest! {
+    // The CDF is monotone non-decreasing in its argument.
+    #[test]
+    fn cdf_is_monotone(pmf in pmf_strategy(), a in 0u64..100_000, b in 0u64..100_000) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(pmf.cdf_at(Time::from_ns(lo)) <= pmf.cdf_at(Time::from_ns(hi)) + EPS);
+    }
+
+    // Every constructor yields unit mass, and the CDF saturates to it
+    // at the support maximum.
+    #[test]
+    fn mass_is_unit_and_cdf_saturates(pmf in pmf_strategy()) {
+        prop_assert!((pmf.total_mass() - 1.0).abs() <= EPS);
+        prop_assert!((pmf.cdf_at(pmf.support_max()) - pmf.total_mass()).abs() <= EPS);
+    }
+
+    // Convolution conserves mass: the product of the operands' totals.
+    #[test]
+    fn convolution_conserves_mass((a, b) in pmf_pair_strategy()) {
+        let c = a.convolve(&b);
+        prop_assert!((c.total_mass() - a.total_mass() * b.total_mass()).abs() <= EPS);
+    }
+
+    // Convolution is commutative (up to `f64` accumulation order).
+    #[test]
+    fn convolution_commutes((a, b) in pmf_pair_strategy()) {
+        prop_assert!(approx_eq(&a.convolve(&b), &b.convolve(&a)));
+    }
+
+    // Convolution is associative (up to `f64` accumulation order).
+    #[test]
+    fn convolution_is_associative(
+        (a, b) in pmf_pair_strategy(),
+        off in 0u64..2_000,
+    ) {
+        let c = Pmf::point(Time::from_ns(off), a.quantum());
+        prop_assert!(approx_eq(&a.convolve(&b).convolve(&c), &a.convolve(&b.convolve(&c))));
+    }
+
+    // Convolving with a zero point mass is the identity.
+    #[test]
+    fn zero_point_is_identity(pmf in pmf_strategy()) {
+        let zero = Pmf::point(Time::ZERO, pmf.quantum());
+        prop_assert!(approx_eq(&pmf.convolve(&zero), &pmf));
+    }
+
+    // The support shifts additively under convolution.
+    #[test]
+    fn convolution_support_is_additive((a, b) in pmf_pair_strategy()) {
+        let c = a.convolve(&b);
+        prop_assert_eq!(c.support_min(), a.support_min() + b.support_min());
+        prop_assert_eq!(c.support_max(), a.support_max() + b.support_max());
+    }
+
+    // `quantile` inverts the CDF: the returned bin value reaches the
+    // requested probability, and it is the smallest such bin.
+    #[test]
+    fn quantile_inverts_cdf(pmf in pmf_strategy(), p in 0.001f64..1.0) {
+        let q = pmf.quantile(p);
+        prop_assert!(q >= pmf.support_min() && q <= pmf.support_max());
+        prop_assert!(pmf.cdf_at(q) + EPS >= p.min(pmf.total_mass()));
+        if q > pmf.support_min() {
+            // One quantum earlier the CDF must still be short of `p`.
+            prop_assert!(pmf.cdf_at(q - pmf.quantum()) < p);
+        }
+    }
+
+    // Clamping preserves total mass and confines the support to the
+    // (quantized) envelope.
+    #[test]
+    fn clamp_preserves_mass_and_confines_support(
+        pmf in pmf_strategy(),
+        lo in 0u64..50_000,
+        span in 0u64..50_000,
+    ) {
+        let lo = Time::from_ns(lo);
+        let hi = lo + Time::from_ns(span);
+        let clamped = pmf.clamp_to(lo, hi);
+        prop_assert!((clamped.total_mass() - pmf.total_mass()).abs() <= EPS);
+        prop_assert!(clamped.support_min() + clamped.quantum() > lo);
+        prop_assert!(clamped.support_max() <= hi + clamped.quantum());
+    }
+}

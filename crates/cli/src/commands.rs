@@ -66,8 +66,13 @@ COMMANDS
                  --jitter <pct>          uniform jitter override
                  --assume-unknown <pct>  jitter for unknown messages
                  --backend can|can-fd    bus backend (default can)
+                 --prob   convolution-based response-time distributions
+                          and deadline-miss probabilities instead of
+                          the worst/best-case bounds
   loss         message-loss curve over the 0–60 % jitter grid
                  --scenario ...
+                 --prob   expected losses (sum of per-message miss
+                          probabilities) with a certain/possible band
   sensitivity  response-vs-jitter classes per message
                  --message <name>        restrict to one message
   audsley      optimal (feasibility) identifier assignment
@@ -119,7 +124,15 @@ fn request_from(args: &ParsedArgs) -> Result<Request, Box<dyn Error>> {
         "load" => Request::Load {
             model: model_from(args)?,
         },
+        "analyze" if args.has_flag("prob") => Request::ProbAnalyze {
+            model: model_from(args)?,
+            scenario: scenario_from(args)?,
+        },
         "analyze" => Request::Analyze {
+            model: model_from(args)?,
+            scenario: scenario_from(args)?,
+        },
+        "loss" if args.has_flag("prob") => Request::ProbLoss {
             model: model_from(args)?,
             scenario: scenario_from(args)?,
         },
@@ -609,8 +622,9 @@ mod tests {
             out.contains("fd-dominates-classic-at-same-payload"),
             "{out}"
         );
+        assert!(out.contains("prob-dominates-worst-case"), "{out}");
         assert!(
-            out.contains("all 12 laws held over 2 cases each (seed 2006)"),
+            out.contains("all 13 laws held over 2 cases each (seed 2006)"),
             "{out}"
         );
         assert!(!out.contains("VIOLATED"), "{out}");
@@ -631,7 +645,7 @@ mod tests {
         ])
         .expect("laws hold on FD");
         assert!(
-            out.contains("all 12 laws held over 2 cases each (seed 2006)"),
+            out.contains("all 13 laws held over 2 cases each (seed 2006)"),
             "{out}"
         );
         let err = run_line(&["fuzz", "--cases", "1", "--backend", "lin"]).expect_err("bad");
@@ -710,6 +724,68 @@ mod tests {
         let err = run_line(&["fuzz", "--repro", path.to_str().expect("utf8")]).expect_err("bad");
         assert!(err.to_string().contains("invalid repro"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn repro_with_a_retired_law_is_an_invalid_request_not_a_violation() {
+        use carta_testkit::prelude::*;
+        let dir = std::env::temp_dir().join("carta_cli_retired_law_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("retired.json");
+        let repro = Repro {
+            law: "retired-law".into(),
+            seed: 3,
+            errors: ErrorSpec::None,
+            violation: "synthetic".into(),
+            shrink_steps: 0,
+            network: random_network(&NetShape::bus(), 3),
+        };
+        std::fs::write(&path, repro.to_json()).expect("write");
+        let err = run_line(&["fuzz", "--repro", path.to_str().expect("utf8")])
+            .expect_err("unknown law must fail loudly, not silently pass another oracle");
+        assert!(
+            err.to_string().contains("unknown law `retired-law`"),
+            "{err}"
+        );
+        assert!(
+            err.to_string().contains("jitter-monotonicity"),
+            "the error lists the known laws: {err}"
+        );
+        assert_eq!(
+            exit_code_for(err.as_ref()),
+            2,
+            "a bad law name is a request error, not a fuzz violation"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prob_analyze_reports_zero_risk_when_schedulable() {
+        let out = run_line(&[
+            "analyze",
+            "-",
+            "--prob",
+            "--scenario",
+            "best",
+            "--jobs",
+            "1",
+        ])
+        .expect("runs");
+        assert!(out.contains("miss prob"), "{out}");
+        assert!(
+            out.contains("expected lost messages: 0"),
+            "best case has no errors to convolve: {out}"
+        );
+        let worst = run_line(&["analyze", "-", "--prob", "--jobs", "1"]).expect("runs");
+        assert!(worst.contains("p99"), "{worst}");
+        assert!(worst.contains("quantum"), "{worst}");
+    }
+
+    #[test]
+    fn prob_loss_curve_runs_and_stays_inside_the_envelope() {
+        let prob = run_line(&["loss", "-", "--prob", "--jobs", "1"]).expect("runs");
+        assert!(prob.contains("expected"), "{prob}");
+        assert!(prob.lines().count() > 13, "{prob}");
     }
 
     #[test]

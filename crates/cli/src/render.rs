@@ -3,12 +3,14 @@
 //! [`Response`] into the text the CLI has always printed.
 
 use carta_api::prelude::{
-    AnalyzeReport, AudsleyRow, FuzzSummary, LoadSummary, OptimizeSummary, Response, SimulateSummary,
+    AnalyzeReport, AudsleyRow, FuzzSummary, LoadSummary, OptimizeSummary, ProbAnalyzeReport,
+    Response, SimulateSummary,
 };
+use carta_can::prob::ProbOutcome;
 use carta_engine::prelude::CacheStats;
 use carta_explore::diff::{AnalysisDiff, VerdictChange};
 use carta_explore::network_choice::{cheapest_sufficient, BitRateOption};
-use carta_explore::prelude::{LossCurve, SensitivitySeries};
+use carta_explore::prelude::{LossCurve, ProbLossCurve, SensitivitySeries};
 use carta_kmatrix::lint::Finding;
 use std::fmt::Write as _;
 
@@ -26,6 +28,8 @@ pub fn render_response(resp: &Response) -> RenderResult {
         Response::Load(l) => render_load(l),
         Response::Analyze(a) => render_analyze(a),
         Response::Loss(curve) => render_loss(curve),
+        Response::ProbAnalyze(a) => render_prob_analyze(a),
+        Response::ProbLoss(curve) => render_prob_loss(curve),
         Response::Sensitivity(series) => Ok(render_sensitivity(series)),
         Response::Audsley(order) => Ok(render_audsley(order.as_deref())),
         Response::Optimize(o) => render_optimize(o),
@@ -138,6 +142,101 @@ fn render_loss(curve: &LossCurve) -> RenderResult {
         writeln!(out, "\nzero loss up to {:.0} % jitter", z * 100.0)?;
     } else {
         writeln!(out, "\nloss already at zero jitter")?;
+    }
+    Ok(out)
+}
+
+/// Compact, deterministic rendering of a probability: `0` and `1`
+/// exactly, fixed-point for probable events, scientific for rare ones.
+fn format_prob(p: f64) -> String {
+    if p == 0.0 {
+        "0".into()
+    } else if p == 1.0 {
+        "1".into()
+    } else if p >= 1e-3 {
+        format!("{p:.4}")
+    } else {
+        format!("{p:.2e}")
+    }
+}
+
+fn render_prob_analyze(a: &ProbAnalyzeReport) -> RenderResult {
+    let report = &a.report;
+    let mut table = Table::new([
+        "message",
+        "id",
+        "p50",
+        "p95",
+        "p99",
+        "deadline",
+        "miss prob",
+        "verdict",
+    ]);
+    for m in &report.messages {
+        match &m.outcome {
+            ProbOutcome::Dist(dist) => table.row([
+                m.name.to_string(),
+                m.id.to_string(),
+                dist.p50.to_string(),
+                dist.p95.to_string(),
+                dist.p99.to_string(),
+                m.deadline.to_string(),
+                format_prob(dist.miss_probability),
+                if dist.miss_probability >= 1.0 {
+                    "LOST".into()
+                } else if dist.miss_probability > 0.0 {
+                    "risk".into()
+                } else {
+                    "ok".to_string()
+                },
+            ]),
+            ProbOutcome::Overload(_) => table.row([
+                m.name.to_string(),
+                m.id.to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                m.deadline.to_string(),
+                "1".into(),
+                "DIVERGED".into(),
+            ]),
+        };
+    }
+    let mut out = table.render();
+    writeln!(
+        out,
+        "\nscenario `{}`: expected lost messages: {} of {} (certain {}, possible {})",
+        a.scenario,
+        format_prob(report.expected_missed()),
+        report.messages.len(),
+        report.certain_missed(),
+        report.possible_missed()
+    )?;
+    writeln!(
+        out,
+        "binning quantum {} — distributions are pessimistic bounds; miss \
+         probabilities are guaranteed 0 only where the worst case meets the deadline",
+        report.quantum
+    )?;
+    Ok(out)
+}
+
+fn render_prob_loss(curve: &ProbLossCurve) -> RenderResult {
+    let mut table = Table::new(["jitter %", "expected", "certain", "possible", "of"]);
+    for p in &curve.points {
+        table.row([
+            format!("{:.0}", p.jitter_ratio * 100.0),
+            format_prob(p.expected_missed),
+            p.certain_missed.to_string(),
+            p.possible_missed.to_string(),
+            p.total.to_string(),
+        ]);
+    }
+    let mut out = table.render();
+    if let Some(z) = curve.zero_risk_up_to() {
+        writeln!(out, "\nzero loss risk up to {:.0} % jitter", z * 100.0)?;
+    } else {
+        writeln!(out, "\nloss risk already at zero jitter")?;
     }
     Ok(out)
 }

@@ -66,6 +66,24 @@ fn cli_text_output_is_pinned() {
         "analyze_assume_unknown",
         &["analyze", "-", "--assume-unknown", "15", "--jobs", "1"],
     );
+    check("analyze_prob", &["analyze", "-", "--prob", "--jobs", "1"]);
+    check(
+        "analyze_prob_fd",
+        &[
+            "analyze",
+            "-",
+            "--prob",
+            "--backend",
+            "can-fd",
+            "--jobs",
+            "1",
+        ],
+    );
+    check("loss_prob", &["loss", "-", "--prob", "--jobs", "1"]);
+    check(
+        "loss_prob_fd",
+        &["loss", "-", "--prob", "--backend", "can-fd", "--jobs", "1"],
+    );
     check("loss_worst", &["loss", "-", "--jobs", "1"]);
     check(
         "loss_sporadic10",

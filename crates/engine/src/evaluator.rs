@@ -9,6 +9,7 @@ use crate::variant::{SystemVariant, VariantKey};
 use carta_can::compiled::{CompiledBus, RtaWorkspace};
 use carta_can::frame::StuffingMode;
 use carta_can::network::CanNetwork;
+use carta_can::prob::{prob_from_reports, ProbBusReport};
 use carta_can::rta::BusReport;
 use carta_core::analysis::AnalysisError;
 use carta_core::time::Time;
@@ -29,6 +30,10 @@ pub type EvalResult = Result<Arc<BusReport>, AnalysisError>;
 /// One compiled-bus cache entry: the tables, or the validation error of
 /// the base (cached so a malformed base is validated once).
 type CompiledEntry = Result<Arc<CompiledBus>, AnalysisError>;
+
+/// Result of one probabilistic evaluation: the convolved distribution
+/// report, or the model error (cached like [`EvalResult`]).
+pub type ProbEvalResult = Result<Arc<ProbBusReport>, AnalysisError>;
 
 /// How many worker threads a batch may use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -344,6 +349,7 @@ impl EvaluatorBuilder {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             anchors: Mutex::new(HashMap::new()),
             compiled: Mutex::new(HashMap::new()),
+            prob: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             messages_reused: AtomicU64::new(0),
@@ -368,6 +374,9 @@ pub struct Evaluator {
     /// by every worker thread; compile errors are cached alongside so a
     /// malformed base is validated once.
     compiled: Mutex<HashMap<(u64, StuffingMode), CompiledEntry>>,
+    /// Memoized probabilistic reports, keyed like the deterministic
+    /// shards; prob traffic is rare enough that one map suffices.
+    prob: Mutex<HashMap<VariantKey, ProbEvalResult>>,
     hits: AtomicU64,
     misses: AtomicU64,
     messages_reused: AtomicU64,
@@ -497,6 +506,63 @@ impl Evaluator {
         // Racing threads may both compute; the first insert wins so all
         // callers share one Arc.
         shard.entry(key).or_insert(result).clone()
+    }
+
+    /// Evaluates one variant probabilistically: the deterministic
+    /// error-free and full analyses feed
+    /// [`prob_from_reports`], producing per-message response-time
+    /// distributions and deadline-miss probabilities.
+    ///
+    /// Results are memoized by the same structural [`VariantKey`] as
+    /// [`Evaluator::evaluate`] (and counted in the shared hit/miss
+    /// stats), so repeated sweeps over the same scenario are free. Both
+    /// underlying deterministic analyses also land in the regular memo
+    /// cache — a prob evaluation warms the cache for later
+    /// deterministic calls and vice versa.
+    ///
+    /// # Errors
+    ///
+    /// Propagates (and caches) [`AnalysisError`] for malformed bases.
+    pub fn evaluate_prob(&self, variant: &SystemVariant) -> ProbEvalResult {
+        let key = variant.key();
+        {
+            let map = self.prob.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(cached) = map.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                if self.metrics.active() {
+                    self.metrics.hits.inc();
+                }
+                return cached.clone();
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if self.metrics.active() {
+            self.metrics.misses.inc();
+        }
+        let result = self.compute_prob(variant);
+        let mut map = self.prob.lock().unwrap_or_else(PoisonError::into_inner);
+        map.entry(key).or_insert(result).clone()
+    }
+
+    /// One uncached probabilistic analysis (see
+    /// [`Evaluator::evaluate_prob`]).
+    fn compute_prob(&self, variant: &SystemVariant) -> ProbEvalResult {
+        let full = self.evaluate(variant)?;
+        let base = self.evaluate(
+            &variant
+                .clone()
+                .with_errors(crate::scenario::ErrorSpec::None),
+        )?;
+        let stuffing = variant.scenario().stuffing;
+        let compiled = match variant.permutation() {
+            // The shared compiled-bus cache serves the common case; a
+            // permutation overlay analyzes a reordered copy, so compile
+            // the materialized network directly instead.
+            None => self.compiled_for(variant, variant.base().fingerprint(), stuffing)?,
+            Some(_) => Arc::new(CompiledBus::compile(&variant.materialize(), stuffing)?),
+        };
+        let model = variant.scenario().errors.model();
+        prob_from_reports(&compiled, &base, &full, model.as_ref()).map(Arc::new)
     }
 
     /// Evaluates a slice of variants, in parallel when both the batch

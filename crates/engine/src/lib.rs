@@ -61,7 +61,7 @@ pub mod variant;
 /// Convenient single import for the common types of this crate.
 pub mod prelude {
     pub use crate::evaluator::{
-        CacheStats, EvalResult, Evaluator, EvaluatorBuilder, FaultPlan, Parallelism,
+        CacheStats, EvalResult, Evaluator, EvaluatorBuilder, FaultPlan, Parallelism, ProbEvalResult,
     };
     pub use crate::jitter::{with_assumed_unknown_jitter, with_jitter_ratio, with_scaled_jitter};
     pub use crate::scenario::{DeadlineOverride, ErrorSpec, Scenario};

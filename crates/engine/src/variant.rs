@@ -222,6 +222,15 @@ impl SystemVariant {
         self
     }
 
+    /// This variant with the scenario's error model replaced; every
+    /// other overlay (jitter, permutation, deadline override) is kept.
+    /// The probabilistic analysis uses this to derive the error-free
+    /// twin of a variant.
+    pub fn with_errors(mut self, errors: crate::scenario::ErrorSpec) -> Self {
+        self.scenario.errors = errors;
+        self
+    }
+
     /// The shared base system.
     pub fn base(&self) -> &Arc<BaseSystem> {
         &self.base

@@ -56,7 +56,7 @@ pub mod prelude {
     pub use crate::diff::{diff_reports, AnalysisDiff, DeltaRow, VerdictChange};
     pub use crate::extensibility::{with_additional_ecus, with_diagnostic_stream, EcuTemplate};
     pub use crate::jitter::{with_assumed_unknown_jitter, with_jitter_ratio, with_scaled_jitter};
-    pub use crate::loss::{paper_jitter_grid, LossCurve, LossPoint};
+    pub use crate::loss::{paper_jitter_grid, LossCurve, LossPoint, ProbLossCurve, ProbLossPoint};
     pub use crate::network_choice::{cheapest_sufficient, BitRateOption};
     pub use crate::scenario::{DeadlineOverride, ErrorSpec, Scenario};
     pub use crate::sensitivity::{SensitivityClass, SensitivitySeries};

@@ -133,6 +133,154 @@ pub(crate) fn loss_vs_jitter_impl(
     })
 }
 
+/// One point of a probabilistic loss curve: instead of the binary
+/// lost/safe verdict of [`LossPoint`], each message contributes its
+/// deadline-miss *probability* from the convolved response-time
+/// distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbLossPoint {
+    /// Assumed jitter as a fraction of each message's period.
+    pub jitter_ratio: f64,
+    /// Sum of per-message deadline-miss probabilities — the expected
+    /// number of lost messages at this ratio.
+    pub expected_missed: f64,
+    /// Messages whose miss probability is ≈ 1 (lost for certain); this
+    /// matches the deterministic Figure 5 "worst" envelope.
+    pub certain_missed: usize,
+    /// Messages with any non-negligible miss probability; this is the
+    /// pessimistic edge of the confidence band.
+    pub possible_missed: usize,
+    /// Total messages on the bus.
+    pub total: usize,
+    /// `true` when this point's analysis failed outright; failed
+    /// points are classified as fully lost, like [`LossPoint`].
+    pub failed: bool,
+}
+
+impl ProbLossPoint {
+    /// Expected fraction of messages lost (the probabilistic y-axis).
+    pub fn expected_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.expected_missed / self.total as f64
+        }
+    }
+}
+
+/// A probabilistic loss curve over jitter ratios, under one scenario.
+///
+/// The deterministic [`LossCurve`] of the same scenario brackets this
+/// curve: `certain_missed` ≤ `expected_missed` ≤ `possible_missed` ≤
+/// the deterministic loss count at every ratio (a message the analysis
+/// proves schedulable carries zero miss probability by construction).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbLossCurve {
+    /// Scenario name.
+    pub scenario: String,
+    /// Curve points, in the order of the requested ratios.
+    pub points: Vec<ProbLossPoint>,
+}
+
+impl ProbLossCurve {
+    /// The largest jitter ratio (scanning from the left) at which no
+    /// message carries any miss probability — the probabilistic
+    /// sharpening of [`LossCurve::zero_loss_up_to`].
+    pub fn zero_risk_up_to(&self) -> Option<f64> {
+        let mut best = None;
+        for p in &self.points {
+            if p.possible_missed == 0 && !p.failed {
+                best = Some(best.map_or(p.jitter_ratio, |b: f64| b.max(p.jitter_ratio)));
+            } else {
+                break;
+            }
+        }
+        best
+    }
+
+    /// The expected loss fraction at the given ratio, if sampled.
+    pub fn expected_fraction_at(&self, ratio: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| (p.jitter_ratio - ratio).abs() < 1e-9)
+            .map(ProbLossPoint::expected_fraction)
+    }
+}
+
+/// Shared body of [`crate::sweeps::Sweeps::prob_loss_vs_jitter`]. The
+/// deterministic halves of every point (error-free and full analyses)
+/// are warmed through one parallel batch; the convolutions themselves
+/// then run off the hot cache.
+pub(crate) fn prob_loss_vs_jitter_impl(
+    eval: &Evaluator,
+    net: &CanNetwork,
+    scenario: &Scenario,
+    ratios: &[f64],
+) -> Result<ProbLossCurve, AnalysisError> {
+    let _span = carta_obs::span!("sweep.prob_loss", points = ratios.len());
+    let base = BaseSystem::new(net.clone());
+    let variants: Vec<SystemVariant> = ratios
+        .iter()
+        .map(|&ratio| SystemVariant::new(base.clone(), scenario.clone()).with_jitter_ratio(ratio))
+        .collect();
+    // Warm both deterministic legs of every point in parallel before
+    // the (sequential, cheap) convolution pass.
+    let warm: Vec<SystemVariant> = variants
+        .iter()
+        .flat_map(|v| {
+            [
+                v.clone(),
+                v.clone()
+                    .with_errors(carta_engine::scenario::ErrorSpec::None),
+            ]
+        })
+        .collect();
+    let _ = eval.evaluate_batch(&warm);
+    let results: Vec<_> = variants.iter().map(|v| eval.evaluate_prob(v)).collect();
+    if let Some(Err(err)) = results.first() {
+        if results.iter().all(|r| r.is_err()) {
+            return Err(err.clone());
+        }
+    }
+    let total = net.messages().len();
+    let mut points = Vec::with_capacity(ratios.len());
+    for (&ratio, result) in ratios.iter().zip(results) {
+        let point = match result {
+            Ok(report) => ProbLossPoint {
+                jitter_ratio: ratio,
+                expected_missed: report.expected_missed(),
+                certain_missed: report.certain_missed(),
+                possible_missed: report.possible_missed(),
+                total: report.messages.len(),
+                failed: false,
+            },
+            Err(err) => {
+                carta_obs::event!("sweep.point.failed", ratio = ratio, error = err);
+                ProbLossPoint {
+                    jitter_ratio: ratio,
+                    expected_missed: total as f64,
+                    certain_missed: total,
+                    possible_missed: total,
+                    total,
+                    failed: true,
+                }
+            }
+        };
+        carta_obs::event!(
+            "sweep.point",
+            ratio = ratio,
+            expected = point.expected_missed,
+            total = point.total
+        );
+        points.push(point);
+    }
+    crate::sweeps::record_sweep_points(ratios.len());
+    Ok(ProbLossCurve {
+        scenario: scenario.name.clone(),
+        points,
+    })
+}
+
 /// The jitter grid of the paper's Figures 4 and 5: 0 % to 60 % in 5 %
 /// steps.
 pub fn paper_jitter_grid() -> Vec<f64> {
@@ -204,6 +352,50 @@ mod tests {
         }
         // No loss at zero jitter in the best case (sanity of the net).
         assert_eq!(best.points[0].missed, 0);
+    }
+
+    #[test]
+    fn prob_curve_sits_inside_the_deterministic_envelope() {
+        use crate::sweeps::Sweeps;
+        let net = loaded_net();
+        let grid = paper_jitter_grid();
+        let eval = Evaluator::default();
+        let det = eval
+            .loss_vs_jitter(&net, &Scenario::worst_case(), &grid)
+            .expect("valid");
+        let prob = eval
+            .prob_loss_vs_jitter(&net, &Scenario::worst_case(), &grid)
+            .expect("valid");
+        assert_eq!(prob.points.len(), grid.len());
+        for (d, p) in det.points.iter().zip(&prob.points) {
+            assert_eq!(p.total, d.total);
+            assert!(!p.failed);
+            assert!(p.certain_missed <= p.possible_missed);
+            assert!(
+                p.possible_missed <= d.missed,
+                "a deterministically schedulable message must carry zero miss probability \
+                 (ratio {}: {} possible vs {} deterministic)",
+                p.jitter_ratio,
+                p.possible_missed,
+                d.missed
+            );
+            assert!(p.expected_missed >= 0.0);
+            assert!(
+                p.expected_missed <= d.missed as f64 + 1e-9,
+                "expected losses cannot exceed the deterministic count"
+            );
+            assert!(p.expected_missed >= p.certain_missed as f64 - 1e-9);
+        }
+        // The risk-free prefix can only extend past the deterministic
+        // zero-loss prefix, never shrink it.
+        if let Some(z) = prob.zero_risk_up_to() {
+            assert!(z >= det.zero_loss_up_to().unwrap_or(0.0) - 1e-9);
+        }
+        // And the probabilistic sweep hits the memo cache on repeat.
+        let again = eval
+            .prob_loss_vs_jitter(&net, &Scenario::worst_case(), &grid)
+            .expect("valid");
+        assert_eq!(again, prob, "prob sweeps are deterministic and cached");
     }
 
     #[test]

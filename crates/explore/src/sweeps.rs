@@ -42,7 +42,7 @@
 
 use crate::buffers::{required_rx_depth_impl, required_tx_depths_impl, TxBufferNeed};
 use crate::extensibility::{max_additional_ecus_impl, EcuTemplate};
-use crate::loss::{loss_vs_jitter_impl, LossCurve};
+use crate::loss::{loss_vs_jitter_impl, prob_loss_vs_jitter_impl, LossCurve, ProbLossCurve};
 use crate::network_choice::{compare_bit_rates_impl, BitRateOption};
 use crate::scenario::Scenario;
 use crate::sensitivity::{
@@ -76,6 +76,23 @@ pub trait Sweeps {
         scenario: &Scenario,
         ratios: &[f64],
     ) -> Result<LossCurve, AnalysisError>;
+
+    /// Probabilistic loss curve over jitter ratios: each message
+    /// contributes its convolution-derived deadline-miss probability
+    /// instead of a binary verdict, so the curve sits inside the
+    /// deterministic Figure 5 envelope. See [`ProbLossCurve`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AnalysisError`] from the bus analysis (per-message
+    /// overload is *not* an error; overloaded messages count as lost
+    /// with probability one).
+    fn prob_loss_vs_jitter(
+        &self,
+        net: &CanNetwork,
+        scenario: &Scenario,
+        ratios: &[f64],
+    ) -> Result<ProbLossCurve, AnalysisError>;
 
     /// Per-message worst-case response times over a grid of uniform
     /// jitter ratios — the paper's Figure 4.
@@ -192,6 +209,15 @@ impl Sweeps for Evaluator {
         ratios: &[f64],
     ) -> Result<LossCurve, AnalysisError> {
         loss_vs_jitter_impl(self, net, scenario, ratios)
+    }
+
+    fn prob_loss_vs_jitter(
+        &self,
+        net: &CanNetwork,
+        scenario: &Scenario,
+        ratios: &[f64],
+    ) -> Result<ProbLossCurve, AnalysisError> {
+        prob_loss_vs_jitter_impl(self, net, scenario, ratios)
     }
 
     fn response_vs_jitter(

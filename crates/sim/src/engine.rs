@@ -138,6 +138,13 @@ impl MessageStats {
         &self.outcomes
     }
 
+    /// Every completed response time, in completion order. Feeds
+    /// empirical CDFs when validating the probabilistic analysis
+    /// against Monte-Carlo runs.
+    pub fn responses(&self) -> &[Time] {
+        &self.responses
+    }
+
     /// The `q`-quantile of observed responses (`0.0 ≤ q ≤ 1.0`,
     /// nearest-rank); `None` before any completion.
     ///

@@ -76,6 +76,7 @@ pub fn all_laws() -> Vec<Box<dyn Law>> {
         Box::new(LoadSchedulability),
         Box::new(FdDominatesClassic),
         Box::new(SimNeverExceedsAnalysis::default()),
+        Box::new(ProbDominatesWorstCase),
         Box::new(crate::chaos::DegradedIsSound::default()),
         Box::new(crate::chaos::FaultIsolation),
     ]
@@ -537,6 +538,104 @@ impl Law for SimNeverExceedsAnalysis {
     }
 }
 
+/// Name of the probabilistic dominance law, shared with CI and docs.
+pub const PROB_LAW: &str = "prob-dominates-worst-case";
+
+/// The probabilistic analysis never escapes the deterministic envelope:
+/// every distribution's support stays within `[bcrt, wcrt]` (up to one
+/// binning quantum at the top), its CDF reaches one at the worst-case
+/// bound, total mass is conserved, and a message the deterministic
+/// analysis proves schedulable carries zero miss probability.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProbDominatesWorstCase;
+
+impl Law for ProbDominatesWorstCase {
+    fn name(&self) -> &'static str {
+        PROB_LAW
+    }
+
+    fn check(&self, net: &CanNetwork, case: &LawCase, eval: &Evaluator) -> Result<(), Violation> {
+        let scenario = Scenario {
+            name: "prob-dominance".into(),
+            stuffing: StuffingMode::WorstCase,
+            errors: case.errors,
+            deadline: DeadlineOverride::Keep,
+        };
+        let variant = SystemVariant::new(BaseSystem::new(net.clone()), scenario);
+        let det = eval
+            .evaluate(&variant)
+            .expect("generated networks are analyzable");
+        let prob = eval
+            .evaluate_prob(&variant)
+            .expect("generated networks are analyzable");
+        let quantum = prob.quantum;
+        let fail = |detail: String| Err(Violation::new(self.name(), detail));
+        for (row, prow) in det.messages.iter().zip(prob.messages.iter()) {
+            match (row.outcome.wcrt(), prow.outcome.dist()) {
+                (Some(wcrt), Some(dist)) => {
+                    let bcrt = row.outcome.bcrt().unwrap_or(Time::ZERO);
+                    let top = dist.pmf.support_max();
+                    if top >= wcrt + quantum {
+                        return fail(format!(
+                            "`{}`: support max {top} exceeds quantized WCRT ({wcrt} + quantum \
+                             {quantum}) (seed {})",
+                            row.name, case.seed
+                        ));
+                    }
+                    if (dist.pmf.cdf_at(top) - 1.0).abs() > 1e-6 {
+                        return fail(format!(
+                            "`{}`: CDF at the support max is {} — mass leaked past the worst \
+                             case (seed {})",
+                            row.name,
+                            dist.pmf.cdf_at(top),
+                            case.seed
+                        ));
+                    }
+                    if dist.pmf.support_min() < bcrt {
+                        return fail(format!(
+                            "`{}`: support min {} undercuts the BCRT {bcrt} (seed {})",
+                            row.name,
+                            dist.pmf.support_min(),
+                            case.seed
+                        ));
+                    }
+                    if (dist.pmf.total_mass() - 1.0).abs() > 1e-6 {
+                        return fail(format!(
+                            "`{}`: total mass {} is not conserved (seed {})",
+                            row.name,
+                            dist.pmf.total_mass(),
+                            case.seed
+                        ));
+                    }
+                    if wcrt <= row.deadline && dist.miss_probability != 0.0 {
+                        return fail(format!(
+                            "`{}`: deterministically schedulable (WCRT {wcrt} ≤ deadline {}) \
+                             yet miss probability is {} (seed {})",
+                            row.name, row.deadline, dist.miss_probability, case.seed
+                        ));
+                    }
+                }
+                (None, None) => {} // both diverged — consistent
+                (Some(_), None) => {
+                    return fail(format!(
+                        "`{}`: deterministic analysis bounded, probabilistic reported overload \
+                         (seed {})",
+                        row.name, case.seed
+                    ));
+                }
+                (None, Some(_)) => {
+                    return fail(format!(
+                        "`{}`: deterministic analysis diverged, probabilistic produced a \
+                         distribution (seed {})",
+                        row.name, case.seed
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Everything a per-message report row exposes that must match between
 /// two equivalent evaluations.
 fn same_report_row(a: &MessageReport, b: &MessageReport) -> bool {
@@ -570,7 +669,8 @@ mod tests {
     #[test]
     fn catalogue_has_stable_unique_names() {
         let names = law_names();
-        assert_eq!(names.len(), 12);
+        assert_eq!(names.len(), 13);
+        assert!(law_by_name(PROB_LAW).is_some());
         assert!(law_by_name("compiled-equals-naive").is_some());
         assert!(law_by_name("fd-dominates-classic-at-same-payload").is_some());
         assert!(law_by_name(crate::chaos::DEGRADED_LAW).is_some());

@@ -19,7 +19,7 @@
 //! * [`laws`] — the metamorphic [`Law`](laws::Law) catalogue (jitter
 //!   monotonicity, priority-raise dominance, error-model dominance,
 //!   bit-rate scaling, incremental == full, overlay == rebuilt, load
-//!   vs schedulability, sim ≤ analysis),
+//!   vs schedulability, sim ≤ analysis, prob ≤ worst case),
 //! * [`chaos`] — the fault-injection harness:
 //!   [`FaultPlan`](carta_engine::prelude::FaultPlan)-armed evaluators
 //!   plus the resilience laws `degraded-is-sound` and
@@ -58,10 +58,13 @@ pub mod prelude {
         chains, networks, random_chain, random_network, random_scenario, random_task_set,
         random_variant, GatewayChain, NetShape,
     };
-    pub use crate::laws::{all_laws, law_by_name, law_names, pointwise_le, wcrts, Law, LawCase};
+    pub use crate::laws::{
+        all_laws, law_by_name, law_names, pointwise_le, wcrts, Law, LawCase,
+        ProbDominatesWorstCase, PROB_LAW,
+    };
     pub use crate::oracle::{shrink_case, DiffOracle, Shrunk, Violation, ORACLE_LAW};
-    pub use crate::repro::Repro;
-    pub use crate::runner::{run_fuzz, FuzzConfig, FuzzReport, LawOutcome};
+    pub use crate::repro::{ReplayError, Repro};
+    pub use crate::runner::{run_fuzz, FuzzConfig, FuzzReport, LawOutcome, UnknownLawError};
     pub use carta_engine::prelude::{
         BaseSystem, ErrorSpec, Evaluator, FaultPlan, Parallelism, Scenario, SystemVariant,
     };

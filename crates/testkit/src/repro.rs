@@ -8,7 +8,8 @@
 //! re-runs the exact failing check without the generator.
 
 use crate::laws::{law_by_name, LawCase};
-use crate::oracle::{DiffOracle, Violation};
+use crate::oracle::Violation;
+use crate::runner::UnknownLawError;
 use carta_can::backend::{BackendConfig, CanFd};
 use carta_can::controller::ControllerType;
 use carta_can::frame::{Dlc, FrameKind};
@@ -58,31 +59,58 @@ impl fmt::Display for ReproError {
 
 impl std::error::Error for ReproError {}
 
+/// Failure to replay a decoded repro: either the named law is no longer
+/// in the catalogue, or the defect still reproduces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayError {
+    /// The repro names a law that is not in the catalogue. Replaying
+    /// under a *different* check than the one that produced the file
+    /// would be silently misleading, so this is a hard error listing
+    /// the known laws.
+    UnknownLaw(UnknownLawError),
+    /// The law ran and the defect still reproduces.
+    Violation(Violation),
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::UnknownLaw(e) => e.fmt(f),
+            ReplayError::Violation(v) => v.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
 impl Repro {
     /// A stable, filesystem-friendly name for this repro.
     pub fn file_name(&self) -> String {
         format!("{}-seed{}.json", self.law, self.seed)
     }
 
-    /// Re-runs the failing check on the embedded network.
-    ///
-    /// Dispatches to the named law; unknown law names fall back to the
-    /// differential oracle so old repro files keep replaying after a
-    /// law is renamed.
+    /// Re-runs the failing check on the embedded network, dispatching
+    /// to the named law.
     ///
     /// # Errors
     ///
-    /// Returns the [`Violation`] if the defect still reproduces.
-    pub fn replay(&self) -> Result<(), Violation> {
+    /// Returns [`ReplayError::UnknownLaw`] (listing the catalogue) when
+    /// the law name is not recognized — a repro must replay under
+    /// exactly the check that produced it — and
+    /// [`ReplayError::Violation`] if the defect still reproduces.
+    pub fn replay(&self) -> Result<(), ReplayError> {
+        let law = law_by_name(&self.law).ok_or_else(|| {
+            ReplayError::UnknownLaw(UnknownLawError {
+                name: self.law.clone(),
+            })
+        })?;
         let eval = Evaluator::default();
         let case = LawCase {
             seed: self.seed,
             errors: self.errors,
         };
-        match law_by_name(&self.law) {
-            Some(law) => law.check(&self.network, &case, &eval),
-            None => DiffOracle::default().check(&eval, &self.network, self.errors, self.seed),
-        }
+        law.check(&self.network, &case, &eval)
+            .map_err(ReplayError::Violation)
     }
 
     /// Serializes the repro as a `carta.repro.v1` JSON document.
@@ -427,9 +455,18 @@ mod tests {
         let mut repro = sample(5);
         repro.errors = ErrorSpec::None;
         repro.replay().expect("sound network replays clean");
-        // Unknown law names fall back to the differential oracle.
+        // Unknown law names are a typed error listing the catalogue —
+        // never a silent fallback to some other check.
         repro.law = "retired-law".into();
-        repro.replay().expect("fallback replays clean");
+        let err = repro.replay().expect_err("unknown law is rejected");
+        assert_eq!(
+            err,
+            ReplayError::UnknownLaw(UnknownLawError {
+                name: "retired-law".into()
+            })
+        );
+        assert!(err.to_string().contains("unknown law `retired-law`"));
+        assert!(err.to_string().contains("jitter-monotonicity"));
     }
 
     #[test]

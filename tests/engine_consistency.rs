@@ -107,4 +107,46 @@ proptest! {
             }
         }
     }
+
+    // The probabilistic analysis inherits the same contract: results
+    // are bit-identical (every PMF bin, every derived quantile) across
+    // cache temperature, worker count, and bus backend — a fresh
+    // single-threaded evaluator and a warm multi-threaded one must not
+    // differ in a single bit.
+    #[test]
+    fn prob_results_are_bit_identical_across_cache_and_jobs(
+        seed in 0u64..5_000,
+        pick in 0u8..4,
+        jobs in 2usize..5,
+    ) {
+        // Rotate through classic two-node, mixed-controller, and CAN FD
+        // shapes so both backends' prob paths are pinned.
+        let shape = match seed % 3 {
+            0 => NetShape::two_node(),
+            1 => NetShape::mixed(),
+            _ => NetShape::fd(),
+        };
+        let net = random_network(&shape.messages(6), seed);
+        let scenario = scenario_for(pick);
+        let base = BaseSystem::new(net.clone());
+        let variants: Vec<SystemVariant> = [0.0, 0.2, 0.5]
+            .iter()
+            .map(|&r| SystemVariant::new(base.clone(), scenario.clone()).with_jitter_ratio(r))
+            .collect();
+
+        let reference = Evaluator::new(Parallelism::new(1));
+        let parallel = Evaluator::new(Parallelism::new(jobs));
+        // Warm the parallel evaluator's deterministic cache first so the
+        // prob path runs against a warm cache there and a cold one on
+        // the reference.
+        let _ = parallel.evaluate_batch(&variants);
+
+        for (i, v) in variants.iter().enumerate() {
+            let cold = parallel.evaluate_prob(v).expect("analyzable");
+            let warm = parallel.evaluate_prob(v).expect("analyzable");
+            prop_assert!(Arc::ptr_eq(&cold, &warm), "variant {i}: prob result not cached");
+            let fresh = reference.evaluate_prob(v).expect("analyzable");
+            prop_assert_eq!(&*cold, &*fresh, "variant {} diverges across evaluators", i);
+        }
+    }
 }
