@@ -4,9 +4,11 @@
 
 pub mod plot;
 
+use carta_engine::prelude::{BaseSystem, Scenario, SystemVariant};
 use carta_explore::loss::LossCurve;
 use carta_kmatrix::generator::powertrain_default;
 use carta_kmatrix::model::KMatrix;
+use std::sync::Arc;
 
 /// The case-study network used by every experiment.
 pub fn case_study() -> carta_can::network::CanNetwork {
@@ -18,6 +20,62 @@ pub fn case_study() -> carta_can::network::CanNetwork {
 /// The case-study K-Matrix (seed 42).
 pub fn case_study_matrix() -> KMatrix {
     powertrain_default()
+}
+
+/// The identifier permutations of the scale sweep: `None` (the base
+/// order) followed by `count - 1` rotations of the priority ranks.
+pub fn scale_perms(n_msgs: usize, count: usize) -> Vec<Option<Arc<Vec<usize>>>> {
+    (0..count)
+        .map(|rot| {
+            if rot == 0 {
+                None
+            } else {
+                Some(Arc::new((0..n_msgs).map(|i| (i + rot) % n_msgs).collect()))
+            }
+        })
+        .collect()
+}
+
+/// One point of the jitter × error × permutation scale sweep, shared by
+/// the `scale` criterion bench and the `scale` bin (BENCH_scale.json)
+/// so their workloads stay comparable.
+///
+/// Index `i` decomposes little-endian into (jitter-ratio rank,
+/// sporadic-error interval rank, permutation rank); every index below
+/// `ratios * errors * perms.len()` maps to a structurally distinct
+/// [`VariantKey`](carta_engine::prelude::VariantKey), which is what
+/// makes the sweep's cache statistics reproducible at any job count.
+pub fn scale_point(
+    base: &Arc<BaseSystem>,
+    perms: &[Option<Arc<Vec<usize>>>],
+    ratios: usize,
+    errors: usize,
+    i: usize,
+) -> SystemVariant {
+    let ratio_rank = i % ratios;
+    let err_rank = (i / ratios) % errors;
+    let perm_rank = (i / (ratios * errors)) % perms.len();
+    let scenario = Scenario::sporadic_errors(carta_core::time::Time::from_us(
+        2_000 + 250 * err_rank as u64,
+    ));
+    let mut v = SystemVariant::new(base.clone(), scenario)
+        .with_jitter_ratio(ratio_rank as f64 / ratios as f64 * 0.6);
+    if let Some(perm) = &perms[perm_rank] {
+        v = v.with_permutation(perm.clone());
+    }
+    v
+}
+
+/// The single-core reference batch of the scale sweep: 1024
+/// permutation-free points (256 jitter ratios × 4 error intervals) over
+/// the case study. `scale/cold_1024pts_jobs/1` in the bench and the
+/// cold/warm single-core rows of BENCH_scale.json time exactly this.
+pub fn scale_batch_1k() -> Vec<SystemVariant> {
+    let base = BaseSystem::new(case_study());
+    let perms = scale_perms(0, 1);
+    (0..1024)
+        .map(|i| scale_point(&base, &perms, 256, 4, i))
+        .collect()
 }
 
 /// Prints a loss curve as one aligned row, the textual form of one

@@ -55,12 +55,26 @@
 //! the warm start converges to the *same* least fixpoint the cold start
 //! would, the produced [`BusReport`] is bit-identical either way (the
 //! `compiled-equals-naive` fuzz law in `carta-testkit` pins this).
+//!
+//! # Structure-of-arrays batch solving
+//!
+//! The solve phase reads exactly two things that vary between sweep
+//! points: the activation models and the resolved deadlines. A
+//! [`SolvePoint`] carries just those two dense vectors, and
+//! [`CompiledBus::solve_batch`] iterates the solve over a slice of
+//! points against the compiled `c_max`/`c_min`/interference tables laid
+//! out once — no per-point network materialization, no per-point
+//! re-walk of message structs, and the per-batch setup (error-model
+//! description, mutation hook) hoisted out of the loop.
+//! [`CompiledBus::solve`] is the 1-point case of the same core, so
+//! batch and per-point solves are bit-identical against the same
+//! workspace sequence.
 
 use crate::backend::BackendConfig;
 use crate::controller::ControllerType;
 use crate::error_model::ErrorModel;
 use crate::frame::{bit_time, StuffingMode};
-use crate::message::{CanId, CanMessage};
+use crate::message::CanId;
 use crate::network::CanNetwork;
 use crate::rta::{
     test_mutations, AnalysisConfig, BusReport, IncrementalStats, MessageReport, ResponseOutcome,
@@ -135,6 +149,76 @@ pub struct SolveStats {
     pub iters_saved: u64,
 }
 
+/// One solve-phase input in structure-of-arrays form: the per-message
+/// activation models and resolved deadlines — everything the solve
+/// phase reads that is not already in the compiled tables. Batch
+/// workloads lay points out once and feed slices of them to
+/// [`CompiledBus::solve_batch`] without materializing a network per
+/// point.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SolvePoint {
+    activations: Vec<EventModel>,
+    deadlines: Vec<Time>,
+}
+
+impl SolvePoint {
+    /// An empty point (fill before solving).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The point describing `net` as-is: its activations and resolved
+    /// deadlines, indexed like the network's messages.
+    pub fn from_network(net: &CanNetwork) -> Self {
+        let mut point = Self::default();
+        point.fill_from_network(net);
+        point
+    }
+
+    /// Rewrites this point from `net`, reusing the allocations.
+    pub fn fill_from_network(&mut self, net: &CanNetwork) {
+        let msgs = net.messages();
+        self.fill_with(msgs.len(), |i| {
+            let m = &msgs[i];
+            (m.activation, m.resolved_deadline())
+        });
+    }
+
+    /// Rewrites this point row by row: `row(i)` must return message
+    /// `i`'s activation model and resolved deadline.
+    pub fn fill_with(&mut self, n: usize, mut row: impl FnMut(usize) -> (EventModel, Time)) {
+        self.activations.clear();
+        self.deadlines.clear();
+        self.activations.reserve(n);
+        self.deadlines.reserve(n);
+        for i in 0..n {
+            let (activation, deadline) = row(i);
+            self.activations.push(activation);
+            self.deadlines.push(deadline);
+        }
+    }
+
+    /// Number of messages in this point.
+    pub fn len(&self) -> usize {
+        self.activations.len()
+    }
+
+    /// `true` when the point has not been filled yet.
+    pub fn is_empty(&self) -> bool {
+        self.activations.is_empty()
+    }
+
+    /// The per-message activation models.
+    pub fn activations(&self) -> &[EventModel] {
+        &self.activations
+    }
+
+    /// The per-message resolved deadlines.
+    pub fn deadlines(&self) -> &[Time] {
+        &self.deadlines
+    }
+}
+
 /// Reusable solve-phase state: busy-window warm-start data plus the
 /// scratch buffers that make the steady state allocation-free.
 ///
@@ -164,6 +248,10 @@ pub struct RtaWorkspace {
     dominates: Vec<bool>,
     /// Scratch: the window vector of the message being solved.
     w_next: Vec<Time>,
+    /// Scratch: the SoA point [`CompiledBus::solve`] extracts from the
+    /// network it is handed (reused so the steady state stays
+    /// allocation-free).
+    point: SolvePoint,
     /// Stats of the most recent solve.
     last: SolveStats,
 }
@@ -437,15 +525,10 @@ impl CompiledBus {
         ws: &mut RtaWorkspace,
     ) -> BusReport {
         let msgs = net.messages();
-        let n = msgs.len();
         assert_eq!(
-            n,
+            msgs.len(),
             self.names.len(),
             "solve() requires the compiled topology"
-        );
-        assert_eq!(
-            config.stuffing, self.stuffing,
-            "config stuffing must match the compiled tables"
         );
         debug_assert!(
             msgs.iter().zip(&self.ids).all(|(m, id)| m.id == *id),
@@ -457,10 +540,94 @@ impl CompiledBus {
             self.backend,
             "bus backend diverged from the compiled tables; recompile first"
         );
-        let _span = span!("rta.bus", msgs = n);
+        let mut point = std::mem::take(&mut ws.point);
+        point.fill_from_network(net);
+        let report = self.solve_point(&point, errors, config, ws);
+        ws.point = point;
+        report
+    }
 
+    /// The 1-point case of [`CompiledBus::solve_batch`]: solves one
+    /// structure-of-arrays point against the compiled tables, with the
+    /// same warm-start behavior as [`CompiledBus::solve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.stuffing` differs from the compiled mode or
+    /// the point's message count differs from the compiled topology.
+    pub fn solve_point(
+        &self,
+        point: &SolvePoint,
+        errors: &dyn ErrorModel,
+        config: &AnalysisConfig,
+        ws: &mut RtaWorkspace,
+    ) -> BusReport {
         let desc = errors.describe();
         let hook = test_mutations::drop_blocking();
+        self.solve_core(point, errors, &desc, hook, config, ws)
+    }
+
+    /// Iterates the solve phase over a slice of SoA points against the
+    /// compiled per-message vectors laid out once, carrying warm-start
+    /// state from point to point through `ws` under the usual dominance
+    /// gate. Per-batch setup (error-model description, mutation-hook
+    /// probe) is hoisted out of the loop; each point is otherwise
+    /// solved exactly like [`CompiledBus::solve_point`], so the reports
+    /// are bit-identical to per-point solves against the same workspace
+    /// sequence. Returns the reports plus the batch's aggregated
+    /// [`SolveStats`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.stuffing` differs from the compiled mode or
+    /// any point's message count differs from the compiled topology.
+    pub fn solve_batch(
+        &self,
+        points: &[SolvePoint],
+        errors: &dyn ErrorModel,
+        config: &AnalysisConfig,
+        ws: &mut RtaWorkspace,
+    ) -> (Vec<BusReport>, SolveStats) {
+        let desc = errors.describe();
+        let hook = test_mutations::drop_blocking();
+        let mut agg = SolveStats::default();
+        let reports = points
+            .iter()
+            .map(|point| {
+                let report = self.solve_core(point, errors, &desc, hook, config, ws);
+                agg.warm_messages += ws.last.warm_messages;
+                agg.cold_messages += ws.last.cold_messages;
+                agg.iterations += ws.last.iterations;
+                agg.iters_saved += ws.last.iters_saved;
+                report
+            })
+            .collect();
+        (reports, agg)
+    }
+
+    /// The shared solve core: one SoA point against the compiled
+    /// tables. `desc` and `hook` are hoisted by the callers so batches
+    /// pay for them once.
+    fn solve_core(
+        &self,
+        point: &SolvePoint,
+        errors: &dyn ErrorModel,
+        desc: &str,
+        hook: bool,
+        config: &AnalysisConfig,
+        ws: &mut RtaWorkspace,
+    ) -> BusReport {
+        let acts = point.activations();
+        let deadlines = point.deadlines();
+        let n = acts.len();
+        assert_eq!(n, self.names.len(), "solve requires the compiled topology");
+        assert_eq!(n, deadlines.len(), "solve point rows must be complete");
+        assert_eq!(
+            config.stuffing, self.stuffing,
+            "config stuffing must match the compiled tables"
+        );
+        let _span = span!("rta.bus", msgs = n);
+
         ws.resize(n);
         let warm_base = !hook
             && ws.epoch == self.epoch
@@ -469,15 +636,15 @@ impl CompiledBus {
             && ws.max_instances == config.max_instances
             && ws.activations.len() == n;
         if warm_base {
-            for (j, m) in msgs.iter().enumerate() {
-                ws.dominates[j] = eta_dominates(&m.activation, &ws.activations[j]);
+            for (j, act) in acts.iter().enumerate() {
+                ws.dominates[j] = eta_dominates(act, &ws.activations[j]);
             }
         }
 
         let recording = metrics::enabled();
         let mut stats = SolveStats::default();
         let mut reports = Vec::with_capacity(n);
-        for (i, m) in msgs.iter().enumerate() {
+        for (i, &deadline) in deadlines.iter().enumerate() {
             let warm = warm_base && self.interference[i].iter().all(|&j| ws.dominates[j]);
             let blocking = if hook { Time::ZERO } else { self.blocking[i] };
             let mut iterations = 0u64;
@@ -485,7 +652,7 @@ impl CompiledBus {
             let outcome = {
                 let warm_hints: &[Time] = if warm { &ws.w[i] } else { &[] };
                 busy_window(
-                    msgs,
+                    acts,
                     i,
                     &self.interference[i],
                     &self.c_max,
@@ -534,7 +701,7 @@ impl CompiledBus {
                 c_max: self.c_max[i],
                 c_min: self.c_min[i],
                 blocking,
-                deadline: m.resolved_deadline(),
+                deadline,
                 outcome: outcome_enum,
                 instances,
             });
@@ -548,11 +715,11 @@ impl CompiledBus {
         } else {
             ws.epoch = self.epoch;
             ws.errors_desc.clear();
-            ws.errors_desc.push_str(&desc);
+            ws.errors_desc.push_str(desc);
             ws.horizon = config.horizon;
             ws.max_instances = config.max_instances;
             ws.activations.clear();
-            ws.activations.extend(msgs.iter().map(|m| m.activation));
+            ws.activations.extend_from_slice(acts);
         }
         ws.last = stats;
 
@@ -567,7 +734,7 @@ impl CompiledBus {
         }
         BusReport {
             messages: reports,
-            error_model: desc,
+            error_model: desc.to_string(),
             stuffing: config.stuffing,
             backend: self.backend,
         }
@@ -615,6 +782,7 @@ impl CompiledBus {
             .enumerate()
             .all(|(j, p)| p.c_max == self.c_max[j] && p.c_min == self.c_min[j]);
         let hook = test_mutations::drop_blocking();
+        let activations: Vec<EventModel> = msgs.iter().map(|m| m.activation).collect();
 
         let mut stats = IncrementalStats::default();
         let mut iterations = 0u64;
@@ -634,7 +802,7 @@ impl CompiledBus {
             } else {
                 stats.recomputed += 1;
                 match busy_window(
-                    msgs,
+                    &activations,
                     i,
                     &self.interference[i],
                     &self.c_max,
@@ -711,6 +879,10 @@ pub(crate) struct BusyAbort {
 /// inner fixpoint step adds one to `iterations` — the convergence-cost
 /// figure surfaced as the `rta.iterations` metric.
 ///
+/// The hot loop reads only the dense `activations` vector (SoA layout,
+/// indexed like the compiled tables) — never message structs — so
+/// batch sweeps stride contiguous event models.
+///
 /// `warm[q-1]`, when present, is a known lower bound on instance `q`'s
 /// least fixpoint (see the module docs for the soundness argument);
 /// the iteration starts at the maximum of the cold start and that
@@ -718,7 +890,7 @@ pub(crate) struct BusyAbort {
 /// so the caller can feed them back as the next solve's warm hints.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn busy_window(
-    msgs: &[CanMessage],
+    activations: &[EventModel],
     i: usize,
     interference: &[usize],
     c_max: &[Time],
@@ -732,7 +904,7 @@ pub(crate) fn busy_window(
     iterations: &mut u64,
 ) -> Result<(Time, u64), BusyAbort> {
     let c_m = c_max[i];
-    let own = &msgs[i].activation;
+    let own = &activations[i];
     out_w.clear();
     let mut wcrt = Time::ZERO;
     // Per-message divergence budget, measured against the shared
@@ -765,7 +937,7 @@ pub(crate) fn busy_window(
             demand = demand
                 .saturating_add(per_hit.saturating_mul(errors.max_hits(w.saturating_add(c_m))));
             for &j in interference {
-                let eta = msgs[j].activation.eta_plus(w.saturating_add(tau));
+                let eta = activations[j].eta_plus(w.saturating_add(tau));
                 demand = demand.saturating_add(c_max[j].saturating_mul(eta));
             }
             if demand > config.horizon {
@@ -895,6 +1067,54 @@ mod tests {
             &analyze_bus(&variant, &errors, &config).expect("valid"),
         );
         assert_eq!(ws.last_stats().warm_messages, 1);
+    }
+
+    #[test]
+    fn solve_batch_is_bit_identical_to_per_point_solves() {
+        let base = net_with(vec![
+            msg("a", 0x100, 8, 5, 0, 0),
+            msg("b", 0x140, 4, 10, 0, 1),
+            msg("c", 0x180, 8, 10, 0, 0),
+            msg("d", 0x200, 2, 20, 0, 1),
+        ]);
+        let config = AnalysisConfig::default();
+        let errors = SporadicErrors::new(Time::from_ms(20));
+        let compiled = CompiledBus::compile(&base, config.stuffing).expect("valid");
+        // Ascending then descending jitter: the batch crosses both the
+        // warm-start and the dominance-rejection regimes.
+        let points: Vec<SolvePoint> = [0u64, 200, 500, 1200, 2500, 100]
+            .iter()
+            .map(|&us| SolvePoint::from_network(&with_jitter(&base, Time::from_us(us))))
+            .collect();
+
+        let mut ws = RtaWorkspace::new();
+        let (batch, stats) = compiled.solve_batch(&points, &errors, &config, &mut ws);
+        assert_eq!(batch.len(), points.len());
+        assert!(
+            stats.warm_messages > 0,
+            "ascending jitter prefix must warm-start: {stats:?}"
+        );
+        assert_eq!(
+            stats.warm_messages + stats.cold_messages,
+            (points.len() * base.messages().len()) as u64
+        );
+
+        // Per-point solves through one workspace see the same warm
+        // sequence; fresh-workspace solves pin the cold reference.
+        let mut seq_ws = RtaWorkspace::new();
+        for (k, (point, from_batch)) in points.iter().zip(&batch).enumerate() {
+            let seq = compiled.solve_point(point, &errors, &config, &mut seq_ws);
+            same_rows(from_batch, &seq);
+            let cold = compiled.solve_point(point, &errors, &config, &mut RtaWorkspace::new());
+            same_rows(from_batch, &cold);
+            let net_solve = compiled.solve(
+                &with_jitter(&base, Time::from_us([0u64, 200, 500, 1200, 2500, 100][k])),
+                &errors,
+                &config,
+                &mut RtaWorkspace::new(),
+            );
+            same_rows(from_batch, &net_solve);
+        }
     }
 
     #[test]

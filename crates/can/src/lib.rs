@@ -64,7 +64,7 @@ pub mod rta;
 /// Convenient single import for the common types of this crate.
 pub mod prelude {
     pub use crate::backend::{BackendConfig, CanFd, ClassicCan, NetworkBackend, WireBits};
-    pub use crate::compiled::{CompiledBus, RtaWorkspace, SolveStats};
+    pub use crate::compiled::{CompiledBus, RtaWorkspace, SolvePoint, SolveStats};
     pub use crate::controller::ControllerType;
     pub use crate::error_model::{
         BurstErrors, CombinedErrors, ErrorModel, NoErrors, SporadicErrors,

@@ -491,8 +491,10 @@ pub(crate) fn wcrt_for_sets(
         .unwrap_or(c_max[i])
         .max(c_max[i]);
     let per_hit = Time::from_bits(net.backend().backend().error_frame_bits(), rate) + retx;
+    let activations: Vec<carta_core::event_model::EventModel> =
+        msgs.iter().map(|m| m.activation).collect();
     crate::compiled::busy_window(
-        msgs,
+        &activations,
         i,
         &interference,
         c_max,

@@ -809,9 +809,6 @@ mod tests {
         );
         assert_eq!(exit_code_for(&ApiError::model("bad csv")), 65);
         assert_eq!(exit_code_for(&ParseArgsError("bad flag".into())), 2);
-        assert_eq!(
-            exit_code_for(&std::io::Error::new(std::io::ErrorKind::Other, "raw")),
-            1
-        );
+        assert_eq!(exit_code_for(&std::io::Error::other("raw")), 1);
     }
 }

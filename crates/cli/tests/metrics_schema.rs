@@ -54,6 +54,11 @@ fn loss_metrics_document_has_required_keys() {
     for key in [
         "engine.cache.hits",
         "engine.cache.misses",
+        "engine.batch.chunks",
+        "engine.batch.worker_points",
+        "engine.batch.publish_flushes",
+        "engine.batch.shard_waits",
+        "engine.scratch.evictions",
         "rta.iterations",
         "sweep.runs",
         "sweep.points",
@@ -69,6 +74,12 @@ fn loss_metrics_document_has_required_keys() {
         .and_then(Value::as_f64)
         .expect("counter is a number");
     assert!(misses >= 1.0, "no analyses recorded: {misses}");
+    // The sweep runs through the chunked batch path at least once.
+    let chunks = metrics
+        .get("engine.batch.chunks")
+        .and_then(Value::as_f64)
+        .expect("counter is a number");
+    assert!(chunks >= 1.0, "no batch chunks recorded: {chunks}");
 
     let derived = doc
         .get("derived")

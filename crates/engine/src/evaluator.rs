@@ -6,7 +6,7 @@
 //! evaluations of the same variant share one allocation.
 
 use crate::variant::{SystemVariant, VariantKey};
-use carta_can::compiled::{CompiledBus, RtaWorkspace};
+use carta_can::compiled::{CompiledBus, RtaWorkspace, SolvePoint};
 use carta_can::frame::StuffingMode;
 use carta_can::network::CanNetwork;
 use carta_can::prob::{prob_from_reports, ProbBusReport};
@@ -19,7 +19,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, TryLockError};
 use std::time::Instant;
 
@@ -62,16 +62,48 @@ impl Parallelism {
     /// Resolves the job count the way the CLI does: an explicit
     /// request wins, then the `CARTA_JOBS` environment variable, then
     /// all available hardware threads.
+    ///
+    /// A malformed or zero `CARTA_JOBS` is *reported* — one warning
+    /// line on stderr plus an `engine.jobs.env_invalid` counter while
+    /// metrics are enabled — instead of silently falling back.
     pub fn resolve(explicit: Option<usize>) -> Self {
-        if let Some(n) = explicit {
-            return Parallelism::new(n);
+        let env = std::env::var("CARTA_JOBS").ok();
+        let (resolved, warning) = Self::resolve_with_env(explicit, env.as_deref());
+        if let Some(warning) = warning {
+            eprintln!("warning: {warning}");
+            if metrics::enabled() {
+                metrics::global().counter("engine.jobs.env_invalid").inc();
+            }
         }
-        match std::env::var("CARTA_JOBS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-        {
-            Some(n) => Parallelism::new(n),
-            None => Parallelism::new(Self::available()),
+        resolved
+    }
+
+    /// Pure resolution core of [`Parallelism::resolve`]: `env` is the
+    /// raw `CARTA_JOBS` value, if set. Returns the parallelism plus the
+    /// warning a malformed value deserves (the caller decides where it
+    /// goes).
+    pub fn resolve_with_env(explicit: Option<usize>, env: Option<&str>) -> (Self, Option<String>) {
+        if let Some(n) = explicit {
+            return (Parallelism::new(n), None);
+        }
+        match env {
+            None => (Parallelism::new(Self::available()), None),
+            Some(raw) => match raw.trim().parse::<usize>() {
+                Ok(0) => (
+                    Parallelism::new(1),
+                    Some(format!(
+                        "CARTA_JOBS={raw} requests zero workers; clamping to 1"
+                    )),
+                ),
+                Ok(n) => (Parallelism::new(n), None),
+                Err(_) => (
+                    Parallelism::new(Self::available()),
+                    Some(format!(
+                        "CARTA_JOBS={raw:?} is not a valid worker count; using all {} hardware threads",
+                        Self::available()
+                    )),
+                ),
+            },
         }
     }
 
@@ -184,6 +216,17 @@ impl CacheStats {
 
 const SHARDS: usize = 16;
 
+/// Fixed batch chunk size: chunk `c` of a batch always runs on worker
+/// `c % jobs`, making work assignment a pure function of the batch —
+/// not of scheduling. 64 points amortize the chunked cache protocol's
+/// two lock passes while keeping tail imbalance under a millisecond of
+/// work.
+const BATCH_CHUNK: usize = 64;
+
+/// One planned unit of batch work: a chunk of the input and the
+/// disjoint output rows it writes.
+type ChunkWork<'a, 'b> = (&'a [SystemVariant], &'b mut [Option<EvalResult>]);
+
 /// Per-bucket reference analysis for incremental re-analysis of
 /// permutation overlays: a permutation changes identifiers only, so
 /// messages whose higher-priority set is unchanged keep their verdict.
@@ -192,23 +235,85 @@ struct Anchor {
     hp_sets: Vec<Vec<usize>>,
 }
 
-/// Per-thread solve state: the reusable scratch network, the compiled
-/// tables last used on this thread (an `Arc` into the evaluator's
-/// compiled-bus cache, re-fetched when base or stuffing change), and
-/// the RTA workspace that carries busy-window warm-start data from one
-/// solve to the next.
+/// Per-thread solve state for one base: the SoA solve point rebuilt per
+/// variant, the lazily cloned scratch network (materialized only for
+/// permutation overlays, which rewrite identifier tables in place), the
+/// compiled tables last used on this thread (an `Arc` into the
+/// evaluator's compiled-bus cache, re-fetched when stuffing changes),
+/// and the RTA workspace that carries busy-window warm-start data from
+/// one solve to the next.
 struct Scratch {
     fp: u64,
-    net: CanNetwork,
+    net: Option<CanNetwork>,
     compiled: Option<((u64, StuffingMode), Arc<CompiledBus>)>,
     ws: RtaWorkspace,
+    point: SolvePoint,
+}
+
+/// Bound on the per-thread scratch pool: cycling through more bases
+/// than this on one thread evicts the least recently used state instead
+/// of growing without limit.
+const SCRATCH_POOL_CAP: usize = 8;
+
+/// Small per-thread pool of [`Scratch`] states keyed by base
+/// fingerprint, kept in LRU order (most recently used last).
+struct ScratchPool {
+    entries: Vec<Scratch>,
+}
+
+impl ScratchPool {
+    const fn new() -> Self {
+        ScratchPool {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The scratch state for `fp`, moved to the most-recent slot. A
+    /// miss creates a fresh entry, evicting the least recently used one
+    /// past [`SCRATCH_POOL_CAP`]; the flag reports that eviction.
+    fn entry_for(&mut self, fp: u64) -> (&mut Scratch, bool) {
+        let mut evicted = false;
+        if let Some(pos) = self.entries.iter().position(|s| s.fp == fp) {
+            let entry = self.entries.remove(pos);
+            self.entries.push(entry);
+        } else {
+            if self.entries.len() >= SCRATCH_POOL_CAP {
+                self.entries.remove(0);
+                evicted = true;
+            }
+            self.entries.push(Scratch {
+                fp,
+                net: None,
+                compiled: None,
+                ws: RtaWorkspace::new(),
+                point: SolvePoint::new(),
+            });
+        }
+        let last = self.entries.len() - 1;
+        (&mut self.entries[last], evicted)
+    }
+
+    /// Invalidates every entry's warm-start workspace (networks,
+    /// compiled handles and allocations are kept — they are
+    /// deterministic caches and cannot influence results or stats).
+    fn invalidate_warm_state(&mut self) {
+        for entry in &mut self.entries {
+            entry.ws.invalidate();
+        }
+    }
+
+    /// Drops everything — the panic-containment path, where any entry
+    /// may have been left mid-rewrite.
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
 }
 
 thread_local! {
-    /// Per-thread scratch, keyed by base fingerprint. The network is
-    /// cloned once per (thread, base) and rewritten in place per
-    /// variant — the "no full-network clone per point" mechanism.
-    static SCRATCH: RefCell<Option<Scratch>> = const { RefCell::new(None) };
+    /// Per-thread scratch pool, keyed by base fingerprint. Networks are
+    /// cloned at most once per (thread, base) and rewritten in place
+    /// per variant — the "no full-network clone per point" mechanism.
+    static SCRATCH: RefCell<ScratchPool> = const { RefCell::new(ScratchPool::new()) };
 }
 
 /// Pre-resolved metric handles for the engine's hot paths.
@@ -231,6 +336,11 @@ struct EngineMetrics {
     batch_points: Arc<Counter>,
     batch_wall_ns: Arc<Histogram>,
     queue_depth: Arc<Histogram>,
+    batch_chunks: Arc<Counter>,
+    batch_worker_points: Arc<Histogram>,
+    batch_publish_flushes: Arc<Counter>,
+    batch_shard_waits: Arc<Counter>,
+    scratch_evictions: Arc<Counter>,
     rta_compiles: Arc<Counter>,
     rta_warm_starts: Arc<Counter>,
     rta_cold_starts: Arc<Counter>,
@@ -251,6 +361,11 @@ impl EngineMetrics {
             batch_points: registry.counter("engine.batch.points"),
             batch_wall_ns: registry.histogram("engine.batch.wall_ns"),
             queue_depth: registry.histogram("engine.batch.queue_depth"),
+            batch_chunks: registry.counter("engine.batch.chunks"),
+            batch_worker_points: registry.histogram("engine.batch.worker_points"),
+            batch_publish_flushes: registry.counter("engine.batch.publish_flushes"),
+            batch_shard_waits: registry.counter("engine.batch.shard_waits"),
+            scratch_evictions: registry.counter("engine.scratch.evictions"),
             rta_compiles: registry.counter("engine.rta.compiles"),
             rta_warm_starts: registry.counter("engine.rta.warm_starts"),
             rta_cold_starts: registry.counter("engine.rta.cold_starts"),
@@ -346,6 +461,10 @@ impl EvaluatorBuilder {
             // Per-shard budget; a capacity below SHARDS still keeps one
             // entry per shard rather than thrashing on every insert.
             shard_capacity: self.cache_capacity.map(|c| (c / SHARDS).max(1)),
+            // Anchors retain whole reports plus higher-priority sets, so
+            // a bounded cache bounds them too (at a fraction of the
+            // entry budget — anchors are per bucket, not per variant).
+            anchor_capacity: self.cache_capacity.map(|c| (c / 4).max(1)),
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             anchors: Mutex::new(HashMap::new()),
             compiled: Mutex::new(HashMap::new()),
@@ -368,6 +487,7 @@ impl EvaluatorBuilder {
 pub struct Evaluator {
     parallelism: Parallelism,
     shard_capacity: Option<usize>,
+    anchor_capacity: Option<usize>,
     shards: Vec<Mutex<HashMap<VariantKey, EvalResult>>>,
     anchors: Mutex<HashMap<VariantKey, Arc<Anchor>>>,
     /// One compiled bus per (base fingerprint, stuffing mode), shared
@@ -435,32 +555,45 @@ impl Evaluator {
         }
     }
 
-    fn shard(&self, key: &VariantKey) -> &Mutex<HashMap<VariantKey, EvalResult>> {
+    fn shard_index(&self, key: &VariantKey) -> usize {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
-        &self.shards[(h.finish() as usize) % SHARDS]
+        (h.finish() as usize) % SHARDS
     }
 
-    /// Locks the shard holding `key`, counting contended acquisitions
-    /// while metrics are active.
+    /// Locks shard `s`, counting contended acquisitions while metrics
+    /// are active (`batch` attributes the wait to the chunked batch
+    /// protocol rather than point-wise cache contention).
     ///
     /// Poisoned locks are recovered, not propagated: shards only ever
     /// hold fully-constructed entries (no lock is held across an
     /// analysis), so a panic on another thread cannot leave a torn
     /// value behind.
-    fn lock_shard(&self, key: &VariantKey) -> MutexGuard<'_, HashMap<VariantKey, EvalResult>> {
-        let shard = self.shard(key);
+    fn lock_shard_at(
+        &self,
+        s: usize,
+        batch: bool,
+    ) -> MutexGuard<'_, HashMap<VariantKey, EvalResult>> {
+        let shard = &self.shards[s];
         if !self.metrics.active() {
             return shard.lock().unwrap_or_else(PoisonError::into_inner);
         }
         match shard.try_lock() {
             Ok(guard) => guard,
             Err(TryLockError::WouldBlock) => {
-                self.metrics.contention.inc();
+                if batch {
+                    self.metrics.batch_shard_waits.inc();
+                } else {
+                    self.metrics.contention.inc();
+                }
                 shard.lock().unwrap_or_else(PoisonError::into_inner)
             }
             Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
         }
+    }
+
+    fn lock_shard(&self, key: &VariantKey) -> MutexGuard<'_, HashMap<VariantKey, EvalResult>> {
+        self.lock_shard_at(self.shard_index(key), false)
     }
 
     /// Evaluates one variant, consulting and filling the cache.
@@ -477,16 +610,7 @@ impl Evaluator {
             }
             return cached.clone();
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let timed = self.metrics.active();
-        if timed {
-            self.metrics.misses.inc();
-        }
-        let start = timed.then(Instant::now);
-        let (result, cacheable) = self.analyze_contained(variant);
-        if let Some(start) = start {
-            self.metrics.eval_wall_ns.record(elapsed_ns(start));
-        }
+        let (result, cacheable) = self.analyze_miss(variant);
         if !cacheable {
             // Contained panics and injected faults never enter the memo
             // cache: a retry of this variant must behave exactly like a
@@ -494,8 +618,34 @@ impl Evaluator {
             return result;
         }
         let mut shard = self.lock_shard(&key);
+        self.evict_if_full(&mut shard, &key);
+        // Racing threads may both compute; the first insert wins so all
+        // callers share one Arc.
+        shard.entry(key).or_insert(result).clone()
+    }
+
+    /// Miss bookkeeping around one contained analysis: the miss
+    /// counters, and the per-evaluation wall-time histogram while
+    /// metrics are active.
+    fn analyze_miss(&self, variant: &SystemVariant) -> (EvalResult, bool) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let timed = self.metrics.active();
+        if timed {
+            self.metrics.misses.inc();
+        }
+        let start = timed.then(Instant::now);
+        let outcome = self.analyze_contained(variant);
+        if let Some(start) = start {
+            self.metrics.eval_wall_ns.record(elapsed_ns(start));
+        }
+        outcome
+    }
+
+    /// Applies the whole-shard eviction policy before an insert of
+    /// `key` (see [`EvaluatorBuilder::cache_capacity`]).
+    fn evict_if_full(&self, shard: &mut HashMap<VariantKey, EvalResult>, key: &VariantKey) {
         if let Some(capacity) = self.shard_capacity {
-            if shard.len() >= capacity && !shard.contains_key(&key) {
+            if shard.len() >= capacity && !shard.contains_key(key) {
                 let evicted = shard.len() as u64;
                 shard.clear();
                 if self.metrics.active() {
@@ -503,9 +653,6 @@ impl Evaluator {
                 }
             }
         }
-        // Racing threads may both compute; the first insert wins so all
-        // callers share one Arc.
-        shard.entry(key).or_insert(result).clone()
     }
 
     /// Evaluates one variant probabilistically: the deterministic
@@ -591,41 +738,75 @@ impl Evaluator {
         out
     }
 
+    /// Deterministic chunked execution behind [`Evaluator::evaluate_batch`].
+    ///
+    /// The batch is cut into fixed-size chunks of [`BATCH_CHUNK`]
+    /// points; chunk `c` always runs on worker `c % jobs`, in ascending
+    /// chunk order within each worker. The assignment is a pure
+    /// function of the batch and the job count — never of scheduling —
+    /// so per-worker warm-start sequences, fault numbering under a
+    /// fixed assignment, and the work distribution are reproducible
+    /// run over run. Each chunk additionally starts from invalidated
+    /// warm-start state, which makes every result *and* the warm/cold
+    /// solve counters a pure function of the chunk's own contents:
+    /// batches of distinct points are bit-identical, [`CacheStats`]
+    /// included, at any `--jobs` value.
     fn evaluate_batch_inner(&self, variants: &[SystemVariant]) -> Vec<EvalResult> {
-        let jobs = self.parallelism.jobs().min(variants.len());
-        if jobs <= 1 {
+        if variants.len() <= 1 {
             return variants.iter().map(|v| self.evaluate(v)).collect();
         }
-        let next = AtomicUsize::new(0);
+        let chunk_count = variants.len().div_ceil(BATCH_CHUNK);
+        let jobs = self.parallelism.jobs().min(chunk_count);
         let mut out: Vec<Option<EvalResult>> = vec![None; variants.len()];
-        std::thread::scope(|scope| {
-            let workers: Vec<_> = (0..jobs)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut local = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= variants.len() {
-                                break;
+        if jobs <= 1 {
+            for (chunk, rows) in variants
+                .chunks(BATCH_CHUNK)
+                .zip(out.chunks_mut(BATCH_CHUNK))
+            {
+                self.process_chunk(chunk, rows);
+            }
+            if self.metrics.active() {
+                self.metrics
+                    .batch_worker_points
+                    .record(variants.len() as u64);
+            }
+        } else {
+            // Deterministic round-robin chunk plan, built before any
+            // worker starts.
+            let mut plans: Vec<Vec<ChunkWork>> = (0..jobs).map(|_| Vec::new()).collect();
+            for (c, work) in variants
+                .chunks(BATCH_CHUNK)
+                .zip(out.chunks_mut(BATCH_CHUNK))
+                .enumerate()
+            {
+                plans[c % jobs].push(work);
+            }
+            let worker_points: Vec<u64> = std::thread::scope(|scope| {
+                let workers: Vec<_> = plans
+                    .into_iter()
+                    .map(|plan| {
+                        scope.spawn(move || {
+                            let mut points = 0u64;
+                            for (chunk, rows) in plan {
+                                points += chunk.len() as u64;
+                                self.process_chunk(chunk, rows);
                             }
-                            local.push((i, self.evaluate(&variants[i])));
-                        }
-                        local
+                            points
+                        })
                     })
-                })
-                .collect();
-            for worker in workers {
+                    .collect();
                 // Panics inside the analysis are contained by
                 // `analyze_contained`, so a worker dying is a harness
                 // bug — degrade its unclaimed points instead of
                 // aborting the whole batch.
-                if let Ok(rows) = worker.join() {
-                    for (i, result) in rows {
-                        out[i] = Some(result);
-                    }
+                workers.into_iter().filter_map(|w| w.join().ok()).collect()
+            });
+            if self.metrics.active() {
+                for points in worker_points {
+                    self.metrics.batch_worker_points.record(points);
                 }
             }
-        });
+        }
         out.into_iter()
             .map(|r| {
                 r.unwrap_or_else(|| {
@@ -635,6 +816,111 @@ impl Evaluator {
                 })
             })
             .collect()
+    }
+
+    /// Evaluates one chunk with the contention-free cache protocol:
+    ///
+    /// 1. **Batched read pass** — the chunk's keys are bucketed by
+    ///    shard, then each touched shard is locked exactly once to pull
+    ///    every hit, instead of once per point.
+    /// 2. **Lock-free analysis** — every miss is analysed into a
+    ///    chunk-local buffer. Duplicate keys within the chunk are
+    ///    deduplicated here (the second occurrence counts as a hit and
+    ///    shares the first's result) without touching any lock.
+    /// 3. **Publish pass** — the buffered results are written back with
+    ///    one lock acquisition per touched shard. First insert wins, and
+    ///    every output row is rewritten with the canonical `Arc` from
+    ///    the cache so concurrent chunks that computed the same key
+    ///    still hand out one shared allocation.
+    ///
+    /// Warm-start state is invalidated on entry, making the chunk's
+    /// results and solve statistics independent of whatever ran on this
+    /// thread before — the keystone of cross-`jobs` bit-identity.
+    fn process_chunk(&self, variants: &[SystemVariant], out: &mut [Option<EvalResult>]) {
+        SCRATCH.with_borrow_mut(ScratchPool::invalidate_warm_state);
+        if self.metrics.active() {
+            self.metrics.batch_chunks.inc();
+        }
+        let keys: Vec<VariantKey> = variants.iter().map(SystemVariant::key).collect();
+        let shard_of: Vec<usize> = keys.iter().map(|k| self.shard_index(k)).collect();
+
+        // Read pass: one lock per touched shard.
+        let mut read_buckets: [Vec<usize>; SHARDS] = std::array::from_fn(|_| Vec::new());
+        for (i, &s) in shard_of.iter().enumerate() {
+            read_buckets[s].push(i);
+        }
+        let mut hits = 0u64;
+        for (s, bucket) in read_buckets.iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let shard = self.lock_shard_at(s, true);
+            for &i in bucket {
+                if let Some(cached) = shard.get(&keys[i]) {
+                    out[i] = Some(cached.clone());
+                    hits += 1;
+                }
+            }
+        }
+
+        // Analysis pass: no locks. Fresh results buffer locally; a key
+        // repeated within the chunk is analysed once and its later
+        // occurrences count as cache hits on the buffered entry.
+        let mut fresh: HashMap<VariantKey, (EvalResult, Vec<usize>)> = HashMap::new();
+        for i in 0..variants.len() {
+            if out[i].is_some() {
+                continue;
+            }
+            if let Some((result, users)) = fresh.get_mut(&keys[i]) {
+                out[i] = Some(result.clone());
+                users.push(i);
+                hits += 1;
+                continue;
+            }
+            let (result, cacheable) = self.analyze_miss(&variants[i]);
+            if cacheable {
+                out[i] = Some(result.clone());
+                fresh.insert(keys[i].clone(), (result, vec![i]));
+            } else {
+                out[i] = Some(result);
+            }
+        }
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        if self.metrics.active() {
+            self.metrics.hits.add(hits);
+        }
+
+        // Publish pass: one lock per touched shard, canonical Arcs
+        // rewritten into every user row.
+        if fresh.is_empty() {
+            return;
+        }
+        let mut publish: [Vec<(VariantKey, EvalResult, Vec<usize>)>; SHARDS] =
+            std::array::from_fn(|_| Vec::new());
+        for (key, (result, users)) in fresh.drain() {
+            let s = self.shard_index(&key);
+            publish[s].push((key, result, users));
+        }
+        for (s, mut bucket) in publish.into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            // HashMap drain order is nondeterministic; under a bounded
+            // cache the insert order decides which entries survive an
+            // eviction, so pin it to batch order.
+            bucket.sort_by_key(|(_, _, users)| users[0]);
+            let mut shard = self.lock_shard_at(s, true);
+            if self.metrics.active() {
+                self.metrics.batch_publish_flushes.inc();
+            }
+            for (key, result, users) in bucket {
+                self.evict_if_full(&mut shard, &key);
+                let canonical = shard.entry(key).or_insert(result).clone();
+                for i in users {
+                    out[i] = Some(canonical.clone());
+                }
+            }
+        }
     }
 
     /// The compiled bus of `variant`'s base under `stuffing`, from the
@@ -707,7 +993,7 @@ impl Evaluator {
         match outcome {
             Ok(result) => (result, injected.is_none()),
             Err(payload) => {
-                SCRATCH.with_borrow_mut(|slot| *slot = None);
+                SCRATCH.with_borrow_mut(ScratchPool::clear);
                 let detail = panic_detail(payload.as_ref());
                 if self.metrics.active() {
                     self.metrics.fault_panics.inc();
@@ -718,33 +1004,48 @@ impl Evaluator {
         }
     }
 
+    /// Installs the anchor report for `key` (first writer wins). Under
+    /// a bounded cache the anchors map is bounded too: at capacity it
+    /// is cleared whole, like a shard — anchors only accelerate
+    /// permutation overlays, so losing one costs a recompute, never
+    /// correctness.
+    fn install_anchor(&self, key: VariantKey, anchor: impl FnOnce() -> Anchor) {
+        let mut anchors = self.anchors.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(capacity) = self.anchor_capacity {
+            if anchors.len() >= capacity && !anchors.contains_key(&key) {
+                let evicted = anchors.len() as u64;
+                anchors.clear();
+                if self.metrics.active() {
+                    self.metrics.evictions.add(evicted);
+                }
+            }
+        }
+        anchors.entry(key).or_insert_with(|| Arc::new(anchor()));
+    }
+
     /// Runs the analysis for a cache miss on the compiled fast path:
-    /// the per-thread scratch network is rewritten in place, the base's
-    /// [`CompiledBus`] is fetched from the shared cache, and the solve
-    /// phase warm-starts from the thread's [`RtaWorkspace`]. Permutation
-    /// overlays recompile only the order-dependent tables
-    /// ([`CompiledBus::reordered`]) and re-use per-message verdicts from
-    /// the bucket's anchor report where the priority order is unchanged.
+    /// the per-thread SoA solve point is rebuilt row by row (no network
+    /// clone or rewrite on the common path), the base's [`CompiledBus`]
+    /// is fetched from the shared cache, and the solve phase
+    /// warm-starts from the thread's [`RtaWorkspace`]. Permutation
+    /// overlays materialize the thread's scratch network, recompile
+    /// only the order-dependent tables ([`CompiledBus::reordered`]) and
+    /// re-use per-message verdicts from the bucket's anchor report
+    /// where the priority order is unchanged.
     fn analyze_uncached(
         &self,
         variant: &SystemVariant,
         fault: Option<InjectedFault>,
     ) -> EvalResult {
         variant.validate_overlays()?;
-        SCRATCH.with_borrow_mut(|slot| {
+        SCRATCH.with_borrow_mut(|pool| {
             let fp = variant.base().fingerprint();
-            let scratch = match slot {
-                Some(s) if s.fp == fp => s,
-                slot => slot.insert(Scratch {
-                    fp,
-                    net: variant.base().network().clone(),
-                    compiled: None,
-                    ws: RtaWorkspace::new(),
-                }),
-            };
-            variant.apply_onto(&mut scratch.net);
+            let (scratch, evicted) = pool.entry_for(fp);
+            if evicted && self.metrics.active() {
+                self.metrics.scratch_evictions.inc();
+            }
             if fault == Some(InjectedFault::Panic) {
-                // Fires after the scratch network was mutated so the
+                // Fires after the scratch entry was claimed so the
                 // containment path must genuinely discard dirty state.
                 panic!("injected fault: panic during analysis");
             }
@@ -766,10 +1067,16 @@ impl Evaluator {
             };
 
             if variant.permutation().is_some() {
-                // Identifiers were redistributed: the order-dependent
-                // tables recompile against the permuted scratch network
-                // (interned names and frame times carry over).
-                let reordered = compiled.reordered(&scratch.net);
+                // Identifiers were redistributed: this is the one path
+                // that needs a materialized network (cloned once per
+                // (thread, base), then rewritten in place), because the
+                // order-dependent tables recompile against it (interned
+                // names and frame times carry over).
+                let net = scratch
+                    .net
+                    .get_or_insert_with(|| variant.base().network().clone());
+                variant.apply_onto(net);
+                let reordered = compiled.reordered(net);
                 self.compiles.fetch_add(1, Ordering::Relaxed);
                 if self.metrics.active() {
                     self.metrics.rta_compiles.inc();
@@ -782,7 +1089,7 @@ impl Evaluator {
                     .cloned();
                 if let Some(anchor) = anchor {
                     let (report, stats) = reordered.solve_incremental(
-                        &scratch.net,
+                        net,
                         errors.as_ref(),
                         &config,
                         &anchor.report,
@@ -796,41 +1103,37 @@ impl Evaluator {
                 }
                 // Anchor miss: solve cold (warm-start state never
                 // transfers across a reordering) and install the anchor.
-                let report = reordered.solve(
-                    &scratch.net,
-                    errors.as_ref(),
-                    &config,
-                    &mut RtaWorkspace::new(),
-                );
+                let report =
+                    reordered.solve(net, errors.as_ref(), &config, &mut RtaWorkspace::new());
                 self.cold_starts
                     .fetch_add(report.messages.len() as u64, Ordering::Relaxed);
-                self.anchors
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .entry(variant.anchor_key())
-                    .or_insert_with(|| {
-                        Arc::new(Anchor {
-                            report: report.clone(),
-                            hp_sets: reordered.hp_sets().to_vec(),
-                        })
-                    });
+                let hp_sets = reordered.hp_sets().to_vec();
+                let anchor_report = report.clone();
+                self.install_anchor(variant.anchor_key(), move || Anchor {
+                    report: anchor_report,
+                    hp_sets,
+                });
                 return Ok(Arc::new(report));
             }
 
-            let report = compiled.solve(&scratch.net, errors.as_ref(), &config, &mut scratch.ws);
+            // Common path: no network materialization at all — the SoA
+            // solve point is filled straight from the base plus
+            // overlays, one (activation, deadline) row per message.
+            let mut point = std::mem::take(&mut scratch.point);
+            point.fill_with(variant.base().network().messages().len(), |i| {
+                variant.solve_row(i)
+            });
+            let report = compiled.solve_point(&point, errors.as_ref(), &config, &mut scratch.ws);
+            scratch.point = point;
             self.record_solve(&scratch.ws);
             // First full analysis in this bucket: it becomes the anchor
             // future permutation overlays diff against.
-            self.anchors
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .entry(variant.anchor_key())
-                .or_insert_with(|| {
-                    Arc::new(Anchor {
-                        report: report.clone(),
-                        hp_sets: compiled.hp_sets().to_vec(),
-                    })
-                });
+            let hp_sets = compiled.hp_sets().to_vec();
+            let anchor_report = report.clone();
+            self.install_anchor(variant.anchor_key(), move || Anchor {
+                report: anchor_report,
+                hp_sets,
+            });
             Ok(Arc::new(report))
         })
     }
@@ -1137,6 +1440,123 @@ mod tests {
     }
 
     #[test]
+    fn malformed_jobs_env_warns_instead_of_silently_falling_back() {
+        let (p, w) = Parallelism::resolve_with_env(None, Some("4"));
+        assert_eq!((p.jobs(), w), (4, None));
+        let (p, w) = Parallelism::resolve_with_env(None, Some(" 2 "));
+        assert_eq!((p.jobs(), w), (2, None), "whitespace is tolerated");
+        let (p, w) = Parallelism::resolve_with_env(None, Some("0"));
+        assert_eq!(p.jobs(), 1);
+        assert!(w.expect("warned").contains("zero workers"));
+        let (p, w) = Parallelism::resolve_with_env(None, Some("abc"));
+        assert_eq!(p.jobs(), Parallelism::available());
+        assert!(w.expect("warned").contains("not a valid worker count"));
+        let (p, w) = Parallelism::resolve_with_env(Some(2), Some("abc"));
+        assert_eq!(
+            (p.jobs(), w),
+            (2, None),
+            "an explicit request wins without consulting the env"
+        );
+        let (p, w) = Parallelism::resolve_with_env(None, None);
+        assert_eq!((p.jobs(), w), (Parallelism::available(), None));
+    }
+
+    #[test]
+    fn scratch_pool_is_bounded_per_thread() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let eval = Evaluator::builder()
+            .parallelism(Parallelism::sequential())
+            .metrics(&registry)
+            .build();
+        let cycles = SCRATCH_POOL_CAP + 4;
+        // Distinct message counts yield distinct base fingerprints, so
+        // every evaluation claims its own scratch entry.
+        for k in 0..cycles {
+            let base = BaseSystem::new(net(2 + k));
+            eval.evaluate(&SystemVariant::new(base, Scenario::worst_case()))
+                .expect("valid");
+        }
+        SCRATCH.with_borrow(|pool| {
+            assert!(
+                pool.entries.len() <= SCRATCH_POOL_CAP,
+                "pool grew to {} entries",
+                pool.entries.len()
+            );
+        });
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("engine.scratch.evictions"),
+            Some((cycles - SCRATCH_POOL_CAP) as u64),
+            "every base past the cap evicts exactly one entry"
+        );
+        // Cycling back through an evicted base still works (and is
+        // still correct) — it just re-claims a fresh entry.
+        let base = BaseSystem::new(net(2));
+        let v = SystemVariant::new(base, Scenario::worst_case()).with_jitter_ratio(0.1);
+        eval.evaluate(&v).expect("valid");
+    }
+
+    #[test]
+    fn chunked_batches_are_bit_identical_across_jobs() {
+        let base = BaseSystem::new(net(6));
+        // More than two chunks, all keys distinct, so hits, misses and
+        // the chunk-local warm/cold split are jobs-invariant.
+        let variants: Vec<SystemVariant> = (0..(3 * BATCH_CHUNK + 10))
+            .map(|k| {
+                SystemVariant::new(base.clone(), Scenario::worst_case())
+                    .with_jitter_ratio(k as f64 * 0.003)
+            })
+            .collect();
+        let mut reference: Option<(Vec<EvalResult>, CacheStats)> = None;
+        for jobs in [1usize, 2, 8] {
+            let eval = Evaluator::new(Parallelism::new(jobs));
+            let out = eval.evaluate_batch(&variants);
+            let stats = eval.stats();
+            match &reference {
+                None => reference = Some((out, stats)),
+                Some((ref_out, ref_stats)) => {
+                    assert_eq!(
+                        stats, *ref_stats,
+                        "cache statistics must be reproducible at jobs={jobs}"
+                    );
+                    for (i, (a, b)) in out.iter().zip(ref_out).enumerate() {
+                        let (a, b) = (a.as_ref().expect("valid"), b.as_ref().expect("valid"));
+                        assert_eq!(a.messages, b.messages, "point {i} diverged at jobs={jobs}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_protocol_dedups_repeats_and_shares_arcs() {
+        let base = BaseSystem::new(net(6));
+        // 8 distinct keys, each repeated 16 times within one batch.
+        let variants: Vec<SystemVariant> = (0..128)
+            .map(|k| {
+                SystemVariant::new(base.clone(), Scenario::worst_case())
+                    .with_jitter_ratio((k % 8) as f64 * 0.05)
+            })
+            .collect();
+        let eval = Evaluator::new(Parallelism::sequential());
+        let out = eval.evaluate_batch(&variants);
+        let stats = eval.stats();
+        assert_eq!(stats.misses, 8, "the first chunk analyses each key once");
+        assert_eq!(
+            stats.hits, 120,
+            "repeats are hits — chunk-local dedup or the read pass"
+        );
+        for (i, r) in out.iter().enumerate() {
+            let r = r.as_ref().expect("valid");
+            let canonical = out[i % 8].as_ref().expect("valid");
+            assert!(
+                Arc::ptr_eq(r, canonical),
+                "row {i} must share the canonical Arc of its key"
+            );
+        }
+    }
+
+    #[test]
     fn builder_configures_jobs_and_capacity() {
         let eval = Evaluator::builder().jobs(3).cache_capacity(64).build();
         assert_eq!(eval.parallelism().jobs(), 3);
@@ -1196,6 +1616,21 @@ mod tests {
         assert_eq!(snap.counter("engine.cache.misses"), Some(stats.misses));
         assert_eq!(snap.counter("engine.batch.runs"), Some(2));
         assert_eq!(snap.counter("engine.batch.points"), Some(20));
+        // Ten points fit one chunk; two batches, one chunk each.
+        assert_eq!(snap.counter("engine.batch.chunks"), Some(2));
+        let worker_points = snap
+            .histogram("engine.batch.worker_points")
+            .expect("present");
+        assert_eq!((worker_points.count, worker_points.sum), (2, 20));
+        // Only the first batch has fresh results to publish; the warm
+        // batch is answered entirely by the read pass.
+        let flushes = snap
+            .counter("engine.batch.publish_flushes")
+            .expect("present");
+        assert!(
+            (1..=5).contains(&flushes),
+            "5 keys over 16 shards: {flushes}"
+        );
         let wall = snap.histogram("engine.eval.wall_ns").expect("present");
         assert_eq!(wall.count, stats.misses);
         assert!(wall.sum > 0);

@@ -297,6 +297,29 @@ impl SystemVariant {
         }
     }
 
+    /// The structure-of-arrays row of message `i` under this variant's
+    /// overlays: the overlaid activation model and the deadline it
+    /// resolves to — exactly what [`SystemVariant::apply_onto`]
+    /// followed by `resolved_deadline()` would produce, without
+    /// touching a network. Feeds [`carta_can::compiled::SolvePoint`]
+    /// construction on the evaluator's hot path. Identifier
+    /// permutations are *not* reflected here — they change the compiled
+    /// tables, not the solve rows — so the permutation path still
+    /// materializes a network.
+    pub fn solve_row(&self, i: usize) -> (EventModel, carta_core::time::Time) {
+        let src = &self.base.network().messages()[i];
+        let activation = match &self.jitter {
+            Some(overlay) => overlay.activation(&src.activation),
+            None => src.activation,
+        };
+        let policy = match self.scenario.deadline {
+            DeadlineOverride::Keep => src.deadline,
+            DeadlineOverride::Period => DeadlinePolicy::Period,
+            DeadlineOverride::MinReArrival => DeadlinePolicy::MinReArrival,
+        };
+        (activation, policy.deadline(&activation))
+    }
+
     /// Materializes the full network (one clone; prefer
     /// [`SystemVariant::apply_onto`] with a reused scratch in loops).
     pub fn materialize(&self) -> CanNetwork {
@@ -375,6 +398,36 @@ mod tests {
         light.apply_onto(&mut scratch);
         assert_eq!(scratch, light.materialize());
         assert_eq!(scratch, Scenario::best_case().apply(base.network()));
+    }
+
+    #[test]
+    fn solve_rows_mirror_apply_onto() {
+        let base = BaseSystem::new(net());
+        let scenarios = [
+            Scenario::worst_case(),
+            Scenario::best_case(),
+            Scenario::best_case_period_deadline(),
+        ];
+        let overlays = [
+            None,
+            Some(JitterOverlay::UniformRatio(0.4)),
+            Some(JitterOverlay::AssumedUnknownRatio(0.25)),
+            Some(JitterOverlay::Scale(2.0)),
+        ];
+        for scenario in &scenarios {
+            for overlay in &overlays {
+                let mut v = SystemVariant::new(base.clone(), scenario.clone());
+                if let Some(overlay) = overlay {
+                    v = v.with_jitter(*overlay);
+                }
+                let materialized = v.materialize();
+                for (i, m) in materialized.messages().iter().enumerate() {
+                    let (activation, deadline) = v.solve_row(i);
+                    assert_eq!(activation, m.activation, "{} row {i}", scenario.name);
+                    assert_eq!(deadline, m.resolved_deadline(), "{} row {i}", scenario.name);
+                }
+            }
+        }
     }
 
     #[test]

@@ -52,6 +52,152 @@ fn fresh_sequential(
         .expect("valid model")
 }
 
+/// A distinct-key scenario ladder for the large-batch grids: every
+/// (scenario, jitter ratio) pair below maps to a unique [`VariantKey`],
+/// so cache hit/miss counts cannot race between workers and the full
+/// [`CacheStats`] become a pure function of the grid.
+fn scenario_ladder() -> Vec<Scenario> {
+    vec![
+        Scenario::best_case(),
+        Scenario::best_case_period_deadline(),
+        Scenario::worst_case(),
+        Scenario::sporadic_errors(Time::from_ms(5)),
+        Scenario::sporadic_errors(Time::from_ms(10)),
+        Scenario::sporadic_errors(Time::from_ms(20)),
+        Scenario::sporadic_errors(Time::from_ms(40)),
+        Scenario::sporadic_errors(Time::from_ms(80)),
+    ]
+}
+
+fn grid(base: &Arc<BaseSystem>, ratios_per_scenario: usize) -> Vec<SystemVariant> {
+    let scenarios = scenario_ladder();
+    let mut variants = Vec::with_capacity(scenarios.len() * ratios_per_scenario);
+    for scenario in &scenarios {
+        for k in 0..ratios_per_scenario {
+            variants.push(
+                SystemVariant::new(base.clone(), scenario.clone())
+                    .with_jitter_ratio(k as f64 * 0.0005),
+            );
+        }
+    }
+    variants
+}
+
+/// The chunked batch contract at scale: a ≥10k-point deterministic grid
+/// comes out bit-identical — results *and* the full [`CacheStats`],
+/// warm/cold solve counts included — at `--jobs` 1, 2 and 8. Chunks are
+/// assigned round-robin by index and each starts from invalidated
+/// warm-start state, so nothing observable depends on the worker count.
+#[test]
+fn large_deterministic_batches_are_bit_identical_across_jobs() {
+    let base = BaseSystem::new(random_network(&NetShape::mixed().messages(6), 42));
+    let variants = grid(&base, 1260);
+    assert!(
+        variants.len() >= 10_000,
+        "grid too small: {}",
+        variants.len()
+    );
+    let mut reference: Option<(Vec<EvalResult>, CacheStats)> = None;
+    for jobs in [1usize, 2, 8] {
+        let eval = Evaluator::new(Parallelism::new(jobs));
+        let out = eval.evaluate_batch(&variants);
+        let stats = eval.stats();
+        match &reference {
+            None => reference = Some((out, stats)),
+            Some((ref_out, ref_stats)) => {
+                assert_eq!(
+                    &stats, ref_stats,
+                    "cache statistics must be reproducible at jobs={jobs}"
+                );
+                for (i, (a, b)) in out.iter().zip(ref_out).enumerate() {
+                    let (a, b) = (a.as_ref().expect("valid"), b.as_ref().expect("valid"));
+                    assert_eq!(a, b, "point {i} diverged at jobs={jobs}");
+                }
+            }
+        }
+    }
+}
+
+/// Permutation overlays ride the incremental re-analysis path, whose
+/// anchor availability *can* depend on scheduling — but the results may
+/// not: whether a permuted point diffs against an anchor or solves
+/// cold, the report must be bit-identical at any job count.
+#[test]
+fn permutation_batches_are_bit_identical_across_jobs() {
+    let base = BaseSystem::new(random_network(&NetShape::two_node().messages(6), 7));
+    let n = base.network().messages().len();
+    let perms: Vec<Arc<Vec<usize>>> = (1..4)
+        .map(|rot| Arc::new((0..n).map(|i| (i + rot) % n).collect()))
+        .collect();
+    let mut variants = Vec::new();
+    for k in 0..640usize {
+        let v = SystemVariant::new(base.clone(), Scenario::worst_case())
+            .with_jitter_ratio(k as f64 * 0.0008);
+        variants.push(v.clone());
+        for perm in &perms {
+            variants.push(v.clone().with_permutation(perm.clone()));
+        }
+    }
+    let mut reference: Option<Vec<EvalResult>> = None;
+    for jobs in [1usize, 2, 8] {
+        let eval = Evaluator::new(Parallelism::new(jobs));
+        let out = eval.evaluate_batch(&variants);
+        match &reference {
+            None => reference = Some(out),
+            Some(ref_out) => {
+                for (i, (a, b)) in out.iter().zip(ref_out).enumerate() {
+                    let (a, b) = (a.as_ref().expect("valid"), b.as_ref().expect("valid"));
+                    assert_eq!(a, b, "point {i} diverged at jobs={jobs}");
+                }
+            }
+        }
+    }
+}
+
+/// The probabilistic path under the same contract, stats included. The
+/// warm-up batch contains every grid point *plus* its error-free twin
+/// (deduplicated by key), so the prob phase is answered entirely from
+/// the deterministic cache and the final [`CacheStats`] — warm/cold
+/// counts included — are again a pure function of the grid. The grid is
+/// smaller than the deterministic one only because each retained
+/// [`ProbBusReport`] carries per-message PMFs (up to 4096 bins each).
+#[test]
+fn prob_batches_are_bit_identical_across_jobs() {
+    let base = BaseSystem::new(random_network(&NetShape::mixed().messages(6), 11));
+    let variants = grid(&base, 63);
+    let mut seen = std::collections::HashSet::new();
+    let mut warmup = Vec::new();
+    for v in &variants {
+        for candidate in [v.clone(), v.clone().with_errors(ErrorSpec::None)] {
+            if seen.insert(candidate.key()) {
+                warmup.push(candidate);
+            }
+        }
+    }
+    let mut reference: Option<(Vec<Arc<ProbBusReport>>, CacheStats)> = None;
+    for jobs in [1usize, 2, 8] {
+        let eval = Evaluator::new(Parallelism::new(jobs));
+        let _ = eval.evaluate_batch(&warmup);
+        let out: Vec<Arc<ProbBusReport>> = variants
+            .iter()
+            .map(|v| eval.evaluate_prob(v).expect("analyzable"))
+            .collect();
+        let stats = eval.stats();
+        match &reference {
+            None => reference = Some((out, stats)),
+            Some((ref_out, ref_stats)) => {
+                assert_eq!(
+                    &stats, ref_stats,
+                    "prob-path cache statistics must be reproducible at jobs={jobs}"
+                );
+                for (i, (a, b)) in out.iter().zip(ref_out).enumerate() {
+                    assert_eq!(a, b, "prob point {i} diverged at jobs={jobs}");
+                }
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
