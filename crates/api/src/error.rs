@@ -39,6 +39,18 @@ pub enum ErrorCode {
     QuotaExceeded,
     /// Admission control shed the request; retry later.
     AdmissionShed,
+    /// The request's deadline elapsed (or the evaluation was cancelled
+    /// cooperatively) before the analysis completed.
+    DeadlineExceeded,
+    /// Authentication is configured and the request carried no (or an
+    /// unknown) bearer token.
+    Unauthenticated,
+    /// The bearer token is valid but does not grant the tenant the
+    /// request addressed.
+    Forbidden,
+    /// The server is shutting down (draining) and no longer takes new
+    /// work; retry against another instance.
+    Unavailable,
     /// Any other internal failure.
     Internal,
 }
@@ -57,6 +69,10 @@ impl ErrorCode {
             ErrorCode::SessionNotFound => "session.not_found",
             ErrorCode::QuotaExceeded => "quota.exceeded",
             ErrorCode::AdmissionShed => "admission.shed",
+            ErrorCode::DeadlineExceeded => "request.deadline_exceeded",
+            ErrorCode::Unauthenticated => "auth.required",
+            ErrorCode::Forbidden => "auth.forbidden",
+            ErrorCode::Unavailable => "server.unavailable",
             ErrorCode::Internal => "internal",
         }
     }
@@ -74,6 +90,10 @@ impl ErrorCode {
             "session.not_found" => ErrorCode::SessionNotFound,
             "quota.exceeded" => ErrorCode::QuotaExceeded,
             "admission.shed" => ErrorCode::AdmissionShed,
+            "request.deadline_exceeded" => ErrorCode::DeadlineExceeded,
+            "auth.required" => ErrorCode::Unauthenticated,
+            "auth.forbidden" => ErrorCode::Forbidden,
+            "server.unavailable" => ErrorCode::Unavailable,
             "internal" => ErrorCode::Internal,
             _ => return None,
         })
@@ -87,9 +107,11 @@ impl ErrorCode {
             ErrorCode::FuzzViolation => 4,
             ErrorCode::ModelInvalid => 65,
             ErrorCode::Io => 66,
-            ErrorCode::SessionNotFound | ErrorCode::QuotaExceeded => 69,
+            ErrorCode::SessionNotFound | ErrorCode::QuotaExceeded | ErrorCode::Unavailable => 69,
             ErrorCode::AnalysisPanicked | ErrorCode::Internal => 70,
+            ErrorCode::DeadlineExceeded => 73,
             ErrorCode::AdmissionShed => 75,
+            ErrorCode::Unauthenticated | ErrorCode::Forbidden => 77,
         }
     }
 
@@ -100,12 +122,16 @@ impl ErrorCode {
     pub fn http_status(self) -> u16 {
         match self {
             ErrorCode::RequestInvalid => 400,
+            ErrorCode::Unauthenticated => 401,
+            ErrorCode::Forbidden => 403,
             ErrorCode::SessionNotFound => 404,
             ErrorCode::ModelInvalid => 422,
             ErrorCode::Unbounded | ErrorCode::NotConverged => 422,
             ErrorCode::FuzzViolation => 422,
             ErrorCode::QuotaExceeded | ErrorCode::AdmissionShed => 429,
             ErrorCode::Io | ErrorCode::AnalysisPanicked | ErrorCode::Internal => 500,
+            ErrorCode::Unavailable => 503,
+            ErrorCode::DeadlineExceeded => 504,
         }
     }
 }
@@ -173,6 +199,7 @@ impl From<AnalysisError> for ApiError {
             AnalysisError::NotConverged { .. } => ErrorCode::NotConverged,
             AnalysisError::InvalidModel(_) => ErrorCode::ModelInvalid,
             AnalysisError::Panicked { .. } => ErrorCode::AnalysisPanicked,
+            AnalysisError::Cancelled => ErrorCode::DeadlineExceeded,
         };
         ApiError::new(code, e.to_string())
     }
@@ -206,6 +233,10 @@ mod tests {
             ErrorCode::SessionNotFound,
             ErrorCode::QuotaExceeded,
             ErrorCode::AdmissionShed,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::Unauthenticated,
+            ErrorCode::Forbidden,
+            ErrorCode::Unavailable,
             ErrorCode::Internal,
         ] {
             assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
@@ -214,6 +245,15 @@ mod tests {
         assert_eq!(ErrorCode::RequestInvalid.exit_code(), 2);
         assert_eq!(ErrorCode::AdmissionShed.http_status(), 429);
         assert_eq!(ErrorCode::SessionNotFound.http_status(), 404);
+        assert_eq!(
+            ErrorCode::DeadlineExceeded.as_str(),
+            "request.deadline_exceeded"
+        );
+        assert_eq!(ErrorCode::DeadlineExceeded.http_status(), 504);
+        assert_eq!(ErrorCode::DeadlineExceeded.exit_code(), 73);
+        assert_eq!(ErrorCode::Unauthenticated.http_status(), 401);
+        assert_eq!(ErrorCode::Forbidden.http_status(), 403);
+        assert_eq!(ErrorCode::Unavailable.http_status(), 503);
     }
 
     #[test]
@@ -229,6 +269,8 @@ mod tests {
         assert_eq!(e.to_string(), "invalid system model: x");
         let e: ApiError = AnalysisError::Panicked { detail: "p".into() }.into();
         assert_eq!(e.code, ErrorCode::AnalysisPanicked);
+        let e: ApiError = AnalysisError::Cancelled.into();
+        assert_eq!(e.code, ErrorCode::DeadlineExceeded);
     }
 
     #[test]

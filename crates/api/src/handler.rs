@@ -16,7 +16,7 @@ use carta_can::frame::StuffingMode;
 use carta_can::network::CanNetwork;
 use carta_can::opa::audsley_assignment;
 use carta_core::time::Time;
-use carta_engine::prelude::{BaseSystem, Evaluator, Parallelism, SystemVariant};
+use carta_engine::prelude::{BaseSystem, CancelToken, Evaluator, Parallelism, SystemVariant};
 use carta_explore::extensibility::EcuTemplate;
 use carta_explore::jitter::{with_assumed_unknown_jitter, with_jitter_ratio};
 use carta_explore::loss::paper_jitter_grid;
@@ -95,6 +95,18 @@ impl Handler {
     /// The evaluator answering this handler's requests.
     pub fn evaluator(&self) -> &Arc<Evaluator> {
         &self.evaluator
+    }
+
+    /// A cancel-scoped twin of this handler: it shares the same caches
+    /// and counters (via [`Evaluator::scoped_cancel`]) but every
+    /// evaluator-routed request polls `token` and surfaces a trip as
+    /// `request.deadline_exceeded`. The server derives one per request
+    /// from the drain token plus the request's `deadline_ms`.
+    pub fn scoped_cancel(&self, token: CancelToken) -> Handler {
+        Handler {
+            evaluator: Arc::new(self.evaluator.scoped_cancel(token)),
+            parallelism: self.parallelism,
+        }
     }
 
     /// Interprets one request.

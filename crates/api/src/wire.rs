@@ -95,6 +95,16 @@ fn model_json(model: &Model) -> String {
 /// `{"kind":"session","id":...}` sources as well, resolved at decode
 /// time).
 pub fn encode_request(req: &Request) -> String {
+    encode_request_with_deadline(req, None)
+}
+
+/// [`encode_request`] plus an optional top-level `deadline_ms` budget:
+/// a server receiving the document derives a cancellation deadline for
+/// the evaluation and answers `request.deadline_exceeded` (HTTP 504)
+/// when it trips. Omitted (`None`) means no deadline — the wire
+/// document is then byte-identical to [`encode_request`], so the field
+/// is backward compatible.
+pub fn encode_request_with_deadline(req: &Request, deadline_ms: Option<u64>) -> String {
     let params = match req {
         Request::Generate { seed } => ObjectBuilder::new().uint("seed", *seed).build(),
         Request::Load { model } | Request::Lint { model } => ObjectBuilder::new()
@@ -184,11 +194,14 @@ pub fn encode_request(req: &Request) -> String {
             ObjectBuilder::new().string("repro", repro_json).build()
         }
     };
-    ObjectBuilder::new()
+    let envelope = ObjectBuilder::new()
         .string("schema", SCHEMA)
         .string("request", req.kind())
-        .raw("params", &params)
-        .build()
+        .raw("params", &params);
+    match deadline_ms {
+        Some(ms) => envelope.uint("deadline_ms", ms).build(),
+        None => envelope.build(),
+    }
 }
 
 fn diagnostic_json(d: &MessageDiagnostic) -> String {
@@ -669,6 +682,20 @@ pub fn decode_request(
     text: &str,
     resolve_session: &dyn Fn(&str) -> Option<String>,
 ) -> Result<Request, ApiError> {
+    decode_envelope(text, resolve_session).map(|(req, _)| req)
+}
+
+/// [`decode_request`] plus the envelope's optional top-level
+/// `deadline_ms` budget (see [`encode_request_with_deadline`]).
+///
+/// # Errors
+///
+/// As [`decode_request`]; additionally rejects a non-integer
+/// `deadline_ms` as [`ErrorCode::RequestInvalid`].
+pub fn decode_envelope(
+    text: &str,
+    resolve_session: &dyn Fn(&str) -> Option<String>,
+) -> Result<(Request, Option<u64>), ApiError> {
     let doc = json::parse(text).map_err(|e| malformed(&e.to_string()))?;
     let schema = get_str(&doc, "schema")?;
     if schema != SCHEMA {
@@ -676,6 +703,13 @@ pub fn decode_request(
             "unsupported schema `{schema}` (expected `{SCHEMA}`)"
         )));
     }
+    let deadline_ms = match doc.get("deadline_ms") {
+        None | Some(Value::Null) => None,
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or_else(|| malformed("`deadline_ms` must be an unsigned integer"))?,
+        ),
+    };
     let kind = get_str(&doc, "request")?;
     let empty = Value::Obj(Default::default());
     let params = doc.get("params").unwrap_or(&empty);
@@ -685,7 +719,7 @@ pub fn decode_request(
             Some(m) => decode_model(m, resolve_session),
         }
     };
-    match kind {
+    let request = match kind {
         "generate" => Ok(Request::Generate {
             seed: opt_u64(params, "seed", 42)?,
         }),
@@ -809,7 +843,8 @@ pub fn decode_request(
             repro_json: get_str(params, "repro")?.to_string(),
         }),
         other => Err(ApiError::request(format!("unknown request `{other}`"))),
-    }
+    }?;
+    Ok((request, deadline_ms))
 }
 
 fn decode_stuffing(s: &str) -> Result<StuffingMode, ApiError> {

@@ -80,6 +80,7 @@ use crate::rta::{
     test_mutations, AnalysisConfig, BusReport, IncrementalStats, MessageReport, ResponseOutcome,
 };
 use carta_core::analysis::{AnalysisError, DivergenceCause, MessageDiagnostic, ResponseBounds};
+use carta_core::cancel::CancelToken;
 use carta_core::event_model::EventModel;
 use carta_core::time::Time;
 use carta_obs::metrics::{self, Counter, Histogram};
@@ -564,7 +565,36 @@ impl CompiledBus {
     ) -> BusReport {
         let desc = errors.describe();
         let hook = test_mutations::drop_blocking();
-        self.solve_core(point, errors, &desc, hook, config, ws)
+        match self.solve_core(point, errors, &desc, hook, config, None, ws) {
+            Ok(report) => report,
+            // solve_core only aborts when a token trips; `None` cannot.
+            Err(_) => unreachable!("uncancellable solve reported cancellation"),
+        }
+    }
+
+    /// Like [`CompiledBus::solve_point`], but polls `cancel` between
+    /// per-message busy-window fixpoints. A tripped token abandons the
+    /// point *whole* — `Err(AnalysisError::Cancelled)`, never a partial
+    /// report — and invalidates the workspace's warm state so a
+    /// half-solved point can never seed a later warm start. Points that
+    /// complete before the trip are bit-identical to an uncancelled
+    /// solve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.stuffing` differs from the compiled mode or
+    /// the point's message count differs from the compiled topology.
+    pub fn solve_point_cancellable(
+        &self,
+        point: &SolvePoint,
+        errors: &dyn ErrorModel,
+        config: &AnalysisConfig,
+        cancel: &CancelToken,
+        ws: &mut RtaWorkspace,
+    ) -> Result<BusReport, AnalysisError> {
+        let desc = errors.describe();
+        let hook = test_mutations::drop_blocking();
+        self.solve_core(point, errors, &desc, hook, config, Some(cancel), ws)
     }
 
     /// Iterates the solve phase over a slice of SoA points against the
@@ -594,7 +624,10 @@ impl CompiledBus {
         let reports = points
             .iter()
             .map(|point| {
-                let report = self.solve_core(point, errors, &desc, hook, config, ws);
+                let report = match self.solve_core(point, errors, &desc, hook, config, None, ws) {
+                    Ok(report) => report,
+                    Err(_) => unreachable!("uncancellable solve reported cancellation"),
+                };
                 agg.warm_messages += ws.last.warm_messages;
                 agg.cold_messages += ws.last.cold_messages;
                 agg.iterations += ws.last.iterations;
@@ -607,7 +640,10 @@ impl CompiledBus {
 
     /// The shared solve core: one SoA point against the compiled
     /// tables. `desc` and `hook` are hoisted by the callers so batches
-    /// pay for them once.
+    /// pay for them once. `cancel` (when present) is polled between
+    /// per-message fixpoints; a trip abandons the whole point with
+    /// `Err(Cancelled)` after invalidating the warm-start state.
+    #[allow(clippy::too_many_arguments)]
     fn solve_core(
         &self,
         point: &SolvePoint,
@@ -615,8 +651,9 @@ impl CompiledBus {
         desc: &str,
         hook: bool,
         config: &AnalysisConfig,
+        cancel: Option<&CancelToken>,
         ws: &mut RtaWorkspace,
-    ) -> BusReport {
+    ) -> Result<BusReport, AnalysisError> {
         let acts = point.activations();
         let deadlines = point.deadlines();
         let n = acts.len();
@@ -645,6 +682,14 @@ impl CompiledBus {
         let mut stats = SolveStats::default();
         let mut reports = Vec::with_capacity(n);
         for (i, &deadline) in deadlines.iter().enumerate() {
+            if cancel.is_some_and(|token| token.is_cancelled()) {
+                // A half-solved point must not seed warm starts: the
+                // per-message `w`/`iters` rows past `i` still describe
+                // the *previous* point.
+                ws.invalidate();
+                ws.last = stats;
+                return Err(AnalysisError::Cancelled);
+            }
             let warm = warm_base && self.interference[i].iter().all(|&j| ws.dominates[j]);
             let blocking = if hook { Time::ZERO } else { self.blocking[i] };
             let mut iterations = 0u64;
@@ -732,12 +777,12 @@ impl CompiledBus {
             compiled_handles.warm_starts.add(stats.warm_messages);
             compiled_handles.iters_saved.add(stats.iters_saved);
         }
-        BusReport {
+        Ok(BusReport {
             messages: reports,
             error_model: desc.to_string(),
             stuffing: config.stuffing,
             backend: self.backend,
-        }
+        })
     }
 
     /// Priority-aware incremental solve: reuses `previous` verdicts for

@@ -88,6 +88,14 @@ pub enum AnalysisError {
         /// Panic payload rendered as text (best effort).
         detail: String,
     },
+    /// The evaluation was cancelled cooperatively (request deadline,
+    /// server drain, or an explicit [`crate::cancel::CancelToken`]
+    /// trip) before this point's analysis completed. Like
+    /// [`AnalysisError::Panicked`], transient by construction: a
+    /// cancelled result is never memoized, so retrying the point
+    /// re-runs the analysis from scratch. Points that completed before
+    /// the trip are unaffected and bit-identical to an uncancelled run.
+    Cancelled,
 }
 
 impl fmt::Display for AnalysisError {
@@ -105,6 +113,9 @@ impl fmt::Display for AnalysisError {
             AnalysisError::InvalidModel(msg) => write!(f, "invalid system model: {msg}"),
             AnalysisError::Panicked { detail } => {
                 write!(f, "analysis panicked (contained): {detail}")
+            }
+            AnalysisError::Cancelled => {
+                write!(f, "evaluation cancelled before completion")
             }
         }
     }

@@ -14,6 +14,8 @@
 //! * [`load`] — the simple bus-load model of Section 3.1 (Figure 1),
 //!   kept as the baseline the paper argues is *not enough*,
 //! * [`analysis`] — response-time bounds and analysis error types,
+//! * [`cancel`] — cooperative cancellation tokens (deadline/drain)
+//!   polled by the solve loops,
 //! * [`comp`] — the compositional fixpoint engine that couples local
 //!   analyses (CAN buses, ECUs) by propagating event models.
 //!
@@ -39,11 +41,13 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod analysis;
+pub mod cancel;
 pub mod comp;
 pub mod event_model;
 pub mod load;
 pub mod time;
 
 pub use analysis::{AnalysisError, DivergenceCause, MessageDiagnostic, ResponseBounds};
+pub use cancel::CancelToken;
 pub use event_model::{ActivationKind, EventModel};
 pub use time::Time;

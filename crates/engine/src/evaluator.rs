@@ -12,6 +12,7 @@ use carta_can::network::CanNetwork;
 use carta_can::prob::{prob_from_reports, ProbBusReport};
 use carta_can::rta::BusReport;
 use carta_core::analysis::AnalysisError;
+use carta_core::cancel::CancelToken;
 use carta_core::time::Time;
 use carta_obs::metrics::{self, Counter, Histogram, MetricsRegistry};
 use carta_obs::{event, span};
@@ -457,34 +458,42 @@ impl EvaluatorBuilder {
             None => EngineMetrics::bind(metrics::global(), false),
         };
         Evaluator {
-            parallelism: self.parallelism.unwrap_or_else(Parallelism::from_env),
-            // Per-shard budget; a capacity below SHARDS still keeps one
-            // entry per shard rather than thrashing on every insert.
-            shard_capacity: self.cache_capacity.map(|c| (c / SHARDS).max(1)),
-            // Anchors retain whole reports plus higher-priority sets, so
-            // a bounded cache bounds them too (at a fraction of the
-            // entry budget — anchors are per bucket, not per variant).
-            anchor_capacity: self.cache_capacity.map(|c| (c / 4).max(1)),
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            anchors: Mutex::new(HashMap::new()),
-            compiled: Mutex::new(HashMap::new()),
-            prob: Mutex::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            messages_reused: AtomicU64::new(0),
-            messages_recomputed: AtomicU64::new(0),
-            compiles: AtomicU64::new(0),
-            warm_starts: AtomicU64::new(0),
-            cold_starts: AtomicU64::new(0),
-            metrics,
-            faults: self.faults,
-            fault_seq: AtomicU64::new(0),
+            shared: Arc::new(EvalShared {
+                parallelism: self.parallelism.unwrap_or_else(Parallelism::from_env),
+                // Per-shard budget; a capacity below SHARDS still keeps
+                // one entry per shard rather than thrashing on every
+                // insert.
+                shard_capacity: self.cache_capacity.map(|c| (c / SHARDS).max(1)),
+                // Anchors retain whole reports plus higher-priority
+                // sets, so a bounded cache bounds them too (at a
+                // fraction of the entry budget — anchors are per
+                // bucket, not per variant).
+                anchor_capacity: self.cache_capacity.map(|c| (c / 4).max(1)),
+                shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+                anchors: Mutex::new(HashMap::new()),
+                compiled: Mutex::new(HashMap::new()),
+                prob: Mutex::new(HashMap::new()),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                messages_reused: AtomicU64::new(0),
+                messages_recomputed: AtomicU64::new(0),
+                compiles: AtomicU64::new(0),
+                warm_starts: AtomicU64::new(0),
+                cold_starts: AtomicU64::new(0),
+                metrics,
+                faults: self.faults,
+                fault_seq: AtomicU64::new(0),
+            }),
+            cancel: None,
         }
     }
 }
 
-/// Batched, memoized, parallel variant evaluation.
-pub struct Evaluator {
+/// The caches, counters and configuration every handle onto one
+/// logical evaluator shares. [`Evaluator`] is a thin `Arc` around this:
+/// [`Evaluator::scoped_cancel`] hands out additional handles carrying a
+/// per-request [`CancelToken`] while hitting the same caches.
+struct EvalShared {
     parallelism: Parallelism,
     shard_capacity: Option<usize>,
     anchor_capacity: Option<usize>,
@@ -510,11 +519,29 @@ pub struct Evaluator {
     fault_seq: AtomicU64,
 }
 
+/// Batched, memoized, parallel variant evaluation.
+///
+/// An `Evaluator` is a cheap handle onto shared state (caches,
+/// counters, metric handles): [`Evaluator::scoped_cancel`] derives a
+/// second handle over the *same* state whose evaluations poll a
+/// [`CancelToken`] and abandon unfinished work with
+/// [`AnalysisError::Cancelled`] — the server's request-deadline and
+/// drain mechanism. Cancelled results are never cached, so completed
+/// points stay bit-identical to an uncancelled run and retries behave
+/// like fresh evaluations.
+pub struct Evaluator {
+    shared: Arc<EvalShared>,
+    /// Token polled by this handle's evaluations (entry, chunk and
+    /// per-message solve boundaries); `None` on the root handle.
+    cancel: Option<CancelToken>,
+}
+
 impl std::fmt::Debug for Evaluator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Evaluator")
-            .field("parallelism", &self.parallelism)
+            .field("parallelism", &self.shared.parallelism)
             .field("stats", &self.stats())
+            .field("cancel_scoped", &self.cancel.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -539,11 +566,80 @@ impl Evaluator {
 
     /// The configured parallelism.
     pub fn parallelism(&self) -> Parallelism {
-        self.parallelism
+        self.shared.parallelism
+    }
+
+    /// A cancel-scoped handle onto the *same* evaluator: the new handle
+    /// shares every cache, counter and metric handle with `self`, but
+    /// its evaluations poll `token` — at evaluation entry, at batch
+    /// chunk boundaries, and between per-message busy-window fixpoints
+    /// — and abandon unfinished work with [`AnalysisError::Cancelled`].
+    /// Scoping is per-handle: evaluations running through other handles
+    /// are unaffected, so a server can keep one long-lived evaluator
+    /// per tenant and derive a scoped handle per request.
+    pub fn scoped_cancel(&self, token: CancelToken) -> Evaluator {
+        Evaluator {
+            shared: Arc::clone(&self.shared),
+            cancel: Some(token),
+        }
+    }
+
+    /// The token this handle polls, if it is cancel-scoped (see
+    /// [`Evaluator::scoped_cancel`]).
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
     }
 
     /// Cache counters so far.
     pub fn stats(&self) -> CacheStats {
+        self.shared.stats()
+    }
+
+    /// Evaluates one variant, consulting and filling the cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates (and caches) [`AnalysisError`] for malformed bases.
+    /// A cancel-scoped handle whose token tripped returns (but never
+    /// caches) [`AnalysisError::Cancelled`].
+    pub fn evaluate(&self, variant: &SystemVariant) -> EvalResult {
+        self.shared.evaluate(variant, self.cancel.as_ref())
+    }
+
+    /// Evaluates one variant probabilistically: the deterministic
+    /// error-free and full analyses feed [`prob_from_reports`],
+    /// producing per-message response-time distributions and
+    /// deadline-miss probabilities. Results are memoized by the same
+    /// structural [`VariantKey`] as [`Evaluator::evaluate`]; both
+    /// underlying deterministic analyses also land in the regular memo
+    /// cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates (and caches) [`AnalysisError`] for malformed bases;
+    /// returns (but never caches) [`AnalysisError::Cancelled`] on a
+    /// tripped cancel scope.
+    pub fn evaluate_prob(&self, variant: &SystemVariant) -> ProbEvalResult {
+        self.shared.evaluate_prob(variant, self.cancel.as_ref())
+    }
+
+    /// Evaluates a slice of variants, in parallel when both the batch
+    /// and the configured [`Parallelism`] allow it. `results[i]`
+    /// corresponds to `variants[i]`, identical to calling
+    /// [`Evaluator::evaluate`] sequentially (the analysis is
+    /// deterministic and the cache keyed structurally, so scheduling
+    /// cannot change any result). On a cancel-scoped handle, chunks
+    /// that start after the token trips fill their rows with
+    /// [`AnalysisError::Cancelled`] deterministically; rows completed
+    /// before the trip are bit-identical to an uncancelled run.
+    pub fn evaluate_batch(&self, variants: &[SystemVariant]) -> Vec<EvalResult> {
+        self.shared.evaluate_batch(variants, self.cancel.as_ref())
+    }
+}
+
+impl EvalShared {
+    /// Cache counters so far.
+    fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -596,12 +692,12 @@ impl Evaluator {
         self.lock_shard_at(self.shard_index(key), false)
     }
 
-    /// Evaluates one variant, consulting and filling the cache.
-    ///
-    /// # Errors
-    ///
-    /// Propagates (and caches) [`AnalysisError`] for malformed bases.
-    pub fn evaluate(&self, variant: &SystemVariant) -> EvalResult {
+    /// Cache-consulting evaluation core; `cancel` (when present) is
+    /// polled at entry and through the solve loop.
+    fn evaluate(&self, variant: &SystemVariant, cancel: Option<&CancelToken>) -> EvalResult {
+        if cancel.is_some_and(|token| token.is_cancelled()) {
+            return Err(AnalysisError::Cancelled);
+        }
         let key = variant.key();
         if let Some(cached) = self.lock_shard(&key).get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -610,11 +706,11 @@ impl Evaluator {
             }
             return cached.clone();
         }
-        let (result, cacheable) = self.analyze_miss(variant);
+        let (result, cacheable) = self.analyze_miss(variant, cancel);
         if !cacheable {
-            // Contained panics and injected faults never enter the memo
-            // cache: a retry of this variant must behave exactly like a
-            // fresh evaluation.
+            // Contained panics, injected faults and cancelled solves
+            // never enter the memo cache: a retry of this variant must
+            // behave exactly like a fresh evaluation.
             return result;
         }
         let mut shard = self.lock_shard(&key);
@@ -627,14 +723,18 @@ impl Evaluator {
     /// Miss bookkeeping around one contained analysis: the miss
     /// counters, and the per-evaluation wall-time histogram while
     /// metrics are active.
-    fn analyze_miss(&self, variant: &SystemVariant) -> (EvalResult, bool) {
+    fn analyze_miss(
+        &self,
+        variant: &SystemVariant,
+        cancel: Option<&CancelToken>,
+    ) -> (EvalResult, bool) {
         self.misses.fetch_add(1, Ordering::Relaxed);
         let timed = self.metrics.active();
         if timed {
             self.metrics.misses.inc();
         }
         let start = timed.then(Instant::now);
-        let outcome = self.analyze_contained(variant);
+        let outcome = self.analyze_contained(variant, cancel);
         if let Some(start) = start {
             self.metrics.eval_wall_ns.record(elapsed_ns(start));
         }
@@ -655,22 +755,17 @@ impl Evaluator {
         }
     }
 
-    /// Evaluates one variant probabilistically: the deterministic
-    /// error-free and full analyses feed
-    /// [`prob_from_reports`], producing per-message response-time
-    /// distributions and deadline-miss probabilities.
-    ///
-    /// Results are memoized by the same structural [`VariantKey`] as
-    /// [`Evaluator::evaluate`] (and counted in the shared hit/miss
-    /// stats), so repeated sweeps over the same scenario are free. Both
-    /// underlying deterministic analyses also land in the regular memo
-    /// cache — a prob evaluation warms the cache for later
-    /// deterministic calls and vice versa.
-    ///
-    /// # Errors
-    ///
-    /// Propagates (and caches) [`AnalysisError`] for malformed bases.
-    pub fn evaluate_prob(&self, variant: &SystemVariant) -> ProbEvalResult {
+    /// Probabilistic evaluation core (see [`Evaluator::evaluate_prob`]
+    /// for the contract). A tripped `cancel` returns — and never caches
+    /// — [`AnalysisError::Cancelled`].
+    fn evaluate_prob(
+        &self,
+        variant: &SystemVariant,
+        cancel: Option<&CancelToken>,
+    ) -> ProbEvalResult {
+        if cancel.is_some_and(|token| token.is_cancelled()) {
+            return Err(AnalysisError::Cancelled);
+        }
         let key = variant.key();
         {
             let map = self.prob.lock().unwrap_or_else(PoisonError::into_inner);
@@ -686,19 +781,28 @@ impl Evaluator {
         if self.metrics.active() {
             self.metrics.misses.inc();
         }
-        let result = self.compute_prob(variant);
+        let result = self.compute_prob(variant, cancel);
+        if matches!(result, Err(AnalysisError::Cancelled)) {
+            // Transient by construction — never memoized.
+            return result;
+        }
         let mut map = self.prob.lock().unwrap_or_else(PoisonError::into_inner);
         map.entry(key).or_insert(result).clone()
     }
 
     /// One uncached probabilistic analysis (see
     /// [`Evaluator::evaluate_prob`]).
-    fn compute_prob(&self, variant: &SystemVariant) -> ProbEvalResult {
-        let full = self.evaluate(variant)?;
+    fn compute_prob(
+        &self,
+        variant: &SystemVariant,
+        cancel: Option<&CancelToken>,
+    ) -> ProbEvalResult {
+        let full = self.evaluate(variant, cancel)?;
         let base = self.evaluate(
             &variant
                 .clone()
                 .with_errors(crate::scenario::ErrorSpec::None),
+            cancel,
         )?;
         let stuffing = variant.scenario().stuffing;
         let compiled = match variant.permutation() {
@@ -712,13 +816,13 @@ impl Evaluator {
         prob_from_reports(&compiled, &base, &full, model.as_ref()).map(Arc::new)
     }
 
-    /// Evaluates a slice of variants, in parallel when both the batch
-    /// and the configured [`Parallelism`] allow it. `results[i]`
-    /// corresponds to `variants[i]`, identical to calling
-    /// [`Evaluator::evaluate`] sequentially (the analysis is
-    /// deterministic and the cache keyed structurally, so scheduling
-    /// cannot change any result).
-    pub fn evaluate_batch(&self, variants: &[SystemVariant]) -> Vec<EvalResult> {
+    /// Batch evaluation core (see [`Evaluator::evaluate_batch`] for the
+    /// contract, including the cancellation semantics).
+    fn evaluate_batch(
+        &self,
+        variants: &[SystemVariant],
+        cancel: Option<&CancelToken>,
+    ) -> Vec<EvalResult> {
         let _span = span!(
             "engine.batch",
             points = variants.len(),
@@ -731,7 +835,7 @@ impl Evaluator {
             self.metrics.queue_depth.record(variants.len() as u64);
         }
         let start = timed.then(Instant::now);
-        let out = self.evaluate_batch_inner(variants);
+        let out = self.evaluate_batch_inner(variants, cancel);
         if let Some(start) = start {
             self.metrics.batch_wall_ns.record(elapsed_ns(start));
         }
@@ -751,9 +855,13 @@ impl Evaluator {
     /// solve counters a pure function of the chunk's own contents:
     /// batches of distinct points are bit-identical, [`CacheStats`]
     /// included, at any `--jobs` value.
-    fn evaluate_batch_inner(&self, variants: &[SystemVariant]) -> Vec<EvalResult> {
+    fn evaluate_batch_inner(
+        &self,
+        variants: &[SystemVariant],
+        cancel: Option<&CancelToken>,
+    ) -> Vec<EvalResult> {
         if variants.len() <= 1 {
-            return variants.iter().map(|v| self.evaluate(v)).collect();
+            return variants.iter().map(|v| self.evaluate(v, cancel)).collect();
         }
         let chunk_count = variants.len().div_ceil(BATCH_CHUNK);
         let jobs = self.parallelism.jobs().min(chunk_count);
@@ -763,7 +871,7 @@ impl Evaluator {
                 .chunks(BATCH_CHUNK)
                 .zip(out.chunks_mut(BATCH_CHUNK))
             {
-                self.process_chunk(chunk, rows);
+                self.process_chunk(chunk, rows, cancel);
             }
             if self.metrics.active() {
                 self.metrics
@@ -789,7 +897,7 @@ impl Evaluator {
                             let mut points = 0u64;
                             for (chunk, rows) in plan {
                                 points += chunk.len() as u64;
-                                self.process_chunk(chunk, rows);
+                                self.process_chunk(chunk, rows, cancel);
                             }
                             points
                         })
@@ -836,7 +944,21 @@ impl Evaluator {
     /// Warm-start state is invalidated on entry, making the chunk's
     /// results and solve statistics independent of whatever ran on this
     /// thread before — the keystone of cross-`jobs` bit-identity.
-    fn process_chunk(&self, variants: &[SystemVariant], out: &mut [Option<EvalResult>]) {
+    fn process_chunk(
+        &self,
+        variants: &[SystemVariant],
+        out: &mut [Option<EvalResult>],
+        cancel: Option<&CancelToken>,
+    ) {
+        if cancel.is_some_and(|token| token.is_cancelled()) {
+            // Chunk-boundary check: a chunk that starts after the trip
+            // never touches a lock, the cache, or warm-start state —
+            // every row degrades to `Cancelled` deterministically.
+            for row in out.iter_mut() {
+                *row = Some(Err(AnalysisError::Cancelled));
+            }
+            return;
+        }
         SCRATCH.with_borrow_mut(ScratchPool::invalidate_warm_state);
         if self.metrics.active() {
             self.metrics.batch_chunks.inc();
@@ -877,7 +999,7 @@ impl Evaluator {
                 hits += 1;
                 continue;
             }
-            let (result, cacheable) = self.analyze_miss(&variants[i]);
+            let (result, cacheable) = self.analyze_miss(&variants[i], cancel);
             if cacheable {
                 out[i] = Some(result.clone());
                 fresh.insert(keys[i].clone(), (result, vec![i]));
@@ -968,7 +1090,11 @@ impl Evaluator {
     /// way out (the panic may have unwound mid-solve, leaving the
     /// scratch network or warm-start workspace inconsistent), so the
     /// next analysis on this thread cold-starts from clean state.
-    fn analyze_contained(&self, variant: &SystemVariant) -> (EvalResult, bool) {
+    fn analyze_contained(
+        &self,
+        variant: &SystemVariant,
+        cancel: Option<&CancelToken>,
+    ) -> (EvalResult, bool) {
         let injected = self.faults.as_ref().and_then(|plan| {
             let seq = self.fault_seq.fetch_add(1, Ordering::Relaxed);
             plan.pick(seq)
@@ -988,10 +1114,16 @@ impl Evaluator {
             event!("engine.fault.injected", kind = "forced-divergence");
         }
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            self.analyze_uncached(variant, injected)
+            self.analyze_uncached(variant, injected, cancel)
         }));
         match outcome {
-            Ok(result) => (result, injected.is_none()),
+            Ok(result) => {
+                // Cancelled solves join panics and injected faults on
+                // the never-cached path.
+                let cacheable =
+                    injected.is_none() && !matches!(result, Err(AnalysisError::Cancelled));
+                (result, cacheable)
+            }
             Err(payload) => {
                 SCRATCH.with_borrow_mut(ScratchPool::clear);
                 let detail = panic_detail(payload.as_ref());
@@ -1036,7 +1168,11 @@ impl Evaluator {
         &self,
         variant: &SystemVariant,
         fault: Option<InjectedFault>,
+        cancel: Option<&CancelToken>,
     ) -> EvalResult {
+        if cancel.is_some_and(|token| token.is_cancelled()) {
+            return Err(AnalysisError::Cancelled);
+        }
         variant.validate_overlays()?;
         SCRATCH.with_borrow_mut(|pool| {
             let fp = variant.base().fingerprint();
@@ -1123,8 +1259,22 @@ impl Evaluator {
             point.fill_with(variant.base().network().messages().len(), |i| {
                 variant.solve_row(i)
             });
-            let report = compiled.solve_point(&point, errors.as_ref(), &config, &mut scratch.ws);
+            let solved = match cancel {
+                Some(token) => compiled.solve_point_cancellable(
+                    &point,
+                    errors.as_ref(),
+                    &config,
+                    token,
+                    &mut scratch.ws,
+                ),
+                None => Ok(compiled.solve_point(&point, errors.as_ref(), &config, &mut scratch.ws)),
+            };
             scratch.point = point;
+            // A trip mid-solve abandons the point whole: the workspace
+            // was invalidated by the solver, no stats are recorded, no
+            // anchor is installed, and the caller never caches the
+            // error.
+            let report = solved?;
             self.record_solve(&scratch.ws);
             // First full analysis in this bucket: it becomes the anchor
             // future permutation overlays diff against.
@@ -1149,6 +1299,7 @@ mod tests {
     use carta_can::message::{CanId, CanMessage};
     use carta_can::network::{CanNetwork, Node};
     use carta_core::time::Time;
+    use std::time::Duration;
 
     fn net(n: usize) -> CanNetwork {
         let mut net = CanNetwork::new(250_000);
@@ -1338,6 +1489,111 @@ mod tests {
         assert!(eval.evaluate(&v).is_err());
         assert!(eval.evaluate(&v).is_err());
         assert_eq!(eval.stats().hits, 1);
+    }
+
+    #[test]
+    fn cancelled_scope_degrades_without_caching() {
+        let base = BaseSystem::new(net(4));
+        let v = SystemVariant::new(base, Scenario::worst_case()).with_jitter_ratio(0.1);
+        let eval = Evaluator::new(Parallelism::sequential());
+        let token = CancelToken::new();
+        token.cancel();
+        let scoped = eval.scoped_cancel(token);
+        assert!(matches!(scoped.evaluate(&v), Err(AnalysisError::Cancelled)));
+        assert!(matches!(
+            scoped.evaluate_prob(&v),
+            Err(AnalysisError::Cancelled)
+        ));
+        // Nothing was cached: the root handle runs a real analysis.
+        let fresh = eval.evaluate(&v).expect("uncancelled handle unaffected");
+        assert!(!fresh.is_degraded());
+        // And the prob cache was not poisoned either.
+        eval.evaluate_prob(&v)
+            .expect("prob retry is a real analysis");
+    }
+
+    #[test]
+    fn cancelled_batch_keeps_completed_points_bit_identical() {
+        let base = BaseSystem::new(net(6));
+        let variants: Vec<SystemVariant> = (0..(2 * BATCH_CHUNK + 8))
+            .map(|k| {
+                SystemVariant::new(base.clone(), Scenario::worst_case())
+                    .with_jitter_ratio(k as f64 * 0.003)
+            })
+            .collect();
+        let reference = Evaluator::new(Parallelism::sequential()).evaluate_batch(&variants);
+
+        // Pre-tripped token: every chunk starts after the trip, so the
+        // whole batch degrades deterministically.
+        let eval = Evaluator::new(Parallelism::new(2));
+        let token = CancelToken::new();
+        token.cancel();
+        let all_cancelled = eval.scoped_cancel(token).evaluate_batch(&variants);
+        assert_eq!(all_cancelled.len(), variants.len());
+        for (i, r) in all_cancelled.iter().enumerate() {
+            assert!(
+                matches!(r, Err(AnalysisError::Cancelled)),
+                "row {i} must be Cancelled, got {r:?}"
+            );
+        }
+
+        // The same (shared) evaluator afterwards: nothing of the
+        // cancelled run was cached, and every point is bit-identical to
+        // the sequential reference.
+        let retried = eval.evaluate_batch(&variants);
+        for (i, (r, b)) in retried.iter().zip(&reference).enumerate() {
+            let (r, b) = (r.as_ref().expect("valid"), b.as_ref().expect("valid"));
+            assert_eq!(r.messages, b.messages, "point {i} must match the reference");
+        }
+
+        // A token that trips mid-batch: completed rows are bit-identical
+        // to the reference, the rest are typed `Cancelled` — never a
+        // torn report.
+        let eval = Evaluator::new(Parallelism::sequential());
+        let token = CancelToken::new();
+        let scoped = eval.scoped_cancel(token.clone());
+        // Cancel from a racing thread while the batch runs.
+        let results = std::thread::scope(|scope| {
+            let canceller = scope.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                token.cancel();
+            });
+            let results = scoped.evaluate_batch(&variants);
+            canceller.join().expect("canceller thread");
+            results
+        });
+        for (i, r) in results.iter().enumerate() {
+            match r {
+                Ok(report) => {
+                    let reference = reference[i].as_ref().expect("valid");
+                    assert_eq!(
+                        report.messages, reference.messages,
+                        "completed point {i} must be bit-identical"
+                    );
+                }
+                Err(AnalysisError::Cancelled) => {}
+                other => panic!("row {i}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_token_trips_running_evaluations() {
+        let base = BaseSystem::new(net(6));
+        let variants: Vec<SystemVariant> = (0..64)
+            .map(|k| {
+                SystemVariant::new(base.clone(), Scenario::worst_case())
+                    .with_jitter_ratio(k as f64 * 0.01)
+            })
+            .collect();
+        let eval = Evaluator::new(Parallelism::sequential());
+        let scoped = eval.scoped_cancel(CancelToken::with_deadline(Duration::ZERO));
+        let results = scoped.evaluate_batch(&variants);
+        assert!(results
+            .iter()
+            .all(|r| matches!(r, Err(AnalysisError::Cancelled))));
+        assert!(scoped.cancel_token().expect("scoped").is_cancelled());
+        assert!(eval.cancel_token().is_none(), "root handle stays unscoped");
     }
 
     #[test]
@@ -1560,10 +1816,10 @@ mod tests {
     fn builder_configures_jobs_and_capacity() {
         let eval = Evaluator::builder().jobs(3).cache_capacity(64).build();
         assert_eq!(eval.parallelism().jobs(), 3);
-        assert_eq!(eval.shard_capacity, Some(4));
+        assert_eq!(eval.shared.shard_capacity, Some(4));
         // A tiny capacity still keeps one entry per shard.
         let tiny = Evaluator::builder().cache_capacity(1).build();
-        assert_eq!(tiny.shard_capacity, Some(1));
+        assert_eq!(tiny.shared.shard_capacity, Some(1));
     }
 
     #[test]

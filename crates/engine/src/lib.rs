@@ -66,4 +66,5 @@ pub mod prelude {
     pub use crate::jitter::{with_assumed_unknown_jitter, with_jitter_ratio, with_scaled_jitter};
     pub use crate::scenario::{DeadlineOverride, ErrorSpec, Scenario};
     pub use crate::variant::{BaseSystem, JitterOverlay, SystemVariant, VariantKey};
+    pub use carta_core::cancel::CancelToken;
 }

@@ -48,6 +48,32 @@ pub struct ServerConfig {
     /// whose unconverged messages carry diagnostics, not a cheap way
     /// around admission control.
     pub degraded_iterations: u64,
+    /// Graceful-drain budget in milliseconds (`CARTA_SERVER_DRAIN_MS`).
+    /// On SIGTERM / `stop()` the server stops accepting, waits up to
+    /// this long for in-flight requests, then cancels the stragglers
+    /// cooperatively and exits 0 either way.
+    pub drain_ms: u64,
+    /// Session persistence directory (`CARTA_SERVER_STATE_DIR`).
+    /// When set, every acked session upload is appended to
+    /// `sessions.jsonl` in this directory and fsync'd before the `201`
+    /// goes out; the log is replayed on boot so a crash never loses an
+    /// acked session. Unset (the default) keeps sessions memory-only.
+    pub state_dir: Option<String>,
+    /// Bearer-token auth map (`CARTA_SERVER_TOKENS`), formatted as
+    /// `token1=tenant1,token2=tenant2`. When non-empty, every request
+    /// must carry `authorization: bearer <token>`; the token picks the
+    /// tenant and the `x-carta-tenant` header is only honored if it
+    /// names the same tenant. When empty (the default) the server
+    /// trusts `x-carta-tenant`, preserving pre-auth behavior.
+    pub tokens: Vec<(String, String)>,
+    /// Requests served per connection before the server closes it
+    /// (`CARTA_SERVER_KEEPALIVE_MAX`). Caps how long one client can
+    /// monopolize a worker thread under HTTP/1.1 keep-alive.
+    pub keepalive_max: u32,
+    /// Idle timeout between keep-alive requests in milliseconds
+    /// (`CARTA_SERVER_IDLE_MS`). A connection that sends nothing for
+    /// this long is closed.
+    pub idle_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +89,11 @@ impl Default for ServerConfig {
             window_ms: 1000,
             budget: 32,
             degraded_iterations: 4,
+            drain_ms: 5000,
+            state_dir: None,
+            tokens: Vec::new(),
+            keepalive_max: 64,
+            idle_ms: 5000,
         }
     }
 }
@@ -87,8 +118,47 @@ impl ServerConfig {
                 d.degraded_iterations,
             )
             .max(1),
+            drain_ms: env_parse("CARTA_SERVER_DRAIN_MS", d.drain_ms),
+            state_dir: std::env::var("CARTA_SERVER_STATE_DIR")
+                .ok()
+                .filter(|v| !v.is_empty()),
+            tokens: std::env::var("CARTA_SERVER_TOKENS")
+                .map(|v| parse_tokens(&v))
+                .unwrap_or(d.tokens),
+            keepalive_max: env_parse("CARTA_SERVER_KEEPALIVE_MAX", d.keepalive_max).max(1),
+            idle_ms: env_parse("CARTA_SERVER_IDLE_MS", d.idle_ms).max(1),
         }
     }
+
+    /// The tenant a bearer token maps to, if auth is configured and
+    /// the token is known.
+    pub fn tenant_for_token(&self, token: &str) -> Option<&str> {
+        self.tokens
+            .iter()
+            .find(|(t, _)| t == token)
+            .map(|(_, tenant)| tenant.as_str())
+    }
+
+    /// Whether bearer-token auth is enforced (any token configured).
+    pub fn auth_enabled(&self) -> bool {
+        !self.tokens.is_empty()
+    }
+}
+
+/// Parses `token1=tenant1,token2=tenant2`; entries without a `=` or
+/// with an empty side are skipped rather than failing the boot.
+fn parse_tokens(raw: &str) -> Vec<(String, String)> {
+    raw.split(',')
+        .filter_map(|entry| {
+            let (token, tenant) = entry.trim().split_once('=')?;
+            let (token, tenant) = (token.trim(), tenant.trim());
+            if token.is_empty() || tenant.is_empty() {
+                None
+            } else {
+                Some((token.to_string(), tenant.to_string()))
+            }
+        })
+        .collect()
 }
 
 fn env_parse<T: FromStr + Copy>(key: &str, default: T) -> T {
@@ -109,5 +179,22 @@ mod tests {
         assert!(c.budget >= 1);
         assert!(c.degraded_iterations >= 1);
         assert!(c.max_body >= 1024);
+        assert!(c.keepalive_max >= 1);
+        assert!(c.state_dir.is_none());
+        assert!(!c.auth_enabled());
+    }
+
+    #[test]
+    fn token_map_parses_and_skips_malformed_entries() {
+        let tokens = parse_tokens("alpha=oem-1, beta = supplier-2 ,junk,=x,y=");
+        assert_eq!(tokens.len(), 2);
+        let config = ServerConfig {
+            tokens,
+            ..ServerConfig::default()
+        };
+        assert!(config.auth_enabled());
+        assert_eq!(config.tenant_for_token("alpha"), Some("oem-1"));
+        assert_eq!(config.tenant_for_token("beta"), Some("supplier-2"));
+        assert_eq!(config.tenant_for_token("junk"), None);
     }
 }

@@ -1,9 +1,14 @@
 //! A deliberately small HTTP/1.1 subset over `std::net`, in the same
 //! no-registry spirit as the `shims/` crates: request line, headers,
-//! `Content-Length` bodies, one response per connection
-//! (`Connection: close`). Exactly what `carta.api.v1` needs — JSON
-//! bodies over POST/GET — and nothing a service behind a reverse proxy
-//! does not.
+//! `Content-Length` bodies, keep-alive with per-connection caps.
+//! Exactly what `carta.api.v1` needs — JSON bodies over POST/GET — and
+//! nothing a service behind a reverse proxy does not.
+//!
+//! Hostile input is handled deterministically rather than by
+//! connection drop: a truncated body, a stalled (slow-loris) header
+//! section, a `Transfer-Encoding` header, or conflicting
+//! `Content-Length`s each map to [`HttpError::Malformed`] so the
+//! server can answer a well-formed `400` with a stable error code.
 
 use std::io::{self, BufRead, Write};
 
@@ -33,16 +38,26 @@ impl HttpRequest {
             .find(|(n, _)| *n == name)
             .map(|(_, v)| v.as_str())
     }
+
+    /// Whether the client asked for the connection to be closed after
+    /// this response (`Connection: close`).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
 }
 
 /// Why a request could not be read.
 #[derive(Debug)]
 pub enum HttpError {
-    /// The peer closed before sending a request line.
+    /// The peer closed (or went idle past the socket timeout) before
+    /// sending a request line — nothing to answer.
     Closed,
     /// Transport failure.
     Io(io::Error),
-    /// Syntactically invalid request (maps to `400`).
+    /// Syntactically invalid request (maps to `400`). Includes
+    /// truncated bodies and mid-request stalls: a peer that *started*
+    /// a request owes us the rest of it within the read timeout.
     Malformed(String),
     /// Declared body larger than the configured ceiling (maps to
     /// `413`).
@@ -72,15 +87,38 @@ impl std::fmt::Display for HttpError {
 
 impl std::error::Error for HttpError {}
 
+/// A read error that means "the peer stalled", which the socket
+/// timeout converts into `WouldBlock`/`TimedOut`.
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
 /// Reads one request from `reader`.
 ///
 /// # Errors
 ///
-/// [`HttpError::Closed`] on a clean EOF before the request line,
-/// [`HttpError::Malformed`] on bad syntax, [`HttpError::BodyTooLarge`]
-/// when `Content-Length` exceeds `max_body`.
+/// [`HttpError::Closed`] on a clean EOF (or an idle timeout) before
+/// the first request byte, [`HttpError::Malformed`] on bad syntax,
+/// mid-request stalls, and truncated bodies,
+/// [`HttpError::BodyTooLarge`] when `Content-Length` exceeds
+/// `max_body`.
 pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<HttpRequest, HttpError> {
-    let line = read_line(reader, MAX_HEAD)?;
+    let mut consumed = 0usize;
+    let line = match read_line(reader, MAX_HEAD, &mut consumed) {
+        Ok(line) => line,
+        // Timeout before any byte: an idle keep-alive connection, not
+        // an attack. After the first byte it is a slow-loris head.
+        Err(HttpError::Io(e)) if is_timeout(&e) && consumed == 0 => return Err(HttpError::Closed),
+        Err(HttpError::Io(e)) if is_timeout(&e) => {
+            return Err(HttpError::Malformed(
+                "request head stalled past the read timeout".into(),
+            ))
+        }
+        Err(e) => return Err(e),
+    };
     if line.is_empty() {
         return Err(HttpError::Closed);
     }
@@ -105,7 +143,15 @@ pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<HttpR
     let mut headers = Vec::new();
     let mut head_bytes = line.len();
     loop {
-        let line = read_line(reader, MAX_HEAD)?;
+        let line = match read_line(reader, MAX_HEAD, &mut consumed) {
+            Ok(line) => line,
+            Err(HttpError::Io(e)) if is_timeout(&e) => {
+                return Err(HttpError::Malformed(
+                    "header section stalled past the read timeout".into(),
+                ))
+            }
+            Err(e) => return Err(e),
+        };
         if line.is_empty() {
             break;
         }
@@ -119,11 +165,27 @@ pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<HttpR
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
 
-    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+    // Chunked (or any other) transfer coding is out of scope; honoring
+    // `Content-Length` while a `Transfer-Encoding` header is present
+    // is the classic request-smuggling setup, so the combination — and
+    // the coding itself — is rejected outright.
+    if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+        return Err(HttpError::Malformed(
+            "transfer-encoding is not supported; send a content-length body".into(),
+        ));
+    }
+    let mut lengths = headers.iter().filter(|(n, _)| n == "content-length");
+    let content_length = match lengths.next() {
         None => 0,
-        Some((_, v)) => v
-            .parse::<usize>()
-            .map_err(|_| HttpError::Malformed(format!("invalid content-length `{v}`")))?,
+        Some((_, v)) => {
+            if lengths.next().is_some() {
+                return Err(HttpError::Malformed(
+                    "multiple content-length headers".into(),
+                ));
+            }
+            v.parse::<usize>()
+                .map_err(|_| HttpError::Malformed(format!("invalid content-length `{v}`")))?
+        }
     };
     if content_length > max_body {
         return Err(HttpError::BodyTooLarge {
@@ -132,7 +194,15 @@ pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<HttpR
         });
     }
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).map_err(HttpError::Io)?;
+    reader.read_exact(&mut body).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof || is_timeout(&e) {
+            HttpError::Malformed(format!(
+                "body truncated: content-length declared {content_length} bytes"
+            ))
+        } else {
+            HttpError::Io(e)
+        }
+    })?;
     Ok(HttpRequest {
         method,
         path,
@@ -142,14 +212,20 @@ pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<HttpR
 }
 
 /// Reads one CRLF- (or bare-LF-) terminated line, without the
-/// terminator.
-fn read_line<R: BufRead>(reader: &mut R, limit: usize) -> Result<String, HttpError> {
+/// terminator. `consumed` counts every byte read, so the caller can
+/// tell an idle connection (timeout at 0 bytes) from a stalled one.
+fn read_line<R: BufRead>(
+    reader: &mut R,
+    limit: usize,
+    consumed: &mut usize,
+) -> Result<String, HttpError> {
     let mut buf = Vec::new();
     let mut byte = [0u8; 1];
     loop {
         match reader.read(&mut byte) {
             Ok(0) => break,
             Ok(_) => {
+                *consumed += 1;
                 if byte[0] == b'\n' {
                     break;
                 }
@@ -173,17 +249,23 @@ pub fn reason(status: u16) -> &'static str {
         200 => "OK",
         201 => "Created",
         400 => "Bad Request",
+        401 => "Unauthorized",
+        403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
 
-/// Writes one complete response and flushes.
+/// Writes one complete response and flushes. `keep_alive` selects the
+/// `connection` header; `extra` headers (e.g. `retry-after`) are
+/// emitted verbatim after it.
 ///
 /// # Errors
 ///
@@ -194,13 +276,20 @@ pub fn write_response<W: Write>(
     status: u16,
     content_type: &str,
     body: &str,
+    keep_alive: bool,
+    extra: &[(&str, &str)],
 ) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
     write!(
         writer,
-        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\n",
         reason(status),
         body.len()
     )?;
+    for (name, value) in extra {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    writer.write_all(b"\r\n")?;
     writer.write_all(body.as_bytes())?;
     writer.flush()
 }
@@ -224,6 +313,13 @@ mod tests {
         assert_eq!(req.path, "/v1/requests");
         assert_eq!(req.header("x-carta-tenant"), Some("oem"));
         assert_eq!(req.body, b"body");
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn connection_close_is_honored() {
+        let req = parse("GET /v1/metrics HTTP/1.1\r\nConnection: Close\r\n\r\n").expect("parses");
+        assert!(req.wants_close());
     }
 
     #[test]
@@ -260,9 +356,48 @@ mod tests {
     }
 
     #[test]
-    fn responses_carry_length_and_close() {
+    fn truncated_body_is_malformed_not_dropped() {
+        let err = parse("POST /v1/requests HTTP/1.1\r\ncontent-length: 10\r\n\r\nshort")
+            .expect_err("truncated");
+        match err {
+            HttpError::Malformed(what) => assert!(what.contains("truncated"), "{what}"),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transfer_encoding_is_rejected() {
+        let err = parse(
+            "POST /v1/requests HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n",
+        )
+        .expect_err("chunked");
+        match err {
+            HttpError::Malformed(what) => assert!(what.contains("transfer-encoding"), "{what}"),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conflicting_content_lengths_are_rejected() {
+        let err = parse(
+            "POST /v1/requests HTTP/1.1\r\ncontent-length: 4\r\ncontent-length: 4\r\n\r\nbody",
+        )
+        .expect_err("duplicate lengths");
+        assert!(matches!(err, HttpError::Malformed(_)));
+    }
+
+    #[test]
+    fn responses_carry_length_and_connection_mode() {
         let mut out = Vec::new();
-        write_response(&mut out, 429, "application/json", "{}").expect("writes");
+        write_response(
+            &mut out,
+            429,
+            "application/json",
+            "{}",
+            false,
+            &[("retry-after", "1")],
+        )
+        .expect("writes");
         let text = String::from_utf8(out).expect("utf-8");
         assert!(
             text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
@@ -270,6 +405,12 @@ mod tests {
         );
         assert!(text.contains("content-length: 2\r\n"), "{text}");
         assert!(text.contains("connection: close\r\n"), "{text}");
+        assert!(text.contains("retry-after: 1\r\n"), "{text}");
         assert!(text.ends_with("{}"), "{text}");
+
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "application/json", "{}", true, &[]).expect("writes");
+        let text = String::from_utf8(out).expect("utf-8");
+        assert!(text.contains("connection: keep-alive\r\n"), "{text}");
     }
 }

@@ -18,7 +18,13 @@
 //!   degraded-mode RTA does on the bus level,
 //! * `GET /v1/metrics` in the same `carta.metrics.v1` document the
 //!   CLI's `--metrics-json` writes, extended with the `server.*`
-//!   counters.
+//!   counters,
+//! * production lifecycle hardening ([`server`], [`state`]): graceful
+//!   drain on SIGTERM/`stop()` with cooperative cancellation of
+//!   in-flight work, per-request `deadline_ms` budgets, bearer-token
+//!   tenant auth, HTTP/1.1 keep-alive with per-connection caps, and
+//!   crash-safe session persistence (fsync-before-ack JSONL replayed
+//!   on boot).
 //!
 //! ```no_run
 //! use carta_server::{Server, ServerConfig};
@@ -38,8 +44,10 @@
 pub mod config;
 pub mod http;
 pub mod server;
+pub mod state;
 pub mod tenant;
 
 pub use config::ServerConfig;
-pub use server::{Server, ServerHandle};
+pub use server::{request_shutdown, Server, ServerHandle};
+pub use state::{SessionRecord, StateLog};
 pub use tenant::{Admission, TenantPool};

@@ -1,11 +1,41 @@
 //! The `carta-server` binary: bind from `CARTA_SERVER_*` environment
 //! variables (see [`carta_server::ServerConfig`]) and serve until
-//! killed.
+//! stopped. SIGTERM/SIGINT start a graceful drain (finish or cancel
+//! in-flight requests within `CARTA_SERVER_DRAIN_MS`) and the process
+//! exits 0 — orchestrators see a clean stop, not a crash.
 
-use carta_server::{Server, ServerConfig};
+use carta_server::{request_shutdown, Server, ServerConfig};
 use std::process::ExitCode;
 
+#[cfg(unix)]
+mod signals {
+    /// `sighandler_t` is pointer-sized on every Unix Rust targets; a
+    /// raw `signal(2)` binding avoids a libc dependency.
+    type SigHandler = extern "C" fn(i32);
+    extern "C" {
+        fn signal(signum: i32, handler: SigHandler) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_sig: i32) {
+        // Only async-signal-safe work here: one atomic store.
+        carta_server::request_shutdown();
+    }
+
+    pub fn install() {
+        // SAFETY: `on_signal` is a plain extern "C" fn that performs a
+        // single atomic store — async-signal-safe by construction.
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
 fn main() -> ExitCode {
+    #[cfg(unix)]
+    signals::install();
     let config = ServerConfig::from_env();
     let server = match Server::bind(config.clone()) {
         Ok(server) => server,
@@ -22,9 +52,15 @@ fn main() -> ExitCode {
         Err(e) => eprintln!("carta-server listening (local_addr unavailable: {e})"),
     }
     match server.run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(()) => {
+            eprintln!("carta-server drained cleanly");
+            ExitCode::SUCCESS
+        }
         Err(e) => {
             eprintln!("error: accept loop failed: {e}");
+            // Belt and braces: make sure a second signal still stops
+            // any sibling server in-process.
+            request_shutdown();
             ExitCode::from(70)
         }
     }

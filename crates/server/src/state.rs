@@ -1,0 +1,250 @@
+//! Crash-safe session persistence: an append-only JSONL log
+//! (`carta.state.v1`) under `CARTA_SERVER_STATE_DIR`.
+//!
+//! The durability contract is *fsync-before-ack*: a session upload is
+//! appended and `sync_data`'d before the `201` leaves the server, so
+//! any session a client saw acked survives `kill -9`. The converse
+//! also holds — a crash mid-append leaves a torn final line, which
+//! replay detects and truncates away (the client never saw an ack for
+//! it, so dropping it is correct, and the log is again well-formed for
+//! the next append).
+//!
+//! One line per acked upload:
+//!
+//! ```json
+//! {"v":"carta.state.v1","tenant":"oem-1","id":"s3","csv":"..."}
+//! ```
+
+use carta_obs::json::{self, ObjectBuilder};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Schema tag each log line must carry.
+pub const STATE_SCHEMA: &str = "carta.state.v1";
+
+/// File name of the session log inside the state directory.
+const LOG_FILE: &str = "sessions.jsonl";
+
+/// One acked session upload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionRecord {
+    /// Owning tenant.
+    pub tenant: String,
+    /// Session id within the tenant (`s1`, `s2`, ...).
+    pub id: String,
+    /// The uploaded K-Matrix CSV.
+    pub csv: String,
+}
+
+/// What replay found on boot.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReplayStats {
+    /// Well-formed records restored.
+    pub replayed: u64,
+    /// Bytes of torn/corrupt tail truncated away.
+    pub truncated_bytes: u64,
+}
+
+/// The open append-only session log.
+#[derive(Debug)]
+pub struct StateLog {
+    file: File,
+    path: PathBuf,
+}
+
+impl StateLog {
+    /// Opens (creating if needed) the log under `dir`, replays every
+    /// committed record, and truncates any torn tail so subsequent
+    /// appends extend a well-formed log.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures creating the directory or opening the file. A
+    /// corrupt tail is *not* an error — it is the expected crash
+    /// artifact and is repaired here.
+    pub fn open(dir: &Path) -> io::Result<(StateLog, Vec<SessionRecord>, ReplayStats)> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(LOG_FILE);
+        let mut file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(&path)?;
+        let mut raw = Vec::new();
+        file.read_to_end(&mut raw)?;
+        let (records, keep_bytes) = replay(&raw);
+        let mut stats = ReplayStats {
+            replayed: records.len() as u64,
+            truncated_bytes: (raw.len() - keep_bytes) as u64,
+        };
+        if keep_bytes < raw.len() {
+            file.set_len(keep_bytes as u64)?;
+            file.sync_data()?;
+            stats.truncated_bytes = (raw.len() - keep_bytes) as u64;
+        }
+        Ok((StateLog { file, path }, records, stats))
+    }
+
+    /// Appends one record and forces it to stable storage. Callers
+    /// must not ack the upload until this returns `Ok`.
+    ///
+    /// # Errors
+    ///
+    /// The underlying write or `sync_data` failure; the caller should
+    /// fail the upload rather than ack a record that may not survive.
+    pub fn append(&mut self, record: &SessionRecord) -> io::Result<()> {
+        let line = ObjectBuilder::new()
+            .string("v", STATE_SCHEMA)
+            .string("tenant", &record.tenant)
+            .string("id", &record.id)
+            .string("csv", &record.csv)
+            .build();
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.sync_data()
+    }
+
+    /// Where the log lives (diagnostics).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Parses the raw log, returning the committed records and the byte
+/// length of the well-formed prefix. Anything past the first torn or
+/// corrupt line is dropped: crashes only tear the tail, and a record
+/// that never finished its fsync was never acked.
+fn replay(raw: &[u8]) -> (Vec<SessionRecord>, usize) {
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    while offset < raw.len() {
+        let Some(nl) = raw[offset..].iter().position(|&b| b == b'\n') else {
+            break; // torn tail: no terminating newline
+        };
+        let line = &raw[offset..offset + nl];
+        let Some(record) = parse_line(line) else {
+            break; // corrupt line: truncate from here
+        };
+        records.push(record);
+        offset += nl + 1;
+    }
+    (records, offset)
+}
+
+fn parse_line(line: &[u8]) -> Option<SessionRecord> {
+    let text = std::str::from_utf8(line).ok()?;
+    let value = json::parse(text).ok()?;
+    if value.get("v")?.as_str()? != STATE_SCHEMA {
+        return None;
+    }
+    Some(SessionRecord {
+        tenant: value.get("tenant")?.as_str()?.to_string(),
+        id: value.get("id")?.as_str()?.to_string(),
+        csv: value.get("csv")?.as_str()?.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("carta-state-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn record(tenant: &str, id: &str, csv: &str) -> SessionRecord {
+        SessionRecord {
+            tenant: tenant.into(),
+            id: id.into(),
+            csv: csv.into(),
+        }
+    }
+
+    #[test]
+    fn appends_survive_reopen() {
+        let dir = tmp_dir("roundtrip");
+        let (mut log, restored, _) = StateLog::open(&dir).expect("open");
+        assert!(restored.is_empty());
+        log.append(&record("oem", "s1", "a,b\n1,2"))
+            .expect("append");
+        log.append(&record("oem", "s2", "quoted \"csv\""))
+            .expect("append");
+        drop(log);
+        let (_, restored, stats) = StateLog::open(&dir).expect("reopen");
+        assert_eq!(restored.len(), 2);
+        assert_eq!(restored[0], record("oem", "s1", "a,b\n1,2"));
+        assert_eq!(restored[1], record("oem", "s2", "quoted \"csv\""));
+        assert_eq!(stats.replayed, 2);
+        assert_eq!(stats.truncated_bytes, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_log_stays_appendable() {
+        let dir = tmp_dir("torn");
+        let (mut log, _, _) = StateLog::open(&dir).expect("open");
+        log.append(&record("oem", "s1", "good")).expect("append");
+        let path = log.path().to_path_buf();
+        drop(log);
+        // Simulate a crash mid-append: a partial line with no newline.
+        let mut file = OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .expect("open raw");
+        file.write_all(br#"{"v":"carta.state.v1","tenant":"oem","id":"s2","csv":"trunc"#)
+            .expect("tear");
+        drop(file);
+        let (mut log, restored, stats) = StateLog::open(&dir).expect("reopen");
+        assert_eq!(restored.len(), 1, "torn record dropped");
+        assert_eq!(stats.replayed, 1);
+        assert!(stats.truncated_bytes > 0);
+        // The repaired log accepts appends and replays cleanly again.
+        log.append(&record("oem", "s2", "retry")).expect("append");
+        drop(log);
+        let (_, restored, stats) = StateLog::open(&dir).expect("reopen 2");
+        assert_eq!(restored.len(), 2);
+        assert_eq!(stats.truncated_bytes, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_line_truncates_everything_after_it() {
+        let dir = tmp_dir("corrupt");
+        let (mut log, _, _) = StateLog::open(&dir).expect("open");
+        log.append(&record("oem", "s1", "keep")).expect("append");
+        let path = log.path().to_path_buf();
+        drop(log);
+        let mut file = OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .expect("open raw");
+        file.write_all(b"not json at all\n").expect("corrupt");
+        file.write_all(br#"{"v":"carta.state.v1","tenant":"oem","id":"s3","csv":"after"}"#)
+            .expect("after");
+        file.write_all(b"\n").expect("nl");
+        drop(file);
+        let (_, restored, stats) = StateLog::open(&dir).expect("reopen");
+        assert_eq!(restored.len(), 1);
+        assert_eq!(restored[0].id, "s1");
+        assert!(stats.truncated_bytes > 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_schema_lines_stop_replay() {
+        let dir = tmp_dir("schema");
+        fs::create_dir_all(&dir).expect("mkdir");
+        fs::write(
+            dir.join(LOG_FILE),
+            "{\"v\":\"carta.state.v2\",\"tenant\":\"t\",\"id\":\"s1\",\"csv\":\"x\"}\n",
+        )
+        .expect("seed");
+        let (_, restored, stats) = StateLog::open(&dir).expect("open");
+        assert!(restored.is_empty());
+        assert!(stats.truncated_bytes > 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -26,7 +26,11 @@ pub enum Admission {
     /// Within the tenant's window budget: serve normally.
     Granted,
     /// Over budget: shed heavy requests, degrade `analyze`.
-    Pressure,
+    Pressure {
+        /// Milliseconds until the tenant's admission window resets —
+        /// the honest `Retry-After` hint for a shed response.
+        retry_after_ms: u64,
+    },
 }
 
 /// One resident tenant.
@@ -119,7 +123,12 @@ impl TenantPool {
         }
         state.spent = state.spent.saturating_add(1);
         let admission = if state.spent > self.config.budget {
-            Admission::Pressure
+            let window = Duration::from_millis(self.config.window_ms);
+            let elapsed = now.duration_since(state.window_start);
+            let remaining = window.saturating_sub(elapsed).as_millis() as u64;
+            Admission::Pressure {
+                retry_after_ms: remaining.max(1),
+            }
         } else {
             Admission::Granted
         };
@@ -152,6 +161,27 @@ impl TenantPool {
         }
         self.evict_over_limit();
         id
+    }
+
+    /// Re-installs a session replayed from the persistence log under
+    /// its *original* id, bumping the tenant's id counter past it so
+    /// fresh uploads never collide with restored ones. Duplicate ids
+    /// (an upload replayed twice) keep the last occurrence.
+    pub fn restore_session(&self, tenant: &str, id: &str, csv: String) {
+        let now = Instant::now();
+        let mut inner = self.locked();
+        let state = Self::touch(&mut inner, &self.config, tenant, now);
+        if let Some(slot) = state.sessions.iter_mut().find(|(sid, _)| sid == id) {
+            slot.1 = Arc::new(csv);
+        } else {
+            state.sessions.push((id.to_string(), Arc::new(csv)));
+            while state.sessions.len() > self.config.max_sessions {
+                state.sessions.remove(0);
+            }
+        }
+        if let Some(n) = id.strip_prefix('s').and_then(|n| n.parse::<u64>().ok()) {
+            state.next_session = state.next_session.max(n + 1);
+        }
     }
 
     /// The CSV stored under `id` for `tenant`, if still resident.
@@ -243,9 +273,29 @@ mod tests {
         let pool = pool(2, 8, 16);
         assert_eq!(pool.checkout("a").1, Admission::Granted);
         assert_eq!(pool.checkout("a").1, Admission::Granted);
-        assert_eq!(pool.checkout("a").1, Admission::Pressure);
+        match pool.checkout("a").1 {
+            Admission::Pressure { retry_after_ms } => {
+                assert!(retry_after_ms >= 1);
+                assert!(retry_after_ms <= 60_000, "bounded by the window");
+            }
+            Admission::Granted => panic!("third request should hit pressure"),
+        }
         // An unrelated tenant has its own window.
         assert_eq!(pool.checkout("b").1, Admission::Granted);
+    }
+
+    #[test]
+    fn restored_sessions_keep_ids_and_advance_the_counter() {
+        let pool = pool(32, 8, 16);
+        pool.restore_session("a", "s4", "replayed".into());
+        pool.restore_session("a", "s4", "replayed-again".into());
+        assert_eq!(
+            pool.session("a", "s4").as_deref().map(String::as_str),
+            Some("replayed-again"),
+            "duplicate replay keeps the last write"
+        );
+        let fresh = pool.put_session("a", "new".into());
+        assert_eq!(fresh, "s5", "fresh ids never collide with restored ones");
     }
 
     #[test]

@@ -15,21 +15,25 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 
 fn start(budget: u32) -> ServerHandle {
-    let config = ServerConfig {
+    start_with(ServerConfig {
         addr: "127.0.0.1:0".into(),
         workers: 2,
         window_ms: 60_000,
         budget,
         ..ServerConfig::default()
-    };
+    })
+}
+
+fn start_with(config: ServerConfig) -> ServerHandle {
     Server::bind(config)
         .expect("binds an ephemeral port")
         .spawn()
         .expect("accept loop spawns")
 }
 
-/// One request over a fresh connection (the server is
-/// `connection: close`); returns status and body.
+/// One request over a fresh connection. Sends `connection: close` so
+/// the keep-alive server closes after the response and `read_to_string`
+/// terminates; keep-alive itself is exercised by dedicated tests.
 fn http(
     addr: SocketAddr,
     method: &str,
@@ -37,13 +41,26 @@ fn http(
     tenant: Option<&str>,
     body: &str,
 ) -> (u16, String) {
+    let (status, _headers, body) = http_full(addr, method, path, tenant, body);
+    (status, body)
+}
+
+/// Like [`http`] but also returns the raw header block for tests that
+/// assert on response headers (`retry-after`).
+fn http_full(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    tenant: Option<&str>,
+    body: &str,
+) -> (u16, String, String) {
     let mut stream = TcpStream::connect(addr).expect("connects");
     let tenant_header = tenant
         .map(|t| format!("x-carta-tenant: {t}\r\n"))
         .unwrap_or_default();
     write!(
         stream,
-        "{method} {path} HTTP/1.1\r\nhost: carta\r\n{tenant_header}content-length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nhost: carta\r\nconnection: close\r\n{tenant_header}content-length: {}\r\n\r\n{body}",
         body.len()
     )
     .expect("writes the request");
@@ -55,11 +72,11 @@ fn http(
         .expect("status line")
         .parse()
         .expect("numeric status");
-    let body = raw
+    let (headers, body) = raw
         .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
+        .map(|(h, b)| (h.to_string(), b.to_string()))
         .unwrap_or_default();
-    (status, body)
+    (status, headers, body)
 }
 
 fn generate_csv(seed: u64) -> String {
@@ -194,11 +211,19 @@ fn flooding_tenant_degrades_and_sheds_while_the_other_tenant_is_untouched() {
     let loss_body = format!(
         r#"{{"schema":"carta.api.v1","request":"loss","params":{{"model":{{"source":{{"kind":"session","id":"{flooded_id}"}}}},"scenario":"worst"}}}}"#
     );
-    let (status, body) = http(addr, "POST", "/v1/requests", Some("supplier"), &loss_body);
+    let (status, headers, body) =
+        http_full(addr, "POST", "/v1/requests", Some("supplier"), &loss_body);
     assert_eq!(status, 429, "{body}");
     let err = wire::decode_error(&body).expect("error envelope");
     assert_eq!(err.code, ErrorCode::AdmissionShed);
     assert!(err.message.contains("admission budget"), "{}", err.message);
+    // The shed response tells the client when the window resets.
+    let retry = headers
+        .lines()
+        .find_map(|l| l.strip_prefix("retry-after: "))
+        .expect("retry-after header on 429");
+    let seconds: u64 = retry.trim().parse().expect("whole seconds");
+    assert!((1..=60).contains(&seconds), "retry-after {seconds}s");
 
     // Request 4 is over budget but `analyze`: an immediate partial
     // report under a strangled iteration budget — DEGRADED, not 429.
@@ -335,6 +360,196 @@ fn the_error_surface_uses_stable_codes_and_statuses() {
     let (status, _) = http(addr, "GET", "/v2/everything", None, "");
     assert_eq!(status, 404);
     server.stop();
+}
+
+/// Reads one HTTP response off a persistent connection: status, the
+/// raw header block, and a body of exactly `content-length` bytes.
+fn read_response<R: std::io::BufRead>(reader: &mut R) -> (u16, String, String) {
+    let mut head = String::new();
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("reads header line");
+        assert!(n > 0, "connection closed mid-response");
+        if line == "\r\n" || line == "\n" {
+            break;
+        }
+        head.push_str(&line);
+    }
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("content-length: "))
+        .expect("content-length header")
+        .trim()
+        .parse()
+        .expect("numeric length");
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body).expect("reads body");
+    (status, head, String::from_utf8(body).expect("utf-8 body"))
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let server = start(32);
+    let addr = server.addr();
+    let stream = TcpStream::connect(addr).expect("connects");
+    let mut writer = stream.try_clone().expect("clones");
+    let mut reader = std::io::BufReader::new(stream);
+    for _ in 0..3 {
+        write!(writer, "GET /v1/healthz HTTP/1.1\r\nhost: carta\r\n\r\n").expect("writes");
+        let (status, head, body) = read_response(&mut reader);
+        assert_eq!(status, 200, "{body}");
+        assert!(head.contains("connection: keep-alive"), "{head}");
+    }
+    // Pipelined requests (both written before either response is
+    // read) are answered in order on the same connection.
+    write!(
+        writer,
+        "GET /v1/healthz HTTP/1.1\r\nhost: carta\r\n\r\nGET /v1/metrics HTTP/1.1\r\nhost: carta\r\n\r\n"
+    )
+    .expect("writes pipelined");
+    let (status, _, body) = read_response(&mut reader);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("healthz"), "{body}");
+    let (status, _, body) = read_response(&mut reader);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("carta.metrics.v1"), "{body}");
+    // An explicit `connection: close` is honored.
+    write!(
+        writer,
+        "GET /v1/healthz HTTP/1.1\r\nhost: carta\r\nconnection: close\r\n\r\n"
+    )
+    .expect("writes");
+    let (status, head, _) = read_response(&mut reader);
+    assert_eq!(status, 200);
+    assert!(head.contains("connection: close"), "{head}");
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut reader, &mut rest).expect("EOF after close");
+    assert!(rest.is_empty(), "nothing after the final response");
+    server.stop();
+}
+
+#[test]
+fn bearer_auth_is_enforced_on_the_wire() {
+    let server = start_with(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        window_ms: 60_000,
+        budget: 32,
+        tokens: vec![("sekrit".into(), "oem".into())],
+        ..ServerConfig::default()
+    });
+    let addr = server.addr();
+    let body = r#"{"schema":"carta.api.v1","request":"generate","params":{"seed":1}}"#;
+
+    // No credentials: 401 auth.required.
+    let (status, raw) = http(addr, "POST", "/v1/requests", None, body);
+    assert_eq!(status, 401, "{raw}");
+    let err = wire::decode_error(&raw).expect("error envelope");
+    assert_eq!(err.code, ErrorCode::Unauthenticated);
+    assert_eq!(err.code.as_str(), "auth.required");
+
+    // Valid bearer token: served as the token's tenant.
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    write!(
+        stream,
+        "POST /v1/requests HTTP/1.1\r\nhost: carta\r\nconnection: close\r\nauthorization: Bearer sekrit\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("writes");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("reads");
+    assert!(raw.starts_with("HTTP/1.1 200 "), "{raw}");
+
+    // Valid token claiming another tenant: 403 auth.forbidden.
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    write!(
+        stream,
+        "POST /v1/requests HTTP/1.1\r\nhost: carta\r\nconnection: close\r\nauthorization: Bearer sekrit\r\nx-carta-tenant: rival\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("writes");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("reads");
+    assert!(raw.starts_with("HTTP/1.1 403 "), "{raw}");
+    assert!(raw.contains("auth.forbidden"), "{raw}");
+    server.stop();
+}
+
+#[test]
+fn a_zero_deadline_returns_504_with_the_stable_code() {
+    let server = start(32);
+    let addr = server.addr();
+    let body = wire::encode_request_with_deadline(
+        &Request::Analyze {
+            model: Model::case_study(),
+            scenario: ScenarioSpec::Worst,
+        },
+        Some(0),
+    );
+    let (status, raw) = http(addr, "POST", "/v1/requests", Some("oem"), &body);
+    assert_eq!(status, 504, "{raw}");
+    let err = wire::decode_error(&raw).expect("error envelope");
+    assert_eq!(err.code, ErrorCode::DeadlineExceeded);
+    assert_eq!(err.code.as_str(), "request.deadline_exceeded");
+
+    // A generous deadline changes nothing about the result.
+    let relaxed = wire::encode_request_with_deadline(
+        &Request::Analyze {
+            model: Model::case_study(),
+            scenario: ScenarioSpec::Worst,
+        },
+        Some(60_000),
+    );
+    let (status, with_deadline) = http(addr, "POST", "/v1/requests", Some("oem"), &relaxed);
+    assert_eq!(status, 200, "{with_deadline}");
+    let plain = wire::encode_request(&Request::Analyze {
+        model: Model::case_study(),
+        scenario: ScenarioSpec::Worst,
+    });
+    let (status, without_deadline) = http(addr, "POST", "/v1/requests", Some("oem"), &plain);
+    assert_eq!(status, 200);
+    assert_eq!(
+        with_deadline, without_deadline,
+        "an unexpired deadline must not perturb the report"
+    );
+    server.stop();
+}
+
+#[test]
+fn graceful_drain_rejects_new_requests_with_503_and_stops_cleanly() {
+    let server = start_with(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        window_ms: 60_000,
+        budget: 32,
+        idle_ms: 400,
+        drain_ms: 2000,
+        ..ServerConfig::default()
+    });
+    let addr = server.addr();
+    // A keep-alive connection opened before the drain.
+    let stream = TcpStream::connect(addr).expect("connects");
+    let mut writer = stream.try_clone().expect("clones");
+    let mut reader = std::io::BufReader::new(stream);
+    write!(writer, "GET /v1/healthz HTTP/1.1\r\nhost: carta\r\n\r\n").expect("writes");
+    let (status, _, _) = read_response(&mut reader);
+    assert_eq!(status, 200);
+
+    let stopper = std::thread::spawn(move || server.stop());
+    // Give the accept loop a few poll intervals to flip to draining.
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    write!(writer, "GET /v1/healthz HTTP/1.1\r\nhost: carta\r\n\r\n").expect("writes");
+    let (status, head, body) = read_response(&mut reader);
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("server.unavailable"), "{body}");
+    assert!(head.contains("connection: close"), "{head}");
+    stopper.join().expect("drain completes");
 }
 
 #[test]
